@@ -1,0 +1,152 @@
+//! Criterion benches, one group per paper artifact.
+//!
+//! Each group exercises the exact code path that regenerates the paper's
+//! table/figure, at reduced scale so the statistical harness stays fast;
+//! `cargo run --release -p janus-bench --bin repro` produces the
+//! full-scale numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use janus_core::sim::collectives::a2a_goodput;
+use janus_core::sim::engine::{simulate_iteration, EngineOpts, ParadigmPolicy};
+use janus_moe::config::{pr_moe_transformer_xl, ModelConfig, ModelPreset};
+use janus_moe::traffic::table1_row;
+use janus_topology::ClusterSpec;
+use std::hint::black_box;
+
+/// Scaled-down MoE-GPT: same structure, smaller batch, 8 GPUs on 2
+/// machines.
+fn small_gpt() -> ModelConfig {
+    let mut model = ModelPreset::MoeGpt.config(8);
+    model.batch = 32;
+    model
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let model = ModelPreset::MoeBert.config(32);
+    c.bench_function("table1_traffic_analytic", |b| {
+        b.iter(|| black_box(table1_row(black_box(&model), 4, 8)))
+    });
+}
+
+fn bench_goodput(c: &mut Criterion) {
+    let intra = ClusterSpec::a100(1, 8).build();
+    let inter = ClusterSpec::a100(2, 8).build();
+    c.bench_function("goodput_intra_node_a2a", |b| {
+        b.iter(|| black_box(a2a_goodput(black_box(&intra), 64e6).unwrap()))
+    });
+    c.bench_function("goodput_inter_node_a2a", |b| {
+        b.iter(|| black_box(a2a_goodput(black_box(&inter), 64e6).unwrap()))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let cluster = ClusterSpec::a100(2, 4).build();
+    let model = small_gpt();
+    c.bench_function("fig3_expert_centric_iteration", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_iteration(
+                    cluster.clone(),
+                    model.clone(),
+                    &EngineOpts::janus_expert_centric(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let cluster = ClusterSpec::a100(2, 4).build();
+    let model = small_gpt();
+    let mut group = c.benchmark_group("fig12_ablation");
+    for (name, opts) in [
+        ("data_centric", EngineOpts::data_centric(false, false)),
+        ("plus_topo", EngineOpts::data_centric(true, false)),
+        ("plus_prefetch", EngineOpts::data_centric(true, true)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(simulate_iteration(cluster.clone(), model.clone(), &opts).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let cluster = ClusterSpec::a100(2, 4).build();
+    let model = small_gpt();
+    let opts = EngineOpts::data_centric(false, true);
+    c.bench_function("fig13_prefetch_timeline", |b| {
+        b.iter(|| {
+            let report =
+                simulate_iteration(cluster.clone(), model.clone(), &opts).unwrap();
+            black_box((report.block_finish_w0.len(), report.expert_arrival_w0.len()))
+        })
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let cluster = ClusterSpec::a100(2, 4).build();
+    let model = small_gpt();
+    let mut group = c.benchmark_group("fig14_end_to_end");
+    group.bench_function("tutel", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_iteration(cluster.clone(), model.clone(), &EngineOpts::tutel()).unwrap(),
+            )
+        })
+    });
+    group.bench_function("janus", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_iteration(cluster.clone(), model.clone(), &EngineOpts::default())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig15_fig16(c: &mut Criterion) {
+    let cluster = ClusterSpec::a100(2, 4).build();
+    let mut group = c.benchmark_group("fig15_fig16_sweeps");
+    for (label, batch, seq) in [("batch_sweep_point", 64, 64), ("seq_sweep_point", 32, 128)] {
+        let mut model = ModelPreset::MoeGpt.config(8);
+        model.batch = batch;
+        model.seq_len = seq;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    simulate_iteration(cluster.clone(), model.clone(), &EngineOpts::default())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    let cluster = ClusterSpec::a100(2, 8).build();
+    let model = pr_moe_transformer_xl(16);
+    let unified = EngineOpts {
+        policy: ParadigmPolicy::Unified,
+        r_threshold: 2.0,
+        ..EngineOpts::default()
+    };
+    c.bench_function("fig17_pr_moe_unified", |b| {
+        b.iter(|| {
+            black_box(simulate_iteration(cluster.clone(), model.clone(), &unified).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_goodput, bench_fig3, bench_fig12, bench_fig13,
+        bench_fig14, bench_fig15_fig16, bench_fig17
+}
+criterion_main!(paper);

@@ -1,0 +1,108 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|trace|all]...
+//! ```
+//!
+//! With no arguments, runs everything. Add `--json` to also dump the raw
+//! rows as JSON (for EXPERIMENTS.md bookkeeping).
+
+use janus_bench::experiments::*;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        args = ["rmetric", "table1", "goodput", "fig3", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "ablations"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    for arg in &args {
+        match arg.as_str() {
+            "table1" => {
+                let rows = table1::run();
+                table1::print(&rows);
+                dump(json, "table1", &rows);
+            }
+            "goodput" => {
+                let rows = goodput::run();
+                goodput::print(&rows);
+                dump(json, "goodput", &rows);
+            }
+            "fig3" => {
+                let rows = fig3::run();
+                fig3::print(&rows);
+                dump(json, "fig3", &rows);
+            }
+            "fig12" => {
+                let rows = fig12::run();
+                fig12::print(&rows);
+                dump(json, "fig12", &rows);
+            }
+            "fig13" => {
+                let summary = fig13::run();
+                fig13::print(&summary);
+                dump(json, "fig13", &summary);
+            }
+            "fig14" => {
+                let rows = fig14::run();
+                fig14::print(&rows);
+                dump(json, "fig14", &rows);
+            }
+            "fig15" => {
+                let rows = sensitivity::run_fig15();
+                sensitivity::print("Figure 15 — batch-size sensitivity (Janus vs Tutel)", &rows);
+                dump(json, "fig15", &rows);
+            }
+            "fig16" => {
+                let rows = sensitivity::run_fig16();
+                sensitivity::print(
+                    "Figure 16 — sequence-length sensitivity (OOM = exceeds 80 GB)",
+                    &rows,
+                );
+                dump(json, "fig16", &rows);
+            }
+            "fig17" => {
+                let rows = fig17::run();
+                fig17::print(&rows);
+                dump(json, "fig17", &rows);
+            }
+            "ablations" => {
+                let credits = ablations::credit_sweep();
+                let latency = ablations::latency_sweep();
+                let a2a = ablations::a2a_style();
+                ablations::print(&credits, &latency, &a2a);
+                dump(json, "ablation_credits", &credits);
+                dump(json, "ablation_latency", &latency);
+                dump(json, "ablation_a2a", &a2a);
+            }
+            "trace" => {
+                let path = trace_export::write("fig13_timeline.json")
+                    .expect("write chrome trace");
+                println!("wrote {path} (open in chrome://tracing or Perfetto)");
+            }
+            "rmetric" => {
+                let rows = rmetric::run();
+                rmetric::print(&rows);
+                dump(json, "rmetric", &rows);
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn dump<T: serde::Serialize>(enabled: bool, name: &str, rows: &T) {
+    if enabled {
+        println!(
+            "JSON[{name}]: {}",
+            serde_json::to_string(rows).expect("experiment rows serialize")
+        );
+    }
+}

@@ -1,0 +1,919 @@
+//! One module per paper artifact. Every `run()` regenerates the numbers
+//! the paper reports; every `print()` lays them out next to the paper's
+//! published values.
+
+use crate::paper_cluster;
+use crate::table;
+use janus_core::sim::engine::{simulate_iteration, EngineOpts, ParadigmPolicy};
+use janus_core::sim::IterationReport;
+use janus_moe::config::{pr_moe_transformer_xl, ModelConfig, ModelPreset};
+use serde::Serialize;
+
+fn run(machines: usize, model: ModelConfig, opts: &EngineOpts) -> IterationReport {
+    simulate_iteration(paper_cluster(machines), model, opts)
+        .expect("engine-built graphs must simulate cleanly")
+}
+
+/// Table 1: model configurations and per-machine cross-node traffic under
+/// both paradigms, analytic and simulated.
+pub mod table1 {
+    use super::*;
+    use janus_moe::traffic;
+
+    /// One row of Table 1 plus the simulator's cross-check.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// Model name.
+        pub model: String,
+        /// Total experts per MoE block (= GPUs).
+        pub experts: usize,
+        /// Model size in billions of parameters.
+        pub model_size_b: f64,
+        /// Analytic expert-centric traffic (GiB/machine/iteration).
+        pub ec_gib: f64,
+        /// Analytic data-centric traffic.
+        pub dc_gib: f64,
+        /// Simulated expert-centric traffic (balanced workload).
+        pub sim_ec_gib: f64,
+        /// Simulated data-centric traffic.
+        pub sim_dc_gib: f64,
+        /// EC/DC reduction factor.
+        pub reduction: f64,
+        /// Paper's published (EC, DC) GiB values.
+        pub paper: (f64, f64),
+    }
+
+    /// Paper Table 1 reference values: (model, experts, EC GB, DC GB).
+    const PAPER: [(&str, usize, f64, f64); 6] = [
+        ("MoE-BERT", 16, 6.0, 0.56),
+        ("MoE-BERT", 32, 9.0, 1.69),
+        ("MoE-GPT", 16, 1.5, 0.14),
+        ("MoE-GPT", 32, 2.25, 0.42),
+        ("MoE-Transformer-xl", 16, 6.0, 0.19),
+        ("MoE-Transformer-xl", 32, 9.0, 0.56),
+    ];
+
+    /// Regenerate Table 1.
+    pub fn run() -> Vec<Row> {
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        let mut rows = Vec::new();
+        for preset in ModelPreset::all() {
+            for (experts, machines) in [(16usize, 2usize), (32, 4)] {
+                let model = preset.config(experts);
+                let analytic = traffic::table1_row(&model, machines, 8);
+                let mut opts = EngineOpts::janus_expert_centric();
+                opts.imbalance = janus_moe::workload::Imbalance::Balanced;
+                let ec = super::run(machines, model.clone(), &opts);
+                let mut opts = EngineOpts::data_centric(true, true);
+                opts.imbalance = janus_moe::workload::Imbalance::Balanced;
+                let dc = super::run(machines, model.clone(), &opts);
+                let paper = PAPER
+                    .iter()
+                    .find(|(name, e, _, _)| preset.name() == *name && *e == experts)
+                    .map(|(_, _, a, b)| (*a, *b))
+                    .expect("paper reference");
+                rows.push(Row {
+                    model: model.name.clone(),
+                    experts,
+                    model_size_b: analytic.model_size_b,
+                    ec_gib: analytic.ec_traffic_gib,
+                    dc_gib: analytic.dc_traffic_gib,
+                    sim_ec_gib: ec.cross_node_bytes_per_machine / GIB,
+                    sim_dc_gib: dc.cross_node_bytes_per_machine / GIB,
+                    reduction: analytic.reduction,
+                    paper,
+                });
+            }
+        }
+        rows
+    }
+
+    /// Print the table.
+    pub fn print(rows: &[Row]) {
+        println!("Table 1 — cross-node traffic per machine per iteration (GiB)\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.experts.to_string(),
+                    format!("{:.2}", r.model_size_b),
+                    format!("{:.2}", r.ec_gib),
+                    format!("{:.2}", r.sim_ec_gib),
+                    format!("{:.2}", r.paper.0),
+                    format!("{:.2}", r.dc_gib),
+                    format!("{:.2}", r.sim_dc_gib),
+                    format!("{:.2}", r.paper.1),
+                    format!("{:.1}×", r.reduction),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &[
+                    "model", "experts", "size (B)", "EC calc", "EC sim", "EC paper",
+                    "DC calc", "DC sim", "DC paper", "reduction"
+                ],
+                &body
+            )
+        );
+    }
+}
+
+/// §3.1 goodput observation: intra-node vs inter-node All-to-All.
+pub mod goodput {
+    use super::*;
+    use janus_core::sim::collectives::{a2a_goodput, GoodputReport};
+    use janus_topology::ClusterSpec;
+
+    /// The two stress environments.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// Environment label.
+        pub env: String,
+        /// Simulated aggregate goodput (Gbps).
+        pub goodput_gbps: f64,
+        /// Paper's measured value (Gbps).
+        pub paper_gbps: f64,
+    }
+
+    /// Run both stress tests.
+    pub fn run() -> Vec<Row> {
+        let intra: GoodputReport =
+            a2a_goodput(&ClusterSpec::a100(1, 8).build(), 64e6).expect("intra-node run");
+        let inter = a2a_goodput(&ClusterSpec::a100(4, 8).build(), 64e6).expect("inter-node run");
+        vec![
+            Row {
+                env: "1 machine × 8 GPUs (NVLink)".into(),
+                goodput_gbps: intra.goodput_gbps,
+                paper_gbps: 1846.58,
+            },
+            Row {
+                env: "4 machines × 8 GPUs (RDMA)".into(),
+                goodput_gbps: inter.cross_node_gbps,
+                paper_gbps: 101.9,
+            },
+        ]
+    }
+
+    /// Print the comparison.
+    pub fn print(rows: &[Row]) {
+        println!("§3.1 — All-to-All goodput stress test\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.env.clone(),
+                    format!("{:.1}", r.goodput_gbps),
+                    format!("{:.1}", r.paper_gbps),
+                ]
+            })
+            .collect();
+        println!("{}", table::render(&["environment", "sim Gbps", "paper Gbps"], &body));
+        let gap = rows[0].goodput_gbps / rows[1].goodput_gbps;
+        println!("intra/inter gap: {gap:.1}× (paper: {:.1}×)\n", 1846.58 / 101.9);
+    }
+}
+
+/// Figure 3: iteration latency and the share spent in All-to-All under
+/// the expert-centric paradigm.
+pub mod fig3 {
+    use super::*;
+
+    /// One bar of Figure 3.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// Model name.
+        pub model: String,
+        /// Experts (= GPUs).
+        pub experts: usize,
+        /// Iteration latency (s).
+        pub iter_time: f64,
+        /// All-to-All latency (s).
+        pub a2a_time: f64,
+        /// Share of the iteration.
+        pub share: f64,
+    }
+
+    /// Run the six expert-centric profiles.
+    pub fn run() -> Vec<Row> {
+        let mut rows = Vec::new();
+        for preset in ModelPreset::all() {
+            for (experts, machines) in [(16usize, 2usize), (32, 4)] {
+                let model = preset.config(experts);
+                let report = super::run(machines, model, &EngineOpts::janus_expert_centric());
+                rows.push(Row {
+                    model: preset.name().into(),
+                    experts,
+                    iter_time: report.iter_time,
+                    a2a_time: report.comm_time,
+                    share: report.comm_share(),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Print the profile.
+    pub fn print(rows: &[Row]) {
+        println!("Figure 3 — expert-centric iteration latency vs All-to-All latency");
+        println!("(paper reports A2A shares of 38.5%–68.4% across these bars)\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.experts.to_string(),
+                    table::ms(r.iter_time),
+                    table::ms(r.a2a_time),
+                    format!("{:.1}%", r.share * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(&["model", "experts", "iter (ms)", "a2a (ms)", "a2a share"], &body)
+        );
+    }
+}
+
+/// Figure 12: ablation of the data-centric optimizations.
+pub mod fig12 {
+    use super::*;
+
+    /// One model's ablation staircase (speedups vs Janus expert-centric).
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// Model name.
+        pub model: String,
+        /// Baseline (expert-centric) iteration time (s).
+        pub ec_time: f64,
+        /// Plain data-centric speedup.
+        pub dc: f64,
+        /// + topology-aware priority.
+        pub dc_topo: f64,
+        /// + prefetch (full stack).
+        pub dc_topo_prefetch: f64,
+        /// Paper's (DC, full) speedups.
+        pub paper: (f64, f64),
+    }
+
+    /// Run the ablation on the 32-GPU configurations.
+    pub fn run() -> Vec<Row> {
+        let paper = [("MoE-BERT", (1.26, 1.31)), ("MoE-GPT", (1.58, 1.63)),
+            ("MoE-Transformer-xl", (1.79, 1.81))];
+        ModelPreset::all()
+            .into_iter()
+            .map(|preset| {
+                let model = preset.config(32);
+                let ec = super::run(4, model.clone(), &EngineOpts::janus_expert_centric());
+                let t = |topo: bool, pf: bool| {
+                    super::run(4, model.clone(), &EngineOpts::data_centric(topo, pf)).iter_time
+                };
+                let p = paper
+                    .iter()
+                    .find(|(n, _)| *n == preset.name())
+                    .map(|(_, p)| *p)
+                    .expect("paper reference");
+                Row {
+                    model: preset.name().into(),
+                    ec_time: ec.iter_time,
+                    dc: ec.iter_time / t(false, false),
+                    dc_topo: ec.iter_time / t(true, false),
+                    dc_topo_prefetch: ec.iter_time / t(true, true),
+                    paper: p,
+                }
+            })
+            .collect()
+    }
+
+    /// Print the staircase.
+    pub fn print(rows: &[Row]) {
+        println!("Figure 12 — ablation: speedup over Janus expert-centric (32 GPUs)\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    table::ms(r.ec_time),
+                    table::speedup(r.dc),
+                    table::speedup(r.dc_topo),
+                    table::speedup(r.dc_topo_prefetch),
+                    format!("{} / {}", table::speedup(r.paper.0), table::speedup(r.paper.1)),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &["model", "EC iter (ms)", "DC", "+topo", "+prefetch", "paper DC/full"],
+                &body
+            )
+        );
+    }
+}
+
+/// Figure 13: computation/communication overlap timeline on MoE-GPT.
+pub mod fig13 {
+    use super::*;
+
+    /// The timeline summary.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Summary {
+        /// Forward-phase duration with prefetch (s).
+        pub fwd_time: f64,
+        /// Forward-phase duration without prefetch (s).
+        pub fwd_time_no_prefetch: f64,
+        /// Block completion timestamps at worker 0 (s).
+        pub block_finish: Vec<f64>,
+        /// Expert arrival timestamps at worker 0 for the MoE block (s).
+        pub expert_arrivals: Vec<(String, f64)>,
+        /// Experts already pulled when the 11th block's computation ends.
+        pub experts_before_gate: usize,
+        /// Fetch time hidden behind the first 11 blocks' compute (s) —
+        /// the quantity the paper reports as "computation-communication
+        /// overlap" (74.9 ms).
+        pub overlap: f64,
+        /// The paper's headline ratio: (fwd + overlap) / fwd — how much
+        /// slower the forward phase would run if none of the fetching
+        /// were hidden.
+        pub fwd_speedup: f64,
+    }
+
+    /// Run MoE-GPT with prefetch on / topology-aware off (the paper's
+    /// Figure 13 configuration).
+    pub fn run() -> Summary {
+        let model = ModelPreset::MoeGpt.config(32);
+        let with = super::run(4, model.clone(), &EngineOpts::data_centric(false, true));
+        let without = super::run(4, model, &EngineOpts::data_centric(false, false));
+        let gate = with
+            .block_finish_w0
+            .get(10)
+            .copied()
+            .expect("12-block model");
+        let mut arrivals: Vec<(String, f64)> = with.expert_arrival_w0.clone();
+        arrivals.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let experts_before_gate = arrivals.iter().filter(|(_, t)| *t <= gate).count();
+        // Overlap: fetch busy time at worker 0 that ran while the first
+        // 11 blocks were still computing (plus the machine-level NIC
+        // fetches hidden in the same window).
+        let overlap: f64 = with
+            .sim
+            .records
+            .iter()
+            .filter(|r| {
+                r.kind == "transfer"
+                    && (r.label.starts_with("w0/")
+                        && (r.label.contains("/pull-int")
+                            || r.label.contains("/copy-s2")
+                            || r.label.contains("/pull-peer"))
+                        || r.label.starts_with("M0/") && r.label.contains("/fetch-ext"))
+            })
+            .map(|r| (r.finish.min(gate) - r.start.min(gate)).max(0.0))
+            .sum();
+        Summary {
+            fwd_time: with.fwd_time,
+            fwd_time_no_prefetch: without.fwd_time,
+            block_finish: with.block_finish_w0.clone(),
+            expert_arrivals: arrivals,
+            experts_before_gate,
+            overlap,
+            fwd_speedup: (with.fwd_time + overlap) / with.fwd_time,
+        }
+    }
+
+    /// Print the timeline.
+    pub fn print(s: &Summary) {
+        println!("Figure 13 — MoE-GPT forward timeline (prefetch on, topo-aware off)\n");
+        println!("block completion at worker 0 (ms):");
+        let body: Vec<Vec<String>> = s
+            .block_finish
+            .iter()
+            .enumerate()
+            .map(|(b, t)| vec![format!("block {b}"), table::ms(*t)])
+            .collect();
+        println!("{}", table::render(&["block", "finish (ms)"], &body));
+        println!("expert arrivals at worker 0 (first 8 shown, ms):");
+        let body: Vec<Vec<String>> = s
+            .expert_arrivals
+            .iter()
+            .take(8)
+            .map(|(l, t)| vec![l.clone(), table::ms(*t)])
+            .collect();
+        println!("{}", table::render(&["transfer", "finish (ms)"], &body));
+        println!(
+            "experts pulled before the 11th block finished: {} of {}",
+            s.experts_before_gate,
+            s.expert_arrivals.len()
+        );
+        println!(
+            "fetch/compute overlap: {} ms (paper: ~74.9 ms)",
+            table::ms(s.overlap)
+        );
+        println!(
+            "forward phase: {} ms ({} ms without prefetch); hiding ratio {} (paper: 210.4 ms, 1.36×)\n",
+            table::ms(s.fwd_time),
+            table::ms(s.fwd_time_no_prefetch),
+            table::speedup(s.fwd_speedup)
+        );
+    }
+}
+
+/// Figure 14: end-to-end Janus vs Tutel.
+pub mod fig14 {
+    use super::*;
+
+    /// One model's end-to-end comparison.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// Model name.
+        pub model: String,
+        /// Tutel iteration time (s).
+        pub tutel_time: f64,
+        /// Janus (unified) iteration time (s).
+        pub janus_time: f64,
+        /// Speedup.
+        pub speedup: f64,
+        /// Paper's speedup.
+        pub paper: f64,
+    }
+
+    /// Run the three 32-GPU end-to-end comparisons.
+    pub fn run() -> Vec<Row> {
+        let paper = [("MoE-BERT", 1.28), ("MoE-GPT", 1.48), ("MoE-Transformer-xl", 1.52)];
+        ModelPreset::all()
+            .into_iter()
+            .map(|preset| {
+                let model = preset.config(32);
+                let tutel = super::run(4, model.clone(), &EngineOpts::tutel());
+                let janus = super::run(4, model, &EngineOpts::default());
+                let p = paper.iter().find(|(n, _)| *n == preset.name()).unwrap().1;
+                Row {
+                    model: preset.name().into(),
+                    tutel_time: tutel.iter_time,
+                    janus_time: janus.iter_time,
+                    speedup: tutel.iter_time / janus.iter_time,
+                    paper: p,
+                }
+            })
+            .collect()
+    }
+
+    /// Print the comparison.
+    pub fn print(rows: &[Row]) {
+        println!("Figure 14 — end-to-end iteration time, Janus vs Tutel (32 GPUs)\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    table::ms(r.tutel_time),
+                    table::ms(r.janus_time),
+                    table::speedup(r.speedup),
+                    table::speedup(r.paper),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &["model", "Tutel (ms)", "Janus (ms)", "speedup", "paper"],
+                &body
+            )
+        );
+    }
+}
+
+/// Figures 15/16: batch-size and sequence-length sensitivity.
+pub mod sensitivity {
+    use super::*;
+
+    /// One sweep point.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// Model name.
+        pub model: String,
+        /// Batch size.
+        pub batch: usize,
+        /// Sequence length.
+        pub seq: usize,
+        /// Gate top-k.
+        pub k: usize,
+        /// Tutel iteration time (s); `None` means out of memory.
+        pub tutel_time: Option<f64>,
+        /// Janus iteration time (s).
+        pub janus_time: f64,
+        /// Speedup (when Tutel fits).
+        pub speedup: Option<f64>,
+    }
+
+    fn sweep_point(model: ModelConfig) -> Row {
+        let (batch, seq, k) = (model.batch, model.seq_len, model.top_k);
+        let tutel = super::run(4, model.clone(), &EngineOpts::tutel());
+        let janus = super::run(4, model.clone(), &EngineOpts::default());
+        assert!(!janus.memory.oom, "Janus must fit in every paper configuration");
+        let tutel_time = (!tutel.memory.oom).then_some(tutel.iter_time);
+        Row {
+            model: model.name.clone(),
+            batch,
+            seq,
+            k,
+            tutel_time,
+            janus_time: janus.iter_time,
+            speedup: tutel_time.map(|t| t / janus.iter_time),
+        }
+    }
+
+    /// Figure 15 sweep: batch sizes 64 and 128 with the paper's fixed
+    /// (S, k) per model.
+    pub fn run_fig15() -> Vec<Row> {
+        let mut rows = Vec::new();
+        for (preset, s, k) in [
+            (ModelPreset::MoeBert, 256, 4),
+            (ModelPreset::MoeGpt, 128, 8),
+            (ModelPreset::MoeTransformerXl, 256, 2),
+        ] {
+            for b in [64usize, 128] {
+                let mut model = preset.config(32);
+                model.batch = b;
+                model.seq_len = s;
+                model.top_k = k;
+                rows.push(sweep_point(model));
+            }
+        }
+        rows
+    }
+
+    /// Figure 16 sweep: sequence lengths 256 and 512 with the paper's
+    /// fixed (B, k) per model. MoE-BERT at S = 512 is the OOM case.
+    pub fn run_fig16() -> Vec<Row> {
+        let mut rows = Vec::new();
+        for (preset, b, k) in [
+            (ModelPreset::MoeBert, 256, 4),
+            (ModelPreset::MoeGpt, 32, 8),
+            (ModelPreset::MoeTransformerXl, 64, 2),
+        ] {
+            for s in [256usize, 512] {
+                let mut model = preset.config(32);
+                model.batch = b;
+                model.seq_len = s;
+                model.top_k = k;
+                rows.push(sweep_point(model));
+            }
+        }
+        rows
+    }
+
+    /// Print a sweep.
+    pub fn print(title: &str, rows: &[Row]) {
+        println!("{title}\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.batch.to_string(),
+                    r.seq.to_string(),
+                    r.k.to_string(),
+                    r.tutel_time.map(table::ms).unwrap_or_else(|| "OOM".into()),
+                    table::ms(r.janus_time),
+                    r.speedup.map(table::speedup).unwrap_or_else(|| "—".into()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &["model", "B", "S", "k", "Tutel (ms)", "Janus (ms)", "speedup"],
+                &body
+            )
+        );
+    }
+}
+
+/// Figure 17: unified paradigm on PR-MoE.
+pub mod fig17 {
+    use super::*;
+
+    /// One cluster size's comparison.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// GPU count.
+        pub gpus: usize,
+        /// Pure expert-centric iteration time (s).
+        pub ec_time: f64,
+        /// Pure data-centric iteration time (s).
+        pub dc_time: f64,
+        /// Unified iteration time (s).
+        pub unified_time: f64,
+        /// Unified speedup over expert-centric.
+        pub speedup: f64,
+        /// Paper's speedup over expert-centric.
+        pub paper: f64,
+    }
+
+    /// Run PR-MoE-Transformer-xl on 16 and 32 GPUs.
+    ///
+    /// The unified runs use the paper's conservative threshold (§7.5):
+    /// blocks whose measured gain would be eaten by the PCIe ceiling
+    /// (`R ≤ 2`) stay expert-centric, which selects data-centric for the
+    /// two shallow MoE blocks and expert-centric for the two deep ones on
+    /// both cluster sizes — the split §7.5 describes.
+    pub fn run() -> Vec<Row> {
+        [(16usize, 2usize, 2.06), (32, 4, 1.44)]
+            .into_iter()
+            .map(|(gpus, machines, paper)| {
+                let model = pr_moe_transformer_xl(gpus);
+                let ec =
+                    super::run(machines, model.clone(), &EngineOpts::janus_expert_centric());
+                let dc = super::run(machines, model.clone(), &EngineOpts::data_centric(true, true));
+                let mut unified_opts = EngineOpts { r_threshold: 2.0, ..EngineOpts::default() };
+                unified_opts.policy = ParadigmPolicy::Unified;
+                let unified = super::run(machines, model, &unified_opts);
+                Row {
+                    gpus,
+                    ec_time: ec.iter_time,
+                    dc_time: dc.iter_time,
+                    unified_time: unified.iter_time,
+                    speedup: ec.iter_time / unified.iter_time,
+                    paper,
+                }
+            })
+            .collect()
+    }
+
+    /// Print the comparison.
+    pub fn print(rows: &[Row]) {
+        println!("Figure 17 — PR-MoE-Transformer-xl: unified vs pure paradigms\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.gpus.to_string(),
+                    table::ms(r.ec_time),
+                    table::ms(r.dc_time),
+                    table::ms(r.unified_time),
+                    table::speedup(r.speedup),
+                    table::speedup(r.paper),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &["GPUs", "EC (ms)", "DC (ms)", "unified (ms)", "unified/EC", "paper"],
+                &body
+            )
+        );
+    }
+}
+
+/// §5.1.3 / §7.3: the R metric across configurations.
+pub mod rmetric {
+    use super::*;
+    use janus_moe::traffic::r_for_block;
+
+    /// R of one model's MoE blocks on one cluster.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// Model name.
+        pub model: String,
+        /// Machines.
+        pub machines: usize,
+        /// Distinct R values across MoE blocks.
+        pub r_values: Vec<f64>,
+        /// Paper's value(s) where published.
+        pub paper: &'static str,
+    }
+
+    /// Compute R for every evaluation model.
+    pub fn run() -> Vec<Row> {
+        let mut rows = Vec::new();
+        for (preset, paper) in [
+            (ModelPreset::MoeBert, "5.33"),
+            (ModelPreset::MoeGpt, "5.33"),
+            (ModelPreset::MoeTransformerXl, "16"),
+        ] {
+            let model = preset.config(32);
+            let mut r_values: Vec<f64> =
+                model.moe_blocks().iter().map(|&b| r_for_block(&model, b, 4, 8)).collect();
+            r_values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            rows.push(Row { model: model.name, machines: 4, r_values, paper });
+        }
+        for gpus in [16usize, 32] {
+            let machines = gpus / 8;
+            let model = pr_moe_transformer_xl(gpus);
+            let mut r_values: Vec<f64> =
+                model.moe_blocks().iter().map(|&b| r_for_block(&model, b, machines, 8)).collect();
+            r_values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            rows.push(Row {
+                model: model.name,
+                machines,
+                paper: if gpus == 16 { "4 / 1 (with n=4)" } else { "—" },
+                r_values,
+            });
+        }
+        rows
+    }
+
+    /// Print the metric table.
+    pub fn print(rows: &[Row]) {
+        println!("R = BSk/(4nHE) per MoE block (R > 1 favours data-centric)\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.machines.to_string(),
+                    r.r_values.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(", "),
+                    r.paper.to_string(),
+                ]
+            })
+            .collect();
+        println!("{}", table::render(&["model", "machines", "R (per block)", "paper"], &body));
+    }
+}
+
+/// Design-choice ablations beyond the paper's Figure 12: credit-buffer
+/// sizing, per-message latency sensitivity (the knob behind the §7.5
+/// crossover), and flat vs staged All-to-All.
+pub mod ablations {
+    use super::*;
+    use janus_core::sim::engine::DcOpts;
+
+    /// Credit-buffer sweep result.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct CreditRow {
+        /// Buffer capacity (experts).
+        pub credits: u32,
+        /// Iteration time (s) on MoE-GPT/32e.
+        pub iter_time: f64,
+        /// Experts staged before the MoE block's gate at worker 0.
+        pub staged_before_gate: usize,
+    }
+
+    /// Sweep the credit-based buffer capacity (§5.1.1): too small starves
+    /// the prefetch pipeline; beyond ~a dozen slots the returns vanish.
+    pub fn credit_sweep() -> Vec<CreditRow> {
+        let model = ModelPreset::MoeGpt.config(32);
+        [1u32, 2, 4, 8, 16, 32]
+            .into_iter()
+            .map(|credits| {
+                let mut opts = EngineOpts::data_centric(true, true);
+                opts.dc = DcOpts { credits, ..opts.dc };
+                let report = super::run(4, model.clone(), &opts);
+                let gate = report.block_finish_w0[10];
+                let staged = report
+                    .expert_arrival_w0
+                    .iter()
+                    .filter(|(_, t)| *t <= gate)
+                    .count();
+                CreditRow { credits, iter_time: report.iter_time, staged_before_gate: staged }
+            })
+            .collect()
+    }
+
+    /// Per-message latency sensitivity row.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct LatencyRow {
+        /// Issue latency (µs).
+        pub latency_us: f64,
+        /// Expert-centric iteration (s), PR-MoE/16gpu.
+        pub ec_time: f64,
+        /// Data-centric iteration (s).
+        pub dc_time: f64,
+        /// Who wins.
+        pub dc_wins: bool,
+    }
+
+    /// Sweep the per-message issue latency on PR-MoE (many small experts,
+    /// E up to 4): this is the physical effect that makes All-to-All
+    /// preferable at small `R` — with free messages, pulling experts
+    /// always wins; with realistic per-pull costs the deep blocks flip.
+    pub fn latency_sweep() -> Vec<LatencyRow> {
+        let model = pr_moe_transformer_xl(16);
+        [0.0, 50e-6, 150e-6, 300e-6, 1e-3]
+            .into_iter()
+            .map(|latency| {
+                let mut ec = EngineOpts::janus_expert_centric();
+                ec.msg_latency = latency;
+                let mut dc = EngineOpts::data_centric(true, true);
+                dc.msg_latency = latency;
+                let ec_time = super::run(2, model.clone(), &ec).iter_time;
+                let dc_time = super::run(2, model.clone(), &dc).iter_time;
+                LatencyRow {
+                    latency_us: latency * 1e6,
+                    ec_time,
+                    dc_time,
+                    dc_wins: dc_time < ec_time,
+                }
+            })
+            .collect()
+    }
+
+    /// Flat vs staged (Tutel-2DH-style) All-to-All row.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct A2aRow {
+        /// Model name.
+        pub model: String,
+        /// Flat collective iteration time (s).
+        pub flat_time: f64,
+        /// Staged collective iteration time (s).
+        pub staged_time: f64,
+        /// Cross-node traffic of both (GiB/machine) — must be equal.
+        pub traffic_gib: f64,
+    }
+
+    /// Compare the two expert-centric collectives: identical bytes, but
+    /// the staged variant serializes its stages under the fluid model.
+    pub fn a2a_style() -> Vec<A2aRow> {
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        ModelPreset::all()
+            .into_iter()
+            .map(|preset| {
+                let model = preset.config(32);
+                let flat = super::run(4, model.clone(), &EngineOpts::janus_expert_centric());
+                let mut staged_opts = EngineOpts::janus_expert_centric();
+                staged_opts.hierarchical_a2a = true;
+                let staged = super::run(4, model, &staged_opts);
+                A2aRow {
+                    model: preset.name().into(),
+                    flat_time: flat.iter_time,
+                    staged_time: staged.iter_time,
+                    traffic_gib: flat.cross_node_bytes_per_machine / GIB,
+                }
+            })
+            .collect()
+    }
+
+    /// Print all three ablations.
+    pub fn print(credits: &[CreditRow], latency: &[LatencyRow], a2a: &[A2aRow]) {
+        println!("Ablation A — credit-buffer capacity (MoE-GPT/32e, full Janus)\n");
+        let body: Vec<Vec<String>> = credits
+            .iter()
+            .map(|r| {
+                vec![
+                    r.credits.to_string(),
+                    table::ms(r.iter_time),
+                    r.staged_before_gate.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(&["credits", "iter (ms)", "staged before gate"], &body)
+        );
+
+        println!("Ablation B — per-message latency vs paradigm choice (PR-MoE/16gpu)\n");
+        let body: Vec<Vec<String>> = latency
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}", r.latency_us),
+                    table::ms(r.ec_time),
+                    table::ms(r.dc_time),
+                    if r.dc_wins { "DC".into() } else { "EC".into() },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(&["latency (µs)", "EC (ms)", "DC (ms)", "winner"], &body)
+        );
+
+        println!("Ablation C — flat vs staged All-to-All (same bytes, 32 GPUs)\n");
+        let body: Vec<Vec<String>> = a2a
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    table::ms(r.flat_time),
+                    table::ms(r.staged_time),
+                    format!("{:.2}", r.traffic_gib),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(&["model", "flat (ms)", "staged (ms)", "traffic GiB"], &body)
+        );
+    }
+}
+
+/// Chrome-trace export of the Figure 13 timeline.
+pub mod trace_export {
+    use super::*;
+
+    /// Run the Figure 13 configuration and write its task timeline as a
+    /// Chrome trace (load in `chrome://tracing` or Perfetto). Returns the
+    /// path written.
+    pub fn write(path: &str) -> std::io::Result<String> {
+        let model = ModelPreset::MoeGpt.config(32);
+        let mut opts = EngineOpts::data_centric(false, true);
+        opts.include_backward = false;
+        let report = super::run(4, model, &opts);
+        std::fs::write(path, report.sim.to_chrome_trace())?;
+        Ok(path.to_string())
+    }
+}

@@ -1,0 +1,97 @@
+//! Plain-text table rendering for experiment output.
+
+/// Render a table with a header row; columns auto-size to the widest
+/// cell. Numeric-looking cells are right-aligned.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let sep = |c: char| -> String {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&c.to_string().repeat(w + 2));
+            s.push('+');
+        }
+        s.push('\n');
+        s
+    };
+    let fmt_row = |cells: &[String]| -> String {
+        let mut s = String::from("|");
+        for (w, cell) in widths.iter().zip(cells) {
+            if looks_numeric(cell) {
+                s.push_str(&format!(" {cell:>w$} |", w = w));
+            } else {
+                s.push_str(&format!(" {cell:<w$} |", w = w));
+            }
+        }
+        s.push('\n');
+        s
+    };
+    let mut out = sep('-');
+    out.push_str(&fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push_str(&sep('='));
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out.push_str(&sep('-'));
+    out
+}
+
+fn looks_numeric(cell: &str) -> bool {
+    let c = cell.trim_end_matches(['×', '%', 's']).trim();
+    !c.is_empty() && c.chars().all(|ch| ch.is_ascii_digit() || ".-+e".contains(ch))
+}
+
+/// Format seconds as milliseconds with 1 decimal.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.1}", seconds * 1e3)
+}
+
+/// Format a speedup factor.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}×")
+}
+
+/// Format bytes as GiB.
+pub fn gib(bytes: f64) -> String {
+    format!("{:.2}", bytes / (1024.0 * 1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let out = render(
+            &["model", "time"],
+            &[
+                vec!["MoE-BERT".into(), "12.5".into()],
+                vec!["MoE-GPT".into(), "3.1".into()],
+            ],
+        );
+        assert!(out.contains("MoE-BERT"));
+        assert!(out.contains("| model"));
+        // Numeric column right-aligned.
+        assert!(out.contains(" 12.5 |"));
+        assert!(out.contains("  3.1 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(0.2104), "210.4");
+        assert_eq!(speedup(2.061), "2.06×");
+        assert_eq!(gib(1.69 * 1024.0 * 1024.0 * 1024.0), "1.69");
+    }
+}

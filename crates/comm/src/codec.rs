@@ -1,0 +1,145 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Every frame is a 4-byte big-endian length followed by that many bytes
+//! of [`crate::message::Message`] encoding. A configurable ceiling guards
+//! against corrupt headers allocating unbounded memory.
+
+use crate::message::Message;
+use crate::transport::CommError;
+use bytes::Bytes;
+use std::io::{ErrorKind, Read, Write};
+
+/// Default maximum frame size: large enough for any expert in the paper's
+/// models (a 768-dim fp16 expert is ~9.4 MB) with generous headroom.
+pub const DEFAULT_MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Write one frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), CommError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| CommError::FrameTooLarge { len: payload.len(), max: u32::MAX as usize })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. Returns `Ok(None)` on clean EOF at a frame boundary;
+/// EOF mid-frame is an error.
+pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Vec<u8>>, CommError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_frame {
+        return Err(CommError::FrameTooLarge { len, max: max_frame });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            CommError::Disconnected
+        } else {
+            CommError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+/// Write a [`Message`] as one frame.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<(), CommError> {
+    write_frame(w, &msg.encode())
+}
+
+/// Read one [`Message`]; `Ok(None)` on clean EOF.
+pub fn read_message<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Message>, CommError> {
+    match read_frame(r, max_frame)? {
+        None => Ok(None),
+        Some(payload) => Message::decode(Bytes::from(payload)).map(Some),
+    }
+}
+
+enum ReadOutcome {
+    Filled,
+    Eof,
+}
+
+/// Fill `buf` completely, distinguishing EOF-before-any-byte (clean) from
+/// EOF mid-buffer (dirty).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, CommError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(ReadOutcome::Eof)
+                } else {
+                    Err(CommError::Disconnected)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(CommError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            vec![7u8; 1000]
+        );
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn message_round_trip_through_stream() {
+        let msg = Message::ExpertPayload {
+            block: 2,
+            expert: 9,
+            data: Bytes::from(vec![1, 2, 3]),
+        };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_message(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(), msg);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_read() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        let err = read_frame(&mut Cursor::new(buf), 10).unwrap_err();
+        assert!(matches!(err, CommError::FrameTooLarge { len: 100, max: 10 }));
+    }
+
+    #[test]
+    fn eof_mid_header_is_disconnect() {
+        let buf = vec![0u8, 0, 0]; // truncated header
+        let err = read_frame(&mut Cursor::new(buf), 100).unwrap_err();
+        assert!(matches!(err, CommError::Disconnected));
+    }
+
+    #[test]
+    fn eof_mid_payload_is_disconnect() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[9u8; 50]).unwrap();
+        buf.truncate(20);
+        let err = read_frame(&mut Cursor::new(buf), 100).unwrap_err();
+        assert!(matches!(err, CommError::Disconnected));
+    }
+}

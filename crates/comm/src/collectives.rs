@@ -1,0 +1,170 @@
+//! Collectives built on [`Comm`]: barrier, All-to-All, gather-to-owner.
+//!
+//! The expert-centric baseline uses [`all_to_all`] exactly where NCCL's
+//! All-to-All sits in Tutel; [`barrier`] implements the end-of-iteration
+//! synchronization both paradigms need before the optimizer step.
+
+use crate::comm::Comm;
+use crate::message::Message;
+use crate::transport::{CommError, Transport};
+use bytes::Bytes;
+
+/// Block until every rank has entered the barrier for `epoch`.
+///
+/// Every rank posts `Barrier{epoch}` to every peer and waits for one from
+/// each distinct peer. Mixing epochs is safe: foreign epochs stay buffered
+/// in the `Comm` until their own barrier call claims them.
+pub fn barrier<T: Transport>(comm: &Comm<T>, epoch: u64) -> Result<(), CommError> {
+    let world = comm.world_size();
+    let me = comm.rank();
+    for peer in 0..world {
+        if peer != me {
+            comm.send(peer, Message::Barrier { epoch })?;
+        }
+    }
+    let mut seen = vec![false; world];
+    for _ in 0..world.saturating_sub(1) {
+        let (from, _) = comm.recv_match(|from, m| {
+            matches!(m, Message::Barrier { epoch: e } if *e == epoch) && !seen[from]
+        })?;
+        seen[from] = true;
+    }
+    Ok(())
+}
+
+/// Exchange one chunk with every rank: `chunks[j]` goes to rank `j`, the
+/// result's slot `j` holds rank `j`'s chunk for us. `seq` must be unique
+/// per collective invocation within an iteration (concurrent or back-to-
+/// back All-to-Alls would otherwise mix).
+pub fn all_to_all<T: Transport>(
+    comm: &Comm<T>,
+    seq: u64,
+    chunks: Vec<Vec<u8>>,
+) -> Result<Vec<Vec<u8>>, CommError> {
+    let world = comm.world_size();
+    let me = comm.rank();
+    assert_eq!(chunks.len(), world, "need exactly one chunk per rank");
+    let mut result: Vec<Option<Vec<u8>>> = (0..world).map(|_| None).collect();
+    for (peer, chunk) in chunks.into_iter().enumerate() {
+        if peer == me {
+            result[peer] = Some(chunk);
+        } else {
+            comm.send(peer, Message::Collective { seq, data: Bytes::from(chunk) })?;
+        }
+    }
+    for _ in 0..world.saturating_sub(1) {
+        let (from, msg) = comm.recv_match(|from, m| {
+            matches!(m, Message::Collective { seq: s, .. } if *s == seq)
+                && result[from].is_none()
+        })?;
+        match msg {
+            Message::Collective { data, .. } => result[from] = Some(data.to_vec()),
+            _ => unreachable!("predicate admits only Collective"),
+        }
+    }
+    Ok(result.into_iter().map(|c| c.expect("all slots filled")).collect())
+}
+
+/// Gather one chunk from every rank at `root`. Non-root ranks return
+/// `None`; the root returns chunks in rank order.
+pub fn gather<T: Transport>(
+    comm: &Comm<T>,
+    seq: u64,
+    root: usize,
+    chunk: Vec<u8>,
+) -> Result<Option<Vec<Vec<u8>>>, CommError> {
+    let world = comm.world_size();
+    let me = comm.rank();
+    if me != root {
+        comm.send(root, Message::Collective { seq, data: Bytes::from(chunk) })?;
+        return Ok(None);
+    }
+    let mut result: Vec<Option<Vec<u8>>> = (0..world).map(|_| None).collect();
+    result[me] = Some(chunk);
+    for _ in 0..world.saturating_sub(1) {
+        let (from, msg) = comm.recv_match(|from, m| {
+            matches!(m, Message::Collective { seq: s, .. } if *s == seq)
+                && result[from].is_none()
+        })?;
+        match msg {
+            Message::Collective { data, .. } => result[from] = Some(data.to_vec()),
+            _ => unreachable!("predicate admits only Collective"),
+        }
+    }
+    Ok(Some(result.into_iter().map(|c| c.expect("all slots filled")).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_workers;
+
+    #[test]
+    fn all_to_all_routes_chunks_correctly() {
+        let out = run_workers(4, |comm| {
+            let me = comm.rank() as u8;
+            let chunks: Vec<Vec<u8>> = (0..4).map(|peer| vec![me, peer as u8]).collect();
+            all_to_all(&comm, 7, chunks).unwrap()
+        });
+        for (rank, received) in out.iter().enumerate() {
+            for (from, chunk) in received.iter().enumerate() {
+                assert_eq!(chunk, &vec![from as u8, rank as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_all_to_alls_do_not_mix() {
+        let out = run_workers(3, |comm| {
+            let a = all_to_all(&comm, 1, vec![vec![1u8]; 3]).unwrap();
+            let b = all_to_all(&comm, 2, vec![vec![2u8]; 3]).unwrap();
+            (a, b)
+        });
+        for (a, b) in out {
+            assert!(a.iter().all(|c| c == &[1u8]));
+            assert!(b.iter().all(|c| c == &[2u8]));
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static ENTERED: AtomicUsize = AtomicUsize::new(0);
+        run_workers(4, |comm| {
+            ENTERED.fetch_add(1, Ordering::SeqCst);
+            barrier(&comm, 0).unwrap();
+            // After the barrier, every rank must have entered.
+            assert_eq!(ENTERED.load(Ordering::SeqCst), 4);
+            barrier(&comm, 1).unwrap();
+        });
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_workers(4, |comm| {
+            gather(&comm, 3, 2, vec![comm.rank() as u8; 2]).unwrap()
+        });
+        for (rank, res) in out.iter().enumerate() {
+            if rank == 2 {
+                let chunks = res.as_ref().unwrap();
+                for (from, c) in chunks.iter().enumerate() {
+                    assert_eq!(c, &vec![from as u8; 2]);
+                }
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_world_is_trivial() {
+        let out = run_workers(1, |comm| {
+            barrier(&comm, 0).unwrap();
+            let r = all_to_all(&comm, 0, vec![vec![5u8]]).unwrap();
+            let g = gather(&comm, 1, 0, vec![6u8]).unwrap();
+            (r, g)
+        });
+        assert_eq!(out[0].0, vec![vec![5u8]]);
+        assert_eq!(out[0].1, Some(vec![vec![6u8]]));
+    }
+}

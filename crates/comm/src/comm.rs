@@ -1,0 +1,230 @@
+//! A matching receiver over any transport.
+//!
+//! Protocols on top of a shared connection receive messages out of order:
+//! while a worker waits for an expert payload, a pull request from a peer
+//! may arrive first. [`Comm`] buffers everything and lets each caller
+//! claim the first message matching a predicate, in arrival order.
+
+use crate::message::Message;
+use crate::transport::{CommError, Transport};
+use std::collections::VecDeque;
+
+/// A transport wrapper with message matching.
+pub struct Comm<T: Transport> {
+    transport: T,
+    pending: std::cell::RefCell<VecDeque<(usize, Message)>>,
+}
+
+impl<T: Transport> Comm<T> {
+    /// Wrap a transport endpoint.
+    pub fn new(transport: T) -> Self {
+        Comm { transport, pending: std::cell::RefCell::new(VecDeque::new()) }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.transport.rank()
+    }
+
+    /// Number of endpoints in the mesh.
+    pub fn world_size(&self) -> usize {
+        self.transport.world_size()
+    }
+
+    /// Send a message.
+    pub fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
+        self.transport.send(to, msg)
+    }
+
+    /// Receive the earliest message satisfying `pred`, buffering any
+    /// non-matching arrivals for later callers.
+    pub fn recv_match(
+        &self,
+        mut pred: impl FnMut(usize, &Message) -> bool,
+    ) -> Result<(usize, Message), CommError> {
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|(from, m)| pred(*from, m)) {
+                return Ok(pending.remove(pos).expect("position just found"));
+            }
+        }
+        loop {
+            let (from, msg) = self.transport.recv()?;
+            if pred(from, &msg) {
+                return Ok((from, msg));
+            }
+            self.pending.borrow_mut().push_back((from, msg));
+        }
+    }
+
+    /// Receive the next message from any peer (buffered first).
+    pub fn recv_any(&self) -> Result<(usize, Message), CommError> {
+        if let Some(front) = self.pending.borrow_mut().pop_front() {
+            return Ok(front);
+        }
+        self.transport.recv()
+    }
+
+    /// Non-blocking receive (buffered first).
+    pub fn try_recv_any(&self) -> Result<Option<(usize, Message)>, CommError> {
+        if let Some(front) = self.pending.borrow_mut().pop_front() {
+            return Ok(Some(front));
+        }
+        self.transport.try_recv()
+    }
+
+    /// Put a message back for a later `recv_*` call (at the back of the
+    /// buffer, preserving arrival order relative to other stashed
+    /// messages). Used by protocol loops that peek at traffic they cannot
+    /// handle yet.
+    pub fn stash(&self, from: usize, msg: Message) {
+        self.pending.borrow_mut().push_back((from, msg));
+    }
+
+    /// Receive the earliest message satisfying `pred`, handing every other
+    /// message to `consume` first; messages `consume` declines (returns
+    /// `false` for) are buffered. This is the serve-while-waiting loop of
+    /// pull-based protocols: while a worker waits for an expert payload it
+    /// keeps answering pull requests and gradient pushes from peers.
+    pub fn recv_match_or_consume(
+        &self,
+        mut pred: impl FnMut(usize, &Message) -> bool,
+        mut consume: impl FnMut(usize, &Message) -> bool,
+    ) -> Result<(usize, Message), CommError> {
+        // One pass over already-buffered messages. The buffer is taken
+        // out first so `pred`/`consume` may freely call back into this
+        // `Comm` (send, stash) without re-entrant borrows.
+        let taken: Vec<(usize, Message)> = self.pending.borrow_mut().drain(..).collect();
+        let mut matched = None;
+        for (from, msg) in taken {
+            if matched.is_none() && pred(from, &msg) {
+                matched = Some((from, msg));
+            } else if matched.is_some() || !consume(from, &msg) {
+                self.pending.borrow_mut().push_back((from, msg));
+            }
+        }
+        if let Some(m) = matched {
+            return Ok(m);
+        }
+        loop {
+            let (from, msg) = self.transport.recv()?;
+            if pred(from, &msg) {
+                return Ok((from, msg));
+            }
+            if !consume(from, &msg) {
+                self.pending.borrow_mut().push_back((from, msg));
+            }
+        }
+    }
+
+    /// One bounded, non-blocking service pass: offer every buffered
+    /// message and every immediately available transport message to
+    /// `consume` once; declined messages stay buffered. Returns how many
+    /// messages were consumed. Used by poll loops that wait on local
+    /// state (e.g. a shared cache) while staying responsive to peers.
+    pub fn service_pass(
+        &self,
+        mut consume: impl FnMut(usize, &Message) -> bool,
+    ) -> Result<usize, CommError> {
+        let mut handled = 0;
+        let taken: Vec<(usize, Message)> = self.pending.borrow_mut().drain(..).collect();
+        for (from, msg) in taken {
+            if consume(from, &msg) {
+                handled += 1;
+            } else {
+                self.pending.borrow_mut().push_back((from, msg));
+            }
+        }
+        while let Some((from, msg)) = self.transport.try_recv()? {
+            if consume(from, &msg) {
+                handled += 1;
+            } else {
+                self.pending.borrow_mut().push_back((from, msg));
+            }
+        }
+        Ok(handled)
+    }
+
+    /// Number of buffered (received but unclaimed) messages.
+    pub fn buffered(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    /// Access the underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::local_mesh;
+
+    #[test]
+    fn match_skips_and_buffers() {
+        let mut mesh = local_mesh(2);
+        let b = Comm::new(mesh.pop().unwrap());
+        let a = Comm::new(mesh.pop().unwrap());
+
+        a.send(1, Message::Barrier { epoch: 1 }).unwrap();
+        a.send(1, Message::PullRequest { block: 0, expert: 3 }).unwrap();
+        a.send(1, Message::Barrier { epoch: 2 }).unwrap();
+
+        // Claim the pull request first, although it arrived second.
+        let (_, msg) =
+            b.recv_match(|_, m| matches!(m, Message::PullRequest { .. })).unwrap();
+        assert_eq!(msg, Message::PullRequest { block: 0, expert: 3 });
+        assert_eq!(b.buffered(), 1);
+
+        // Buffered barrier(1) is claimed before the live barrier(2).
+        let (_, msg) = b.recv_match(|_, m| matches!(m, Message::Barrier { .. })).unwrap();
+        assert_eq!(msg, Message::Barrier { epoch: 1 });
+        let (_, msg) = b.recv_match(|_, m| matches!(m, Message::Barrier { .. })).unwrap();
+        assert_eq!(msg, Message::Barrier { epoch: 2 });
+        assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    fn recv_any_drains_buffer_first() {
+        let mut mesh = local_mesh(2);
+        let b = Comm::new(mesh.pop().unwrap());
+        let a = Comm::new(mesh.pop().unwrap());
+        a.send(1, Message::Barrier { epoch: 10 }).unwrap();
+        a.send(1, Message::Barrier { epoch: 11 }).unwrap();
+        // Force epoch 11 into the buffer by matching epoch 11 first? No —
+        // match on epoch 11 buffers epoch 10.
+        let (_, _msg) = b
+            .recv_match(|_, m| matches!(m, Message::Barrier { epoch: 11 }))
+            .unwrap();
+        assert_eq!(b.buffered(), 1);
+        assert_eq!(b.recv_any().unwrap().1, Message::Barrier { epoch: 10 });
+    }
+
+    #[test]
+    fn try_recv_and_stash_round_trip() {
+        let mut mesh = local_mesh(2);
+        let b = Comm::new(mesh.pop().unwrap());
+        let a = Comm::new(mesh.pop().unwrap());
+        assert!(b.try_recv_any().unwrap().is_none());
+        a.send(1, Message::Barrier { epoch: 3 }).unwrap();
+        // Give the (in-process) channel a beat; local delivery is
+        // immediate, so this is deterministic.
+        let (from, msg) = b.try_recv_any().unwrap().unwrap();
+        b.stash(from, msg);
+        assert_eq!(b.buffered(), 1);
+        assert_eq!(b.recv_any().unwrap(), (0, Message::Barrier { epoch: 3 }));
+    }
+
+    #[test]
+    fn match_by_sender() {
+        let mut mesh = local_mesh(3);
+        let c = Comm::new(mesh.pop().unwrap());
+        let b = Comm::new(mesh.pop().unwrap());
+        let a = Comm::new(mesh.pop().unwrap());
+        b.send(2, Message::Barrier { epoch: 1 }).unwrap();
+        a.send(2, Message::Barrier { epoch: 1 }).unwrap();
+        let (from, _) = c.recv_match(|from, _| from == 0).unwrap();
+        assert_eq!(from, 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Fault-injection transport wrapper: seeded cross-peer reordering and
+//! duplicate delivery.
+//!
+//! Janus's protocols assume *per-pair FIFO* delivery (TCP semantics) but
+//! make no assumption about ordering **across** peers, and the matching
+//! receiver ([`crate::comm::Comm`]) must tolerate duplicates of
+//! idempotent control traffic. [`ChaosTransport`] stresses exactly those
+//! properties: it buffers incoming messages and releases them in a
+//! seeded, jittered order that preserves each sender's FIFO but
+//! interleaves senders adversarially, and can duplicate barrier
+//! messages. Collectives and the training engines must produce identical
+//! results under it (see tests here and in `janus-core`).
+
+use crate::message::Message;
+use crate::transport::{CommError, Transport};
+use rand_chacha_lite::Lcg;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// A tiny deterministic LCG so this module needs no extra dependencies.
+mod rand_chacha_lite {
+    /// Linear congruential generator (Numerical Recipes constants).
+    pub struct Lcg(pub u64);
+
+    impl Lcg {
+        /// Next raw value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+
+        /// Uniform value in `0..n`.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() >> 16) as usize % n.max(1)
+        }
+
+        /// Bernoulli draw with probability `p`.
+        pub fn chance(&mut self, p: f64) -> bool {
+            let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            u < p
+        }
+    }
+}
+
+/// Fault configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// RNG seed (per endpoint; mix the rank in for diversity).
+    pub seed: u64,
+    /// Probability that a receive is deferred in favour of a later
+    /// message from a *different* peer (cross-peer reordering).
+    pub reorder: f64,
+    /// Probability of delivering an extra copy of a `Barrier` message
+    /// (duplicate delivery of idempotent control traffic).
+    pub duplicate_barrier: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig { seed: 0xC0FFEE, reorder: 0.3, duplicate_barrier: 0.1 }
+    }
+}
+
+/// Transport wrapper injecting cross-peer reordering and duplicates.
+pub struct ChaosTransport<T: Transport> {
+    inner: T,
+    cfg: ChaosConfig,
+    state: RefCell<ChaosState>,
+}
+
+struct ChaosState {
+    rng: Lcg,
+    /// Messages pulled from the inner transport but not yet delivered.
+    held: VecDeque<(usize, Message)>,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wrap `inner` with the given fault profile.
+    pub fn new(inner: T, cfg: ChaosConfig) -> Self {
+        let seed = cfg.seed ^ (inner.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        ChaosTransport {
+            inner,
+            cfg,
+            state: RefCell::new(ChaosState { rng: Lcg(seed), held: VecDeque::new() }),
+        }
+    }
+
+    /// Pick a held message to deliver, preserving per-sender FIFO: always
+    /// the *earliest* held message of the chosen sender.
+    fn pop_held(&self, state: &mut ChaosState) -> Option<(usize, Message)> {
+        if state.held.is_empty() {
+            return None;
+        }
+        // Choose a sender among those with held messages.
+        let mut senders: Vec<usize> = state.held.iter().map(|(f, _)| *f).collect();
+        senders.sort_unstable();
+        senders.dedup();
+        let sender = senders[state.rng.below(senders.len())];
+        let pos = state
+            .held
+            .iter()
+            .position(|(f, _)| *f == sender)
+            .expect("sender has a held message");
+        state.held.remove(pos)
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
+        self.inner.send(to, msg)
+    }
+
+    fn recv(&self) -> Result<(usize, Message), CommError> {
+        let mut state = self.state.borrow_mut();
+        // Pull everything immediately available so reordering has choices.
+        while let Some(m) = self.inner.try_recv()? {
+            state.held.push_back(m);
+        }
+        // Maybe hold out for one more message before delivering.
+        if state.held.is_empty() || state.rng.chance(self.cfg.reorder) {
+            match self.inner.try_recv()? {
+                Some(m) => state.held.push_back(m),
+                None if state.held.is_empty() => {
+                    // Nothing buffered at all: block on the inner
+                    // transport.
+                    let m = self.inner.recv()?;
+                    state.held.push_back(m);
+                }
+                None => {}
+            }
+        }
+        let (from, msg) = self.pop_held(&mut state).expect("held is non-empty here");
+        // Duplicate idempotent barrier traffic occasionally.
+        if matches!(msg, Message::Barrier { .. }) && state.rng.chance(self.cfg.duplicate_barrier)
+        {
+            state.held.push_back((from, msg.clone()));
+        }
+        Ok((from, msg))
+    }
+
+    fn try_recv(&self) -> Result<Option<(usize, Message)>, CommError> {
+        let mut state = self.state.borrow_mut();
+        while let Some(m) = self.inner.try_recv()? {
+            state.held.push_back(m);
+        }
+        Ok(self.pop_held(&mut state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{all_to_all, barrier};
+    use crate::local::local_mesh;
+    use crate::runtime::run_on;
+
+    fn chaos_mesh(world: usize, seed: u64) -> Vec<ChaosTransport<crate::local::LocalTransport>> {
+        local_mesh(world)
+            .into_iter()
+            .map(|t| {
+                ChaosTransport::new(
+                    t,
+                    ChaosConfig { seed, reorder: 0.5, duplicate_barrier: 0.0 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn per_sender_fifo_is_preserved() {
+        let mut mesh = chaos_mesh(2, 7);
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        for i in 0..50u64 {
+            a.send(1, Message::Barrier { epoch: i }).unwrap();
+        }
+        let mut last = None;
+        for _ in 0..50 {
+            match b.recv().unwrap() {
+                (0, Message::Barrier { epoch }) => {
+                    if let Some(prev) = last {
+                        assert!(epoch > prev, "FIFO violated: {epoch} after {prev}");
+                    }
+                    last = Some(epoch);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_survive_reordering() {
+        for seed in [1u64, 2, 3] {
+            let out = run_on(chaos_mesh(4, seed), |comm| {
+                barrier(&comm, 0).unwrap();
+                let me = comm.rank() as u8;
+                let r = all_to_all(&comm, 1, vec![vec![me; 3]; 4]).unwrap();
+                barrier(&comm, 2).unwrap();
+                r
+            });
+            for (rank, received) in out.iter().enumerate() {
+                let _ = rank;
+                for (from, chunk) in received.iter().enumerate() {
+                    assert_eq!(chunk, &vec![from as u8; 3]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_barriers_are_tolerated() {
+        let mesh: Vec<_> = local_mesh(3)
+            .into_iter()
+            .map(|t| {
+                ChaosTransport::new(
+                    t,
+                    ChaosConfig { seed: 11, reorder: 0.4, duplicate_barrier: 0.8 },
+                )
+            })
+            .collect();
+        // Distinct epochs keep duplicated markers claimable; the `seen`
+        // filter in `barrier` ignores repeats from the same peer.
+        run_on(mesh, |comm| {
+            for epoch in 0..5 {
+                barrier(&comm, epoch).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let run_once = || {
+            run_on(chaos_mesh(3, 42), |comm| {
+                let me = comm.rank() as u8;
+                all_to_all(&comm, 0, vec![vec![me]; 3]).unwrap()
+            })
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

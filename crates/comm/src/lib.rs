@@ -1,0 +1,50 @@
+//! Message-passing runtime for the numerical Janus engines.
+//!
+//! The paper implements pull-based communication on top of BytePS
+//! `send`/`recv` with a socket control plane and an RDMA data plane
+//! (§6). This crate provides the equivalent runtime at laptop scale:
+//!
+//! * [`message`] — the wire vocabulary: pull requests, expert payloads,
+//!   pre-reduced gradients, token dispatch/return, barriers.
+//! * [`codec`] — a compact binary encoding plus length-prefixed framing
+//!   (`u32` big-endian header) over any `Read`/`Write` pair.
+//! * [`transport`] — the [`Transport`] trait: rank-addressed reliable
+//!   message delivery.
+//! * [`local`] — an in-process mesh over crossbeam channels (default for
+//!   tests and the numerical-equivalence engines).
+//! * [`tcp`] — a real TCP full mesh over `std::net` with one reader
+//!   thread per peer; exercises the framing path end to end.
+//! * [`comm`] — [`comm::Comm`], a matching receiver over any transport
+//!   (out-of-order messages are buffered until someone asks for them).
+//! * [`collectives`] — All-to-All, barrier, and gather-to-owner built on
+//!   `Comm`, used by the expert-centric baseline engine.
+//! * [`faulty`] — a fault-injection wrapper (seeded cross-peer
+//!   reordering, duplicate barriers) for stressing protocol assumptions.
+//! * [`runtime`] — scoped worker threads, one per simulated GPU.
+//!
+//! ```
+//! use janus_comm::runtime::run_workers;
+//! use janus_comm::collectives::all_to_all;
+//!
+//! let outputs = run_workers(3, |comm| {
+//!     let chunks: Vec<Vec<u8>> =
+//!         (0..3).map(|peer| vec![comm.rank() as u8, peer as u8]).collect();
+//!     let received = all_to_all(&comm, 0, chunks).unwrap();
+//!     received.iter().map(|c| c[0] as usize).sum::<usize>()
+//! });
+//! assert_eq!(outputs, vec![3, 3, 3]); // each rank heard from 0+1+2
+//! ```
+
+pub mod codec;
+pub mod faulty;
+pub mod collectives;
+pub mod comm;
+pub mod local;
+pub mod message;
+pub mod runtime;
+pub mod tcp;
+pub mod transport;
+
+pub use comm::Comm;
+pub use message::Message;
+pub use transport::{CommError, Transport};

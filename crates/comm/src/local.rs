@@ -1,0 +1,119 @@
+//! In-process transport over crossbeam channels.
+
+use crate::message::Message;
+use crate::transport::{CommError, Transport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// One endpoint of an in-process mesh. Cheap to create; delivery is
+/// ordered per sender-receiver pair (channel semantics), matching TCP.
+pub struct LocalTransport {
+    rank: usize,
+    /// `senders[j]` delivers into rank j's inbox.
+    senders: Vec<Sender<(usize, Message)>>,
+    inbox: Receiver<(usize, Message)>,
+}
+
+/// Build a fully connected in-process mesh of `world` endpoints.
+pub fn local_mesh(world: usize) -> Vec<LocalTransport> {
+    assert!(world > 0, "world must be non-empty");
+    let mut senders = Vec::with_capacity(world);
+    let mut inboxes = Vec::with_capacity(world);
+    for _ in 0..world {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| LocalTransport { rank, senders: senders.clone(), inbox })
+        .collect()
+}
+
+impl Transport for LocalTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
+        assert!(to < self.senders.len(), "rank {to} out of range");
+        self.senders[to].send((self.rank, msg)).map_err(|_| CommError::Disconnected)
+    }
+
+    fn recv(&self) -> Result<(usize, Message), CommError> {
+        self.inbox.recv().map_err(|_| CommError::Disconnected)
+    }
+
+    fn try_recv(&self) -> Result<Option<(usize, Message)>, CommError> {
+        use crossbeam::channel::TryRecvError;
+        match self.inbox.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn mesh_delivers_between_ranks() {
+        let mut mesh = local_mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        assert_eq!(a.rank(), 0);
+        assert_eq!(b.world_size(), 2);
+        a.send(1, Message::Barrier { epoch: 7 }).unwrap();
+        let (from, msg) = b.recv().unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(msg, Message::Barrier { epoch: 7 });
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let mesh = local_mesh(1);
+        let a = &mesh[0];
+        a.send(0, Message::Shutdown).unwrap();
+        assert_eq!(a.recv().unwrap(), (0, Message::Shutdown));
+    }
+
+    #[test]
+    fn per_pair_ordering_preserved() {
+        let mut mesh = local_mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        for i in 0..10u64 {
+            a.send(1, Message::Barrier { epoch: i }).unwrap();
+        }
+        for i in 0..10u64 {
+            assert_eq!(b.recv().unwrap().1, Message::Barrier { epoch: i });
+        }
+    }
+
+    #[test]
+    fn payloads_pass_through_untouched() {
+        let mut mesh = local_mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        let data = Bytes::from((0..=255u8).collect::<Vec<_>>());
+        a.send(1, Message::ExpertPayload { block: 0, expert: 1, data: data.clone() }).unwrap();
+        match b.recv().unwrap().1 {
+            Message::ExpertPayload { data: got, .. } => assert_eq!(got, data),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_to_unknown_rank_panics() {
+        let mesh = local_mesh(1);
+        let _ = mesh[0].send(3, Message::Shutdown);
+    }
+}

@@ -1,0 +1,296 @@
+//! Wire vocabulary of the Janus data and control planes.
+
+use crate::transport::CommError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One message between workers. Bulk payloads (`Bytes`) hold serialized
+/// expert weights, gradients, or token batches; the runtime never looks
+/// inside them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Data-centric control plane: "send me expert `expert` of MoE block
+    /// `block`" (the paper's pull request).
+    PullRequest {
+        /// MoE block index.
+        block: u32,
+        /// Global expert index.
+        expert: u32,
+    },
+    /// Data-centric data plane: the requested expert's weights.
+    ExpertPayload {
+        /// MoE block index.
+        block: u32,
+        /// Global expert index.
+        expert: u32,
+        /// Serialized weights.
+        data: Bytes,
+    },
+    /// Data-centric backward: a (pre-reduced) gradient for an expert,
+    /// carrying how many workers' contributions it already aggregates.
+    GradPush {
+        /// MoE block index.
+        block: u32,
+        /// Global expert index.
+        expert: u32,
+        /// Number of per-worker contributions already summed in.
+        contributions: u32,
+        /// Serialized gradient.
+        data: Bytes,
+    },
+    /// Expert-centric: tokens routed to a peer (one All-to-All lane).
+    TokenDispatch {
+        /// MoE block index.
+        block: u32,
+        /// Collective sequence number (disambiguates successive
+        /// All-to-Alls of the same block in fwd/bwd).
+        seq: u32,
+        /// Serialized token batch.
+        data: Bytes,
+    },
+    /// Expert-centric: processed tokens returned to their origin.
+    TokenReturn {
+        /// MoE block index.
+        block: u32,
+        /// Collective sequence number.
+        seq: u32,
+        /// Serialized token batch.
+        data: Bytes,
+    },
+    /// Synchronization marker (end of iteration, cache invalidation).
+    Barrier {
+        /// Monotone barrier epoch.
+        epoch: u64,
+    },
+    /// Generic collective payload used by [`crate::collectives`].
+    Collective {
+        /// Operation sequence number.
+        seq: u64,
+        /// Chunk payload.
+        data: Bytes,
+    },
+    /// Orderly teardown of a peer connection.
+    Shutdown,
+}
+
+const TAG_PULL: u8 = 1;
+const TAG_EXPERT: u8 = 2;
+const TAG_GRAD: u8 = 3;
+const TAG_DISPATCH: u8 = 4;
+const TAG_RETURN: u8 = 5;
+const TAG_BARRIER: u8 = 6;
+const TAG_COLLECTIVE: u8 = 7;
+const TAG_SHUTDOWN: u8 = 8;
+
+impl Message {
+    /// Encode into a byte buffer (framing is added separately by
+    /// [`crate::codec`]).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16 + self.payload_len());
+        match self {
+            Message::PullRequest { block, expert } => {
+                b.put_u8(TAG_PULL);
+                b.put_u32(*block);
+                b.put_u32(*expert);
+            }
+            Message::ExpertPayload { block, expert, data } => {
+                b.put_u8(TAG_EXPERT);
+                b.put_u32(*block);
+                b.put_u32(*expert);
+                put_bytes(&mut b, data);
+            }
+            Message::GradPush { block, expert, contributions, data } => {
+                b.put_u8(TAG_GRAD);
+                b.put_u32(*block);
+                b.put_u32(*expert);
+                b.put_u32(*contributions);
+                put_bytes(&mut b, data);
+            }
+            Message::TokenDispatch { block, seq, data } => {
+                b.put_u8(TAG_DISPATCH);
+                b.put_u32(*block);
+                b.put_u32(*seq);
+                put_bytes(&mut b, data);
+            }
+            Message::TokenReturn { block, seq, data } => {
+                b.put_u8(TAG_RETURN);
+                b.put_u32(*block);
+                b.put_u32(*seq);
+                put_bytes(&mut b, data);
+            }
+            Message::Barrier { epoch } => {
+                b.put_u8(TAG_BARRIER);
+                b.put_u64(*epoch);
+            }
+            Message::Collective { seq, data } => {
+                b.put_u8(TAG_COLLECTIVE);
+                b.put_u64(*seq);
+                put_bytes(&mut b, data);
+            }
+            Message::Shutdown => b.put_u8(TAG_SHUTDOWN),
+        }
+        b.freeze()
+    }
+
+    /// Decode a buffer produced by [`Message::encode`].
+    pub fn decode(mut buf: Bytes) -> Result<Message, CommError> {
+        if buf.remaining() < 1 {
+            return Err(CommError::Decode("empty message".into()));
+        }
+        let tag = buf.get_u8();
+        let msg = match tag {
+            TAG_PULL => {
+                need(&buf, 8)?;
+                Message::PullRequest { block: buf.get_u32(), expert: buf.get_u32() }
+            }
+            TAG_EXPERT => {
+                need(&buf, 8)?;
+                let block = buf.get_u32();
+                let expert = buf.get_u32();
+                Message::ExpertPayload { block, expert, data: take_bytes(&mut buf)? }
+            }
+            TAG_GRAD => {
+                need(&buf, 12)?;
+                let block = buf.get_u32();
+                let expert = buf.get_u32();
+                let contributions = buf.get_u32();
+                Message::GradPush { block, expert, contributions, data: take_bytes(&mut buf)? }
+            }
+            TAG_DISPATCH => {
+                need(&buf, 8)?;
+                let block = buf.get_u32();
+                let seq = buf.get_u32();
+                Message::TokenDispatch { block, seq, data: take_bytes(&mut buf)? }
+            }
+            TAG_RETURN => {
+                need(&buf, 8)?;
+                let block = buf.get_u32();
+                let seq = buf.get_u32();
+                Message::TokenReturn { block, seq, data: take_bytes(&mut buf)? }
+            }
+            TAG_BARRIER => {
+                need(&buf, 8)?;
+                Message::Barrier { epoch: buf.get_u64() }
+            }
+            TAG_COLLECTIVE => {
+                need(&buf, 8)?;
+                let seq = buf.get_u64();
+                Message::Collective { seq, data: take_bytes(&mut buf)? }
+            }
+            TAG_SHUTDOWN => Message::Shutdown,
+            other => return Err(CommError::Decode(format!("unknown message tag {other}"))),
+        };
+        if buf.has_remaining() {
+            return Err(CommError::Decode(format!(
+                "{} trailing bytes after message",
+                buf.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+
+    /// Bulk payload size, for logging and traffic accounting.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Message::ExpertPayload { data, .. }
+            | Message::GradPush { data, .. }
+            | Message::TokenDispatch { data, .. }
+            | Message::TokenReturn { data, .. }
+            | Message::Collective { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+}
+
+fn put_bytes(b: &mut BytesMut, data: &Bytes) {
+    b.put_u32(data.len() as u32);
+    b.put_slice(data);
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CommError> {
+    if buf.remaining() < n {
+        Err(CommError::Decode(format!(
+            "message truncated: need {n} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn take_bytes(buf: &mut Bytes) -> Result<Bytes, CommError> {
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    need(buf, len)?;
+    Ok(buf.split_to(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let encoded = msg.encode();
+        let decoded = Message::decode(encoded).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        roundtrip(Message::PullRequest { block: 3, expert: 17 });
+        roundtrip(Message::ExpertPayload {
+            block: 1,
+            expert: 2,
+            data: Bytes::from(vec![1, 2, 3, 4, 5]),
+        });
+        roundtrip(Message::GradPush {
+            block: 0,
+            expert: 31,
+            contributions: 8,
+            data: Bytes::from(vec![0u8; 100]),
+        });
+        roundtrip(Message::TokenDispatch { block: 5, seq: 9, data: Bytes::from(vec![7; 16]) });
+        roundtrip(Message::TokenReturn { block: 5, seq: 10, data: Bytes::new() });
+        roundtrip(Message::Barrier { epoch: u64::MAX });
+        roundtrip(Message::Collective { seq: 42, data: Bytes::from(vec![9; 3]) });
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn payload_len_reports_bulk_size() {
+        let m = Message::ExpertPayload { block: 0, expert: 0, data: Bytes::from(vec![0; 77]) };
+        assert_eq!(m.payload_len(), 77);
+        assert_eq!(Message::Shutdown.payload_len(), 0);
+    }
+
+    #[test]
+    fn decode_rejects_empty() {
+        assert!(matches!(Message::decode(Bytes::new()), Err(CommError::Decode(_))));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let err = Message::decode(Bytes::from(vec![200])).unwrap_err();
+        assert!(err.to_string().contains("unknown message tag"));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut full = Message::ExpertPayload {
+            block: 1,
+            expert: 2,
+            data: Bytes::from(vec![1, 2, 3]),
+        }
+        .encode()
+        .to_vec();
+        full.truncate(full.len() - 2);
+        assert!(Message::decode(Bytes::from(full)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut full = Message::Barrier { epoch: 1 }.encode().to_vec();
+        full.push(0xFF);
+        let err = Message::decode(Bytes::from(full)).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+}

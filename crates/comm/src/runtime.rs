@@ -1,0 +1,85 @@
+//! Scoped worker threads, one per simulated GPU.
+
+use crate::comm::Comm;
+use crate::local::{local_mesh, LocalTransport};
+use crate::transport::Transport;
+
+/// Run one closure per endpoint on its own thread and collect results in
+/// rank order. Panics in any worker propagate to the caller.
+pub fn run_on<T, R, F>(endpoints: Vec<T>, f: F) -> Vec<R>
+where
+    T: Transport + 'static,
+    R: Send,
+    F: Fn(Comm<T>) -> R + Sync,
+{
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, t)| {
+                std::thread::Builder::new()
+                    .name(format!("worker-{rank}"))
+                    .spawn_scoped(scope, move || f(Comm::new(t)))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    })
+}
+
+/// Run `world` workers over an in-process channel mesh.
+pub fn run_workers<R, F>(world: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Comm<LocalTransport>) -> R + Sync,
+{
+    run_on(local_mesh(world), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let out = run_workers(5, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn workers_can_exchange_messages() {
+        let out = run_workers(2, |comm| {
+            let peer = 1 - comm.rank();
+            comm.send(peer, Message::Barrier { epoch: comm.rank() as u64 }).unwrap();
+            let (from, msg) = comm.recv_any().unwrap();
+            assert_eq!(from, peer);
+            msg
+        });
+        assert_eq!(out[0], Message::Barrier { epoch: 1 });
+        assert_eq!(out[1], Message::Barrier { epoch: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn worker_panics_propagate() {
+        run_workers(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    fn runs_over_tcp_mesh_too() {
+        let endpoints = crate::tcp::tcp_mesh_localhost(3).unwrap();
+        let out = run_on(endpoints, |comm| {
+            crate::collectives::all_to_all(&comm, 0, vec![vec![comm.rank() as u8]; 3])
+                .unwrap()
+        });
+        for received in out {
+            assert_eq!(received, vec![vec![0u8], vec![1u8], vec![2u8]]);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! TCP full-mesh transport over `std::net`.
+//!
+//! Every pair of ranks shares one TCP connection carrying length-prefixed
+//! [`Message`] frames (see [`crate::codec`]). Rank `i` connects to every
+//! lower rank and accepts from every higher rank; a 4-byte handshake
+//! identifies the connector. One reader thread per peer demultiplexes
+//! incoming frames into the endpoint's inbox.
+//!
+//! This is the same control-plane/data-plane split the paper builds on
+//! BytePS (§6), collapsed onto one socket per pair: requests and payloads
+//! are distinct message types rather than distinct fabrics.
+
+use crate::codec::{read_message, write_message, DEFAULT_MAX_FRAME};
+use crate::message::Message;
+use crate::transport::{CommError, Transport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+/// A TCP mesh endpoint.
+pub struct TcpTransport {
+    rank: usize,
+    world: usize,
+    /// Write half per peer (`None` at our own rank).
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    /// Loopback for self-sends.
+    self_tx: Sender<(usize, Message)>,
+    inbox: Receiver<(usize, Message)>,
+}
+
+impl TcpTransport {
+    /// Build one endpoint given a pre-bound listener and every rank's
+    /// address. Blocks until the full mesh is connected.
+    pub fn from_listener(
+        rank: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+    ) -> Result<Self, CommError> {
+        let world = addrs.len();
+        assert!(rank < world, "rank out of range");
+        let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+
+        // Connect to every lower rank (they bound their listeners first).
+        for (j, addr) in addrs.iter().enumerate().take(rank) {
+            let mut stream = connect_with_retry(*addr)?;
+            stream.set_nodelay(true)?;
+            stream.write_all(&(rank as u32).to_be_bytes())?;
+            stream.flush()?;
+            streams[j] = Some(stream);
+        }
+        // Accept from every higher rank; the handshake tells us which.
+        for _ in rank + 1..world {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut hs = [0u8; 4];
+            stream.read_exact(&mut hs)?;
+            let peer = u32::from_be_bytes(hs) as usize;
+            if peer <= rank || peer >= world {
+                return Err(CommError::Decode(format!("bad handshake rank {peer}")));
+            }
+            if streams[peer].is_some() {
+                return Err(CommError::Decode(format!("duplicate connection from rank {peer}")));
+            }
+            streams[peer] = Some(stream);
+        }
+
+        let (tx, inbox) = unbounded::<(usize, Message)>();
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(world);
+        for (peer, slot) in streams.into_iter().enumerate() {
+            match slot {
+                None => writers.push(None),
+                Some(stream) => {
+                    let reader = stream.try_clone()?;
+                    spawn_reader(peer, reader, tx.clone());
+                    writers.push(Some(Mutex::new(stream)));
+                }
+            }
+        }
+        Ok(TcpTransport { rank, world, writers, self_tx: tx, inbox })
+    }
+
+    /// Orderly teardown: shut down every connection's write half so peer
+    /// readers observe EOF at a frame boundary.
+    pub fn close(&self) {
+        for w in self.writers.iter().flatten() {
+            let _ = w.lock().shutdown(std::net::Shutdown::Write);
+        }
+    }
+}
+
+fn spawn_reader(peer: usize, mut stream: TcpStream, tx: Sender<(usize, Message)>) {
+    thread::Builder::new()
+        .name(format!("tcp-reader-{peer}"))
+        .spawn(move || loop {
+            match read_message(&mut stream, DEFAULT_MAX_FRAME) {
+                Ok(Some(msg)) => {
+                    if tx.send((peer, msg)).is_err() {
+                        return; // endpoint dropped
+                    }
+                }
+                // Clean EOF or any error: stop reading. Dropping this tx
+                // clone eventually disconnects the inbox when all readers
+                // are gone and the endpoint itself is dropped.
+                Ok(None) | Err(_) => return,
+            }
+        })
+        .expect("spawn tcp reader thread");
+}
+
+fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, CommError> {
+    let mut delay = Duration::from_millis(5);
+    for _ in 0..60 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(_) => {
+                thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+    Err(CommError::Io(std::io::Error::new(
+        std::io::ErrorKind::ConnectionRefused,
+        format!("could not connect to {addr}"),
+    )))
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
+        assert!(to < self.world, "rank {to} out of range");
+        if to == self.rank {
+            return self.self_tx.send((self.rank, msg)).map_err(|_| CommError::Disconnected);
+        }
+        let writer = self.writers[to].as_ref().expect("non-self rank must have a stream");
+        let mut stream = writer.lock();
+        write_message(&mut *stream, &msg)
+    }
+
+    fn recv(&self) -> Result<(usize, Message), CommError> {
+        self.inbox.recv().map_err(|_| CommError::Disconnected)
+    }
+
+    fn try_recv(&self) -> Result<Option<(usize, Message)>, CommError> {
+        use crossbeam::channel::TryRecvError;
+        match self.inbox.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+}
+
+/// Bind `world` loopback listeners on ephemeral ports and assemble the
+/// full mesh, returning endpoints in rank order.
+pub fn tcp_mesh_localhost(world: usize) -> Result<Vec<TcpTransport>, CommError> {
+    assert!(world > 0);
+    let listeners: Vec<TcpListener> = (0..world)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<SocketAddr> =
+        listeners.iter().map(|l| l.local_addr()).collect::<Result<_, _>>()?;
+
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(rank, listener)| {
+            let addrs = addrs.clone();
+            thread::Builder::new()
+                .name(format!("tcp-mesh-setup-{rank}"))
+                .spawn(move || TcpTransport::from_listener(rank, listener, &addrs))
+                .expect("spawn mesh setup thread")
+        })
+        .collect();
+
+    let mut endpoints = Vec::with_capacity(world);
+    for h in handles {
+        endpoints.push(h.join().expect("mesh setup thread panicked")?);
+    }
+    Ok(endpoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn two_rank_mesh_round_trip() {
+        let mut mesh = tcp_mesh_localhost(2).unwrap();
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        a.send(1, Message::PullRequest { block: 1, expert: 5 }).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Message::PullRequest { block: 1, expert: 5 }));
+        b.send(0, Message::ExpertPayload { block: 1, expert: 5, data: Bytes::from(vec![9; 64]) })
+            .unwrap();
+        let (from, msg) = a.recv().unwrap();
+        assert_eq!(from, 1);
+        assert_eq!(msg.payload_len(), 64);
+    }
+
+    #[test]
+    fn four_rank_mesh_all_pairs() {
+        let mesh = tcp_mesh_localhost(4).unwrap();
+        // Every rank sends its rank to every other rank.
+        for t in &mesh {
+            for peer in 0..4 {
+                if peer != t.rank() {
+                    t.send(peer, Message::Barrier { epoch: t.rank() as u64 }).unwrap();
+                }
+            }
+        }
+        for t in &mesh {
+            let mut seen = vec![false; 4];
+            for _ in 0..3 {
+                let (from, msg) = t.recv().unwrap();
+                assert_eq!(msg, Message::Barrier { epoch: from as u64 });
+                assert!(!seen[from], "duplicate from {from}");
+                seen[from] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let mesh = tcp_mesh_localhost(1).unwrap();
+        mesh[0].send(0, Message::Shutdown).unwrap();
+        assert_eq!(mesh[0].recv().unwrap(), (0, Message::Shutdown));
+    }
+
+    #[test]
+    fn large_payload_survives_framing() {
+        let mut mesh = tcp_mesh_localhost(2).unwrap();
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        let data: Vec<u8> = (0..3_000_000u32).map(|i| (i % 251) as u8).collect();
+        a.send(1, Message::Collective { seq: 1, data: Bytes::from(data.clone()) }).unwrap();
+        match b.recv().unwrap().1 {
+            Message::Collective { data: got, .. } => assert_eq!(&got[..], &data[..]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_senders_do_not_interleave_frames() {
+        let mut mesh = tcp_mesh_localhost(2).unwrap();
+        let b = mesh.pop().unwrap();
+        let a = std::sync::Arc::new(mesh.pop().unwrap());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let a = a.clone();
+            joins.push(thread::spawn(move || {
+                for i in 0..50u32 {
+                    let payload = vec![t as u8; 1000 + i as usize];
+                    a.send(
+                        1,
+                        Message::TokenDispatch {
+                            block: t,
+                            seq: i,
+                            data: Bytes::from(payload),
+                        },
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        for _ in 0..200 {
+            let (_, msg) = b.recv().unwrap();
+            match msg {
+                Message::TokenDispatch { block, seq, data } => {
+                    assert_eq!(data.len(), 1000 + seq as usize);
+                    assert!(data.iter().all(|&x| x == block as u8));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The transport abstraction and its error type.
+
+use crate::message::Message;
+use std::fmt;
+use std::io;
+
+/// Errors raised by transports and the layers above them.
+#[derive(Debug)]
+pub enum CommError {
+    /// Underlying socket/channel failure.
+    Io(io::Error),
+    /// A peer hung up while messages were still expected.
+    Disconnected,
+    /// A frame arrived but could not be parsed.
+    Decode(String),
+    /// A frame exceeded the configured maximum size (corrupt length
+    /// header or a hostile peer).
+    FrameTooLarge {
+        /// Claimed frame length.
+        len: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Io(e) => write!(f, "io error: {e}"),
+            CommError::Disconnected => write!(f, "peer disconnected"),
+            CommError::Decode(msg) => write!(f, "decode error: {msg}"),
+            CommError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CommError {
+    fn from(e: io::Error) -> Self {
+        CommError::Io(e)
+    }
+}
+
+/// Rank-addressed, reliable, ordered message delivery between the members
+/// of a fixed-size world. Implementations: [`crate::local::LocalTransport`]
+/// (crossbeam channels) and [`crate::tcp::TcpTransport`] (length-prefixed
+/// frames over `std::net`).
+pub trait Transport: Send {
+    /// This endpoint's rank, in `0..world_size`.
+    fn rank(&self) -> usize;
+
+    /// Number of endpoints in the mesh.
+    fn world_size(&self) -> usize;
+
+    /// Send a message to `to`. Sending to self is allowed and loops back.
+    fn send(&self, to: usize, msg: Message) -> Result<(), CommError>;
+
+    /// Block until the next message arrives, returning `(from, message)`.
+    fn recv(&self) -> Result<(usize, Message), CommError>;
+
+    /// Non-blocking receive: `Ok(None)` when no message is waiting.
+    fn try_recv(&self) -> Result<Option<(usize, Message)>, CommError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CommError::FrameTooLarge { len: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(CommError::Disconnected.to_string().contains("disconnected"));
+        let io_err = CommError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        assert!(std::error::Error::source(&CommError::Disconnected).is_none());
+    }
+}

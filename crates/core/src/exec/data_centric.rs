@@ -1,0 +1,438 @@
+//! Numerical data-centric training iteration (the Janus paradigm).
+//!
+//! Tokens never leave their worker. Per block, each worker computes every
+//! expert over its own routed slots, fetching non-resident expert weights
+//! through the Janus Task Queue machinery:
+//!
+//! * the per-machine [`CacheManager`] deduplicates cross-machine fetches
+//!   (each external expert crosses the fabric once per machine, §5.1.2);
+//! * a designated local worker fetches each external expert for its
+//!   machine and inserts it into the shared cache; siblings poll the
+//!   cache while continuing to serve pull requests (asynchronous
+//!   communication, §5.1.1);
+//! * internal experts are pulled directly from their local owner;
+//! * backward gradients of external experts are pre-reduced by a
+//!   designated local aggregator through [`GradAccumulator`] before one
+//!   message per (machine, expert) returns to the owner; internal
+//!   gradients go straight to the owner;
+//! * owners update weights only after every worker's contribution landed,
+//!   then the cache is invalidated — so no stale weights can leak across
+//!   iterations and the computation is equivalent to the All-to-All
+//!   baseline (paper §3.2).
+
+use crate::exec::model::{loss_and_grad, ExecConfig, WorkerState};
+use crate::exec::weights::{expert_from_bytes, expert_to_bytes, grads_from_bytes, grads_to_bytes};
+use crate::exec::expert_centric::IterOutput;
+use crate::queue::{CacheManager, GradAccumulator};
+use janus_comm::{Comm, CommError, Message, Transport};
+use janus_moe::expert::{ExpertCache, ExpertFfn, ExpertGrads};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// State shared by the workers of one machine: the Inter-Node Scheduler's
+/// cache and gradient pre-reduction accumulator.
+pub struct MachineShared {
+    /// Expert cache, keyed by `(block, expert)`.
+    pub cache: CacheManager<ExpertFfn>,
+    /// Gradient pre-reduction, expecting one contribution per local GPU.
+    pub grads: GradAccumulator<ExpertGrads>,
+}
+
+impl MachineShared {
+    /// Shared state for a machine with `gpus` workers.
+    pub fn new(gpus: usize) -> Self {
+        MachineShared { cache: CacheManager::new(), grads: GradAccumulator::new(gpus) }
+    }
+
+    /// Build one shared state per machine.
+    pub fn for_cluster(cfg: &ExecConfig) -> Vec<Arc<MachineShared>> {
+        (0..cfg.machines).map(|_| Arc::new(MachineShared::new(cfg.gpus_per_machine))).collect()
+    }
+}
+
+/// Gradients accumulating at an expert's owner: running sum plus how many
+/// of the `W` per-worker contributions have arrived.
+type OwnerGrads = Mutex<HashMap<(usize, usize), (ExpertGrads, u32)>>;
+
+struct DcRuntime<'a, T: Transport> {
+    comm: &'a Comm<T>,
+    cfg: ExecConfig,
+    rank: usize,
+    machine: usize,
+    shared: &'a MachineShared,
+    /// Snapshot of owned expert weights served to peers during the
+    /// iteration (updates land only at the end, so serving is stable).
+    serving: Vec<Vec<ExpertFfn>>,
+    owner_grads: OwnerGrads,
+}
+
+impl<'a, T: Transport> DcRuntime<'a, T> {
+    /// Handle one protocol message if it belongs to this engine.
+    /// Returns false for messages some other wait loop should claim.
+    fn service(&self, from: usize, msg: &Message) -> bool {
+        match msg {
+            Message::PullRequest { block, expert } => {
+                let (b, e) = (*block as usize, *expert as usize);
+                assert_eq!(self.cfg.owner_of(e), self.rank, "pull request routed to non-owner");
+                let local = e - self.cfg.owned_experts(self.rank).start;
+                let data = expert_to_bytes(&self.serving[b][local]);
+                self.comm
+                    .send(from, Message::ExpertPayload { block: *block, expert: *expert, data })
+                    .expect("serving an expert payload");
+                true
+            }
+            Message::GradPush { block, expert, contributions, data } => {
+                let (b, e) = (*block as usize, *expert as usize);
+                let grad = grads_from_bytes(data.clone()).expect("decode gradient");
+                if self.cfg.owner_of(e) == self.rank {
+                    self.add_owner_grad(b, e, grad, *contributions);
+                } else {
+                    debug_assert_eq!(
+                        self.cfg.designated_local(self.machine, e),
+                        self.rank,
+                        "gradient push routed to non-aggregator"
+                    );
+                    self.aggregate_external(b, e, grad, *contributions);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn add_owner_grad(&self, b: usize, e: usize, grad: ExpertGrads, contributions: u32) {
+        let mut map = self.owner_grads.lock();
+        match map.get_mut(&(b, e)) {
+            Some((sum, count)) => {
+                sum.accumulate(&grad);
+                *count += contributions;
+            }
+            None => {
+                map.insert((b, e), (grad, contributions));
+            }
+        }
+    }
+
+    /// Fold a local contribution into the machine's pre-reduction; ship
+    /// the pre-reduced gradient to the owner once all local workers have
+    /// contributed.
+    fn aggregate_external(&self, b: usize, e: usize, grad: ExpertGrads, contributions: u32) {
+        debug_assert_eq!(contributions, 1, "aggregators receive raw contributions");
+        if let Some((reduced, n)) =
+            self.shared.grads.add((b, e), grad, |acc, g| acc.accumulate(&g))
+        {
+            let owner = self.cfg.owner_of(e);
+            self.comm
+                .send(
+                    owner,
+                    Message::GradPush {
+                        block: b as u32,
+                        expert: e as u32,
+                        contributions: n as u32,
+                        data: grads_to_bytes(&reduced),
+                    },
+                )
+                .expect("shipping pre-reduced gradient");
+        }
+    }
+
+    /// Fetch one expert from its (remote) owner, serving the protocol
+    /// while waiting.
+    fn pull_expert(&self, b: usize, e: usize) -> Result<ExpertFfn, CommError> {
+        let owner = self.cfg.owner_of(e);
+        debug_assert_ne!(owner, self.rank);
+        self.comm
+            .send(owner, Message::PullRequest { block: b as u32, expert: e as u32 })?;
+        let (_, msg) = self.comm.recv_match_or_consume(
+            |_, m| {
+                matches!(m, Message::ExpertPayload { block, expert, .. }
+                    if *block == b as u32 && *expert == e as u32)
+            },
+            |from, m| self.service(from, m),
+        )?;
+        match msg {
+            Message::ExpertPayload { data, .. } => expert_from_bytes(data),
+            _ => unreachable!("predicate admits only the payload"),
+        }
+    }
+
+    /// Wait for a cache entry inserted by a sibling's fetch, staying
+    /// responsive to the protocol.
+    fn wait_cached(&self, b: usize, e: usize) -> Result<Arc<ExpertFfn>, CommError> {
+        loop {
+            if let Some(v) = self.shared.cache.get((b, e)) {
+                return Ok(v);
+            }
+            let handled = self.comm.service_pass(|from, m| self.service(from, m))?;
+            if handled == 0 {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    /// Barrier that keeps serving while waiting.
+    fn barrier(&self, epoch: u64) -> Result<(), CommError> {
+        let world = self.cfg.world();
+        for peer in 0..world {
+            if peer != self.rank {
+                self.comm.send(peer, Message::Barrier { epoch })?;
+            }
+        }
+        let mut seen = vec![false; world];
+        for _ in 0..world.saturating_sub(1) {
+            let (from, _) = self.comm.recv_match_or_consume(
+                |from, m| {
+                    matches!(m, Message::Barrier { epoch: e } if *e == epoch) && !seen[from]
+                },
+                |from, m| self.service(from, m),
+            )?;
+            seen[from] = true;
+        }
+        Ok(())
+    }
+}
+
+/// Per-block forward bookkeeping: for every expert, the fetched/local
+/// weights, the forward cache, and the token slots `(token, weight)` it
+/// processed.
+struct BlockTapeDc {
+    per_expert: Vec<(Arc<ExpertFfn>, ExpertCache, Vec<(usize, f32)>)>,
+}
+
+/// Run one data-centric training iteration.
+pub fn run_iteration<T: Transport>(
+    comm: &Comm<T>,
+    state: &mut WorkerState,
+    shared: &MachineShared,
+    iter: u64,
+) -> Result<IterOutput, CommError> {
+    let cfg = state.cfg.clone();
+    let rank = state.rank;
+    let machine = cfg.machine_of(rank);
+    let rt = DcRuntime {
+        comm,
+        cfg: cfg.clone(),
+        rank,
+        machine,
+        shared,
+        serving: state.experts.clone(),
+        owner_grads: Mutex::new(HashMap::new()),
+    };
+
+    let mut x = state.inputs.clone();
+    let mut tapes: Vec<BlockTapeDc> = Vec::with_capacity(cfg.blocks);
+
+    // ---- Forward ----
+    for b in 0..cfg.blocks {
+        let routing = state.gates[b].route(&x);
+
+        // Fetch this worker's designated share of the machine's external
+        // experts into the shared cache (the Inter-Node Scheduler's
+        // hierarchical fetch).
+        for e in 0..cfg.experts {
+            let owner = cfg.owner_of(e);
+            if cfg.machine_of(owner) != machine && cfg.designated_local(machine, e) == rank {
+                let weights = rt.pull_expert(b, e)?;
+                shared.cache.insert((b, e), weights);
+            }
+        }
+
+        // Compute every expert over the local slots, experts ascending —
+        // the same accumulation order as the expert-centric combine.
+        let mut y = x.clone();
+        let mut per_expert = Vec::with_capacity(cfg.experts);
+        for e in 0..cfg.experts {
+            let owner = cfg.owner_of(e);
+            let weights: Arc<ExpertFfn> = if owner == rank {
+                Arc::new(state.owned(b, e).clone())
+            } else if cfg.machine_of(owner) == machine {
+                // Internal expert: pull directly from the local owner.
+                Arc::new(rt.pull_expert(b, e)?)
+            } else {
+                rt.wait_cached(b, e)?
+            };
+            let slots = routing.tokens_for(e);
+            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+            let batch = x.gather_rows(&idx);
+            let (y_e, cache) = weights.forward(&batch);
+            let ws: Vec<f32> = slots.iter().map(|(_, w)| *w).collect();
+            y.scatter_add_rows(&idx, &ws, &y_e);
+            per_expert.push((weights, cache, slots));
+        }
+        drop(routing);
+        tapes.push(BlockTapeDc { per_expert });
+        x = y;
+    }
+
+    let (loss, mut dy) = loss_and_grad(&x);
+    let output = x;
+
+    // ---- Backward ----
+    for b in (0..cfg.blocks).rev() {
+        let tape = &tapes[b];
+        let mut dx = dy.clone();
+        for (e, (weights, cache, slots)) in tape.per_expert.iter().enumerate() {
+            // dY for this expert's slots: w · dy[token].
+            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+            let mut dy_e = dy.gather_rows(&idx);
+            for (row, (_, w)) in (0..dy_e.rows()).zip(slots.iter()) {
+                for v in dy_e.row_mut(row) {
+                    *v *= *w;
+                }
+            }
+            let (grad, dx_e) = weights.backward(cache, &dy_e);
+            dx.scatter_add_rows(&idx, &vec![1.0; idx.len()], &dx_e);
+
+            // Route the gradient: own → local sum; internal → owner
+            // directly; external → local aggregator for pre-reduction.
+            let owner = cfg.owner_of(e);
+            if owner == rank {
+                rt.add_owner_grad(b, e, grad, 1);
+            } else if cfg.machine_of(owner) == machine {
+                comm.send(
+                    owner,
+                    Message::GradPush {
+                        block: b as u32,
+                        expert: e as u32,
+                        contributions: 1,
+                        data: grads_to_bytes(&grad),
+                    },
+                )?;
+            } else {
+                let agg = cfg.designated_local(machine, e);
+                if agg == rank {
+                    rt.aggregate_external(b, e, grad, 1);
+                } else {
+                    comm.send(
+                        agg,
+                        Message::GradPush {
+                            block: b as u32,
+                            expert: e as u32,
+                            contributions: 1,
+                            data: grads_to_bytes(&grad),
+                        },
+                    )?;
+                }
+            }
+        }
+        dy = dx;
+    }
+
+    // ---- Update ----
+    // Wait until every owned expert has all W contributions, serving
+    // aggregation and pull traffic meanwhile.
+    let world = cfg.world() as u32;
+    loop {
+        let done = {
+            let map = rt.owner_grads.lock();
+            cfg.owned_experts(rank).all(|e| {
+                (0..cfg.blocks).all(|b| map.get(&(b, e)).is_some_and(|(_, n)| *n == world))
+            })
+        };
+        if done {
+            break;
+        }
+        let handled = comm.service_pass(|from, m| rt.service(from, m))?;
+        if handled == 0 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    {
+        let map = rt.owner_grads.lock();
+        for b in 0..cfg.blocks {
+            for e in cfg.owned_experts(rank) {
+                let (grad, n) = &map[&(b, e)];
+                debug_assert_eq!(*n, world);
+                state.owned_mut(b, e).apply(grad, cfg.lr);
+            }
+        }
+    }
+
+    // End of iteration: synchronize, then invalidate the cache (stale
+    // weights must never survive into the next iteration, §5.1.1).
+    rt.barrier(iter * 2)?;
+    // The machine's first worker clears the shared cache between the two
+    // barriers, so no sibling can still be reading it and no sibling can
+    // race ahead into the next iteration before it is empty.
+    if rank % cfg.gpus_per_machine == 0 {
+        shared.cache.clear_for_next_iteration();
+    }
+    rt.barrier(iter * 2 + 1)?;
+    Ok(IterOutput { output, loss })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_comm::runtime::run_workers;
+    use janus_tensor::Matrix;
+
+    fn run_dc(cfg: &ExecConfig, iters: u64) -> Vec<(Vec<f32>, Vec<Vec<ExpertFfn>>, Matrix)> {
+        let shared = MachineShared::for_cluster(cfg);
+        run_workers(cfg.world(), |comm| {
+            let mut state = WorkerState::init(cfg, comm.rank());
+            let shared = &shared[cfg.machine_of(comm.rank())];
+            let mut losses = Vec::new();
+            let mut last = None;
+            for i in 0..iters {
+                let out = run_iteration(&comm, &mut state, shared, i).unwrap();
+                losses.push(out.loss);
+                last = Some(out.output);
+            }
+            (losses, state.experts, last.unwrap())
+        })
+    }
+
+    #[test]
+    fn iteration_runs_and_loss_decreases() {
+        let cfg = ExecConfig::small();
+        for (losses, _, _) in run_dc(&cfg, 4) {
+            assert!(losses.iter().all(|l| l.is_finite()));
+            assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_confirm_hierarchical_fetching() {
+        let cfg = ExecConfig::small();
+        let shared = MachineShared::for_cluster(&cfg);
+        run_workers(cfg.world(), |comm| {
+            let mut state = WorkerState::init(&cfg, comm.rank());
+            let sh = &shared[cfg.machine_of(comm.rank())];
+            run_iteration(&comm, &mut state, sh, 0).unwrap();
+        });
+        // Each machine has 4 external experts over 2 blocks = 8 fetches;
+        // the sibling worker reads them from the cache (8 hits minimum).
+        for sh in &shared {
+            let (fetches, hits) = sh.cache.stats();
+            assert_eq!(fetches, 8, "one fetch per external expert per block");
+            assert!(hits >= 8, "siblings must hit the cache, got {hits}");
+        }
+    }
+
+    #[test]
+    fn single_machine_configuration_works() {
+        let cfg = ExecConfig {
+            machines: 1,
+            gpus_per_machine: 4,
+            ..ExecConfig::small()
+        };
+        for (losses, _, _) in run_dc(&cfg, 2) {
+            assert!(losses[1] < losses[0]);
+        }
+    }
+
+    #[test]
+    fn single_gpu_per_machine_works() {
+        let cfg = ExecConfig {
+            machines: 4,
+            gpus_per_machine: 1,
+            ..ExecConfig::small()
+        };
+        for (losses, _, _) in run_dc(&cfg, 2) {
+            assert!(losses[1] < losses[0]);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Worker-side model state for the numerical engines.
+//!
+//! The numerical engines exist to demonstrate the paper's §3.2
+//! equivalence claim end to end, so the model is a stack of pure MoE
+//! blocks (`y = x + Σ_k wₖ·expertₖ(x)`, top-k gated). Attention layers
+//! add identical local compute to both paradigms and are omitted; the
+//! simulation engines model their cost instead.
+
+use janus_moe::expert::{ExpertFfn, ExpertGrads};
+use janus_moe::gate::TopKGate;
+use janus_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a numerical training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// Workers (GPUs) per machine.
+    pub gpus_per_machine: usize,
+    /// Token dimension `H`.
+    pub hidden_dim: usize,
+    /// Number of (MoE) blocks.
+    pub blocks: usize,
+    /// Experts per block (divisible by the world size).
+    pub experts: usize,
+    /// Gate fan-out.
+    pub top_k: usize,
+    /// Tokens per worker per iteration.
+    pub tokens: usize,
+    /// Base RNG seed; every worker derives the same weights from it.
+    pub seed: u64,
+    /// SGD learning rate.
+    pub lr: f32,
+}
+
+impl ExecConfig {
+    /// A small default configuration for tests and examples.
+    pub fn small() -> Self {
+        ExecConfig {
+            machines: 2,
+            gpus_per_machine: 2,
+            hidden_dim: 8,
+            blocks: 2,
+            experts: 8,
+            top_k: 2,
+            tokens: 16,
+            seed: 7,
+            lr: 0.05,
+        }
+    }
+
+    /// Total workers.
+    pub fn world(&self) -> usize {
+        self.machines * self.gpus_per_machine
+    }
+
+    /// Experts per worker.
+    pub fn experts_per_worker(&self) -> usize {
+        assert_eq!(self.experts % self.world(), 0, "experts must divide the world size");
+        self.experts / self.world()
+    }
+
+    /// Owner rank of global expert `e`.
+    pub fn owner_of(&self, e: usize) -> usize {
+        e / self.experts_per_worker()
+    }
+
+    /// Machine index of a rank.
+    pub fn machine_of(&self, rank: usize) -> usize {
+        rank / self.gpus_per_machine
+    }
+
+    /// The local rank designated to fetch external expert `e` for its
+    /// machine (round-robin over local workers), and to aggregate its
+    /// gradient pre-reduction.
+    pub fn designated_local(&self, machine: usize, e: usize) -> usize {
+        machine * self.gpus_per_machine + e % self.gpus_per_machine
+    }
+
+    /// Global expert ids owned by `rank`.
+    pub fn owned_experts(&self, rank: usize) -> std::ops::Range<usize> {
+        let per = self.experts_per_worker();
+        rank * per..(rank + 1) * per
+    }
+}
+
+/// One worker's model replica + expert shard.
+pub struct WorkerState {
+    /// Configuration.
+    pub cfg: ExecConfig,
+    /// This worker's rank.
+    pub rank: usize,
+    /// Replicated gates, one per block (identical on every worker).
+    pub gates: Vec<TopKGate>,
+    /// Owned experts: `experts[block][local_index]`.
+    pub experts: Vec<Vec<ExpertFfn>>,
+    /// This worker's token batch.
+    pub inputs: Matrix,
+}
+
+impl WorkerState {
+    /// Deterministic initialization: gates and experts depend only on
+    /// `(seed, block, expert)` — *not* on which worker materializes them —
+    /// so every engine builds bit-identical weights.
+    pub fn init(cfg: &ExecConfig, rank: usize) -> Self {
+        let gates = (0..cfg.blocks)
+            .map(|b| {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xA11CE << 8) ^ b as u64);
+                TopKGate::new(cfg.hidden_dim, cfg.experts, cfg.top_k, &mut rng)
+            })
+            .collect();
+        let experts = (0..cfg.blocks)
+            .map(|b| {
+                cfg.owned_experts(rank)
+                    .map(|e| expert_weights(cfg, b, e))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xDA7A << 16) ^ rank as u64);
+        let inputs = Matrix::uniform(cfg.tokens, cfg.hidden_dim, 1.0, &mut rng);
+        WorkerState { cfg: cfg.clone(), rank, gates, experts, inputs }
+    }
+
+    /// The canonical initial weights of global expert `e` in block `b`.
+    pub fn reference_expert(cfg: &ExecConfig, b: usize, e: usize) -> ExpertFfn {
+        expert_weights(cfg, b, e)
+    }
+
+    /// Mutable access to an owned expert by global id.
+    pub fn owned_mut(&mut self, block: usize, e: usize) -> &mut ExpertFfn {
+        let per = self.cfg.experts_per_worker();
+        assert_eq!(self.cfg.owner_of(e), self.rank, "expert {e} not owned by rank {}", self.rank);
+        &mut self.experts[block][e % per]
+    }
+
+    /// Shared access to an owned expert by global id.
+    pub fn owned(&self, block: usize, e: usize) -> &ExpertFfn {
+        let per = self.cfg.experts_per_worker();
+        assert_eq!(self.cfg.owner_of(e), self.rank, "expert {e} not owned by rank {}", self.rank);
+        &self.experts[block][e % per]
+    }
+}
+
+fn expert_weights(cfg: &ExecConfig, b: usize, e: usize) -> ExpertFfn {
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ 0xE0_0000 ^ ((b as u64) << 32) ^ e as u64);
+    ExpertFfn::new(cfg.hidden_dim, &mut rng)
+}
+
+/// Apply an accumulated gradient (sum over all `W` workers' token slots)
+/// to an owned expert with plain SGD.
+pub fn apply_gradient(expert: &mut ExpertFfn, grad: &ExpertGrads, lr: f32) {
+    expert.apply(grad, lr);
+}
+
+/// The loss used by both engines: `L = ½‖y‖²` over the worker's final
+/// output, whose gradient is simply `y`.
+pub fn loss_and_grad(y: &Matrix) -> (f32, Matrix) {
+    let loss = 0.5 * y.data().iter().map(|v| v * v).sum::<f32>();
+    (loss, y.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_helpers() {
+        let cfg = ExecConfig::small();
+        assert_eq!(cfg.world(), 4);
+        assert_eq!(cfg.experts_per_worker(), 2);
+        assert_eq!(cfg.owner_of(0), 0);
+        assert_eq!(cfg.owner_of(7), 3);
+        assert_eq!(cfg.machine_of(3), 1);
+        assert_eq!(cfg.owned_experts(2), 4..6);
+        assert_eq!(cfg.designated_local(1, 5), 3);
+    }
+
+    #[test]
+    fn init_is_rank_consistent() {
+        let cfg = ExecConfig::small();
+        let w0 = WorkerState::init(&cfg, 0);
+        let w1 = WorkerState::init(&cfg, 1);
+        // Same gates everywhere.
+        assert_eq!(w0.gates[0], w1.gates[0]);
+        // Different input tokens per worker.
+        assert_ne!(w0.inputs, w1.inputs);
+        // Expert weights depend only on (block, expert id).
+        assert_eq!(w1.experts[0][0], WorkerState::reference_expert(&cfg, 0, 2));
+    }
+
+    #[test]
+    fn owned_accessors_check_ownership() {
+        let cfg = ExecConfig::small();
+        let mut w1 = WorkerState::init(&cfg, 1);
+        let _ = w1.owned(0, 2);
+        let _ = w1.owned_mut(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn foreign_expert_access_panics() {
+        let cfg = ExecConfig::small();
+        let w1 = WorkerState::init(&cfg, 1);
+        let _ = w1.owned(0, 0);
+    }
+
+    #[test]
+    fn loss_gradient_is_identity() {
+        let y = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let (l, g) = loss_and_grad(&y);
+        assert!((l - 12.5).abs() < 1e-6);
+        assert_eq!(g, y);
+    }
+}

@@ -1,0 +1,197 @@
+//! Binary serialization of expert weights and gradients for the data
+//! plane.
+//!
+//! Layout (little-endian `f32`, lengths as `u32`): `w1.rows`, `w1.cols`,
+//! `w1.data`, `b1.len`, `b1`, then the same for `w2`/`b2`. The identical
+//! layout is used for [`ExpertGrads`], so the same code paths move
+//! weights forward and gradients backward — exactly the symmetry the
+//! paper exploits ("the size of gradients is the same as the expert
+//! model pulled, and the communication direction is opposite", §5.1.3).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use janus_comm::CommError;
+use janus_moe::expert::{ExpertFfn, ExpertGrads};
+use janus_tensor::Matrix;
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u32(m.rows() as u32);
+    buf.put_u32(m.cols() as u32);
+    for &v in m.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn put_vec(buf: &mut BytesMut, v: &[f32]) {
+    buf.put_u32(v.len() as u32);
+    for &x in v {
+        buf.put_f32_le(x);
+    }
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CommError> {
+    if buf.remaining() < n {
+        Err(CommError::Decode(format!("weight blob truncated: need {n} more bytes")))
+    } else {
+        Ok(())
+    }
+}
+
+fn take_matrix(buf: &mut Bytes) -> Result<Matrix, CommError> {
+    need(buf, 8)?;
+    let rows = buf.get_u32() as usize;
+    let cols = buf.get_u32() as usize;
+    need(buf, rows * cols * 4)?;
+    let data = (0..rows * cols).map(|_| buf.get_f32_le()).collect();
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn take_vec(buf: &mut Bytes) -> Result<Vec<f32>, CommError> {
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    need(buf, len * 4)?;
+    Ok((0..len).map(|_| buf.get_f32_le()).collect())
+}
+
+/// Serialize an expert's weights.
+pub fn expert_to_bytes(e: &ExpertFfn) -> Bytes {
+    let mut buf = BytesMut::with_capacity(e.param_count() * 4 + 16);
+    put_matrix(&mut buf, &e.w1);
+    put_vec(&mut buf, &e.b1);
+    put_matrix(&mut buf, &e.w2);
+    put_vec(&mut buf, &e.b2);
+    buf.freeze()
+}
+
+/// Deserialize an expert's weights.
+pub fn expert_from_bytes(mut buf: Bytes) -> Result<ExpertFfn, CommError> {
+    let w1 = take_matrix(&mut buf)?;
+    let b1 = take_vec(&mut buf)?;
+    let w2 = take_matrix(&mut buf)?;
+    let b2 = take_vec(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(CommError::Decode("trailing bytes after expert weights".into()));
+    }
+    Ok(ExpertFfn { w1, b1, w2, b2 })
+}
+
+/// Serialize an expert gradient (same layout as the weights).
+pub fn grads_to_bytes(g: &ExpertGrads) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_matrix(&mut buf, &g.w1);
+    put_vec(&mut buf, &g.b1);
+    put_matrix(&mut buf, &g.w2);
+    put_vec(&mut buf, &g.b2);
+    buf.freeze()
+}
+
+/// Deserialize an expert gradient.
+pub fn grads_from_bytes(mut buf: Bytes) -> Result<ExpertGrads, CommError> {
+    let w1 = take_matrix(&mut buf)?;
+    let b1 = take_vec(&mut buf)?;
+    let w2 = take_matrix(&mut buf)?;
+    let b2 = take_vec(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(CommError::Decode("trailing bytes after gradient".into()));
+    }
+    Ok(ExpertGrads { w1, b1, w2, b2 })
+}
+
+/// One routed token slot on the wire: the token's index at its origin
+/// worker, the target expert, and the gate's combine weight.
+pub type Slot = (u32, u32, f32);
+
+/// Serialize a token matrix together with slot metadata
+/// `(token_id, expert, weight)` — the expert-centric dispatch payload.
+pub fn tokens_to_bytes(slots: &[Slot], rows: &Matrix) -> Bytes {
+    assert_eq!(slots.len(), rows.rows(), "one metadata slot per row");
+    let mut buf = BytesMut::with_capacity(12 + slots.len() * 12 + rows.data().len() * 4);
+    buf.put_u32(slots.len() as u32);
+    buf.put_u32(rows.cols() as u32);
+    for &(tok, expert, w) in slots {
+        buf.put_u32(tok);
+        buf.put_u32(expert);
+        buf.put_f32_le(w);
+    }
+    for &v in rows.data() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a token matrix with slot metadata.
+pub fn tokens_from_bytes(mut buf: Bytes) -> Result<(Vec<Slot>, Matrix), CommError> {
+    need(&buf, 8)?;
+    let n = buf.get_u32() as usize;
+    let cols = buf.get_u32() as usize;
+    need(&buf, n * 12)?;
+    let slots: Vec<Slot> =
+        (0..n).map(|_| (buf.get_u32(), buf.get_u32(), buf.get_f32_le())).collect();
+    need(&buf, n * cols * 4)?;
+    let data = (0..n * cols).map(|_| buf.get_f32_le()).collect();
+    if buf.has_remaining() {
+        return Err(CommError::Decode("trailing bytes after token batch".into()));
+    }
+    Ok((slots, Matrix::from_vec(n, cols, data)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expert_round_trip_is_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = ExpertFfn::new(6, &mut rng);
+        let back = expert_from_bytes(expert_to_bytes(&e)).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn grads_round_trip_is_exact() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = ExpertFfn::new(4, &mut rng);
+        let x = Matrix::uniform(3, 4, 1.0, &mut rng);
+        let (y, cache) = e.forward(&x);
+        let (g, _) = e.backward(&cache, &y);
+        let back = grads_from_bytes(grads_to_bytes(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn tokens_round_trip_is_exact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows = Matrix::uniform(4, 3, 1.0, &mut rng);
+        let slots = vec![(7, 1, 0.25), (9, 0, 0.75), (0, 3, 1.0), (3, 2, 0.5)];
+        let (s2, r2) = tokens_from_bytes(tokens_to_bytes(&slots, &rows)).unwrap();
+        assert_eq!(s2, slots);
+        assert_eq!(r2, rows);
+    }
+
+    #[test]
+    fn empty_token_batch_round_trips() {
+        let rows = Matrix::zeros(0, 5);
+        let (slots, back) = tokens_from_bytes(tokens_to_bytes(&[], &rows)).unwrap();
+        assert!(slots.is_empty());
+        assert_eq!(back.shape(), (0, 5));
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let e = ExpertFfn::new(4, &mut rng);
+        let full = expert_to_bytes(&e);
+        let cut = full.slice(0..full.len() - 3);
+        assert!(expert_from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let e = ExpertFfn::new(4, &mut rng);
+        let mut v = expert_to_bytes(&e).to_vec();
+        v.push(0);
+        assert!(expert_from_bytes(Bytes::from(v)).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Janus: a unified expert-centric / data-centric MoE training framework.
+//!
+//! This crate implements the paper's contribution on top of the workspace
+//! substrates:
+//!
+//! * [`paradigm`] — the `R = BSk/(4nHE)` gain metric and the per-block
+//!   paradigm choice that makes Janus "unified" (§5.1.3, §7.5).
+//! * [`priority`] — the topology-aware priority strategies: Algorithm 1's
+//!   staggered ring for intra-node pulls and the PCIe-switch-aware split
+//!   for draining the CPU cache (§5.2).
+//! * [`queue`] — the Janus Task Queue components: the credit-based buffer
+//!   of the Intra-Node Scheduler (§5.1.1) and the Cache Manager plus
+//!   gradient pre-reduction of the Inter-Node Scheduler (§5.1.2).
+//! * [`plan`] — compiles a cluster + model + paradigm choice into each
+//!   worker's ordered fetch plan.
+//! * [`sim`] — discrete-event engines that execute one training iteration
+//!   of either paradigm on the [`janus_netsim`] simulator and report
+//!   iteration time, traffic, timelines, and memory (every figure of the
+//!   paper's evaluation is a view over these reports).
+//! * [`exec`] — numerical engines that run real MoE training over
+//!   [`janus_comm`] transports in both paradigms, demonstrating the
+//!   paper's equivalence claim (§3.2) end to end.
+
+pub mod paradigm;
+pub mod plan;
+pub mod priority;
+pub mod queue;
+
+pub mod sim {
+    //! Discrete-event iteration engines (one per paradigm) and reports.
+    pub mod collectives;
+    pub mod common;
+    pub mod data_centric;
+    pub mod engine;
+    pub mod expert_centric;
+    pub mod memory;
+    pub mod report;
+    pub mod setup;
+
+    pub use engine::{simulate_iteration, EngineOpts, ParadigmPolicy};
+    pub use report::IterationReport;
+    pub use setup::SimSetup;
+}
+
+pub mod exec {
+    //! Numerical training engines over real message transports.
+    pub mod data_centric;
+    pub mod expert_centric;
+    pub mod model;
+    pub mod trainer;
+    pub mod weights;
+}
+
+pub use paradigm::{choose_paradigm, Paradigm};

@@ -1,0 +1,148 @@
+//! Paradigm selection: the unified part of Janus.
+//!
+//! Janus evaluates the analytic gain `R = BSk/(4nHE)` for every MoE block
+//! before training starts (§5.1.3). Blocks with `R > 1` use the
+//! data-centric paradigm (move experts), the rest fall back to
+//! expert-centric All-to-All (move tokens). §7.5 notes the measured PCIe
+//! ceiling makes expert-centric preferable already at `R = 1`, so the
+//! threshold is `R > threshold` with `threshold = 1`.
+
+use janus_moe::config::ModelConfig;
+use janus_moe::traffic::r_for_block;
+use serde::{Deserialize, Serialize};
+
+/// Communication paradigm for one MoE block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Paradigm {
+    /// Keep experts in place, All-to-All the tokens.
+    ExpertCentric,
+    /// Keep tokens in place, pull the experts.
+    DataCentric,
+}
+
+/// Paradigm for one block given the cluster shape, using the paper's
+/// `R > 1` rule.
+pub fn choose_paradigm(
+    model: &ModelConfig,
+    block: usize,
+    n_machines: usize,
+    m_gpus: usize,
+) -> Paradigm {
+    choose_with_threshold(model, block, n_machines, m_gpus, 1.0)
+}
+
+/// Paradigm choice with an explicit threshold (exposed for sensitivity
+/// studies; the paper uses 1.0).
+pub fn choose_with_threshold(
+    model: &ModelConfig,
+    block: usize,
+    n_machines: usize,
+    m_gpus: usize,
+    threshold: f64,
+) -> Paradigm {
+    if n_machines <= 1 {
+        // A single machine has no cross-node traffic; All-to-All over
+        // NVLink beats staging experts through CPU memory.
+        return Paradigm::ExpertCentric;
+    }
+    if r_for_block(model, block, n_machines, m_gpus) > threshold {
+        Paradigm::DataCentric
+    } else {
+        Paradigm::ExpertCentric
+    }
+}
+
+/// The per-block plan for a whole model.
+pub fn paradigm_plan(model: &ModelConfig, n_machines: usize, m_gpus: usize) -> Vec<Paradigm> {
+    model
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(b, kind)| {
+            if kind.is_moe() {
+                choose_paradigm(model, b, n_machines, m_gpus)
+            } else {
+                // Dense blocks have no expert communication; tag them
+                // expert-centric (a no-op either way).
+                Paradigm::ExpertCentric
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_moe::config::{pr_moe_transformer_xl, ModelPreset};
+
+    #[test]
+    fn evaluation_models_pick_data_centric_on_4_machines() {
+        for preset in ModelPreset::all() {
+            let model = preset.config(32);
+            for b in model.moe_blocks() {
+                assert_eq!(
+                    choose_paradigm(&model, b, 4, 8),
+                    Paradigm::DataCentric,
+                    "{preset:?} block {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pr_moe_splits_shallow_and_deep_blocks() {
+        // On 2×8 machines the shallow blocks (E = 1) have R = 8 and the
+        // deep ones (E = 4) R = 2. (The paper quotes R = 4 and R = 1,
+        // which correspond to a 4-machine partition of its 16 GPUs; the
+        // split is the same.) With the paper's conservative PCIe-ceiling
+        // threshold (§7.5, R ≤ 2 stays expert-centric) the deep blocks
+        // fall back to All-to-All.
+        let model = pr_moe_transformer_xl(16);
+        let moe = model.moe_blocks();
+        let r = |b: usize| janus_moe::traffic::r_for_block(&model, b, 2, 8);
+        assert!((r(moe[0]) - 8.0).abs() < 1e-9);
+        assert!((r(moe[3]) - 2.0).abs() < 1e-9);
+        assert_eq!(choose_with_threshold(&model, moe[0], 2, 8, 2.0), Paradigm::DataCentric);
+        assert_eq!(choose_with_threshold(&model, moe[1], 2, 8, 2.0), Paradigm::DataCentric);
+        assert_eq!(choose_with_threshold(&model, moe[2], 2, 8, 2.0), Paradigm::ExpertCentric);
+        assert_eq!(choose_with_threshold(&model, moe[3], 2, 8, 2.0), Paradigm::ExpertCentric);
+
+        // Same split on the 32-GPU variant (R = 8 and 2 again, because
+        // batch size doubles with machine count).
+        let model = pr_moe_transformer_xl(32);
+        let moe = model.moe_blocks();
+        assert_eq!(choose_with_threshold(&model, moe[0], 4, 8, 2.0), Paradigm::DataCentric);
+        assert_eq!(choose_with_threshold(&model, moe[3], 4, 8, 2.0), Paradigm::ExpertCentric);
+    }
+
+    #[test]
+    fn single_machine_always_expert_centric() {
+        let model = ModelPreset::MoeTransformerXl.config(16);
+        for b in model.moe_blocks() {
+            assert_eq!(choose_paradigm(&model, b, 1, 16), Paradigm::ExpertCentric);
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_block() {
+        let model = ModelPreset::MoeBert.config(32);
+        let plan = paradigm_plan(&model, 4, 8);
+        assert_eq!(plan.len(), model.blocks.len());
+        for b in model.moe_blocks() {
+            assert_eq!(plan[b], Paradigm::DataCentric);
+        }
+        // Dense blocks tagged expert-centric.
+        assert_eq!(plan[0], Paradigm::ExpertCentric);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let model = ModelPreset::MoeBert.config(32); // R = 5.33 on 4 machines
+        let b = model.moe_blocks()[0];
+        assert_eq!(
+            choose_with_threshold(&model, b, 4, 8, 10.0),
+            Paradigm::ExpertCentric
+        );
+        assert_eq!(choose_with_threshold(&model, b, 4, 8, 5.0), Paradigm::DataCentric);
+    }
+}

@@ -1,0 +1,264 @@
+//! Fetch-plan compilation: who pulls which expert from where, in what
+//! order.
+//!
+//! For one MoE block under the data-centric paradigm, every worker needs
+//! every expert of the block (§5.1: "each worker usually needs to pull
+//! all experts in the expert layer"). The plan splits each worker's needs
+//! into:
+//!
+//! * **own** experts — resident, no communication;
+//! * **internal** experts — owned by other GPUs of the same machine,
+//!   pulled over NVLink in either the naive order (everyone starts at
+//!   rank 0 — paper Figure 7a) or the staggered Algorithm 1 order;
+//! * **external** experts — owned by other machines, fetched once per
+//!   machine into the CPU-side Cache Manager and then copied to each GPU
+//!   over PCIe, optionally with the PCIe-switch-aware half/half split
+//!   (Figures 8-9).
+
+use crate::priority::{internal_pull_order, naive_pull_order, pcie_split};
+use janus_topology::{Cluster, WorkerId};
+use serde::Serialize;
+
+/// One NVLink pull of an internal expert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct InternalPull {
+    /// Global expert index.
+    pub expert: usize,
+    /// GPU holding the expert.
+    pub owner: WorkerId,
+}
+
+/// One worker's ordered fetch plan for one MoE block.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkerFetchPlan {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Experts resident on this worker.
+    pub own: Vec<usize>,
+    /// NVLink pulls, in issue order.
+    pub internal: Vec<InternalPull>,
+    /// External experts this worker copies from the CPU cache via PCIe,
+    /// in issue order.
+    pub external_pcie: Vec<usize>,
+    /// External experts this worker receives from its PCIe-switch peer
+    /// via NVLink (empty when the switch-aware strategy is off or the
+    /// worker has no peer).
+    pub external_peer: Vec<usize>,
+}
+
+/// The machine-level external fetch list plus per-worker plans.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BlockFetchPlan {
+    /// Experts per worker (`E`).
+    pub experts_per_worker: usize,
+    /// Per worker (global rank order).
+    pub workers: Vec<WorkerFetchPlan>,
+    /// Per machine: the external experts its Inter-Node Scheduler fetches
+    /// (each exactly once), with their owners.
+    pub machine_external: Vec<Vec<InternalPull>>,
+}
+
+/// Owner of global expert `e` when `experts_total` experts are divided
+/// evenly over `num_workers` workers in rank order.
+pub fn expert_owner(e: usize, experts_total: usize, num_workers: usize) -> WorkerId {
+    debug_assert!(e < experts_total);
+    let per_worker = experts_total / num_workers;
+    debug_assert!(per_worker * num_workers == experts_total);
+    WorkerId(e / per_worker)
+}
+
+/// Compile the fetch plan for one MoE block with `experts_total` experts.
+///
+/// `topo_aware` toggles both §5.2 strategies (staggered internal order
+/// and PCIe-switch-aware external split) — matching the paper's ablation,
+/// which switches them together.
+pub fn fetch_plan(cluster: &Cluster, experts_total: usize, topo_aware: bool) -> BlockFetchPlan {
+    let num_workers = cluster.num_workers();
+    let m = cluster.gpus_per_machine();
+    assert!(
+        experts_total % num_workers == 0,
+        "{experts_total} experts not divisible across {num_workers} workers"
+    );
+    let e_per = experts_total / num_workers;
+
+    let owned = |w: WorkerId| -> Vec<usize> { (w.0 * e_per..(w.0 + 1) * e_per).collect() };
+
+    let mut workers = Vec::with_capacity(num_workers);
+    for w in cluster.workers() {
+        let machine = cluster.machine_of(w);
+        let r = cluster.local_rank(w);
+
+        // Internal pulls: iterate owners in the chosen order, taking every
+        // expert an owner holds (ascending).
+        let owner_order =
+            if topo_aware { internal_pull_order(r, m) } else { naive_pull_order(r, m) };
+        let mut internal = Vec::with_capacity((m - 1) * e_per);
+        for owner_rank in owner_order {
+            let owner = cluster.worker_at(machine, owner_rank);
+            for expert in owned(owner) {
+                internal.push(InternalPull { expert, owner });
+            }
+        }
+
+        // External experts: everything owned off-machine, ascending.
+        let mut external: Vec<usize> = Vec::new();
+        for e in 0..experts_total {
+            let owner = expert_owner(e, experts_total, num_workers);
+            if cluster.machine_of(owner) != machine {
+                external.push(e);
+            }
+        }
+        let (external_pcie, external_peer) = if topo_aware {
+            let has_peer = cluster.pcie_peer(w).is_some();
+            pcie_split(&external, r.0 % 2, has_peer)
+        } else {
+            (external, Vec::new())
+        };
+
+        workers.push(WorkerFetchPlan {
+            worker: w,
+            own: owned(w),
+            internal,
+            external_pcie,
+            external_peer,
+        });
+    }
+
+    // Machine-level external fetch lists.
+    let mut machine_external = Vec::with_capacity(cluster.num_machines());
+    for machine in cluster.machines() {
+        let mut list = Vec::new();
+        for e in 0..experts_total {
+            let owner = expert_owner(e, experts_total, num_workers);
+            if cluster.machine_of(owner) != machine {
+                list.push(InternalPull { expert: e, owner });
+            }
+        }
+        machine_external.push(list);
+    }
+
+    BlockFetchPlan { experts_per_worker: e_per, workers, machine_external }
+}
+
+impl BlockFetchPlan {
+    /// Every expert a worker will have available, across all sources
+    /// (used by invariants tests and memory accounting).
+    pub fn all_experts_for(&self, w: WorkerId) -> Vec<usize> {
+        let p = &self.workers[w.0];
+        let mut all = p.own.clone();
+        all.extend(p.internal.iter().map(|i| i.expert));
+        all.extend(&p.external_pcie);
+        all.extend(&p.external_peer);
+        all.sort_unstable();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_topology::ClusterSpec;
+
+    fn cluster(n: usize, m: usize) -> Cluster {
+        ClusterSpec::a100(n, m).build()
+    }
+
+    #[test]
+    fn expert_owner_layout() {
+        assert_eq!(expert_owner(0, 32, 32), WorkerId(0));
+        assert_eq!(expert_owner(31, 32, 32), WorkerId(31));
+        assert_eq!(expert_owner(7, 64, 16), WorkerId(1)); // 4 per worker
+    }
+
+    #[test]
+    fn every_worker_sees_every_expert_exactly_once() {
+        for topo in [false, true] {
+            let c = cluster(2, 4);
+            let plan = fetch_plan(&c, 16, topo);
+            for w in c.workers() {
+                let all = plan.all_experts_for(w);
+                assert_eq!(all, (0..16).collect::<Vec<_>>(), "topo={topo}, w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn machine_external_lists_cover_off_machine_experts_once() {
+        let c = cluster(4, 8);
+        let plan = fetch_plan(&c, 32, true);
+        for (mi, list) in plan.machine_external.iter().enumerate() {
+            assert_eq!(list.len(), 32 - 8, "machine {mi} fetches every off-machine expert once");
+            for pull in list {
+                assert_ne!(c.machine_of(pull.owner).0, mi);
+            }
+            let mut experts: Vec<usize> = list.iter().map(|p| p.expert).collect();
+            experts.dedup();
+            assert_eq!(experts.len(), list.len(), "no duplicate fetches");
+        }
+    }
+
+    #[test]
+    fn staggered_internal_order_starts_at_next_rank() {
+        let c = cluster(1, 4);
+        let plan = fetch_plan(&c, 8, true); // E = 2
+        // Worker 1 pulls first from local rank 2 → experts 4, 5.
+        let w1 = &plan.workers[1];
+        assert_eq!(w1.internal[0], InternalPull { expert: 4, owner: WorkerId(2) });
+        assert_eq!(w1.internal[1], InternalPull { expert: 5, owner: WorkerId(2) });
+        // then rank 3, then rank 0.
+        assert_eq!(w1.internal[2].owner, WorkerId(3));
+        assert_eq!(w1.internal[4].owner, WorkerId(0));
+    }
+
+    #[test]
+    fn naive_internal_order_all_start_at_rank_zero() {
+        let c = cluster(1, 4);
+        let plan = fetch_plan(&c, 4, false);
+        for w in 1..4 {
+            assert_eq!(plan.workers[w].internal[0].owner, WorkerId(0));
+        }
+        // Worker 0 starts at rank 1.
+        assert_eq!(plan.workers[0].internal[0].owner, WorkerId(1));
+    }
+
+    #[test]
+    fn pcie_halves_are_complementary_within_a_pair() {
+        let c = cluster(2, 8);
+        let plan = fetch_plan(&c, 32, true);
+        // Workers 0 and 1 share a switch on machine 0.
+        let w0 = &plan.workers[0];
+        let w1 = &plan.workers[1];
+        assert_eq!(w0.external_pcie, w1.external_peer);
+        assert_eq!(w0.external_peer, w1.external_pcie);
+        assert!(!w0.external_pcie.is_empty());
+        assert!(!w0.external_peer.is_empty());
+    }
+
+    #[test]
+    fn non_topo_plan_copies_everything_via_pcie() {
+        let c = cluster(2, 8);
+        let plan = fetch_plan(&c, 32, false);
+        for w in &plan.workers {
+            assert!(w.external_peer.is_empty());
+            assert_eq!(w.external_pcie.len(), 16, "all off-machine experts via PCIe");
+        }
+    }
+
+    #[test]
+    fn single_machine_has_no_external() {
+        let c = cluster(1, 8);
+        let plan = fetch_plan(&c, 16, true);
+        for w in &plan.workers {
+            assert!(w.external_pcie.is_empty() && w.external_peer.is_empty());
+        }
+        assert!(plan.machine_external[0].is_empty());
+    }
+
+    #[test]
+    fn own_experts_match_ownership() {
+        let c = cluster(2, 2);
+        let plan = fetch_plan(&c, 8, true); // E = 2
+        assert_eq!(plan.workers[2].own, vec![4, 5]);
+        assert_eq!(plan.experts_per_worker, 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Topology-aware priority strategies (paper §5.2).
+//!
+//! Two independent strategies:
+//!
+//! 1. **Staggered intra-node pulls** (Algorithm 1): worker `r` pulls
+//!    internal experts starting from local rank `r+1`, wrapping around, so
+//!    at any instant each GPU's NVLink egress serves exactly one peer
+//!    (paper Figure 7b). [`internal_priority`] is the priority function
+//!    `P_i^r`; [`internal_pull_order`] is the resulting order.
+//! 2. **PCIe-switch-aware cache drain** (Figures 8-9): the two GPUs
+//!    behind one PCIe switch split the cached external experts in halves;
+//!    each half crosses PCIe once and reaches the sibling over NVLink.
+//!    [`pcie_split`] computes the halves.
+
+use janus_topology::LocalRank;
+
+/// Priority of pulling an internal expert whose owner has local rank
+/// `owner` into the worker with local rank `r`, on a machine with `m`
+/// GPUs. Smaller is higher priority. This is the paper's `P_i^r` with
+/// `rank(i) = owner`:
+///
+/// ```text
+/// P = owner - r         if owner > r
+/// P = owner + m - r     if owner < r
+/// ```
+///
+/// Pulling from oneself is meaningless; callers never ask for it.
+pub fn internal_priority(owner: LocalRank, r: LocalRank, m: usize) -> usize {
+    debug_assert!(owner != r, "a worker does not pull its own experts");
+    debug_assert!(owner.0 < m && r.0 < m);
+    if owner.0 > r.0 {
+        owner.0 - r.0
+    } else {
+        owner.0 + m - r.0
+    }
+}
+
+/// The staggered pull order for worker `r`: owners `r+1, r+2, …` mod `m`,
+/// skipping `r` itself (paper Algorithm 1).
+pub fn internal_pull_order(r: LocalRank, m: usize) -> Vec<LocalRank> {
+    (1..m).map(|d| LocalRank((r.0 + d) % m)).collect()
+}
+
+/// The naive order every worker uses without the topology-aware strategy
+/// (paper Figure 7a): ascending owner rank, skipping oneself.
+pub fn naive_pull_order(r: LocalRank, m: usize) -> Vec<LocalRank> {
+    (0..m).filter(|&o| o != r.0).map(LocalRank).collect()
+}
+
+/// Split the externally cached experts of one PCIe-switch pair.
+///
+/// `pair_index` is 0 for the lower-ranked GPU of the pair, 1 for the
+/// higher-ranked one. Returns `(via_pcie, via_peer)`: the experts this
+/// GPU copies from CPU memory itself, and the ones it receives from its
+/// sibling over NVLink. The interleaved split keeps the two PCIe streams
+/// and the two NVLink hand-offs overlapped in time (paper Figure 9).
+///
+/// A GPU without a sibling (odd GPU count) copies everything via PCIe:
+/// pass `pair_index = 0` and treat the second half as empty by giving it
+/// `has_peer = false`.
+pub fn pcie_split<T: Copy>(experts: &[T], pair_index: usize, has_peer: bool) -> (Vec<T>, Vec<T>) {
+    assert!(pair_index < 2, "a PCIe switch hosts two GPUs");
+    if !has_peer {
+        return (experts.to_vec(), Vec::new());
+    }
+    let mut mine = Vec::with_capacity(experts.len() / 2 + 1);
+    let mut peers = Vec::with_capacity(experts.len() / 2 + 1);
+    for (i, &e) in experts.iter().enumerate() {
+        if i % 2 == pair_index {
+            mine.push(e);
+        } else {
+            peers.push(e);
+        }
+    }
+    (mine, peers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_matches_paper_formula() {
+        let m = 4;
+        // Worker 1 on a 4-GPU machine: owner 2 → P=1, owner 3 → P=2,
+        // owner 0 → P=3.
+        assert_eq!(internal_priority(LocalRank(2), LocalRank(1), m), 1);
+        assert_eq!(internal_priority(LocalRank(3), LocalRank(1), m), 2);
+        assert_eq!(internal_priority(LocalRank(0), LocalRank(1), m), 3);
+    }
+
+    #[test]
+    fn pull_order_sorts_by_priority() {
+        let m = 8;
+        for r in 0..m {
+            let order = internal_pull_order(LocalRank(r), m);
+            assert_eq!(order.len(), m - 1);
+            let mut prios: Vec<usize> =
+                order.iter().map(|&o| internal_priority(o, LocalRank(r), m)).collect();
+            let sorted = {
+                let mut p = prios.clone();
+                p.sort_unstable();
+                p
+            };
+            assert_eq!(prios, sorted, "order for r={r} not priority-sorted");
+            prios.dedup();
+            assert_eq!(prios.len(), m - 1, "priorities must be distinct");
+        }
+    }
+
+    #[test]
+    fn staggering_gives_each_owner_one_puller_per_step() {
+        // At step s, worker r pulls from (r + 1 + s) mod m. For any fixed
+        // s, the map r → owner is a bijection: no owner serves two pullers
+        // simultaneously (paper Figure 7b).
+        let m = 8;
+        for s in 0..m - 1 {
+            let mut owners_at_step: Vec<usize> = (0..m)
+                .map(|r| internal_pull_order(LocalRank(r), m)[s].0)
+                .collect();
+            owners_at_step.sort_unstable();
+            owners_at_step.dedup();
+            assert_eq!(owners_at_step.len(), m, "step {s} has owner collision");
+        }
+    }
+
+    #[test]
+    fn naive_order_collides_on_owner_zero() {
+        // Everyone except worker 0 starts by pulling from worker 0 —
+        // the Figure 7a congestion.
+        let m = 4;
+        let first_owner: Vec<usize> =
+            (1..m).map(|r| naive_pull_order(LocalRank(r), m)[0].0).collect();
+        assert_eq!(first_owner, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn pcie_split_partitions_and_interleaves() {
+        let experts = [10, 11, 12, 13, 14];
+        let (a_mine, a_peer) = pcie_split(&experts, 0, true);
+        let (b_mine, b_peer) = pcie_split(&experts, 1, true);
+        assert_eq!(a_mine, vec![10, 12, 14]);
+        assert_eq!(a_peer, vec![11, 13]);
+        assert_eq!(b_mine, a_peer);
+        assert_eq!(b_peer, a_mine);
+        // Jointly exhaustive and disjoint.
+        let mut all = a_mine.clone();
+        all.extend(&a_peer);
+        all.sort_unstable();
+        assert_eq!(all, experts.to_vec());
+    }
+
+    #[test]
+    fn pcie_split_without_peer_takes_everything() {
+        let experts = [1, 2, 3];
+        let (mine, peer) = pcie_split(&experts, 0, false);
+        assert_eq!(mine, vec![1, 2, 3]);
+        assert!(peer.is_empty());
+    }
+
+    #[test]
+    fn empty_expert_list_is_fine() {
+        let (mine, peer) = pcie_split::<usize>(&[], 1, true);
+        assert!(mine.is_empty() && peer.is_empty());
+    }
+}

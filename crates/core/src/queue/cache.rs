@@ -1,0 +1,248 @@
+//! The Inter-Node Scheduler's Cache Manager (paper §5.1.2).
+//!
+//! Every machine keeps one cache of experts pulled from other machines.
+//! The first local worker to request an external expert performs the
+//! fetch; concurrent requesters for the same expert block until that
+//! fetch completes and then share the cached copy — so each machine pulls
+//! each external expert at most once per iteration. At the end of an
+//! iteration the cache is cleared ("the workers will clear the cache
+//! because it is stale", §5.1.1).
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key of a cached expert: (MoE block index, global expert index).
+pub type ExpertKey = (usize, usize);
+
+enum Slot<V> {
+    /// Some worker is fetching; others wait.
+    Fetching,
+    /// The expert is available.
+    Ready(Arc<V>),
+}
+
+struct Inner<V> {
+    epoch: u64,
+    slots: HashMap<ExpertKey, Slot<V>>,
+    fetches: u64,
+    hits: u64,
+}
+
+/// A per-machine expert cache with single-flight fetching.
+pub struct CacheManager<V> {
+    inner: Mutex<Inner<V>>,
+    ready: Condvar,
+}
+
+impl<V> Default for CacheManager<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> CacheManager<V> {
+    /// Empty cache at epoch 0.
+    pub fn new() -> Self {
+        CacheManager {
+            inner: Mutex::new(Inner {
+                epoch: 0,
+                slots: HashMap::new(),
+                fetches: 0,
+                hits: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Get `key`, fetching it with `fetch` if absent. Exactly one caller
+    /// runs `fetch` per key per epoch; everyone else blocks and shares
+    /// the result. If the fetcher fails, one waiter is promoted to retry.
+    pub fn get_or_fetch<E>(
+        &self,
+        key: ExpertKey,
+        fetch: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        {
+            let mut inner = self.inner.lock();
+            loop {
+                match inner.slots.get(&key) {
+                    Some(Slot::Ready(v)) => {
+                        let v = v.clone();
+                        inner.hits += 1;
+                        return Ok(v);
+                    }
+                    Some(Slot::Fetching) => {
+                        self.ready.wait(&mut inner);
+                        // Re-check: the fetch may have succeeded, failed
+                        // (slot removed), or the epoch may have moved.
+                    }
+                    None => {
+                        inner.slots.insert(key, Slot::Fetching);
+                        inner.fetches += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        // Fetch outside the lock: other keys keep flowing meanwhile.
+        match fetch() {
+            Ok(v) => {
+                let value = Arc::new(v);
+                let mut inner = self.inner.lock();
+                inner.slots.insert(key, Slot::Ready(value.clone()));
+                self.ready.notify_all();
+                Ok(value)
+            }
+            Err(e) => {
+                let mut inner = self.inner.lock();
+                inner.slots.remove(&key);
+                self.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Insert a value fetched out of band (e.g. by the designated local
+    /// fetcher of this expert), waking any waiters.
+    pub fn insert(&self, key: ExpertKey, value: V) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock();
+        inner.fetches += 1;
+        inner.slots.insert(key, Slot::Ready(value.clone()));
+        self.ready.notify_all();
+        value
+    }
+
+    /// Peek without fetching; counts as a hit when present.
+    pub fn get(&self, key: ExpertKey) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock();
+        match inner.slots.get(&key) {
+            Some(Slot::Ready(v)) => {
+                let v = v.clone();
+                inner.hits += 1;
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// End-of-iteration invalidation: drop every cached expert and bump
+    /// the epoch. Stale experts can never leak into the next iteration.
+    pub fn clear_for_next_iteration(&self) {
+        let mut inner = self.inner.lock();
+        inner.slots.clear();
+        inner.epoch += 1;
+        self.ready.notify_all();
+    }
+
+    /// Current epoch (iterations completed).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// `(fetches, hits)` counters — the hierarchical mechanism's whole
+    /// point is `hits > 0` whenever multiple local workers need the same
+    /// external expert.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.fetches, inner.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn second_get_hits_cache() {
+        let cache: CacheManager<Vec<u8>> = CacheManager::new();
+        let fetched = AtomicUsize::new(0);
+        let fetch = || -> Result<Vec<u8>, ()> {
+            fetched.fetch_add(1, Ordering::SeqCst);
+            Ok(vec![1, 2, 3])
+        };
+        let a = cache.get_or_fetch((0, 5), fetch).unwrap();
+        let b = cache.get_or_fetch((0, 5), || -> Result<Vec<u8>, ()> { panic!("must hit") })
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(fetched.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_fetch_separately() {
+        let cache: CacheManager<u32> = CacheManager::new();
+        cache.get_or_fetch((0, 1), || Ok::<_, ()>(10)).unwrap();
+        cache.get_or_fetch((1, 1), || Ok::<_, ()>(20)).unwrap();
+        assert_eq!(*cache.get((0, 1)).unwrap(), 10);
+        assert_eq!(*cache.get((1, 1)).unwrap(), 20);
+        // Two distinct fetches; the two successful peeks count as hits.
+        assert_eq!(cache.stats(), (2, 2));
+    }
+
+    #[test]
+    fn concurrent_requesters_share_one_fetch() {
+        let cache: Arc<CacheManager<u64>> = Arc::new(CacheManager::new());
+        let fetches = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = cache.clone();
+            let fetches = fetches.clone();
+            handles.push(std::thread::spawn(move || {
+                *cache
+                    .get_or_fetch((2, 7), || {
+                        fetches.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        Ok::<_, ()>(99)
+                    })
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 99);
+        }
+        assert_eq!(fetches.load(Ordering::SeqCst), 1, "single-flight violated");
+    }
+
+    #[test]
+    fn failed_fetch_promotes_a_waiter() {
+        let cache: Arc<CacheManager<u64>> = Arc::new(CacheManager::new());
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = cache.clone();
+            let attempts = attempts.clone();
+            handles.push(std::thread::spawn(move || {
+                cache.get_or_fetch((0, 0), || {
+                    let n = attempts.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    if n == 0 {
+                        Err("transient")
+                    } else {
+                        Ok(7)
+                    }
+                })
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // At least one failure surfaced to its fetcher; everyone else got 7.
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert!(ok >= 3, "{results:?}");
+        assert_eq!(*cache.get((0, 0)).unwrap(), 7);
+    }
+
+    #[test]
+    fn clear_invalidates_and_bumps_epoch() {
+        let cache: CacheManager<u32> = CacheManager::new();
+        cache.get_or_fetch((0, 0), || Ok::<_, ()>(1)).unwrap();
+        assert!(cache.get((0, 0)).is_some());
+        cache.clear_for_next_iteration();
+        assert!(cache.get((0, 0)).is_none());
+        assert_eq!(cache.epoch(), 1);
+        // Refetch after clear counts as a new fetch.
+        cache.get_or_fetch((0, 0), || Ok::<_, ()>(2)).unwrap();
+        assert_eq!(*cache.get((0, 0)).unwrap(), 2);
+    }
+}

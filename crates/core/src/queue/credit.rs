@@ -1,0 +1,178 @@
+//! Credit-based buffer (paper §5.1.1).
+//!
+//! A GPU cannot host every expert of a block at once. The Intra-Node
+//! Scheduler pre-allocates a buffer of `C` expert slots; each pull
+//! consumes a credit and each completed expert computation (after the
+//! expert is offloaded to CPU memory) releases one. When credits run out,
+//! further pulls block until a slot frees up.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A counting credit pool with blocking acquire.
+#[derive(Debug)]
+pub struct CreditBuffer {
+    capacity: u32,
+    state: Mutex<u32>,
+    available: Condvar,
+}
+
+/// RAII guard for one or more credits; returns them on drop.
+#[derive(Debug)]
+pub struct CreditGuard<'a> {
+    buffer: &'a CreditBuffer,
+    amount: u32,
+}
+
+impl CreditBuffer {
+    /// A buffer with `capacity` expert slots.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "a credit buffer needs at least one slot");
+        CreditBuffer { capacity, state: Mutex::new(capacity), available: Condvar::new() }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Currently free slots.
+    pub fn available(&self) -> u32 {
+        *self.state.lock()
+    }
+
+    /// Block until `amount` credits are free, then take them.
+    pub fn acquire(&self, amount: u32) -> CreditGuard<'_> {
+        assert!(
+            amount <= self.capacity,
+            "acquiring {amount} credits from a buffer of {} can never succeed",
+            self.capacity
+        );
+        let mut free = self.state.lock();
+        while *free < amount {
+            self.available.wait(&mut free);
+        }
+        *free -= amount;
+        CreditGuard { buffer: self, amount }
+    }
+
+    /// Try to take `amount` credits without blocking.
+    pub fn try_acquire(&self, amount: u32) -> Option<CreditGuard<'_>> {
+        let mut free = self.state.lock();
+        if *free >= amount {
+            *free -= amount;
+            Some(CreditGuard { buffer: self, amount })
+        } else {
+            None
+        }
+    }
+
+    /// Acquire with a timeout; `None` if it expires.
+    pub fn acquire_timeout(&self, amount: u32, timeout: Duration) -> Option<CreditGuard<'_>> {
+        assert!(amount <= self.capacity);
+        let mut free = self.state.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        while *free < amount {
+            if self.available.wait_until(&mut free, deadline).timed_out() {
+                return None;
+            }
+        }
+        *free -= amount;
+        Some(CreditGuard { buffer: self, amount })
+    }
+
+    fn release(&self, amount: u32) {
+        let mut free = self.state.lock();
+        *free += amount;
+        debug_assert!(*free <= self.capacity, "credit over-release");
+        self.available.notify_all();
+    }
+}
+
+impl Drop for CreditGuard<'_> {
+    fn drop(&mut self) {
+        self.buffer.release(self.amount);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_and_drop_cycle() {
+        let buf = CreditBuffer::new(2);
+        assert_eq!(buf.available(), 2);
+        let g1 = buf.acquire(1);
+        let g2 = buf.acquire(1);
+        assert_eq!(buf.available(), 0);
+        assert!(buf.try_acquire(1).is_none());
+        drop(g1);
+        assert_eq!(buf.available(), 1);
+        drop(g2);
+        assert_eq!(buf.available(), 2);
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_release() {
+        let buf = Arc::new(CreditBuffer::new(1));
+        let guard = buf.acquire(1);
+        let buf2 = buf.clone();
+        let t = std::thread::spawn(move || {
+            let _g = buf2.acquire(1); // blocks until main drops
+            buf2.available()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(guard);
+        assert_eq!(t.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_capacity() {
+        let buf = Arc::new(CreditBuffer::new(3));
+        let in_flight = Arc::new(AtomicU32::new(0));
+        let peak = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..12 {
+            let (buf, in_flight, peak) = (buf.clone(), in_flight.clone(), peak.clone());
+            handles.push(std::thread::spawn(move || {
+                let _g = buf.acquire(1);
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert_eq!(buf.available(), 3);
+    }
+
+    #[test]
+    fn timeout_expires_when_starved() {
+        let buf = CreditBuffer::new(1);
+        let _g = buf.acquire(1);
+        assert!(buf.acquire_timeout(1, Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "can never succeed")]
+    fn over_capacity_acquire_panics() {
+        let buf = CreditBuffer::new(1);
+        let _ = buf.acquire(2);
+    }
+
+    #[test]
+    fn multi_credit_acquire() {
+        let buf = CreditBuffer::new(4);
+        let g = buf.acquire(3);
+        assert_eq!(buf.available(), 1);
+        assert!(buf.try_acquire(2).is_none());
+        drop(g);
+        assert!(buf.try_acquire(2).is_some());
+    }
+}

@@ -1,0 +1,146 @@
+//! Gradient pre-reduction in the Inter-Node Scheduler (paper §5.1.2,
+//! backward phase).
+//!
+//! Instead of every worker pushing its expert gradient across the RDMA
+//! fabric, the Inter-Node Scheduler accumulates the gradients of all `m`
+//! local workers for each external expert and sends one pre-reduced
+//! gradient per expert per machine.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Key of an accumulated gradient: (MoE block index, global expert index).
+pub type GradKey = (usize, usize);
+
+struct Pending<G> {
+    grad: G,
+    contributions: usize,
+}
+
+/// Accumulates per-worker gradients until the expected count arrives.
+pub struct GradAccumulator<G> {
+    expected: usize,
+    pending: Mutex<HashMap<GradKey, Pending<G>>>,
+}
+
+impl<G> GradAccumulator<G> {
+    /// Accumulator expecting `expected` contributions per expert (the
+    /// number of workers on the machine).
+    pub fn new(expected: usize) -> Self {
+        assert!(expected > 0);
+        GradAccumulator { expected, pending: Mutex::new(HashMap::new()) }
+    }
+
+    /// Add one worker's gradient. When this is the `expected`-th
+    /// contribution for `key`, the fully pre-reduced gradient is returned
+    /// (and the entry removed); otherwise `None`.
+    ///
+    /// `combine` folds a new contribution into the running sum.
+    pub fn add(&self, key: GradKey, grad: G, combine: impl Fn(&mut G, G)) -> Option<(G, usize)> {
+        let mut pending = self.pending.lock();
+        match pending.remove(&key) {
+            None => {
+                if self.expected == 1 {
+                    return Some((grad, 1));
+                }
+                pending.insert(key, Pending { grad, contributions: 1 });
+                None
+            }
+            Some(mut entry) => {
+                combine(&mut entry.grad, grad);
+                entry.contributions += 1;
+                if entry.contributions == self.expected {
+                    Some((entry.grad, entry.contributions))
+                } else {
+                    pending.insert(key, entry);
+                    None
+                }
+            }
+        }
+    }
+
+    /// Number of experts still waiting for contributions.
+    pub fn outstanding(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Contributions expected per expert.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(acc: &mut Vec<f32>, other: Vec<f32>) {
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a += b;
+        }
+    }
+
+    #[test]
+    fn releases_only_on_last_contribution() {
+        let acc: GradAccumulator<Vec<f32>> = GradAccumulator::new(3);
+        assert!(acc.add((0, 1), vec![1.0, 0.0], sum).is_none());
+        assert!(acc.add((0, 1), vec![0.0, 2.0], sum).is_none());
+        assert_eq!(acc.outstanding(), 1);
+        let (g, n) = acc.add((0, 1), vec![1.0, 1.0], sum).unwrap();
+        assert_eq!(g, vec![2.0, 3.0]);
+        assert_eq!(n, 3);
+        assert_eq!(acc.outstanding(), 0);
+    }
+
+    #[test]
+    fn keys_accumulate_independently() {
+        let acc: GradAccumulator<Vec<f32>> = GradAccumulator::new(2);
+        assert!(acc.add((0, 1), vec![1.0], sum).is_none());
+        assert!(acc.add((0, 2), vec![10.0], sum).is_none());
+        let (g1, _) = acc.add((0, 1), vec![2.0], sum).unwrap();
+        let (g2, _) = acc.add((0, 2), vec![20.0], sum).unwrap();
+        assert_eq!(g1, vec![3.0]);
+        assert_eq!(g2, vec![30.0]);
+    }
+
+    #[test]
+    fn single_worker_machine_passes_through() {
+        let acc: GradAccumulator<Vec<f32>> = GradAccumulator::new(1);
+        let (g, n) = acc.add((1, 0), vec![5.0], sum).unwrap();
+        assert_eq!(g, vec![5.0]);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn key_reusable_after_release() {
+        // The next iteration accumulates the same expert key again.
+        let acc: GradAccumulator<Vec<f32>> = GradAccumulator::new(2);
+        acc.add((0, 0), vec![1.0], sum);
+        acc.add((0, 0), vec![1.0], sum).unwrap();
+        assert!(acc.add((0, 0), vec![7.0], sum).is_none());
+        let (g, _) = acc.add((0, 0), vec![1.0], sum).unwrap();
+        assert_eq!(g, vec![8.0]);
+    }
+
+    #[test]
+    fn concurrent_adders_release_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let acc: Arc<GradAccumulator<Vec<f32>>> = Arc::new(GradAccumulator::new(8));
+        let releases = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let acc = acc.clone();
+            let releases = releases.clone();
+            handles.push(std::thread::spawn(move || {
+                if acc.add((0, 3), vec![1.0], sum).is_some() {
+                    releases.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(releases.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! The Janus Task Queue: per-worker Intra-Node Schedulers and per-machine
+//! Inter-Node Schedulers (paper §4).
+//!
+//! * [`credit`] — the credit-based buffer bounding in-flight experts on a
+//!   GPU (§5.1.1).
+//! * [`cache`] — the Cache Manager deduplicating cross-node expert pulls
+//!   within a machine, with end-of-iteration invalidation (§5.1.2).
+//! * [`grads`] — the gradient pre-reduction accumulator of the backward
+//!   phase (§5.1.2).
+//!
+//! These are the runtime components used by the numerical engines in
+//! [`crate::exec`]; the simulation engines express the same semantics as
+//! task-graph structure (credit pools, deduplicated fetch flows, joined
+//! gradient flows).
+
+pub mod cache;
+pub mod credit;
+pub mod grads;
+
+pub use cache::CacheManager;
+pub use credit::CreditBuffer;
+pub use grads::GradAccumulator;

@@ -1,0 +1,148 @@
+//! Shared graph-building context for the iteration engines.
+
+use crate::sim::setup::SimSetup;
+use janus_netsim::{Graph, GraphBuilder, LaneId, PoolId, TaskId, TaskSpec, Work};
+use janus_topology::Location;
+
+/// Builder wrapper holding per-worker lanes and the iteration-start node.
+pub struct Ctx<'a> {
+    /// The setup being compiled.
+    pub setup: &'a SimSetup,
+    /// Underlying graph builder.
+    pub g: GraphBuilder,
+    /// One compute lane per GPU (the CUDA compute stream).
+    pub gpu_lane: Vec<LaneId>,
+    /// One fetch lane per GPU (the Intra-Node Scheduler's serialized pull
+    /// pipeline).
+    pub fetch_lane: Vec<LaneId>,
+    /// One fetch lane per machine (the Inter-Node Scheduler's serialized
+    /// cross-machine pull queue; ordering by priority keeps earlier
+    /// blocks' experts ahead of prefetched later ones on the NIC).
+    pub inter_lane: Vec<LaneId>,
+    /// Iteration-start NoOp every root task depends on.
+    pub start: TaskId,
+    /// Fixed per-message issue latency applied to every transfer
+    /// (control-plane round trip + kernel launch; see
+    /// [`crate::sim::engine::EngineOpts::msg_latency`]).
+    pub msg_latency: f64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Fresh context for `setup`.
+    pub fn new(setup: &'a SimSetup) -> Self {
+        let workers = setup.cluster.num_workers();
+        let mut g = GraphBuilder::new(setup.cluster.num_links(), 0);
+        let gpu_lane = (0..workers).map(|_| g.lane()).collect();
+        let fetch_lane = (0..workers).map(|_| g.lane()).collect();
+        let inter_lane =
+            (0..setup.cluster.num_machines()).map(|_| g.lane()).collect();
+        let start = g.add(TaskSpec::new(Work::NoOp).label("iter-start"), &[]);
+        Ctx { setup, g, gpu_lane, fetch_lane, inter_lane, start, msg_latency: 0.0 }
+    }
+
+    /// A compute task of `flops` on worker `w`'s GPU lane.
+    pub fn compute(
+        &mut self,
+        w: usize,
+        flops: f64,
+        label: String,
+        priority: i64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let duration = self.setup.secs(flops);
+        self.g.add(
+            TaskSpec::new(Work::Compute { lane: self.gpu_lane[w], duration })
+                .label(label)
+                .priority(priority),
+            deps,
+        )
+    }
+
+    /// A transfer between two memory domains, optionally serialized on a
+    /// lane.
+    pub fn transfer(
+        &mut self,
+        from: Location,
+        to: Location,
+        bytes: f64,
+        label: String,
+        priority: i64,
+        lane: Option<LaneId>,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let route = self.setup.cluster.route(from, to);
+        self.g.add(
+            TaskSpec::new(Work::Transfer { route, bytes, lane, latency: self.msg_latency })
+                .label(label)
+                .priority(priority),
+            deps,
+        )
+    }
+
+    /// Zero-duration join node.
+    pub fn join(&mut self, label: String, deps: &[TaskId]) -> TaskId {
+        self.g.add(TaskSpec::new(Work::NoOp).label(label), deps)
+    }
+
+    /// Allocate a per-worker credit pool of the given capacity.
+    pub fn credit_pools(&mut self, capacity: u32) -> Vec<PoolId> {
+        (0..self.setup.cluster.num_workers()).map(|_| self.g.pool(capacity)).collect()
+    }
+
+    /// Take a credit from `pool`.
+    pub fn acquire(&mut self, pool: PoolId, priority: i64, deps: &[TaskId]) -> TaskId {
+        self.g.add(
+            TaskSpec::new(Work::AcquireCredits { pool, amount: 1 }).priority(priority),
+            deps,
+        )
+    }
+
+    /// Return a credit to `pool`.
+    pub fn release(&mut self, pool: PoolId, deps: &[TaskId]) -> TaskId {
+        self.g.add(TaskSpec::new(Work::ReleaseCredits { pool, amount: 1 }), deps)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Graph {
+        self.g.build()
+    }
+}
+
+/// Measure communication-phase windows from a simulation result: groups
+/// records whose label starts with `a2a/` by phase (`a2a/b{b}/{tag}`) and
+/// sums `max(finish) − min(start)` per phase.
+pub fn a2a_window_time(sim: &janus_netsim::SimResult) -> f64 {
+    use std::collections::HashMap;
+    let mut phases: HashMap<&str, (f64, f64)> = HashMap::new();
+    for r in &sim.records {
+        if !r.label.starts_with("a2a/") {
+            continue;
+        }
+        // Phase key: "a2a/b{b}/{tag}" — strip the final "/..." component.
+        let key = match r.label.rfind('/') {
+            Some(pos) => &r.label[..pos],
+            None => r.label.as_str(),
+        };
+        let entry = phases.entry(key).or_insert((f64::INFINITY, 0.0));
+        entry.0 = entry.0.min(r.start);
+        entry.1 = entry.1.max(r.finish);
+    }
+    phases.values().map(|(s, f)| (f - s).max(0.0)).sum()
+}
+
+/// Total queue-wait time of worker-0's expert compute tasks in the
+/// forward phase — the data-centric analogue of "time blocked on expert
+/// communication".
+pub fn fetch_stall_time(sim: &janus_netsim::SimResult, worker: usize) -> f64 {
+    let prefix = format!("w{worker}/");
+    sim.records
+        .iter()
+        .filter(|r| {
+            r.label.starts_with(&prefix)
+                && r.label.contains("/ep")
+                && r.label.ends_with("/fwd")
+                && r.kind == "compute"
+        })
+        .map(|r| (r.start - r.ready).max(0.0))
+        .sum()
+}

@@ -1,0 +1,370 @@
+//! Data-centric MoE-block emitter: tokens stay put, experts move
+//! (the Janus contribution).
+//!
+//! Forward, per MoE block (paper §5.1-5.3):
+//!
+//! 1. Every machine's Inter-Node Scheduler fetches each **external**
+//!    expert exactly once into CPU memory (hierarchical communication —
+//!    one NIC flow per expert per machine).
+//! 2. Every worker pulls **internal** experts from its local peers over
+//!    NVLink, serialized on its fetch lane, in either the naive or the
+//!    staggered Algorithm 1 order, each pull guarded by a credit.
+//! 3. External experts are copied from CPU memory to each GPU over PCIe;
+//!    with the switch-aware strategy each PCIe pair splits the copies in
+//!    half and exchanges the halves over NVLink.
+//! 4. Each expert's computation starts the moment that expert arrives;
+//!    computed internal experts are offloaded to CPU memory (releasing
+//!    their credit) for reuse in the backward pass.
+//!
+//! With prefetch, pulls are rooted at iteration start instead of the
+//! block's gate (Figure 10). Backward (reverse block order): non-own
+//! experts are re-copied from CPU memory, gradients of internal experts
+//! go straight to their owner over NVLink, and gradients of external
+//! experts are pre-reduced per machine before one NIC flow per expert
+//! returns them to the owner (§5.1.2).
+//!
+//! Whole-iteration graphs are assembled by [`crate::sim::engine`].
+
+use crate::plan::BlockFetchPlan;
+use crate::sim::common::Ctx;
+use janus_moe::flops::{self, BACKWARD_FACTOR};
+use janus_netsim::{PoolId, TaskId};
+use janus_topology::{Location, WorkerId};
+use std::collections::HashMap;
+
+/// Data-centric scheduling options (the paper's ablation knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct DcOpts {
+    /// Staggered internal order + PCIe-switch-aware cache drain (§5.2).
+    pub topo_aware: bool,
+    /// Root pulls at iteration start instead of the gate (§5.3).
+    pub prefetch: bool,
+    /// Credit-based buffer capacity per worker (§5.1.1): how many
+    /// in-flight/staged experts a GPU may hold. 16 slots cost well under
+    /// a gigabyte for every model in the paper while letting the prefetch
+    /// of Figure 13 stage a dozen experts ahead of the gate.
+    pub credits: u32,
+}
+
+impl Default for DcOpts {
+    fn default() -> Self {
+        DcOpts { topo_aware: true, prefetch: true, credits: 16 }
+    }
+}
+
+/// Emit the forward expert phase of MoE block `b` under the data-centric
+/// paradigm. Returns the per-worker completion tasks.
+pub fn emit_fwd_block(
+    ctx: &mut Ctx,
+    pools: &[PoolId],
+    b: usize,
+    shared: &[TaskId],
+    plan: &BlockFetchPlan,
+    opts: DcOpts,
+) -> Vec<TaskId> {
+    let setup = ctx.setup;
+    let cluster = &setup.cluster;
+    let w_count = cluster.num_workers();
+    let asg = setup.assignment(b);
+    let expert_bytes = setup.model.expert_bytes();
+
+    // 1. Machine-level external fetches (Inter-Node Scheduler).
+    let mut ext_fetch: Vec<HashMap<usize, TaskId>> =
+        vec![HashMap::new(); cluster.num_machines()];
+    for machine in cluster.machines() {
+        if plan.machine_external[machine.0].is_empty() {
+            continue;
+        }
+        let dep = if opts.prefetch {
+            ctx.start
+        } else {
+            // Requests reach the Inter-Node Scheduler when local gates
+            // finish.
+            let local_shared: Vec<TaskId> =
+                cluster.workers_on(machine).map(|w| shared[w.0]).collect();
+            ctx.join(format!("M{}/b{b}/gates", machine.0), &local_shared)
+        };
+        let mut seq = (b * 10_000) as i64;
+        for pull in &plan.machine_external[machine.0] {
+            let lane = ctx.inter_lane[machine.0];
+            let t = ctx.transfer(
+                Location::Gpu(pull.owner),
+                Location::CpuMem(machine),
+                expert_bytes,
+                format!("M{}/b{b}/ep{}/fetch-ext", machine.0, pull.expert),
+                seq,
+                Some(lane),
+                &[dep],
+            );
+            ext_fetch[machine.0].insert(pull.expert, t);
+            seq += 1;
+        }
+    }
+
+    // 2-4. Per-worker fetch pipelines and expert computation. First pass
+    // covers own, internal, and PCIe-drained external experts; PCIe
+    // copies are recorded so siblings can depend on them.
+    let mut pcie_copy: Vec<HashMap<usize, TaskId>> = vec![HashMap::new(); w_count];
+    let mut per_worker_done: Vec<Vec<TaskId>> = vec![Vec::new(); w_count];
+
+    for w in 0..w_count {
+        let wp = &plan.workers[w];
+        let machine = cluster.machine_of(WorkerId(w));
+        let pull_root = if opts.prefetch { ctx.start } else { shared[w] };
+        let mut seq: i64 = (b * 10_000) as i64;
+
+        // Own experts: compute as soon as the gate is done.
+        for &e in &wp.own {
+            let t = expert_compute(ctx, b, w, e, asg.tokens(w, e), false, &[shared[w]], seq);
+            per_worker_done[w].push(t);
+            seq += 1;
+        }
+
+        // Internal pulls over NVLink.
+        for pull in &wp.internal {
+            let acq = ctx.acquire(pools[w], seq, &[pull_root]);
+            let t = ctx.transfer(
+                Location::Gpu(pull.owner),
+                Location::Gpu(WorkerId(w)),
+                expert_bytes,
+                format!("w{w}/b{b}/ep{}/pull-int", pull.expert),
+                seq,
+                Some(ctx.fetch_lane[w]),
+                &[acq],
+            );
+            let comp = expert_compute(
+                ctx,
+                b,
+                w,
+                pull.expert,
+                asg.tokens(w, pull.expert),
+                false,
+                &[t, shared[w]],
+                seq,
+            );
+            // Offload to CPU memory for backward reuse, then free the
+            // buffer slot.
+            let off = ctx.transfer(
+                Location::Gpu(WorkerId(w)),
+                Location::CpuMem(machine),
+                expert_bytes,
+                format!("w{w}/b{b}/ep{}/offload", pull.expert),
+                seq,
+                None,
+                &[comp],
+            );
+            ctx.release(pools[w], &[off]);
+            per_worker_done[w].push(comp);
+            seq += 1;
+        }
+
+        // External experts this worker drains from the CPU cache.
+        for &e in &wp.external_pcie {
+            let fetch = ext_fetch[machine.0][&e];
+            let acq = ctx.acquire(pools[w], seq, &[pull_root]);
+            let copy = ctx.transfer(
+                Location::CpuMem(machine),
+                Location::Gpu(WorkerId(w)),
+                expert_bytes,
+                format!("w{w}/b{b}/ep{e}/copy-s2"),
+                seq,
+                Some(ctx.fetch_lane[w]),
+                &[acq, fetch],
+            );
+            pcie_copy[w].insert(e, copy);
+            let comp =
+                expert_compute(ctx, b, w, e, asg.tokens(w, e), false, &[copy, shared[w]], seq);
+            // External weights stay in the CPU cache for backward; just
+            // free the buffer slot after computing.
+            ctx.release(pools[w], &[comp]);
+            per_worker_done[w].push(comp);
+            seq += 1;
+        }
+    }
+
+    // Second pass: peer-shared external experts (the PCIe-switch-aware
+    // NVLink hand-off), which depend on the sibling's copies.
+    for w in 0..w_count {
+        let wp = &plan.workers[w];
+        if wp.external_peer.is_empty() {
+            continue;
+        }
+        let peer = cluster
+            .pcie_peer(WorkerId(w))
+            .expect("external_peer non-empty requires a PCIe sibling");
+        let pull_root = if opts.prefetch { ctx.start } else { shared[w] };
+        let mut seq: i64 = (b * 10_000 + 5_000) as i64;
+        for &e in &wp.external_peer {
+            let sibling_copy = pcie_copy[peer.0][&e];
+            let acq = ctx.acquire(pools[w], seq, &[pull_root]);
+            let t = ctx.transfer(
+                Location::Gpu(peer),
+                Location::Gpu(WorkerId(w)),
+                ctx.setup.model.expert_bytes(),
+                format!("w{w}/b{b}/ep{e}/pull-peer"),
+                seq,
+                Some(ctx.fetch_lane[w]),
+                &[acq, sibling_copy],
+            );
+            let comp =
+                expert_compute(ctx, b, w, e, asg.tokens(w, e), false, &[t, shared[w]], seq);
+            ctx.release(pools[w], &[comp]);
+            per_worker_done[w].push(comp);
+            seq += 1;
+        }
+    }
+
+    (0..w_count)
+        .map(|w| {
+            let mut deps = per_worker_done[w].clone();
+            deps.push(shared[w]);
+            ctx.join(format!("w{w}/b{b}/fwd-done"), &deps)
+        })
+        .collect()
+}
+
+/// Emit the backward expert phase of MoE block `b` under the data-centric
+/// paradigm. Returns per-worker tasks gating this block's shared
+/// backward; the final join also waits for all gradient flows of the
+/// block to land at their owners.
+pub fn emit_bwd_block(
+    ctx: &mut Ctx,
+    pools: &[PoolId],
+    b: usize,
+    prev: &[TaskId],
+    plan: &BlockFetchPlan,
+    _opts: DcOpts,
+) -> (Vec<TaskId>, Vec<TaskId>) {
+    let setup = ctx.setup;
+    let cluster = &setup.cluster;
+    let w_count = cluster.num_workers();
+    let blocks = setup.model.blocks.len();
+    let asg = setup.assignment(b);
+    let expert_bytes = setup.model.expert_bytes();
+    let experts_total = asg.experts();
+
+    let mut grad_acc: Vec<HashMap<usize, Vec<TaskId>>> =
+        vec![HashMap::new(); cluster.num_machines()];
+    let mut per_worker_done: Vec<Vec<TaskId>> = vec![Vec::new(); w_count];
+    let mut grad_flows: Vec<TaskId> = Vec::new();
+
+    for w in 0..w_count {
+        let wp = &plan.workers[w];
+        let machine = cluster.machine_of(WorkerId(w));
+        let mut seq = (100_000 + (blocks - b) * 10_000) as i64;
+
+        // Own experts: backward directly; the gradient stays local.
+        for &e in &wp.own {
+            let comp = expert_compute(ctx, b, w, e, asg.tokens(w, e), true, &[prev[w]], seq);
+            per_worker_done[w].push(comp);
+            seq += 1;
+        }
+
+        // Every non-own expert: copy its weights back from CPU memory
+        // (offloaded internal + cached external), compute, then emit the
+        // gradient.
+        let non_own: Vec<usize> = wp
+            .internal
+            .iter()
+            .map(|p| p.expert)
+            .chain(wp.external_pcie.iter().copied())
+            .chain(wp.external_peer.iter().copied())
+            .collect();
+        for e in non_own {
+            let acq = ctx.acquire(pools[w], seq, &[prev[w]]);
+            let copy = ctx.transfer(
+                Location::CpuMem(machine),
+                Location::Gpu(WorkerId(w)),
+                expert_bytes,
+                format!("w{w}/b{b}/ep{e}/copy-bwd"),
+                seq,
+                Some(ctx.fetch_lane[w]),
+                &[acq],
+            );
+            let comp =
+                expert_compute(ctx, b, w, e, asg.tokens(w, e), true, &[copy, prev[w]], seq);
+            ctx.release(pools[w], &[comp]);
+            per_worker_done[w].push(comp);
+
+            let owner = crate::plan::expert_owner(e, experts_total, w_count);
+            if cluster.machine_of(owner) == machine {
+                // Internal expert: gradient straight to the owner over
+                // NVLink.
+                let g = ctx.transfer(
+                    Location::Gpu(WorkerId(w)),
+                    Location::Gpu(owner),
+                    expert_bytes,
+                    format!("w{w}/b{b}/ep{e}/grad-int"),
+                    seq,
+                    None,
+                    &[comp],
+                );
+                grad_flows.push(g);
+            } else {
+                // External expert: contribute to the machine's
+                // pre-reduction.
+                let g = ctx.transfer(
+                    Location::Gpu(WorkerId(w)),
+                    Location::CpuMem(machine),
+                    expert_bytes,
+                    format!("w{w}/b{b}/ep{e}/grad-acc"),
+                    seq,
+                    None,
+                    &[comp],
+                );
+                grad_acc[machine.0].entry(e).or_default().push(g);
+            }
+            seq += 1;
+        }
+    }
+
+    // Pre-reduced gradients: one NIC flow per (machine, external expert)
+    // back to the owner.
+    for machine in cluster.machines() {
+        let mut entries: Vec<(usize, Vec<TaskId>)> = grad_acc[machine.0].drain().collect();
+        entries.sort_by_key(|(e, _)| *e);
+        for (e, contribs) in entries {
+            debug_assert_eq!(contribs.len(), cluster.gpus_per_machine());
+            let owner = crate::plan::expert_owner(e, experts_total, w_count);
+            let g = ctx.transfer(
+                Location::CpuMem(machine),
+                Location::Gpu(owner),
+                expert_bytes,
+                format!("M{}/b{b}/ep{e}/grad-ext", machine.0),
+                0,
+                None,
+                &contribs,
+            );
+            grad_flows.push(g);
+        }
+    }
+
+    let gates: Vec<TaskId> = (0..w_count)
+        .map(|w| {
+            let mut deps = per_worker_done[w].clone();
+            deps.push(prev[w]);
+            ctx.join(format!("w{w}/b{b}/experts-bwd"), &deps)
+        })
+        .collect();
+    (gates, grad_flows)
+}
+
+/// One expert's (forward or backward) computation on worker `w`.
+#[allow(clippy::too_many_arguments)]
+fn expert_compute(
+    ctx: &mut Ctx,
+    b: usize,
+    w: usize,
+    e: usize,
+    tokens: usize,
+    backward: bool,
+    deps: &[TaskId],
+    priority: i64,
+) -> TaskId {
+    let mut f = flops::expert_fwd_flops(&ctx.setup.model, tokens);
+    let tag = if backward { "bwd" } else { "fwd" };
+    if backward {
+        f *= BACKWARD_FACTOR;
+    }
+    ctx.compute(w, f, format!("w{w}/b{b}/ep{e}/{tag}"), priority, deps)
+}

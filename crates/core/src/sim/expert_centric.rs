@@ -1,0 +1,252 @@
+//! Expert-centric MoE-block emitter: tokens move through All-to-All,
+//! experts stay put (the Tutel/DeepSpeed baseline and Janus's own
+//! expert-centric mode).
+//!
+//! Each MoE block contributes four All-to-All phases per iteration:
+//! forward dispatch (`fd`), forward combine (`fc`), backward combine
+//! (`bc`, output gradients to expert owners) and backward dispatch
+//! (`bd`, input gradients back to token owners). All four are synchronous
+//! collectives: expert computation starts only after the whole phase
+//! completes (paper Figure 5a).
+//!
+//! Whole-iteration graphs are assembled by [`crate::sim::engine`], which
+//! mixes these emitters with the data-centric ones per block.
+
+use crate::plan::expert_owner;
+use crate::sim::common::Ctx;
+use crate::sim::setup::SimSetup;
+use janus_moe::flops::{self, BACKWARD_FACTOR};
+use janus_netsim::TaskId;
+use janus_topology::{Location, WorkerId};
+
+/// Bytes worker `src` sends to worker `dst` in one dispatch All-to-All of
+/// block `b` (tokens routed to experts owned by `dst`).
+fn pair_bytes(setup: &SimSetup, b: usize, src: usize, dst: usize) -> f64 {
+    let asg = setup.assignment(b);
+    let experts_total = asg.experts();
+    let num_workers = setup.cluster.num_workers();
+    let mut tokens = 0usize;
+    for e in 0..experts_total {
+        if expert_owner(e, experts_total, num_workers).0 == dst {
+            tokens += asg.tokens(src, e);
+        }
+    }
+    tokens as f64 * setup.model.token_bytes()
+}
+
+/// Emit one All-to-All phase. `bytes(src, dst)` gives the payload of each
+/// directed pair; `deps[w]` gates worker `w`'s sends. Returns the global
+/// join task.
+fn a2a_phase(
+    ctx: &mut Ctx,
+    b: usize,
+    tag: &str,
+    hierarchical: bool,
+    deps: &[TaskId],
+    bytes: &dyn Fn(usize, usize) -> f64,
+) -> TaskId {
+    let cluster = &ctx.setup.cluster;
+    let w_count = cluster.num_workers();
+    let m = cluster.gpus_per_machine();
+    let mut all: Vec<TaskId> = deps.to_vec();
+
+    if !hierarchical {
+        for src in 0..w_count {
+            for dst in 0..w_count {
+                if src == dst {
+                    continue;
+                }
+                let payload = bytes(src, dst);
+                if payload <= 0.0 {
+                    continue;
+                }
+                let t = ctx.transfer(
+                    Location::Gpu(WorkerId(src)),
+                    Location::Gpu(WorkerId(dst)),
+                    payload,
+                    format!("a2a/b{b}/{tag}/w{src}-w{dst}"),
+                    0,
+                    None,
+                    &[deps[src]],
+                );
+                all.push(t);
+            }
+        }
+        return ctx.join(format!("a2a/b{b}/{tag}/join"), &all);
+    }
+
+    // Hierarchical (Tutel-style): three stages.
+    let machines: Vec<_> = cluster.machines().collect();
+    // agg(machine, remote) = the local GPU responsible for traffic
+    // to/from `remote`.
+    let agg = |mach: janus_topology::MachineId, remote: janus_topology::MachineId| -> usize {
+        cluster.worker_at(mach, janus_topology::LocalRank(remote.0 % m)).0
+    };
+
+    // Intra-machine pairs go direct over NVLink.
+    for src in 0..w_count {
+        for dst in 0..w_count {
+            if src == dst || cluster.machine_of(WorkerId(src)) != cluster.machine_of(WorkerId(dst))
+            {
+                continue;
+            }
+            let payload = bytes(src, dst);
+            if payload > 0.0 {
+                let t = ctx.transfer(
+                    Location::Gpu(WorkerId(src)),
+                    Location::Gpu(WorkerId(dst)),
+                    payload,
+                    format!("a2a/b{b}/{tag}/w{src}-w{dst}"),
+                    0,
+                    None,
+                    &[deps[src]],
+                );
+                all.push(t);
+            }
+        }
+    }
+
+    for &ma in &machines {
+        for &mb in &machines {
+            if ma == mb {
+                continue;
+            }
+            let src_agg = agg(ma, mb);
+            let dst_agg = agg(mb, ma);
+            // Stage 1: local workers hand their M_b-bound tokens to the
+            // aggregator over NVLink.
+            let mut stage1 = Vec::new();
+            let mut total = 0.0;
+            for src in cluster.workers_on(ma) {
+                let to_mb: f64 = cluster.workers_on(mb).map(|d| bytes(src.0, d.0)).sum();
+                total += to_mb;
+                if src.0 == src_agg || to_mb <= 0.0 {
+                    continue;
+                }
+                let t = ctx.transfer(
+                    Location::Gpu(src),
+                    Location::Gpu(WorkerId(src_agg)),
+                    to_mb,
+                    format!("a2a/b{b}/{tag}/agg-w{}-M{}", src.0, mb.0),
+                    0,
+                    None,
+                    &[deps[src.0]],
+                );
+                stage1.push(t);
+                all.push(t);
+            }
+            if total <= 0.0 {
+                continue;
+            }
+            // Stage 2: one aggregated NIC flow per machine pair.
+            let mut s2_deps = stage1;
+            s2_deps.push(deps[src_agg]);
+            let s2 = ctx.transfer(
+                Location::Gpu(WorkerId(src_agg)),
+                Location::Gpu(WorkerId(dst_agg)),
+                total,
+                format!("a2a/b{b}/{tag}/M{}-M{}", ma.0, mb.0),
+                0,
+                None,
+                &s2_deps,
+            );
+            all.push(s2);
+            // Stage 3: distribute at the destination over NVLink.
+            for dst in cluster.workers_on(mb) {
+                let from_ma: f64 = cluster.workers_on(ma).map(|s| bytes(s.0, dst.0)).sum();
+                if dst.0 == dst_agg || from_ma <= 0.0 {
+                    continue;
+                }
+                let t = ctx.transfer(
+                    Location::Gpu(WorkerId(dst_agg)),
+                    Location::Gpu(dst),
+                    from_ma,
+                    format!("a2a/b{b}/{tag}/dist-M{}-w{}", ma.0, dst.0),
+                    0,
+                    None,
+                    &[s2],
+                );
+                all.push(t);
+            }
+        }
+    }
+    ctx.join(format!("a2a/b{b}/{tag}/join"), &all)
+}
+
+/// Emit the forward expert phase of MoE block `b` (dispatch A2A, expert
+/// computation, combine A2A). `shared[w]` is worker `w`'s attention+gate
+/// task. Returns the per-worker completion tasks.
+pub fn emit_fwd_block(
+    ctx: &mut Ctx,
+    b: usize,
+    shared: &[TaskId],
+    hierarchical: bool,
+) -> Vec<TaskId> {
+    let setup = ctx.setup;
+    let w_count = setup.cluster.num_workers();
+    let dispatch =
+        a2a_phase(ctx, b, "fd", hierarchical, shared, &|s, d| pair_bytes(setup, b, s, d));
+
+    let asg = setup.assignment(b);
+    let experts_total = asg.experts();
+    let e_per = experts_total / w_count;
+    let mut ep_joins = Vec::with_capacity(w_count);
+    for w in 0..w_count {
+        let mut deps = vec![dispatch];
+        for e in w * e_per..(w + 1) * e_per {
+            let tokens = asg.expert_load(e);
+            let t = ctx.compute(
+                w,
+                flops::expert_fwd_flops(&setup.model, tokens),
+                format!("w{w}/b{b}/ep{e}/fwd"),
+                b as i64,
+                &[dispatch],
+            );
+            deps.push(t);
+        }
+        ep_joins.push(ctx.join(format!("w{w}/b{b}/experts-fwd"), &deps));
+    }
+
+    let combine =
+        a2a_phase(ctx, b, "fc", hierarchical, &ep_joins, &|s, d| pair_bytes(setup, b, d, s));
+    (0..w_count).map(|w| ctx.join(format!("w{w}/b{b}/fwd-done"), &[combine])).collect()
+}
+
+/// Emit the backward expert phase of MoE block `b`. `prev[w]` carries the
+/// incoming gradient of worker `w` (the downstream block's backward).
+/// Returns per-worker tasks gating this block's shared backward.
+pub fn emit_bwd_block(
+    ctx: &mut Ctx,
+    b: usize,
+    prev: &[TaskId],
+    hierarchical: bool,
+) -> Vec<TaskId> {
+    let setup = ctx.setup;
+    let w_count = setup.cluster.num_workers();
+    let blocks = setup.model.blocks.len();
+    // Output gradients travel to the expert owners (same matrix as the
+    // forward dispatch).
+    let bc = a2a_phase(ctx, b, "bc", hierarchical, prev, &|s, d| pair_bytes(setup, b, s, d));
+    let asg = setup.assignment(b);
+    let experts_total = asg.experts();
+    let e_per = experts_total / w_count;
+    let mut ep_joins = Vec::with_capacity(w_count);
+    for w in 0..w_count {
+        let mut deps = vec![bc];
+        for e in w * e_per..(w + 1) * e_per {
+            let tokens = asg.expert_load(e);
+            let t = ctx.compute(
+                w,
+                BACKWARD_FACTOR * flops::expert_fwd_flops(&setup.model, tokens),
+                format!("w{w}/b{b}/ep{e}/bwd"),
+                1000 + (blocks - b) as i64,
+                &[bc],
+            );
+            deps.push(t);
+        }
+        ep_joins.push(ctx.join(format!("w{w}/b{b}/experts-bwd"), &deps));
+    }
+    // Input gradients travel back to the token owners.
+    let bd = a2a_phase(ctx, b, "bd", hierarchical, &ep_joins, &|s, d| pair_bytes(setup, b, d, s));
+    vec![bd; w_count]
+}

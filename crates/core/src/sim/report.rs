@@ -1,0 +1,63 @@
+//! Iteration reports: the engine output every figure is a view over.
+
+use crate::sim::memory::MemoryEstimate;
+use janus_netsim::SimResult;
+use janus_topology::Cluster;
+use serde::Serialize;
+
+/// Result of simulating one training iteration.
+#[derive(Debug, Clone, Serialize)]
+pub struct IterationReport {
+    /// Which engine produced this (for printing).
+    pub engine: String,
+    /// Wall-clock of the whole iteration (seconds).
+    pub iter_time: f64,
+    /// Wall-clock of the forward phase (seconds).
+    pub fwd_time: f64,
+    /// Total time attributable to expert communication phases: All-to-All
+    /// windows in the expert-centric engine; fetch stall time (time a
+    /// worker's expert compute waited on an un-arrived expert) in the
+    /// data-centric engine.
+    pub comm_time: f64,
+    /// Cross-node traffic per machine per iteration (bytes), measured on
+    /// NIC egress links.
+    pub cross_node_bytes_per_machine: f64,
+    /// Per-GPU memory estimate (worst case across workers).
+    pub memory: MemoryEstimate,
+    /// Block completion timestamps at worker 0, forward phase (Figure 13
+    /// upper timeline).
+    pub block_finish_w0: Vec<f64>,
+    /// Expert arrival timestamps at worker 0 `(label, time)`, forward
+    /// phase (Figure 13 lower timeline). Empty for expert-centric runs.
+    pub expert_arrival_w0: Vec<(String, f64)>,
+    /// The raw simulation output (timings of every task, link counters).
+    #[serde(skip)]
+    pub sim: SimResult,
+}
+
+impl IterationReport {
+    /// Fraction of the iteration spent in expert communication.
+    pub fn comm_share(&self) -> f64 {
+        if self.iter_time > 0.0 {
+            self.comm_time / self.iter_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Derive common aggregates from a raw simulation result.
+    ///
+    /// * `cross-node traffic` sums NIC egress bytes divided by machine
+    ///   count (each machine sends its share once; counting ingress too
+    ///   would double count).
+    pub fn cross_node_per_machine(cluster: &Cluster, sim: &SimResult) -> f64 {
+        use janus_topology::{LinkDirection, LinkKind};
+        let mut total = 0.0;
+        for link in cluster.links() {
+            if let LinkKind::Nic { dir: LinkDirection::Egress, .. } = link.kind {
+                total += sim.link_bytes[link.id.index()];
+            }
+        }
+        total / cluster.num_machines() as f64
+    }
+}

@@ -1,0 +1,140 @@
+//! Shared context for the simulation engines.
+
+use janus_moe::config::ModelConfig;
+use janus_moe::workload::{AssignmentMatrix, Imbalance};
+use janus_topology::Cluster;
+
+/// Everything an engine needs to compile one training iteration: the
+/// cluster, the model, and a token→expert assignment per MoE block.
+pub struct SimSetup {
+    /// Cluster topology.
+    pub cluster: Cluster,
+    /// Model + training-task description.
+    pub model: ModelConfig,
+    /// `assignments[b]` is `Some` exactly for MoE blocks.
+    pub assignments: Vec<Option<AssignmentMatrix>>,
+}
+
+impl SimSetup {
+    /// Build a setup, sampling one assignment matrix per MoE block with
+    /// the given imbalance and seed (block index perturbs the seed so
+    /// different blocks see different draws).
+    pub fn new(cluster: Cluster, model: ModelConfig, imbalance: Imbalance, seed: u64) -> Self {
+        model
+            .validate_for(cluster.num_workers())
+            .unwrap_or_else(|e| panic!("model incompatible with cluster: {e}"));
+        let workers = cluster.num_workers();
+        let tokens = model.tokens_per_worker();
+        let assignments = model
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(b, kind)| {
+                if kind.is_moe() {
+                    Some(AssignmentMatrix::generate(
+                        workers,
+                        kind.experts(),
+                        tokens,
+                        imbalance,
+                        seed.wrapping_add(b as u64).wrapping_mul(0x9E37_79B9),
+                    ))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        SimSetup { cluster, model, assignments }
+    }
+
+    /// Seconds to execute `flops` on one GPU.
+    pub fn secs(&self, flops: f64) -> f64 {
+        flops / self.cluster.spec().gpu_flops
+    }
+
+    /// The assignment of an MoE block (panics on dense blocks).
+    pub fn assignment(&self, block: usize) -> &AssignmentMatrix {
+        self.assignments[block]
+            .as_ref()
+            .unwrap_or_else(|| panic!("block {block} is not an MoE block"))
+    }
+
+    /// Worst expert-load imbalance across the model's MoE blocks.
+    pub fn max_imbalance(&self) -> f64 {
+        self.assignments
+            .iter()
+            .flatten()
+            .map(|a| a.imbalance_factor())
+            .fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_moe::config::ModelPreset;
+    use janus_topology::ClusterSpec;
+
+    #[test]
+    fn builds_assignments_only_for_moe_blocks() {
+        let setup = SimSetup::new(
+            ClusterSpec::a100(4, 8).build(),
+            ModelPreset::MoeBert.config(32),
+            Imbalance::Balanced,
+            0,
+        );
+        for (b, a) in setup.assignments.iter().enumerate() {
+            assert_eq!(a.is_some(), setup.model.blocks[b].is_moe(), "block {b}");
+        }
+        let a = setup.assignment(2);
+        assert_eq!(a.workers(), 32);
+        assert_eq!(a.experts(), 32);
+        assert_eq!(a.worker_tokens(0), setup.model.tokens_per_worker());
+    }
+
+    #[test]
+    fn different_blocks_draw_different_assignments() {
+        let setup = SimSetup::new(
+            ClusterSpec::a100(4, 8).build(),
+            ModelPreset::MoeBert.config(32),
+            Imbalance::Zipf(0.8),
+            7,
+        );
+        assert_ne!(setup.assignments[2], setup.assignments[5]);
+        assert!(setup.max_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn secs_uses_cluster_throughput() {
+        let setup = SimSetup::new(
+            ClusterSpec::a100(1, 1).build(),
+            ModelPreset::MoeGpt.config(1),
+            Imbalance::Balanced,
+            0,
+        );
+        let f = setup.cluster.spec().gpu_flops;
+        assert!((setup.secs(f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn invalid_cluster_model_pair_panics() {
+        SimSetup::new(
+            ClusterSpec::a100(3, 3).build(), // 9 workers, 32 experts
+            ModelPreset::MoeBert.config(32),
+            Imbalance::Balanced,
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not an MoE block")]
+    fn assignment_of_dense_block_panics() {
+        let setup = SimSetup::new(
+            ClusterSpec::a100(4, 8).build(),
+            ModelPreset::MoeBert.config(32),
+            Imbalance::Balanced,
+            0,
+        );
+        setup.assignment(0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Model configurations and the paper's presets (Table 1, §7.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-block structure: a plain Transformer block or an MoE block with a
+/// given expert count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Attention + dense FFN.
+    Transformer,
+    /// Attention + gate + expert layer with this many experts.
+    Moe {
+        /// Number of experts in the block's expert layer.
+        experts: usize,
+    },
+}
+
+impl BlockKind {
+    /// Expert count (0 for a dense block).
+    pub fn experts(&self) -> usize {
+        match self {
+            BlockKind::Transformer => 0,
+            BlockKind::Moe { experts } => *experts,
+        }
+    }
+
+    /// True for MoE blocks.
+    pub fn is_moe(&self) -> bool {
+        matches!(self, BlockKind::Moe { .. })
+    }
+}
+
+/// A complete model + training-task description, the unit every engine
+/// consumes. Field names follow the paper's notation (Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Per-block structure, length = total block count.
+    pub blocks: Vec<BlockKind>,
+    /// Token dimension `H`.
+    pub hidden_dim: usize,
+    /// Per-worker batch size `B`.
+    pub batch: usize,
+    /// Sequence length `S`.
+    pub seq_len: usize,
+    /// Gate fan-out `k` (topK).
+    pub top_k: usize,
+    /// Bytes per element on the wire and in activations (2 = fp16, the
+    /// paper's training precision).
+    pub dtype_bytes: usize,
+    /// Vocabulary size, used only for total-parameter accounting.
+    pub vocab: usize,
+}
+
+impl ModelConfig {
+    /// Number of tokens generated per worker per iteration after gating:
+    /// `T = B·S·k` (paper §5.1.3).
+    pub fn tokens_per_worker(&self) -> usize {
+        self.batch * self.seq_len * self.top_k
+    }
+
+    /// Indices of the MoE blocks.
+    pub fn moe_blocks(&self) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_moe())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Experts per worker `E` for one MoE block under expert parallelism
+    /// over `num_workers` GPUs. The paper always divides experts evenly.
+    pub fn experts_per_worker(&self, block: usize, num_workers: usize) -> usize {
+        let e = self.blocks[block].experts();
+        assert!(
+            e % num_workers == 0,
+            "block {block}: {e} experts not divisible across {num_workers} workers"
+        );
+        e / num_workers
+    }
+
+    /// Parameters in one expert FFN: two `H×4H` matrices plus biases
+    /// (paper §5.1.3 counts `8H²`; biases add `5H`).
+    pub fn expert_params(&self) -> usize {
+        8 * self.hidden_dim * self.hidden_dim + 5 * self.hidden_dim
+    }
+
+    /// On-the-wire size of one expert in bytes.
+    pub fn expert_bytes(&self) -> f64 {
+        (self.expert_params() * self.dtype_bytes) as f64
+    }
+
+    /// Bytes of one token's activation vector.
+    pub fn token_bytes(&self) -> f64 {
+        (self.hidden_dim * self.dtype_bytes) as f64
+    }
+
+    /// Approximate total parameter count: attention (4H² per block),
+    /// dense FFNs (8H²), experts, gate matrices (H·experts), and the
+    /// embedding table.
+    pub fn total_params(&self) -> usize {
+        let h = self.hidden_dim;
+        let mut params = self.vocab * h; // embeddings
+        for b in &self.blocks {
+            params += 4 * h * h; // attention projections
+            match b {
+                BlockKind::Transformer => params += 8 * h * h,
+                BlockKind::Moe { experts } => {
+                    params += experts * self.expert_params() + h * experts;
+                }
+            }
+        }
+        params
+    }
+
+    /// Validate divisibility of every MoE block across `num_workers`.
+    pub fn validate_for(&self, num_workers: usize) -> Result<(), String> {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if let BlockKind::Moe { experts } = b {
+                if experts % num_workers != 0 {
+                    return Err(format!(
+                        "block {i}: {experts} experts not divisible across {num_workers} workers"
+                    ));
+                }
+            }
+        }
+        if self.blocks.is_empty() {
+            return Err("model has no blocks".into());
+        }
+        Ok(())
+    }
+}
+
+/// The paper's evaluation models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelPreset {
+    /// Encoder-style; blocks 2, 5, 8, 11 are MoE (paper §7.1).
+    MoeBert,
+    /// Decoder-style; block 11 is MoE.
+    MoeGpt,
+    /// Decoder-style; all 12 blocks are MoE.
+    MoeTransformerXl,
+}
+
+impl ModelPreset {
+    /// Instantiate with `experts` experts in every MoE block (paper uses
+    /// 16 on 16 GPUs and 32 on 32 GPUs), and Table 1 hyperparameters.
+    pub fn config(self, experts: usize) -> ModelConfig {
+        let moe = BlockKind::Moe { experts };
+        let t = BlockKind::Transformer;
+        match self {
+            ModelPreset::MoeBert => ModelConfig {
+                name: format!("MoE-BERT/{experts}e"),
+                blocks: vec![t, t, moe, t, t, moe, t, t, moe, t, t, moe],
+                hidden_dim: 768,
+                batch: 256,
+                seq_len: 128,
+                top_k: 2,
+                dtype_bytes: 2,
+                vocab: 30_522,
+            },
+            ModelPreset::MoeGpt => ModelConfig {
+                name: format!("MoE-GPT/{experts}e"),
+                blocks: vec![t, t, t, t, t, t, t, t, t, t, t, moe],
+                hidden_dim: 768,
+                batch: 256,
+                seq_len: 64,
+                top_k: 4,
+                dtype_bytes: 2,
+                vocab: 50_257,
+            },
+            ModelPreset::MoeTransformerXl => ModelConfig {
+                name: format!("MoE-Transformer-xl/{experts}e"),
+                blocks: vec![moe; 12],
+                hidden_dim: 256,
+                batch: 64,
+                seq_len: 512,
+                top_k: 2,
+                dtype_bytes: 2,
+                vocab: 32_000,
+            },
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelPreset::MoeBert => "MoE-BERT",
+            ModelPreset::MoeGpt => "MoE-GPT",
+            ModelPreset::MoeTransformerXl => "MoE-Transformer-xl",
+        }
+    }
+
+    /// All three evaluation presets in paper order.
+    pub fn all() -> [ModelPreset; 3] {
+        [ModelPreset::MoeBert, ModelPreset::MoeGpt, ModelPreset::MoeTransformerXl]
+    }
+}
+
+/// PR-MoE-Transformer-xl (paper §7.5): four MoE blocks — the first two
+/// shallow ones with few experts, the last two deep ones with many.
+///
+/// * 16-GPU variant: experts 16/16/64/64, `B = 32`, `S = 256`, `k = 2`.
+/// * 32-GPU variant: experts 32/32/128/128, `B = 64`.
+pub fn pr_moe_transformer_xl(num_gpus: usize) -> ModelConfig {
+    assert!(num_gpus == 16 || num_gpus == 32, "paper evaluates PR-MoE on 16 or 32 GPUs");
+    let (small, large, batch) = if num_gpus == 16 { (16, 64, 32) } else { (32, 128, 64) };
+    let t = BlockKind::Transformer;
+    let s = BlockKind::Moe { experts: small };
+    let l = BlockKind::Moe { experts: large };
+    ModelConfig {
+        name: format!("PR-MoE-Transformer-xl/{num_gpus}gpu"),
+        // 12 blocks; MoE at 2, 5 (shallow, small) and 8, 11 (deep, large).
+        blocks: vec![t, t, s, t, t, s, t, t, l, t, t, l],
+        hidden_dim: 256,
+        batch,
+        seq_len: 256,
+        top_k: 2,
+        dtype_bytes: 2,
+        vocab: 32_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1_hyperparameters() {
+        let bert = ModelPreset::MoeBert.config(32);
+        assert_eq!(bert.batch, 256);
+        assert_eq!(bert.seq_len, 128);
+        assert_eq!(bert.top_k, 2);
+        assert_eq!(bert.hidden_dim, 768);
+        assert_eq!(bert.moe_blocks(), vec![2, 5, 8, 11]);
+        assert_eq!(bert.blocks.len(), 12);
+
+        let gpt = ModelPreset::MoeGpt.config(32);
+        assert_eq!(gpt.moe_blocks(), vec![11]);
+        assert_eq!((gpt.batch, gpt.seq_len, gpt.top_k), (256, 64, 4));
+
+        let xl = ModelPreset::MoeTransformerXl.config(32);
+        assert_eq!(xl.moe_blocks().len(), 12);
+        assert_eq!((xl.batch, xl.seq_len, xl.top_k, xl.hidden_dim), (64, 512, 2, 256));
+    }
+
+    #[test]
+    fn tokens_per_worker_is_bsk() {
+        let bert = ModelPreset::MoeBert.config(32);
+        assert_eq!(bert.tokens_per_worker(), 256 * 128 * 2);
+    }
+
+    #[test]
+    fn expert_params_close_to_8h2() {
+        let bert = ModelPreset::MoeBert.config(32);
+        let h = 768;
+        assert_eq!(bert.expert_params(), 8 * h * h + 5 * h);
+        // fp16 expert ≈ 9.4 MB.
+        assert!((bert.expert_bytes() - 9.44e6).abs() < 0.1e6);
+    }
+
+    #[test]
+    fn experts_per_worker_divides_evenly() {
+        let bert = ModelPreset::MoeBert.config(32);
+        assert_eq!(bert.experts_per_worker(2, 32), 1);
+        assert_eq!(bert.experts_per_worker(2, 16), 2);
+        assert!(bert.validate_for(32).is_ok());
+        assert!(bert.validate_for(7).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn uneven_split_panics() {
+        let bert = ModelPreset::MoeBert.config(32);
+        bert.experts_per_worker(2, 5);
+    }
+
+    #[test]
+    fn total_params_match_paper_model_sizes() {
+        // Paper Table 1 model sizes (fp params): BERT/32e = 0.73B,
+        // GPT/32e = 0.31B, xl/32e = 0.21B. Our accounting omits layernorm
+        // and task heads, so allow ~15 % slack.
+        let close = |got: usize, paper: f64| {
+            let got = got as f64;
+            (got - paper).abs() / paper < 0.20
+        };
+        assert!(close(ModelPreset::MoeBert.config(32).total_params(), 0.73e9));
+        assert!(close(ModelPreset::MoeBert.config(16).total_params(), 0.42e9));
+        assert!(close(ModelPreset::MoeGpt.config(32).total_params(), 0.31e9));
+        assert!(close(ModelPreset::MoeTransformerXl.config(32).total_params(), 0.21e9));
+        assert!(close(ModelPreset::MoeTransformerXl.config(16).total_params(), 0.11e9));
+    }
+
+    #[test]
+    fn pr_moe_shapes() {
+        let m16 = pr_moe_transformer_xl(16);
+        let moe = m16.moe_blocks();
+        assert_eq!(moe.len(), 4);
+        assert_eq!(m16.blocks[moe[0]].experts(), 16);
+        assert_eq!(m16.blocks[moe[3]].experts(), 64);
+        assert_eq!(m16.experts_per_worker(moe[0], 16), 1);
+        assert_eq!(m16.experts_per_worker(moe[3], 16), 4);
+
+        let m32 = pr_moe_transformer_xl(32);
+        assert_eq!(m32.batch, 64);
+        assert_eq!(m32.experts_per_worker(m32.moe_blocks()[3], 32), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 or 32")]
+    fn pr_moe_rejects_other_sizes() {
+        pr_moe_transformer_xl(8);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = ModelPreset::MoeGpt.config(16);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

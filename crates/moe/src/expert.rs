@@ -1,0 +1,273 @@
+//! The FFN expert — the unit of weight the data-centric paradigm moves.
+
+use janus_tensor::{gelu, gelu_backward, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A two-layer feed-forward expert: `y = W2 · gelu(W1·x + b1) + b2` with
+/// the standard `4H` inner width, so its weights are the `8H²` the paper
+/// counts in §5.1.3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertFfn {
+    /// First projection, `H × 4H`.
+    pub w1: Matrix,
+    /// First bias, length `4H`.
+    pub b1: Vec<f32>,
+    /// Second projection, `4H × H`.
+    pub w2: Matrix,
+    /// Second bias, length `H`.
+    pub b2: Vec<f32>,
+}
+
+/// Gradients of an expert with respect to one batch of tokens, plus the
+/// gradient flowing back to the inputs. Field layout mirrors [`ExpertFfn`]
+/// so gradients can be applied or reduced with the same code paths that
+/// move weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertGrads {
+    /// d/dW1.
+    pub w1: Matrix,
+    /// d/db1.
+    pub b1: Vec<f32>,
+    /// d/dW2.
+    pub w2: Matrix,
+    /// d/db2.
+    pub b2: Vec<f32>,
+}
+
+/// Activations cached by the forward pass for the backward pass.
+#[derive(Debug, Clone)]
+pub struct ExpertCache {
+    /// Input tokens.
+    x: Matrix,
+    /// Pre-activation of the first layer.
+    pre: Matrix,
+    /// Post-GeLU hidden.
+    hidden: Matrix,
+}
+
+impl ExpertFfn {
+    /// Random expert with `hidden_dim = H`.
+    pub fn new<R: Rng>(hidden_dim: usize, rng: &mut R) -> Self {
+        let inner = 4 * hidden_dim;
+        let s1 = (1.0 / hidden_dim as f32).sqrt();
+        let s2 = (1.0 / inner as f32).sqrt();
+        ExpertFfn {
+            w1: Matrix::uniform(hidden_dim, inner, s1, rng),
+            b1: vec![0.0; inner],
+            w2: Matrix::uniform(inner, hidden_dim, s2, rng),
+            b2: vec![0.0; hidden_dim],
+        }
+    }
+
+    /// Token dimension `H`.
+    pub fn hidden_dim(&self) -> usize {
+        self.w1.rows()
+    }
+
+    /// Parameter count (`8H² + 5H`).
+    pub fn param_count(&self) -> usize {
+        let h = self.hidden_dim();
+        8 * h * h + 5 * h
+    }
+
+    /// Forward pass over a token batch (`tokens × H`), returning the
+    /// output and the cache needed for backward.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, ExpertCache) {
+        assert_eq!(x.cols(), self.hidden_dim(), "token dim mismatch");
+        let mut pre = x.matmul(&self.w1);
+        pre.add_bias(&self.b1);
+        let hidden = gelu(&pre);
+        let mut y = hidden.matmul(&self.w2);
+        y.add_bias(&self.b2);
+        (y, ExpertCache { x: x.clone(), pre, hidden })
+    }
+
+    /// Backward pass: given `dy` (`tokens × H`), return weight gradients
+    /// and the gradient with respect to the inputs.
+    pub fn backward(&self, cache: &ExpertCache, dy: &Matrix) -> (ExpertGrads, Matrix) {
+        let dw2 = cache.hidden.matmul_tn(dy);
+        let db2 = dy.col_sums();
+        let dhidden = dy.matmul_nt(&self.w2);
+        let dpre = gelu_backward(&cache.pre, &dhidden);
+        let dw1 = cache.x.matmul_tn(&dpre);
+        let db1 = dpre.col_sums();
+        let dx = dpre.matmul_nt(&self.w1);
+        (ExpertGrads { w1: dw1, b1: db1, w2: dw2, b2: db2 }, dx)
+    }
+
+    /// SGD step.
+    pub fn apply(&mut self, grads: &ExpertGrads, lr: f32) {
+        apply_matrix(&mut self.w1, &grads.w1, lr);
+        apply_vec(&mut self.b1, &grads.b1, lr);
+        apply_matrix(&mut self.w2, &grads.w2, lr);
+        apply_vec(&mut self.b2, &grads.b2, lr);
+    }
+}
+
+impl ExpertGrads {
+    /// Zero gradients shaped like `expert`.
+    pub fn zeros_like(expert: &ExpertFfn) -> Self {
+        ExpertGrads {
+            w1: Matrix::zeros(expert.w1.rows(), expert.w1.cols()),
+            b1: vec![0.0; expert.b1.len()],
+            w2: Matrix::zeros(expert.w2.rows(), expert.w2.cols()),
+            b2: vec![0.0; expert.b2.len()],
+        }
+    }
+
+    /// Accumulate another contribution (the Inter-Node Scheduler's
+    /// pre-reduction).
+    pub fn accumulate(&mut self, other: &ExpertGrads) {
+        self.w1.add_assign(&other.w1);
+        self.w2.add_assign(&other.w2);
+        for (a, b) in self.b1.iter_mut().zip(&other.b1) {
+            *a += b;
+        }
+        for (a, b) in self.b2.iter_mut().zip(&other.b2) {
+            *a += b;
+        }
+    }
+
+    /// Largest absolute difference across all components.
+    pub fn max_abs_diff(&self, other: &ExpertGrads) -> f32 {
+        let mut d = self.w1.max_abs_diff(&other.w1).max(self.w2.max_abs_diff(&other.w2));
+        for (a, b) in self.b1.iter().zip(&other.b1) {
+            d = d.max((a - b).abs());
+        }
+        for (a, b) in self.b2.iter().zip(&other.b2) {
+            d = d.max((a - b).abs());
+        }
+        d
+    }
+}
+
+fn apply_matrix(w: &mut Matrix, g: &Matrix, lr: f32) {
+    for (wv, gv) in w.data_mut().iter_mut().zip(g.data()) {
+        *wv -= lr * gv;
+    }
+}
+
+fn apply_vec(b: &mut [f32], g: &[f32], lr: f32) {
+    for (bv, gv) in b.iter_mut().zip(g) {
+        *bv -= lr * gv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_tensor::check::{grad_rel_error, numeric_grad};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_expert(seed: u64) -> ExpertFfn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ExpertFfn::new(4, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let e = small_expert(1);
+        assert_eq!(e.w1.shape(), (4, 16));
+        assert_eq!(e.w2.shape(), (16, 4));
+        assert_eq!(e.param_count(), 8 * 16 + 5 * 4);
+        assert_eq!(e.hidden_dim(), 4);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let e = small_expert(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Matrix::uniform(7, 4, 1.0, &mut rng);
+        let (y, _) = e.forward(&x);
+        assert_eq!(y.shape(), (7, 4));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let e = small_expert(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Matrix::uniform(3, 4, 0.5, &mut rng);
+        let loss = |m: &Matrix| e.forward(m).0.data().iter().sum::<f32>();
+        let numeric = numeric_grad(&x, loss);
+        let (y, cache) = e.forward(&x);
+        let dy = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+        let (_, dx) = e.backward(&cache, &dy);
+        assert!(grad_rel_error(&dx, &numeric) < 1e-2, "rel err too large");
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let e = small_expert(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Matrix::uniform(3, 4, 0.5, &mut rng);
+        let (y, cache) = e.forward(&x);
+        let dy = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+        let (grads, _) = e.backward(&cache, &dy);
+
+        // Perturb w1 entries and compare.
+        let numeric_w1 = numeric_grad(&e.w1, |w1| {
+            let mut e2 = e.clone();
+            e2.w1 = w1.clone();
+            e2.forward(&x).0.data().iter().sum::<f32>()
+        });
+        assert!(grad_rel_error(&grads.w1, &numeric_w1) < 1e-2);
+
+        let numeric_w2 = numeric_grad(&e.w2, |w2| {
+            let mut e2 = e.clone();
+            e2.w2 = w2.clone();
+            e2.forward(&x).0.data().iter().sum::<f32>()
+        });
+        assert!(grad_rel_error(&grads.w2, &numeric_w2) < 1e-2);
+    }
+
+    #[test]
+    fn gradient_of_split_batch_sums_to_full_batch() {
+        // The hierarchical backward (§5.1.2) relies on gradient
+        // additivity across token shards.
+        let e = small_expert(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Matrix::uniform(6, 4, 0.5, &mut rng);
+        let dy = Matrix::uniform(6, 4, 0.5, &mut rng);
+
+        let (_, cache) = e.forward(&x);
+        let (full, _) = e.backward(&cache, &dy);
+
+        let x1 = x.gather_rows(&[0, 1, 2]);
+        let x2 = x.gather_rows(&[3, 4, 5]);
+        let dy1 = dy.gather_rows(&[0, 1, 2]);
+        let dy2 = dy.gather_rows(&[3, 4, 5]);
+        let (_, c1) = e.forward(&x1);
+        let (_, c2) = e.forward(&x2);
+        let (g1, _) = e.backward(&c1, &dy1);
+        let (g2, _) = e.backward(&c2, &dy2);
+        let mut sum = ExpertGrads::zeros_like(&e);
+        sum.accumulate(&g1);
+        sum.accumulate(&g2);
+        assert!(sum.max_abs_diff(&full) < 1e-4);
+    }
+
+    #[test]
+    fn sgd_step_reduces_simple_loss() {
+        let mut e = small_expert(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Matrix::uniform(8, 4, 0.5, &mut rng);
+        let target = Matrix::zeros(8, 4);
+        let loss_of = |e: &ExpertFfn| {
+            let (y, _) = e.forward(&x);
+            let d = y.sub(&target);
+            d.norm()
+        };
+        let before = loss_of(&e);
+        for _ in 0..20 {
+            let (y, cache) = e.forward(&x);
+            let mut dy = y.sub(&target);
+            dy.scale(2.0);
+            let (grads, _) = e.backward(&cache, &dy);
+            e.apply(&grads, 0.01);
+        }
+        let after = loss_of(&e);
+        assert!(after < before * 0.8, "loss did not decrease: {before} -> {after}");
+    }
+}

@@ -1,0 +1,111 @@
+//! FLOP model used to convert model computation into simulated time.
+//!
+//! Counts follow the standard transformer accounting (multiply-add = 2
+//! FLOPs). Only *relative* magnitudes matter for reproducing the paper's
+//! speedup shapes; absolute times additionally depend on the effective
+//! per-GPU throughput configured in the cluster spec.
+
+use crate::config::{BlockKind, ModelConfig};
+
+/// Extra work in the backward pass relative to forward (recompute dX and
+/// dW for every matmul: the usual 2× rule).
+pub const BACKWARD_FACTOR: f64 = 2.0;
+
+/// Attention FLOPs per token: QKV + output projections (`8H²`) plus score
+/// and value matmuls (`4·S·H`).
+pub fn attention_flops_per_token(h: usize, s: usize) -> f64 {
+    8.0 * (h * h) as f64 + 4.0 * (s * h) as f64
+}
+
+/// Dense FFN FLOPs per token (two `H×4H` matmuls): `16H²`.
+pub fn ffn_flops_per_token(h: usize) -> f64 {
+    16.0 * (h * h) as f64
+}
+
+/// Expert FLOPs per routed token slot — same `16H²` as a dense FFN.
+pub fn expert_flops_per_token(h: usize) -> f64 {
+    16.0 * (h * h) as f64
+}
+
+/// Gate FLOPs per token: one `H × experts` projection.
+pub fn gate_flops_per_token(h: usize, experts: usize) -> f64 {
+    2.0 * (h * experts) as f64
+}
+
+/// Forward FLOPs per worker for the non-expert part of block `block`:
+/// attention for every block, plus the dense FFN (Transformer blocks) or
+/// the gate (MoE blocks).
+pub fn block_shared_fwd_flops(cfg: &ModelConfig, block: usize) -> f64 {
+    let tokens = (cfg.batch * cfg.seq_len) as f64;
+    let h = cfg.hidden_dim;
+    let attn = attention_flops_per_token(h, cfg.seq_len);
+    match cfg.blocks[block] {
+        BlockKind::Transformer => tokens * (attn + ffn_flops_per_token(h)),
+        BlockKind::Moe { experts } => tokens * (attn + gate_flops_per_token(h, experts)),
+    }
+}
+
+/// Forward FLOPs for an expert processing `tokens` routed token slots.
+pub fn expert_fwd_flops(cfg: &ModelConfig, tokens: usize) -> f64 {
+    tokens as f64 * expert_flops_per_token(cfg.hidden_dim)
+}
+
+/// Total forward FLOPs per worker for one iteration, assuming each worker
+/// computes its own `B·S·k` expert token slots (the data-centric split).
+pub fn iteration_fwd_flops(cfg: &ModelConfig) -> f64 {
+    let mut total = 0.0;
+    for b in 0..cfg.blocks.len() {
+        total += block_shared_fwd_flops(cfg, b);
+        if cfg.blocks[b].is_moe() {
+            total += expert_fwd_flops(cfg, cfg.tokens_per_worker());
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelPreset;
+
+    #[test]
+    fn per_token_counts() {
+        assert_eq!(ffn_flops_per_token(10), 1600.0);
+        assert_eq!(expert_flops_per_token(10), 1600.0);
+        assert_eq!(gate_flops_per_token(10, 4), 80.0);
+        assert_eq!(attention_flops_per_token(10, 8), 800.0 + 320.0);
+    }
+
+    #[test]
+    fn transformer_block_includes_ffn_moe_block_does_not() {
+        let cfg = ModelPreset::MoeBert.config(32);
+        let dense = block_shared_fwd_flops(&cfg, 0); // Transformer
+        let moe = block_shared_fwd_flops(&cfg, 2); // MoE
+        assert!(dense > moe, "dense block must cost more shared FLOPs than gate");
+        let tokens = (cfg.batch * cfg.seq_len) as f64;
+        let diff = dense - moe;
+        let expected = tokens
+            * (ffn_flops_per_token(cfg.hidden_dim)
+                - gate_flops_per_token(cfg.hidden_dim, 32));
+        assert!((diff - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn iteration_flops_scale_with_batch() {
+        let cfg = ModelPreset::MoeGpt.config(32);
+        let f1 = iteration_fwd_flops(&cfg);
+        let mut doubled = cfg.clone();
+        doubled.batch *= 2;
+        let f2 = iteration_fwd_flops(&doubled);
+        assert!((f2 / f1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpt_iteration_flops_order_of_magnitude() {
+        // MoE-GPT fwd: 11 dense blocks + 1 MoE block over 16 k tokens of
+        // width 768 ≈ a few TFLOP per worker.
+        let cfg = ModelPreset::MoeGpt.config(32);
+        let f = iteration_fwd_flops(&cfg);
+        assert!(f > 1e12 && f < 2e13, "f = {f:e}");
+    }
+}

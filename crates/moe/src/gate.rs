@@ -1,0 +1,233 @@
+//! The top-k softmax gate of an MoE block.
+//!
+//! For each token embedding the gate computes logits over all experts,
+//! softmax-normalizes them, and routes the token to its `k` highest-scoring
+//! experts with the (renormalized) softmax mass as combine weights. This
+//! is the Switch/GShard-style gate the paper's models use.
+
+use janus_tensor::{softmax_rows, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Routing decision for a batch of tokens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Routing {
+    /// Number of experts the gate routed over.
+    pub num_experts: usize,
+    /// For each token, the `k` chosen expert indices, best first.
+    pub experts: Vec<Vec<usize>>,
+    /// For each token, the combine weight of each chosen expert
+    /// (renormalized to sum to 1).
+    pub weights: Vec<Vec<f32>>,
+}
+
+impl Routing {
+    /// Tokens routed to `expert`, as (token index, combine weight) pairs
+    /// in token order — the dispatch list of the expert-centric paradigm
+    /// and the per-expert compute batch of the data-centric one.
+    pub fn tokens_for(&self, expert: usize) -> Vec<(usize, f32)> {
+        let mut out = Vec::new();
+        for (tok, (es, ws)) in self.experts.iter().zip(&self.weights).enumerate() {
+            for (e, w) in es.iter().zip(ws) {
+                if *e == expert {
+                    out.push((tok, *w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Histogram of token count per expert.
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_experts];
+        for es in &self.experts {
+            for &e in es {
+                h[e] += 1;
+            }
+        }
+        h
+    }
+}
+
+/// A dense top-k gate: `logits = x · Wg`, softmax, take the top `k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopKGate {
+    /// Gate projection, `H × num_experts`.
+    pub weight: Matrix,
+    /// Fan-out `k`.
+    pub top_k: usize,
+}
+
+impl TopKGate {
+    /// Random gate for `num_experts` experts over `hidden_dim` features.
+    pub fn new<R: Rng>(hidden_dim: usize, num_experts: usize, top_k: usize, rng: &mut R) -> Self {
+        assert!(top_k >= 1 && top_k <= num_experts, "top_k out of range");
+        let scale = (1.0 / hidden_dim as f32).sqrt();
+        TopKGate { weight: Matrix::uniform(hidden_dim, num_experts, scale, rng), top_k }
+    }
+
+    /// Route a batch and also compute the Switch-Transformer-style
+    /// load-balancing auxiliary loss `E · Σ_e f_e · P_e`, where `f_e` is
+    /// the fraction of dispatched token slots expert `e` received and
+    /// `P_e` the mean router probability of `e`. The loss is 1.0 for a
+    /// perfectly uniform router and grows as routing concentrates — the
+    /// signal real MoE training uses to keep the expert load (and hence
+    /// the paper's All-to-All imbalance) in check.
+    pub fn route_with_aux(&self, x: &Matrix) -> (Routing, f32) {
+        let probs = softmax_rows(&x.matmul(&self.weight));
+        let routing = self.route_from_probs(&probs);
+        let num_experts = self.weight.cols();
+        let tokens = x.rows().max(1);
+        let hist = routing.histogram();
+        let total_slots: usize = hist.iter().sum();
+        let mut aux = 0.0f32;
+        for e in 0..num_experts {
+            let f_e = hist[e] as f32 / total_slots.max(1) as f32;
+            let p_e: f32 =
+                (0..probs.rows()).map(|t| probs[(t, e)]).sum::<f32>() / tokens as f32;
+            aux += f_e * p_e;
+        }
+        (routing, aux * num_experts as f32)
+    }
+
+    /// Route a batch of token embeddings (`tokens × H`).
+    pub fn route(&self, x: &Matrix) -> Routing {
+        let probs = softmax_rows(&x.matmul(&self.weight));
+        self.route_from_probs(&probs)
+    }
+
+    fn route_from_probs(&self, probs: &Matrix) -> Routing {
+        assert_eq!(probs.cols(), self.weight.cols(), "probability width mismatch");
+        let num_experts = self.weight.cols();
+        let mut experts = Vec::with_capacity(probs.rows());
+        let mut weights = Vec::with_capacity(probs.rows());
+        for t in 0..probs.rows() {
+            let row = probs.row(t);
+            let mut idx: Vec<usize> = (0..num_experts).collect();
+            // Sort by probability descending; ties broken by index so the
+            // routing is deterministic across paradigms and machines.
+            idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
+            idx.truncate(self.top_k);
+            let mass: f32 = idx.iter().map(|&e| row[e]).sum();
+            let w: Vec<f32> = idx.iter().map(|&e| row[e] / mass).collect();
+            experts.push(idx);
+            weights.push(w);
+        }
+        Routing { num_experts, experts, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gate(k: usize) -> TopKGate {
+        let mut rng = StdRng::seed_from_u64(11);
+        TopKGate::new(8, 4, k, &mut rng)
+    }
+
+    #[test]
+    fn routes_k_distinct_experts_per_token() {
+        let g = gate(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Matrix::uniform(10, 8, 1.0, &mut rng);
+        let r = g.route(&x);
+        assert_eq!(r.experts.len(), 10);
+        for (es, ws) in r.experts.iter().zip(&r.weights) {
+            assert_eq!(es.len(), 2);
+            assert_ne!(es[0], es[1]);
+            let sum: f32 = ws.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(ws[0] >= ws[1], "weights must be sorted best-first");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_all_slots() {
+        let g = gate(2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Matrix::uniform(25, 8, 1.0, &mut rng);
+        let r = g.route(&x);
+        assert_eq!(r.histogram().iter().sum::<usize>(), 25 * 2);
+    }
+
+    #[test]
+    fn tokens_for_partitions_slots() {
+        let g = gate(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Matrix::uniform(12, 8, 1.0, &mut rng);
+        let r = g.route(&x);
+        let total: usize = (0..4).map(|e| r.tokens_for(e).len()).sum();
+        assert_eq!(total, 12 * 2);
+        // Weights in tokens_for match the routing table.
+        for (tok, w) in r.tokens_for(0) {
+            let pos = r.experts[tok].iter().position(|&e| e == 0).unwrap();
+            assert_eq!(r.weights[tok][pos], w);
+        }
+    }
+
+    #[test]
+    fn k_equals_one_gives_unit_weights() {
+        let g = gate(1);
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Matrix::uniform(6, 8, 1.0, &mut rng);
+        let r = g.route(&x);
+        for ws in &r.weights {
+            assert_eq!(ws, &vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let g = gate(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Matrix::uniform(5, 8, 1.0, &mut rng);
+        assert_eq!(g.route(&x), g.route(&x));
+    }
+
+    #[test]
+    fn aux_loss_is_one_for_uniform_router_and_larger_when_skewed() {
+        // A zero gate weight makes every expert equally likely: with
+        // deterministic tie-breaking all slots land on the first k
+        // experts, but the *probabilities* are uniform, so the Switch
+        // loss reduces to E·Σ f_e/E = 1 whenever P is uniform... only if
+        // f is a distribution: Σ f_e = 1 always, so aux = Σ f_e = 1.
+        let g = TopKGate { weight: Matrix::zeros(8, 4), top_k: 1 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Matrix::uniform(64, 8, 1.0, &mut rng);
+        let (_, aux_uniform) = g.route_with_aux(&x);
+        assert!((aux_uniform - 1.0).abs() < 1e-5, "uniform router: {aux_uniform}");
+
+        // A heavily biased gate (one expert dominates) drives the loss
+        // toward E.
+        let mut w = Matrix::zeros(8, 4);
+        for r in 0..8 {
+            w[(r, 2)] = 50.0; // always prefer expert 2 for positive inputs
+            w[(r, 0)] = -50.0;
+        }
+        let biased = TopKGate { weight: w, top_k: 1 };
+        let ones = Matrix::from_vec(16, 8, vec![1.0; 16 * 8]);
+        let (routing, aux_skewed) = biased.route_with_aux(&ones);
+        assert_eq!(routing.histogram()[2], 16, "all tokens routed to expert 2");
+        assert!(aux_skewed > 3.5, "skewed router must approach E = 4: {aux_skewed}");
+    }
+
+    #[test]
+    fn route_with_aux_routing_matches_plain_route() {
+        let g = gate(2);
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Matrix::uniform(10, 8, 1.0, &mut rng);
+        let (routing, aux) = g.route_with_aux(&x);
+        assert_eq!(routing, g.route(&x));
+        assert!(aux >= 1.0 - 1e-4, "Cauchy-Schwarz lower bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k out of range")]
+    fn top_k_validated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        TopKGate::new(8, 4, 5, &mut rng);
+    }
+}

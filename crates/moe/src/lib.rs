@@ -1,0 +1,36 @@
+//! MoE model substrate: configurations, gate, experts, workloads, and the
+//! paper's analytic communication model.
+//!
+//! * [`config`] — model descriptions and the paper's Table 1 presets
+//!   (MoE-BERT, MoE-GPT, MoE-Transformer-xl, PR-MoE).
+//! * [`gate`] — a real top-k softmax gate over token embeddings.
+//! * [`expert`] — the FFN expert (`W2 · gelu(W1·x + b1) + b2`) with exact
+//!   backward pass; the unit whose weights Janus moves between GPUs.
+//! * [`workload`] — synthetic token→expert assignment matrices spanning
+//!   the balanced→skewed range the paper discusses.
+//! * [`traffic`] — closed forms from §5.1.3: `Comm_DC = 8H²Em(n−1)`,
+//!   `Comm_EC = 2mHT·(n−1)/n`, and the gain `R = BSk/(4nHE)`.
+//! * [`flops`] — FLOP model used to convert computation into simulated
+//!   time.
+//!
+//! ```
+//! use janus_moe::config::ModelPreset;
+//! use janus_moe::traffic::r_metric;
+//!
+//! let m = ModelPreset::MoeBert.config(32);
+//! // Paper §7.3: R = 5.33 for MoE-BERT on 32 GPUs.
+//! let r = r_metric(m.batch, m.seq_len, m.top_k, 4, m.hidden_dim, 1);
+//! assert!((r - 5.33).abs() < 0.01);
+//! ```
+
+pub mod config;
+pub mod expert;
+pub mod flops;
+pub mod gate;
+pub mod traffic;
+pub mod workload;
+
+pub use config::{ModelConfig, ModelPreset};
+pub use expert::ExpertFfn;
+pub use gate::TopKGate;
+pub use workload::{AssignmentMatrix, Imbalance};

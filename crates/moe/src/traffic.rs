@@ -1,0 +1,203 @@
+//! The paper's analytic communication model (§5.1.3) and Table 1.
+//!
+//! All quantities are *cross-machine traffic per machine per iteration*,
+//! the metric the paper reports, in bytes unless noted. Element counts are
+//! converted with the model's `dtype_bytes` (fp16 in the evaluation).
+
+use crate::config::ModelConfig;
+use serde::Serialize;
+
+/// Forward-phase data-centric traffic per machine for one MoE block, in
+/// elements: `Comm_DC = 8H²·E·m·(n−1)` — each machine pulls every
+/// external expert exactly once thanks to the hierarchical cache.
+pub fn comm_dc_elements(h: usize, e: usize, m: usize, n: usize) -> f64 {
+    8.0 * (h * h) as f64 * e as f64 * m as f64 * (n as f64 - 1.0)
+}
+
+/// Forward-phase expert-centric traffic per machine for one MoE block, in
+/// elements: `Comm_EC = 2·m·H·T·(n−1)/n` — two All-to-Alls (dispatch and
+/// combine) under the balanced-distribution lower bound.
+pub fn comm_ec_elements(h: usize, t_tokens: usize, m: usize, n: usize) -> f64 {
+    2.0 * m as f64 * h as f64 * t_tokens as f64 * (n as f64 - 1.0) / n as f64
+}
+
+/// The paper's gain metric `R = B·S·k / (4·n·H·E)` (equation 1).
+/// `R > 1` ⇒ the data-centric paradigm moves fewer bytes.
+pub fn r_metric(b: usize, s: usize, k: usize, n: usize, h: usize, e: usize) -> f64 {
+    (b * s * k) as f64 / (4.0 * n as f64 * h as f64 * e as f64)
+}
+
+/// `R` for a specific block of a model on a given cluster shape.
+pub fn r_for_block(model: &ModelConfig, block: usize, n_machines: usize, m_gpus: usize) -> f64 {
+    let e = model.experts_per_worker(block, n_machines * m_gpus);
+    r_metric(model.batch, model.seq_len, model.top_k, n_machines, model.hidden_dim, e)
+}
+
+/// Per-machine cross-node traffic for a whole iteration (forward +
+/// backward) under the data-centric paradigm, in bytes.
+///
+/// Backward traffic equals forward traffic (§5.1.3): gradients are the
+/// same size as experts and are pre-reduced so each machine sends each
+/// expert's gradient once.
+pub fn iteration_traffic_dc(model: &ModelConfig, n: usize, m: usize) -> f64 {
+    let mut elems = 0.0;
+    for block in model.moe_blocks() {
+        let e = model.experts_per_worker(block, n * m);
+        elems += 2.0 * comm_dc_elements(model.hidden_dim, e, m, n);
+    }
+    elems * model.dtype_bytes as f64
+}
+
+/// Per-machine cross-node traffic for a whole iteration (forward +
+/// backward) under the expert-centric paradigm, in bytes.
+///
+/// Backward All-to-Alls move the same volume as the forward ones
+/// (§5.1.3: "this volume is equal to the volume of the tokens it sends in
+/// the forward phase").
+pub fn iteration_traffic_ec(model: &ModelConfig, n: usize, m: usize) -> f64 {
+    let t = model.tokens_per_worker();
+    let mut elems = 0.0;
+    for _ in model.moe_blocks() {
+        elems += 2.0 * comm_ec_elements(model.hidden_dim, t, m, n);
+    }
+    elems * model.dtype_bytes as f64
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Model name.
+    pub model: String,
+    /// Total experts per MoE block.
+    pub experts: usize,
+    /// GPUs (= experts, E = 1 in Table 1).
+    pub gpus: usize,
+    /// Total parameters, in billions.
+    pub model_size_b: f64,
+    /// Expert-centric cross-machine traffic per machine per iteration, GiB.
+    pub ec_traffic_gib: f64,
+    /// Data-centric cross-machine traffic per machine per iteration, GiB.
+    pub dc_traffic_gib: f64,
+    /// Reduction factor EC/DC.
+    pub reduction: f64,
+}
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Compute a Table 1 row for `model` trained on `n` machines × `m` GPUs.
+pub fn table1_row(model: &ModelConfig, n: usize, m: usize) -> Table1Row {
+    let ec = iteration_traffic_ec(model, n, m);
+    let dc = iteration_traffic_dc(model, n, m);
+    let experts = model.blocks[model.moe_blocks()[0]].experts();
+    Table1Row {
+        model: model.name.clone(),
+        experts,
+        gpus: n * m,
+        model_size_b: model.total_params() as f64 / 1e9,
+        ec_traffic_gib: ec / GIB,
+        dc_traffic_gib: dc / GIB,
+        reduction: ec / dc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelPreset;
+
+    #[test]
+    fn r_matches_paper_section_7_3() {
+        // Paper: R = 5.33, 5.33, 16 for BERT/GPT/xl on 32 GPUs (4 machines).
+        assert!((r_metric(256, 128, 2, 4, 768, 1) - 5.333).abs() < 0.01);
+        assert!((r_metric(256, 64, 4, 4, 768, 1) - 5.333).abs() < 0.01);
+        assert!((r_metric(64, 512, 2, 4, 256, 1) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_matches_paper_gpt3_example() {
+        // §9: GPT-3-style MoE — hidden 12288, S = 2048, k = 1, E = 1,
+        // data-parallel degree 128 (16 machines of 8 GPUs), global batch
+        // over 1M: B = 1e6/128 = 7812.5 sequences per worker. The paper
+        // reports R = 20.35; reproduce it from the same closed form with
+        // the fractional per-worker batch.
+        let (b, s, k) = (1e6_f64 / 128.0, 2048.0, 1.0);
+        let (n, h, e) = (16.0, 12288.0, 1.0);
+        let r = b * s * k / (4.0 * n * h * e);
+        assert!((r - 20.345).abs() < 0.01, "r = {r}");
+    }
+
+    #[test]
+    fn table1_traffic_matches_paper_32_gpus() {
+        // Paper Table 1 (32 experts / 32 GPUs): EC 9 / 2.25 / 9 GB,
+        // DC 1.69 / 0.42 / 0.56 GB for BERT / GPT / xl.
+        let bert = table1_row(&ModelPreset::MoeBert.config(32), 4, 8);
+        assert!((bert.ec_traffic_gib - 9.0).abs() < 0.1, "{bert:?}");
+        assert!((bert.dc_traffic_gib - 1.69).abs() < 0.02, "{bert:?}");
+
+        let gpt = table1_row(&ModelPreset::MoeGpt.config(32), 4, 8);
+        assert!((gpt.ec_traffic_gib - 2.25).abs() < 0.03, "{gpt:?}");
+        assert!((gpt.dc_traffic_gib - 0.42).abs() < 0.01, "{gpt:?}");
+
+        let xl = table1_row(&ModelPreset::MoeTransformerXl.config(32), 4, 8);
+        assert!((xl.ec_traffic_gib - 9.0).abs() < 0.1, "{xl:?}");
+        assert!((xl.dc_traffic_gib - 0.56).abs() < 0.01, "{xl:?}");
+    }
+
+    #[test]
+    fn table1_traffic_matches_paper_16_gpus() {
+        // Paper Table 1 (16 experts / 16 GPUs): EC 6 / 1.5 / 6 GB,
+        // DC 0.56 / 0.14 / 0.19 GB.
+        let bert = table1_row(&ModelPreset::MoeBert.config(16), 2, 8);
+        assert!((bert.ec_traffic_gib - 6.0).abs() < 0.1, "{bert:?}");
+        assert!((bert.dc_traffic_gib - 0.56).abs() < 0.01, "{bert:?}");
+
+        let gpt = table1_row(&ModelPreset::MoeGpt.config(16), 2, 8);
+        assert!((gpt.ec_traffic_gib - 1.5).abs() < 0.02, "{gpt:?}");
+        assert!((gpt.dc_traffic_gib - 0.14).abs() < 0.01, "{gpt:?}");
+
+        let xl = table1_row(&ModelPreset::MoeTransformerXl.config(16), 2, 8);
+        assert!((xl.ec_traffic_gib - 6.0).abs() < 0.1, "{xl:?}");
+        assert!((xl.dc_traffic_gib - 0.19).abs() < 0.01, "{xl:?}");
+    }
+
+    #[test]
+    fn reduction_peaks_at_16x_for_xl() {
+        // Abstract: "Janus can reduce the traffic up to 16×".
+        let xl = table1_row(&ModelPreset::MoeTransformerXl.config(32), 4, 8);
+        assert!((xl.reduction - 16.0).abs() < 0.2, "{}", xl.reduction);
+    }
+
+    #[test]
+    fn r_greater_than_one_iff_dc_wins() {
+        for preset in ModelPreset::all() {
+            let model = preset.config(32);
+            let block = model.moe_blocks()[0];
+            let r = r_for_block(&model, block, 4, 8);
+            let ec = iteration_traffic_ec(&model, 4, 8);
+            let dc = iteration_traffic_dc(&model, 4, 8);
+            assert_eq!(r > 1.0, dc < ec, "{preset:?}: R = {r}, dc = {dc}, ec = {ec}");
+        }
+    }
+
+    #[test]
+    fn dc_traffic_independent_of_batch_size() {
+        let mut a = ModelPreset::MoeBert.config(32);
+        let dc1 = iteration_traffic_dc(&a, 4, 8);
+        a.batch *= 4;
+        let dc2 = iteration_traffic_dc(&a, 4, 8);
+        assert_eq!(dc1, dc2);
+        // While EC scales linearly with batch.
+        let mut b = ModelPreset::MoeBert.config(32);
+        let ec1 = iteration_traffic_ec(&b, 4, 8);
+        b.batch *= 4;
+        let ec2 = iteration_traffic_ec(&b, 4, 8);
+        assert!((ec2 / ec1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_machine_has_no_cross_node_traffic() {
+        let model = ModelPreset::MoeBert.config(16);
+        assert_eq!(iteration_traffic_dc(&model, 1, 16), 0.0);
+        assert_eq!(iteration_traffic_ec(&model, 1, 16), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Synthetic token→expert assignment matrices.
+//!
+//! The simulation engines need only the *histogram* of tokens each worker
+//! sends to each expert. Real gates produce imbalanced histograms (paper
+//! §3.1 cites [24]); this module generates balanced and skewed variants
+//! with a seeded RNG so experiments are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How skewed the expert popularity distribution is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Imbalance {
+    /// Every expert receives exactly `T/experts` tokens from each worker
+    /// (the paper's lower-bound case for expert-centric communication).
+    Balanced,
+    /// Expert popularity follows a Zipf distribution with this exponent;
+    /// tokens are assigned by multinomial sampling. `Zipf(0.0)` is uniform
+    /// in expectation, `Zipf(1.2)` is heavily hot-expert skewed.
+    Zipf(f64),
+}
+
+/// `counts[w][e]` = tokens worker `w` routes to global expert `e` in one
+/// MoE block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentMatrix {
+    /// Token counts per (worker, expert).
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl AssignmentMatrix {
+    /// Generate an assignment of `tokens_per_worker` token slots from each
+    /// of `workers` workers over `experts` experts.
+    pub fn generate(
+        workers: usize,
+        experts: usize,
+        tokens_per_worker: usize,
+        imbalance: Imbalance,
+        seed: u64,
+    ) -> Self {
+        assert!(workers > 0 && experts > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = match imbalance {
+            Imbalance::Balanced => {
+                let base = tokens_per_worker / experts;
+                let rem = tokens_per_worker % experts;
+                (0..workers)
+                    .map(|_| (0..experts).map(|e| base + usize::from(e < rem)).collect())
+                    .collect()
+            }
+            Imbalance::Zipf(s) => {
+                // Shared expert popularity across workers: hot experts are
+                // hot everywhere, which is what gates produce in practice.
+                let weights: Vec<f64> =
+                    (1..=experts).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+                // Randomly permute which expert gets which popularity rank.
+                let mut perm: Vec<usize> = (0..experts).collect();
+                for i in (1..experts).rev() {
+                    perm.swap(i, rng.random_range(0..=i));
+                }
+                let total: f64 = weights.iter().sum();
+                let cdf: Vec<f64> = weights
+                    .iter()
+                    .scan(0.0, |acc, w| {
+                        *acc += w / total;
+                        Some(*acc)
+                    })
+                    .collect();
+                (0..workers)
+                    .map(|_| {
+                        let mut row = vec![0usize; experts];
+                        for _ in 0..tokens_per_worker {
+                            let u: f64 = rng.random();
+                            let slot = cdf.partition_point(|&c| c < u).min(experts - 1);
+                            row[perm[slot]] += 1;
+                        }
+                        row
+                    })
+                    .collect()
+            }
+        };
+        AssignmentMatrix { counts }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of experts.
+    pub fn experts(&self) -> usize {
+        self.counts.first().map_or(0, Vec::len)
+    }
+
+    /// Tokens worker `w` routes to expert `e`.
+    pub fn tokens(&self, w: usize, e: usize) -> usize {
+        self.counts[w][e]
+    }
+
+    /// Total tokens arriving at `expert` across all workers.
+    pub fn expert_load(&self, expert: usize) -> usize {
+        self.counts.iter().map(|row| row[expert]).sum()
+    }
+
+    /// Total tokens emitted by `worker`.
+    pub fn worker_tokens(&self, worker: usize) -> usize {
+        self.counts[worker].iter().sum()
+    }
+
+    /// Ratio of the busiest expert's load to the mean load — 1.0 when
+    /// perfectly balanced. The paper's All-to-All latency is governed by
+    /// this factor.
+    pub fn imbalance_factor(&self) -> f64 {
+        let experts = self.experts();
+        if experts == 0 {
+            return 1.0;
+        }
+        let loads: Vec<usize> = (0..experts).map(|e| self.expert_load(e)).collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = loads.iter().sum::<usize>() as f64 / experts as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_rows_are_exact() {
+        let a = AssignmentMatrix::generate(4, 8, 64, Imbalance::Balanced, 0);
+        assert_eq!(a.workers(), 4);
+        assert_eq!(a.experts(), 8);
+        for w in 0..4 {
+            assert_eq!(a.worker_tokens(w), 64);
+            for e in 0..8 {
+                assert_eq!(a.tokens(w, e), 8);
+            }
+        }
+        assert!((a.imbalance_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_distributes_remainder() {
+        let a = AssignmentMatrix::generate(1, 4, 10, Imbalance::Balanced, 0);
+        assert_eq!(a.counts[0], vec![3, 3, 2, 2]);
+        assert_eq!(a.worker_tokens(0), 10);
+    }
+
+    #[test]
+    fn zipf_conserves_tokens() {
+        let a = AssignmentMatrix::generate(3, 16, 500, Imbalance::Zipf(1.1), 42);
+        for w in 0..3 {
+            assert_eq!(a.worker_tokens(w), 500);
+        }
+    }
+
+    #[test]
+    fn zipf_is_more_imbalanced_than_uniform() {
+        let hot = AssignmentMatrix::generate(4, 16, 2000, Imbalance::Zipf(1.2), 7);
+        let flat = AssignmentMatrix::generate(4, 16, 2000, Imbalance::Zipf(0.0), 7);
+        assert!(
+            hot.imbalance_factor() > flat.imbalance_factor(),
+            "zipf {} <= uniform {}",
+            hot.imbalance_factor(),
+            flat.imbalance_factor()
+        );
+        assert!(hot.imbalance_factor() > 1.5);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = AssignmentMatrix::generate(2, 8, 100, Imbalance::Zipf(1.0), 3);
+        let b = AssignmentMatrix::generate(2, 8, 100, Imbalance::Zipf(1.0), 3);
+        let c = AssignmentMatrix::generate(2, 8, 100, Imbalance::Zipf(1.0), 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn expert_load_sums_workers() {
+        let a = AssignmentMatrix::generate(4, 4, 100, Imbalance::Balanced, 0);
+        for e in 0..4 {
+            assert_eq!(a.expert_load(e), 100);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for gate routing, expert math, and the traffic model.
+
+use janus_moe::config::{BlockKind, ModelConfig};
+use janus_moe::expert::{ExpertFfn, ExpertGrads};
+use janus_moe::gate::TopKGate;
+use janus_moe::traffic::{iteration_traffic_dc, iteration_traffic_ec, r_metric};
+use janus_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model(b: usize, s: usize, k: usize, h: usize, experts: usize, moe_blocks: usize) -> ModelConfig {
+    let mut blocks = vec![BlockKind::Transformer; 4];
+    for i in 0..moe_blocks.min(4) {
+        blocks[i] = BlockKind::Moe { experts };
+    }
+    ModelConfig {
+        name: "prop".into(),
+        blocks,
+        hidden_dim: h,
+        batch: b,
+        seq_len: s,
+        top_k: k.min(experts),
+        dtype_bytes: 2,
+        vocab: 100,
+    }
+}
+
+proptest! {
+    /// The closed forms are consistent: `R > 1 ⇔ Comm_DC < Comm_EC` for
+    /// any configuration (the identity the unified policy relies on).
+    #[test]
+    fn r_metric_is_consistent_with_traffic_forms(
+        b in 1usize..64,
+        s in 1usize..256,
+        k in 1usize..4,
+        h_pow in 5usize..9,
+        n in 2usize..5,
+        m in 1usize..4,
+        e_per in 1usize..3,
+    ) {
+        let h = 1 << h_pow;
+        let experts = n * m * e_per;
+        let cfg = model(b, s, k, h, experts, 1);
+        let dc = iteration_traffic_dc(&cfg, n, m);
+        let ec = iteration_traffic_ec(&cfg, n, m);
+        let r = r_metric(cfg.batch, cfg.seq_len, cfg.top_k, n, h, e_per);
+        prop_assert!((r > 1.0) == (dc < ec),
+            "R = {r} but dc = {dc}, ec = {ec}");
+        // And the ratio actually equals R.
+        if dc > 0.0 {
+            prop_assert!((ec / dc - r).abs() / r < 1e-9);
+        }
+    }
+
+    /// Traffic scales linearly in the number of MoE blocks.
+    #[test]
+    fn traffic_is_linear_in_moe_blocks(blocks in 1usize..4) {
+        let one = model(8, 32, 2, 64, 8, 1);
+        let many = model(8, 32, 2, 64, 8, blocks);
+        let f = blocks as f64;
+        prop_assert!((iteration_traffic_dc(&many, 2, 4) - f * iteration_traffic_dc(&one, 2, 4)).abs() < 1.0);
+        prop_assert!((iteration_traffic_ec(&many, 2, 4) - f * iteration_traffic_ec(&one, 2, 4)).abs() < 1.0);
+    }
+
+    /// Gate routing always yields k distinct experts with normalized,
+    /// descending weights — for any weights and inputs.
+    #[test]
+    fn routing_invariants(
+        seed in any::<u64>(),
+        tokens in 1usize..20,
+        experts in 2usize..9,
+        k in 1usize..4,
+    ) {
+        let k = k.min(experts);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gate = TopKGate::new(6, experts, k, &mut rng);
+        let x = Matrix::uniform(tokens, 6, 2.0, &mut rng);
+        let routing = gate.route(&x);
+        prop_assert_eq!(routing.experts.len(), tokens);
+        for (es, ws) in routing.experts.iter().zip(&routing.weights) {
+            prop_assert_eq!(es.len(), k);
+            let mut dedup = es.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), k, "duplicate expert for a token");
+            let sum: f32 = ws.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            for w in ws.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-6);
+            }
+        }
+        // tokens_for partitions exactly tokens*k slots.
+        let total: usize = (0..experts).map(|e| routing.tokens_for(e).len()).sum();
+        prop_assert_eq!(total, tokens * k);
+    }
+
+    /// Expert gradient additivity across arbitrary batch splits — the
+    /// property that makes per-machine pre-reduction exact.
+    #[test]
+    fn gradients_add_across_splits(seed in any::<u64>(), split in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = ExpertFfn::new(4, &mut rng);
+        let x = Matrix::uniform(6, 4, 0.5, &mut rng);
+        let dy = Matrix::uniform(6, 4, 0.5, &mut rng);
+        let (_, cache) = e.forward(&x);
+        let (full, _) = e.backward(&cache, &dy);
+
+        let cut = split.min(5);
+        let idx_a: Vec<usize> = (0..cut).collect();
+        let idx_b: Vec<usize> = (cut..6).collect();
+        let mut sum = ExpertGrads::zeros_like(&e);
+        for idx in [idx_a, idx_b] {
+            if idx.is_empty() {
+                continue;
+            }
+            let (_, c) = e.forward(&x.gather_rows(&idx));
+            let (g, _) = e.backward(&c, &dy.gather_rows(&idx));
+            sum.accumulate(&g);
+        }
+        prop_assert!(sum.max_abs_diff(&full) < 1e-3);
+    }
+
+}

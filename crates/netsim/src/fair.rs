@@ -1,0 +1,183 @@
+//! Max-min fair bandwidth allocation (progressive filling).
+//!
+//! Given a set of flows, each traversing a list of links, and per-link
+//! capacities, compute the max-min fair rate vector: repeatedly find the
+//! most contended link (smallest equal share among its unfrozen flows),
+//! freeze every unfrozen flow crossing it at that share, subtract the
+//! frozen bandwidth, and continue until every flow is frozen.
+//!
+//! This is the classic water-filling algorithm; it terminates in at most
+//! `min(#flows, #links)` rounds and produces the unique max-min fair
+//! allocation.
+
+use janus_topology::LinkId;
+
+/// Compute max-min fair rates for `flows` over links with `capacities`.
+///
+/// Each entry of `flows` is the route (link list) of one flow. A flow with
+/// an empty route is unconstrained and gets `f64::INFINITY` — callers
+/// treat such transfers as instantaneous (both endpoints in the same
+/// memory domain).
+///
+/// Links that appear multiple times in one route are counted once (a flow
+/// cannot consume the same link twice in the fluid model).
+pub fn max_min_rates(flows: &[Vec<LinkId>], capacities: &[f64]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![f64::INFINITY; n];
+    if n == 0 {
+        return rates;
+    }
+
+    // Deduplicated routes so repeated links don't double-count.
+    let dedup: Vec<Vec<usize>> = flows
+        .iter()
+        .map(|route| {
+            let mut ls: Vec<usize> = route.iter().map(|l| l.index()).collect();
+            ls.sort_unstable();
+            ls.dedup();
+            ls
+        })
+        .collect();
+
+    let mut remaining = capacities.to_vec();
+    let mut flows_on_link = vec![0usize; capacities.len()];
+    for ls in &dedup {
+        for &l in ls {
+            flows_on_link[l] += 1;
+        }
+    }
+    let mut frozen = vec![false; n];
+    // Flows with empty routes are frozen at infinity from the start.
+    let mut unfrozen = 0usize;
+    for (i, ls) in dedup.iter().enumerate() {
+        if ls.is_empty() {
+            frozen[i] = true;
+        } else {
+            unfrozen += 1;
+        }
+    }
+
+    while unfrozen > 0 {
+        // Bottleneck link: smallest fair share among links with unfrozen flows.
+        let mut best_share = f64::INFINITY;
+        let mut best_link = usize::MAX;
+        for (l, &cnt) in flows_on_link.iter().enumerate() {
+            if cnt > 0 {
+                let share = (remaining[l] / cnt as f64).max(0.0);
+                if share < best_share {
+                    best_share = share;
+                    best_link = l;
+                }
+            }
+        }
+        if best_link == usize::MAX {
+            // No contended links left; remaining flows are unconstrained.
+            break;
+        }
+        // Freeze every unfrozen flow crossing the bottleneck.
+        for i in 0..n {
+            if frozen[i] || !dedup[i].contains(&best_link) {
+                continue;
+            }
+            frozen[i] = true;
+            unfrozen -= 1;
+            rates[i] = best_share;
+            for &l in &dedup[i] {
+                remaining[l] = (remaining[l] - best_share).max(0.0);
+                flows_on_link[l] -= 1;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn links(ids: &[usize]) -> Vec<LinkId> {
+        ids.iter().copied().map(LinkId).collect()
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let rates = max_min_rates(&[links(&[0])], &[10.0]);
+        assert_eq!(rates, vec![10.0]);
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let rates = max_min_rates(&[links(&[0]), links(&[0]), links(&[0])], &[9.0]);
+        assert_eq!(rates, vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn bottleneck_releases_bandwidth_elsewhere() {
+        // Flow 0: links 0,1. Flow 1: link 0. Flow 2: link 1.
+        // Capacities: link0 = 10, link1 = 4.
+        // Link 1 is the first bottleneck: flows 0 and 2 get 2 each.
+        // Flow 1 then gets the rest of link 0: 10 - 2 = 8.
+        let rates = max_min_rates(&[links(&[0, 1]), links(&[0]), links(&[1])], &[10.0, 4.0]);
+        assert_eq!(rates, vec![2.0, 8.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_route_is_unconstrained() {
+        let rates = max_min_rates(&[links(&[]), links(&[0])], &[5.0]);
+        assert_eq!(rates[0], f64::INFINITY);
+        assert_eq!(rates[1], 5.0);
+    }
+
+    #[test]
+    fn duplicate_links_counted_once() {
+        let rates = max_min_rates(&[links(&[0, 0])], &[6.0]);
+        assert_eq!(rates, vec![6.0]);
+    }
+
+    #[test]
+    fn no_flows() {
+        assert!(max_min_rates(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_link_gives_zero_rate() {
+        let rates = max_min_rates(&[links(&[0])], &[0.0]);
+        assert_eq!(rates, vec![0.0]);
+    }
+
+    #[test]
+    fn classic_water_filling_example() {
+        // Three links in a line (cap 1 each); flows: A over all three,
+        // B over link 0, C over link 1, D over link 2.
+        // A is bottlenecked at 1/2 on every link; B, C, D get 1/2 too.
+        let flows =
+            vec![links(&[0, 1, 2]), links(&[0]), links(&[1]), links(&[2])];
+        let rates = max_min_rates(&flows, &[1.0, 1.0, 1.0]);
+        for r in rates {
+            assert!((r - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn allocation_respects_capacities() {
+        // Random-ish structured case, verified against link budgets.
+        let flows = vec![
+            links(&[0, 2]),
+            links(&[1, 2]),
+            links(&[0, 1]),
+            links(&[2]),
+            links(&[0]),
+        ];
+        let caps = [7.0, 5.0, 3.0];
+        let rates = max_min_rates(&flows, &caps);
+        let mut used = [0.0f64; 3];
+        for (f, rate) in flows.iter().zip(&rates) {
+            for l in f {
+                used[l.index()] += rate;
+            }
+        }
+        for (u, c) in used.iter().zip(&caps) {
+            assert!(*u <= c + 1e-9, "link over capacity: {u} > {c}");
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Task-graph construction.
+//!
+//! Engines compile one training iteration into a [`Graph`]: a DAG whose
+//! nodes carry [`Work`] (compute on a lane, a transfer over links, credit
+//! acquisition/release, or a zero-cost join) plus scheduling priority and
+//! memory-accounting deltas. The graph is immutable once built and is
+//! executed by [`crate::sim::simulate`].
+
+use janus_topology::LinkId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a task inside a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// A serial execution lane. Tasks assigned to the same lane run one at a
+/// time in priority order. One lane per GPU models the compute stream;
+/// per-worker fetch lanes serialize expert pulls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaneId(pub usize);
+
+/// A counting credit pool (the paper's credit-based buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolId(pub usize);
+
+impl From<usize> for TaskId {
+    fn from(v: usize) -> Self {
+        TaskId(v)
+    }
+}
+impl From<usize> for LinkIdExt {
+    fn from(v: usize) -> Self {
+        LinkIdExt(LinkId(v))
+    }
+}
+
+/// Thin wrapper so doctests can write `vec![0.into()]` for routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkIdExt(pub LinkId);
+
+/// What a task does when it runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Work {
+    /// Occupy `lane` for `duration` seconds.
+    Compute {
+        /// Serial lane the task occupies.
+        lane: LaneId,
+        /// Busy time in seconds.
+        duration: f64,
+    },
+    /// Move `bytes` across `route`, sharing links max-min fairly with all
+    /// other in-flight transfers. If `lane` is set, the transfer also
+    /// occupies that serial lane for its whole duration (a worker that
+    /// issues pulls one at a time). `latency` seconds elapse after the
+    /// transfer starts before bytes begin to flow (fixed per-message
+    /// issue cost: control-plane round trip, kernel launch, RDMA
+    /// rendezvous); the lane is held during the latency too. An empty
+    /// route or non-positive byte count completes after just the latency.
+    Transfer {
+        /// Directed links the flow traverses.
+        route: Vec<LinkId>,
+        /// Payload size in bytes.
+        bytes: f64,
+        /// Optional serial lane occupied while in flight.
+        lane: Option<LaneId>,
+        /// Fixed issue delay in seconds before bytes flow.
+        latency: f64,
+    },
+    /// Take `amount` credits from `pool`, waiting (in priority order) if
+    /// the pool lacks capacity.
+    AcquireCredits {
+        /// Pool to draw from.
+        pool: PoolId,
+        /// Number of credits taken.
+        amount: u32,
+    },
+    /// Return `amount` credits to `pool`.
+    ReleaseCredits {
+        /// Pool to refill.
+        pool: PoolId,
+        /// Number of credits returned.
+        amount: u32,
+    },
+    /// Zero-duration join/fork node.
+    NoOp,
+}
+
+impl Work {
+    /// Convenience constructor for a laneless transfer. Accepts anything
+    /// convertible into link ids so tests can write `vec![0.into()]`.
+    pub fn transfer(route: Vec<LinkIdExt>, bytes: f64) -> Work {
+        Work::Transfer { route: route.into_iter().map(|l| l.0).collect(), bytes, lane: None, latency: 0.0 }
+    }
+
+    /// Convenience constructor for a transfer serialized on `lane`.
+    pub fn transfer_on(route: Vec<LinkId>, bytes: f64, lane: LaneId) -> Work {
+        Work::Transfer { route, bytes, lane: Some(lane), latency: 0.0 }
+    }
+
+    /// Short tag used in trace records.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Work::Compute { .. } => "compute",
+            Work::Transfer { .. } => "transfer",
+            Work::AcquireCredits { .. } => "acquire",
+            Work::ReleaseCredits { .. } => "release",
+            Work::NoOp => "noop",
+        }
+    }
+}
+
+/// A signed memory-accounting change on one memory domain (GPU or CPU),
+/// applied when the owning task starts (`at_start = true`) or finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemDelta {
+    /// Index of the memory domain (engine-defined; typically worker rank).
+    pub domain: usize,
+    /// Signed byte change.
+    pub bytes: f64,
+    /// Apply at task start (true) or completion (false).
+    pub at_start: bool,
+}
+
+/// Full description of one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// The action performed.
+    pub work: Work,
+    /// Scheduling priority; lower runs first when contending for a lane
+    /// or credit pool. Defaults to 0.
+    pub priority: i64,
+    /// Label propagated into trace records (expert id, block id, ...).
+    pub label: String,
+    /// Memory accounting deltas.
+    pub mem: Vec<MemDelta>,
+}
+
+impl TaskSpec {
+    /// A spec with default priority, empty label, no memory deltas.
+    pub fn new(work: Work) -> Self {
+        TaskSpec { work, priority: 0, label: String::new(), mem: Vec::new() }
+    }
+
+    /// Set the priority (builder style).
+    pub fn priority(mut self, p: i64) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set the label (builder style).
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.label = l.into();
+        self
+    }
+
+    /// Add a memory delta (builder style).
+    pub fn mem(mut self, domain: usize, bytes: f64, at_start: bool) -> Self {
+        self.mem.push(MemDelta { domain, bytes, at_start });
+        self
+    }
+}
+
+/// Internal task storage: spec plus dependency edges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Task {
+    /// The task description.
+    pub spec: TaskSpec,
+    /// Tasks that must finish before this one becomes ready.
+    pub deps: Vec<TaskId>,
+    /// Reverse edges, filled in by [`GraphBuilder::build`].
+    pub dependents: Vec<TaskId>,
+}
+
+/// An immutable task graph ready for simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) num_links: usize,
+    pub(crate) num_domains: usize,
+    pub(crate) lanes: usize,
+    pub(crate) pools: Vec<u32>,
+}
+
+impl Graph {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Task storage (read-only).
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Number of memory domains tracked.
+    pub fn num_domains(&self) -> usize {
+        self.num_domains
+    }
+
+    /// Number of links the graph's routes may reference.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph({} tasks, {} lanes, {} pools, {} links)",
+            self.tasks.len(),
+            self.lanes,
+            self.pools.len(),
+            self.num_links
+        )
+    }
+}
+
+/// Builder for [`Graph`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    tasks: Vec<Task>,
+    num_links: usize,
+    num_domains: usize,
+    lanes: usize,
+    pools: Vec<u32>,
+}
+
+impl GraphBuilder {
+    /// Start a graph whose routes may reference `num_links` links and
+    /// whose memory deltas may touch `num_domains` domains.
+    pub fn new(num_links: usize, num_domains: usize) -> Self {
+        GraphBuilder { tasks: Vec::new(), num_links, num_domains, lanes: 0, pools: Vec::new() }
+    }
+
+    /// Allocate a serial lane.
+    pub fn lane(&mut self) -> LaneId {
+        let id = LaneId(self.lanes);
+        self.lanes += 1;
+        id
+    }
+
+    /// Allocate a credit pool with `capacity` credits.
+    pub fn pool(&mut self, capacity: u32) -> PoolId {
+        let id = PoolId(self.pools.len());
+        self.pools.push(capacity);
+        id
+    }
+
+    /// Add a task from bare work with default spec fields.
+    pub fn task(&mut self, work: Work, deps: &[TaskId]) -> TaskId {
+        self.add(TaskSpec::new(work), deps)
+    }
+
+    /// Add a fully specified task.
+    pub fn add(&mut self, spec: TaskSpec, deps: &[TaskId]) -> TaskId {
+        self.validate(&spec, deps);
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task { spec, deps: deps.to_vec(), dependents: Vec::new() });
+        id
+    }
+
+    fn validate(&self, spec: &TaskSpec, deps: &[TaskId]) {
+        for d in deps {
+            assert!(
+                d.0 < self.tasks.len(),
+                "dependency {:?} does not exist yet (tasks must be added in topological order)",
+                d
+            );
+        }
+        match &spec.work {
+            Work::Compute { lane, duration } => {
+                assert!(lane.0 < self.lanes, "lane {:?} not allocated", lane);
+                assert!(duration.is_finite() && *duration >= 0.0, "bad duration {duration}");
+            }
+            Work::Transfer { route, bytes, lane, latency } => {
+                for l in route {
+                    assert!(l.index() < self.num_links, "route references unknown link {l}");
+                }
+                assert!(bytes.is_finite(), "bad byte count {bytes}");
+                assert!(latency.is_finite() && *latency >= 0.0, "bad latency {latency}");
+                if let Some(lane) = lane {
+                    assert!(lane.0 < self.lanes, "lane {:?} not allocated", lane);
+                }
+            }
+            Work::AcquireCredits { pool, amount } | Work::ReleaseCredits { pool, amount } => {
+                assert!(pool.0 < self.pools.len(), "pool {:?} not allocated", pool);
+                assert!(*amount > 0, "credit amount must be positive");
+            }
+            Work::NoOp => {}
+        }
+        for m in &spec.mem {
+            assert!(m.domain < self.num_domains, "memory domain {} out of range", m.domain);
+        }
+    }
+
+    /// Finish the graph, computing reverse edges.
+    pub fn build(mut self) -> Graph {
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for d in &t.deps {
+                dependents[d.0].push(TaskId(i));
+            }
+        }
+        for (t, deps) in self.tasks.iter_mut().zip(dependents) {
+            t.dependents = deps;
+        }
+        Graph {
+            tasks: self.tasks,
+            num_links: self.num_links,
+            num_domains: self.num_domains,
+            lanes: self.lanes,
+            pools: self.pools,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut g = GraphBuilder::new(0, 0);
+        let a = g.task(Work::NoOp, &[]);
+        let b = g.task(Work::NoOp, &[a]);
+        assert_eq!(a, TaskId(0));
+        assert_eq!(b, TaskId(1));
+        let graph = g.build();
+        assert_eq!(graph.len(), 2);
+        assert_eq!(graph.task(a).dependents, vec![b]);
+        assert_eq!(graph.task(b).deps, vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_dependency_rejected() {
+        let mut g = GraphBuilder::new(0, 0);
+        g.task(Work::NoOp, &[TaskId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn unknown_lane_rejected() {
+        let mut g = GraphBuilder::new(0, 0);
+        g.task(Work::Compute { lane: LaneId(0), duration: 1.0 }, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn unknown_link_rejected() {
+        let mut g = GraphBuilder::new(1, 0);
+        g.task(Work::transfer(vec![3.into()], 1.0), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_mem_domain_rejected() {
+        let mut g = GraphBuilder::new(0, 1);
+        g.add(TaskSpec::new(Work::NoOp).mem(2, 1.0, true), &[]);
+    }
+
+    #[test]
+    fn spec_builders_compose() {
+        let spec = TaskSpec::new(Work::NoOp).priority(-3).label("gate").mem(0, 16.0, true);
+        assert_eq!(spec.priority, -3);
+        assert_eq!(spec.label, "gate");
+        assert_eq!(spec.mem.len(), 1);
+        assert_eq!(Work::NoOp.tag(), "noop");
+    }
+
+    #[test]
+    fn lanes_and_pools_allocate() {
+        let mut g = GraphBuilder::new(0, 0);
+        let l0 = g.lane();
+        let l1 = g.lane();
+        assert_ne!(l0, l1);
+        let p = g.pool(4);
+        g.task(Work::AcquireCredits { pool: p, amount: 2 }, &[]);
+        g.task(Work::Compute { lane: l1, duration: 0.5 }, &[]);
+        let graph = g.build();
+        assert_eq!(graph.pools, vec![4]);
+        assert_eq!(graph.lanes, 2);
+        assert!(graph.to_string().contains("2 tasks"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic discrete-event cluster simulator.
+//!
+//! `janus-netsim` executes a [`Graph`] of compute, transfer, and credit
+//! tasks against a set of capacity-constrained links (produced by
+//! [`janus-topology`]) and reports exact task timings, per-link byte
+//! counts, and per-domain memory high-water marks.
+//!
+//! # Model
+//!
+//! * **Transfers** are fluid flows across a route of directed links.
+//!   All concurrently active flows share every link max-min fairly
+//!   (progressive filling, recomputed at every flow arrival/departure),
+//!   which is the standard flow-level approximation of congestion-controlled
+//!   transports such as RDMA RC and NCCL rings.
+//! * **Compute** occupies a serial [`LaneId`] for a fixed duration —
+//!   one lane per GPU models the CUDA compute stream; additional lanes can
+//!   serialize fetch issue per worker (the paper's one-pull-at-a-time
+//!   Intra-Node Scheduler).
+//! * **Credits** model the paper's credit-based buffer (§5.1.1): an
+//!   [`Work::AcquireCredits`] task blocks until its pool has capacity;
+//!   [`Work::ReleaseCredits`] returns it.
+//! * **Memory** deltas attached to tasks track per-domain usage; the
+//!   simulator records the high-water mark so engines can detect the OOM
+//!   the paper observes in Figure 16.
+//!
+//! The simulator is fully deterministic: identical graphs produce
+//! identical results, with ties broken by task priority and insertion
+//! order.
+//!
+//! ```
+//! use janus_netsim::{GraphBuilder, Work, simulate};
+//!
+//! // Two flows share one 10 B/s link: each gets 5 B/s, so 50 bytes take 10 s.
+//! let mut g = GraphBuilder::new(1, 0);
+//! g.task(Work::transfer(vec![0.into()], 50.0), &[]);
+//! g.task(Work::transfer(vec![0.into()], 50.0), &[]);
+//! let result = simulate(&g.build(), &[10.0]).unwrap();
+//! assert!((result.makespan - 10.0).abs() < 1e-9);
+//! ```
+
+pub mod fair;
+pub mod graph;
+pub mod sim;
+pub mod trace;
+
+pub use graph::{Graph, GraphBuilder, LaneId, PoolId, TaskId, TaskSpec, Work};
+pub use sim::{simulate, SimError};
+pub use trace::{SimResult, TaskRecord};

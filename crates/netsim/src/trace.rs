@@ -1,0 +1,191 @@
+//! Simulation results: task timings, link byte counters, memory peaks.
+
+use crate::graph::TaskId;
+use serde::Serialize;
+
+/// Timing record of one executed task.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TaskRecord {
+    /// Which task.
+    pub id: TaskId,
+    /// Label copied from the task spec.
+    pub label: String,
+    /// Work tag (`compute`, `transfer`, ...).
+    pub kind: &'static str,
+    /// Time the task became ready (all dependencies finished).
+    pub ready: f64,
+    /// Time the task actually started (lane/credits granted).
+    pub start: f64,
+    /// Completion time.
+    pub finish: f64,
+}
+
+impl TaskRecord {
+    /// Time spent queued behind a lane or credit pool.
+    pub fn queue_delay(&self) -> f64 {
+        self.start - self.ready
+    }
+
+    /// Active duration.
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// Complete output of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimResult {
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// One record per task, indexed by task id.
+    pub records: Vec<TaskRecord>,
+    /// Total bytes carried by each link over the run.
+    pub link_bytes: Vec<f64>,
+    /// Per-link busy time (seconds during which at least one flow used the
+    /// link).
+    pub link_busy: Vec<f64>,
+    /// Memory high-water mark per domain.
+    pub mem_peak: Vec<f64>,
+    /// Final memory level per domain (non-zero indicates an accounting
+    /// leak in the engine that built the graph).
+    pub mem_final: Vec<f64>,
+}
+
+impl SimResult {
+    /// Records whose label starts with `prefix`, in finish-time order.
+    pub fn records_with_prefix(&self, prefix: &str) -> Vec<&TaskRecord> {
+        let mut v: Vec<&TaskRecord> =
+            self.records.iter().filter(|r| r.label.starts_with(prefix)).collect();
+        v.sort_by(|a, b| a.finish.total_cmp(&b.finish));
+        v
+    }
+
+    /// Latest finish among records whose label starts with `prefix`
+    /// (0.0 when none match).
+    pub fn finish_of(&self, prefix: &str) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.label.starts_with(prefix))
+            .map(|r| r.finish)
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of bytes over a set of links.
+    pub fn bytes_on<I: IntoIterator<Item = usize>>(&self, links: I) -> f64 {
+        links.into_iter().map(|l| self.link_bytes[l]).sum()
+    }
+
+    /// Mean utilization of a link over the makespan.
+    pub fn utilization(&self, link: usize, capacity: f64) -> f64 {
+        if self.makespan <= 0.0 || capacity <= 0.0 {
+            0.0
+        } else {
+            self.link_bytes[link] / (capacity * self.makespan)
+        }
+    }
+
+    /// Export the task timeline as a Chrome trace (the JSON array format
+    /// of `chrome://tracing` / Perfetto). Each labelled task becomes a
+    /// complete event; the track (`tid`) is derived from the label's
+    /// leading component (`w3/…` → track "w3", `M0/…` → track "M0",
+    /// `a2a/…` → track "a2a"), so per-worker activity lines up visually.
+    /// Timestamps are microseconds.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for r in &self.records {
+            if r.label.is_empty() || r.finish.is_nan() {
+                continue;
+            }
+            let track = r.label.split('/').next().unwrap_or("misc");
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                concat!(
+                    r#"{{"name":{:?},"cat":{:?},"ph":"X","ts":{:.3},"#,
+                    r#""dur":{:.3},"pid":0,"tid":{:?}}}"#
+                ),
+                r.label,
+                r.kind,
+                r.start * 1e6,
+                (r.finish - r.start).max(0.0) * 1e6,
+                track,
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: &str, ready: f64, start: f64, finish: f64) -> TaskRecord {
+        TaskRecord { id: TaskId(0), label: label.into(), kind: "compute", ready, start, finish }
+    }
+
+    #[test]
+    fn delays_and_durations() {
+        let r = record("x", 1.0, 2.5, 4.0);
+        assert!((r.queue_delay() - 1.5).abs() < 1e-12);
+        assert!((r.duration() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_tracks() {
+        let result = SimResult {
+            makespan: 2.0,
+            records: vec![
+                record("w0/b1/fwd-shared", 0.0, 0.0, 1.0),
+                record("a2a/b1/fd/w0-w1", 0.5, 0.5, 1.5),
+                TaskRecord {
+                    id: TaskId(2),
+                    label: String::new(), // unlabeled: skipped
+                    kind: "noop",
+                    ready: 0.0,
+                    start: 0.0,
+                    finish: 0.0,
+                },
+            ],
+            link_bytes: vec![],
+            link_busy: vec![],
+            mem_peak: vec![],
+            mem_final: vec![],
+        };
+        let json = result.to_chrome_trace();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["tid"], "w0");
+        assert_eq!(events[1]["tid"], "a2a");
+        assert_eq!(events[0]["dur"], 1e6);
+        assert_eq!(events[0]["ph"], "X");
+    }
+
+    #[test]
+    fn prefix_filters_sort_by_finish() {
+        let result = SimResult {
+            makespan: 5.0,
+            records: vec![
+                record("block/2", 0.0, 0.0, 3.0),
+                record("block/1", 0.0, 0.0, 2.0),
+                record("expert/0", 0.0, 0.0, 1.0),
+            ],
+            link_bytes: vec![10.0, 0.0],
+            link_busy: vec![1.0, 0.0],
+            mem_peak: vec![],
+            mem_final: vec![],
+        };
+        let blocks = result.records_with_prefix("block/");
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].label, "block/1");
+        assert_eq!(result.finish_of("block/"), 3.0);
+        assert_eq!(result.finish_of("missing/"), 0.0);
+        assert_eq!(result.bytes_on([0, 1]), 10.0);
+        assert!((result.utilization(0, 2.0) - 1.0).abs() < 1e-12);
+        assert_eq!(result.utilization(0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Activations and row-wise softmax, with exact backward passes.
+
+use crate::matrix::Matrix;
+
+/// Exact GeLU: `x · Φ(x)` with `Φ` the standard normal CDF, computed via
+/// `erf`. Matches the "gelu" used by BERT-family FFNs.
+pub fn gelu(x: &Matrix) -> Matrix {
+    x.map(gelu_scalar)
+}
+
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + erf(x as f64 / std::f64::consts::SQRT_2) as f32)
+}
+
+/// d/dx GeLU(x) = Φ(x) + x·φ(x), applied to `x` and multiplied by the
+/// incoming gradient `dy`.
+pub fn gelu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape(), "gelu_backward shape mismatch");
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for (o, (xv, dv)) in out.data_mut().iter_mut().zip(x.data().iter().zip(dy.data())) {
+        let xf = *xv as f64;
+        let cdf = 0.5 * (1.0 + erf(xf / std::f64::consts::SQRT_2));
+        let pdf = (-0.5 * xf * xf).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        *o = *dv * (cdf + xf * pdf) as f32;
+    }
+    out
+}
+
+/// ReLU.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: pass the gradient where the pre-activation was positive.
+pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape(), "relu_backward shape mismatch");
+    let mut out = dy.clone();
+    for (o, xv) in out.data_mut().iter_mut().zip(x.data()) {
+        if *xv <= 0.0 {
+            *o = 0.0;
+        }
+    }
+    out
+}
+
+/// Numerically stable softmax applied independently to each row (the gate
+/// distribution over experts).
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Error function via the Abramowitz & Stegun 7.1.26 rational
+/// approximation (max absolute error 1.5e-7, ample for f32 activations).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::numeric_grad;
+
+    #[test]
+    fn erf_reference_values() {
+        // erf(0)=0, erf(1)≈0.8427008, erf(-1)≈-0.8427008, erf(2)≈0.9953223
+        assert!(erf(0.0).abs() < 2e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_reference_values() {
+        // gelu(0)=0; gelu(1)≈0.8413447; gelu(-1)≈-0.1586553
+        let x = Matrix::from_rows(&[&[0.0, 1.0, -1.0]]);
+        let y = gelu(&x);
+        assert!(y[(0, 0)].abs() < 1e-6);
+        assert!((y[(0, 1)] - 0.841_344_7).abs() < 1e-5);
+        assert!((y[(0, 2)] + 0.158_655_3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gelu_gradient_matches_finite_difference() {
+        let xs = [-2.0f32, -0.7, -0.1, 0.0, 0.3, 1.5, 2.5];
+        let x = Matrix::from_vec(1, xs.len(), xs.to_vec());
+        let dy = Matrix::from_vec(1, xs.len(), vec![1.0; xs.len()]);
+        let analytic = gelu_backward(&x, &dy);
+        let numeric = numeric_grad(&x, |m| gelu(m).data().iter().sum::<f32>());
+        assert!(analytic.max_abs_diff(&numeric) < 1e-2, "{analytic:?} vs {numeric:?}");
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        assert_eq!(relu(&x).row(0), &[0.0, 2.0]);
+        let dy = Matrix::from_rows(&[&[5.0, 5.0]]);
+        assert_eq!(relu_backward(&x, &dy).row(0), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[100.0, 100.0, 100.0]]);
+        let s = softmax_rows(&x);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!(s[(0, 2)] > s[(0, 1)] && s[(0, 1)] > s[(0, 0)]);
+        // Large equal logits stay stable and uniform.
+        for v in s.row(1) {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[11.0, 12.0, 13.0]]);
+        assert!(softmax_rows(&a).max_abs_diff(&softmax_rows(&b)) < 1e-6);
+    }
+}

@@ -1,0 +1,54 @@
+//! Finite-difference gradient checking, shared by this crate's tests and
+//! the FFN/gate tests in `janus-moe`.
+
+use crate::matrix::Matrix;
+
+/// Central finite-difference gradient of a scalar loss with respect to
+/// every entry of `x`.
+pub fn numeric_grad(x: &Matrix, loss: impl Fn(&Matrix) -> f32) -> Matrix {
+    let eps = 1e-3f32;
+    let mut grad = Matrix::zeros(x.rows(), x.cols());
+    for i in 0..x.rows() * x.cols() {
+        let mut plus = x.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = x.clone();
+        minus.data_mut()[i] -= eps;
+        grad.data_mut()[i] = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Relative error between an analytic and a numeric gradient, normalized
+/// by the larger norm (robust when both are tiny).
+pub fn grad_rel_error(analytic: &Matrix, numeric: &Matrix) -> f32 {
+    let diff = analytic.sub(numeric).norm();
+    let scale = analytic.norm().max(numeric.norm()).max(1e-8);
+    diff / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_grad_of_quadratic_is_linear() {
+        // loss = sum(x^2) → grad = 2x
+        let x = Matrix::from_rows(&[&[1.0, -2.0, 0.5]]);
+        let g = numeric_grad(&x, |m| m.data().iter().map(|v| v * v).sum());
+        let expected = x.map(|v| 2.0 * v);
+        assert!(g.max_abs_diff(&expected) < 1e-2);
+    }
+
+    #[test]
+    fn rel_error_zero_for_identical() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert!(grad_rel_error(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn rel_error_large_for_disagreement() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0]]);
+        assert!(grad_rel_error(&a, &b) > 1.0);
+    }
+}

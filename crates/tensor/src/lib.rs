@@ -1,0 +1,26 @@
+//! Minimal dense tensor library backing the numerical MoE engines.
+//!
+//! The paper's claims rest on *where* data moves, not on kernel speed, so
+//! this crate deliberately implements only what the numerical-equivalence
+//! engines need: a row-major [`Matrix`] of `f32`, the matmul variants
+//! required for forward and backward passes, activations with exact
+//! derivatives, and row-wise softmax for the gate.
+//!
+//! Everything is deterministic given a seed; all shapes are checked with
+//! panics (shape errors are programming errors, not runtime conditions).
+//!
+//! ```
+//! use janus_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+pub mod activation;
+pub mod check;
+pub mod linalg;
+pub mod matrix;
+
+pub use activation::{gelu, gelu_backward, relu, relu_backward, softmax_rows};
+pub use matrix::Matrix;

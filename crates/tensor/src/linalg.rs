@@ -1,0 +1,164 @@
+//! Matrix products, including the transposed variants used by backward
+//! passes.
+
+use crate::matrix::Matrix;
+
+impl Matrix {
+    /// `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        // ikj loop order: streams over rows of `other`, cache friendly.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self[(i, p)];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(p);
+                let orow = out.row_mut(i);
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose (weight
+    /// gradients: `dW = xᵀ · dy`).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_tn shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (k, m, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let arow = self.row(p);
+            let brow = other.row(p);
+            for i in 0..m {
+                let a = arow[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose (input
+    /// gradients: `dx = dy · Wᵀ`).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_nt shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            for j in 0..n {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += arow[p] * brow[p];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Column sums (bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols()];
+        for r in 0..self.rows() {
+            for (s, v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::uniform(3, 5, 1.0, &mut rng);
+        assert_eq!(a.matmul(&Matrix::eye(5)), a);
+        assert_eq!(Matrix::eye(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::uniform(4, 3, 1.0, &mut rng);
+        let b = Matrix::uniform(4, 5, 1.0, &mut rng);
+        let via_tn = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(via_tn.max_abs_diff(&explicit) < 1e-5);
+
+        let c = Matrix::uniform(6, 3, 1.0, &mut rng);
+        let d = Matrix::uniform(2, 3, 1.0, &mut rng);
+        let via_nt = c.matmul_nt(&d);
+        let explicit = c.matmul(&d.transpose());
+        assert!(via_nt.max_abs_diff(&explicit) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_is_associative_up_to_float_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::uniform(3, 4, 0.5, &mut rng);
+        let b = Matrix::uniform(4, 2, 0.5, &mut rng);
+        let c = Matrix::uniform(2, 5, 0.5, &mut rng);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert!(left.max_abs_diff(&right) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn col_sums_match_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.col_sums(), vec![4.0, 6.0]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Row-major `f32` matrix.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length does not match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row slices (test convenience).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Uniform random matrix in `[-scale, scale]`, deterministic under the
+    /// caller's RNG.
+    pub fn uniform<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.random_range(-scale..=scale)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Select rows by index into a new matrix (the dispatch/gather step of
+    /// expert routing).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &src) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Add `other`'s rows into rows of `self` selected by `indices`,
+    /// scaled by `weights` (the combine step of expert routing).
+    pub fn scatter_add_rows(&mut self, indices: &[usize], weights: &[f32], other: &Matrix) {
+        assert_eq!(indices.len(), other.rows, "index/row count mismatch");
+        assert_eq!(indices.len(), weights.len(), "index/weight count mismatch");
+        assert_eq!(self.cols, other.cols, "column mismatch");
+        for (i, (&dst, &w)) in indices.iter().zip(weights).enumerate() {
+            let src = other.row(i);
+            let out = self.row_mut(dst);
+            for (o, s) in out.iter_mut().zip(src) {
+                *o += w * s;
+            }
+        }
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum into `self`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scale in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Broadcast-add a bias row to every row.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (v, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Apply a function elementwise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Largest absolute entry difference against `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Size in bytes at a given element width (traffic accounting).
+    pub fn size_bytes(&self, dtype_bytes: usize) -> usize {
+        self.rows * self.cols * dtype_bytes
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.size_bytes(2), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_checks_shape() {
+        Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn gather_then_scatter_with_unit_weights_is_identity_on_selected_rows() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let picked = m.gather_rows(&[2, 0]);
+        assert_eq!(picked.row(0), &[5.0, 6.0]);
+        let mut out = Matrix::zeros(3, 2);
+        out.scatter_add_rows(&[2, 0], &[1.0, 1.0], &picked);
+        assert_eq!(out.row(2), &[5.0, 6.0]);
+        assert_eq!(out.row(0), &[1.0, 2.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_applies_weights_and_accumulates() {
+        let mut out = Matrix::zeros(1, 2);
+        let part = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        out.scatter_add_rows(&[0, 0], &[0.5, 0.25], &part);
+        assert_eq!(out.row(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        a.add_assign(&b);
+        assert_eq!(a.row(0), &[4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.row(0), &[2.0, 3.0]);
+        a.add_bias(&[1.0, -1.0]);
+        assert_eq!(a.row(0), &[3.0, 2.0]);
+        let d = a.sub(&b);
+        assert_eq!(d.row(0), &[0.0, -2.0]);
+        assert_eq!(d.max_abs_diff(&Matrix::zeros(1, 2)), 2.0);
+        assert!((Matrix::from_rows(&[&[3.0, 4.0]]).norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_is_elementwise() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0]]);
+        assert_eq!(m.map(|v| v * v).row(0), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_bounded() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = Matrix::uniform(4, 4, 0.1, &mut r1);
+        let b = Matrix::uniform(4, 4, 0.1, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    fn eye_is_identity_under_index() {
+        let i = Matrix::eye(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+}

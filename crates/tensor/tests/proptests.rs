@@ -1,0 +1,117 @@
+//! Property tests for the tensor algebra the engines rely on.
+
+use janus_tensor::{gelu, relu, softmax_rows, Matrix};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (A·B)ᵀ = Bᵀ·Aᵀ — exercised through the transposed-matmul variants
+    /// the backward passes use.
+    #[test]
+    fn transpose_of_product(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    /// matmul distributes over addition.
+    #[test]
+    fn matmul_distributes(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 3),
+        c in arb_matrix(4, 3),
+    ) {
+        let mut b_plus_c = b.clone();
+        b_plus_c.add_assign(&c);
+        let lhs = a.matmul(&b_plus_c);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    /// matmul_tn / matmul_nt agree with explicit transposes.
+    #[test]
+    fn transposed_variants_agree(a in arb_matrix(5, 3), b in arb_matrix(5, 2)) {
+        let tn = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        prop_assert!(tn.max_abs_diff(&explicit) < 1e-4);
+        let c = a.transpose(); // 3×5
+        let nt = c.matmul_nt(&b.transpose()); // (3×5)·(5×2 transposed→2×5)ᵀ
+        let explicit = c.matmul(&b);
+        prop_assert!(nt.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    /// Row-wise matmul independence: computing a row alone gives the same
+    /// bits as computing it within a batch — the property that makes the
+    /// two paradigms bitwise-equivalent.
+    #[test]
+    fn matmul_rows_are_independent(a in arb_matrix(6, 4), b in arb_matrix(4, 5)) {
+        let full = a.matmul(&b);
+        for r in 0..a.rows() {
+            let single = a.gather_rows(&[r]).matmul(&b);
+            prop_assert_eq!(single.row(0), full.row(r), "row {} diverged", r);
+        }
+    }
+
+    /// gather → scatter with unit weights restores the selected rows.
+    #[test]
+    fn gather_scatter_identity(m in arb_matrix(6, 3), picks in prop::collection::vec(0usize..6, 1..6)) {
+        let picked = m.gather_rows(&picks);
+        let mut out = Matrix::zeros(6, 3);
+        let mut expected = Matrix::zeros(6, 3);
+        // Build expectation by summing selected rows into slots.
+        for (i, &p) in picks.iter().enumerate() {
+            out.scatter_add_rows(&[p], &[1.0], &picked.gather_rows(&[i]));
+            let src = m.gather_rows(&[p]);
+            expected.scatter_add_rows(&[p], &[1.0], &src);
+        }
+        prop_assert!(out.max_abs_diff(&expected) < 1e-5);
+    }
+
+    /// Softmax rows are probability distributions and order-preserving.
+    #[test]
+    fn softmax_rows_are_distributions(m in arb_matrix(4, 6)) {
+        let s = softmax_rows(&m);
+        for r in 0..4 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            for (i, &v) in s.row(r).iter().enumerate() {
+                prop_assert!(v > 0.0 && v < 1.0 + 1e-6);
+                for (j, &w) in s.row(r).iter().enumerate() {
+                    if m[(r, i)] > m[(r, j)] {
+                        prop_assert!(v >= w, "softmax must preserve order");
+                    }
+                    let _ = j;
+                }
+            }
+        }
+    }
+
+    /// ReLU is monotone everywhere; GeLU is monotone on x ≥ -0.75 (it
+    /// has a global minimum near -0.7518) and bounded below by ~-0.17
+    /// everywhere.
+    #[test]
+    fn activation_shapes(xs in prop::collection::vec(-4.0f32..4.0, 1..20)) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(f32::total_cmp);
+        let m = Matrix::from_vec(1, sorted.len(), sorted.clone());
+        let y = relu(&m);
+        for w in y.row(0).windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6, "relu must be monotone");
+        }
+        let g = gelu(&m);
+        for (pair_x, pair_y) in sorted.windows(2).zip(g.row(0).windows(2)) {
+            if pair_x[0] >= -0.75 {
+                prop_assert!(pair_y[1] >= pair_y[0] - 1e-6, "gelu monotone above its minimum");
+            }
+        }
+        for &v in g.row(0) {
+            prop_assert!(v > -0.2, "gelu lower bound");
+        }
+        prop_assert_eq!(relu(&Matrix::zeros(1, 1))[(0, 0)], 0.0);
+    }
+}

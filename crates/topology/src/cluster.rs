@@ -1,0 +1,440 @@
+//! Cluster construction and routing.
+
+use crate::ids::{LinkId, LocalRank, MachineId, PcieSwitchId, WorkerId};
+use crate::link::{Link, LinkDirection, LinkKind};
+use crate::presets::Bandwidths;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of GPUs that share one PCIe switch on an A100 SXM machine
+/// (paper §5.2: "one PCIe switch is connected to two workers").
+pub const GPUS_PER_PCIE_SWITCH: usize = 2;
+
+/// Declarative description of a cluster. Build one with
+/// [`ClusterSpec::a100`] (paper bandwidths) or fill the fields directly,
+/// then call [`ClusterSpec::build`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of machines (`n` in the paper's notation).
+    pub machines: usize,
+    /// GPUs per machine (`m` in the paper's notation).
+    pub gpus_per_machine: usize,
+    /// Link bandwidths.
+    pub bandwidths: Bandwidths,
+    /// Effective per-GPU compute throughput in FLOP/s used by the
+    /// simulator to turn FLOP counts into durations.
+    pub gpu_flops: f64,
+    /// GPU memory capacity in bytes (A100 SXM 80 GB in the paper).
+    pub gpu_memory_bytes: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's evaluation platform: `machines` × `gpus_per_machine`
+    /// A100 SXM 80 GB GPUs, NVLink 600 GB/s, PCIe 64 GB/s, 200 Gbps NIC.
+    pub fn a100(machines: usize, gpus_per_machine: usize) -> Self {
+        ClusterSpec {
+            machines,
+            gpus_per_machine,
+            bandwidths: Bandwidths::a100(),
+            gpu_flops: crate::presets::A100_EFFECTIVE_FLOPS,
+            gpu_memory_bytes: crate::presets::A100_MEMORY_BYTES,
+        }
+    }
+
+    /// Materialize the link graph.
+    pub fn build(self) -> Cluster {
+        Cluster::new(self)
+    }
+}
+
+/// A memory domain in the cluster: the HBM of one GPU or the CPU memory of
+/// one machine (where the paper's Cache Manager lives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// A GPU's device memory.
+    Gpu(WorkerId),
+    /// A machine's CPU memory (host of the Inter-Node Scheduler cache).
+    CpuMem(MachineId),
+}
+
+/// An ordered list of directed links a flow traverses.
+pub type Route = Vec<LinkId>;
+
+/// A materialized cluster: the directed link set plus routing tables.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    links: Vec<Link>,
+    by_kind: HashMap<LinkKind, LinkId>,
+}
+
+impl Cluster {
+    fn new(spec: ClusterSpec) -> Self {
+        assert!(spec.machines > 0, "cluster needs at least one machine");
+        assert!(spec.gpus_per_machine > 0, "machines need at least one GPU");
+        let mut links = Vec::new();
+        let mut by_kind = HashMap::new();
+        let mut push = |kind: LinkKind, bandwidth: f64| {
+            let id = LinkId(links.len());
+            by_kind.insert(kind, id);
+            links.push(Link { id, kind, bandwidth });
+        };
+
+        let num_workers = spec.machines * spec.gpus_per_machine;
+        for w in 0..num_workers {
+            let worker = WorkerId(w);
+            for dir in [LinkDirection::Egress, LinkDirection::Ingress] {
+                push(LinkKind::Nvlink { worker, dir }, spec.bandwidths.nvlink_per_direction);
+                push(LinkKind::PcieGpu { worker, dir }, spec.bandwidths.pcie_per_direction);
+            }
+        }
+        let switches_per_machine = spec.gpus_per_machine.div_ceil(GPUS_PER_PCIE_SWITCH);
+        for s in 0..spec.machines * switches_per_machine {
+            let switch = PcieSwitchId(s);
+            for dir in [LinkDirection::Egress, LinkDirection::Ingress] {
+                push(LinkKind::PcieSwitch { switch, dir }, spec.bandwidths.pcie_per_direction);
+            }
+        }
+        for mch in 0..spec.machines {
+            let machine = MachineId(mch);
+            for dir in [LinkDirection::Egress, LinkDirection::Ingress] {
+                push(LinkKind::Nic { machine, dir }, spec.bandwidths.nic_per_direction);
+            }
+        }
+
+        Cluster { spec, links, by_kind }
+    }
+
+    /// The spec this cluster was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of machines (`n`).
+    pub fn num_machines(&self) -> usize {
+        self.spec.machines
+    }
+
+    /// GPUs per machine (`m`).
+    pub fn gpus_per_machine(&self) -> usize {
+        self.spec.gpus_per_machine
+    }
+
+    /// Total number of workers (GPUs).
+    pub fn num_workers(&self) -> usize {
+        self.spec.machines * self.spec.gpus_per_machine
+    }
+
+    /// All worker ids in rank order.
+    pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..self.num_workers()).map(WorkerId)
+    }
+
+    /// All machine ids.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> + '_ {
+        (0..self.num_machines()).map(MachineId)
+    }
+
+    /// Workers hosted on `machine`, in local-rank order.
+    pub fn workers_on(&self, machine: MachineId) -> impl Iterator<Item = WorkerId> + '_ {
+        let m = self.spec.gpus_per_machine;
+        (0..m).map(move |r| WorkerId(machine.0 * m + r))
+    }
+
+    /// Machine hosting `worker`.
+    pub fn machine_of(&self, worker: WorkerId) -> MachineId {
+        MachineId(worker.0 / self.spec.gpus_per_machine)
+    }
+
+    /// Rank of `worker` inside its machine.
+    pub fn local_rank(&self, worker: WorkerId) -> LocalRank {
+        LocalRank(worker.0 % self.spec.gpus_per_machine)
+    }
+
+    /// Worker with local rank `r` on `machine`.
+    pub fn worker_at(&self, machine: MachineId, r: LocalRank) -> WorkerId {
+        debug_assert!(r.0 < self.spec.gpus_per_machine);
+        WorkerId(machine.0 * self.spec.gpus_per_machine + r.0)
+    }
+
+    /// PCIe switch that `worker` hangs off.
+    pub fn switch_of(&self, worker: WorkerId) -> PcieSwitchId {
+        let switches_per_machine = self.switches_per_machine();
+        let m = self.machine_of(worker).0;
+        let local_switch = self.local_rank(worker).0 / GPUS_PER_PCIE_SWITCH;
+        PcieSwitchId(m * switches_per_machine + local_switch)
+    }
+
+    /// PCIe switches per machine.
+    pub fn switches_per_machine(&self) -> usize {
+        self.spec.gpus_per_machine.div_ceil(GPUS_PER_PCIE_SWITCH)
+    }
+
+    /// The other GPU behind the same PCIe switch, if any. This is the
+    /// "peer worker" of the paper's PCIe-switch-aware scheduling (§5.2,
+    /// Figure 8).
+    pub fn pcie_peer(&self, worker: WorkerId) -> Option<WorkerId> {
+        let r = self.local_rank(worker).0;
+        let peer_r = r ^ 1;
+        if peer_r < self.spec.gpus_per_machine && peer_r / GPUS_PER_PCIE_SWITCH == r / GPUS_PER_PCIE_SWITCH
+        {
+            Some(self.worker_at(self.machine_of(worker), LocalRank(peer_r)))
+        } else {
+            None
+        }
+    }
+
+    /// The PCIe switch the machine's NIC is attached to (switch 0 of the
+    /// machine). Inter-node traffic terminating in CPU memory crosses this
+    /// switch's uplink, which is the PCIe limit observed in paper §7.5.
+    pub fn nic_switch(&self, machine: MachineId) -> PcieSwitchId {
+        PcieSwitchId(machine.0 * self.switches_per_machine())
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Per-link capacities in bytes/s, indexed by [`LinkId`].
+    pub fn capacities(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.bandwidth).collect()
+    }
+
+    /// Lookup a link id by its kind. Panics if the kind does not exist in
+    /// this cluster (programming error, not a runtime condition).
+    pub fn link(&self, kind: LinkKind) -> LinkId {
+        *self
+            .by_kind
+            .get(&kind)
+            .unwrap_or_else(|| panic!("no such link in cluster: {}", kind.label()))
+    }
+
+    /// Link metadata by id.
+    pub fn link_info(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Route between two memory domains.
+    ///
+    /// Routes follow the hardware paths of the paper's Figure 6:
+    /// * GPU→GPU on one machine rides NVLink ports only (NVSwitch fabric
+    ///   is non-blocking).
+    /// * GPU↔CPU on one machine crosses the GPU's PCIe lanes and its
+    ///   switch uplink/downlink.
+    /// * Anything inter-machine crosses both NICs; endpoints in CPU memory
+    ///   additionally cross the NIC-hosting switch, GPU endpoints cross
+    ///   their PCIe lanes (GPUDirect RDMA).
+    ///
+    /// A route from a location to itself is empty (no link time).
+    pub fn route(&self, from: Location, to: Location) -> Route {
+        use LinkDirection::{Egress, Ingress};
+        if from == to {
+            return Vec::new();
+        }
+        let mut path = Vec::new();
+        // Source side.
+        let (src_machine, src_gpu) = match from {
+            Location::Gpu(w) => (self.machine_of(w), Some(w)),
+            Location::CpuMem(m) => (m, None),
+        };
+        let (dst_machine, dst_gpu) = match to {
+            Location::Gpu(w) => (self.machine_of(w), Some(w)),
+            Location::CpuMem(m) => (m, None),
+        };
+        let same_machine = src_machine == dst_machine;
+
+        if same_machine {
+            match (src_gpu, dst_gpu) {
+                (Some(s), Some(d)) => {
+                    path.push(self.link(LinkKind::Nvlink { worker: s, dir: Egress }));
+                    path.push(self.link(LinkKind::Nvlink { worker: d, dir: Ingress }));
+                }
+                (Some(s), None) => {
+                    path.push(self.link(LinkKind::PcieGpu { worker: s, dir: Egress }));
+                    path.push(self.link(LinkKind::PcieSwitch {
+                        switch: self.switch_of(s),
+                        dir: Egress,
+                    }));
+                }
+                (None, Some(d)) => {
+                    path.push(self.link(LinkKind::PcieSwitch {
+                        switch: self.switch_of(d),
+                        dir: Ingress,
+                    }));
+                    path.push(self.link(LinkKind::PcieGpu { worker: d, dir: Ingress }));
+                }
+                (None, None) => unreachable!("from == to handled above"),
+            }
+            return path;
+        }
+
+        // Inter-machine: source side onto the NIC.
+        match src_gpu {
+            // GPUDirect RDMA: GPU → (PCIe lanes) → NIC.
+            Some(s) => path.push(self.link(LinkKind::PcieGpu { worker: s, dir: Egress })),
+            // CPU memory → NIC crosses the NIC-hosting switch downlink.
+            None => path.push(self.link(LinkKind::PcieSwitch {
+                switch: self.nic_switch(src_machine),
+                dir: Ingress,
+            })),
+        }
+        path.push(self.link(LinkKind::Nic { machine: src_machine, dir: Egress }));
+        path.push(self.link(LinkKind::Nic { machine: dst_machine, dir: Ingress }));
+        match dst_gpu {
+            Some(d) => path.push(self.link(LinkKind::PcieGpu { worker: d, dir: Ingress })),
+            None => path.push(self.link(LinkKind::PcieSwitch {
+                switch: self.nic_switch(dst_machine),
+                dir: Egress,
+            })),
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        ClusterSpec::a100(4, 8).build()
+    }
+
+    #[test]
+    fn shape_counts() {
+        let c = cluster();
+        assert_eq!(c.num_workers(), 32);
+        assert_eq!(c.num_machines(), 4);
+        assert_eq!(c.gpus_per_machine(), 8);
+        assert_eq!(c.switches_per_machine(), 4);
+        // 32 GPUs * 4 links + 16 switches * 2 + 4 NICs * 2
+        assert_eq!(c.num_links(), 32 * 4 + 16 * 2 + 4 * 2);
+    }
+
+    #[test]
+    fn rank_layout_is_contiguous() {
+        let c = cluster();
+        assert_eq!(c.machine_of(WorkerId(0)), MachineId(0));
+        assert_eq!(c.machine_of(WorkerId(7)), MachineId(0));
+        assert_eq!(c.machine_of(WorkerId(8)), MachineId(1));
+        assert_eq!(c.local_rank(WorkerId(13)), LocalRank(5));
+        assert_eq!(c.worker_at(MachineId(1), LocalRank(5)), WorkerId(13));
+        let on_m2: Vec<_> = c.workers_on(MachineId(2)).map(|w| w.0).collect();
+        assert_eq!(on_m2, (16..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pcie_peers_pair_adjacent_gpus() {
+        let c = cluster();
+        assert_eq!(c.pcie_peer(WorkerId(0)), Some(WorkerId(1)));
+        assert_eq!(c.pcie_peer(WorkerId(1)), Some(WorkerId(0)));
+        assert_eq!(c.pcie_peer(WorkerId(6)), Some(WorkerId(7)));
+        // Peers never cross machine boundaries.
+        assert_eq!(c.pcie_peer(WorkerId(8)), Some(WorkerId(9)));
+        assert_eq!(c.switch_of(WorkerId(0)), c.switch_of(WorkerId(1)));
+        assert_ne!(c.switch_of(WorkerId(1)), c.switch_of(WorkerId(2)));
+    }
+
+    #[test]
+    fn odd_gpu_count_leaves_last_gpu_unpaired() {
+        let c = ClusterSpec::a100(1, 3).build();
+        assert_eq!(c.pcie_peer(WorkerId(0)), Some(WorkerId(1)));
+        assert_eq!(c.pcie_peer(WorkerId(2)), None);
+        assert_eq!(c.switches_per_machine(), 2);
+    }
+
+    #[test]
+    fn intra_node_gpu_route_uses_only_nvlink() {
+        let c = cluster();
+        let route = c.route(Location::Gpu(WorkerId(0)), Location::Gpu(WorkerId(3)));
+        assert_eq!(route.len(), 2);
+        for id in route {
+            assert!(matches!(c.link_info(id).kind, LinkKind::Nvlink { .. }));
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let c = cluster();
+        assert!(c.route(Location::Gpu(WorkerId(5)), Location::Gpu(WorkerId(5))).is_empty());
+        assert!(c
+            .route(Location::CpuMem(MachineId(1)), Location::CpuMem(MachineId(1)))
+            .is_empty());
+    }
+
+    #[test]
+    fn gpu_to_local_cpu_crosses_pcie() {
+        let c = cluster();
+        let route = c.route(Location::Gpu(WorkerId(2)), Location::CpuMem(MachineId(0)));
+        assert_eq!(route.len(), 2);
+        assert!(matches!(
+            c.link_info(route[0]).kind,
+            LinkKind::PcieGpu { worker: WorkerId(2), dir: LinkDirection::Egress }
+        ));
+        assert!(matches!(c.link_info(route[1]).kind, LinkKind::PcieSwitch { .. }));
+    }
+
+    #[test]
+    fn cpu_to_gpu_shares_switch_downlink_between_peers() {
+        let c = cluster();
+        let r0 = c.route(Location::CpuMem(MachineId(0)), Location::Gpu(WorkerId(0)));
+        let r1 = c.route(Location::CpuMem(MachineId(0)), Location::Gpu(WorkerId(1)));
+        // First hop (switch downlink) is shared — the Figure 8 contention.
+        assert_eq!(r0[0], r1[0]);
+        let r2 = c.route(Location::CpuMem(MachineId(0)), Location::Gpu(WorkerId(2)));
+        assert_ne!(r0[0], r2[0]);
+    }
+
+    #[test]
+    fn inter_machine_fetch_crosses_both_nics() {
+        let c = cluster();
+        let route = c.route(Location::Gpu(WorkerId(9)), Location::CpuMem(MachineId(0)));
+        let kinds: Vec<_> = route.iter().map(|&id| c.link_info(id).kind).collect();
+        assert!(matches!(kinds[0], LinkKind::PcieGpu { worker: WorkerId(9), .. }));
+        assert!(matches!(
+            kinds[1],
+            LinkKind::Nic { machine: MachineId(1), dir: LinkDirection::Egress }
+        ));
+        assert!(matches!(
+            kinds[2],
+            LinkKind::Nic { machine: MachineId(0), dir: LinkDirection::Ingress }
+        ));
+        assert!(matches!(kinds[3], LinkKind::PcieSwitch { .. }));
+    }
+
+    #[test]
+    fn cpu_to_remote_gpu_route() {
+        let c = cluster();
+        let route = c.route(Location::CpuMem(MachineId(0)), Location::Gpu(WorkerId(20)));
+        let kinds: Vec<_> = route.iter().map(|&id| c.link_info(id).kind).collect();
+        assert_eq!(route.len(), 4);
+        assert!(matches!(kinds[0], LinkKind::PcieSwitch { .. }));
+        assert!(matches!(kinds[1], LinkKind::Nic { machine: MachineId(0), .. }));
+        assert!(matches!(kinds[2], LinkKind::Nic { machine: MachineId(2), .. }));
+        assert!(matches!(kinds[3], LinkKind::PcieGpu { worker: WorkerId(20), .. }));
+    }
+
+    #[test]
+    fn cross_node_bytes_only_on_nic_links() {
+        let c = cluster();
+        let route = c.route(Location::Gpu(WorkerId(0)), Location::Gpu(WorkerId(31)));
+        let cross: Vec<_> =
+            route.iter().filter(|&&id| c.link_info(id).kind.is_cross_node()).collect();
+        assert_eq!(cross.len(), 2);
+    }
+
+    #[test]
+    fn capacities_match_links() {
+        let c = cluster();
+        let caps = c.capacities();
+        assert_eq!(caps.len(), c.num_links());
+        for l in c.links() {
+            assert_eq!(caps[l.id.0], l.bandwidth);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Identifier newtypes for cluster entities.
+//!
+//! All identifiers are dense indices so they can be used directly as
+//! vector offsets by the simulator. [`WorkerId`] is the *global* rank of a
+//! GPU across the whole cluster (the expert-parallel rank); [`LocalRank`]
+//! is its index inside one machine (the `r` of the paper's Algorithm 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Global rank of a GPU (worker) across the cluster, in
+/// `0..n_machines * gpus_per_machine`. Workers on machine `M` occupy the
+/// contiguous range `M*m..(M+1)*m`, matching the paper's placement where
+/// worker `i` holds internal experts `i*E..(i+1)*E` of every MoE block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+/// Index of a machine in the cluster, in `0..n_machines`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub usize);
+
+/// Rank of a GPU inside its machine, in `0..gpus_per_machine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocalRank(pub usize);
+
+/// Global index of a PCIe switch. Each switch connects
+/// [`crate::cluster::GPUS_PER_PCIE_SWITCH`] adjacent GPUs to CPU memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PcieSwitchId(pub usize);
+
+/// Dense index of a directed link; used as a capacity-vector offset by the
+/// simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+macro_rules! impl_id {
+    ($t:ty, $tag:expr) => {
+        impl From<usize> for $t {
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+        impl From<$t> for usize {
+            fn from(v: $t) -> usize {
+                v.0
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $tag, self.0)
+            }
+        }
+        impl $t {
+            /// Raw index value.
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+    };
+}
+
+impl_id!(WorkerId, "w");
+impl_id!(MachineId, "M");
+impl_id!(LocalRank, "r");
+impl_id!(PcieSwitchId, "sw");
+impl_id!(LinkId, "L");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let w: WorkerId = 7usize.into();
+        assert_eq!(usize::from(w), 7);
+        assert_eq!(w.index(), 7);
+        assert_eq!(w.to_string(), "w7");
+        assert_eq!(MachineId(2).to_string(), "M2");
+        assert_eq!(LocalRank(3).to_string(), "r3");
+        assert_eq!(PcieSwitchId(1).to_string(), "sw1");
+        assert_eq!(LinkId(11).to_string(), "L11");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(WorkerId(1) < WorkerId(2));
+        assert!(MachineId(0) < MachineId(1));
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_integers() {
+        let json = serde_json::to_string(&WorkerId(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: WorkerId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, WorkerId(5));
+    }
+}

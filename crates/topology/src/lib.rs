@@ -1,0 +1,41 @@
+//! Cluster topology model for the Janus MoE training framework.
+//!
+//! The paper evaluates Janus on machines with the link structure of an
+//! NVIDIA A100 SXM server (paper Figure 6): GPUs inside a machine are
+//! connected by NVLink/NVSwitch, pairs of GPUs hang off a shared PCIe
+//! switch that connects them to CPU memory, and machines are connected by
+//! an RDMA NIC. This crate models that structure explicitly:
+//!
+//! * [`ClusterSpec`] describes the shape (machines × GPUs) and link
+//!   bandwidths of a cluster and materializes into a [`Cluster`].
+//! * [`Cluster`] owns the set of directed [`Link`]s and answers routing
+//!   queries ([`Cluster::route`]) between the memory domains of the
+//!   cluster ([`Location`]): a GPU's HBM or a machine's CPU memory.
+//! * [`WorkerId`]/[`MachineId`] identify GPUs (workers) and machines; the
+//!   expert-parallel rank layout (which worker holds which expert) is
+//!   derived from them.
+//!
+//! The simulator ([`janus-netsim`]) consumes the link set as a vector of
+//! capacities; the engines in `janus-core` consume routes.
+//!
+//! ```
+//! use janus_topology::{ClusterSpec, Location, WorkerId};
+//!
+//! let cluster = ClusterSpec::a100(4, 8).build();
+//! assert_eq!(cluster.num_workers(), 32);
+//! // Pulling an expert from GPU 9 (machine 1) into machine 0's CPU cache
+//! // crosses the source GPU's PCIe lanes, both NICs, and the PCIe switch
+//! // that hosts the destination NIC.
+//! let route = cluster.route(Location::Gpu(WorkerId(9)), Location::CpuMem(0.into()));
+//! assert_eq!(route.len(), 4);
+//! ```
+
+pub mod ids;
+pub mod link;
+pub mod cluster;
+pub mod presets;
+
+pub use cluster::{Cluster, ClusterSpec, Location, Route};
+pub use ids::{LinkId, LocalRank, MachineId, PcieSwitchId, WorkerId};
+pub use link::{Link, LinkDirection, LinkKind};
+pub use presets::Bandwidths;

@@ -1,0 +1,130 @@
+//! Directed link descriptors.
+//!
+//! Every physical connection is modeled as a pair of directed links so
+//! that full-duplex hardware (NVLink, PCIe, RDMA NICs) carries traffic in
+//! both directions independently, as it does on real A100 machines.
+
+use crate::ids::{LinkId, MachineId, PcieSwitchId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which way a directed link carries data, relative to its anchor entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkDirection {
+    /// Out of the anchor (GPU egress, switch→CPU upstream, NIC transmit).
+    Egress,
+    /// Into the anchor (GPU ingress, CPU→switch downstream, NIC receive).
+    Ingress,
+}
+
+/// The hardware class a directed link belongs to.
+///
+/// The anchors mirror the paper's Figure 6: per-GPU NVLink ports into the
+/// NVSwitch fabric, per-GPU PCIe lanes to the local PCIe switch, per-switch
+/// uplinks to CPU memory, and one RDMA NIC per machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// A GPU's NVLink port into the intra-machine NVSwitch fabric. The
+    /// fabric itself is non-blocking, so only per-GPU ports constrain
+    /// intra-node traffic.
+    Nvlink { worker: WorkerId, dir: LinkDirection },
+    /// The PCIe lanes between a GPU and its PCIe switch.
+    PcieGpu { worker: WorkerId, dir: LinkDirection },
+    /// The PCIe lanes between a PCIe switch and CPU memory. This is the
+    /// contended resource in the paper's Figure 8 (two GPUs behind one
+    /// switch pulling the same cached expert).
+    PcieSwitch { switch: PcieSwitchId, dir: LinkDirection },
+    /// A machine's RDMA NIC. Inter-machine flows cross the source NIC
+    /// egress and the destination NIC ingress.
+    Nic { machine: MachineId, dir: LinkDirection },
+}
+
+impl LinkKind {
+    /// Human-readable label used in traces.
+    pub fn label(&self) -> String {
+        match self {
+            LinkKind::Nvlink { worker, dir } => format!("nvlink/{worker}/{}", dir_tag(*dir)),
+            LinkKind::PcieGpu { worker, dir } => format!("pcie-gpu/{worker}/{}", dir_tag(*dir)),
+            LinkKind::PcieSwitch { switch, dir } => {
+                format!("pcie-switch/{switch}/{}", dir_tag(*dir))
+            }
+            LinkKind::Nic { machine, dir } => format!("nic/{machine}/{}", dir_tag(*dir)),
+        }
+    }
+
+    /// True when this link crosses the machine boundary (i.e. it is NIC
+    /// bandwidth). Cross-node traffic accounting in the engines counts
+    /// bytes on these links only.
+    pub fn is_cross_node(&self) -> bool {
+        matches!(self, LinkKind::Nic { .. })
+    }
+}
+
+fn dir_tag(dir: LinkDirection) -> &'static str {
+    match dir {
+        LinkDirection::Egress => "out",
+        LinkDirection::Ingress => "in",
+    }
+}
+
+/// A directed link with a fixed capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Dense identifier; doubles as the index into capacity vectors.
+    pub id: LinkId,
+    /// Hardware class and anchor.
+    pub kind: LinkKind,
+    /// Capacity in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {:.1} GB/s",
+            self.id,
+            self.kind.label(),
+            self.bandwidth / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        let k = LinkKind::Nvlink { worker: WorkerId(3), dir: LinkDirection::Egress };
+        assert_eq!(k.label(), "nvlink/w3/out");
+        let k = LinkKind::PcieSwitch { switch: PcieSwitchId(2), dir: LinkDirection::Ingress };
+        assert_eq!(k.label(), "pcie-switch/sw2/in");
+        let k = LinkKind::Nic { machine: MachineId(1), dir: LinkDirection::Egress };
+        assert_eq!(k.label(), "nic/M1/out");
+    }
+
+    #[test]
+    fn only_nic_links_are_cross_node() {
+        assert!(LinkKind::Nic { machine: MachineId(0), dir: LinkDirection::Egress }
+            .is_cross_node());
+        assert!(!LinkKind::Nvlink { worker: WorkerId(0), dir: LinkDirection::Egress }
+            .is_cross_node());
+        assert!(!LinkKind::PcieGpu { worker: WorkerId(0), dir: LinkDirection::Ingress }
+            .is_cross_node());
+        assert!(!LinkKind::PcieSwitch { switch: PcieSwitchId(0), dir: LinkDirection::Egress }
+            .is_cross_node());
+    }
+
+    #[test]
+    fn display_includes_bandwidth() {
+        let link = Link {
+            id: LinkId(4),
+            kind: LinkKind::Nic { machine: MachineId(0), dir: LinkDirection::Ingress },
+            bandwidth: 25e9,
+        };
+        let s = link.to_string();
+        assert!(s.contains("L4"), "{s}");
+        assert!(s.contains("25.0 GB/s"), "{s}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Run real data-centric MoE training over TCP sockets on localhost —
+//! the same protocol the in-process examples use, but with every pull
+//! request, expert payload, and pre-reduced gradient crossing a real
+//! length-prefixed socket stream.
+//!
+//! ```text
+//! cargo run --release --example tcp_cluster
+//! ```
+
+use janus::comm::runtime::run_on;
+use janus::comm::tcp::tcp_mesh_localhost;
+use janus::core::exec::data_centric::{run_iteration, MachineShared};
+use janus::core::exec::model::{ExecConfig, WorkerState};
+
+fn main() {
+    let cfg = ExecConfig {
+        machines: 2,
+        gpus_per_machine: 2,
+        hidden_dim: 8,
+        blocks: 2,
+        experts: 8,
+        top_k: 2,
+        tokens: 16,
+        seed: 11,
+        lr: 0.05,
+    };
+    println!("bringing up a {}-rank TCP mesh on localhost…", cfg.world());
+    let endpoints = tcp_mesh_localhost(cfg.world()).expect("mesh setup");
+    let shared = MachineShared::for_cluster(&cfg);
+
+    let losses = run_on(endpoints, |comm| {
+        let mut state = WorkerState::init(&cfg, comm.rank());
+        let sh = &shared[cfg.machine_of(comm.rank())];
+        let mut losses = Vec::new();
+        for i in 0..5 {
+            let out = run_iteration(&comm, &mut state, sh, i).expect("iteration over TCP");
+            losses.push(out.loss);
+        }
+        losses
+    });
+
+    for (rank, curve) in losses.iter().enumerate() {
+        let first = curve.first().expect("at least one iteration");
+        let last = curve.last().expect("at least one iteration");
+        println!("rank {rank}: loss {first:.4} → {last:.4}");
+        assert!(last < first, "training must make progress");
+    }
+    let (fetches, hits) = shared[0].cache.stats();
+    println!("\nmachine-0 cache: {fetches} cross-machine fetches, {hits} local hits");
+    println!("every expert crossed the wire once per machine per block per iteration —");
+    println!("the hierarchical fetch working over real sockets.");
+}

@@ -1,0 +1,51 @@
+//! Real distributed MoE training in both paradigms, demonstrating the
+//! paper's equivalence claim (§3.2) numerically.
+//!
+//! Spawns one thread per simulated GPU, connected by an in-process
+//! message mesh. The data-centric run exercises the full Janus Task
+//! Queue: pull requests, the per-machine expert cache, and gradient
+//! pre-reduction. Outputs and trained weights match the All-to-All
+//! baseline.
+//!
+//! ```text
+//! cargo run --release --example train_equivalence
+//! ```
+
+use janus::core::exec::model::ExecConfig;
+use janus::core::exec::trainer::{compare_paradigms, train_data_centric};
+
+fn main() {
+    let cfg = ExecConfig {
+        machines: 2,
+        gpus_per_machine: 2,
+        hidden_dim: 16,
+        blocks: 3,
+        experts: 8,
+        top_k: 2,
+        tokens: 32,
+        seed: 2023,
+        lr: 0.02,
+    };
+    println!(
+        "training a {}-block MoE ({} experts, top-{}) on {} simulated GPUs\n",
+        cfg.blocks,
+        cfg.experts,
+        cfg.top_k,
+        cfg.world()
+    );
+
+    let iters = 8;
+    let run = train_data_centric(&cfg, iters);
+    println!("data-centric loss curve (worker 0):");
+    for (i, loss) in run.losses[0].iter().enumerate() {
+        println!("  iter {i}: {loss:.4}");
+    }
+
+    let diff = compare_paradigms(&cfg, iters);
+    println!("\nexpert-centric vs data-centric after {iters} iterations:");
+    println!("  max |Δ output|  = {:.3e} (bitwise-identical forward)", diff.max_output_diff);
+    println!("  max |Δ weights| = {:.3e} (fp summation-order noise)", diff.max_weight_diff);
+    println!("  max |Δ loss|    = {:.3e}", diff.max_loss_diff);
+    assert_eq!(diff.max_output_diff, 0.0);
+    println!("\nequivalence holds: moving experts instead of tokens changes nothing numerically");
+}

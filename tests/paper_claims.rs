@@ -1,0 +1,203 @@
+//! Cross-crate integration tests for the paper's headline claims, at
+//! debug-friendly scale.
+
+use janus::core::sim::engine::{simulate_iteration, EngineOpts, ParadigmPolicy};
+use janus::moe::config::{BlockKind, ModelConfig, ModelPreset};
+use janus::moe::traffic::{iteration_traffic_dc, iteration_traffic_ec, r_for_block};
+use janus::moe::workload::Imbalance;
+use janus::topology::ClusterSpec;
+
+fn gpt(batch: usize) -> ModelConfig {
+    let mut model = ModelPreset::MoeGpt.config(8);
+    model.batch = batch;
+    model
+}
+
+/// The core claim: per-block paradigm choice by `R` picks the faster
+/// paradigm on both sides of the crossover.
+#[test]
+fn r_metric_predicts_the_faster_paradigm() {
+    let cluster = || ClusterSpec::a100(2, 4).build();
+    // R = 2·64·4/(4·2·768·1) = 0.08 → expert-centric should win clearly.
+    // R = 128·64·4/(4·2·768·1) = 5.33 → data-centric should win clearly.
+    // (Near R ≈ 1 the two paradigms tie, which is the point of the rule.)
+    for (batch, dc_should_win) in [(2usize, false), (128, true)] {
+        let model = gpt(batch);
+        let r = r_for_block(&model, 11, 2, 4);
+        assert_eq!(r > 1.0, dc_should_win, "test setup: R = {r}");
+        let ec = simulate_iteration(cluster(), model.clone(), &EngineOpts::janus_expert_centric())
+            .expect("ec run");
+        let dc = simulate_iteration(cluster(), model, &EngineOpts::data_centric(true, true))
+            .expect("dc run");
+        assert_eq!(
+            dc.iter_time < ec.iter_time,
+            dc_should_win,
+            "batch {batch}: dc {} vs ec {}",
+            dc.iter_time,
+            ec.iter_time
+        );
+    }
+}
+
+/// The unified engine never loses (meaningfully) to either pure paradigm.
+#[test]
+fn unified_is_never_worse_than_either_pure_paradigm() {
+    let cluster = || ClusterSpec::a100(2, 4).build();
+    for batch in [8usize, 32, 128] {
+        let model = gpt(batch);
+        let ec = simulate_iteration(cluster(), model.clone(), &EngineOpts::janus_expert_centric())
+            .expect("ec run")
+            .iter_time;
+        let dc = simulate_iteration(cluster(), model.clone(), &EngineOpts::data_centric(true, true))
+            .expect("dc run")
+            .iter_time;
+        let unified = simulate_iteration(cluster(), model, &EngineOpts::default())
+            .expect("unified run")
+            .iter_time;
+        let best = ec.min(dc);
+        assert!(
+            unified <= best * 1.02,
+            "batch {batch}: unified {unified} vs best pure {best}"
+        );
+    }
+}
+
+/// Simulated cross-node traffic equals the paper's closed forms for both
+/// paradigms under a balanced workload.
+#[test]
+fn simulated_traffic_matches_closed_forms() {
+    for (n, m) in [(2usize, 2usize), (2, 4), (4, 2)] {
+        let mut model = ModelPreset::MoeGpt.config(n * m);
+        model.batch = 16;
+        let mut ec_opts = EngineOpts::janus_expert_centric();
+        ec_opts.imbalance = Imbalance::Balanced;
+        let mut dc_opts = EngineOpts::data_centric(true, true);
+        dc_opts.imbalance = Imbalance::Balanced;
+        let ec = simulate_iteration(ClusterSpec::a100(n, m).build(), model.clone(), &ec_opts)
+            .expect("ec run");
+        let dc = simulate_iteration(ClusterSpec::a100(n, m).build(), model.clone(), &dc_opts)
+            .expect("dc run");
+        let ec_pred = iteration_traffic_ec(&model, n, m);
+        let dc_pred = iteration_traffic_dc(&model, n, m);
+        assert!(
+            (ec.cross_node_bytes_per_machine - ec_pred).abs() / ec_pred < 0.01,
+            "{n}x{m} EC: {} vs {}",
+            ec.cross_node_bytes_per_machine,
+            ec_pred
+        );
+        assert!(
+            (dc.cross_node_bytes_per_machine - dc_pred).abs() / dc_pred < 0.02,
+            "{n}x{m} DC: {} vs {}",
+            dc.cross_node_bytes_per_machine,
+            dc_pred
+        );
+    }
+}
+
+/// Data-centric traffic is invariant to workload skew; expert-centric
+/// traffic and time are not (the paper's balance argument).
+#[test]
+fn dc_traffic_is_skew_invariant() {
+    let cluster = || ClusterSpec::a100(2, 4).build();
+    let model = gpt(32);
+    let dc_time = |imb: Imbalance| {
+        let mut opts = EngineOpts::data_centric(true, true);
+        opts.imbalance = imb;
+        simulate_iteration(cluster(), model.clone(), &opts).expect("dc run")
+    };
+    let balanced = dc_time(Imbalance::Balanced);
+    let skewed = dc_time(Imbalance::Zipf(1.0));
+    assert!(
+        (balanced.cross_node_bytes_per_machine - skewed.cross_node_bytes_per_machine).abs()
+            < 1.0,
+        "expert transfers do not depend on the token assignment"
+    );
+}
+
+/// The Figure 16 memory story at full scale (the estimate is analytic, so
+/// it is cheap even in debug mode).
+#[test]
+fn tutel_oom_at_s512_janus_fits() {
+    let mut model = ModelPreset::MoeBert.config(32);
+    model.top_k = 4;
+    model.seq_len = 512;
+    let cluster = ClusterSpec::a100(4, 8).build();
+    let mut small = model.clone();
+    small.batch = 4; // keep the *simulation* small; memory model uses B from config
+    // Use the full-size config for the memory estimate path by running
+    // the analytic estimator directly.
+    use janus::core::paradigm::Paradigm;
+    use janus::core::sim::memory::estimate;
+    use janus::moe::workload::AssignmentMatrix;
+    let assignments: Vec<Option<AssignmentMatrix>> = model
+        .blocks
+        .iter()
+        .map(|k| {
+            k.is_moe().then(|| {
+                AssignmentMatrix::generate(
+                    32,
+                    k.experts(),
+                    model.tokens_per_worker(),
+                    Imbalance::Zipf(0.3),
+                    3,
+                )
+            })
+        })
+        .collect();
+    let cap = cluster.spec().gpu_memory_bytes;
+    let ec = estimate(&model, &assignments, 32, cap, Paradigm::ExpertCentric, 16);
+    let dc = estimate(&model, &assignments, 32, cap, Paradigm::DataCentric, 16);
+    assert!(ec.oom, "expert-centric must exceed 80 GB: {ec:?}");
+    assert!(!dc.oom, "data-centric must fit: {dc:?}");
+}
+
+/// A model mixing dense and MoE blocks with different expert counts (the
+/// PR-MoE structure) simulates cleanly under every policy.
+#[test]
+fn mixed_block_models_run_under_every_policy() {
+    let model = ModelConfig {
+        name: "mini-pr-moe".into(),
+        blocks: vec![
+            BlockKind::Transformer,
+            BlockKind::Moe { experts: 8 },
+            BlockKind::Transformer,
+            BlockKind::Moe { experts: 16 },
+        ],
+        hidden_dim: 128,
+        batch: 16,
+        seq_len: 64,
+        top_k: 2,
+        dtype_bytes: 2,
+        vocab: 1000,
+    };
+    for policy in [
+        ParadigmPolicy::ExpertCentric,
+        ParadigmPolicy::DataCentric,
+        ParadigmPolicy::Unified,
+    ] {
+        let opts = EngineOpts { policy, ..EngineOpts::default() };
+        let report =
+            simulate_iteration(ClusterSpec::a100(2, 4).build(), model.clone(), &opts)
+                .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        assert!(report.iter_time > 0.0);
+    }
+}
+
+/// Forward-only simulation (the paper's §9 inference direction) is
+/// cheaper than training and still picks data-centric wins.
+#[test]
+fn forward_only_mode_works() {
+    let model = gpt(128);
+    let mut opts = EngineOpts::data_centric(true, true);
+    opts.include_backward = false;
+    let fwd = simulate_iteration(ClusterSpec::a100(2, 4).build(), model.clone(), &opts)
+        .expect("forward-only run");
+    let full = simulate_iteration(
+        ClusterSpec::a100(2, 4).build(),
+        model,
+        &EngineOpts::data_centric(true, true),
+    )
+    .expect("full run");
+    assert!(fwd.iter_time < full.iter_time);
+    assert!(fwd.iter_time > 0.0);
+}

@@ -1,0 +1,181 @@
+//! Cross-crate property tests on scheduler and engine invariants.
+
+use janus::core::plan::{expert_owner, fetch_plan};
+use janus::core::priority::{internal_priority, internal_pull_order, pcie_split};
+use janus::core::sim::engine::{build_graph, EngineOpts, ParadigmPolicy};
+use janus::core::sim::setup::SimSetup;
+use janus::moe::config::ModelPreset;
+use janus::moe::workload::{AssignmentMatrix, Imbalance};
+use janus::netsim::simulate;
+use janus::topology::{ClusterSpec, LocalRank, WorkerId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every fetch plan covers every expert exactly once per worker, for
+    /// arbitrary cluster shapes and expert multiples.
+    #[test]
+    fn fetch_plans_are_complete_partitions(
+        n in 1usize..4,
+        m in 1usize..6,
+        e_per in 1usize..4,
+        topo in any::<bool>(),
+    ) {
+        let cluster = ClusterSpec::a100(n, m).build();
+        let experts = n * m * e_per;
+        let plan = fetch_plan(&cluster, experts, topo);
+        for w in cluster.workers() {
+            let all = plan.all_experts_for(w);
+            prop_assert_eq!(all, (0..experts).collect::<Vec<_>>());
+        }
+        // Machine external lists: every off-machine expert exactly once.
+        for machine in cluster.machines() {
+            let list = &plan.machine_external[machine.0];
+            for pull in list {
+                prop_assert_ne!(cluster.machine_of(pull.owner), machine);
+                prop_assert_eq!(expert_owner(pull.expert, experts, n * m), pull.owner);
+            }
+            prop_assert_eq!(list.len(), experts - m * e_per);
+        }
+    }
+
+    /// Algorithm 1 priorities are a bijection per worker and stagger
+    /// owners across workers at every step.
+    #[test]
+    fn staggered_priorities_form_latin_square(m in 2usize..12) {
+        for r in 0..m {
+            let order = internal_pull_order(LocalRank(r), m);
+            let mut prios: Vec<usize> = order
+                .iter()
+                .map(|&o| internal_priority(o, LocalRank(r), m))
+                .collect();
+            prios.sort_unstable();
+            prop_assert_eq!(prios, (1..m).collect::<Vec<_>>());
+        }
+        for step in 0..m - 1 {
+            let mut owners: Vec<usize> =
+                (0..m).map(|r| internal_pull_order(LocalRank(r), m)[step].0).collect();
+            owners.sort_unstable();
+            owners.dedup();
+            prop_assert_eq!(owners.len(), m, "owner collision at step {}", step);
+        }
+    }
+
+    /// The PCIe split is a partition and the two siblings' halves mirror
+    /// each other for any expert list.
+    #[test]
+    fn pcie_split_partitions(experts in prop::collection::vec(0usize..1000, 0..40)) {
+        let (a_mine, a_peer) = pcie_split(&experts, 0, true);
+        let (b_mine, b_peer) = pcie_split(&experts, 1, true);
+        prop_assert_eq!(&a_mine, &b_peer);
+        prop_assert_eq!(&a_peer, &b_mine);
+        let mut merged = a_mine.clone();
+        merged.extend(&a_peer);
+        merged.sort_unstable();
+        let mut want = experts.clone();
+        want.sort_unstable();
+        prop_assert_eq!(merged, want);
+    }
+
+    /// Assignment matrices conserve tokens for any skew.
+    #[test]
+    fn assignments_conserve_tokens(
+        workers in 1usize..8,
+        experts in 1usize..16,
+        tokens in 1usize..500,
+        skew in 0.0f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let a = AssignmentMatrix::generate(workers, experts, tokens, Imbalance::Zipf(skew), seed);
+        for w in 0..workers {
+            prop_assert_eq!(a.worker_tokens(w), tokens);
+        }
+        let total: usize = (0..experts).map(|e| a.expert_load(e)).sum();
+        prop_assert_eq!(total, workers * tokens);
+        prop_assert!(a.imbalance_factor() >= 1.0 - 1e-9);
+    }
+
+    /// Every engine-built graph simulates to completion (no deadlocks)
+    /// across policies, ablation switches, credit sizes, and seeds.
+    #[test]
+    fn engine_graphs_never_deadlock(
+        policy_ix in 0usize..3,
+        topo in any::<bool>(),
+        prefetch in any::<bool>(),
+        credits in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let mut model = ModelPreset::MoeGpt.config(4);
+        model.batch = 4;
+        model.blocks.truncate(12);
+        let cluster = ClusterSpec::a100(2, 2).build();
+        let policy = [
+            ParadigmPolicy::ExpertCentric,
+            ParadigmPolicy::DataCentric,
+            ParadigmPolicy::Unified,
+        ][policy_ix];
+        let mut opts = EngineOpts { policy, ..EngineOpts::default() };
+        opts.dc.topo_aware = topo;
+        opts.dc.prefetch = prefetch;
+        opts.dc.credits = credits;
+        opts.seed = seed;
+        let setup = SimSetup::new(cluster, model, opts.imbalance, seed);
+        let (graph, _) = build_graph(&setup, &opts);
+        let result = simulate(&graph, &setup.cluster.capacities());
+        prop_assert!(result.is_ok(), "{:?}", result.err());
+        prop_assert!(result.unwrap().makespan > 0.0);
+    }
+
+    /// Cluster routing is always loop-free, uses each link at most once,
+    /// and cross-node routes cross exactly two NICs.
+    #[test]
+    fn routes_are_simple_paths(n in 1usize..4, m in 1usize..6) {
+        let cluster = ClusterSpec::a100(n, m).build();
+        use janus::topology::Location;
+        let locs: Vec<Location> = cluster
+            .workers()
+            .map(Location::Gpu)
+            .chain(cluster.machines().map(Location::CpuMem))
+            .collect();
+        for &from in &locs {
+            for &to in &locs {
+                let route = cluster.route(from, to);
+                let mut ids: Vec<_> = route.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), route.len(), "duplicate link in route");
+                let nic_crossings = route
+                    .iter()
+                    .filter(|&&l| cluster.link_info(l).kind.is_cross_node())
+                    .count();
+                let cross = machine_of_loc(&cluster, from) != machine_of_loc(&cluster, to);
+                prop_assert_eq!(nic_crossings, if cross { 2 } else { 0 });
+            }
+        }
+    }
+}
+
+fn machine_of_loc(
+    cluster: &janus::topology::Cluster,
+    loc: janus::topology::Location,
+) -> usize {
+    match loc {
+        janus::topology::Location::Gpu(w) => cluster.machine_of(w).0,
+        janus::topology::Location::CpuMem(mm) => mm.0,
+    }
+}
+
+/// Static sanity outside proptest: expert ownership is contiguous.
+#[test]
+fn ownership_is_contiguous() {
+    for (experts, workers) in [(8usize, 4usize), (32, 32), (64, 16)] {
+        let mut last = WorkerId(0);
+        for e in 0..experts {
+            let owner = expert_owner(e, experts, workers);
+            assert!(owner >= last, "ownership must be monotone");
+            last = owner;
+        }
+        assert_eq!(last, WorkerId(workers - 1));
+    }
+}
