@@ -20,14 +20,13 @@
 //!   iterations and the computation is equivalent to the All-to-All
 //!   baseline (paper §3.2).
 
-use crate::exec::model::{loss_and_grad, ExecConfig, WorkerState};
+use crate::exec::model::{loss_and_grad, ExecConfig, GradInbox, WorkerState};
 use crate::exec::weights::{expert_from_bytes, expert_to_bytes, grads_from_bytes, grads_to_bytes};
 use crate::exec::expert_centric::IterOutput;
 use crate::queue::{CacheManager, GradAccumulator};
 use janus_comm::{Comm, CommError, Message, Transport};
 use janus_moe::expert::{ExpertCache, ExpertFfn, ExpertGrads};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -52,20 +51,21 @@ impl MachineShared {
     }
 }
 
-/// Gradients accumulating at an expert's owner: running sum plus how many
-/// of the `W` per-worker contributions have arrived.
-type OwnerGrads = Mutex<HashMap<(usize, usize), (ExpertGrads, u32)>>;
-
 struct DcRuntime<'a, T: Transport> {
     comm: &'a Comm<T>,
     cfg: ExecConfig,
     rank: usize,
     machine: usize,
     shared: &'a MachineShared,
-    /// Snapshot of owned expert weights served to peers during the
-    /// iteration (updates land only at the end, so serving is stable).
-    serving: Vec<Vec<ExpertFfn>>,
-    owner_grads: OwnerGrads,
+    /// Snapshot of owned expert weights served to peers. Stable during
+    /// the iteration (updates land only at the end) and refreshed right
+    /// after the update, because peers that already passed the
+    /// end-of-iteration barriers pull next-iteration weights while this
+    /// worker is still draining its own barrier.
+    serving: RefCell<Vec<Vec<ExpertFfn>>>,
+    /// Persistent inbox of gradient contributions for owned experts
+    /// (outlives the iteration; see [`GradInbox`]).
+    owner_grads: &'a GradInbox,
 }
 
 impl<'a, T: Transport> DcRuntime<'a, T> {
@@ -77,7 +77,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
                 let (b, e) = (*block as usize, *expert as usize);
                 assert_eq!(self.cfg.owner_of(e), self.rank, "pull request routed to non-owner");
                 let local = e - self.cfg.owned_experts(self.rank).start;
-                let data = expert_to_bytes(&self.serving[b][local]);
+                let data = expert_to_bytes(&self.serving.borrow()[b][local]);
                 self.comm
                     .send(from, Message::ExpertPayload { block: *block, expert: *expert, data })
                     .expect("serving an expert payload");
@@ -87,14 +87,14 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
                 let (b, e) = (*block as usize, *expert as usize);
                 let grad = grads_from_bytes(data.clone()).expect("decode gradient");
                 if self.cfg.owner_of(e) == self.rank {
-                    self.add_owner_grad(b, e, grad, *contributions);
+                    self.add_owner_grad(b, e, from, grad, *contributions);
                 } else {
                     debug_assert_eq!(
                         self.cfg.designated_local(self.machine, e),
                         self.rank,
                         "gradient push routed to non-aggregator"
                     );
-                    self.aggregate_external(b, e, grad, *contributions);
+                    self.aggregate_external(b, e, from, grad, *contributions);
                 }
                 true
             }
@@ -102,26 +102,18 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
         }
     }
 
-    fn add_owner_grad(&self, b: usize, e: usize, grad: ExpertGrads, contributions: u32) {
+    fn add_owner_grad(&self, b: usize, e: usize, sender: usize, grad: ExpertGrads, contributions: u32) {
         let mut map = self.owner_grads.lock();
-        match map.get_mut(&(b, e)) {
-            Some((sum, count)) => {
-                sum.accumulate(&grad);
-                *count += contributions;
-            }
-            None => {
-                map.insert((b, e), (grad, contributions));
-            }
-        }
+        map.entry((b, e)).or_default().push((sender, grad, contributions));
     }
 
     /// Fold a local contribution into the machine's pre-reduction; ship
     /// the pre-reduced gradient to the owner once all local workers have
     /// contributed.
-    fn aggregate_external(&self, b: usize, e: usize, grad: ExpertGrads, contributions: u32) {
+    fn aggregate_external(&self, b: usize, e: usize, sender: usize, grad: ExpertGrads, contributions: u32) {
         debug_assert_eq!(contributions, 1, "aggregators receive raw contributions");
         if let Some((reduced, n)) =
-            self.shared.grads.add((b, e), grad, |acc, g| acc.accumulate(&g))
+            self.shared.grads.add((b, e), sender, grad, |acc, g| acc.accumulate(&g))
         {
             let owner = self.cfg.owner_of(e);
             self.comm
@@ -217,8 +209,8 @@ pub fn run_iteration<T: Transport>(
         rank,
         machine,
         shared,
-        serving: state.experts.clone(),
-        owner_grads: Mutex::new(HashMap::new()),
+        serving: RefCell::new(state.experts.clone()),
+        owner_grads: &state.grads_inbox,
     };
 
     let mut x = state.inputs.clone();
@@ -289,7 +281,7 @@ pub fn run_iteration<T: Transport>(
             // directly; external → local aggregator for pre-reduction.
             let owner = cfg.owner_of(e);
             if owner == rank {
-                rt.add_owner_grad(b, e, grad, 1);
+                rt.add_owner_grad(b, e, rank, grad, 1);
             } else if cfg.machine_of(owner) == machine {
                 comm.send(
                     owner,
@@ -303,7 +295,7 @@ pub fn run_iteration<T: Transport>(
             } else {
                 let agg = cfg.designated_local(machine, e);
                 if agg == rank {
-                    rt.aggregate_external(b, e, grad, 1);
+                    rt.aggregate_external(b, e, rank, grad, 1);
                 } else {
                     comm.send(
                         agg,
@@ -324,11 +316,14 @@ pub fn run_iteration<T: Transport>(
     // Wait until every owned expert has all W contributions, serving
     // aggregation and pull traffic meanwhile.
     let world = cfg.world() as u32;
+    let arrived = |parts: &Vec<(usize, ExpertGrads, u32)>| {
+        parts.iter().map(|(_, _, n)| *n).sum::<u32>()
+    };
     loop {
         let done = {
             let map = rt.owner_grads.lock();
             cfg.owned_experts(rank).all(|e| {
-                (0..cfg.blocks).all(|b| map.get(&(b, e)).is_some_and(|(_, n)| *n == world))
+                (0..cfg.blocks).all(|b| map.get(&(b, e)).is_some_and(|p| arrived(p) == world))
             })
         };
         if done {
@@ -340,15 +335,29 @@ pub fn run_iteration<T: Transport>(
         }
     }
     {
-        let map = rt.owner_grads.lock();
+        // Fold each expert's contributions in ascending sender order: the
+        // sum — and therefore the weight update — is bitwise independent
+        // of the order gradient messages happened to arrive in.
+        let owned = cfg.owned_experts(rank);
+        let mut map = rt.owner_grads.lock();
         for b in 0..cfg.blocks {
-            for e in cfg.owned_experts(rank) {
-                let (grad, n) = &map[&(b, e)];
-                debug_assert_eq!(*n, world);
-                state.owned_mut(b, e).apply(grad, cfg.lr);
+            for e in owned.clone() {
+                let mut parts = map.remove(&(b, e)).expect("waited for all contributions");
+                debug_assert_eq!(arrived(&parts), world);
+                parts.sort_by_key(|(sender, _, _)| *sender);
+                let mut it = parts.into_iter();
+                let (_, mut grad, _) = it.next().expect("world > 0");
+                for (_, g, _) in it {
+                    grad.accumulate(&g);
+                }
+                state.experts[b][e - owned.start].apply(&grad, cfg.lr);
             }
         }
     }
+    // Refresh the served snapshot to the just-updated weights: any pull
+    // arriving from here on is a next-iteration request from a peer that
+    // already passed the barriers below, and must see the new weights.
+    rt.serving.replace(state.experts.clone());
 
     // End of iteration: synchronize, then invalidate the cache (stale
     // weights must never survive into the next iteration, §5.1.1).

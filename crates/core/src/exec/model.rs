@@ -9,9 +9,22 @@
 use janus_moe::expert::{ExpertFfn, ExpertGrads};
 use janus_moe::gate::TopKGate;
 use janus_tensor::Matrix;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Gradient contributions addressed to this worker's owned experts,
+/// keyed by `(block, expert)`: `(sender, grad, contribution count)`
+/// tuples buffered until all of the world's contributions arrived.
+///
+/// Lives on [`WorkerState`] (not inside one iteration's runtime) because
+/// a fast peer may pass the end-of-iteration barriers and push its
+/// next-iteration gradient while this worker is still draining the
+/// current iteration's barrier — the contribution must survive into the
+/// next iteration instead of being dropped with the old runtime.
+pub type GradInbox = Mutex<HashMap<(usize, usize), Vec<(usize, ExpertGrads, u32)>>>;
 
 /// Configuration of a numerical training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -99,6 +112,8 @@ pub struct WorkerState {
     pub experts: Vec<Vec<ExpertFfn>>,
     /// This worker's token batch.
     pub inputs: Matrix,
+    /// Cross-iteration inbox of gradient contributions for owned experts.
+    pub grads_inbox: GradInbox,
 }
 
 impl WorkerState {
@@ -121,7 +136,14 @@ impl WorkerState {
             .collect();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xDA7A << 16) ^ rank as u64);
         let inputs = Matrix::uniform(cfg.tokens, cfg.hidden_dim, 1.0, &mut rng);
-        WorkerState { cfg: cfg.clone(), rank, gates, experts, inputs }
+        WorkerState {
+            cfg: cfg.clone(),
+            rank,
+            gates,
+            experts,
+            inputs,
+            grads_inbox: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The canonical initial weights of global expert `e` in block `b`.

@@ -12,15 +12,15 @@ use std::collections::HashMap;
 /// Key of an accumulated gradient: (MoE block index, global expert index).
 pub type GradKey = (usize, usize);
 
-struct Pending<G> {
-    grad: G,
-    contributions: usize,
-}
-
 /// Accumulates per-worker gradients until the expected count arrives.
+///
+/// Contributions are buffered per sender and folded in ascending sender
+/// order once complete, so the reduced sum is independent of arrival
+/// order — floating-point reductions stay bitwise reproducible even when
+/// the transport reorders messages across peers.
 pub struct GradAccumulator<G> {
     expected: usize,
-    pending: Mutex<HashMap<GradKey, Pending<G>>>,
+    pending: Mutex<HashMap<GradKey, Vec<(usize, G)>>>,
 }
 
 impl<G> GradAccumulator<G> {
@@ -31,32 +31,38 @@ impl<G> GradAccumulator<G> {
         GradAccumulator { expected, pending: Mutex::new(HashMap::new()) }
     }
 
-    /// Add one worker's gradient. When this is the `expected`-th
-    /// contribution for `key`, the fully pre-reduced gradient is returned
+    /// Add the gradient contributed by worker `sender`. When this is the
+    /// `expected`-th contribution for `key`, all contributions are folded
+    /// in ascending sender order and the pre-reduced gradient is returned
     /// (and the entry removed); otherwise `None`.
     ///
     /// `combine` folds a new contribution into the running sum.
-    pub fn add(&self, key: GradKey, grad: G, combine: impl Fn(&mut G, G)) -> Option<(G, usize)> {
+    pub fn add(
+        &self,
+        key: GradKey,
+        sender: usize,
+        grad: G,
+        combine: impl Fn(&mut G, G),
+    ) -> Option<(G, usize)> {
         let mut pending = self.pending.lock();
-        match pending.remove(&key) {
-            None => {
-                if self.expected == 1 {
-                    return Some((grad, 1));
-                }
-                pending.insert(key, Pending { grad, contributions: 1 });
-                None
-            }
-            Some(mut entry) => {
-                combine(&mut entry.grad, grad);
-                entry.contributions += 1;
-                if entry.contributions == self.expected {
-                    Some((entry.grad, entry.contributions))
-                } else {
-                    pending.insert(key, entry);
-                    None
-                }
-            }
+        let parts = pending.entry(key).or_default();
+        debug_assert!(
+            parts.iter().all(|(s, _)| *s != sender),
+            "duplicate contribution from sender {sender}"
+        );
+        parts.push((sender, grad));
+        if parts.len() < self.expected {
+            return None;
         }
+        let mut parts = pending.remove(&key).expect("entry just populated");
+        parts.sort_by_key(|(s, _)| *s);
+        let n = parts.len();
+        let mut it = parts.into_iter();
+        let (_, mut sum) = it.next().expect("expected > 0");
+        for (_, g) in it {
+            combine(&mut sum, g);
+        }
+        Some((sum, n))
     }
 
     /// Number of experts still waiting for contributions.
@@ -83,10 +89,10 @@ mod tests {
     #[test]
     fn releases_only_on_last_contribution() {
         let acc: GradAccumulator<Vec<f32>> = GradAccumulator::new(3);
-        assert!(acc.add((0, 1), vec![1.0, 0.0], sum).is_none());
-        assert!(acc.add((0, 1), vec![0.0, 2.0], sum).is_none());
+        assert!(acc.add((0, 1), 0, vec![1.0, 0.0], sum).is_none());
+        assert!(acc.add((0, 1), 1, vec![0.0, 2.0], sum).is_none());
         assert_eq!(acc.outstanding(), 1);
-        let (g, n) = acc.add((0, 1), vec![1.0, 1.0], sum).unwrap();
+        let (g, n) = acc.add((0, 1), 2, vec![1.0, 1.0], sum).unwrap();
         assert_eq!(g, vec![2.0, 3.0]);
         assert_eq!(n, 3);
         assert_eq!(acc.outstanding(), 0);
@@ -95,10 +101,10 @@ mod tests {
     #[test]
     fn keys_accumulate_independently() {
         let acc: GradAccumulator<Vec<f32>> = GradAccumulator::new(2);
-        assert!(acc.add((0, 1), vec![1.0], sum).is_none());
-        assert!(acc.add((0, 2), vec![10.0], sum).is_none());
-        let (g1, _) = acc.add((0, 1), vec![2.0], sum).unwrap();
-        let (g2, _) = acc.add((0, 2), vec![20.0], sum).unwrap();
+        assert!(acc.add((0, 1), 0, vec![1.0], sum).is_none());
+        assert!(acc.add((0, 2), 0, vec![10.0], sum).is_none());
+        let (g1, _) = acc.add((0, 1), 1, vec![2.0], sum).unwrap();
+        let (g2, _) = acc.add((0, 2), 1, vec![20.0], sum).unwrap();
         assert_eq!(g1, vec![3.0]);
         assert_eq!(g2, vec![30.0]);
     }
@@ -106,7 +112,7 @@ mod tests {
     #[test]
     fn single_worker_machine_passes_through() {
         let acc: GradAccumulator<Vec<f32>> = GradAccumulator::new(1);
-        let (g, n) = acc.add((1, 0), vec![5.0], sum).unwrap();
+        let (g, n) = acc.add((1, 0), 0, vec![5.0], sum).unwrap();
         assert_eq!(g, vec![5.0]);
         assert_eq!(n, 1);
     }
@@ -115,11 +121,25 @@ mod tests {
     fn key_reusable_after_release() {
         // The next iteration accumulates the same expert key again.
         let acc: GradAccumulator<Vec<f32>> = GradAccumulator::new(2);
-        acc.add((0, 0), vec![1.0], sum);
-        acc.add((0, 0), vec![1.0], sum).unwrap();
-        assert!(acc.add((0, 0), vec![7.0], sum).is_none());
-        let (g, _) = acc.add((0, 0), vec![1.0], sum).unwrap();
+        acc.add((0, 0), 0, vec![1.0], sum);
+        acc.add((0, 0), 1, vec![1.0], sum).unwrap();
+        assert!(acc.add((0, 0), 0, vec![7.0], sum).is_none());
+        let (g, _) = acc.add((0, 0), 1, vec![1.0], sum).unwrap();
         assert_eq!(g, vec![8.0]);
+    }
+
+    #[test]
+    fn fold_order_is_sender_order_not_arrival_order() {
+        // f32 addition is not associative; picking senders whose partial
+        // sums differ by arrival order would expose a nondeterministic
+        // reduction. The accumulator must fold by ascending sender.
+        let acc: GradAccumulator<Vec<f32>> = GradAccumulator::new(3);
+        let (a, b, c) = (1.0e8f32, -1.0e8f32, 1.0f32);
+        // ((a + b) + c) != (a + (b + c)) pattern via arrival order c, a, b.
+        acc.add((0, 0), 2, vec![c], sum);
+        acc.add((0, 0), 0, vec![a], sum);
+        let (g, _) = acc.add((0, 0), 1, vec![b], sum).unwrap();
+        assert_eq!(g, vec![(a + b) + c], "must reduce in sender order");
     }
 
     #[test]
@@ -129,11 +149,11 @@ mod tests {
         let acc: Arc<GradAccumulator<Vec<f32>>> = Arc::new(GradAccumulator::new(8));
         let releases = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
-        for _ in 0..8 {
+        for sender in 0..8 {
             let acc = acc.clone();
             let releases = releases.clone();
             handles.push(std::thread::spawn(move || {
-                if acc.add((0, 3), vec![1.0], sum).is_some() {
+                if acc.add((0, 3), sender, vec![1.0], sum).is_some() {
                     releases.fetch_add(1, Ordering::SeqCst);
                 }
             }));

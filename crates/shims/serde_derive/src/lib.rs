@@ -1,0 +1,496 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the shim `serde` crate's `Value`-based
+//! data model.
+//!
+//! Implemented with hand-rolled `proc_macro::TokenStream` parsing (no
+//! `syn`/`quote` available offline). Supports the shapes this workspace
+//! uses: named-field structs, newtype/tuple structs, unit structs, and
+//! enums with unit / newtype / struct variants, plus the `#[serde(skip)]`
+//! field attribute. Generic type parameters are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, item)) => {
+            let code = match mode {
+                Mode::Ser => gen_serialize(&name, &item),
+                Mode::De => gen_deserialize(&name, &item),
+            };
+            code.parse().expect("shim derive generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Result<(String, Item), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`; \
+             hand-write the impl or extend crates/shims/serde_derive"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Item::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Item::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Item::UnitStruct)),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Item::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("expected struct or enum, got `{other}`")),
+    }
+}
+
+/// Advance past outer attributes (`#[...]`) and a `pub`/`pub(...)`
+/// visibility marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Whether the attribute group at `tokens[i]` (after its `#`) is
+/// `[serde(skip)]`.
+fn attr_is_serde_skip(tokens: &[TokenTree], i: usize) -> bool {
+    let Some(TokenTree::Group(g)) = tokens.get(i) else { return false };
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" =>
+        {
+            args.stream().into_iter().any(|t| matches!(t, TokenTree::Ident(ref a)
+                if a.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (noting #[serde(skip)]) and visibility.
+        let mut skip = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if attr_is_serde_skip(&tokens, i + 1) {
+                        skip = true;
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                        if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        // Parens/brackets/braces arrive as single Group tokens, so only
+        // `<`/`>` need explicit depth tracking.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if idx == tokens.len() - 1 {
+                        saw_trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional discriminant (`= expr`) then comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- codegen ----
+
+fn gen_serialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Item::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::TupleStruct(n) => {
+            let entries: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", entries.join(", "))
+        }
+        Item::UnitStruct => "::serde::Value::Null".to_string(),
+        Item::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Obj(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Obj(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Arr(::std::vec![{vals}]))])",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({n:?}), \
+                                         ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Obj(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Obj(::std::vec![{entries}]))])",
+                                binds = binds.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::core::default::Default::default()", f.name)
+                    } else {
+                        format!("{n}: ::serde::field(__obj, {n:?})?", n = f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(concat!(\"expected object for \", {name:?})))?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Item::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(concat!(\"expected array for \", {name:?})))?;\n\
+                 if __arr.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::DeError::new(\"tuple arity mismatch\")); }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Item::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{vn:?} => ::core::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "{vn:?} => ::core::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__val)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__arr[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __arr = __val.as_array().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected array variant\"))?;\n\
+                                 if __arr.len() != {n} {{ return \
+                                 ::core::result::Result::Err(::serde::DeError::new(\
+                                 \"variant arity mismatch\")); }}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({}))\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!(
+                                            "{}: ::core::default::Default::default()",
+                                            f.name
+                                        )
+                                    } else {
+                                        format!(
+                                            "{n}: ::serde::field(__vobj, {n:?})?",
+                                            n = f.name
+                                        )
+                                    }
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __vobj = __val.as_object().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected object variant\"))?;\n\
+                                 ::core::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Obj(__fields) if __fields.len() == 1 => {{\n\
+                 let (__k, __val) = &__fields[0];\n\
+                 match __k.as_str() {{\n\
+                 {datas}\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"expected variant of {name}, got {{__other:?}}\"))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,38 @@
+//! Diagnostic: is data-centric training bitwise deterministic run-to-run?
+
+use janus::core::exec::model::ExecConfig;
+use janus::core::exec::trainer::train_data_centric;
+
+fn cfg() -> ExecConfig {
+    ExecConfig {
+        machines: 2,
+        gpus_per_machine: 2,
+        hidden_dim: 8,
+        blocks: 2,
+        experts: 8,
+        top_k: 2,
+        tokens: 12,
+        seed: 99,
+        lr: 0.03,
+    }
+}
+
+#[test]
+fn dc_is_bitwise_deterministic_run_to_run() {
+    let cfg = cfg();
+    let a = train_data_centric(&cfg, 3);
+    let b = train_data_centric(&cfg, 3);
+    assert_eq!(
+        a.losses, b.losses,
+        "losses differ across identical runs:\n{:?}\n{:?}",
+        a.losses, b.losses
+    );
+    for (ra, rb) in a.experts.iter().zip(&b.experts) {
+        for (ba, bb) in ra.iter().zip(rb) {
+            for (ea, eb) in ba.iter().zip(bb) {
+                assert_eq!(ea.w1.max_abs_diff(&eb.w1), 0.0, "w1 differs");
+                assert_eq!(ea.w2.max_abs_diff(&eb.w2), 0.0, "w2 differs");
+            }
+        }
+    }
+}
