@@ -1,0 +1,46 @@
+//! Compute-substrate micro-benchmarks: the scalar reference kernel the
+//! seed shipped, the register-blocked kernel pinned to one pool thread,
+//! and the blocked kernel at the pool's full width — all at the expert
+//! FFN up-projection shape `x(64×H) · w1(H×4H)` for H ∈ {512, 1024}.
+//!
+//! All three variants produce bit-identical output (see the property
+//! tests in `janus-tensor`); only the wall clock differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use janus_tensor::{matmul_reference, pool, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const TOKENS: usize = 64;
+
+fn operands(hidden: usize) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let x = Matrix::uniform(TOKENS, hidden, 1.0, &mut rng);
+    let w1 = Matrix::uniform(hidden, 4 * hidden, 0.1, &mut rng);
+    (x, w1)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for hidden in [512usize, 1024] {
+        let (x, w1) = operands(hidden);
+        c.bench_function(&format!("matmul_scalar_h{hidden}"), |b| {
+            b.iter(|| black_box(matmul_reference(black_box(&x), black_box(&w1))))
+        });
+        pool::set_threads(1);
+        c.bench_function(&format!("matmul_blocked_h{hidden}"), |b| {
+            b.iter(|| black_box(black_box(&x).matmul(black_box(&w1))))
+        });
+        pool::set_threads(0);
+        c.bench_function(&format!("matmul_blocked_parallel_h{hidden}"), |b| {
+            b.iter(|| black_box(black_box(&x).matmul(black_box(&w1))))
+        });
+    }
+}
+
+criterion_group! {
+    name = compute;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(compute);

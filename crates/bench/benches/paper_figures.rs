@@ -66,9 +66,7 @@ fn bench_fig12(c: &mut Criterion) {
         ("plus_prefetch", EngineOpts::data_centric(true, true)),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(simulate_iteration(cluster.clone(), model.clone(), &opts).unwrap())
-            })
+            b.iter(|| black_box(simulate_iteration(cluster.clone(), model.clone(), &opts).unwrap()))
         });
     }
     group.finish();
@@ -80,8 +78,7 @@ fn bench_fig13(c: &mut Criterion) {
     let opts = EngineOpts::data_centric(false, true);
     c.bench_function("fig13_prefetch_timeline", |b| {
         b.iter(|| {
-            let report =
-                simulate_iteration(cluster.clone(), model.clone(), &opts).unwrap();
+            let report = simulate_iteration(cluster.clone(), model.clone(), &opts).unwrap();
             black_box((report.block_finish_w0.len(), report.expert_arrival_w0.len()))
         })
     });
@@ -101,8 +98,7 @@ fn bench_fig14(c: &mut Criterion) {
     group.bench_function("janus", |b| {
         b.iter(|| {
             black_box(
-                simulate_iteration(cluster.clone(), model.clone(), &EngineOpts::default())
-                    .unwrap(),
+                simulate_iteration(cluster.clone(), model.clone(), &EngineOpts::default()).unwrap(),
             )
         })
     });
@@ -137,9 +133,7 @@ fn bench_fig17(c: &mut Criterion) {
         ..EngineOpts::default()
     };
     c.bench_function("fig17_pr_moe_unified", |b| {
-        b.iter(|| {
-            black_box(simulate_iteration(cluster.clone(), model.clone(), &unified).unwrap())
-        })
+        b.iter(|| black_box(simulate_iteration(cluster.clone(), model.clone(), &unified).unwrap()))
     });
 }
 

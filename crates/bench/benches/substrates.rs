@@ -47,7 +47,13 @@ fn bench_simulate(c: &mut Criterion) {
                 },
                 &[a],
             );
-            let comp = g.task(Work::Compute { lane: lanes[i % 4], duration: 1e-4 }, &[t]);
+            let comp = g.task(
+                Work::Compute {
+                    lane: lanes[i % 4],
+                    duration: 1e-4,
+                },
+                &[t],
+            );
             g.task(Work::ReleaseCredits { pool, amount: 1 }, &[comp]);
         }
         g.build()
@@ -62,7 +68,13 @@ fn bench_simulate(c: &mut Criterion) {
 fn bench_workload_and_gate(c: &mut Criterion) {
     c.bench_function("workload_zipf_assignment", |b| {
         b.iter(|| {
-            black_box(AssignmentMatrix::generate(32, 32, 4096, Imbalance::Zipf(0.3), 7))
+            black_box(AssignmentMatrix::generate(
+                32,
+                32,
+                4096,
+                Imbalance::Zipf(0.3),
+                7,
+            ))
         })
     });
     let mut rng = StdRng::seed_from_u64(1);
@@ -77,7 +89,9 @@ fn bench_tensor(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let a = Matrix::uniform(128, 128, 1.0, &mut rng);
     let bm = Matrix::uniform(128, 128, 1.0, &mut rng);
-    c.bench_function("matmul_128", |b| b.iter(|| black_box(a.matmul(black_box(&bm)))));
+    c.bench_function("matmul_128", |b| {
+        b.iter(|| black_box(a.matmul(black_box(&bm))))
+    });
     let expert = ExpertFfn::new(64, &mut rng);
     let x = Matrix::uniform(128, 64, 1.0, &mut rng);
     c.bench_function("expert_forward_128x64", |b| {
@@ -102,7 +116,11 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("expert_deserialize", |b| {
         b.iter(|| black_box(expert_from_bytes(black_box(blob.clone())).unwrap()))
     });
-    let msg = Message::ExpertPayload { block: 1, expert: 2, data: blob };
+    let msg = Message::ExpertPayload {
+        block: 1,
+        expert: 2,
+        data: blob,
+    };
     c.bench_function("message_encode_decode", |b| {
         b.iter(|| black_box(Message::decode(black_box(msg.encode())).unwrap()))
     });
@@ -112,7 +130,9 @@ fn bench_collectives(c: &mut Criterion) {
     c.bench_function("local_all_to_all_4_workers", |b| {
         b.iter(|| {
             run_workers(4, |comm| {
-                all_to_all(&comm, 0, vec![vec![0u8; 1024]; 4]).unwrap().len()
+                all_to_all(&comm, 0, vec![vec![0u8; 1024]; 4])
+                    .unwrap()
+                    .len()
             })
         })
     });

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|trace|all]...
+//! repro [table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|trace|all]...
 //! ```
 //!
 //! With no arguments, runs everything. Add `--json` to also dump the raw
@@ -14,11 +14,23 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     if args.is_empty() || args.iter().any(|a| a == "all") {
-        args = ["rmetric", "table1", "goodput", "fig3", "fig12", "fig13", "fig14", "fig15",
-            "fig16", "fig17", "ablations"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        args = [
+            "rmetric",
+            "table1",
+            "goodput",
+            "fig3",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "ablations",
+            "compute",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     for arg in &args {
@@ -80,9 +92,16 @@ fn main() {
                 dump(json, "ablation_latency", &latency);
                 dump(json, "ablation_a2a", &a2a);
             }
+            "compute" => {
+                let report = compute::run();
+                compute::print(&report);
+                let path = compute::write_json(&report, "BENCH_compute.json")
+                    .expect("write BENCH_compute.json");
+                println!("wrote {path}");
+                dump(json, "compute", &report);
+            }
             "trace" => {
-                let path = trace_export::write("fig13_timeline.json")
-                    .expect("write chrome trace");
+                let path = trace_export::write("fig13_timeline.json").expect("write chrome trace");
                 println!("wrote {path} (open in chrome://tracing or Perfetto)");
             }
             "rmetric" => {

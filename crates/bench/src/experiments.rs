@@ -112,8 +112,16 @@ pub mod table1 {
             "{}",
             table::render(
                 &[
-                    "model", "experts", "size (B)", "EC calc", "EC sim", "EC paper",
-                    "DC calc", "DC sim", "DC paper", "reduction"
+                    "model",
+                    "experts",
+                    "size (B)",
+                    "EC calc",
+                    "EC sim",
+                    "EC paper",
+                    "DC calc",
+                    "DC sim",
+                    "DC paper",
+                    "reduction"
                 ],
                 &body
             )
@@ -170,9 +178,15 @@ pub mod goodput {
                 ]
             })
             .collect();
-        println!("{}", table::render(&["environment", "sim Gbps", "paper Gbps"], &body));
+        println!(
+            "{}",
+            table::render(&["environment", "sim Gbps", "paper Gbps"], &body)
+        );
         let gap = rows[0].goodput_gbps / rows[1].goodput_gbps;
-        println!("intra/inter gap: {gap:.1}× (paper: {:.1}×)\n", 1846.58 / 101.9);
+        println!(
+            "intra/inter gap: {gap:.1}× (paper: {:.1}×)\n",
+            1846.58 / 101.9
+        );
     }
 }
 
@@ -233,7 +247,10 @@ pub mod fig3 {
             .collect();
         println!(
             "{}",
-            table::render(&["model", "experts", "iter (ms)", "a2a (ms)", "a2a share"], &body)
+            table::render(
+                &["model", "experts", "iter (ms)", "a2a (ms)", "a2a share"],
+                &body
+            )
         );
     }
 }
@@ -261,8 +278,11 @@ pub mod fig12 {
 
     /// Run the ablation on the 32-GPU configurations.
     pub fn run() -> Vec<Row> {
-        let paper = [("MoE-BERT", (1.26, 1.31)), ("MoE-GPT", (1.58, 1.63)),
-            ("MoE-Transformer-xl", (1.79, 1.81))];
+        let paper = [
+            ("MoE-BERT", (1.26, 1.31)),
+            ("MoE-GPT", (1.58, 1.63)),
+            ("MoE-Transformer-xl", (1.79, 1.81)),
+        ];
         ModelPreset::all()
             .into_iter()
             .map(|preset| {
@@ -300,14 +320,25 @@ pub mod fig12 {
                     table::speedup(r.dc),
                     table::speedup(r.dc_topo),
                     table::speedup(r.dc_topo_prefetch),
-                    format!("{} / {}", table::speedup(r.paper.0), table::speedup(r.paper.1)),
+                    format!(
+                        "{} / {}",
+                        table::speedup(r.paper.0),
+                        table::speedup(r.paper.1)
+                    ),
                 ]
             })
             .collect();
         println!(
             "{}",
             table::render(
-                &["model", "EC iter (ms)", "DC", "+topo", "+prefetch", "paper DC/full"],
+                &[
+                    "model",
+                    "EC iter (ms)",
+                    "DC",
+                    "+topo",
+                    "+prefetch",
+                    "paper DC/full"
+                ],
                 &body
             )
         );
@@ -441,7 +472,11 @@ pub mod fig14 {
 
     /// Run the three 32-GPU end-to-end comparisons.
     pub fn run() -> Vec<Row> {
-        let paper = [("MoE-BERT", 1.28), ("MoE-GPT", 1.48), ("MoE-Transformer-xl", 1.52)];
+        let paper = [
+            ("MoE-BERT", 1.28),
+            ("MoE-GPT", 1.48),
+            ("MoE-Transformer-xl", 1.52),
+        ];
         ModelPreset::all()
             .into_iter()
             .map(|preset| {
@@ -512,7 +547,10 @@ pub mod sensitivity {
         let (batch, seq, k) = (model.batch, model.seq_len, model.top_k);
         let tutel = super::run(4, model.clone(), &EngineOpts::tutel());
         let janus = super::run(4, model.clone(), &EngineOpts::default());
-        assert!(!janus.memory.oom, "Janus must fit in every paper configuration");
+        assert!(
+            !janus.memory.oom,
+            "Janus must fit in every paper configuration"
+        );
         let tutel_time = (!tutel.memory.oom).then_some(tutel.iter_time);
         Row {
             model: model.name.clone(),
@@ -585,7 +623,15 @@ pub mod sensitivity {
         println!(
             "{}",
             table::render(
-                &["model", "B", "S", "k", "Tutel (ms)", "Janus (ms)", "speedup"],
+                &[
+                    "model",
+                    "B",
+                    "S",
+                    "k",
+                    "Tutel (ms)",
+                    "Janus (ms)",
+                    "speedup"
+                ],
                 &body
             )
         );
@@ -625,10 +671,16 @@ pub mod fig17 {
             .into_iter()
             .map(|(gpus, machines, paper)| {
                 let model = pr_moe_transformer_xl(gpus);
-                let ec =
-                    super::run(machines, model.clone(), &EngineOpts::janus_expert_centric());
-                let dc = super::run(machines, model.clone(), &EngineOpts::data_centric(true, true));
-                let mut unified_opts = EngineOpts { r_threshold: 2.0, ..EngineOpts::default() };
+                let ec = super::run(machines, model.clone(), &EngineOpts::janus_expert_centric());
+                let dc = super::run(
+                    machines,
+                    model.clone(),
+                    &EngineOpts::data_centric(true, true),
+                );
+                let mut unified_opts = EngineOpts {
+                    r_threshold: 2.0,
+                    ..EngineOpts::default()
+                };
                 unified_opts.policy = ParadigmPolicy::Unified;
                 let unified = super::run(machines, model, &unified_opts);
                 Row {
@@ -662,7 +714,14 @@ pub mod fig17 {
         println!(
             "{}",
             table::render(
-                &["GPUs", "EC (ms)", "DC (ms)", "unified (ms)", "unified/EC", "paper"],
+                &[
+                    "GPUs",
+                    "EC (ms)",
+                    "DC (ms)",
+                    "unified (ms)",
+                    "unified/EC",
+                    "paper"
+                ],
                 &body
             )
         );
@@ -696,21 +755,36 @@ pub mod rmetric {
             (ModelPreset::MoeTransformerXl, "16"),
         ] {
             let model = preset.config(32);
-            let mut r_values: Vec<f64> =
-                model.moe_blocks().iter().map(|&b| r_for_block(&model, b, 4, 8)).collect();
+            let mut r_values: Vec<f64> = model
+                .moe_blocks()
+                .iter()
+                .map(|&b| r_for_block(&model, b, 4, 8))
+                .collect();
             r_values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-            rows.push(Row { model: model.name, machines: 4, r_values, paper });
+            rows.push(Row {
+                model: model.name,
+                machines: 4,
+                r_values,
+                paper,
+            });
         }
         for gpus in [16usize, 32] {
             let machines = gpus / 8;
             let model = pr_moe_transformer_xl(gpus);
-            let mut r_values: Vec<f64> =
-                model.moe_blocks().iter().map(|&b| r_for_block(&model, b, machines, 8)).collect();
+            let mut r_values: Vec<f64> = model
+                .moe_blocks()
+                .iter()
+                .map(|&b| r_for_block(&model, b, machines, 8))
+                .collect();
             r_values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
             rows.push(Row {
                 model: model.name,
                 machines,
-                paper: if gpus == 16 { "4 / 1 (with n=4)" } else { "—" },
+                paper: if gpus == 16 {
+                    "4 / 1 (with n=4)"
+                } else {
+                    "—"
+                },
                 r_values,
             });
         }
@@ -726,12 +800,19 @@ pub mod rmetric {
                 vec![
                     r.model.clone(),
                     r.machines.to_string(),
-                    r.r_values.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(", "),
+                    r.r_values
+                        .iter()
+                        .map(|v| format!("{v:.2}"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
                     r.paper.to_string(),
                 ]
             })
             .collect();
-        println!("{}", table::render(&["model", "machines", "R (per block)", "paper"], &body));
+        println!(
+            "{}",
+            table::render(&["model", "machines", "R (per block)", "paper"], &body)
+        );
     }
 }
 
@@ -769,7 +850,11 @@ pub mod ablations {
                     .iter()
                     .filter(|(_, t)| *t <= gate)
                     .count();
-                CreditRow { credits, iter_time: report.iter_time, staged_before_gate: staged }
+                CreditRow {
+                    credits,
+                    iter_time: report.iter_time,
+                    staged_before_gate: staged,
+                }
             })
             .collect()
     }
@@ -898,6 +983,198 @@ pub mod ablations {
             "{}",
             table::render(&["model", "flat (ms)", "staged (ms)", "traffic GiB"], &body)
         );
+    }
+}
+
+/// Compute-substrate benchmark: the blocked/parallel kernels against the
+/// scalar reference at expert-FFN shapes, plus end-to-end numerical
+/// training throughput under both paradigms.
+pub mod compute {
+    use super::*;
+    use janus_core::exec::model::ExecConfig;
+    use janus_core::exec::trainer::{train_data_centric, train_expert_centric};
+    use janus_tensor::{matmul_reference, pool, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// One kernel measurement: the expert up-projection `x(T×H) · w1(H×4H)`.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct KernelRow {
+        /// Hidden dimension H (the weight is H×4H).
+        pub hidden: usize,
+        /// Tokens per pass T.
+        pub tokens: usize,
+        /// Scalar reference (seed kernel) wall time.
+        pub scalar_ms: f64,
+        /// Blocked kernel, pool pinned to one thread.
+        pub blocked_ms: f64,
+        /// Blocked kernel, pool at its configured width.
+        pub parallel_ms: f64,
+        /// scalar / blocked.
+        pub blocked_speedup: f64,
+        /// scalar / parallel.
+        pub parallel_speedup: f64,
+    }
+
+    /// Wall-clock throughput of one training paradigm.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct TrainingRow {
+        /// "data-centric" or "expert-centric".
+        pub paradigm: String,
+        /// Iterations timed.
+        pub iters: u64,
+        /// Mean wall time per iteration.
+        pub ms_per_iter: f64,
+        /// Tokens processed per second across the whole world.
+        pub tokens_per_sec: f64,
+    }
+
+    /// Everything `BENCH_compute.json` holds.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Report {
+        /// Pool width used for the parallel columns.
+        pub threads: usize,
+        /// Kernel rows, one per hidden size.
+        pub kernels: Vec<KernelRow>,
+        /// Training rows, one per paradigm.
+        pub training: Vec<TrainingRow>,
+    }
+
+    fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+        f(); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+    }
+
+    /// Measure kernels at H ∈ {512, 1024} and both training paradigms.
+    pub fn run() -> Report {
+        let tokens = 64usize;
+        let mut kernels = Vec::new();
+        for hidden in [512usize, 1024] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let x = Matrix::uniform(tokens, hidden, 1.0, &mut rng);
+            let w1 = Matrix::uniform(hidden, 4 * hidden, 0.1, &mut rng);
+            let reps = if hidden >= 1024 { 3 } else { 8 };
+            let scalar_ms = time_ms(1, || {
+                black_box(matmul_reference(black_box(&x), black_box(&w1)));
+            });
+            pool::set_threads(1);
+            let blocked_ms = time_ms(reps, || {
+                black_box(black_box(&x).matmul(black_box(&w1)));
+            });
+            pool::set_threads(0);
+            let parallel_ms = time_ms(reps, || {
+                black_box(black_box(&x).matmul(black_box(&w1)));
+            });
+            kernels.push(KernelRow {
+                hidden,
+                tokens,
+                scalar_ms,
+                blocked_ms,
+                parallel_ms,
+                blocked_speedup: scalar_ms / blocked_ms,
+                parallel_speedup: scalar_ms / parallel_ms,
+            });
+        }
+
+        let cfg = ExecConfig {
+            hidden_dim: 32,
+            tokens: 64,
+            ..ExecConfig::small()
+        };
+        let iters = 5u64;
+        let world_tokens = (cfg.world() * cfg.tokens) as f64 * iters as f64;
+        let mut training = Vec::new();
+        for (paradigm, run) in [
+            (
+                "data-centric",
+                train_data_centric as fn(&ExecConfig, u64) -> _,
+            ),
+            ("expert-centric", train_expert_centric),
+        ] {
+            black_box(run(&cfg, 1)); // warm-up
+            let t0 = Instant::now();
+            black_box(run(&cfg, iters));
+            let secs = t0.elapsed().as_secs_f64();
+            training.push(TrainingRow {
+                paradigm: paradigm.to_string(),
+                iters,
+                ms_per_iter: secs * 1e3 / iters as f64,
+                tokens_per_sec: world_tokens / secs,
+            });
+        }
+        Report {
+            threads: pool::threads(),
+            kernels,
+            training,
+        }
+    }
+
+    /// Print both tables.
+    pub fn print(report: &Report) {
+        println!(
+            "Compute substrate — blocked/parallel kernels vs scalar reference \
+             ({} pool thread(s))\n",
+            report.threads
+        );
+        let body: Vec<Vec<String>> = report
+            .kernels
+            .iter()
+            .map(|r| {
+                vec![
+                    r.hidden.to_string(),
+                    r.tokens.to_string(),
+                    format!("{:.1}", r.scalar_ms),
+                    format!("{:.1}", r.blocked_ms),
+                    format!("{:.1}", r.parallel_ms),
+                    format!("{:.1}×", r.blocked_speedup),
+                    format!("{:.1}×", r.parallel_speedup),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &[
+                    "H",
+                    "tokens",
+                    "scalar ms",
+                    "blocked ms",
+                    "parallel ms",
+                    "blocked ×",
+                    "parallel ×"
+                ],
+                &body
+            )
+        );
+        let body: Vec<Vec<String>> = report
+            .training
+            .iter()
+            .map(|r| {
+                vec![
+                    r.paradigm.clone(),
+                    r.iters.to_string(),
+                    format!("{:.1}", r.ms_per_iter),
+                    format!("{:.0}", r.tokens_per_sec),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(&["paradigm", "iters", "ms/iter", "tokens/sec"], &body)
+        );
+    }
+
+    /// Write the report as `BENCH_compute.json`; returns the path.
+    pub fn write_json(report: &Report, path: &str) -> std::io::Result<String> {
+        let json = serde_json::to_string_pretty(report).expect("report serializes");
+        std::fs::write(path, json)?;
+        Ok(path.to_string())
     }
 }
 

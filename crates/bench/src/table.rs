@@ -33,7 +33,9 @@ pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
         s
     };
     let mut out = sep('-');
-    out.push_str(&fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
     out.push_str(&sep('='));
     for row in rows {
         out.push_str(&fmt_row(row));
@@ -44,7 +46,9 @@ pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 fn looks_numeric(cell: &str) -> bool {
     let c = cell.trim_end_matches(['×', '%', 's']).trim();
-    !c.is_empty() && c.chars().all(|ch| ch.is_ascii_digit() || ".-+e".contains(ch))
+    !c.is_empty()
+        && c.chars()
+            .all(|ch| ch.is_ascii_digit() || ".-+e".contains(ch))
 }
 
 /// Format seconds as milliseconds with 1 decimal.

@@ -15,8 +15,10 @@ pub const DEFAULT_MAX_FRAME: usize = 256 * 1024 * 1024;
 
 /// Write one frame.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), CommError> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| CommError::FrameTooLarge { len: payload.len(), max: u32::MAX as usize })?;
+    let len = u32::try_from(payload.len()).map_err(|_| CommError::FrameTooLarge {
+        len: payload.len(),
+        max: u32::MAX as usize,
+    })?;
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
@@ -33,7 +35,10 @@ pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Vec<u8>
     }
     let len = u32::from_be_bytes(header) as usize;
     if len > max_frame {
-        return Err(CommError::FrameTooLarge { len, max: max_frame });
+        return Err(CommError::FrameTooLarge {
+            len,
+            max: max_frame,
+        });
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload).map_err(|e| {
@@ -97,13 +102,21 @@ mod tests {
         write_frame(&mut buf, b"").unwrap();
         write_frame(&mut buf, &[7u8; 1000]).unwrap();
         let mut cursor = Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b"hello"
+        );
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b""
+        );
         assert_eq!(
             read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(),
             vec![7u8; 1000]
         );
-        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().is_none());
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -116,7 +129,12 @@ mod tests {
         let mut buf = Vec::new();
         write_message(&mut buf, &msg).unwrap();
         let mut cursor = Cursor::new(buf);
-        assert_eq!(read_message(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(), msg);
+        assert_eq!(
+            read_message(&mut cursor, DEFAULT_MAX_FRAME)
+                .unwrap()
+                .unwrap(),
+            msg
+        );
     }
 
     #[test]
@@ -124,7 +142,10 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, &[0u8; 100]).unwrap();
         let err = read_frame(&mut Cursor::new(buf), 10).unwrap_err();
-        assert!(matches!(err, CommError::FrameTooLarge { len: 100, max: 10 }));
+        assert!(matches!(
+            err,
+            CommError::FrameTooLarge { len: 100, max: 10 }
+        ));
     }
 
     #[test]

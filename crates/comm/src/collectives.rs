@@ -49,20 +49,28 @@ pub fn all_to_all<T: Transport>(
         if peer == me {
             result[peer] = Some(chunk);
         } else {
-            comm.send(peer, Message::Collective { seq, data: Bytes::from(chunk) })?;
+            comm.send(
+                peer,
+                Message::Collective {
+                    seq,
+                    data: Bytes::from(chunk),
+                },
+            )?;
         }
     }
     for _ in 0..world.saturating_sub(1) {
         let (from, msg) = comm.recv_match(|from, m| {
-            matches!(m, Message::Collective { seq: s, .. } if *s == seq)
-                && result[from].is_none()
+            matches!(m, Message::Collective { seq: s, .. } if *s == seq) && result[from].is_none()
         })?;
         match msg {
             Message::Collective { data, .. } => result[from] = Some(data.to_vec()),
             _ => unreachable!("predicate admits only Collective"),
         }
     }
-    Ok(result.into_iter().map(|c| c.expect("all slots filled")).collect())
+    Ok(result
+        .into_iter()
+        .map(|c| c.expect("all slots filled"))
+        .collect())
 }
 
 /// Gather one chunk from every rank at `root`. Non-root ranks return
@@ -76,22 +84,32 @@ pub fn gather<T: Transport>(
     let world = comm.world_size();
     let me = comm.rank();
     if me != root {
-        comm.send(root, Message::Collective { seq, data: Bytes::from(chunk) })?;
+        comm.send(
+            root,
+            Message::Collective {
+                seq,
+                data: Bytes::from(chunk),
+            },
+        )?;
         return Ok(None);
     }
     let mut result: Vec<Option<Vec<u8>>> = (0..world).map(|_| None).collect();
     result[me] = Some(chunk);
     for _ in 0..world.saturating_sub(1) {
         let (from, msg) = comm.recv_match(|from, m| {
-            matches!(m, Message::Collective { seq: s, .. } if *s == seq)
-                && result[from].is_none()
+            matches!(m, Message::Collective { seq: s, .. } if *s == seq) && result[from].is_none()
         })?;
         match msg {
             Message::Collective { data, .. } => result[from] = Some(data.to_vec()),
             _ => unreachable!("predicate admits only Collective"),
         }
     }
-    Ok(Some(result.into_iter().map(|c| c.expect("all slots filled")).collect()))
+    Ok(Some(
+        result
+            .into_iter()
+            .map(|c| c.expect("all slots filled"))
+            .collect(),
+    ))
 }
 
 #[cfg(test)]

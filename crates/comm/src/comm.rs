@@ -18,7 +18,10 @@ pub struct Comm<T: Transport> {
 impl<T: Transport> Comm<T> {
     /// Wrap a transport endpoint.
     pub fn new(transport: T) -> Self {
-        Comm { transport, pending: std::cell::RefCell::new(VecDeque::new()) }
+        Comm {
+            transport,
+            pending: std::cell::RefCell::new(VecDeque::new()),
+        }
     }
 
     /// This endpoint's rank.
@@ -168,19 +171,37 @@ mod tests {
         let a = Comm::new(mesh.pop().unwrap());
 
         a.send(1, Message::Barrier { epoch: 1 }).unwrap();
-        a.send(1, Message::PullRequest { block: 0, expert: 3 }).unwrap();
+        a.send(
+            1,
+            Message::PullRequest {
+                block: 0,
+                expert: 3,
+            },
+        )
+        .unwrap();
         a.send(1, Message::Barrier { epoch: 2 }).unwrap();
 
         // Claim the pull request first, although it arrived second.
-        let (_, msg) =
-            b.recv_match(|_, m| matches!(m, Message::PullRequest { .. })).unwrap();
-        assert_eq!(msg, Message::PullRequest { block: 0, expert: 3 });
+        let (_, msg) = b
+            .recv_match(|_, m| matches!(m, Message::PullRequest { .. }))
+            .unwrap();
+        assert_eq!(
+            msg,
+            Message::PullRequest {
+                block: 0,
+                expert: 3
+            }
+        );
         assert_eq!(b.buffered(), 1);
 
         // Buffered barrier(1) is claimed before the live barrier(2).
-        let (_, msg) = b.recv_match(|_, m| matches!(m, Message::Barrier { .. })).unwrap();
+        let (_, msg) = b
+            .recv_match(|_, m| matches!(m, Message::Barrier { .. }))
+            .unwrap();
         assert_eq!(msg, Message::Barrier { epoch: 1 });
-        let (_, msg) = b.recv_match(|_, m| matches!(m, Message::Barrier { .. })).unwrap();
+        let (_, msg) = b
+            .recv_match(|_, m| matches!(m, Message::Barrier { .. }))
+            .unwrap();
         assert_eq!(msg, Message::Barrier { epoch: 2 });
         assert_eq!(b.buffered(), 0);
     }

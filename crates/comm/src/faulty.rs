@@ -25,7 +25,10 @@ mod rand_chacha_lite {
     impl Lcg {
         /// Next raw value.
         pub fn next_u64(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0
         }
 
@@ -57,7 +60,11 @@ pub struct ChaosConfig {
 
 impl Default for ChaosConfig {
     fn default() -> Self {
-        ChaosConfig { seed: 0xC0FFEE, reorder: 0.3, duplicate_barrier: 0.1 }
+        ChaosConfig {
+            seed: 0xC0FFEE,
+            reorder: 0.3,
+            duplicate_barrier: 0.1,
+        }
     }
 }
 
@@ -81,7 +88,10 @@ impl<T: Transport> ChaosTransport<T> {
         ChaosTransport {
             inner,
             cfg,
-            state: RefCell::new(ChaosState { rng: Lcg(seed), held: VecDeque::new() }),
+            state: RefCell::new(ChaosState {
+                rng: Lcg(seed),
+                held: VecDeque::new(),
+            }),
         }
     }
 
@@ -139,8 +149,7 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         }
         let (from, msg) = self.pop_held(&mut state).expect("held is non-empty here");
         // Duplicate idempotent barrier traffic occasionally.
-        if matches!(msg, Message::Barrier { .. }) && state.rng.chance(self.cfg.duplicate_barrier)
-        {
+        if matches!(msg, Message::Barrier { .. }) && state.rng.chance(self.cfg.duplicate_barrier) {
             state.held.push_back((from, msg.clone()));
         }
         Ok((from, msg))
@@ -168,7 +177,11 @@ mod tests {
             .map(|t| {
                 ChaosTransport::new(
                     t,
-                    ChaosConfig { seed, reorder: 0.5, duplicate_barrier: 0.0 },
+                    ChaosConfig {
+                        seed,
+                        reorder: 0.5,
+                        duplicate_barrier: 0.0,
+                    },
                 )
             })
             .collect()
@@ -222,7 +235,11 @@ mod tests {
             .map(|t| {
                 ChaosTransport::new(
                     t,
-                    ChaosConfig { seed: 11, reorder: 0.4, duplicate_barrier: 0.8 },
+                    ChaosConfig {
+                        seed: 11,
+                        reorder: 0.4,
+                        duplicate_barrier: 0.8,
+                    },
                 )
             })
             .collect();

@@ -36,9 +36,9 @@
 //! ```
 
 pub mod codec;
-pub mod faulty;
 pub mod collectives;
 pub mod comm;
+pub mod faulty;
 pub mod local;
 pub mod message;
 pub mod runtime;

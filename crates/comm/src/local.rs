@@ -26,7 +26,11 @@ pub fn local_mesh(world: usize) -> Vec<LocalTransport> {
     inboxes
         .into_iter()
         .enumerate()
-        .map(|(rank, inbox)| LocalTransport { rank, senders: senders.clone(), inbox })
+        .map(|(rank, inbox)| LocalTransport {
+            rank,
+            senders: senders.clone(),
+            inbox,
+        })
         .collect()
 }
 
@@ -41,7 +45,9 @@ impl Transport for LocalTransport {
 
     fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
         assert!(to < self.senders.len(), "rank {to} out of range");
-        self.senders[to].send((self.rank, msg)).map_err(|_| CommError::Disconnected)
+        self.senders[to]
+            .send((self.rank, msg))
+            .map_err(|_| CommError::Disconnected)
     }
 
     fn recv(&self) -> Result<(usize, Message), CommError> {
@@ -103,7 +109,15 @@ mod tests {
         let b = mesh.pop().unwrap();
         let a = mesh.pop().unwrap();
         let data = Bytes::from((0..=255u8).collect::<Vec<_>>());
-        a.send(1, Message::ExpertPayload { block: 0, expert: 1, data: data.clone() }).unwrap();
+        a.send(
+            1,
+            Message::ExpertPayload {
+                block: 0,
+                expert: 1,
+                data: data.clone(),
+            },
+        )
+        .unwrap();
         match b.recv().unwrap().1 {
             Message::ExpertPayload { data: got, .. } => assert_eq!(got, data),
             other => panic!("unexpected {other:?}"),

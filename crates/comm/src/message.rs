@@ -92,13 +92,22 @@ impl Message {
                 b.put_u32(*block);
                 b.put_u32(*expert);
             }
-            Message::ExpertPayload { block, expert, data } => {
+            Message::ExpertPayload {
+                block,
+                expert,
+                data,
+            } => {
                 b.put_u8(TAG_EXPERT);
                 b.put_u32(*block);
                 b.put_u32(*expert);
                 put_bytes(&mut b, data);
             }
-            Message::GradPush { block, expert, contributions, data } => {
+            Message::GradPush {
+                block,
+                expert,
+                contributions,
+                data,
+            } => {
                 b.put_u8(TAG_GRAD);
                 b.put_u32(*block);
                 b.put_u32(*expert);
@@ -140,41 +149,66 @@ impl Message {
         let msg = match tag {
             TAG_PULL => {
                 need(&buf, 8)?;
-                Message::PullRequest { block: buf.get_u32(), expert: buf.get_u32() }
+                Message::PullRequest {
+                    block: buf.get_u32(),
+                    expert: buf.get_u32(),
+                }
             }
             TAG_EXPERT => {
                 need(&buf, 8)?;
                 let block = buf.get_u32();
                 let expert = buf.get_u32();
-                Message::ExpertPayload { block, expert, data: take_bytes(&mut buf)? }
+                Message::ExpertPayload {
+                    block,
+                    expert,
+                    data: take_bytes(&mut buf)?,
+                }
             }
             TAG_GRAD => {
                 need(&buf, 12)?;
                 let block = buf.get_u32();
                 let expert = buf.get_u32();
                 let contributions = buf.get_u32();
-                Message::GradPush { block, expert, contributions, data: take_bytes(&mut buf)? }
+                Message::GradPush {
+                    block,
+                    expert,
+                    contributions,
+                    data: take_bytes(&mut buf)?,
+                }
             }
             TAG_DISPATCH => {
                 need(&buf, 8)?;
                 let block = buf.get_u32();
                 let seq = buf.get_u32();
-                Message::TokenDispatch { block, seq, data: take_bytes(&mut buf)? }
+                Message::TokenDispatch {
+                    block,
+                    seq,
+                    data: take_bytes(&mut buf)?,
+                }
             }
             TAG_RETURN => {
                 need(&buf, 8)?;
                 let block = buf.get_u32();
                 let seq = buf.get_u32();
-                Message::TokenReturn { block, seq, data: take_bytes(&mut buf)? }
+                Message::TokenReturn {
+                    block,
+                    seq,
+                    data: take_bytes(&mut buf)?,
+                }
             }
             TAG_BARRIER => {
                 need(&buf, 8)?;
-                Message::Barrier { epoch: buf.get_u64() }
+                Message::Barrier {
+                    epoch: buf.get_u64(),
+                }
             }
             TAG_COLLECTIVE => {
                 need(&buf, 8)?;
                 let seq = buf.get_u64();
-                Message::Collective { seq, data: take_bytes(&mut buf)? }
+                Message::Collective {
+                    seq,
+                    data: take_bytes(&mut buf)?,
+                }
             }
             TAG_SHUTDOWN => Message::Shutdown,
             other => return Err(CommError::Decode(format!("unknown message tag {other}"))),
@@ -236,7 +270,10 @@ mod tests {
 
     #[test]
     fn all_variants_round_trip() {
-        roundtrip(Message::PullRequest { block: 3, expert: 17 });
+        roundtrip(Message::PullRequest {
+            block: 3,
+            expert: 17,
+        });
         roundtrip(Message::ExpertPayload {
             block: 1,
             expert: 2,
@@ -248,23 +285,41 @@ mod tests {
             contributions: 8,
             data: Bytes::from(vec![0u8; 100]),
         });
-        roundtrip(Message::TokenDispatch { block: 5, seq: 9, data: Bytes::from(vec![7; 16]) });
-        roundtrip(Message::TokenReturn { block: 5, seq: 10, data: Bytes::new() });
+        roundtrip(Message::TokenDispatch {
+            block: 5,
+            seq: 9,
+            data: Bytes::from(vec![7; 16]),
+        });
+        roundtrip(Message::TokenReturn {
+            block: 5,
+            seq: 10,
+            data: Bytes::new(),
+        });
         roundtrip(Message::Barrier { epoch: u64::MAX });
-        roundtrip(Message::Collective { seq: 42, data: Bytes::from(vec![9; 3]) });
+        roundtrip(Message::Collective {
+            seq: 42,
+            data: Bytes::from(vec![9; 3]),
+        });
         roundtrip(Message::Shutdown);
     }
 
     #[test]
     fn payload_len_reports_bulk_size() {
-        let m = Message::ExpertPayload { block: 0, expert: 0, data: Bytes::from(vec![0; 77]) };
+        let m = Message::ExpertPayload {
+            block: 0,
+            expert: 0,
+            data: Bytes::from(vec![0; 77]),
+        };
         assert_eq!(m.payload_len(), 77);
         assert_eq!(Message::Shutdown.payload_len(), 0);
     }
 
     #[test]
     fn decode_rejects_empty() {
-        assert!(matches!(Message::decode(Bytes::new()), Err(CommError::Decode(_))));
+        assert!(matches!(
+            Message::decode(Bytes::new()),
+            Err(CommError::Decode(_))
+        ));
     }
 
     #[test]

@@ -24,7 +24,10 @@ where
                     .expect("spawn worker thread")
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     })
 }
 
@@ -52,7 +55,13 @@ mod tests {
     fn workers_can_exchange_messages() {
         let out = run_workers(2, |comm| {
             let peer = 1 - comm.rank();
-            comm.send(peer, Message::Barrier { epoch: comm.rank() as u64 }).unwrap();
+            comm.send(
+                peer,
+                Message::Barrier {
+                    epoch: comm.rank() as u64,
+                },
+            )
+            .unwrap();
             let (from, msg) = comm.recv_any().unwrap();
             assert_eq!(from, peer);
             msg
@@ -75,8 +84,7 @@ mod tests {
     fn runs_over_tcp_mesh_too() {
         let endpoints = crate::tcp::tcp_mesh_localhost(3).unwrap();
         let out = run_on(endpoints, |comm| {
-            crate::collectives::all_to_all(&comm, 0, vec![vec![comm.rank() as u8]; 3])
-                .unwrap()
+            crate::collectives::all_to_all(&comm, 0, vec![vec![comm.rank() as u8]; 3]).unwrap()
         });
         for received in out {
             assert_eq!(received, vec![vec![0u8], vec![1u8], vec![2u8]]);

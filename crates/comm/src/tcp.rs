@@ -62,7 +62,9 @@ impl TcpTransport {
                 return Err(CommError::Decode(format!("bad handshake rank {peer}")));
             }
             if streams[peer].is_some() {
-                return Err(CommError::Decode(format!("duplicate connection from rank {peer}")));
+                return Err(CommError::Decode(format!(
+                    "duplicate connection from rank {peer}"
+                )));
             }
             streams[peer] = Some(stream);
         }
@@ -79,7 +81,13 @@ impl TcpTransport {
                 }
             }
         }
-        Ok(TcpTransport { rank, world, writers, self_tx: tx, inbox })
+        Ok(TcpTransport {
+            rank,
+            world,
+            writers,
+            self_tx: tx,
+            inbox,
+        })
     }
 
     /// Orderly teardown: shut down every connection's write half so peer
@@ -139,9 +147,14 @@ impl Transport for TcpTransport {
     fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
         assert!(to < self.world, "rank {to} out of range");
         if to == self.rank {
-            return self.self_tx.send((self.rank, msg)).map_err(|_| CommError::Disconnected);
+            return self
+                .self_tx
+                .send((self.rank, msg))
+                .map_err(|_| CommError::Disconnected);
         }
-        let writer = self.writers[to].as_ref().expect("non-self rank must have a stream");
+        let writer = self.writers[to]
+            .as_ref()
+            .expect("non-self rank must have a stream");
         let mut stream = writer.lock();
         write_message(&mut *stream, &msg)
     }
@@ -167,8 +180,10 @@ pub fn tcp_mesh_localhost(world: usize) -> Result<Vec<TcpTransport>, CommError> 
     let listeners: Vec<TcpListener> = (0..world)
         .map(|_| TcpListener::bind("127.0.0.1:0"))
         .collect::<Result<_, _>>()?;
-    let addrs: Vec<SocketAddr> =
-        listeners.iter().map(|l| l.local_addr()).collect::<Result<_, _>>()?;
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr())
+        .collect::<Result<_, _>>()?;
 
     let handles: Vec<_> = listeners
         .into_iter()
@@ -199,10 +214,33 @@ mod tests {
         let mut mesh = tcp_mesh_localhost(2).unwrap();
         let b = mesh.pop().unwrap();
         let a = mesh.pop().unwrap();
-        a.send(1, Message::PullRequest { block: 1, expert: 5 }).unwrap();
-        assert_eq!(b.recv().unwrap(), (0, Message::PullRequest { block: 1, expert: 5 }));
-        b.send(0, Message::ExpertPayload { block: 1, expert: 5, data: Bytes::from(vec![9; 64]) })
-            .unwrap();
+        a.send(
+            1,
+            Message::PullRequest {
+                block: 1,
+                expert: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            b.recv().unwrap(),
+            (
+                0,
+                Message::PullRequest {
+                    block: 1,
+                    expert: 5
+                }
+            )
+        );
+        b.send(
+            0,
+            Message::ExpertPayload {
+                block: 1,
+                expert: 5,
+                data: Bytes::from(vec![9; 64]),
+            },
+        )
+        .unwrap();
         let (from, msg) = a.recv().unwrap();
         assert_eq!(from, 1);
         assert_eq!(msg.payload_len(), 64);
@@ -215,12 +253,18 @@ mod tests {
         for t in &mesh {
             for peer in 0..4 {
                 if peer != t.rank() {
-                    t.send(peer, Message::Barrier { epoch: t.rank() as u64 }).unwrap();
+                    t.send(
+                        peer,
+                        Message::Barrier {
+                            epoch: t.rank() as u64,
+                        },
+                    )
+                    .unwrap();
                 }
             }
         }
         for t in &mesh {
-            let mut seen = vec![false; 4];
+            let mut seen = [false; 4];
             for _ in 0..3 {
                 let (from, msg) = t.recv().unwrap();
                 assert_eq!(msg, Message::Barrier { epoch: from as u64 });
@@ -243,7 +287,14 @@ mod tests {
         let b = mesh.pop().unwrap();
         let a = mesh.pop().unwrap();
         let data: Vec<u8> = (0..3_000_000u32).map(|i| (i % 251) as u8).collect();
-        a.send(1, Message::Collective { seq: 1, data: Bytes::from(data.clone()) }).unwrap();
+        a.send(
+            1,
+            Message::Collective {
+                seq: 1,
+                data: Bytes::from(data.clone()),
+            },
+        )
+        .unwrap();
         match b.recv().unwrap().1 {
             Message::Collective { data: got, .. } => assert_eq!(&got[..], &data[..]),
             other => panic!("unexpected {other:?}"),

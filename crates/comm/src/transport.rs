@@ -81,7 +81,7 @@ mod tests {
         let e = CommError::FrameTooLarge { len: 10, max: 5 };
         assert!(e.to_string().contains("10"));
         assert!(CommError::Disconnected.to_string().contains("disconnected"));
-        let io_err = CommError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let io_err = CommError::from(io::Error::other("boom"));
         assert!(io_err.to_string().contains("boom"));
         assert!(std::error::Error::source(&io_err).is_some());
         assert!(std::error::Error::source(&CommError::Disconnected).is_none());

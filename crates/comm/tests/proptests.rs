@@ -11,8 +11,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (any::<u32>(), any::<u32>())
             .prop_map(|(block, expert)| Message::PullRequest { block, expert }),
-        (any::<u32>(), any::<u32>(), payload.clone())
-            .prop_map(|(block, expert, data)| Message::ExpertPayload { block, expert, data }),
+        (any::<u32>(), any::<u32>(), payload.clone()).prop_map(|(block, expert, data)| {
+            Message::ExpertPayload {
+                block,
+                expert,
+                data,
+            }
+        }),
         (any::<u32>(), any::<u32>(), any::<u32>(), payload.clone()).prop_map(
             |(block, expert, contributions, data)| Message::GradPush {
                 block,

@@ -20,12 +20,13 @@
 //!   iterations and the computation is equivalent to the All-to-All
 //!   baseline (paper §3.2).
 
+use crate::exec::expert_centric::IterOutput;
 use crate::exec::model::{loss_and_grad, ExecConfig, GradInbox, WorkerState};
 use crate::exec::weights::{expert_from_bytes, expert_to_bytes, grads_from_bytes, grads_to_bytes};
-use crate::exec::expert_centric::IterOutput;
 use crate::queue::{CacheManager, GradAccumulator};
 use janus_comm::{Comm, CommError, Message, Transport};
-use janus_moe::expert::{ExpertCache, ExpertFfn, ExpertGrads};
+use janus_moe::expert::{ExpertFfn, ExpertGrads};
+use janus_tensor::pool;
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,12 +43,17 @@ pub struct MachineShared {
 impl MachineShared {
     /// Shared state for a machine with `gpus` workers.
     pub fn new(gpus: usize) -> Self {
-        MachineShared { cache: CacheManager::new(), grads: GradAccumulator::new(gpus) }
+        MachineShared {
+            cache: CacheManager::new(),
+            grads: GradAccumulator::new(gpus),
+        }
     }
 
     /// Build one shared state per machine.
     pub fn for_cluster(cfg: &ExecConfig) -> Vec<Arc<MachineShared>> {
-        (0..cfg.machines).map(|_| Arc::new(MachineShared::new(cfg.gpus_per_machine))).collect()
+        (0..cfg.machines)
+            .map(|_| Arc::new(MachineShared::new(cfg.gpus_per_machine)))
+            .collect()
     }
 }
 
@@ -75,15 +81,31 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
         match msg {
             Message::PullRequest { block, expert } => {
                 let (b, e) = (*block as usize, *expert as usize);
-                assert_eq!(self.cfg.owner_of(e), self.rank, "pull request routed to non-owner");
+                assert_eq!(
+                    self.cfg.owner_of(e),
+                    self.rank,
+                    "pull request routed to non-owner"
+                );
                 let local = e - self.cfg.owned_experts(self.rank).start;
                 let data = expert_to_bytes(&self.serving.borrow()[b][local]);
                 self.comm
-                    .send(from, Message::ExpertPayload { block: *block, expert: *expert, data })
+                    .send(
+                        from,
+                        Message::ExpertPayload {
+                            block: *block,
+                            expert: *expert,
+                            data,
+                        },
+                    )
                     .expect("serving an expert payload");
                 true
             }
-            Message::GradPush { block, expert, contributions, data } => {
+            Message::GradPush {
+                block,
+                expert,
+                contributions,
+                data,
+            } => {
                 let (b, e) = (*block as usize, *expert as usize);
                 let grad = grads_from_bytes(data.clone()).expect("decode gradient");
                 if self.cfg.owner_of(e) == self.rank {
@@ -102,18 +124,36 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
         }
     }
 
-    fn add_owner_grad(&self, b: usize, e: usize, sender: usize, grad: ExpertGrads, contributions: u32) {
+    fn add_owner_grad(
+        &self,
+        b: usize,
+        e: usize,
+        sender: usize,
+        grad: ExpertGrads,
+        contributions: u32,
+    ) {
         let mut map = self.owner_grads.lock();
-        map.entry((b, e)).or_default().push((sender, grad, contributions));
+        map.entry((b, e))
+            .or_default()
+            .push((sender, grad, contributions));
     }
 
     /// Fold a local contribution into the machine's pre-reduction; ship
     /// the pre-reduced gradient to the owner once all local workers have
     /// contributed.
-    fn aggregate_external(&self, b: usize, e: usize, sender: usize, grad: ExpertGrads, contributions: u32) {
+    fn aggregate_external(
+        &self,
+        b: usize,
+        e: usize,
+        sender: usize,
+        grad: ExpertGrads,
+        contributions: u32,
+    ) {
         debug_assert_eq!(contributions, 1, "aggregators receive raw contributions");
-        if let Some((reduced, n)) =
-            self.shared.grads.add((b, e), sender, grad, |acc, g| acc.accumulate(&g))
+        if let Some((reduced, n)) = self
+            .shared
+            .grads
+            .add((b, e), sender, grad, |acc, g| acc.accumulate(&g))
         {
             let owner = self.cfg.owner_of(e);
             self.comm
@@ -135,8 +175,13 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
     fn pull_expert(&self, b: usize, e: usize) -> Result<ExpertFfn, CommError> {
         let owner = self.cfg.owner_of(e);
         debug_assert_ne!(owner, self.rank);
-        self.comm
-            .send(owner, Message::PullRequest { block: b as u32, expert: e as u32 })?;
+        self.comm.send(
+            owner,
+            Message::PullRequest {
+                block: b as u32,
+                expert: e as u32,
+            },
+        )?;
         let (_, msg) = self.comm.recv_match_or_consume(
             |_, m| {
                 matches!(m, Message::ExpertPayload { block, expert, .. }
@@ -175,9 +220,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
         let mut seen = vec![false; world];
         for _ in 0..world.saturating_sub(1) {
             let (from, _) = self.comm.recv_match_or_consume(
-                |from, m| {
-                    matches!(m, Message::Barrier { epoch: e } if *e == epoch) && !seen[from]
-                },
+                |from, m| matches!(m, Message::Barrier { epoch: e } if *e == epoch) && !seen[from],
                 |from, m| self.service(from, m),
             )?;
             seen[from] = true;
@@ -187,11 +230,16 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
 }
 
 /// Per-block forward bookkeeping: for every expert, the fetched/local
-/// weights, the forward cache, and the token slots `(token, weight)` it
-/// processed.
+/// weights and the token slots `(token, weight)` it processed. The
+/// activation tape itself (inputs, pre-activations, hidden) lives in the
+/// expert's [`WorkerState::scratch`] slot, held there between forward
+/// and backward so the pass stays allocation-free.
 struct BlockTapeDc {
-    per_expert: Vec<(Arc<ExpertFfn>, ExpertCache, Vec<(usize, f32)>)>,
+    per_expert: Vec<ExpertAssignment>,
 }
+
+/// An expert's fetched/local weights plus its `(token, weight)` slots.
+type ExpertAssignment = (Arc<ExpertFfn>, Vec<(usize, f32)>);
 
 /// Run one data-centric training iteration.
 pub fn run_iteration<T: Transport>(
@@ -231,9 +279,8 @@ pub fn run_iteration<T: Transport>(
             }
         }
 
-        // Compute every expert over the local slots, experts ascending —
-        // the same accumulation order as the expert-centric combine.
-        let mut y = x.clone();
+        // Acquire every expert's weights sequentially — acquisition talks
+        // the pull protocol, which must stay on this worker's thread.
         let mut per_expert = Vec::with_capacity(cfg.experts);
         for e in 0..cfg.experts {
             let owner = cfg.owner_of(e);
@@ -245,15 +292,34 @@ pub fn run_iteration<T: Transport>(
             } else {
                 rt.wait_cached(b, e)?
             };
-            let slots = routing.tokens_for(e);
-            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
-            let batch = x.gather_rows(&idx);
-            let (y_e, cache) = weights.forward(&batch);
-            let ws: Vec<f32> = slots.iter().map(|(_, w)| *w).collect();
-            y.scatter_add_rows(&idx, &ws, &y_e);
-            per_expert.push((weights, cache, slots));
+            per_expert.push((weights, routing.tokens_for(e)));
         }
         drop(routing);
+
+        // Per-expert forward passes are independent: run them as parallel
+        // tasks, each locking only its own scratch slot.
+        {
+            let x = &x;
+            let per_expert = &per_expert;
+            pool::run_tasks(cfg.experts, |e| {
+                let (weights, slots) = &per_expert[e];
+                let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+                let mut s = state.scratch_slot(b, e).lock();
+                x.gather_rows_into(&idx, &mut s.x);
+                weights.forward_scratch(&mut s);
+            });
+        }
+
+        // Combine in expert-ascending order — the same accumulation order
+        // as the expert-centric combine, and independent of how the
+        // parallel tasks were scheduled.
+        let mut y = x.clone();
+        for (e, (_, slots)) in per_expert.iter().enumerate() {
+            let s = state.scratch_slot(b, e).lock();
+            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+            let ws: Vec<f32> = slots.iter().map(|(_, w)| *w).collect();
+            y.scatter_add_rows(&idx, &ws, &s.y);
+        }
         tapes.push(BlockTapeDc { per_expert });
         x = y;
     }
@@ -264,24 +330,44 @@ pub fn run_iteration<T: Transport>(
     // ---- Backward ----
     for b in (0..cfg.blocks).rev() {
         let tape = &tapes[b];
-        let mut dx = dy.clone();
-        for (e, (weights, cache, slots)) in tape.per_expert.iter().enumerate() {
-            // dY for this expert's slots: w · dy[token].
-            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
-            let mut dy_e = dy.gather_rows(&idx);
-            for (row, (_, w)) in (0..dy_e.rows()).zip(slots.iter()) {
-                for v in dy_e.row_mut(row) {
-                    *v *= *w;
+
+        // Per-expert backward passes in parallel, against the activation
+        // tape each scratch slot recorded during forward.
+        {
+            let dy = &dy;
+            let per_expert = &tape.per_expert;
+            pool::run_tasks(cfg.experts, |e| {
+                let (weights, slots) = &per_expert[e];
+                let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+                let mut s = state.scratch_slot(b, e).lock();
+                // dY for this expert's slots: w · dy[token]. Staged through
+                // the slot's `dy` buffer (taken out so the pass can borrow
+                // the scratch mutably).
+                let mut dy_e = std::mem::take(&mut s.dy);
+                dy.gather_rows_into(&idx, &mut dy_e);
+                for (row, (_, w)) in (0..dy_e.rows()).zip(slots.iter()) {
+                    for v in dy_e.row_mut(row) {
+                        *v *= *w;
+                    }
                 }
-            }
-            let (grad, dx_e) = weights.backward(cache, &dy_e);
-            dx.scatter_add_rows(&idx, &vec![1.0; idx.len()], &dx_e);
+                weights.backward_scratch(&dy_e, &mut s);
+                s.dy = dy_e;
+            });
+        }
+
+        // Combine input gradients and route weight gradients, experts
+        // ascending — deterministic regardless of task scheduling.
+        let mut dx = dy.clone();
+        for (e, (_, slots)) in tape.per_expert.iter().enumerate() {
+            let s = state.scratch_slot(b, e).lock();
+            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+            dx.scatter_add_rows(&idx, &vec![1.0; idx.len()], &s.dx);
 
             // Route the gradient: own → local sum; internal → owner
             // directly; external → local aggregator for pre-reduction.
             let owner = cfg.owner_of(e);
             if owner == rank {
-                rt.add_owner_grad(b, e, rank, grad, 1);
+                rt.add_owner_grad(b, e, rank, s.grad.clone(), 1);
             } else if cfg.machine_of(owner) == machine {
                 comm.send(
                     owner,
@@ -289,13 +375,13 @@ pub fn run_iteration<T: Transport>(
                         block: b as u32,
                         expert: e as u32,
                         contributions: 1,
-                        data: grads_to_bytes(&grad),
+                        data: grads_to_bytes(&s.grad),
                     },
                 )?;
             } else {
                 let agg = cfg.designated_local(machine, e);
                 if agg == rank {
-                    rt.aggregate_external(b, e, rank, grad, 1);
+                    rt.aggregate_external(b, e, rank, s.grad.clone(), 1);
                 } else {
                     comm.send(
                         agg,
@@ -303,7 +389,7 @@ pub fn run_iteration<T: Transport>(
                             block: b as u32,
                             expert: e as u32,
                             contributions: 1,
-                            data: grads_to_bytes(&grad),
+                            data: grads_to_bytes(&s.grad),
                         },
                     )?;
                 }
@@ -316,9 +402,8 @@ pub fn run_iteration<T: Transport>(
     // Wait until every owned expert has all W contributions, serving
     // aggregation and pull traffic meanwhile.
     let world = cfg.world() as u32;
-    let arrived = |parts: &Vec<(usize, ExpertGrads, u32)>| {
-        parts.iter().map(|(_, _, n)| *n).sum::<u32>()
-    };
+    let arrived =
+        |parts: &Vec<(usize, ExpertGrads, u32)>| parts.iter().map(|(_, _, n)| *n).sum::<u32>();
     loop {
         let done = {
             let map = rt.owner_grads.lock();
@@ -365,7 +450,7 @@ pub fn run_iteration<T: Transport>(
     // The machine's first worker clears the shared cache between the two
     // barriers, so no sibling can still be reading it and no sibling can
     // race ahead into the next iteration before it is empty.
-    if rank % cfg.gpus_per_machine == 0 {
+    if rank.is_multiple_of(cfg.gpus_per_machine) {
         shared.cache.clear_for_next_iteration();
     }
     rt.barrier(iter * 2 + 1)?;
@@ -399,7 +484,10 @@ mod tests {
         let cfg = ExecConfig::small();
         for (losses, _, _) in run_dc(&cfg, 4) {
             assert!(losses.iter().all(|l| l.is_finite()));
-            assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+            assert!(
+                losses.last().unwrap() < losses.first().unwrap(),
+                "{losses:?}"
+            );
         }
     }
 

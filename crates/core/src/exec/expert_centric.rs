@@ -10,8 +10,8 @@ use crate::exec::model::{loss_and_grad, ExecConfig, WorkerState};
 use crate::exec::weights::{tokens_from_bytes, tokens_to_bytes, Slot};
 use janus_comm::collectives::{all_to_all, barrier};
 use janus_comm::{Comm, CommError, Transport};
-use janus_moe::expert::{ExpertCache, ExpertGrads};
-use janus_tensor::Matrix;
+use janus_moe::expert::ExpertGrads;
+use janus_tensor::{pool, Matrix};
 
 /// Output of one training iteration.
 #[derive(Debug, Clone)]
@@ -22,12 +22,12 @@ pub struct IterOutput {
     pub loss: f32,
 }
 
-/// What each owned expert remembers between forward and backward.
+/// What each owned expert remembers between forward and backward. The
+/// activation tape itself lives in the expert's [`WorkerState::scratch`]
+/// slot.
 struct ExpertTape {
     /// Global expert id.
     expert: usize,
-    /// Forward cache.
-    cache: ExpertCache,
     /// Origin of every row of the expert batch: `(src_rank, slot)`.
     origins: Vec<(usize, Slot)>,
 }
@@ -89,28 +89,48 @@ pub fn run_iteration<T: Transport>(
             .into_iter()
             .map(|c| tokens_from_bytes(c.into()))
             .collect::<Result<_, _>>()?;
+        let owned = cfg.owned_experts(state.rank);
+        let e0 = owned.start;
+        // Per-owned-expert batch assembly + forward as parallel tasks;
+        // each expert's activation tape is recorded in its scratch slot.
+        let origins_per: Vec<Vec<(usize, Slot)>> = {
+            let decoded = &decoded;
+            let experts = &state.experts;
+            pool::run_tasks(owned.len(), |local| {
+                let e = e0 + local;
+                let mut origins = Vec::new();
+                for (src, (slots, _)) in decoded.iter().enumerate() {
+                    for (i, slot) in slots.iter().enumerate() {
+                        if slot.1 as usize == e {
+                            origins.push((src, (i, *slot)));
+                        }
+                    }
+                }
+                let mut s = state.scratch_slot(b, e).lock();
+                s.x.resize(origins.len(), cfg.hidden_dim);
+                for (row, (src, (i, _))) in origins.iter().enumerate() {
+                    s.x.row_mut(row).copy_from_slice(decoded[*src].1.row(*i));
+                }
+                experts[b][local].forward_scratch(&mut s);
+                origins
+                    .into_iter()
+                    .map(|(src, (_, slot))| (src, slot))
+                    .collect()
+            })
+        };
+        // Collect outputs in expert-ascending order (deterministic
+        // regardless of task scheduling).
         let mut expert_tapes = Vec::new();
         let mut returns: Vec<(Vec<Slot>, Vec<Vec<f32>>)> =
             (0..world).map(|_| (Vec::new(), Vec::new())).collect();
-        for e in cfg.owned_experts(state.rank) {
-            let mut rows = Vec::new();
-            let mut origins = Vec::new();
-            for (src, (slots, mat)) in decoded.iter().enumerate() {
-                for (i, slot) in slots.iter().enumerate() {
-                    if slot.1 as usize == e {
-                        rows.push(mat.row(i).to_vec());
-                        origins.push((src, *slot));
-                    }
-                }
-            }
-            let batch = rows_to_matrix(&rows, cfg.hidden_dim);
-            let local = e - cfg.owned_experts(state.rank).start;
-            let (y_e, cache) = state.experts[b][local].forward(&batch);
+        for (local, origins) in origins_per.into_iter().enumerate() {
+            let e = e0 + local;
+            let s = state.scratch_slot(b, e).lock();
             for (i, (src, slot)) in origins.iter().enumerate() {
                 returns[*src].0.push(*slot);
-                returns[*src].1.push(y_e.row(i).to_vec());
+                returns[*src].1.push(s.y.row(i).to_vec());
             }
-            expert_tapes.push(ExpertTape { expert: e, cache, origins });
+            expert_tapes.push(ExpertTape { expert: e, origins });
         }
 
         // Combine A2A: send results home.
@@ -131,7 +151,10 @@ pub fn run_iteration<T: Transport>(
                 y.scatter_add_rows(&[*tok as usize], &[*w], &rows_to_matrix_one(rows.row(i)));
             }
         }
-        tapes.push(BlockTapeEc { sent, experts: expert_tapes });
+        tapes.push(BlockTapeEc {
+            sent,
+            experts: expert_tapes,
+        });
         x = y;
     }
 
@@ -175,27 +198,43 @@ pub fn run_iteration<T: Transport>(
             .map(|c| tokens_from_bytes(c.into()))
             .collect::<Result<_, _>>()?;
 
-        // Expert backward over the full received batch; route dx home.
+        // Expert backward over the full received batch, as parallel
+        // tasks against each slot's recorded activation tape.
+        {
+            let decoded = &decoded;
+            let experts = &state.experts;
+            let tape_experts = &tape.experts;
+            let e0 = cfg.owned_experts(state.rank).start;
+            pool::run_tasks(tape_experts.len(), |ti| {
+                let tape_e = &tape_experts[ti];
+                let local = tape_e.expert - e0;
+                let mut s = state.scratch_slot(b, tape_e.expert).lock();
+                // Rebuild dY in the same order as the forward batch,
+                // staged through the slot's `dy` buffer.
+                let mut dy_e = std::mem::take(&mut s.dy);
+                dy_e.resize(tape_e.origins.len(), cfg.hidden_dim);
+                for (row, (src, slot)) in tape_e.origins.iter().enumerate() {
+                    let (slots, mat) = &decoded[*src];
+                    let pos = slots
+                        .iter()
+                        .position(|s| s == slot)
+                        .expect("backward slot must mirror forward slot");
+                    dy_e.row_mut(row).copy_from_slice(mat.row(pos));
+                }
+                experts[b][local].backward_scratch(&dy_e, &mut s);
+                s.dy = dy_e;
+            });
+        }
+        // Accumulate gradients and route dx home, experts ascending.
         let mut returns: Vec<(Vec<Slot>, Vec<Vec<f32>>)> =
             (0..world).map(|_| (Vec::new(), Vec::new())).collect();
         for tape_e in tape.experts.iter() {
-            // Rebuild dY in the same order as the forward batch.
-            let mut rows = Vec::with_capacity(tape_e.origins.len());
-            for (src, slot) in &tape_e.origins {
-                let (slots, mat) = &decoded[*src];
-                let pos = slots
-                    .iter()
-                    .position(|s| s == slot)
-                    .expect("backward slot must mirror forward slot");
-                rows.push(mat.row(pos).to_vec());
-            }
-            let dy_e = rows_to_matrix(&rows, cfg.hidden_dim);
             let local = tape_e.expert - cfg.owned_experts(state.rank).start;
-            let (g, dx_e) = state.experts[b][local].backward(&tape_e.cache, &dy_e);
-            grads[b][local].accumulate(&g);
+            let s = state.scratch_slot(b, tape_e.expert).lock();
+            grads[b][local].accumulate(&s.grad);
             for (i, (src, slot)) in tape_e.origins.iter().enumerate() {
                 returns[*src].0.push(*slot);
-                returns[*src].1.push(dx_e.row(i).to_vec());
+                returns[*src].1.push(s.dx.row(i).to_vec());
             }
         }
         let chunks: Vec<Vec<u8>> = returns
@@ -218,8 +257,8 @@ pub fn run_iteration<T: Transport>(
     }
 
     // ---- Update ----
-    for b in 0..cfg.blocks {
-        for (local, g) in grads[b].iter().enumerate() {
+    for (b, block_grads) in grads.iter().enumerate() {
+        for (local, g) in block_grads.iter().enumerate() {
             state.experts[b][local].apply(g, cfg.lr);
         }
     }
@@ -263,7 +302,9 @@ mod tests {
         let cfg = ExecConfig::small();
         let losses = run_workers(cfg.world(), |comm| {
             let mut state = WorkerState::init(&cfg, comm.rank());
-            (0..5).map(|i| run_iteration(&comm, &mut state, i).unwrap().loss).collect::<Vec<_>>()
+            (0..5)
+                .map(|i| run_iteration(&comm, &mut state, i).unwrap().loss)
+                .collect::<Vec<_>>()
         });
         for per_worker in losses {
             assert!(

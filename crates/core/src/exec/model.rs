@@ -6,7 +6,7 @@
 //! add identical local compute to both paradigms and are omitted; the
 //! simulation engines model their cost instead.
 
-use janus_moe::expert::{ExpertFfn, ExpertGrads};
+use janus_moe::expert::{ExpertFfn, ExpertGrads, ExpertScratch};
 use janus_moe::gate::TopKGate;
 use janus_tensor::Matrix;
 use parking_lot::Mutex;
@@ -72,7 +72,11 @@ impl ExecConfig {
 
     /// Experts per worker.
     pub fn experts_per_worker(&self) -> usize {
-        assert_eq!(self.experts % self.world(), 0, "experts must divide the world size");
+        assert_eq!(
+            self.experts % self.world(),
+            0,
+            "experts must divide the world size"
+        );
         self.experts / self.world()
     }
 
@@ -114,6 +118,14 @@ pub struct WorkerState {
     pub inputs: Matrix,
     /// Cross-iteration inbox of gradient contributions for owned experts.
     pub grads_inbox: GradInbox,
+    /// Reusable compute buffers, one slot per `(block, global expert)`
+    /// (index `block · experts + expert`). A slot doubles as the
+    /// activation tape of its expert between forward and backward, and
+    /// its allocations persist across iterations, so steady-state expert
+    /// passes are allocation-free. Slots are independent, so the engines
+    /// run per-expert compute as parallel tasks, each locking only its
+    /// own slot.
+    pub scratch: Vec<Mutex<ExpertScratch>>,
 }
 
 impl WorkerState {
@@ -136,6 +148,9 @@ impl WorkerState {
             .collect();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xDA7A << 16) ^ rank as u64);
         let inputs = Matrix::uniform(cfg.tokens, cfg.hidden_dim, 1.0, &mut rng);
+        let scratch = (0..cfg.blocks * cfg.experts)
+            .map(|_| Mutex::new(ExpertScratch::new()))
+            .collect();
         WorkerState {
             cfg: cfg.clone(),
             rank,
@@ -143,7 +158,13 @@ impl WorkerState {
             experts,
             inputs,
             grads_inbox: Mutex::new(HashMap::new()),
+            scratch,
         }
+    }
+
+    /// The scratch slot of `(block, global expert)`.
+    pub fn scratch_slot(&self, block: usize, e: usize) -> &Mutex<ExpertScratch> {
+        &self.scratch[block * self.cfg.experts + e]
     }
 
     /// The canonical initial weights of global expert `e` in block `b`.
@@ -154,21 +175,30 @@ impl WorkerState {
     /// Mutable access to an owned expert by global id.
     pub fn owned_mut(&mut self, block: usize, e: usize) -> &mut ExpertFfn {
         let per = self.cfg.experts_per_worker();
-        assert_eq!(self.cfg.owner_of(e), self.rank, "expert {e} not owned by rank {}", self.rank);
+        assert_eq!(
+            self.cfg.owner_of(e),
+            self.rank,
+            "expert {e} not owned by rank {}",
+            self.rank
+        );
         &mut self.experts[block][e % per]
     }
 
     /// Shared access to an owned expert by global id.
     pub fn owned(&self, block: usize, e: usize) -> &ExpertFfn {
         let per = self.cfg.experts_per_worker();
-        assert_eq!(self.cfg.owner_of(e), self.rank, "expert {e} not owned by rank {}", self.rank);
+        assert_eq!(
+            self.cfg.owner_of(e),
+            self.rank,
+            "expert {e} not owned by rank {}",
+            self.rank
+        );
         &self.experts[block][e % per]
     }
 }
 
 fn expert_weights(cfg: &ExecConfig, b: usize, e: usize) -> ExpertFfn {
-    let mut rng =
-        StdRng::seed_from_u64(cfg.seed ^ 0xE0_0000 ^ ((b as u64) << 32) ^ e as u64);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0_0000 ^ ((b as u64) << 32) ^ e as u64);
     ExpertFfn::new(cfg.hidden_dim, &mut rng)
 }
 

@@ -38,7 +38,11 @@ pub fn train_expert_centric(cfg: &ExecConfig, iters: u64) -> TrainRun {
             losses.push(out.loss);
             output = Some(out.output);
         }
-        (losses, output.expect("at least one iteration"), state.experts)
+        (
+            losses,
+            output.expect("at least one iteration"),
+            state.experts,
+        )
     });
     collect(results)
 }
@@ -58,13 +62,21 @@ pub fn train_data_centric(cfg: &ExecConfig, iters: u64) -> TrainRun {
             losses.push(out.loss);
             output = Some(out.output);
         }
-        (losses, output.expect("at least one iteration"), state.experts)
+        (
+            losses,
+            output.expect("at least one iteration"),
+            state.experts,
+        )
     });
     collect(results)
 }
 
 fn collect(results: Vec<(Vec<f32>, Matrix, Vec<Vec<ExpertFfn>>)>) -> TrainRun {
-    let mut run = TrainRun { losses: Vec::new(), outputs: Vec::new(), experts: Vec::new() };
+    let mut run = TrainRun {
+        losses: Vec::new(),
+        outputs: Vec::new(),
+        experts: Vec::new(),
+    };
     for (losses, output, experts) in results {
         run.losses.push(losses);
         run.outputs.push(output);
@@ -108,7 +120,11 @@ pub fn compare_paradigms(cfg: &ExecConfig, iters: u64) -> ParadigmDiff {
             max_loss_diff = max_loss_diff.max((la - lb).abs());
         }
     }
-    ParadigmDiff { max_output_diff, max_weight_diff, max_loss_diff }
+    ParadigmDiff {
+        max_output_diff,
+        max_weight_diff,
+        max_loss_diff,
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +157,10 @@ mod tests {
 
     #[test]
     fn equivalence_holds_for_top1_gate() {
-        let cfg = ExecConfig { top_k: 1, ..ExecConfig::small() };
+        let cfg = ExecConfig {
+            top_k: 1,
+            ..ExecConfig::small()
+        };
         let diff = compare_paradigms(&cfg, 2);
         assert!(diff.max_output_diff < 1e-5, "{diff:?}");
         assert!(diff.max_weight_diff < 1e-4, "{diff:?}");
@@ -150,7 +169,10 @@ mod tests {
     #[test]
     fn equivalence_holds_for_multi_expert_shards() {
         // 16 experts over 4 workers → 4 experts per worker.
-        let cfg = ExecConfig { experts: 16, ..ExecConfig::small() };
+        let cfg = ExecConfig {
+            experts: 16,
+            ..ExecConfig::small()
+        };
         let diff = compare_paradigms(&cfg, 2);
         assert!(diff.max_output_diff < 1e-5, "{diff:?}");
         assert!(diff.max_weight_diff < 1e-4, "{diff:?}");
@@ -163,7 +185,10 @@ mod tests {
         let dc = train_data_centric(&cfg, 5);
         for run in [&ec, &dc] {
             for losses in &run.losses {
-                assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+                assert!(
+                    losses.last().unwrap() < losses.first().unwrap(),
+                    "{losses:?}"
+                );
             }
         }
     }

@@ -30,7 +30,9 @@ fn put_vec(buf: &mut BytesMut, v: &[f32]) {
 
 fn need(buf: &Bytes, n: usize) -> Result<(), CommError> {
     if buf.remaining() < n {
-        Err(CommError::Decode(format!("weight blob truncated: need {n} more bytes")))
+        Err(CommError::Decode(format!(
+            "weight blob truncated: need {n} more bytes"
+        )))
     } else {
         Ok(())
     }
@@ -69,7 +71,9 @@ pub fn expert_from_bytes(mut buf: Bytes) -> Result<ExpertFfn, CommError> {
     let w2 = take_matrix(&mut buf)?;
     let b2 = take_vec(&mut buf)?;
     if buf.has_remaining() {
-        return Err(CommError::Decode("trailing bytes after expert weights".into()));
+        return Err(CommError::Decode(
+            "trailing bytes after expert weights".into(),
+        ));
     }
     Ok(ExpertFfn { w1, b1, w2, b2 })
 }
@@ -124,8 +128,9 @@ pub fn tokens_from_bytes(mut buf: Bytes) -> Result<(Vec<Slot>, Matrix), CommErro
     let n = buf.get_u32() as usize;
     let cols = buf.get_u32() as usize;
     need(&buf, n * 12)?;
-    let slots: Vec<Slot> =
-        (0..n).map(|_| (buf.get_u32(), buf.get_u32(), buf.get_f32_le())).collect();
+    let slots: Vec<Slot> = (0..n)
+        .map(|_| (buf.get_u32(), buf.get_u32(), buf.get_f32_le()))
+        .collect();
     need(&buf, n * cols * 4)?;
     let data = (0..n * cols).map(|_| buf.get_f32_le()).collect();
     if buf.has_remaining() {

@@ -102,17 +102,35 @@ mod tests {
         let r = |b: usize| janus_moe::traffic::r_for_block(&model, b, 2, 8);
         assert!((r(moe[0]) - 8.0).abs() < 1e-9);
         assert!((r(moe[3]) - 2.0).abs() < 1e-9);
-        assert_eq!(choose_with_threshold(&model, moe[0], 2, 8, 2.0), Paradigm::DataCentric);
-        assert_eq!(choose_with_threshold(&model, moe[1], 2, 8, 2.0), Paradigm::DataCentric);
-        assert_eq!(choose_with_threshold(&model, moe[2], 2, 8, 2.0), Paradigm::ExpertCentric);
-        assert_eq!(choose_with_threshold(&model, moe[3], 2, 8, 2.0), Paradigm::ExpertCentric);
+        assert_eq!(
+            choose_with_threshold(&model, moe[0], 2, 8, 2.0),
+            Paradigm::DataCentric
+        );
+        assert_eq!(
+            choose_with_threshold(&model, moe[1], 2, 8, 2.0),
+            Paradigm::DataCentric
+        );
+        assert_eq!(
+            choose_with_threshold(&model, moe[2], 2, 8, 2.0),
+            Paradigm::ExpertCentric
+        );
+        assert_eq!(
+            choose_with_threshold(&model, moe[3], 2, 8, 2.0),
+            Paradigm::ExpertCentric
+        );
 
         // Same split on the 32-GPU variant (R = 8 and 2 again, because
         // batch size doubles with machine count).
         let model = pr_moe_transformer_xl(32);
         let moe = model.moe_blocks();
-        assert_eq!(choose_with_threshold(&model, moe[0], 4, 8, 2.0), Paradigm::DataCentric);
-        assert_eq!(choose_with_threshold(&model, moe[3], 4, 8, 2.0), Paradigm::ExpertCentric);
+        assert_eq!(
+            choose_with_threshold(&model, moe[0], 4, 8, 2.0),
+            Paradigm::DataCentric
+        );
+        assert_eq!(
+            choose_with_threshold(&model, moe[3], 4, 8, 2.0),
+            Paradigm::ExpertCentric
+        );
     }
 
     #[test]
@@ -143,6 +161,9 @@ mod tests {
             choose_with_threshold(&model, b, 4, 8, 10.0),
             Paradigm::ExpertCentric
         );
-        assert_eq!(choose_with_threshold(&model, b, 4, 8, 5.0), Paradigm::DataCentric);
+        assert_eq!(
+            choose_with_threshold(&model, b, 4, 8, 5.0),
+            Paradigm::DataCentric
+        );
     }
 }

@@ -76,7 +76,7 @@ pub fn fetch_plan(cluster: &Cluster, experts_total: usize, topo_aware: bool) -> 
     let num_workers = cluster.num_workers();
     let m = cluster.gpus_per_machine();
     assert!(
-        experts_total % num_workers == 0,
+        experts_total.is_multiple_of(num_workers),
         "{experts_total} experts not divisible across {num_workers} workers"
     );
     let e_per = experts_total / num_workers;
@@ -90,8 +90,11 @@ pub fn fetch_plan(cluster: &Cluster, experts_total: usize, topo_aware: bool) -> 
 
         // Internal pulls: iterate owners in the chosen order, taking every
         // expert an owner holds (ascending).
-        let owner_order =
-            if topo_aware { internal_pull_order(r, m) } else { naive_pull_order(r, m) };
+        let owner_order = if topo_aware {
+            internal_pull_order(r, m)
+        } else {
+            naive_pull_order(r, m)
+        };
         let mut internal = Vec::with_capacity((m - 1) * e_per);
         for owner_rank in owner_order {
             let owner = cluster.worker_at(machine, owner_rank);
@@ -137,7 +140,11 @@ pub fn fetch_plan(cluster: &Cluster, experts_total: usize, topo_aware: bool) -> 
         machine_external.push(list);
     }
 
-    BlockFetchPlan { experts_per_worker: e_per, workers, machine_external }
+    BlockFetchPlan {
+        experts_per_worker: e_per,
+        workers,
+        machine_external,
+    }
 }
 
 impl BlockFetchPlan {
@@ -187,7 +194,11 @@ mod tests {
         let c = cluster(4, 8);
         let plan = fetch_plan(&c, 32, true);
         for (mi, list) in plan.machine_external.iter().enumerate() {
-            assert_eq!(list.len(), 32 - 8, "machine {mi} fetches every off-machine expert once");
+            assert_eq!(
+                list.len(),
+                32 - 8,
+                "machine {mi} fetches every off-machine expert once"
+            );
             for pull in list {
                 assert_ne!(c.machine_of(pull.owner).0, mi);
             }
@@ -201,10 +212,22 @@ mod tests {
     fn staggered_internal_order_starts_at_next_rank() {
         let c = cluster(1, 4);
         let plan = fetch_plan(&c, 8, true); // E = 2
-        // Worker 1 pulls first from local rank 2 → experts 4, 5.
+                                            // Worker 1 pulls first from local rank 2 → experts 4, 5.
         let w1 = &plan.workers[1];
-        assert_eq!(w1.internal[0], InternalPull { expert: 4, owner: WorkerId(2) });
-        assert_eq!(w1.internal[1], InternalPull { expert: 5, owner: WorkerId(2) });
+        assert_eq!(
+            w1.internal[0],
+            InternalPull {
+                expert: 4,
+                owner: WorkerId(2)
+            }
+        );
+        assert_eq!(
+            w1.internal[1],
+            InternalPull {
+                expert: 5,
+                owner: WorkerId(2)
+            }
+        );
         // then rank 3, then rank 0.
         assert_eq!(w1.internal[2].owner, WorkerId(3));
         assert_eq!(w1.internal[4].owner, WorkerId(0));
@@ -240,7 +263,11 @@ mod tests {
         let plan = fetch_plan(&c, 32, false);
         for w in &plan.workers {
             assert!(w.external_peer.is_empty());
-            assert_eq!(w.external_pcie.len(), 16, "all off-machine experts via PCIe");
+            assert_eq!(
+                w.external_pcie.len(),
+                16,
+                "all off-machine experts via PCIe"
+            );
         }
     }
 

@@ -95,8 +95,10 @@ mod tests {
         for r in 0..m {
             let order = internal_pull_order(LocalRank(r), m);
             assert_eq!(order.len(), m - 1);
-            let mut prios: Vec<usize> =
-                order.iter().map(|&o| internal_priority(o, LocalRank(r), m)).collect();
+            let mut prios: Vec<usize> = order
+                .iter()
+                .map(|&o| internal_priority(o, LocalRank(r), m))
+                .collect();
             let sorted = {
                 let mut p = prios.clone();
                 p.sort_unstable();
@@ -129,8 +131,9 @@ mod tests {
         // Everyone except worker 0 starts by pulling from worker 0 —
         // the Figure 7a congestion.
         let m = 4;
-        let first_owner: Vec<usize> =
-            (1..m).map(|r| naive_pull_order(LocalRank(r), m)[0].0).collect();
+        let first_owner: Vec<usize> = (1..m)
+            .map(|r| naive_pull_order(LocalRank(r), m)[0].0)
+            .collect();
         assert_eq!(first_owner, vec![0, 0, 0]);
     }
 

@@ -164,7 +164,8 @@ mod tests {
             Ok(vec![1, 2, 3])
         };
         let a = cache.get_or_fetch((0, 5), fetch).unwrap();
-        let b = cache.get_or_fetch((0, 5), || -> Result<Vec<u8>, ()> { panic!("must hit") })
+        let b = cache
+            .get_or_fetch((0, 5), || -> Result<Vec<u8>, ()> { panic!("must hit") })
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(fetched.load(Ordering::SeqCst), 1);

@@ -28,7 +28,11 @@ impl CreditBuffer {
     /// A buffer with `capacity` expert slots.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "a credit buffer needs at least one slot");
-        CreditBuffer { capacity, state: Mutex::new(capacity), available: Condvar::new() }
+        CreditBuffer {
+            capacity,
+            state: Mutex::new(capacity),
+            available: Condvar::new(),
+        }
     }
 
     /// Total slots.
@@ -53,7 +57,10 @@ impl CreditBuffer {
             self.available.wait(&mut free);
         }
         *free -= amount;
-        CreditGuard { buffer: self, amount }
+        CreditGuard {
+            buffer: self,
+            amount,
+        }
     }
 
     /// Try to take `amount` credits without blocking.
@@ -61,7 +68,10 @@ impl CreditBuffer {
         let mut free = self.state.lock();
         if *free >= amount {
             *free -= amount;
-            Some(CreditGuard { buffer: self, amount })
+            Some(CreditGuard {
+                buffer: self,
+                amount,
+            })
         } else {
             None
         }
@@ -78,7 +88,10 @@ impl CreditBuffer {
             }
         }
         *free -= amount;
-        Some(CreditGuard { buffer: self, amount })
+        Some(CreditGuard {
+            buffer: self,
+            amount,
+        })
     }
 
     fn release(&self, amount: u32) {

@@ -28,7 +28,10 @@ impl<G> GradAccumulator<G> {
     /// number of workers on the machine).
     pub fn new(expected: usize) -> Self {
         assert!(expected > 0);
-        GradAccumulator { expected, pending: Mutex::new(HashMap::new()) }
+        GradAccumulator {
+            expected,
+            pending: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Add the gradient contributed by worker `sender`. When this is the
@@ -80,6 +83,7 @@ impl<G> GradAccumulator<G> {
 mod tests {
     use super::*;
 
+    #[allow(clippy::ptr_arg)] // must match the accumulator's fold signature
     fn sum(acc: &mut Vec<f32>, other: Vec<f32>) {
         for (a, b) in acc.iter_mut().zip(other) {
             *a += b;

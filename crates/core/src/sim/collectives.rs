@@ -43,7 +43,15 @@ pub fn a2a_goodput(cluster: &Cluster, bytes_per_pair: f64) -> Result<GoodputRepo
                 continue;
             }
             let route = cluster.route(Location::Gpu(WorkerId(src)), Location::Gpu(WorkerId(dst)));
-            g.task(Work::Transfer { route, bytes: bytes_per_pair, lane: None, latency: 0.0 }, &[]);
+            g.task(
+                Work::Transfer {
+                    route,
+                    bytes: bytes_per_pair,
+                    lane: None,
+                    latency: 0.0,
+                },
+                &[],
+            );
             total += bytes_per_pair;
             if cluster.machine_of(WorkerId(src)) != cluster.machine_of(WorkerId(dst)) {
                 cross += bytes_per_pair;

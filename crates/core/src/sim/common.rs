@@ -34,10 +34,19 @@ impl<'a> Ctx<'a> {
         let mut g = GraphBuilder::new(setup.cluster.num_links(), 0);
         let gpu_lane = (0..workers).map(|_| g.lane()).collect();
         let fetch_lane = (0..workers).map(|_| g.lane()).collect();
-        let inter_lane =
-            (0..setup.cluster.num_machines()).map(|_| g.lane()).collect();
+        let inter_lane = (0..setup.cluster.num_machines())
+            .map(|_| g.lane())
+            .collect();
         let start = g.add(TaskSpec::new(Work::NoOp).label("iter-start"), &[]);
-        Ctx { setup, g, gpu_lane, fetch_lane, inter_lane, start, msg_latency: 0.0 }
+        Ctx {
+            setup,
+            g,
+            gpu_lane,
+            fetch_lane,
+            inter_lane,
+            start,
+            msg_latency: 0.0,
+        }
     }
 
     /// A compute task of `flops` on worker `w`'s GPU lane.
@@ -51,15 +60,19 @@ impl<'a> Ctx<'a> {
     ) -> TaskId {
         let duration = self.setup.secs(flops);
         self.g.add(
-            TaskSpec::new(Work::Compute { lane: self.gpu_lane[w], duration })
-                .label(label)
-                .priority(priority),
+            TaskSpec::new(Work::Compute {
+                lane: self.gpu_lane[w],
+                duration,
+            })
+            .label(label)
+            .priority(priority),
             deps,
         )
     }
 
     /// A transfer between two memory domains, optionally serialized on a
     /// lane.
+    #[allow(clippy::too_many_arguments)]
     pub fn transfer(
         &mut self,
         from: Location,
@@ -72,9 +85,14 @@ impl<'a> Ctx<'a> {
     ) -> TaskId {
         let route = self.setup.cluster.route(from, to);
         self.g.add(
-            TaskSpec::new(Work::Transfer { route, bytes, lane, latency: self.msg_latency })
-                .label(label)
-                .priority(priority),
+            TaskSpec::new(Work::Transfer {
+                route,
+                bytes,
+                lane,
+                latency: self.msg_latency,
+            })
+            .label(label)
+            .priority(priority),
             deps,
         )
     }
@@ -86,7 +104,9 @@ impl<'a> Ctx<'a> {
 
     /// Allocate a per-worker credit pool of the given capacity.
     pub fn credit_pools(&mut self, capacity: u32) -> Vec<PoolId> {
-        (0..self.setup.cluster.num_workers()).map(|_| self.g.pool(capacity)).collect()
+        (0..self.setup.cluster.num_workers())
+            .map(|_| self.g.pool(capacity))
+            .collect()
     }
 
     /// Take a credit from `pool`.
@@ -99,7 +119,10 @@ impl<'a> Ctx<'a> {
 
     /// Return a credit to `pool`.
     pub fn release(&mut self, pool: PoolId, deps: &[TaskId]) -> TaskId {
-        self.g.add(TaskSpec::new(Work::ReleaseCredits { pool, amount: 1 }), deps)
+        self.g.add(
+            TaskSpec::new(Work::ReleaseCredits { pool, amount: 1 }),
+            deps,
+        )
     }
 
     /// Finish building.

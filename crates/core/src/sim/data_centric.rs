@@ -48,12 +48,17 @@ pub struct DcOpts {
 
 impl Default for DcOpts {
     fn default() -> Self {
-        DcOpts { topo_aware: true, prefetch: true, credits: 16 }
+        DcOpts {
+            topo_aware: true,
+            prefetch: true,
+            credits: 16,
+        }
     }
 }
 
 /// Emit the forward expert phase of MoE block `b` under the data-centric
 /// paradigm. Returns the per-worker completion tasks.
+#[allow(clippy::explicit_counter_loop)]
 pub fn emit_fwd_block(
     ctx: &mut Ctx,
     pools: &[PoolId],
@@ -69,8 +74,7 @@ pub fn emit_fwd_block(
     let expert_bytes = setup.model.expert_bytes();
 
     // 1. Machine-level external fetches (Inter-Node Scheduler).
-    let mut ext_fetch: Vec<HashMap<usize, TaskId>> =
-        vec![HashMap::new(); cluster.num_machines()];
+    let mut ext_fetch: Vec<HashMap<usize, TaskId>> = vec![HashMap::new(); cluster.num_machines()];
     for machine in cluster.machines() {
         if plan.machine_external[machine.0].is_empty() {
             continue;
@@ -172,8 +176,16 @@ pub fn emit_fwd_block(
                 &[acq, fetch],
             );
             pcie_copy[w].insert(e, copy);
-            let comp =
-                expert_compute(ctx, b, w, e, asg.tokens(w, e), false, &[copy, shared[w]], seq);
+            let comp = expert_compute(
+                ctx,
+                b,
+                w,
+                e,
+                asg.tokens(w, e),
+                false,
+                &[copy, shared[w]],
+                seq,
+            );
             // External weights stay in the CPU cache for backward; just
             // free the buffer slot after computing.
             ctx.release(pools[w], &[comp]);
@@ -206,8 +218,7 @@ pub fn emit_fwd_block(
                 Some(ctx.fetch_lane[w]),
                 &[acq, sibling_copy],
             );
-            let comp =
-                expert_compute(ctx, b, w, e, asg.tokens(w, e), false, &[t, shared[w]], seq);
+            let comp = expert_compute(ctx, b, w, e, asg.tokens(w, e), false, &[t, shared[w]], seq);
             ctx.release(pools[w], &[comp]);
             per_worker_done[w].push(comp);
             seq += 1;
@@ -227,6 +238,7 @@ pub fn emit_fwd_block(
 /// paradigm. Returns per-worker tasks gating this block's shared
 /// backward; the final join also waits for all gradient flows of the
 /// block to land at their owners.
+#[allow(clippy::explicit_counter_loop)]
 pub fn emit_bwd_block(
     ctx: &mut Ctx,
     pools: &[PoolId],
@@ -281,8 +293,7 @@ pub fn emit_bwd_block(
                 Some(ctx.fetch_lane[w]),
                 &[acq],
             );
-            let comp =
-                expert_compute(ctx, b, w, e, asg.tokens(w, e), true, &[copy, prev[w]], seq);
+            let comp = expert_compute(ctx, b, w, e, asg.tokens(w, e), true, &[copy, prev[w]], seq);
             ctx.release(pools[w], &[comp]);
             per_worker_done[w].push(comp);
 

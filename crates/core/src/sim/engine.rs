@@ -7,9 +7,9 @@
 //! evaluation is produced by calling this function with different options
 //! (see `janus-bench`).
 
-pub use crate::sim::data_centric::DcOpts;
 use crate::paradigm::Paradigm;
 use crate::sim::common::{a2a_window_time, Ctx};
+pub use crate::sim::data_centric::DcOpts;
 use crate::sim::report::IterationReport;
 use crate::sim::setup::SimSetup;
 use crate::sim::{data_centric, expert_centric, memory};
@@ -81,19 +81,29 @@ impl EngineOpts {
     /// in-sim. The staged variant remains available via
     /// `hierarchical_a2a` for topology studies.
     pub fn tutel() -> Self {
-        EngineOpts { policy: ParadigmPolicy::ExpertCentric, ..EngineOpts::default() }
+        EngineOpts {
+            policy: ParadigmPolicy::ExpertCentric,
+            ..EngineOpts::default()
+        }
     }
 
     /// Janus's own expert-centric mode (the Figure 12 ablation baseline).
     pub fn janus_expert_centric() -> Self {
-        EngineOpts { policy: ParadigmPolicy::ExpertCentric, ..EngineOpts::default() }
+        EngineOpts {
+            policy: ParadigmPolicy::ExpertCentric,
+            ..EngineOpts::default()
+        }
     }
 
     /// Pure data-centric with the given ablation switches.
     pub fn data_centric(topo_aware: bool, prefetch: bool) -> Self {
         EngineOpts {
             policy: ParadigmPolicy::DataCentric,
-            dc: DcOpts { topo_aware, prefetch, ..DcOpts::default() },
+            dc: DcOpts {
+                topo_aware,
+                prefetch,
+                ..DcOpts::default()
+            },
             ..EngineOpts::default()
         }
     }
@@ -129,7 +139,13 @@ pub fn block_paradigms(setup: &SimSetup, opts: &EngineOpts) -> Vec<Paradigm> {
             .model
             .blocks
             .iter()
-            .map(|k| if k.is_moe() { Paradigm::DataCentric } else { Paradigm::ExpertCentric })
+            .map(|k| {
+                if k.is_moe() {
+                    Paradigm::DataCentric
+                } else {
+                    Paradigm::ExpertCentric
+                }
+            })
             .collect(),
         ParadigmPolicy::Unified => setup
             .model
@@ -138,13 +154,7 @@ pub fn block_paradigms(setup: &SimSetup, opts: &EngineOpts) -> Vec<Paradigm> {
             .enumerate()
             .map(|(b, kind)| {
                 if kind.is_moe() {
-                    crate::paradigm::choose_with_threshold(
-                        &setup.model,
-                        b,
-                        n,
-                        m,
-                        opts.r_threshold,
-                    )
+                    crate::paradigm::choose_with_threshold(&setup.model, b, n, m, opts.r_threshold)
                 } else {
                     Paradigm::ExpertCentric
                 }
@@ -336,10 +346,7 @@ pub fn simulate_iteration_on(
         iter_time: sim.makespan,
         fwd_time: sim.finish_of("fwd-done"),
         comm_time,
-        cross_node_bytes_per_machine: IterationReport::cross_node_per_machine(
-            &setup.cluster,
-            &sim,
-        ),
+        cross_node_bytes_per_machine: IterationReport::cross_node_per_machine(&setup.cluster, &sim),
         memory,
         block_finish_w0,
         expert_arrival_w0,
@@ -400,7 +407,11 @@ mod tests {
         let report = run(&opts);
         let analytic = iteration_traffic_dc(&small_model(), 2, 4);
         let rel = (report.cross_node_bytes_per_machine - analytic).abs() / analytic;
-        assert!(rel < 0.02, "sim {} vs analytic {analytic}", report.cross_node_bytes_per_machine);
+        assert!(
+            rel < 0.02,
+            "sim {} vs analytic {analytic}",
+            report.cross_node_bytes_per_machine
+        );
     }
 
     #[test]
@@ -410,7 +421,11 @@ mod tests {
         let report = run(&opts);
         let analytic = iteration_traffic_ec(&small_model(), 2, 4);
         let rel = (report.cross_node_bytes_per_machine - analytic).abs() / analytic;
-        assert!(rel < 0.01, "sim {} vs analytic {analytic}", report.cross_node_bytes_per_machine);
+        assert!(
+            rel < 0.01,
+            "sim {} vs analytic {analytic}",
+            report.cross_node_bytes_per_machine
+        );
     }
 
     #[test]
@@ -438,11 +453,15 @@ mod tests {
             &EngineOpts::data_centric(true, true),
         )
         .unwrap();
-        let ec =
-            simulate_iteration(small_cluster(), model, &EngineOpts::janus_expert_centric())
-                .unwrap();
+        let ec = simulate_iteration(small_cluster(), model, &EngineOpts::janus_expert_centric())
+            .unwrap();
         assert!(dc.cross_node_bytes_per_machine < ec.cross_node_bytes_per_machine);
-        assert!(dc.iter_time < ec.iter_time, "dc {} vs ec {}", dc.iter_time, ec.iter_time);
+        assert!(
+            dc.iter_time < ec.iter_time,
+            "dc {} vs ec {}",
+            dc.iter_time,
+            ec.iter_time
+        );
     }
 
     #[test]
@@ -452,16 +471,23 @@ mod tests {
         let mut model = ModelPreset::MoeGpt.config(8);
         model.batch = 128;
         let time = |topo: bool, pf: bool| {
-            simulate_iteration(small_cluster(), model.clone(), &EngineOpts::data_centric(topo, pf))
-                .unwrap()
-                .iter_time
+            simulate_iteration(
+                small_cluster(),
+                model.clone(),
+                &EngineOpts::data_centric(topo, pf),
+            )
+            .unwrap()
+            .iter_time
         };
         let plain = time(false, false);
         let topo = time(true, false);
         let full = time(true, true);
         assert!(topo <= plain * 1.001, "topo {topo} vs plain {plain}");
         assert!(full <= topo * 1.001, "prefetch {full} vs topo {topo}");
-        assert!(full <= plain * 1.001, "full stack must not lose to plain DC");
+        assert!(
+            full <= plain * 1.001,
+            "full stack must not lose to plain DC"
+        );
     }
 
     #[test]
@@ -488,7 +514,11 @@ mod tests {
         let gate = report.sim.finish_of("w0/b11/fwd-shared");
         for r in &report.sim.records {
             if r.label.starts_with("w0/b11/ep") && r.label.ends_with("/fwd") {
-                assert!(r.start >= gate - 1e-9, "{} started before the gate", r.label);
+                assert!(
+                    r.start >= gate - 1e-9,
+                    "{} started before the gate",
+                    r.label
+                );
             }
         }
     }
@@ -496,8 +526,12 @@ mod tests {
     #[test]
     fn each_machine_fetches_each_external_expert_once() {
         let report = run(&EngineOpts::data_centric(true, true));
-        let fetches =
-            report.sim.records.iter().filter(|r| r.label.contains("/fetch-ext")).count();
+        let fetches = report
+            .sim
+            .records
+            .iter()
+            .filter(|r| r.label.contains("/fetch-ext"))
+            .count();
         // 8 experts, 4 per machine → 4 external per machine, 1 MoE block.
         assert_eq!(fetches, 2 * 4);
     }
@@ -505,9 +539,19 @@ mod tests {
     #[test]
     fn gradients_are_pre_reduced_per_machine() {
         let report = run(&EngineOpts::data_centric(true, true));
-        let ext = report.sim.records.iter().filter(|r| r.label.contains("/grad-ext")).count();
+        let ext = report
+            .sim
+            .records
+            .iter()
+            .filter(|r| r.label.contains("/grad-ext"))
+            .count();
         assert_eq!(ext, 2 * 4);
-        let acc = report.sim.records.iter().filter(|r| r.label.contains("/grad-acc")).count();
+        let acc = report
+            .sim
+            .records
+            .iter()
+            .filter(|r| r.label.contains("/grad-acc"))
+            .count();
         assert_eq!(acc, 2 * 4 * 4);
     }
 
@@ -531,7 +575,10 @@ mod tests {
         let setup = SimSetup::new(cluster, model, Imbalance::Balanced, 0);
         // The paper's conservative threshold keeps the deep blocks
         // (R = 2) expert-centric (§7.5).
-        let opts = EngineOpts { r_threshold: 2.0, ..EngineOpts::default() };
+        let opts = EngineOpts {
+            r_threshold: 2.0,
+            ..EngineOpts::default()
+        };
         let paradigms = block_paradigms(&setup, &opts);
         let moe = setup.model.moe_blocks();
         assert_eq!(paradigms[moe[0]], Paradigm::DataCentric);
@@ -539,8 +586,16 @@ mod tests {
         let report = simulate_iteration_on(&setup, &opts).unwrap();
         assert!(report.iter_time > 0.0);
         // Unified runs both kinds of machinery in one graph.
-        assert!(report.sim.records.iter().any(|r| r.label.contains("/fetch-ext")));
-        assert!(report.sim.records.iter().any(|r| r.label.starts_with("a2a/")));
+        assert!(report
+            .sim
+            .records
+            .iter()
+            .any(|r| r.label.contains("/fetch-ext")));
+        assert!(report
+            .sim
+            .records
+            .iter()
+            .any(|r| r.label.starts_with("a2a/")));
     }
 
     #[test]
@@ -564,7 +619,10 @@ mod tests {
         };
         let naive = first_arrival(false);
         let staggered = first_arrival(true);
-        assert!(staggered < naive - 1e-9, "staggered {staggered} vs naive {naive}");
+        assert!(
+            staggered < naive - 1e-9,
+            "staggered {staggered} vs naive {naive}"
+        );
     }
 
     #[test]
@@ -574,7 +632,9 @@ mod tests {
         let time = |policy: EngineOpts, imb: Imbalance| {
             let mut o = policy;
             o.imbalance = imb;
-            simulate_iteration(small_cluster(), model.clone(), &o).unwrap().iter_time
+            simulate_iteration(small_cluster(), model.clone(), &o)
+                .unwrap()
+                .iter_time
         };
         let ec_b = time(EngineOpts::janus_expert_centric(), Imbalance::Balanced);
         let ec_s = time(EngineOpts::janus_expert_centric(), Imbalance::Zipf(1.0));
@@ -591,16 +651,26 @@ mod tests {
         let mut model = ModelPreset::MoeGpt.config(8);
         model.batch = 8;
         let cluster = ClusterSpec::a100(1, 8).build();
-        for opts in [EngineOpts::janus_expert_centric(), EngineOpts::data_centric(true, true)] {
+        for opts in [
+            EngineOpts::janus_expert_centric(),
+            EngineOpts::data_centric(true, true),
+        ] {
             let report = simulate_iteration(cluster.clone(), model.clone(), &opts).unwrap();
-            assert_eq!(report.cross_node_bytes_per_machine, 0.0, "{}", opts.describe());
+            assert_eq!(
+                report.cross_node_bytes_per_machine,
+                0.0,
+                "{}",
+                opts.describe()
+            );
         }
     }
 
     #[test]
     fn forward_only_is_faster() {
-        let mut opts = EngineOpts::default();
-        opts.include_backward = false;
+        let opts = EngineOpts {
+            include_backward: false,
+            ..EngineOpts::default()
+        };
         let fwd = run(&opts);
         let full = run(&EngineOpts::default());
         assert!(fwd.iter_time < full.iter_time);

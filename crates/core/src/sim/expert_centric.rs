@@ -37,6 +37,7 @@ fn pair_bytes(setup: &SimSetup, b: usize, src: usize, dst: usize) -> f64 {
 /// Emit one All-to-All phase. `bytes(src, dst)` gives the payload of each
 /// directed pair; `deps[w]` gates worker `w`'s sends. Returns the global
 /// join task.
+#[allow(clippy::needless_range_loop)]
 fn a2a_phase(
     ctx: &mut Ctx,
     b: usize,
@@ -80,7 +81,9 @@ fn a2a_phase(
     // agg(machine, remote) = the local GPU responsible for traffic
     // to/from `remote`.
     let agg = |mach: janus_topology::MachineId, remote: janus_topology::MachineId| -> usize {
-        cluster.worker_at(mach, janus_topology::LocalRank(remote.0 % m)).0
+        cluster
+            .worker_at(mach, janus_topology::LocalRank(remote.0 % m))
+            .0
     };
 
     // Intra-machine pairs go direct over NVLink.
@@ -184,8 +187,9 @@ pub fn emit_fwd_block(
 ) -> Vec<TaskId> {
     let setup = ctx.setup;
     let w_count = setup.cluster.num_workers();
-    let dispatch =
-        a2a_phase(ctx, b, "fd", hierarchical, shared, &|s, d| pair_bytes(setup, b, s, d));
+    let dispatch = a2a_phase(ctx, b, "fd", hierarchical, shared, &|s, d| {
+        pair_bytes(setup, b, s, d)
+    });
 
     let asg = setup.assignment(b);
     let experts_total = asg.experts();
@@ -207,26 +211,26 @@ pub fn emit_fwd_block(
         ep_joins.push(ctx.join(format!("w{w}/b{b}/experts-fwd"), &deps));
     }
 
-    let combine =
-        a2a_phase(ctx, b, "fc", hierarchical, &ep_joins, &|s, d| pair_bytes(setup, b, d, s));
-    (0..w_count).map(|w| ctx.join(format!("w{w}/b{b}/fwd-done"), &[combine])).collect()
+    let combine = a2a_phase(ctx, b, "fc", hierarchical, &ep_joins, &|s, d| {
+        pair_bytes(setup, b, d, s)
+    });
+    (0..w_count)
+        .map(|w| ctx.join(format!("w{w}/b{b}/fwd-done"), &[combine]))
+        .collect()
 }
 
 /// Emit the backward expert phase of MoE block `b`. `prev[w]` carries the
 /// incoming gradient of worker `w` (the downstream block's backward).
 /// Returns per-worker tasks gating this block's shared backward.
-pub fn emit_bwd_block(
-    ctx: &mut Ctx,
-    b: usize,
-    prev: &[TaskId],
-    hierarchical: bool,
-) -> Vec<TaskId> {
+pub fn emit_bwd_block(ctx: &mut Ctx, b: usize, prev: &[TaskId], hierarchical: bool) -> Vec<TaskId> {
     let setup = ctx.setup;
     let w_count = setup.cluster.num_workers();
     let blocks = setup.model.blocks.len();
     // Output gradients travel to the expert owners (same matrix as the
     // forward dispatch).
-    let bc = a2a_phase(ctx, b, "bc", hierarchical, prev, &|s, d| pair_bytes(setup, b, s, d));
+    let bc = a2a_phase(ctx, b, "bc", hierarchical, prev, &|s, d| {
+        pair_bytes(setup, b, s, d)
+    });
     let asg = setup.assignment(b);
     let experts_total = asg.experts();
     let e_per = experts_total / w_count;
@@ -247,6 +251,8 @@ pub fn emit_bwd_block(
         ep_joins.push(ctx.join(format!("w{w}/b{b}/experts-bwd"), &deps));
     }
     // Input gradients travel back to the token owners.
-    let bd = a2a_phase(ctx, b, "bd", hierarchical, &ep_joins, &|s, d| pair_bytes(setup, b, d, s));
+    let bd = a2a_phase(ctx, b, "bd", hierarchical, &ep_joins, &|s, d| {
+        pair_bytes(setup, b, d, s)
+    });
     vec![bd; w_count]
 }

@@ -73,7 +73,9 @@ pub fn activation_bytes(model: &ModelConfig) -> f64 {
     let h = model.hidden_dim as f64;
     let heads = (model.hidden_dim / HEAD_DIM).max(1) as f64;
     let per_block = STORED_ACTIVATION_TENSORS * tokens * h * model.dtype_bytes as f64
-        + model.batch as f64 * heads * (model.seq_len * model.seq_len) as f64
+        + model.batch as f64
+            * heads
+            * (model.seq_len * model.seq_len) as f64
             * model.dtype_bytes as f64;
     per_block * model.blocks.len() as f64
 }
@@ -82,7 +84,11 @@ pub fn activation_bytes(model: &ModelConfig) -> f64 {
 /// block, the received token batch and its expert outputs (kept for
 /// backward), sized by the busiest worker's receive volume, plus one
 /// transient dispatch send buffer.
-pub fn expert_centric_extra(model: &ModelConfig, assignment: &AssignmentMatrix, block: usize) -> f64 {
+pub fn expert_centric_extra(
+    model: &ModelConfig,
+    assignment: &AssignmentMatrix,
+    block: usize,
+) -> f64 {
     let _ = block;
     let num_workers = assignment.workers() as f64;
     let total_slots: f64 = (0..assignment.experts())
@@ -122,7 +128,14 @@ pub fn estimate(
     credits: u32,
 ) -> MemoryEstimate {
     let paradigms = vec![paradigm; model.blocks.len()];
-    estimate_mixed(model, assignments, num_workers, capacity_bytes, &paradigms, credits)
+    estimate_mixed(
+        model,
+        assignments,
+        num_workers,
+        capacity_bytes,
+        &paradigms,
+        credits,
+    )
 }
 
 /// Per-GPU estimate with a per-block paradigm choice (the unified
@@ -186,13 +199,7 @@ mod tests {
             .iter()
             .map(|k| {
                 k.is_moe().then(|| {
-                    AssignmentMatrix::generate(
-                        32,
-                        k.experts(),
-                        model.tokens_per_worker(),
-                        imb,
-                        1,
-                    )
+                    AssignmentMatrix::generate(32, k.experts(), model.tokens_per_worker(), imb, 1)
                 })
             })
             .collect()
@@ -229,8 +236,10 @@ mod tests {
 
     #[test]
     fn gpt_and_xl_never_oom_in_fig16_sweep() {
-        for (preset, batch, k) in [(ModelPreset::MoeGpt, 32, 8), (ModelPreset::MoeTransformerXl, 64, 2)]
-        {
+        for (preset, batch, k) in [
+            (ModelPreset::MoeGpt, 32, 8),
+            (ModelPreset::MoeTransformerXl, 64, 2),
+        ] {
             for s in [256, 512] {
                 let mut model = preset.config(32);
                 model.batch = batch;

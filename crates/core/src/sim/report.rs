@@ -54,7 +54,11 @@ impl IterationReport {
         use janus_topology::{LinkDirection, LinkKind};
         let mut total = 0.0;
         for link in cluster.links() {
-            if let LinkKind::Nic { dir: LinkDirection::Egress, .. } = link.kind {
+            if let LinkKind::Nic {
+                dir: LinkDirection::Egress,
+                ..
+            } = link.kind
+            {
                 total += sim.link_bytes[link.id.index()];
             }
         }

@@ -43,7 +43,11 @@ impl SimSetup {
                 }
             })
             .collect();
-        SimSetup { cluster, model, assignments }
+        SimSetup {
+            cluster,
+            model,
+            assignments,
+        }
     }
 
     /// Seconds to execute `flops` on one GPU.

@@ -75,7 +75,7 @@ impl ModelConfig {
     pub fn experts_per_worker(&self, block: usize, num_workers: usize) -> usize {
         let e = self.blocks[block].experts();
         assert!(
-            e % num_workers == 0,
+            e.is_multiple_of(num_workers),
             "block {block}: {e} experts not divisible across {num_workers} workers"
         );
         e / num_workers
@@ -195,7 +195,11 @@ impl ModelPreset {
 
     /// All three evaluation presets in paper order.
     pub fn all() -> [ModelPreset; 3] {
-        [ModelPreset::MoeBert, ModelPreset::MoeGpt, ModelPreset::MoeTransformerXl]
+        [
+            ModelPreset::MoeBert,
+            ModelPreset::MoeGpt,
+            ModelPreset::MoeTransformerXl,
+        ]
     }
 }
 
@@ -205,8 +209,15 @@ impl ModelPreset {
 /// * 16-GPU variant: experts 16/16/64/64, `B = 32`, `S = 256`, `k = 2`.
 /// * 32-GPU variant: experts 32/32/128/128, `B = 64`.
 pub fn pr_moe_transformer_xl(num_gpus: usize) -> ModelConfig {
-    assert!(num_gpus == 16 || num_gpus == 32, "paper evaluates PR-MoE on 16 or 32 GPUs");
-    let (small, large, batch) = if num_gpus == 16 { (16, 64, 32) } else { (32, 128, 64) };
+    assert!(
+        num_gpus == 16 || num_gpus == 32,
+        "paper evaluates PR-MoE on 16 or 32 GPUs"
+    );
+    let (small, large, batch) = if num_gpus == 16 {
+        (16, 64, 32)
+    } else {
+        (32, 128, 64)
+    };
     let t = BlockKind::Transformer;
     let s = BlockKind::Moe { experts: small };
     let l = BlockKind::Moe { experts: large };
@@ -243,7 +254,10 @@ mod tests {
 
         let xl = ModelPreset::MoeTransformerXl.config(32);
         assert_eq!(xl.moe_blocks().len(), 12);
-        assert_eq!((xl.batch, xl.seq_len, xl.top_k, xl.hidden_dim), (64, 512, 2, 256));
+        assert_eq!(
+            (xl.batch, xl.seq_len, xl.top_k, xl.hidden_dim),
+            (64, 512, 2, 256)
+        );
     }
 
     #[test]
@@ -286,11 +300,23 @@ mod tests {
             let got = got as f64;
             (got - paper).abs() / paper < 0.20
         };
-        assert!(close(ModelPreset::MoeBert.config(32).total_params(), 0.73e9));
-        assert!(close(ModelPreset::MoeBert.config(16).total_params(), 0.42e9));
+        assert!(close(
+            ModelPreset::MoeBert.config(32).total_params(),
+            0.73e9
+        ));
+        assert!(close(
+            ModelPreset::MoeBert.config(16).total_params(),
+            0.42e9
+        ));
         assert!(close(ModelPreset::MoeGpt.config(32).total_params(), 0.31e9));
-        assert!(close(ModelPreset::MoeTransformerXl.config(32).total_params(), 0.21e9));
-        assert!(close(ModelPreset::MoeTransformerXl.config(16).total_params(), 0.11e9));
+        assert!(close(
+            ModelPreset::MoeTransformerXl.config(32).total_params(),
+            0.21e9
+        ));
+        assert!(close(
+            ModelPreset::MoeTransformerXl.config(16).total_params(),
+            0.11e9
+        ));
     }
 
     #[test]

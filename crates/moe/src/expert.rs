@@ -1,6 +1,6 @@
 //! The FFN expert — the unit of weight the data-centric paradigm moves.
 
-use janus_tensor::{gelu, gelu_backward, Matrix};
+use janus_tensor::{add_bias_gelu, gelu_backward_into, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +23,7 @@ pub struct ExpertFfn {
 /// gradient flowing back to the inputs. Field layout mirrors [`ExpertFfn`]
 /// so gradients can be applied or reduced with the same code paths that
 /// move weights.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExpertGrads {
     /// d/dW1.
     pub w1: Matrix,
@@ -44,6 +44,57 @@ pub struct ExpertCache {
     pre: Matrix,
     /// Post-GeLU hidden.
     hidden: Matrix,
+}
+
+/// Reusable buffers for one expert-slot's forward + backward pass.
+///
+/// Every intermediate of `y = W2·gelu(W1·x + b1) + b2` and its backward
+/// lives here — the input gather (`x`), the forward products
+/// (`pre`/`hidden`/`y`), the backward temporaries
+/// (`dy`/`dhidden`/`dpre`/`dx`), and the weight gradients (`grad`).
+/// [`ExpertFfn::forward_scratch`] / [`ExpertFfn::backward_scratch`]
+/// resize-in-place instead of allocating, so once shapes stabilize an
+/// expert pass touches the allocator zero times per iteration. The
+/// forward products double as the activation cache: the scratch *is* the
+/// tape entry for its expert slot, held between forward and backward.
+///
+/// Buffer reuse never changes numerics: every kernel writing into a
+/// scratch buffer overwrites all of it, so results are bitwise identical
+/// to fresh allocation (property-tested).
+#[derive(Debug, Clone, Default)]
+pub struct ExpertScratch {
+    /// Input tokens of the recorded pass (fill via
+    /// [`Matrix::gather_rows_into`] or [`ExpertScratch::set_input`]).
+    pub x: Matrix,
+    /// Pre-activation `x·W1 + b1`.
+    pub pre: Matrix,
+    /// Post-GeLU hidden `gelu(pre)`.
+    pub hidden: Matrix,
+    /// Expert output `hidden·W2 + b2`.
+    pub y: Matrix,
+    /// Output-gradient staging for the backward pass.
+    pub dy: Matrix,
+    /// Backward temporary `dy·W2ᵀ`.
+    pub dhidden: Matrix,
+    /// Backward temporary `gelu'(pre)·dhidden`.
+    pub dpre: Matrix,
+    /// Gradient with respect to the inputs, `dpre·W1ᵀ`.
+    pub dx: Matrix,
+    /// Weight gradients of the recorded pass.
+    pub grad: ExpertGrads,
+}
+
+impl ExpertScratch {
+    /// Fresh scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        ExpertScratch::default()
+    }
+
+    /// Copy `x` into the input buffer (reusing its allocation).
+    pub fn set_input(&mut self, x: &Matrix) {
+        self.x.resize(x.rows(), x.cols());
+        self.x.data_mut().copy_from_slice(x.data());
+    }
 }
 
 impl ExpertFfn {
@@ -73,27 +124,61 @@ impl ExpertFfn {
 
     /// Forward pass over a token batch (`tokens × H`), returning the
     /// output and the cache needed for backward.
+    ///
+    /// Allocating wrapper over [`ExpertFfn::forward_scratch`]; steady-state
+    /// callers (the execution engines) use the scratch path directly.
     pub fn forward(&self, x: &Matrix) -> (Matrix, ExpertCache) {
-        assert_eq!(x.cols(), self.hidden_dim(), "token dim mismatch");
-        let mut pre = x.matmul(&self.w1);
-        pre.add_bias(&self.b1);
-        let hidden = gelu(&pre);
-        let mut y = hidden.matmul(&self.w2);
-        y.add_bias(&self.b2);
-        (y, ExpertCache { x: x.clone(), pre, hidden })
+        let mut s = ExpertScratch::new();
+        s.set_input(x);
+        self.forward_scratch(&mut s);
+        let ExpertScratch {
+            x, pre, hidden, y, ..
+        } = s;
+        (y, ExpertCache { x, pre, hidden })
     }
 
     /// Backward pass: given `dy` (`tokens × H`), return weight gradients
     /// and the gradient with respect to the inputs.
+    ///
+    /// Allocating wrapper over [`ExpertFfn::backward_scratch`].
     pub fn backward(&self, cache: &ExpertCache, dy: &Matrix) -> (ExpertGrads, Matrix) {
-        let dw2 = cache.hidden.matmul_tn(dy);
-        let db2 = dy.col_sums();
-        let dhidden = dy.matmul_nt(&self.w2);
-        let dpre = gelu_backward(&cache.pre, &dhidden);
-        let dw1 = cache.x.matmul_tn(&dpre);
-        let db1 = dpre.col_sums();
-        let dx = dpre.matmul_nt(&self.w1);
-        (ExpertGrads { w1: dw1, b1: db1, w2: dw2, b2: db2 }, dx)
+        let mut s = ExpertScratch {
+            x: cache.x.clone(),
+            pre: cache.pre.clone(),
+            hidden: cache.hidden.clone(),
+            ..ExpertScratch::default()
+        };
+        self.backward_scratch(dy, &mut s);
+        let ExpertScratch { dx, grad, .. } = s;
+        (grad, dx)
+    }
+
+    /// Zero-alloc forward over the tokens in `s.x`: fills `s.pre`,
+    /// `s.hidden` (the activation tape) and `s.y` in place. Bitwise
+    /// identical to [`ExpertFfn::forward`].
+    pub fn forward_scratch(&self, s: &mut ExpertScratch) {
+        assert_eq!(s.x.cols(), self.hidden_dim(), "token dim mismatch");
+        s.x.matmul_into(&self.w1, &mut s.pre);
+        add_bias_gelu(&mut s.pre, &self.b1, &mut s.hidden);
+        s.hidden.matmul_into(&self.w2, &mut s.y);
+        s.y.add_bias(&self.b2);
+    }
+
+    /// Zero-alloc backward for the pass recorded in `s` (which must still
+    /// hold that pass's `x`/`pre`/`hidden`): writes the weight gradients
+    /// into `s.grad` and the input gradient into `s.dx`, using
+    /// `s.dhidden`/`s.dpre` as temporaries. Bitwise identical to
+    /// [`ExpertFfn::backward`].
+    pub fn backward_scratch(&self, dy: &Matrix, s: &mut ExpertScratch) {
+        s.hidden.matmul_tn_into(dy, &mut s.grad.w2);
+        s.grad.b2.resize(dy.cols(), 0.0);
+        dy.col_sums_into(&mut s.grad.b2);
+        dy.matmul_nt_into(&self.w2, &mut s.dhidden);
+        gelu_backward_into(&s.pre, &s.dhidden, &mut s.dpre);
+        s.x.matmul_tn_into(&s.dpre, &mut s.grad.w1);
+        s.grad.b1.resize(s.dpre.cols(), 0.0);
+        s.dpre.col_sums_into(&mut s.grad.b1);
+        s.dpre.matmul_nt_into(&self.w1, &mut s.dx);
     }
 
     /// SGD step.
@@ -131,7 +216,10 @@ impl ExpertGrads {
 
     /// Largest absolute difference across all components.
     pub fn max_abs_diff(&self, other: &ExpertGrads) -> f32 {
-        let mut d = self.w1.max_abs_diff(&other.w1).max(self.w2.max_abs_diff(&other.w2));
+        let mut d = self
+            .w1
+            .max_abs_diff(&other.w1)
+            .max(self.w2.max_abs_diff(&other.w2));
         for (a, b) in self.b1.iter().zip(&other.b1) {
             d = d.max((a - b).abs());
         }
@@ -249,6 +337,41 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bitwise_identical_to_fresh_allocation() {
+        let e = small_expert(12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut s = ExpertScratch::new();
+        // Reuse one scratch across passes of *different* token counts so
+        // stale sizes/contents would surface if any kernel under-wrote.
+        for tokens in [5usize, 3, 8, 1, 8] {
+            let x = Matrix::uniform(tokens, 4, 0.7, &mut rng);
+            let dy = Matrix::uniform(tokens, 4, 0.7, &mut rng);
+
+            let (y_fresh, cache) = e.forward(&x);
+            let (g_fresh, dx_fresh) = e.backward(&cache, &dy);
+
+            s.set_input(&x);
+            e.forward_scratch(&mut s);
+            assert_eq!(
+                s.y.max_abs_diff(&y_fresh),
+                0.0,
+                "forward differs at t={tokens}"
+            );
+            e.backward_scratch(&dy, &mut s);
+            assert_eq!(
+                s.dx.max_abs_diff(&dx_fresh),
+                0.0,
+                "dx differs at t={tokens}"
+            );
+            assert_eq!(
+                s.grad.max_abs_diff(&g_fresh),
+                0.0,
+                "grads differ at t={tokens}"
+            );
+        }
+    }
+
+    #[test]
     fn sgd_step_reduces_simple_loss() {
         let mut e = small_expert(10);
         let mut rng = StdRng::seed_from_u64(11);
@@ -268,6 +391,9 @@ mod tests {
             e.apply(&grads, 0.01);
         }
         let after = loss_of(&e);
-        assert!(after < before * 0.8, "loss did not decrease: {before} -> {after}");
+        assert!(
+            after < before * 0.8,
+            "loss did not decrease: {before} -> {after}"
+        );
     }
 }

@@ -81,12 +81,14 @@ mod tests {
         let cfg = ModelPreset::MoeBert.config(32);
         let dense = block_shared_fwd_flops(&cfg, 0); // Transformer
         let moe = block_shared_fwd_flops(&cfg, 2); // MoE
-        assert!(dense > moe, "dense block must cost more shared FLOPs than gate");
+        assert!(
+            dense > moe,
+            "dense block must cost more shared FLOPs than gate"
+        );
         let tokens = (cfg.batch * cfg.seq_len) as f64;
         let diff = dense - moe;
         let expected = tokens
-            * (ffn_flops_per_token(cfg.hidden_dim)
-                - gate_flops_per_token(cfg.hidden_dim, 32));
+            * (ffn_flops_per_token(cfg.hidden_dim) - gate_flops_per_token(cfg.hidden_dim, 32));
         assert!((diff - expected).abs() / expected < 1e-12);
     }
 

@@ -63,7 +63,10 @@ impl TopKGate {
     pub fn new<R: Rng>(hidden_dim: usize, num_experts: usize, top_k: usize, rng: &mut R) -> Self {
         assert!(top_k >= 1 && top_k <= num_experts, "top_k out of range");
         let scale = (1.0 / hidden_dim as f32).sqrt();
-        TopKGate { weight: Matrix::uniform(hidden_dim, num_experts, scale, rng), top_k }
+        TopKGate {
+            weight: Matrix::uniform(hidden_dim, num_experts, scale, rng),
+            top_k,
+        }
     }
 
     /// Route a batch and also compute the Switch-Transformer-style
@@ -83,8 +86,7 @@ impl TopKGate {
         let mut aux = 0.0f32;
         for e in 0..num_experts {
             let f_e = hist[e] as f32 / total_slots.max(1) as f32;
-            let p_e: f32 =
-                (0..probs.rows()).map(|t| probs[(t, e)]).sum::<f32>() / tokens as f32;
+            let p_e: f32 = (0..probs.rows()).map(|t| probs[(t, e)]).sum::<f32>() / tokens as f32;
             aux += f_e * p_e;
         }
         (routing, aux * num_experts as f32)
@@ -97,7 +99,11 @@ impl TopKGate {
     }
 
     fn route_from_probs(&self, probs: &Matrix) -> Routing {
-        assert_eq!(probs.cols(), self.weight.cols(), "probability width mismatch");
+        assert_eq!(
+            probs.cols(),
+            self.weight.cols(),
+            "probability width mismatch"
+        );
         let num_experts = self.weight.cols();
         let mut experts = Vec::with_capacity(probs.rows());
         let mut weights = Vec::with_capacity(probs.rows());
@@ -113,7 +119,11 @@ impl TopKGate {
             experts.push(idx);
             weights.push(w);
         }
-        Routing { num_experts, experts, weights }
+        Routing {
+            num_experts,
+            experts,
+            weights,
+        }
     }
 }
 
@@ -194,11 +204,17 @@ mod tests {
         // experts, but the *probabilities* are uniform, so the Switch
         // loss reduces to E·Σ f_e/E = 1 whenever P is uniform... only if
         // f is a distribution: Σ f_e = 1 always, so aux = Σ f_e = 1.
-        let g = TopKGate { weight: Matrix::zeros(8, 4), top_k: 1 };
+        let g = TopKGate {
+            weight: Matrix::zeros(8, 4),
+            top_k: 1,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let x = Matrix::uniform(64, 8, 1.0, &mut rng);
         let (_, aux_uniform) = g.route_with_aux(&x);
-        assert!((aux_uniform - 1.0).abs() < 1e-5, "uniform router: {aux_uniform}");
+        assert!(
+            (aux_uniform - 1.0).abs() < 1e-5,
+            "uniform router: {aux_uniform}"
+        );
 
         // A heavily biased gate (one expert dominates) drives the loss
         // toward E.
@@ -207,11 +223,17 @@ mod tests {
             w[(r, 2)] = 50.0; // always prefer expert 2 for positive inputs
             w[(r, 0)] = -50.0;
         }
-        let biased = TopKGate { weight: w, top_k: 1 };
+        let biased = TopKGate {
+            weight: w,
+            top_k: 1,
+        };
         let ones = Matrix::from_vec(16, 8, vec![1.0; 16 * 8]);
         let (routing, aux_skewed) = biased.route_with_aux(&ones);
         assert_eq!(routing.histogram()[2], 16, "all tokens routed to expert 2");
-        assert!(aux_skewed > 3.5, "skewed router must approach E = 4: {aux_skewed}");
+        assert!(
+            aux_skewed > 3.5,
+            "skewed router must approach E = 4: {aux_skewed}"
+        );
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod traffic;
 pub mod workload;
 
 pub use config::{ModelConfig, ModelPreset};
-pub use expert::ExpertFfn;
+pub use expert::{ExpertFfn, ExpertScratch};
 pub use gate::TopKGate;
 pub use workload::{AssignmentMatrix, Imbalance};

@@ -30,7 +30,14 @@ pub fn r_metric(b: usize, s: usize, k: usize, n: usize, h: usize, e: usize) -> f
 /// `R` for a specific block of a model on a given cluster shape.
 pub fn r_for_block(model: &ModelConfig, block: usize, n_machines: usize, m_gpus: usize) -> f64 {
     let e = model.experts_per_worker(block, n_machines * m_gpus);
-    r_metric(model.batch, model.seq_len, model.top_k, n_machines, model.hidden_dim, e)
+    r_metric(
+        model.batch,
+        model.seq_len,
+        model.top_k,
+        n_machines,
+        model.hidden_dim,
+        e,
+    )
 }
 
 /// Per-machine cross-node traffic for a whole iteration (forward +
@@ -175,7 +182,11 @@ mod tests {
             let r = r_for_block(&model, block, 4, 8);
             let ec = iteration_traffic_ec(&model, 4, 8);
             let dc = iteration_traffic_dc(&model, 4, 8);
-            assert_eq!(r > 1.0, dc < ec, "{preset:?}: R = {r}, dc = {dc}, ec = {ec}");
+            assert_eq!(
+                r > 1.0,
+                dc < ec,
+                "{preset:?}: R = {r}, dc = {dc}, ec = {ec}"
+            );
         }
     }
 

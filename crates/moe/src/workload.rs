@@ -52,8 +52,9 @@ impl AssignmentMatrix {
             Imbalance::Zipf(s) => {
                 // Shared expert popularity across workers: hot experts are
                 // hot everywhere, which is what gates produce in practice.
-                let weights: Vec<f64> =
-                    (1..=experts).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+                let weights: Vec<f64> = (1..=experts)
+                    .map(|rank| 1.0 / (rank as f64).powf(s))
+                    .collect();
                 // Randomly permute which expert gets which popularity rank.
                 let mut perm: Vec<usize> = (0..experts).collect();
                 for i in (1..experts).rev() {

@@ -150,8 +150,7 @@ mod tests {
         // Three links in a line (cap 1 each); flows: A over all three,
         // B over link 0, C over link 1, D over link 2.
         // A is bottlenecked at 1/2 on every link; B, C, D get 1/2 too.
-        let flows =
-            vec![links(&[0, 1, 2]), links(&[0]), links(&[1]), links(&[2])];
+        let flows = vec![links(&[0, 1, 2]), links(&[0]), links(&[1]), links(&[2])];
         let rates = max_min_rates(&flows, &[1.0, 1.0, 1.0]);
         for r in rates {
             assert!((r - 0.5).abs() < 1e-12);

@@ -90,12 +90,22 @@ impl Work {
     /// Convenience constructor for a laneless transfer. Accepts anything
     /// convertible into link ids so tests can write `vec![0.into()]`.
     pub fn transfer(route: Vec<LinkIdExt>, bytes: f64) -> Work {
-        Work::Transfer { route: route.into_iter().map(|l| l.0).collect(), bytes, lane: None, latency: 0.0 }
+        Work::Transfer {
+            route: route.into_iter().map(|l| l.0).collect(),
+            bytes,
+            lane: None,
+            latency: 0.0,
+        }
     }
 
     /// Convenience constructor for a transfer serialized on `lane`.
     pub fn transfer_on(route: Vec<LinkId>, bytes: f64, lane: LaneId) -> Work {
-        Work::Transfer { route, bytes, lane: Some(lane), latency: 0.0 }
+        Work::Transfer {
+            route,
+            bytes,
+            lane: Some(lane),
+            latency: 0.0,
+        }
     }
 
     /// Short tag used in trace records.
@@ -139,7 +149,12 @@ pub struct TaskSpec {
 impl TaskSpec {
     /// A spec with default priority, empty label, no memory deltas.
     pub fn new(work: Work) -> Self {
-        TaskSpec { work, priority: 0, label: String::new(), mem: Vec::new() }
+        TaskSpec {
+            work,
+            priority: 0,
+            label: String::new(),
+            mem: Vec::new(),
+        }
     }
 
     /// Set the priority (builder style).
@@ -156,7 +171,11 @@ impl TaskSpec {
 
     /// Add a memory delta (builder style).
     pub fn mem(mut self, domain: usize, bytes: f64, at_start: bool) -> Self {
-        self.mem.push(MemDelta { domain, bytes, at_start });
+        self.mem.push(MemDelta {
+            domain,
+            bytes,
+            at_start,
+        });
         self
     }
 }
@@ -236,7 +255,13 @@ impl GraphBuilder {
     /// Start a graph whose routes may reference `num_links` links and
     /// whose memory deltas may touch `num_domains` domains.
     pub fn new(num_links: usize, num_domains: usize) -> Self {
-        GraphBuilder { tasks: Vec::new(), num_links, num_domains, lanes: 0, pools: Vec::new() }
+        GraphBuilder {
+            tasks: Vec::new(),
+            num_links,
+            num_domains,
+            lanes: 0,
+            pools: Vec::new(),
+        }
     }
 
     /// Allocate a serial lane.
@@ -262,7 +287,11 @@ impl GraphBuilder {
     pub fn add(&mut self, spec: TaskSpec, deps: &[TaskId]) -> TaskId {
         self.validate(&spec, deps);
         let id = TaskId(self.tasks.len());
-        self.tasks.push(Task { spec, deps: deps.to_vec(), dependents: Vec::new() });
+        self.tasks.push(Task {
+            spec,
+            deps: deps.to_vec(),
+            dependents: Vec::new(),
+        });
         id
     }
 
@@ -277,14 +306,28 @@ impl GraphBuilder {
         match &spec.work {
             Work::Compute { lane, duration } => {
                 assert!(lane.0 < self.lanes, "lane {:?} not allocated", lane);
-                assert!(duration.is_finite() && *duration >= 0.0, "bad duration {duration}");
+                assert!(
+                    duration.is_finite() && *duration >= 0.0,
+                    "bad duration {duration}"
+                );
             }
-            Work::Transfer { route, bytes, lane, latency } => {
+            Work::Transfer {
+                route,
+                bytes,
+                lane,
+                latency,
+            } => {
                 for l in route {
-                    assert!(l.index() < self.num_links, "route references unknown link {l}");
+                    assert!(
+                        l.index() < self.num_links,
+                        "route references unknown link {l}"
+                    );
                 }
                 assert!(bytes.is_finite(), "bad byte count {bytes}");
-                assert!(latency.is_finite() && *latency >= 0.0, "bad latency {latency}");
+                assert!(
+                    latency.is_finite() && *latency >= 0.0,
+                    "bad latency {latency}"
+                );
                 if let Some(lane) = lane {
                     assert!(lane.0 < self.lanes, "lane {:?} not allocated", lane);
                 }
@@ -296,7 +339,11 @@ impl GraphBuilder {
             Work::NoOp => {}
         }
         for m in &spec.mem {
-            assert!(m.domain < self.num_domains, "memory domain {} out of range", m.domain);
+            assert!(
+                m.domain < self.num_domains,
+                "memory domain {} out of range",
+                m.domain
+            );
         }
     }
 
@@ -349,7 +396,13 @@ mod tests {
     #[should_panic(expected = "not allocated")]
     fn unknown_lane_rejected() {
         let mut g = GraphBuilder::new(0, 0);
-        g.task(Work::Compute { lane: LaneId(0), duration: 1.0 }, &[]);
+        g.task(
+            Work::Compute {
+                lane: LaneId(0),
+                duration: 1.0,
+            },
+            &[],
+        );
     }
 
     #[test]
@@ -368,7 +421,10 @@ mod tests {
 
     #[test]
     fn spec_builders_compose() {
-        let spec = TaskSpec::new(Work::NoOp).priority(-3).label("gate").mem(0, 16.0, true);
+        let spec = TaskSpec::new(Work::NoOp)
+            .priority(-3)
+            .label("gate")
+            .mem(0, 16.0, true);
         assert_eq!(spec.priority, -3);
         assert_eq!(spec.label, "gate");
         assert_eq!(spec.mem.len(), 1);
@@ -383,7 +439,13 @@ mod tests {
         assert_ne!(l0, l1);
         let p = g.pool(4);
         g.task(Work::AcquireCredits { pool: p, amount: 2 }, &[]);
-        g.task(Work::Compute { lane: l1, duration: 0.5 }, &[]);
+        g.task(
+            Work::Compute {
+                lane: l1,
+                duration: 0.5,
+            },
+            &[],
+        );
         let graph = g.build();
         assert_eq!(graph.pools, vec![4]);
         assert_eq!(graph.lanes, 2);

@@ -110,7 +110,10 @@ impl<'g> Engine<'g> {
             pools: graph
                 .pools
                 .iter()
-                .map(|&cap| PoolState { available: cap, waiters: BTreeSet::new() })
+                .map(|&cap| PoolState {
+                    available: cap,
+                    waiters: BTreeSet::new(),
+                })
                 .collect(),
             flows: Vec::new(),
             rates_dirty: false,
@@ -249,7 +252,12 @@ impl<'g> Engine<'g> {
 
     fn start_transfer(&mut self, task: usize, lane: Option<LaneId>) {
         let (route, bytes, latency) = match &self.graph.tasks[task].spec.work {
-            Work::Transfer { route, bytes, latency, .. } => (route, *bytes, *latency),
+            Work::Transfer {
+                route,
+                bytes,
+                latency,
+                ..
+            } => (route, *bytes, *latency),
             _ => unreachable!(),
         };
         self.mark_started(task);
@@ -397,8 +405,7 @@ impl<'g> Engine<'g> {
         // Complete lane computes ending now.
         for l in 0..self.lanes.len() {
             if let Some(task) = self.lanes[l].busy {
-                let is_compute =
-                    matches!(self.graph.tasks[task].spec.work, Work::Compute { .. });
+                let is_compute = matches!(self.graph.tasks[task].spec.work, Work::Compute { .. });
                 if is_compute && self.lanes[l].end <= self.now + TIME_EPS {
                     self.lanes[l].busy = None;
                     self.finish_task(task);
@@ -425,19 +432,17 @@ impl<'g> Engine<'g> {
                 break;
             }
             spins += 1;
-            if spins % 1_000_000 == 0 && std::env::var_os("JANUS_SIM_DEBUG").is_some() {
+            if spins.is_multiple_of(1_000_000) && std::env::var_os("JANUS_SIM_DEBUG").is_some() {
                 eprintln!(
                     "sim spin {spins}: now={} next={:?} remaining={} flows={:?} lanes={:?}",
                     self.now,
                     self.next_event(),
                     self.remaining_tasks,
-                    self
-                        .flows
+                    self.flows
                         .iter()
                         .map(|f| (f.task, f.remaining, f.rate, f.latency_left, f.links.len()))
                         .collect::<Vec<_>>(),
-                    self
-                        .lanes
+                    self.lanes
                         .iter()
                         .filter(|l| l.busy.is_some())
                         .map(|l| (l.busy, l.end))
@@ -523,8 +528,20 @@ mod tests {
     fn sequential_computes_on_one_lane() {
         let mut g = GraphBuilder::new(0, 0);
         let lane = g.lane();
-        g.task(Work::Compute { lane, duration: 2.0 }, &[]);
-        g.task(Work::Compute { lane, duration: 3.0 }, &[]);
+        g.task(
+            Work::Compute {
+                lane,
+                duration: 2.0,
+            },
+            &[],
+        );
+        g.task(
+            Work::Compute {
+                lane,
+                duration: 3.0,
+            },
+            &[],
+        );
         let r = simulate(&g.build(), &[]).unwrap();
         assert!((r.makespan - 5.0).abs() < 1e-9);
         assert!((r.records[1].start - 2.0).abs() < 1e-9);
@@ -535,8 +552,20 @@ mod tests {
         let mut g = GraphBuilder::new(0, 0);
         let l0 = g.lane();
         let l1 = g.lane();
-        g.task(Work::Compute { lane: l0, duration: 2.0 }, &[]);
-        g.task(Work::Compute { lane: l1, duration: 3.0 }, &[]);
+        g.task(
+            Work::Compute {
+                lane: l0,
+                duration: 2.0,
+            },
+            &[],
+        );
+        g.task(
+            Work::Compute {
+                lane: l1,
+                duration: 3.0,
+            },
+            &[],
+        );
         let r = simulate(&g.build(), &[]).unwrap();
         assert!((r.makespan - 3.0).abs() < 1e-9);
     }
@@ -546,13 +575,29 @@ mod tests {
         let mut g = GraphBuilder::new(0, 0);
         let lane = g.lane();
         // Occupy the lane first so both contenders queue.
-        let head = g.task(Work::Compute { lane, duration: 1.0 }, &[]);
+        let head = g.task(
+            Work::Compute {
+                lane,
+                duration: 1.0,
+            },
+            &[],
+        );
         let low = g.add(
-            TaskSpec::new(Work::Compute { lane, duration: 1.0 }).priority(10).label("low"),
+            TaskSpec::new(Work::Compute {
+                lane,
+                duration: 1.0,
+            })
+            .priority(10)
+            .label("low"),
             &[],
         );
         let high = g.add(
-            TaskSpec::new(Work::Compute { lane, duration: 1.0 }).priority(-10).label("high"),
+            TaskSpec::new(Work::Compute {
+                lane,
+                duration: 1.0,
+            })
+            .priority(-10)
+            .label("high"),
             &[],
         );
         let _ = head;
@@ -563,9 +608,23 @@ mod tests {
     #[test]
     fn dependencies_gate_start_times() {
         let mut g = GraphBuilder::new(1, 0);
-        let t0 = g.task(Work::Transfer { route: route(&[0]), bytes: 10.0, lane: None, latency: 0.0 }, &[]);
+        let t0 = g.task(
+            Work::Transfer {
+                route: route(&[0]),
+                bytes: 10.0,
+                lane: None,
+                latency: 0.0,
+            },
+            &[],
+        );
         let lane = g.lane();
-        g.task(Work::Compute { lane, duration: 1.0 }, &[t0]);
+        g.task(
+            Work::Compute {
+                lane,
+                duration: 1.0,
+            },
+            &[t0],
+        );
         let r = simulate(&g.build(), &[5.0]).unwrap();
         assert!((r.records[1].start - 2.0).abs() < 1e-9);
         assert!((r.makespan - 3.0).abs() < 1e-9);
@@ -577,8 +636,24 @@ mod tests {
         // Phase 1: both at 5 B/s. Small flow done at t=2 (10 bytes).
         // Phase 2: big flow has 20 left at 10 B/s → done at t=4.
         let mut g = GraphBuilder::new(1, 0);
-        let big = g.task(Work::Transfer { route: route(&[0]), bytes: 30.0, lane: None, latency: 0.0 }, &[]);
-        let small = g.task(Work::Transfer { route: route(&[0]), bytes: 10.0, lane: None, latency: 0.0 }, &[]);
+        let big = g.task(
+            Work::Transfer {
+                route: route(&[0]),
+                bytes: 30.0,
+                lane: None,
+                latency: 0.0,
+            },
+            &[],
+        );
+        let small = g.task(
+            Work::Transfer {
+                route: route(&[0]),
+                bytes: 10.0,
+                lane: None,
+                latency: 0.0,
+            },
+            &[],
+        );
         let r = simulate(&g.build(), &[10.0]).unwrap();
         assert!((r.records[small.0].finish - 2.0).abs() < 1e-9);
         assert!((r.records[big.0].finish - 4.0).abs() < 1e-9);
@@ -612,7 +687,15 @@ mod tests {
     #[test]
     fn empty_route_transfer_is_instant() {
         let mut g = GraphBuilder::new(0, 0);
-        g.task(Work::Transfer { route: vec![], bytes: 100.0, lane: None, latency: 0.0 }, &[]);
+        g.task(
+            Work::Transfer {
+                route: vec![],
+                bytes: 100.0,
+                lane: None,
+                latency: 0.0,
+            },
+            &[],
+        );
         let r = simulate(&g.build(), &[]).unwrap();
         assert_eq!(r.makespan, 0.0);
     }
@@ -624,7 +707,13 @@ mod tests {
         let pool = g.pool(1);
         // First holder takes the credit for 2 s of compute.
         let a0 = g.task(Work::AcquireCredits { pool, amount: 1 }, &[]);
-        let c0 = g.task(Work::Compute { lane, duration: 2.0 }, &[a0]);
+        let c0 = g.task(
+            Work::Compute {
+                lane,
+                duration: 2.0,
+            },
+            &[a0],
+        );
         g.task(Work::ReleaseCredits { pool, amount: 1 }, &[c0]);
         // Second acquire must wait for the release at t=2.
         let a1 = g.task(Work::AcquireCredits { pool, amount: 1 }, &[]);
@@ -651,7 +740,15 @@ mod tests {
     #[test]
     fn zero_capacity_link_reported() {
         let mut g = GraphBuilder::new(1, 0);
-        g.task(Work::Transfer { route: route(&[0]), bytes: 5.0, lane: None, latency: 0.0 }, &[]);
+        g.task(
+            Work::Transfer {
+                route: route(&[0]),
+                bytes: 5.0,
+                lane: None,
+                latency: 0.0,
+            },
+            &[],
+        );
         let err = simulate(&g.build(), &[0.0]).unwrap_err();
         assert_eq!(err, SimError::ZeroRateFlow(TaskId(0)));
     }
@@ -661,9 +758,14 @@ mod tests {
         let mut g = GraphBuilder::new(1, 1);
         // Transfer holds 100 bytes for its duration; released at finish.
         g.add(
-            TaskSpec::new(Work::Transfer { route: route(&[0]), bytes: 10.0, lane: None, latency: 0.0 })
-                .mem(0, 100.0, true)
-                .mem(0, -100.0, false),
+            TaskSpec::new(Work::Transfer {
+                route: route(&[0]),
+                bytes: 10.0,
+                lane: None,
+                latency: 0.0,
+            })
+            .mem(0, 100.0, true)
+            .mem(0, -100.0, false),
             &[],
         );
         let r = simulate(&g.build(), &[10.0]).unwrap();
@@ -676,9 +778,21 @@ mod tests {
         let mut g = GraphBuilder::new(0, 0);
         let lane = g.lane();
         let src = g.task(Work::NoOp, &[]);
-        let a = g.task(Work::Compute { lane, duration: 1.0 }, &[src]);
+        let a = g.task(
+            Work::Compute {
+                lane,
+                duration: 1.0,
+            },
+            &[src],
+        );
         let lane2 = g.lane();
-        let b = g.task(Work::Compute { lane: lane2, duration: 4.0 }, &[src]);
+        let b = g.task(
+            Work::Compute {
+                lane: lane2,
+                duration: 4.0,
+            },
+            &[src],
+        );
         let join = g.task(Work::NoOp, &[a, b]);
         let r = simulate(&g.build(), &[]).unwrap();
         assert!((r.records[join.0].finish - 4.0).abs() < 1e-9);
@@ -691,7 +805,15 @@ mod tests {
         // all identical → all finish at t = 3.
         let mut g = GraphBuilder::new(1, 0);
         for _ in 0..3 {
-            g.task(Work::Transfer { route: route(&[0]), bytes: 9.0, lane: None, latency: 0.0 }, &[]);
+            g.task(
+                Work::Transfer {
+                    route: route(&[0]),
+                    bytes: 9.0,
+                    lane: None,
+                    latency: 0.0,
+                },
+                &[],
+            );
         }
         let r = simulate(&g.build(), &[9.0]).unwrap();
         assert!((r.makespan - 3.0).abs() < 1e-9);
@@ -699,8 +821,24 @@ mod tests {
         // Unequal flows: 9 and 18 bytes on 9 B/s. Phase 1: both 4.5 B/s,
         // flow0 done at t=2. Flow1 has 9 left at 9 B/s → t=3.
         let mut g = GraphBuilder::new(1, 0);
-        g.task(Work::Transfer { route: route(&[0]), bytes: 9.0, lane: None, latency: 0.0 }, &[]);
-        g.task(Work::Transfer { route: route(&[0]), bytes: 18.0, lane: None, latency: 0.0 }, &[]);
+        g.task(
+            Work::Transfer {
+                route: route(&[0]),
+                bytes: 9.0,
+                lane: None,
+                latency: 0.0,
+            },
+            &[],
+        );
+        g.task(
+            Work::Transfer {
+                route: route(&[0]),
+                bytes: 18.0,
+                lane: None,
+                latency: 0.0,
+            },
+            &[],
+        );
         let r = simulate(&g.build(), &[9.0]).unwrap();
         assert!((r.records[0].finish - 2.0).abs() < 1e-9);
         assert!((r.records[1].finish - 3.0).abs() < 1e-9);
@@ -714,9 +852,20 @@ mod tests {
         let mut g = GraphBuilder::new(1, 0);
         let lane = g.lane();
         // Push the clock far from zero so f64 ulp(now) dwarfs the drain dt.
-        let warm = g.task(Work::Compute { lane, duration: 1e6 }, &[]);
+        let warm = g.task(
+            Work::Compute {
+                lane,
+                duration: 1e6,
+            },
+            &[],
+        );
         g.task(
-            Work::Transfer { route: route(&[0]), bytes: 2e-6, lane: None, latency: 0.0 },
+            Work::Transfer {
+                route: route(&[0]),
+                bytes: 2e-6,
+                lane: None,
+                latency: 0.0,
+            },
             &[warm],
         );
         let r = simulate(&g.build(), &[1e12]).unwrap();
@@ -730,15 +879,29 @@ mod tests {
         // 10 bytes at 10 B/s after a 0.5 s issue delay -> finish at 1.5 s,
         // and a second lane transfer must wait for the whole window.
         g.task(
-            Work::Transfer { route: route(&[0]), bytes: 10.0, lane: Some(lane), latency: 0.5 },
+            Work::Transfer {
+                route: route(&[0]),
+                bytes: 10.0,
+                lane: Some(lane),
+                latency: 0.5,
+            },
             &[],
         );
         g.task(
-            Work::Transfer { route: route(&[0]), bytes: 10.0, lane: Some(lane), latency: 0.5 },
+            Work::Transfer {
+                route: route(&[0]),
+                bytes: 10.0,
+                lane: Some(lane),
+                latency: 0.5,
+            },
             &[],
         );
         let r = simulate(&g.build(), &[10.0]).unwrap();
-        assert!((r.records[0].finish - 1.5).abs() < 1e-9, "{:?}", r.records[0]);
+        assert!(
+            (r.records[0].finish - 1.5).abs() < 1e-9,
+            "{:?}",
+            r.records[0]
+        );
         assert!((r.records[1].start - 1.5).abs() < 1e-9);
         assert!((r.makespan - 3.0).abs() < 1e-9);
     }
@@ -746,7 +909,15 @@ mod tests {
     #[test]
     fn latency_only_transfer_with_empty_route_takes_latency() {
         let mut g = GraphBuilder::new(0, 0);
-        g.task(Work::Transfer { route: vec![], bytes: 100.0, lane: None, latency: 0.25 }, &[]);
+        g.task(
+            Work::Transfer {
+                route: vec![],
+                bytes: 100.0,
+                lane: None,
+                latency: 0.25,
+            },
+            &[],
+        );
         let r = simulate(&g.build(), &[]).unwrap();
         assert!((r.makespan - 0.25).abs() < 1e-9);
     }
@@ -761,10 +932,21 @@ mod tests {
             for i in 0..10 {
                 let a = g.task(Work::AcquireCredits { pool, amount: 1 }, &[]);
                 let t = g.task(
-                    Work::Transfer { route: route(&[i % 2]), bytes: 7.0, lane: None, latency: 0.0 },
+                    Work::Transfer {
+                        route: route(&[i % 2]),
+                        bytes: 7.0,
+                        lane: None,
+                        latency: 0.0,
+                    },
                     &[a],
                 );
-                let c = g.task(Work::Compute { lane, duration: 0.3 }, &[t]);
+                let c = g.task(
+                    Work::Compute {
+                        lane,
+                        duration: 0.3,
+                    },
+                    &[t],
+                );
                 last = Some(g.task(Work::ReleaseCredits { pool, amount: 1 }, &[c]));
             }
             let _ = last;

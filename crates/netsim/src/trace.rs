@@ -54,8 +54,11 @@ pub struct SimResult {
 impl SimResult {
     /// Records whose label starts with `prefix`, in finish-time order.
     pub fn records_with_prefix(&self, prefix: &str) -> Vec<&TaskRecord> {
-        let mut v: Vec<&TaskRecord> =
-            self.records.iter().filter(|r| r.label.starts_with(prefix)).collect();
+        let mut v: Vec<&TaskRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.label.starts_with(prefix))
+            .collect();
         v.sort_by(|a, b| a.finish.total_cmp(&b.finish));
         v
     }
@@ -124,7 +127,14 @@ mod tests {
     use super::*;
 
     fn record(label: &str, ready: f64, start: f64, finish: f64) -> TaskRecord {
-        TaskRecord { id: TaskId(0), label: label.into(), kind: "compute", ready, start, finish }
+        TaskRecord {
+            id: TaskId(0),
+            label: label.into(),
+            kind: "compute",
+            ready,
+            start,
+            finish,
+        }
     }
 
     #[test]

@@ -7,16 +7,14 @@ use proptest::prelude::*;
 
 /// Random flow routes over `n_links` links.
 fn flows_strategy(n_links: usize) -> impl Strategy<Value = Vec<Vec<LinkId>>> {
-    prop::collection::vec(
-        prop::collection::vec(0..n_links, 1..=n_links.min(4)),
-        1..12,
+    prop::collection::vec(prop::collection::vec(0..n_links, 1..=n_links.min(4)), 1..12).prop_map(
+        |flows| {
+            flows
+                .into_iter()
+                .map(|f| f.into_iter().map(LinkId).collect())
+                .collect()
+        },
     )
-    .prop_map(|flows| {
-        flows
-            .into_iter()
-            .map(|f| f.into_iter().map(LinkId).collect())
-            .collect()
-    })
 }
 
 proptest! {
@@ -90,7 +88,7 @@ proptest! {
         caps in prop::collection::vec(1.0f64..50.0, 4),
     ) {
         let mut g = GraphBuilder::new(4, 0);
-        let mut offered = vec![0.0f64; 4];
+        let mut offered = [0.0f64; 4];
         for (route, bytes) in &transfers {
             let mut links: Vec<usize> = route.clone();
             links.sort_unstable();

@@ -12,18 +12,49 @@ fn gelu_scalar(x: f32) -> f32 {
     0.5 * x * (1.0 + erf(x as f64 / std::f64::consts::SQRT_2) as f32)
 }
 
+/// Fused bias + GeLU: adds `bias` to every row of `pre` in place (the
+/// pre-activation the backward pass needs) and writes `gelu(pre + bias)`
+/// into `act` (resized as needed) in the same pass — one sweep over the
+/// hidden buffer instead of the three that `add_bias` + `gelu` +
+/// allocation cost, and bitwise identical to the unfused sequence.
+pub fn add_bias_gelu(pre: &mut Matrix, bias: &[f32], act: &mut Matrix) {
+    assert_eq!(bias.len(), pre.cols(), "bias length mismatch");
+    act.resize(pre.rows(), pre.cols());
+    let cols = pre.cols();
+    for (prow, arow) in pre
+        .data_mut()
+        .chunks_mut(cols)
+        .zip(act.data_mut().chunks_mut(cols))
+    {
+        for ((p, a), b) in prow.iter_mut().zip(arow.iter_mut()).zip(bias) {
+            *p += b;
+            *a = gelu_scalar(*p);
+        }
+    }
+}
+
 /// d/dx GeLU(x) = Φ(x) + x·φ(x), applied to `x` and multiplied by the
 /// incoming gradient `dy`.
 pub fn gelu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    gelu_backward_into(x, dy, &mut out);
+    out
+}
+
+/// [`gelu_backward`] into a caller buffer (resized as needed).
+pub fn gelu_backward_into(x: &Matrix, dy: &Matrix, out: &mut Matrix) {
     assert_eq!(x.shape(), dy.shape(), "gelu_backward shape mismatch");
-    let mut out = Matrix::zeros(x.rows(), x.cols());
-    for (o, (xv, dv)) in out.data_mut().iter_mut().zip(x.data().iter().zip(dy.data())) {
+    out.resize(x.rows(), x.cols());
+    for (o, (xv, dv)) in out
+        .data_mut()
+        .iter_mut()
+        .zip(x.data().iter().zip(dy.data()))
+    {
         let xf = *xv as f64;
         let cdf = 0.5 * (1.0 + erf(xf / std::f64::consts::SQRT_2));
         let pdf = (-0.5 * xf * xf).exp() / (2.0 * std::f64::consts::PI).sqrt();
         *o = *dv * (cdf + xf * pdf) as f32;
     }
-    out
 }
 
 /// ReLU.
@@ -107,7 +138,31 @@ mod tests {
         let dy = Matrix::from_vec(1, xs.len(), vec![1.0; xs.len()]);
         let analytic = gelu_backward(&x, &dy);
         let numeric = numeric_grad(&x, |m| gelu(m).data().iter().sum::<f32>());
-        assert!(analytic.max_abs_diff(&numeric) < 1e-2, "{analytic:?} vs {numeric:?}");
+        assert!(
+            analytic.max_abs_diff(&numeric) < 1e-2,
+            "{analytic:?} vs {numeric:?}"
+        );
+    }
+
+    #[test]
+    fn fused_bias_gelu_matches_unfused_bitwise() {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::StdRng::seed_from_u64(31)
+        };
+        let pre0 = Matrix::uniform(5, 7, 2.0, &mut rng);
+        let bias: Vec<f32> = (0..7).map(|i| 0.1 * i as f32 - 0.3).collect();
+
+        let mut unfused_pre = pre0.clone();
+        unfused_pre.add_bias(&bias);
+        let unfused_act = gelu(&unfused_pre);
+
+        let mut fused_pre = pre0.clone();
+        let mut fused_act = Matrix::zeros(0, 0);
+        add_bias_gelu(&mut fused_pre, &bias, &mut fused_act);
+
+        assert_eq!(fused_pre.max_abs_diff(&unfused_pre), 0.0);
+        assert_eq!(fused_act.max_abs_diff(&unfused_act), 0.0);
     }
 
     #[test]

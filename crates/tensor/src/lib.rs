@@ -1,10 +1,13 @@
-//! Minimal dense tensor library backing the numerical MoE engines.
+//! Dense tensor library backing the numerical MoE engines.
 //!
-//! The paper's claims rest on *where* data moves, not on kernel speed, so
-//! this crate deliberately implements only what the numerical-equivalence
-//! engines need: a row-major [`Matrix`] of `f32`, the matmul variants
-//! required for forward and backward passes, activations with exact
-//! derivatives, and row-wise softmax for the gate.
+//! The crate implements exactly what the numerical-equivalence engines
+//! need — a row-major [`Matrix`] of `f32`, the matmul variants required
+//! for forward and backward passes, activations with exact derivatives,
+//! and row-wise softmax for the gate — on a register-blocked, optionally
+//! multi-threaded compute substrate ([`linalg`], [`pool`]). The blocked
+//! and parallel kernels keep the per-element reduction order of the
+//! scalar reference, so every speed tier produces **bitwise identical**
+//! results (see [`linalg::matmul_reference`]).
 //!
 //! Everything is deterministic given a seed; all shapes are checked with
 //! panics (shape errors are programming errors, not runtime conditions).
@@ -21,6 +24,10 @@ pub mod activation;
 pub mod check;
 pub mod linalg;
 pub mod matrix;
+pub mod pool;
 
-pub use activation::{gelu, gelu_backward, relu, relu_backward, softmax_rows};
+pub use activation::{
+    add_bias_gelu, gelu, gelu_backward, gelu_backward_into, relu, relu_backward, softmax_rows,
+};
+pub use linalg::matmul_reference;
 pub use matrix::Matrix;

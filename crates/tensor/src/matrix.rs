@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -30,7 +34,11 @@ impl Matrix {
 
     /// Build from a flat row-major buffer.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length does not match shape");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length does not match shape"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -43,13 +51,19 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Uniform random matrix in `[-scale, scale]`, deterministic under the
     /// caller's RNG.
     pub fn uniform<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.random_range(-scale..=scale)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-scale..=scale))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -88,14 +102,31 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshape in place to `rows × cols`, reusing the existing
+    /// allocation whenever capacity allows. Contents are unspecified
+    /// afterwards; callers are expected to overwrite every element
+    /// (the `*_into` kernels and scratch buffers do).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Select rows by index into a new matrix (the dispatch/gather step of
     /// expert routing).
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Matrix::gather_rows`] into a caller buffer (resized as needed),
+    /// so steady-state dispatch reuses one allocation per expert slot.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
         for (i, &src) in indices.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(src));
         }
-        out
     }
 
     /// Add `other`'s rows into rows of `self` selected by `indices`,
@@ -113,12 +144,21 @@ impl Matrix {
         }
     }
 
-    /// Transpose.
+    /// Transpose, walked in square tiles so both the source rows and the
+    /// destination rows stay cache-resident (the naive row-major walk
+    /// strides the destination by `rows` floats per element).
     pub fn transpose(&self) -> Matrix {
+        const TILE: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+        for rb in (0..self.rows).step_by(TILE) {
+            let r_end = (rb + TILE).min(self.rows);
+            for cb in (0..self.cols).step_by(TILE) {
+                let c_end = (cb + TILE).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
@@ -135,8 +175,17 @@ impl Matrix {
     /// Elementwise difference `self - other`.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scale in place.
@@ -167,7 +216,11 @@ impl Matrix {
 
     /// Largest absolute entry difference against `other`.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -183,6 +236,14 @@ impl Matrix {
     /// Size in bytes at a given element width (traffic accounting).
     pub fn size_bytes(&self, dtype_bytes: usize) -> usize {
         self.rows * self.cols * dtype_bytes
+    }
+}
+
+impl Default for Matrix {
+    /// Empty `0 × 0` matrix — the placeholder `std::mem::take` leaves
+    /// behind when scratch buffers are loaned out.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -237,6 +298,36 @@ mod tests {
         let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         assert_eq!(m.transpose().transpose(), m);
         assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn tiled_transpose_matches_index_walk_beyond_one_tile() {
+        // 50×37 straddles the 32-wide tiles in both dimensions.
+        let mut rng = StdRng::seed_from_u64(21);
+        let m = Matrix::uniform(50, 37, 1.0, &mut rng);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (37, 50));
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                assert_eq!(t[(c, r)], m[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn resize_reuses_allocation_and_gather_into_reuses_buffer() {
+        let mut m = Matrix::zeros(4, 4);
+        let ptr = m.data().as_ptr();
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.data().as_ptr(), ptr, "shrinking must not reallocate");
+
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut buf = Matrix::zeros(0, 0);
+        src.gather_rows_into(&[2, 0], &mut buf);
+        assert_eq!(buf, src.gather_rows(&[2, 0]));
+        src.gather_rows_into(&[1], &mut buf);
+        assert_eq!(buf, Matrix::from_rows(&[&[3.0, 4.0]]));
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Bitwise-equivalence properties of the blocked compute substrate.
+//!
+//! The tiled kernels and their row-split parallel variants must produce
+//! *bit-identical* output to [`matmul_reference`] — not merely close —
+//! for every shape (including remainder tiles in every dimension) and
+//! every thread count. This is what lets the training engines run on any
+//! `JANUS_THREADS` setting without perturbing a single weight.
+
+use janus_tensor::{matmul_reference, pool, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked NN/TN/NT kernels equal the scalar reference bitwise for
+    /// random shapes straddling the 4×8 tile grid and random contents.
+    #[test]
+    fn blocked_kernels_match_reference_bitwise(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::uniform(m, k, 2.0, &mut rng);
+        let b = Matrix::uniform(k, n, 2.0, &mut rng);
+        let reference = matmul_reference(&a, &b);
+
+        prop_assert_eq!(a.matmul(&b).max_abs_diff(&reference), 0.0);
+        // TN path: (aᵀ)ᵀ·b from the k×m operand.
+        prop_assert_eq!(a.transpose().matmul_tn(&b).max_abs_diff(&reference), 0.0);
+        // NT path: a·(bᵀ)ᵀ from the n×k operand.
+        prop_assert_eq!(a.matmul_nt(&b.transpose()).max_abs_diff(&reference), 0.0);
+    }
+
+    /// The `*_into` variants write the same bits as their allocating
+    /// twins into a dirty, wrong-shaped buffer.
+    #[test]
+    fn into_variants_match_allocating_variants(
+        m in 1usize..16,
+        k in 1usize..16,
+        n in 1usize..16,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::uniform(m, k, 1.0, &mut rng);
+        let b = Matrix::uniform(k, n, 1.0, &mut rng);
+        let mut out = Matrix::from_vec(1, 3, vec![f32::NAN; 3]);
+
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(out.max_abs_diff(&a.matmul(&b)), 0.0);
+        a.transpose().matmul_tn_into(&b, &mut out);
+        prop_assert_eq!(out.max_abs_diff(&a.transpose().matmul_tn(&b)), 0.0);
+        a.matmul_nt_into(&b.transpose(), &mut out);
+        prop_assert_eq!(out.max_abs_diff(&a.matmul_nt(&b.transpose())), 0.0);
+    }
+}
+
+/// Above the parallel threshold the row-split pool engages; sweeping the
+/// thread count (the in-process equivalent of `JANUS_THREADS=1,2,8`)
+/// must not change one bit of any product shape.
+#[test]
+fn parallel_split_is_bitwise_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // 96·160·96 ≈ 1.5M multiply-adds — past PAR_MIN_MULADDS, and not a
+    // multiple of the tile sizes, so chunk boundaries fall mid-tile.
+    let a = Matrix::uniform(96, 160, 1.0, &mut rng);
+    let b = Matrix::uniform(160, 96, 1.0, &mut rng);
+    let at = a.transpose();
+    let bt = b.transpose();
+    let reference = matmul_reference(&a, &b);
+
+    for threads in [1usize, 2, 8] {
+        pool::set_threads(threads);
+        assert_eq!(
+            a.matmul(&b).max_abs_diff(&reference),
+            0.0,
+            "NN diverged at {threads} threads"
+        );
+        assert_eq!(
+            at.matmul_tn(&b).max_abs_diff(&reference),
+            0.0,
+            "TN diverged at {threads} threads"
+        );
+        assert_eq!(
+            a.matmul_nt(&bt).max_abs_diff(&reference),
+            0.0,
+            "NT diverged at {threads} threads"
+        );
+    }
+    pool::set_threads(0);
+}

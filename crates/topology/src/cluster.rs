@@ -77,32 +77,52 @@ impl Cluster {
         let mut push = |kind: LinkKind, bandwidth: f64| {
             let id = LinkId(links.len());
             by_kind.insert(kind, id);
-            links.push(Link { id, kind, bandwidth });
+            links.push(Link {
+                id,
+                kind,
+                bandwidth,
+            });
         };
 
         let num_workers = spec.machines * spec.gpus_per_machine;
         for w in 0..num_workers {
             let worker = WorkerId(w);
             for dir in [LinkDirection::Egress, LinkDirection::Ingress] {
-                push(LinkKind::Nvlink { worker, dir }, spec.bandwidths.nvlink_per_direction);
-                push(LinkKind::PcieGpu { worker, dir }, spec.bandwidths.pcie_per_direction);
+                push(
+                    LinkKind::Nvlink { worker, dir },
+                    spec.bandwidths.nvlink_per_direction,
+                );
+                push(
+                    LinkKind::PcieGpu { worker, dir },
+                    spec.bandwidths.pcie_per_direction,
+                );
             }
         }
         let switches_per_machine = spec.gpus_per_machine.div_ceil(GPUS_PER_PCIE_SWITCH);
         for s in 0..spec.machines * switches_per_machine {
             let switch = PcieSwitchId(s);
             for dir in [LinkDirection::Egress, LinkDirection::Ingress] {
-                push(LinkKind::PcieSwitch { switch, dir }, spec.bandwidths.pcie_per_direction);
+                push(
+                    LinkKind::PcieSwitch { switch, dir },
+                    spec.bandwidths.pcie_per_direction,
+                );
             }
         }
         for mch in 0..spec.machines {
             let machine = MachineId(mch);
             for dir in [LinkDirection::Egress, LinkDirection::Ingress] {
-                push(LinkKind::Nic { machine, dir }, spec.bandwidths.nic_per_direction);
+                push(
+                    LinkKind::Nic { machine, dir },
+                    spec.bandwidths.nic_per_direction,
+                );
             }
         }
 
-        Cluster { spec, links, by_kind }
+        Cluster {
+            spec,
+            links,
+            by_kind,
+        }
     }
 
     /// The spec this cluster was built from.
@@ -176,7 +196,8 @@ impl Cluster {
     pub fn pcie_peer(&self, worker: WorkerId) -> Option<WorkerId> {
         let r = self.local_rank(worker).0;
         let peer_r = r ^ 1;
-        if peer_r < self.spec.gpus_per_machine && peer_r / GPUS_PER_PCIE_SWITCH == r / GPUS_PER_PCIE_SWITCH
+        if peer_r < self.spec.gpus_per_machine
+            && peer_r / GPUS_PER_PCIE_SWITCH == r / GPUS_PER_PCIE_SWITCH
         {
             Some(self.worker_at(self.machine_of(worker), LocalRank(peer_r)))
         } else {
@@ -252,11 +273,20 @@ impl Cluster {
         if same_machine {
             match (src_gpu, dst_gpu) {
                 (Some(s), Some(d)) => {
-                    path.push(self.link(LinkKind::Nvlink { worker: s, dir: Egress }));
-                    path.push(self.link(LinkKind::Nvlink { worker: d, dir: Ingress }));
+                    path.push(self.link(LinkKind::Nvlink {
+                        worker: s,
+                        dir: Egress,
+                    }));
+                    path.push(self.link(LinkKind::Nvlink {
+                        worker: d,
+                        dir: Ingress,
+                    }));
                 }
                 (Some(s), None) => {
-                    path.push(self.link(LinkKind::PcieGpu { worker: s, dir: Egress }));
+                    path.push(self.link(LinkKind::PcieGpu {
+                        worker: s,
+                        dir: Egress,
+                    }));
                     path.push(self.link(LinkKind::PcieSwitch {
                         switch: self.switch_of(s),
                         dir: Egress,
@@ -267,7 +297,10 @@ impl Cluster {
                         switch: self.switch_of(d),
                         dir: Ingress,
                     }));
-                    path.push(self.link(LinkKind::PcieGpu { worker: d, dir: Ingress }));
+                    path.push(self.link(LinkKind::PcieGpu {
+                        worker: d,
+                        dir: Ingress,
+                    }));
                 }
                 (None, None) => unreachable!("from == to handled above"),
             }
@@ -277,17 +310,29 @@ impl Cluster {
         // Inter-machine: source side onto the NIC.
         match src_gpu {
             // GPUDirect RDMA: GPU → (PCIe lanes) → NIC.
-            Some(s) => path.push(self.link(LinkKind::PcieGpu { worker: s, dir: Egress })),
+            Some(s) => path.push(self.link(LinkKind::PcieGpu {
+                worker: s,
+                dir: Egress,
+            })),
             // CPU memory → NIC crosses the NIC-hosting switch downlink.
             None => path.push(self.link(LinkKind::PcieSwitch {
                 switch: self.nic_switch(src_machine),
                 dir: Ingress,
             })),
         }
-        path.push(self.link(LinkKind::Nic { machine: src_machine, dir: Egress }));
-        path.push(self.link(LinkKind::Nic { machine: dst_machine, dir: Ingress }));
+        path.push(self.link(LinkKind::Nic {
+            machine: src_machine,
+            dir: Egress,
+        }));
+        path.push(self.link(LinkKind::Nic {
+            machine: dst_machine,
+            dir: Ingress,
+        }));
         match dst_gpu {
-            Some(d) => path.push(self.link(LinkKind::PcieGpu { worker: d, dir: Ingress })),
+            Some(d) => path.push(self.link(LinkKind::PcieGpu {
+                worker: d,
+                dir: Ingress,
+            })),
             None => path.push(self.link(LinkKind::PcieSwitch {
                 switch: self.nic_switch(dst_machine),
                 dir: Egress,
@@ -361,9 +406,14 @@ mod tests {
     #[test]
     fn self_route_is_empty() {
         let c = cluster();
-        assert!(c.route(Location::Gpu(WorkerId(5)), Location::Gpu(WorkerId(5))).is_empty());
         assert!(c
-            .route(Location::CpuMem(MachineId(1)), Location::CpuMem(MachineId(1)))
+            .route(Location::Gpu(WorkerId(5)), Location::Gpu(WorkerId(5)))
+            .is_empty());
+        assert!(c
+            .route(
+                Location::CpuMem(MachineId(1)),
+                Location::CpuMem(MachineId(1))
+            )
             .is_empty());
     }
 
@@ -374,9 +424,15 @@ mod tests {
         assert_eq!(route.len(), 2);
         assert!(matches!(
             c.link_info(route[0]).kind,
-            LinkKind::PcieGpu { worker: WorkerId(2), dir: LinkDirection::Egress }
+            LinkKind::PcieGpu {
+                worker: WorkerId(2),
+                dir: LinkDirection::Egress
+            }
         ));
-        assert!(matches!(c.link_info(route[1]).kind, LinkKind::PcieSwitch { .. }));
+        assert!(matches!(
+            c.link_info(route[1]).kind,
+            LinkKind::PcieSwitch { .. }
+        ));
     }
 
     #[test]
@@ -395,14 +451,26 @@ mod tests {
         let c = cluster();
         let route = c.route(Location::Gpu(WorkerId(9)), Location::CpuMem(MachineId(0)));
         let kinds: Vec<_> = route.iter().map(|&id| c.link_info(id).kind).collect();
-        assert!(matches!(kinds[0], LinkKind::PcieGpu { worker: WorkerId(9), .. }));
+        assert!(matches!(
+            kinds[0],
+            LinkKind::PcieGpu {
+                worker: WorkerId(9),
+                ..
+            }
+        ));
         assert!(matches!(
             kinds[1],
-            LinkKind::Nic { machine: MachineId(1), dir: LinkDirection::Egress }
+            LinkKind::Nic {
+                machine: MachineId(1),
+                dir: LinkDirection::Egress
+            }
         ));
         assert!(matches!(
             kinds[2],
-            LinkKind::Nic { machine: MachineId(0), dir: LinkDirection::Ingress }
+            LinkKind::Nic {
+                machine: MachineId(0),
+                dir: LinkDirection::Ingress
+            }
         ));
         assert!(matches!(kinds[3], LinkKind::PcieSwitch { .. }));
     }
@@ -414,17 +482,37 @@ mod tests {
         let kinds: Vec<_> = route.iter().map(|&id| c.link_info(id).kind).collect();
         assert_eq!(route.len(), 4);
         assert!(matches!(kinds[0], LinkKind::PcieSwitch { .. }));
-        assert!(matches!(kinds[1], LinkKind::Nic { machine: MachineId(0), .. }));
-        assert!(matches!(kinds[2], LinkKind::Nic { machine: MachineId(2), .. }));
-        assert!(matches!(kinds[3], LinkKind::PcieGpu { worker: WorkerId(20), .. }));
+        assert!(matches!(
+            kinds[1],
+            LinkKind::Nic {
+                machine: MachineId(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            kinds[2],
+            LinkKind::Nic {
+                machine: MachineId(2),
+                ..
+            }
+        ));
+        assert!(matches!(
+            kinds[3],
+            LinkKind::PcieGpu {
+                worker: WorkerId(20),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn cross_node_bytes_only_on_nic_links() {
         let c = cluster();
         let route = c.route(Location::Gpu(WorkerId(0)), Location::Gpu(WorkerId(31)));
-        let cross: Vec<_> =
-            route.iter().filter(|&&id| c.link_info(id).kind.is_cross_node()).collect();
+        let cross: Vec<_> = route
+            .iter()
+            .filter(|&&id| c.link_info(id).kind.is_cross_node())
+            .collect();
         assert_eq!(cross.len(), 2);
     }
 

@@ -30,9 +30,9 @@
 //! assert_eq!(route.len(), 4);
 //! ```
 
+pub mod cluster;
 pub mod ids;
 pub mod link;
-pub mod cluster;
 pub mod presets;
 
 pub use cluster::{Cluster, ClusterSpec, Location, Route};

@@ -27,16 +27,28 @@ pub enum LinkKind {
     /// A GPU's NVLink port into the intra-machine NVSwitch fabric. The
     /// fabric itself is non-blocking, so only per-GPU ports constrain
     /// intra-node traffic.
-    Nvlink { worker: WorkerId, dir: LinkDirection },
+    Nvlink {
+        worker: WorkerId,
+        dir: LinkDirection,
+    },
     /// The PCIe lanes between a GPU and its PCIe switch.
-    PcieGpu { worker: WorkerId, dir: LinkDirection },
+    PcieGpu {
+        worker: WorkerId,
+        dir: LinkDirection,
+    },
     /// The PCIe lanes between a PCIe switch and CPU memory. This is the
     /// contended resource in the paper's Figure 8 (two GPUs behind one
     /// switch pulling the same cached expert).
-    PcieSwitch { switch: PcieSwitchId, dir: LinkDirection },
+    PcieSwitch {
+        switch: PcieSwitchId,
+        dir: LinkDirection,
+    },
     /// A machine's RDMA NIC. Inter-machine flows cross the source NIC
     /// egress and the destination NIC ingress.
-    Nic { machine: MachineId, dir: LinkDirection },
+    Nic {
+        machine: MachineId,
+        dir: LinkDirection,
+    },
 }
 
 impl LinkKind {
@@ -96,31 +108,55 @@ mod tests {
 
     #[test]
     fn labels_are_stable() {
-        let k = LinkKind::Nvlink { worker: WorkerId(3), dir: LinkDirection::Egress };
+        let k = LinkKind::Nvlink {
+            worker: WorkerId(3),
+            dir: LinkDirection::Egress,
+        };
         assert_eq!(k.label(), "nvlink/w3/out");
-        let k = LinkKind::PcieSwitch { switch: PcieSwitchId(2), dir: LinkDirection::Ingress };
+        let k = LinkKind::PcieSwitch {
+            switch: PcieSwitchId(2),
+            dir: LinkDirection::Ingress,
+        };
         assert_eq!(k.label(), "pcie-switch/sw2/in");
-        let k = LinkKind::Nic { machine: MachineId(1), dir: LinkDirection::Egress };
+        let k = LinkKind::Nic {
+            machine: MachineId(1),
+            dir: LinkDirection::Egress,
+        };
         assert_eq!(k.label(), "nic/M1/out");
     }
 
     #[test]
     fn only_nic_links_are_cross_node() {
-        assert!(LinkKind::Nic { machine: MachineId(0), dir: LinkDirection::Egress }
-            .is_cross_node());
-        assert!(!LinkKind::Nvlink { worker: WorkerId(0), dir: LinkDirection::Egress }
-            .is_cross_node());
-        assert!(!LinkKind::PcieGpu { worker: WorkerId(0), dir: LinkDirection::Ingress }
-            .is_cross_node());
-        assert!(!LinkKind::PcieSwitch { switch: PcieSwitchId(0), dir: LinkDirection::Egress }
-            .is_cross_node());
+        assert!(LinkKind::Nic {
+            machine: MachineId(0),
+            dir: LinkDirection::Egress
+        }
+        .is_cross_node());
+        assert!(!LinkKind::Nvlink {
+            worker: WorkerId(0),
+            dir: LinkDirection::Egress
+        }
+        .is_cross_node());
+        assert!(!LinkKind::PcieGpu {
+            worker: WorkerId(0),
+            dir: LinkDirection::Ingress
+        }
+        .is_cross_node());
+        assert!(!LinkKind::PcieSwitch {
+            switch: PcieSwitchId(0),
+            dir: LinkDirection::Egress
+        }
+        .is_cross_node());
     }
 
     #[test]
     fn display_includes_bandwidth() {
         let link = Link {
             id: LinkId(4),
-            kind: LinkKind::Nic { machine: MachineId(0), dir: LinkDirection::Ingress },
+            kind: LinkKind::Nic {
+                machine: MachineId(0),
+                dir: LinkDirection::Ingress,
+            },
             bandwidth: 25e9,
         };
         let s = link.to_string();

@@ -43,7 +43,11 @@ fn main() {
             r,
             ec.iter_time * 1e3,
             dc.iter_time * 1e3,
-            if dc.iter_time < ec.iter_time { "yes" } else { "no" }
+            if dc.iter_time < ec.iter_time {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
 

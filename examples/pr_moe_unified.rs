@@ -52,12 +52,14 @@ fn main() {
             r_threshold: 2.0,
             ..EngineOpts::default()
         };
-        let unified =
-            simulate_iteration(cluster, model, &unified_opts).expect("unified run");
+        let unified = simulate_iteration(cluster, model, &unified_opts).expect("unified run");
 
         println!("  pure expert-centric : {:>7.1} ms", ec.iter_time * 1e3);
         println!("  pure data-centric   : {:>7.1} ms", dc.iter_time * 1e3);
-        println!("  janus unified       : {:>7.1} ms", unified.iter_time * 1e3);
+        println!(
+            "  janus unified       : {:>7.1} ms",
+            unified.iter_time * 1e3
+        );
         println!(
             "  unified speedup over expert-centric: {:.2}× (paper: {})\n",
             ec.iter_time / unified.iter_time,

@@ -26,21 +26,28 @@ fn main() {
     // priorities, prefetch).
     let ec = simulate_iteration(cluster.clone(), model.clone(), &EngineOpts::tutel())
         .expect("expert-centric simulation");
-    let janus = simulate_iteration(cluster, model, &EngineOpts::default())
-        .expect("janus simulation");
+    let janus =
+        simulate_iteration(cluster, model, &EngineOpts::default()).expect("janus simulation");
 
     println!("expert-centric (Tutel-style):");
     println!("  iteration time     : {:>8.1} ms", ec.iter_time * 1e3);
-    println!("  time in All-to-All : {:>8.1} ms ({:.0}%)", ec.comm_time * 1e3,
-        ec.comm_share() * 100.0);
-    println!("  cross-node traffic : {:>8.2} GiB/machine",
-        ec.cross_node_bytes_per_machine / (1u64 << 30) as f64);
+    println!(
+        "  time in All-to-All : {:>8.1} ms ({:.0}%)",
+        ec.comm_time * 1e3,
+        ec.comm_share() * 100.0
+    );
+    println!(
+        "  cross-node traffic : {:>8.2} GiB/machine",
+        ec.cross_node_bytes_per_machine / (1u64 << 30) as f64
+    );
 
     println!("\njanus (data-centric, unified):");
     println!("  iteration time     : {:>8.1} ms", janus.iter_time * 1e3);
     println!("  fetch stall        : {:>8.1} ms", janus.comm_time * 1e3);
-    println!("  cross-node traffic : {:>8.2} GiB/machine",
-        janus.cross_node_bytes_per_machine / (1u64 << 30) as f64);
+    println!(
+        "  cross-node traffic : {:>8.2} GiB/machine",
+        janus.cross_node_bytes_per_machine / (1u64 << 30) as f64
+    );
 
     println!(
         "\nspeedup: {:.2}×, traffic reduction: {:.1}×",

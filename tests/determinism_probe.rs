@@ -1,7 +1,8 @@
-//! Diagnostic: is data-centric training bitwise deterministic run-to-run?
+//! Training-level determinism: run-to-run and across thread counts.
 
 use janus::core::exec::model::ExecConfig;
-use janus::core::exec::trainer::train_data_centric;
+use janus::core::exec::trainer::{train_data_centric, train_expert_centric, TrainRun};
+use janus::tensor::pool;
 
 fn cfg() -> ExecConfig {
     ExecConfig {
@@ -17,22 +18,47 @@ fn cfg() -> ExecConfig {
     }
 }
 
-#[test]
-fn dc_is_bitwise_deterministic_run_to_run() {
-    let cfg = cfg();
-    let a = train_data_centric(&cfg, 3);
-    let b = train_data_centric(&cfg, 3);
+fn assert_runs_identical(a: &TrainRun, b: &TrainRun, what: &str) {
     assert_eq!(
         a.losses, b.losses,
-        "losses differ across identical runs:\n{:?}\n{:?}",
+        "{what}: losses differ:\n{:?}\n{:?}",
         a.losses, b.losses
     );
     for (ra, rb) in a.experts.iter().zip(&b.experts) {
         for (ba, bb) in ra.iter().zip(rb) {
             for (ea, eb) in ba.iter().zip(bb) {
-                assert_eq!(ea.w1.max_abs_diff(&eb.w1), 0.0, "w1 differs");
-                assert_eq!(ea.w2.max_abs_diff(&eb.w2), 0.0, "w2 differs");
+                assert_eq!(ea.w1.max_abs_diff(&eb.w1), 0.0, "{what}: w1 differs");
+                assert_eq!(ea.w2.max_abs_diff(&eb.w2), 0.0, "{what}: w2 differs");
             }
         }
     }
+}
+
+/// The acceptance criterion of the parallel substrate: training under
+/// both paradigms is bitwise identical whether the pool runs one thread
+/// or many. Expert compute parallelises across tasks, but every combine
+/// happens in expert-ascending order on the worker thread, so thread
+/// count can never reorder a float reduction.
+#[test]
+fn training_is_bitwise_identical_across_thread_counts() {
+    let cfg = cfg();
+    pool::set_threads(1);
+    let dc_1 = train_data_centric(&cfg, 3);
+    let ec_1 = train_expert_centric(&cfg, 3);
+    for threads in [2usize, 8] {
+        pool::set_threads(threads);
+        let dc_n = train_data_centric(&cfg, 3);
+        let ec_n = train_expert_centric(&cfg, 3);
+        assert_runs_identical(&dc_1, &dc_n, &format!("data-centric @ {threads} threads"));
+        assert_runs_identical(&ec_1, &ec_n, &format!("expert-centric @ {threads} threads"));
+    }
+    pool::set_threads(0);
+}
+
+#[test]
+fn dc_is_bitwise_deterministic_run_to_run() {
+    let cfg = cfg();
+    let a = train_data_centric(&cfg, 3);
+    let b = train_data_centric(&cfg, 3);
+    assert_runs_identical(&a, &b, "run-to-run");
 }

@@ -31,12 +31,13 @@ fn paradigms_match_across_transports_and_scales() {
             if machines * gpus < 2 {
                 continue;
             }
-            let cfg = ExecConfig { machines, gpus_per_machine: gpus, ..cfg() };
+            let cfg = ExecConfig {
+                machines,
+                gpus_per_machine: gpus,
+                ..cfg()
+            };
             let diff = compare_paradigms(&cfg, 2);
-            assert!(
-                diff.max_output_diff < 1e-5,
-                "{machines}x{gpus}: {diff:?}"
-            );
+            assert!(diff.max_output_diff < 1e-5, "{machines}x{gpus}: {diff:?}");
             assert!(diff.max_weight_diff < 1e-4, "{machines}x{gpus}: {diff:?}");
         }
     }
@@ -52,7 +53,11 @@ fn training_converges_over_tcp() {
         let mut state = WorkerState::init(&cfg, comm.rank());
         let sh = &shared[cfg.machine_of(comm.rank())];
         (0..4)
-            .map(|i| data_centric::run_iteration(&comm, &mut state, sh, i).unwrap().loss)
+            .map(|i| {
+                data_centric::run_iteration(&comm, &mut state, sh, i)
+                    .unwrap()
+                    .loss
+            })
             .collect::<Vec<_>>()
     });
     for curve in losses {
@@ -67,12 +72,16 @@ fn transports_are_interchangeable() {
     let cfg = cfg();
     let local = run_workers(cfg.world(), |comm| {
         let mut state = WorkerState::init(&cfg, comm.rank());
-        expert_centric::run_iteration(&comm, &mut state, 0).unwrap().loss
+        expert_centric::run_iteration(&comm, &mut state, 0)
+            .unwrap()
+            .loss
     });
     let endpoints = tcp_mesh_localhost(cfg.world()).expect("tcp mesh");
     let tcp = run_on(endpoints, |comm| {
         let mut state = WorkerState::init(&cfg, comm.rank());
-        expert_centric::run_iteration(&comm, &mut state, 0).unwrap().loss
+        expert_centric::run_iteration(&comm, &mut state, 0)
+            .unwrap()
+            .loss
     });
     assert_eq!(local, tcp, "same inputs and weights ⇒ bitwise-equal losses");
 }
@@ -95,7 +104,11 @@ fn cache_fetch_counts_match_the_hierarchical_design() {
     // 4 external experts per machine × 2 blocks × 3 iterations.
     for sh in &shared {
         let (fetches, hits) = sh.cache.stats();
-        assert_eq!(fetches, 4 * 2 * iters, "exactly one wire crossing per expert");
+        assert_eq!(
+            fetches,
+            4 * 2 * iters,
+            "exactly one wire crossing per expert"
+        );
         assert!(hits >= fetches, "siblings must share the cached copies");
         assert_eq!(sh.cache.epoch(), iters, "cache invalidated each iteration");
     }
@@ -118,7 +131,11 @@ fn data_centric_training_survives_chaos_transport() {
         .map(|t| {
             ChaosTransport::new(
                 t,
-                ChaosConfig { seed: 1234, reorder: 0.5, duplicate_barrier: 0.3 },
+                ChaosConfig {
+                    seed: 1234,
+                    reorder: 0.5,
+                    duplicate_barrier: 0.3,
+                },
             )
         })
         .collect();
@@ -126,7 +143,11 @@ fn data_centric_training_survives_chaos_transport() {
         let mut state = WorkerState::init(&cfg, comm.rank());
         let sh = &shared[cfg.machine_of(comm.rank())];
         (0..3)
-            .map(|i| data_centric::run_iteration(&comm, &mut state, sh, i).unwrap().loss)
+            .map(|i| {
+                data_centric::run_iteration(&comm, &mut state, sh, i)
+                    .unwrap()
+                    .loss
+            })
             .collect::<Vec<_>>()
     });
     // First-iteration losses are bitwise identical (no updates yet);

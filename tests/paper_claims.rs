@@ -25,8 +25,12 @@ fn r_metric_predicts_the_faster_paradigm() {
         let model = gpt(batch);
         let r = r_for_block(&model, 11, 2, 4);
         assert_eq!(r > 1.0, dc_should_win, "test setup: R = {r}");
-        let ec = simulate_iteration(cluster(), model.clone(), &EngineOpts::janus_expert_centric())
-            .expect("ec run");
+        let ec = simulate_iteration(
+            cluster(),
+            model.clone(),
+            &EngineOpts::janus_expert_centric(),
+        )
+        .expect("ec run");
         let dc = simulate_iteration(cluster(), model, &EngineOpts::data_centric(true, true))
             .expect("dc run");
         assert_eq!(
@@ -45,12 +49,20 @@ fn unified_is_never_worse_than_either_pure_paradigm() {
     let cluster = || ClusterSpec::a100(2, 4).build();
     for batch in [8usize, 32, 128] {
         let model = gpt(batch);
-        let ec = simulate_iteration(cluster(), model.clone(), &EngineOpts::janus_expert_centric())
-            .expect("ec run")
-            .iter_time;
-        let dc = simulate_iteration(cluster(), model.clone(), &EngineOpts::data_centric(true, true))
-            .expect("dc run")
-            .iter_time;
+        let ec = simulate_iteration(
+            cluster(),
+            model.clone(),
+            &EngineOpts::janus_expert_centric(),
+        )
+        .expect("ec run")
+        .iter_time;
+        let dc = simulate_iteration(
+            cluster(),
+            model.clone(),
+            &EngineOpts::data_centric(true, true),
+        )
+        .expect("dc run")
+        .iter_time;
         let unified = simulate_iteration(cluster(), model, &EngineOpts::default())
             .expect("unified run")
             .iter_time;
@@ -108,8 +120,7 @@ fn dc_traffic_is_skew_invariant() {
     let balanced = dc_time(Imbalance::Balanced);
     let skewed = dc_time(Imbalance::Zipf(1.0));
     assert!(
-        (balanced.cross_node_bytes_per_machine - skewed.cross_node_bytes_per_machine).abs()
-            < 1.0,
+        (balanced.cross_node_bytes_per_machine - skewed.cross_node_bytes_per_machine).abs() < 1.0,
         "expert transfers do not depend on the token assignment"
     );
 }
@@ -124,8 +135,8 @@ fn tutel_oom_at_s512_janus_fits() {
     let cluster = ClusterSpec::a100(4, 8).build();
     let mut small = model.clone();
     small.batch = 4; // keep the *simulation* small; memory model uses B from config
-    // Use the full-size config for the memory estimate path by running
-    // the analytic estimator directly.
+                     // Use the full-size config for the memory estimate path by running
+                     // the analytic estimator directly.
     use janus::core::paradigm::Paradigm;
     use janus::core::sim::memory::estimate;
     use janus::moe::workload::AssignmentMatrix;
@@ -175,10 +186,12 @@ fn mixed_block_models_run_under_every_policy() {
         ParadigmPolicy::DataCentric,
         ParadigmPolicy::Unified,
     ] {
-        let opts = EngineOpts { policy, ..EngineOpts::default() };
-        let report =
-            simulate_iteration(ClusterSpec::a100(2, 4).build(), model.clone(), &opts)
-                .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        let opts = EngineOpts {
+            policy,
+            ..EngineOpts::default()
+        };
+        let report = simulate_iteration(ClusterSpec::a100(2, 4).build(), model.clone(), &opts)
+            .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
         assert!(report.iter_time > 0.0);
     }
 }

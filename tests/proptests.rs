@@ -156,10 +156,7 @@ proptest! {
     }
 }
 
-fn machine_of_loc(
-    cluster: &janus::topology::Cluster,
-    loc: janus::topology::Location,
-) -> usize {
+fn machine_of_loc(cluster: &janus::topology::Cluster, loc: janus::topology::Location) -> usize {
     match loc {
         janus::topology::Location::Gpu(w) => cluster.machine_of(w).0,
         janus::topology::Location::CpuMem(mm) => mm.0,
