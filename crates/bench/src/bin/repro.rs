@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|trace|all]...
+//! repro [plan|table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|trace|all]...
 //! ```
 //!
 //! With no arguments, runs everything. Add `--json` to also dump the raw
@@ -15,6 +15,7 @@ fn main() {
     args.retain(|a| a != "--json");
     if args.is_empty() || args.iter().any(|a| a == "all") {
         args = [
+            "plan",
             "rmetric",
             "table1",
             "goodput",
@@ -108,6 +109,11 @@ fn main() {
                 let rows = rmetric::run();
                 rmetric::print(&rows);
                 dump(json, "rmetric", &rows);
+            }
+            "plan" => {
+                let rows = plan::run();
+                plan::print(&rows);
+                dump(json, "plan", &rows);
             }
             other => {
                 eprintln!("unknown experiment: {other}");

@@ -816,6 +816,142 @@ pub mod rmetric {
     }
 }
 
+/// The compiled [`IterationPlan`] for every evaluation model: per-block
+/// `R`, the threshold it was judged against, the chosen paradigm, and
+/// the plan's content digest — the same IR the simulator's `build_graph`
+/// and the numerical `exec::unified` engine execute.
+pub mod plan {
+    use super::*;
+    use janus_core::plan::{IterationPlan, PlanOpts};
+    use janus_core::Paradigm;
+
+    /// One run of consecutive MoE blocks sharing the same plan entry.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// Model name.
+        pub model: String,
+        /// Machines (× 8 GPUs).
+        pub machines: usize,
+        /// Block range, e.g. `"1-23"` (inclusive).
+        pub blocks: String,
+        /// Experts per block in this range.
+        pub experts: usize,
+        /// Gain metric of these blocks.
+        pub r: f64,
+        /// Threshold the plan judged `R` against.
+        pub threshold: f64,
+        /// Chosen paradigm.
+        pub paradigm: String,
+        /// Hex content digest of the whole plan.
+        pub digest: String,
+    }
+
+    /// Compile plans for the evaluation presets (default `R > 1` rule)
+    /// and PR-MoE (the paper's conservative `R > 2` threshold, §7.5).
+    pub fn run() -> Vec<Row> {
+        let mut rows = Vec::new();
+        for preset in ModelPreset::all() {
+            let model = preset.config(32);
+            rows.extend(rows_for(&model, 4, &PlanOpts::default()));
+        }
+        for gpus in [16usize, 32] {
+            let model = pr_moe_transformer_xl(gpus);
+            let opts = PlanOpts {
+                r_threshold: 2.0,
+                ..PlanOpts::default()
+            };
+            rows.extend(rows_for(&model, gpus / 8, &opts));
+        }
+        rows
+    }
+
+    fn rows_for(model: &ModelConfig, machines: usize, opts: &PlanOpts) -> Vec<Row> {
+        let cluster = crate::paper_cluster(machines);
+        let compiled = IterationPlan::compile(model, &cluster, opts);
+        let digest = format!("{:016x}", compiled.digest());
+        let name = |p: Paradigm| match p {
+            Paradigm::DataCentric => "data-centric",
+            Paradigm::ExpertCentric => "expert-centric",
+        };
+        // Group consecutive MoE blocks with identical plan entries.
+        let mut rows: Vec<Row> = Vec::new();
+        let mut range: Option<(usize, usize, usize, f64, Paradigm)> = None;
+        let flush = |r: &Option<(usize, usize, usize, f64, Paradigm)>, rows: &mut Vec<Row>| {
+            if let Some((lo, hi, experts, rv, p)) = *r {
+                rows.push(Row {
+                    model: model.name.clone(),
+                    machines,
+                    blocks: if lo == hi {
+                        lo.to_string()
+                    } else {
+                        format!("{lo}-{hi}")
+                    },
+                    experts,
+                    r: rv,
+                    threshold: compiled.r_threshold,
+                    paradigm: name(p).to_string(),
+                    digest: digest.clone(),
+                });
+            }
+        };
+        for bp in &compiled.blocks {
+            let Some(rv) = bp.r else { continue };
+            match range {
+                Some((lo, hi, experts, prev_r, p))
+                    if experts == bp.experts
+                        && prev_r.to_bits() == rv.to_bits()
+                        && p == bp.paradigm
+                        && hi + 1 == bp.block =>
+                {
+                    range = Some((lo, bp.block, experts, prev_r, p));
+                }
+                _ => {
+                    flush(&range, &mut rows);
+                    range = Some((bp.block, bp.block, bp.experts, rv, bp.paradigm));
+                }
+            }
+        }
+        flush(&range, &mut rows);
+        rows
+    }
+
+    /// Print the plan table.
+    pub fn print(rows: &[Row]) {
+        println!("compiled IterationPlan per model (sim and exec consume this IR verbatim)\n");
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.machines.to_string(),
+                    r.blocks.clone(),
+                    r.experts.to_string(),
+                    format!("{:.2}", r.r),
+                    format!("{:.1}", r.threshold),
+                    r.paradigm.clone(),
+                    r.digest.clone(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &[
+                    "model",
+                    "machines",
+                    "blocks",
+                    "experts",
+                    "R",
+                    "threshold",
+                    "paradigm",
+                    "plan digest"
+                ],
+                &body
+            )
+        );
+    }
+}
+
 /// Design-choice ablations beyond the paper's Figure 12: credit-buffer
 /// sizing, per-message latency sensitivity (the knob behind the §7.5
 /// crossover), and flat vs staged All-to-All.

@@ -41,6 +41,22 @@ pub fn all_to_all<T: Transport>(
     seq: u64,
     chunks: Vec<Vec<u8>>,
 ) -> Result<Vec<Vec<u8>>, CommError> {
+    all_to_all_serviced(comm, seq, chunks, |_, _| false)
+}
+
+/// [`all_to_all`] that stays responsive to an unrelated message protocol
+/// while it waits: every non-matching arrival is offered to `consume`
+/// first, and only messages `consume` declines are buffered. A unified
+/// engine needs this — a worker inside an expert-centric block's
+/// collective must keep serving data-centric pull requests and gradient
+/// pushes, or a peer blocked on that service could never post its own
+/// chunk (deadlock).
+pub fn all_to_all_serviced<T: Transport>(
+    comm: &Comm<T>,
+    seq: u64,
+    chunks: Vec<Vec<u8>>,
+    mut consume: impl FnMut(usize, &Message) -> bool,
+) -> Result<Vec<Vec<u8>>, CommError> {
     let world = comm.world_size();
     let me = comm.rank();
     assert_eq!(chunks.len(), world, "need exactly one chunk per rank");
@@ -59,9 +75,13 @@ pub fn all_to_all<T: Transport>(
         }
     }
     for _ in 0..world.saturating_sub(1) {
-        let (from, msg) = comm.recv_match(|from, m| {
-            matches!(m, Message::Collective { seq: s, .. } if *s == seq) && result[from].is_none()
-        })?;
+        let (from, msg) = comm.recv_match_or_consume(
+            |from, m| {
+                matches!(m, Message::Collective { seq: s, .. } if *s == seq)
+                    && result[from].is_none()
+            },
+            &mut consume,
+        )?;
         match msg {
             Message::Collective { data, .. } => result[from] = Some(data.to_vec()),
             _ => unreachable!("predicate admits only Collective"),
@@ -141,6 +161,32 @@ mod tests {
         for (a, b) in out {
             assert!(a.iter().all(|c| c == &[1u8]));
             assert!(b.iter().all(|c| c == &[2u8]));
+        }
+    }
+
+    #[test]
+    fn serviced_all_to_all_offers_foreign_messages() {
+        let out = run_workers(2, |comm| {
+            // Each rank posts an unrelated message before joining the
+            // collective; the collective must hand it to `consume`
+            // instead of burying it.
+            let peer = 1 - comm.rank();
+            comm.send(peer, Message::Barrier { epoch: 77 }).unwrap();
+            let mut seen = 0;
+            let r = all_to_all_serviced(&comm, 9, vec![vec![comm.rank() as u8]; 2], |_, m| {
+                if matches!(m, Message::Barrier { epoch: 77 }) {
+                    seen += 1;
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap();
+            (r, seen)
+        });
+        for (r, seen) in out {
+            assert_eq!(r, vec![vec![0u8], vec![1u8]]);
+            assert_eq!(seen, 1);
         }
     }
 

@@ -7,9 +7,10 @@
 //! * the per-machine [`CacheManager`] deduplicates cross-machine fetches
 //!   (each external expert crosses the fabric once per machine, §5.1.2);
 //! * a designated local worker fetches each external expert for its
-//!   machine and inserts it into the shared cache; siblings poll the
-//!   cache while continuing to serve pull requests (asynchronous
-//!   communication, §5.1.1);
+//!   machine and inserts it into the shared cache; siblings block on the
+//!   cache's condition variable — woken the instant the insert lands —
+//!   while staying responsive to pull requests through a bounded-backoff
+//!   service pass (asynchronous communication, §5.1.1);
 //! * internal experts are pulled directly from their local owner;
 //! * backward gradients of external experts are pre-reduced by a
 //!   designated local aggregator through [`GradAccumulator`] before one
@@ -19,6 +20,11 @@
 //!   then the cache is invalidated — so no stale weights can leak across
 //!   iterations and the computation is equivalent to the All-to-All
 //!   baseline (paper §3.2).
+//!
+//! The per-block bodies ([`forward_block`], [`backward_block`]) and the
+//! update/teardown steps are the reusable units the unified engine
+//! dispatches to; [`run_iteration`] composes them for a pure data-centric
+//! run.
 
 use crate::exec::expert_centric::IterOutput;
 use crate::exec::model::{loss_and_grad, ExecConfig, GradInbox, WorkerState};
@@ -26,10 +32,20 @@ use crate::exec::weights::{expert_from_bytes, expert_to_bytes, grads_from_bytes,
 use crate::queue::{CacheManager, GradAccumulator};
 use janus_comm::{Comm, CommError, Message, Transport};
 use janus_moe::expert::{ExpertFfn, ExpertGrads};
-use janus_tensor::pool;
+use janus_tensor::{pool, Matrix};
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Bounded backoff for waits that must keep servicing the protocol: start
+/// small to catch imminent events, double up to a cap so an idle worker
+/// never spins and never oversleeps a peer's request by more than the cap.
+const BACKOFF_MIN: Duration = Duration::from_micros(10);
+const BACKOFF_MAX: Duration = Duration::from_micros(200);
+
+fn backoff_next(d: Duration) -> Duration {
+    (d * 2).min(BACKOFF_MAX)
+}
 
 /// State shared by the workers of one machine: the Inter-Node Scheduler's
 /// cache and gradient pre-reduction accumulator.
@@ -57,7 +73,11 @@ impl MachineShared {
     }
 }
 
-struct DcRuntime<'a, T: Transport> {
+/// The data-centric protocol endpoint of one worker: serves pull requests
+/// and gradient pushes, pulls experts, and waits on shared state without
+/// going deaf to peers. Holds no borrow of [`WorkerState`], so per-block
+/// routines can take the state mutably alongside it.
+pub(crate) struct DcRuntime<'a, T: Transport> {
     comm: &'a Comm<T>,
     cfg: ExecConfig,
     rank: usize,
@@ -71,22 +91,35 @@ struct DcRuntime<'a, T: Transport> {
     serving: RefCell<Vec<Vec<ExpertFfn>>>,
     /// Persistent inbox of gradient contributions for owned experts
     /// (outlives the iteration; see [`GradInbox`]).
-    owner_grads: &'a GradInbox,
+    owner_grads: Arc<GradInbox>,
 }
 
 impl<'a, T: Transport> DcRuntime<'a, T> {
+    /// A runtime serving `state`'s current weights.
+    pub(crate) fn new(comm: &'a Comm<T>, state: &WorkerState, shared: &'a MachineShared) -> Self {
+        DcRuntime {
+            comm,
+            cfg: state.cfg.clone(),
+            rank: state.rank,
+            machine: state.cfg.machine_of(state.rank),
+            shared,
+            serving: RefCell::new(state.experts.clone()),
+            owner_grads: state.grads_inbox.clone(),
+        }
+    }
+
     /// Handle one protocol message if it belongs to this engine.
     /// Returns false for messages some other wait loop should claim.
-    fn service(&self, from: usize, msg: &Message) -> bool {
+    pub(crate) fn service(&self, from: usize, msg: &Message) -> bool {
         match msg {
             Message::PullRequest { block, expert } => {
                 let (b, e) = (*block as usize, *expert as usize);
                 assert_eq!(
-                    self.cfg.owner_of(e),
+                    self.cfg.owner_of_in(b, e),
                     self.rank,
                     "pull request routed to non-owner"
                 );
-                let local = e - self.cfg.owned_experts(self.rank).start;
+                let local = e - self.cfg.owned_experts_in(b, self.rank).start;
                 let data = expert_to_bytes(&self.serving.borrow()[b][local]);
                 self.comm
                     .send(
@@ -108,7 +141,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
             } => {
                 let (b, e) = (*block as usize, *expert as usize);
                 let grad = grads_from_bytes(data.clone()).expect("decode gradient");
-                if self.cfg.owner_of(e) == self.rank {
+                if self.cfg.owner_of_in(b, e) == self.rank {
                     self.add_owner_grad(b, e, from, grad, *contributions);
                 } else {
                     debug_assert_eq!(
@@ -132,10 +165,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
         grad: ExpertGrads,
         contributions: u32,
     ) {
-        let mut map = self.owner_grads.lock();
-        map.entry((b, e))
-            .or_default()
-            .push((sender, grad, contributions));
+        self.owner_grads.push((b, e), sender, grad, contributions);
     }
 
     /// Fold a local contribution into the machine's pre-reduction; ship
@@ -155,7 +185,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
             .grads
             .add((b, e), sender, grad, |acc, g| acc.accumulate(&g))
         {
-            let owner = self.cfg.owner_of(e);
+            let owner = self.cfg.owner_of_in(b, e);
             self.comm
                 .send(
                     owner,
@@ -173,7 +203,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
     /// Fetch one expert from its (remote) owner, serving the protocol
     /// while waiting.
     fn pull_expert(&self, b: usize, e: usize) -> Result<ExpertFfn, CommError> {
-        let owner = self.cfg.owner_of(e);
+        let owner = self.cfg.owner_of_in(b, e);
         debug_assert_ne!(owner, self.rank);
         self.comm.send(
             owner,
@@ -195,22 +225,27 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
         }
     }
 
-    /// Wait for a cache entry inserted by a sibling's fetch, staying
-    /// responsive to the protocol.
+    /// Wait for a cache entry inserted by a sibling's fetch. Event-driven:
+    /// blocks on the cache's condition variable — woken the moment the
+    /// insert lands — with a bounded backoff so the worker still surfaces
+    /// periodically to serve protocol traffic addressed to it.
     fn wait_cached(&self, b: usize, e: usize) -> Result<Arc<ExpertFfn>, CommError> {
+        let mut backoff = BACKOFF_MIN;
         loop {
-            if let Some(v) = self.shared.cache.get((b, e)) {
+            if let Some(v) = self.shared.cache.wait_for((b, e), backoff) {
                 return Ok(v);
             }
             let handled = self.comm.service_pass(|from, m| self.service(from, m))?;
-            if handled == 0 {
-                std::thread::sleep(Duration::from_micros(50));
-            }
+            backoff = if handled == 0 {
+                backoff_next(backoff)
+            } else {
+                BACKOFF_MIN
+            };
         }
     }
 
     /// Barrier that keeps serving while waiting.
-    fn barrier(&self, epoch: u64) -> Result<(), CommError> {
+    pub(crate) fn barrier(&self, epoch: u64) -> Result<(), CommError> {
         let world = self.cfg.world();
         for peer in 0..world {
             if peer != self.rank {
@@ -227,6 +262,14 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
         }
         Ok(())
     }
+
+    /// Refresh the served snapshot to `state`'s current (just-updated)
+    /// weights: any pull arriving from here on is a next-iteration request
+    /// from a peer that already passed the end-of-iteration barriers, and
+    /// must see the new weights.
+    pub(crate) fn refresh_serving(&self, state: &WorkerState) {
+        self.serving.replace(state.experts.clone());
+    }
 }
 
 /// Per-block forward bookkeeping: for every expert, the fetched/local
@@ -234,12 +277,233 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
 /// activation tape itself (inputs, pre-activations, hidden) lives in the
 /// expert's [`WorkerState::scratch`] slot, held there between forward
 /// and backward so the pass stays allocation-free.
-struct BlockTapeDc {
+pub(crate) struct BlockTapeDc {
     per_expert: Vec<ExpertAssignment>,
 }
 
 /// An expert's fetched/local weights plus its `(token, weight)` slots.
 type ExpertAssignment = (Arc<ExpertFfn>, Vec<(usize, f32)>);
+
+/// Data-centric forward for one block: hierarchical fetch, per-expert
+/// compute over this worker's own tokens, combine on the residual stream.
+pub(crate) fn forward_block<T: Transport>(
+    rt: &DcRuntime<'_, T>,
+    state: &WorkerState,
+    b: usize,
+    x: &Matrix,
+) -> Result<(Matrix, BlockTapeDc), CommError> {
+    let cfg = &state.cfg;
+    let rank = state.rank;
+    let machine = cfg.machine_of(rank);
+    let experts = cfg.experts_in(b);
+    let routing = state.gates[b].route(x);
+
+    // Fetch this worker's designated share of the machine's external
+    // experts into the shared cache (the Inter-Node Scheduler's
+    // hierarchical fetch).
+    for e in 0..experts {
+        let owner = cfg.owner_of_in(b, e);
+        if cfg.machine_of(owner) != machine && cfg.designated_local(machine, e) == rank {
+            let weights = rt.pull_expert(b, e)?;
+            rt.shared.cache.insert((b, e), weights);
+        }
+    }
+
+    // Acquire every expert's weights sequentially — acquisition talks
+    // the pull protocol, which must stay on this worker's thread.
+    let mut per_expert = Vec::with_capacity(experts);
+    for e in 0..experts {
+        let owner = cfg.owner_of_in(b, e);
+        let weights: Arc<ExpertFfn> = if owner == rank {
+            Arc::new(state.owned(b, e).clone())
+        } else if cfg.machine_of(owner) == machine {
+            // Internal expert: pull directly from the local owner.
+            Arc::new(rt.pull_expert(b, e)?)
+        } else {
+            rt.wait_cached(b, e)?
+        };
+        per_expert.push((weights, routing.tokens_for(e)));
+    }
+    drop(routing);
+
+    // Per-expert forward passes are independent: run them as parallel
+    // tasks, each locking only its own scratch slot.
+    {
+        let per_expert = &per_expert;
+        pool::run_tasks(experts, |e| {
+            let (weights, slots) = &per_expert[e];
+            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+            let mut s = state.scratch_slot(b, e).lock();
+            x.gather_rows_into(&idx, &mut s.x);
+            weights.forward_scratch(&mut s);
+        });
+    }
+
+    // Combine in expert-ascending order — the same accumulation order
+    // as the expert-centric combine, and independent of how the
+    // parallel tasks were scheduled.
+    let mut y = x.clone();
+    for (e, (_, slots)) in per_expert.iter().enumerate() {
+        let s = state.scratch_slot(b, e).lock();
+        let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+        let ws: Vec<f32> = slots.iter().map(|(_, w)| *w).collect();
+        y.scatter_add_rows(&idx, &ws, &s.y);
+    }
+    Ok((y, BlockTapeDc { per_expert }))
+}
+
+/// Data-centric backward for one block: per-expert backward against the
+/// recorded tape, combine input gradients, route weight gradients.
+pub(crate) fn backward_block<T: Transport>(
+    rt: &DcRuntime<'_, T>,
+    state: &WorkerState,
+    b: usize,
+    tape: &BlockTapeDc,
+    dy: &Matrix,
+) -> Result<Matrix, CommError> {
+    let cfg = &state.cfg;
+    let rank = state.rank;
+    let machine = cfg.machine_of(rank);
+
+    // Per-expert backward passes in parallel, against the activation
+    // tape each scratch slot recorded during forward.
+    {
+        let per_expert = &tape.per_expert;
+        pool::run_tasks(per_expert.len(), |e| {
+            let (weights, slots) = &per_expert[e];
+            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+            let mut s = state.scratch_slot(b, e).lock();
+            // dY for this expert's slots: w · dy[token]. Staged through
+            // the slot's `dy` buffer (taken out so the pass can borrow
+            // the scratch mutably).
+            let mut dy_e = std::mem::take(&mut s.dy);
+            dy.gather_rows_into(&idx, &mut dy_e);
+            for (row, (_, w)) in (0..dy_e.rows()).zip(slots.iter()) {
+                for v in dy_e.row_mut(row) {
+                    *v *= *w;
+                }
+            }
+            weights.backward_scratch(&dy_e, &mut s);
+            s.dy = dy_e;
+        });
+    }
+
+    // Combine input gradients and route weight gradients, experts
+    // ascending — deterministic regardless of task scheduling.
+    let mut dx = dy.clone();
+    for (e, (_, slots)) in tape.per_expert.iter().enumerate() {
+        let s = state.scratch_slot(b, e).lock();
+        let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
+        dx.scatter_add_rows(&idx, &vec![1.0; idx.len()], &s.dx);
+
+        // Route the gradient: own → local sum; internal → owner
+        // directly; external → local aggregator for pre-reduction.
+        let owner = cfg.owner_of_in(b, e);
+        if owner == rank {
+            rt.add_owner_grad(b, e, rank, s.grad.clone(), 1);
+        } else if cfg.machine_of(owner) == machine {
+            rt.comm.send(
+                owner,
+                Message::GradPush {
+                    block: b as u32,
+                    expert: e as u32,
+                    contributions: 1,
+                    data: grads_to_bytes(&s.grad),
+                },
+            )?;
+        } else {
+            let agg = cfg.designated_local(machine, e);
+            if agg == rank {
+                rt.aggregate_external(b, e, rank, s.grad.clone(), 1);
+            } else {
+                rt.comm.send(
+                    agg,
+                    Message::GradPush {
+                        block: b as u32,
+                        expert: e as u32,
+                        contributions: 1,
+                        data: grads_to_bytes(&s.grad),
+                    },
+                )?;
+            }
+        }
+    }
+    Ok(dx)
+}
+
+/// Wait until every owned expert of every block in `blocks` has all W
+/// contributions in the inbox, then fold each in ascending sender order
+/// (bitwise independent of message arrival order) and apply the SGD step.
+/// The wait services aggregation and pull traffic between inbox checks,
+/// sleeping on the inbox's condition variable with bounded backoff.
+pub(crate) fn wait_and_apply_updates<T: Transport>(
+    rt: &DcRuntime<'_, T>,
+    state: &mut WorkerState,
+    blocks: &[usize],
+) -> Result<(), CommError> {
+    let cfg = state.cfg.clone();
+    let rank = state.rank;
+    let world = cfg.world() as u32;
+    let arrived =
+        |parts: &Vec<(usize, ExpertGrads, u32)>| parts.iter().map(|(_, _, n)| *n).sum::<u32>();
+    let mut backoff = BACKOFF_MIN;
+    loop {
+        let done = {
+            let map = rt.owner_grads.lock();
+            blocks.iter().all(|&b| {
+                cfg.owned_experts_in(b, rank)
+                    .all(|e| map.get(&(b, e)).is_some_and(|p| arrived(p) == world))
+            })
+        };
+        if done {
+            break;
+        }
+        let handled = rt.comm.service_pass(|from, m| rt.service(from, m))?;
+        if handled == 0 {
+            rt.owner_grads.wait_changed(backoff);
+            backoff = backoff_next(backoff);
+        } else {
+            backoff = BACKOFF_MIN;
+        }
+    }
+    // Fold each expert's contributions in ascending sender order: the
+    // sum — and therefore the weight update — is bitwise independent
+    // of the order gradient messages happened to arrive in.
+    let mut map = rt.owner_grads.lock();
+    for &b in blocks {
+        let owned = cfg.owned_experts_in(b, rank);
+        for e in owned.clone() {
+            let mut parts = map.remove(&(b, e)).expect("waited for all contributions");
+            debug_assert_eq!(arrived(&parts), world);
+            parts.sort_by_key(|(sender, _, _)| *sender);
+            let mut it = parts.into_iter();
+            let (_, mut grad, _) = it.next().expect("world > 0");
+            for (_, g, _) in it {
+                grad.accumulate(&g);
+            }
+            state.experts[b][e - owned.start].apply(&grad, cfg.lr);
+        }
+    }
+    Ok(())
+}
+
+/// End of iteration: synchronize, then invalidate the cache (stale
+/// weights must never survive into the next iteration, §5.1.1). Call
+/// after [`DcRuntime::refresh_serving`].
+pub(crate) fn finish_iteration<T: Transport>(
+    rt: &DcRuntime<'_, T>,
+    state: &WorkerState,
+    iter: u64,
+) -> Result<(), CommError> {
+    rt.barrier(iter * 2)?;
+    // The machine's first worker clears the shared cache between the two
+    // barriers, so no sibling can still be reading it and no sibling can
+    // race ahead into the next iteration before it is empty.
+    if state.rank.is_multiple_of(state.cfg.gpus_per_machine) {
+        rt.shared.cache.clear_for_next_iteration();
+    }
+    rt.barrier(iter * 2 + 1)
+}
 
 /// Run one data-centric training iteration.
 pub fn run_iteration<T: Transport>(
@@ -248,79 +512,16 @@ pub fn run_iteration<T: Transport>(
     shared: &MachineShared,
     iter: u64,
 ) -> Result<IterOutput, CommError> {
-    let cfg = state.cfg.clone();
-    let rank = state.rank;
-    let machine = cfg.machine_of(rank);
-    let rt = DcRuntime {
-        comm,
-        cfg: cfg.clone(),
-        rank,
-        machine,
-        shared,
-        serving: RefCell::new(state.experts.clone()),
-        owner_grads: &state.grads_inbox,
-    };
+    let blocks = state.cfg.blocks;
+    let rt = DcRuntime::new(comm, state, shared);
 
     let mut x = state.inputs.clone();
-    let mut tapes: Vec<BlockTapeDc> = Vec::with_capacity(cfg.blocks);
+    let mut tapes: Vec<BlockTapeDc> = Vec::with_capacity(blocks);
 
     // ---- Forward ----
-    for b in 0..cfg.blocks {
-        let routing = state.gates[b].route(&x);
-
-        // Fetch this worker's designated share of the machine's external
-        // experts into the shared cache (the Inter-Node Scheduler's
-        // hierarchical fetch).
-        for e in 0..cfg.experts {
-            let owner = cfg.owner_of(e);
-            if cfg.machine_of(owner) != machine && cfg.designated_local(machine, e) == rank {
-                let weights = rt.pull_expert(b, e)?;
-                shared.cache.insert((b, e), weights);
-            }
-        }
-
-        // Acquire every expert's weights sequentially — acquisition talks
-        // the pull protocol, which must stay on this worker's thread.
-        let mut per_expert = Vec::with_capacity(cfg.experts);
-        for e in 0..cfg.experts {
-            let owner = cfg.owner_of(e);
-            let weights: Arc<ExpertFfn> = if owner == rank {
-                Arc::new(state.owned(b, e).clone())
-            } else if cfg.machine_of(owner) == machine {
-                // Internal expert: pull directly from the local owner.
-                Arc::new(rt.pull_expert(b, e)?)
-            } else {
-                rt.wait_cached(b, e)?
-            };
-            per_expert.push((weights, routing.tokens_for(e)));
-        }
-        drop(routing);
-
-        // Per-expert forward passes are independent: run them as parallel
-        // tasks, each locking only its own scratch slot.
-        {
-            let x = &x;
-            let per_expert = &per_expert;
-            pool::run_tasks(cfg.experts, |e| {
-                let (weights, slots) = &per_expert[e];
-                let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
-                let mut s = state.scratch_slot(b, e).lock();
-                x.gather_rows_into(&idx, &mut s.x);
-                weights.forward_scratch(&mut s);
-            });
-        }
-
-        // Combine in expert-ascending order — the same accumulation order
-        // as the expert-centric combine, and independent of how the
-        // parallel tasks were scheduled.
-        let mut y = x.clone();
-        for (e, (_, slots)) in per_expert.iter().enumerate() {
-            let s = state.scratch_slot(b, e).lock();
-            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
-            let ws: Vec<f32> = slots.iter().map(|(_, w)| *w).collect();
-            y.scatter_add_rows(&idx, &ws, &s.y);
-        }
-        tapes.push(BlockTapeDc { per_expert });
+    for b in 0..blocks {
+        let (y, tape) = forward_block(&rt, state, b, &x)?;
+        tapes.push(tape);
         x = y;
     }
 
@@ -328,132 +529,15 @@ pub fn run_iteration<T: Transport>(
     let output = x;
 
     // ---- Backward ----
-    for b in (0..cfg.blocks).rev() {
-        let tape = &tapes[b];
-
-        // Per-expert backward passes in parallel, against the activation
-        // tape each scratch slot recorded during forward.
-        {
-            let dy = &dy;
-            let per_expert = &tape.per_expert;
-            pool::run_tasks(cfg.experts, |e| {
-                let (weights, slots) = &per_expert[e];
-                let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
-                let mut s = state.scratch_slot(b, e).lock();
-                // dY for this expert's slots: w · dy[token]. Staged through
-                // the slot's `dy` buffer (taken out so the pass can borrow
-                // the scratch mutably).
-                let mut dy_e = std::mem::take(&mut s.dy);
-                dy.gather_rows_into(&idx, &mut dy_e);
-                for (row, (_, w)) in (0..dy_e.rows()).zip(slots.iter()) {
-                    for v in dy_e.row_mut(row) {
-                        *v *= *w;
-                    }
-                }
-                weights.backward_scratch(&dy_e, &mut s);
-                s.dy = dy_e;
-            });
-        }
-
-        // Combine input gradients and route weight gradients, experts
-        // ascending — deterministic regardless of task scheduling.
-        let mut dx = dy.clone();
-        for (e, (_, slots)) in tape.per_expert.iter().enumerate() {
-            let s = state.scratch_slot(b, e).lock();
-            let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
-            dx.scatter_add_rows(&idx, &vec![1.0; idx.len()], &s.dx);
-
-            // Route the gradient: own → local sum; internal → owner
-            // directly; external → local aggregator for pre-reduction.
-            let owner = cfg.owner_of(e);
-            if owner == rank {
-                rt.add_owner_grad(b, e, rank, s.grad.clone(), 1);
-            } else if cfg.machine_of(owner) == machine {
-                comm.send(
-                    owner,
-                    Message::GradPush {
-                        block: b as u32,
-                        expert: e as u32,
-                        contributions: 1,
-                        data: grads_to_bytes(&s.grad),
-                    },
-                )?;
-            } else {
-                let agg = cfg.designated_local(machine, e);
-                if agg == rank {
-                    rt.aggregate_external(b, e, rank, s.grad.clone(), 1);
-                } else {
-                    comm.send(
-                        agg,
-                        Message::GradPush {
-                            block: b as u32,
-                            expert: e as u32,
-                            contributions: 1,
-                            data: grads_to_bytes(&s.grad),
-                        },
-                    )?;
-                }
-            }
-        }
-        dy = dx;
+    for b in (0..blocks).rev() {
+        dy = backward_block(&rt, state, b, &tapes[b], &dy)?;
     }
 
     // ---- Update ----
-    // Wait until every owned expert has all W contributions, serving
-    // aggregation and pull traffic meanwhile.
-    let world = cfg.world() as u32;
-    let arrived =
-        |parts: &Vec<(usize, ExpertGrads, u32)>| parts.iter().map(|(_, _, n)| *n).sum::<u32>();
-    loop {
-        let done = {
-            let map = rt.owner_grads.lock();
-            cfg.owned_experts(rank).all(|e| {
-                (0..cfg.blocks).all(|b| map.get(&(b, e)).is_some_and(|p| arrived(p) == world))
-            })
-        };
-        if done {
-            break;
-        }
-        let handled = comm.service_pass(|from, m| rt.service(from, m))?;
-        if handled == 0 {
-            std::thread::sleep(Duration::from_micros(50));
-        }
-    }
-    {
-        // Fold each expert's contributions in ascending sender order: the
-        // sum — and therefore the weight update — is bitwise independent
-        // of the order gradient messages happened to arrive in.
-        let owned = cfg.owned_experts(rank);
-        let mut map = rt.owner_grads.lock();
-        for b in 0..cfg.blocks {
-            for e in owned.clone() {
-                let mut parts = map.remove(&(b, e)).expect("waited for all contributions");
-                debug_assert_eq!(arrived(&parts), world);
-                parts.sort_by_key(|(sender, _, _)| *sender);
-                let mut it = parts.into_iter();
-                let (_, mut grad, _) = it.next().expect("world > 0");
-                for (_, g, _) in it {
-                    grad.accumulate(&g);
-                }
-                state.experts[b][e - owned.start].apply(&grad, cfg.lr);
-            }
-        }
-    }
-    // Refresh the served snapshot to the just-updated weights: any pull
-    // arriving from here on is a next-iteration request from a peer that
-    // already passed the barriers below, and must see the new weights.
-    rt.serving.replace(state.experts.clone());
-
-    // End of iteration: synchronize, then invalidate the cache (stale
-    // weights must never survive into the next iteration, §5.1.1).
-    rt.barrier(iter * 2)?;
-    // The machine's first worker clears the shared cache between the two
-    // barriers, so no sibling can still be reading it and no sibling can
-    // race ahead into the next iteration before it is empty.
-    if rank.is_multiple_of(cfg.gpus_per_machine) {
-        shared.cache.clear_for_next_iteration();
-    }
-    rt.barrier(iter * 2 + 1)?;
+    let all_blocks: Vec<usize> = (0..blocks).collect();
+    wait_and_apply_updates(&rt, state, &all_blocks)?;
+    rt.refresh_serving(state);
+    finish_iteration(&rt, state, iter)?;
     Ok(IterOutput { output, loss })
 }
 
@@ -530,6 +614,16 @@ mod tests {
         };
         for (losses, _, _) in run_dc(&cfg, 2) {
             assert!(losses[1] < losses[0]);
+        }
+    }
+
+    #[test]
+    fn nonuniform_expert_counts_work() {
+        // The mixed config's blocks have different expert counts; the
+        // pure data-centric engine must handle the per-block layout.
+        let cfg = ExecConfig::mixed_paradigms();
+        for (losses, _, _) in run_dc(&cfg, 2) {
+            assert!(losses.iter().all(|l| l.is_finite()));
         }
     }
 }

@@ -3,14 +3,23 @@
 //! Forward, per block: route tokens, All-to-All the routed slots to the
 //! expert owners, compute, All-to-All the results back, combine with the
 //! gate weights on a residual stream. Backward mirrors the two
-//! collectives; expert owners accumulate weight gradients locally over
-//! the full received batch.
+//! collectives; expert owners compute weight gradients per source rank
+//! and fold them in exactly the order the data-centric engine does, so
+//! the two paradigms (and the unified engine mixing them) apply bitwise
+//! identical updates.
+//!
+//! The per-block bodies ([`forward_block`], [`backward_block`]) are the
+//! reusable units the unified engine dispatches to; [`run_iteration`]
+//! composes them for a pure expert-centric run. Both take a `service`
+//! callback that is offered every unrelated message arriving inside a
+//! collective — a no-op for pure runs, the data-centric protocol handler
+//! for mixed-paradigm runs.
 
 use crate::exec::model::{loss_and_grad, ExecConfig, WorkerState};
 use crate::exec::weights::{tokens_from_bytes, tokens_to_bytes, Slot};
-use janus_comm::collectives::{all_to_all, barrier};
-use janus_comm::{Comm, CommError, Transport};
-use janus_moe::expert::ExpertGrads;
+use janus_comm::collectives::{all_to_all_serviced, barrier};
+use janus_comm::{Comm, CommError, Message, Transport};
+use janus_moe::expert::{ExpertGrads, ExpertScratch};
 use janus_tensor::{pool, Matrix};
 
 /// Output of one training iteration.
@@ -25,37 +34,286 @@ pub struct IterOutput {
 /// What each owned expert remembers between forward and backward. The
 /// activation tape itself lives in the expert's [`WorkerState::scratch`]
 /// slot.
-struct ExpertTape {
+pub(crate) struct ExpertTape {
     /// Global expert id.
-    expert: usize,
-    /// Origin of every row of the expert batch: `(src_rank, slot)`.
-    origins: Vec<(usize, Slot)>,
+    pub expert: usize,
+    /// Origin of every row of the expert batch: `(src_rank, pos, slot)`
+    /// where `pos` indexes the source's dispatch chunk, sources
+    /// ascending, slot order within a source. Backward addresses the
+    /// grad chunks by `pos` — the sender serializes backward chunks in
+    /// dispatch order, so no value lookup (which `NaN` weights would
+    /// defeat) is needed.
+    pub origins: Vec<(usize, usize, Slot)>,
 }
 
 /// Per-block forward bookkeeping.
-struct BlockTapeEc {
+pub(crate) struct BlockTapeEc {
     /// Slots this worker dispatched, grouped per destination rank.
-    sent: Vec<Vec<Slot>>,
+    pub sent: Vec<Vec<Slot>>,
     /// Tapes of the experts this worker owns.
-    experts: Vec<ExpertTape>,
+    pub experts: Vec<ExpertTape>,
 }
 
-fn a2a_seq(iter: u64, block: usize, phase: u64) -> u64 {
+pub(crate) fn a2a_seq(iter: u64, block: usize, phase: u64) -> u64 {
     (iter << 16) | ((block as u64) << 4) | phase
 }
 
-/// Group this worker's routed slots by destination rank, in (expert
-/// ascending, token ascending) order — the deterministic order both
-/// paradigms share.
-fn group_slots(cfg: &ExecConfig, routing: &janus_moe::gate::Routing) -> Vec<Vec<Slot>> {
+/// Group this worker's routed slots for block `b` by destination rank, in
+/// (expert ascending, token ascending) order — the deterministic order
+/// both paradigms share.
+fn group_slots(cfg: &ExecConfig, b: usize, routing: &janus_moe::gate::Routing) -> Vec<Vec<Slot>> {
     let mut per_dst: Vec<Vec<Slot>> = vec![Vec::new(); cfg.world()];
-    for e in 0..cfg.experts {
-        let dst = cfg.owner_of(e);
+    for e in 0..cfg.experts_in(b) {
+        let dst = cfg.owner_of_in(b, e);
         for (tok, w) in routing.tokens_for(e) {
             per_dst[dst].push((tok as u32, e as u32, w));
         }
     }
     per_dst
+}
+
+/// Expert-centric forward for one block: dispatch All-to-All, owned-expert
+/// compute, combine All-to-All, residual add. Returns the block output and
+/// the tape backward needs. `service` is offered every unrelated message
+/// that arrives while a collective waits.
+pub(crate) fn forward_block<T: Transport>(
+    comm: &Comm<T>,
+    state: &WorkerState,
+    b: usize,
+    iter: u64,
+    x: &Matrix,
+    service: &mut dyn FnMut(usize, &Message) -> bool,
+) -> Result<(Matrix, BlockTapeEc), CommError> {
+    let cfg = &state.cfg;
+    let world = cfg.world();
+    let routing = state.gates[b].route(x);
+    let sent = group_slots(cfg, b, &routing);
+
+    // Dispatch A2A.
+    let chunks: Vec<Vec<u8>> = sent
+        .iter()
+        .map(|slots| {
+            let idx: Vec<usize> = slots.iter().map(|s| s.0 as usize).collect();
+            tokens_to_bytes(slots, &x.gather_rows(&idx)).to_vec()
+        })
+        .collect();
+    let received = all_to_all_serviced(comm, a2a_seq(iter, b, 0), chunks, &mut *service)?;
+
+    // Build per-owned-expert batches in (src asc, slot order) order.
+    let decoded: Vec<(Vec<Slot>, Matrix)> = received
+        .into_iter()
+        .map(|c| tokens_from_bytes(c.into()))
+        .collect::<Result<_, _>>()?;
+    let owned = cfg.owned_experts_in(b, state.rank);
+    let e0 = owned.start;
+    // Per-owned-expert batch assembly + forward as parallel tasks;
+    // each expert's activation tape is recorded in its scratch slot.
+    let origins_per: Vec<Vec<(usize, usize, Slot)>> = {
+        let decoded = &decoded;
+        let experts = &state.experts;
+        pool::run_tasks(owned.len(), |local| {
+            let e = e0 + local;
+            let mut origins = Vec::new();
+            for (src, (slots, _)) in decoded.iter().enumerate() {
+                for (i, slot) in slots.iter().enumerate() {
+                    if slot.1 as usize == e {
+                        origins.push((src, i, *slot));
+                    }
+                }
+            }
+            let mut s = state.scratch_slot(b, e).lock();
+            s.x.resize(origins.len(), cfg.hidden_dim);
+            for (row, (src, i, _)) in origins.iter().enumerate() {
+                s.x.row_mut(row).copy_from_slice(decoded[*src].1.row(*i));
+            }
+            experts[b][local].forward_scratch(&mut s);
+            origins
+        })
+    };
+    // Collect outputs in expert-ascending order (deterministic
+    // regardless of task scheduling).
+    let mut expert_tapes = Vec::new();
+    let mut returns: Vec<(Vec<Slot>, Vec<Vec<f32>>)> =
+        (0..world).map(|_| (Vec::new(), Vec::new())).collect();
+    for (local, origins) in origins_per.into_iter().enumerate() {
+        let e = e0 + local;
+        let s = state.scratch_slot(b, e).lock();
+        for (i, (src, _, slot)) in origins.iter().enumerate() {
+            returns[*src].0.push(*slot);
+            returns[*src].1.push(s.y.row(i).to_vec());
+        }
+        expert_tapes.push(ExpertTape { expert: e, origins });
+    }
+
+    // Combine A2A: send results home.
+    let chunks: Vec<Vec<u8>> = returns
+        .iter()
+        .map(|(slots, rows)| tokens_to_bytes(slots, &rows_to_matrix(rows, cfg.hidden_dim)).to_vec())
+        .collect();
+    let received = all_to_all_serviced(comm, a2a_seq(iter, b, 1), chunks, &mut *service)?;
+
+    // y = x + Σ wₖ·expertₖ(x): iterate sources in rank order, which is
+    // expert-ascending order because expert ownership is contiguous.
+    let mut y = x.clone();
+    for chunk in received {
+        let (slots, rows) = tokens_from_bytes(chunk.into())?;
+        for (i, (tok, _e, w)) in slots.iter().enumerate() {
+            y.scatter_add_rows(&[*tok as usize], &[*w], &rows_to_matrix_one(rows.row(i)));
+        }
+    }
+    Ok((
+        y,
+        BlockTapeEc {
+            sent,
+            experts: expert_tapes,
+        },
+    ))
+}
+
+/// Expert-centric backward for one block: grad-dispatch All-to-All,
+/// per-source expert backward, grad fold, dx-return All-to-All, residual
+/// add. Returns `dx` and the folded weight gradient of each owned expert
+/// (local index order), bitwise identical to what the data-centric
+/// owner's inbox fold would produce.
+pub(crate) fn backward_block<T: Transport>(
+    comm: &Comm<T>,
+    state: &WorkerState,
+    b: usize,
+    iter: u64,
+    tape: &BlockTapeEc,
+    dy: &Matrix,
+    service: &mut dyn FnMut(usize, &Message) -> bool,
+) -> Result<(Matrix, Vec<ExpertGrads>), CommError> {
+    let cfg = &state.cfg;
+    let world = cfg.world();
+    let h = cfg.hidden_dim;
+    // Send ∂L/∂(expert output) for every dispatched slot: w·dy[token].
+    let chunks: Vec<Vec<u8>> = tape
+        .sent
+        .iter()
+        .map(|slots| {
+            let mut rows = Vec::with_capacity(slots.len());
+            for (tok, _e, w) in slots {
+                let mut row = dy.row(*tok as usize).to_vec();
+                for v in &mut row {
+                    *v *= *w;
+                }
+                rows.push(row);
+            }
+            tokens_to_bytes(slots, &rows_to_matrix(&rows, h)).to_vec()
+        })
+        .collect();
+    let received = all_to_all_serviced(comm, a2a_seq(iter, b, 2), chunks, &mut *service)?;
+    let decoded: Vec<(Vec<Slot>, Matrix)> = received
+        .into_iter()
+        .map(|c| tokens_from_bytes(c.into()))
+        .collect::<Result<_, _>>()?;
+
+    // Expert backward, one sub-batch per source rank, as parallel tasks.
+    // Each source's rows form a contiguous run of the forward batch (the
+    // forward assembled origins sources-ascending), and every forward op
+    // is row-local, so the sliced activations are bitwise the ones that
+    // source's own data-centric pass would have produced. Folding the
+    // per-source gradients in the data-centric order then yields bitwise
+    // the gradient a data-centric owner applies.
+    let grads: Vec<ExpertGrads> = {
+        let decoded = &decoded;
+        let experts = &state.experts;
+        let tape_experts = &tape.experts;
+        let e0 = cfg.owned_experts_in(b, state.rank).start;
+        pool::run_tasks(tape_experts.len(), |ti| {
+            let tape_e = &tape_experts[ti];
+            let local = tape_e.expert - e0;
+            let weights = &experts[b][local];
+            let origins = &tape_e.origins;
+            let mut s = state.scratch_slot(b, tape_e.expert).lock();
+            s.dx.resize(origins.len(), h);
+            let mut sub = ExpertScratch::new();
+            let mut dy_src = Matrix::zeros(0, 0);
+            let mut per_src: Vec<ExpertGrads> = Vec::with_capacity(world);
+            let mut r0 = 0;
+            for (src, (_, mat)) in decoded.iter().enumerate() {
+                let mut r1 = r0;
+                while r1 < origins.len() && origins[r1].0 == src {
+                    r1 += 1;
+                }
+                let n = r1 - r0;
+                dy_src.resize(n, h);
+                sub.x.resize(n, h);
+                sub.pre.resize(n, 4 * h);
+                sub.hidden.resize(n, 4 * h);
+                for (i, (_, pos, _)) in origins[r0..r1].iter().enumerate() {
+                    dy_src.row_mut(i).copy_from_slice(mat.row(*pos));
+                    sub.x.row_mut(i).copy_from_slice(s.x.row(r0 + i));
+                    sub.pre.row_mut(i).copy_from_slice(s.pre.row(r0 + i));
+                    sub.hidden.row_mut(i).copy_from_slice(s.hidden.row(r0 + i));
+                }
+                weights.backward_scratch(&dy_src, &mut sub);
+                for i in 0..n {
+                    s.dx.row_mut(r0 + i).copy_from_slice(sub.dx.row(i));
+                }
+                per_src.push(sub.grad.clone());
+                r0 = r1;
+            }
+            fold_like_dc(cfg, b, tape_e.expert, per_src)
+        })
+    };
+    // Route dx home, experts ascending.
+    let mut returns: Vec<(Vec<Slot>, Vec<Vec<f32>>)> =
+        (0..world).map(|_| (Vec::new(), Vec::new())).collect();
+    for tape_e in tape.experts.iter() {
+        let s = state.scratch_slot(b, tape_e.expert).lock();
+        for (i, (src, _, slot)) in tape_e.origins.iter().enumerate() {
+            returns[*src].0.push(*slot);
+            returns[*src].1.push(s.dx.row(i).to_vec());
+        }
+    }
+    let chunks: Vec<Vec<u8>> = returns
+        .iter()
+        .map(|(slots, rows)| tokens_to_bytes(slots, &rows_to_matrix(rows, h)).to_vec())
+        .collect();
+    let received = all_to_all_serviced(comm, a2a_seq(iter, b, 3), chunks, &mut *service)?;
+
+    // dx = dy (residual) + returned expert input-gradients.
+    let mut dx = dy.clone();
+    for chunk in received {
+        let (slots, rows) = tokens_from_bytes(chunk.into())?;
+        for (i, (tok, _e, _w)) in slots.iter().enumerate() {
+            dx.scatter_add_rows(&[*tok as usize], &[1.0], &rows_to_matrix_one(rows.row(i)));
+        }
+    }
+    Ok((dx, grads))
+}
+
+/// Fold per-source gradients of one owned expert exactly the way the
+/// data-centric path does: workers on machines other than the owner's are
+/// pre-reduced ascending into one part attributed to that machine's
+/// designated aggregator, owner-machine workers contribute individually,
+/// and the parts fold ascending by sender rank.
+fn fold_like_dc(cfg: &ExecConfig, b: usize, e: usize, per_src: Vec<ExpertGrads>) -> ExpertGrads {
+    let owner_machine = cfg.machine_of(cfg.owner_of_in(b, e));
+    let mut parts: Vec<(usize, ExpertGrads)> = Vec::new();
+    for (machine, machine_srcs) in per_src.chunks(cfg.gpus_per_machine).enumerate() {
+        let first_rank = machine * cfg.gpus_per_machine;
+        if machine == owner_machine {
+            for (i, g) in machine_srcs.iter().enumerate() {
+                parts.push((first_rank + i, g.clone()));
+            }
+        } else {
+            let mut sum = machine_srcs[0].clone();
+            for g in &machine_srcs[1..] {
+                sum.accumulate(g);
+            }
+            parts.push((cfg.designated_local(machine, e), sum));
+        }
+    }
+    parts.sort_by_key(|(sender, _)| *sender);
+    let mut it = parts.into_iter();
+    let (_, mut grad) = it.next().expect("at least one machine");
+    for (_, g) in it {
+        grad.accumulate(&g);
+    }
+    grad
 }
 
 /// Run one expert-centric training iteration.
@@ -64,97 +322,16 @@ pub fn run_iteration<T: Transport>(
     state: &mut WorkerState,
     iter: u64,
 ) -> Result<IterOutput, CommError> {
-    let cfg = state.cfg.clone();
-    let world = cfg.world();
+    let blocks = state.cfg.blocks;
+    let lr = state.cfg.lr;
+    let mut service = |_: usize, _: &Message| false;
     let mut x = state.inputs.clone();
-    let mut tapes: Vec<BlockTapeEc> = Vec::with_capacity(cfg.blocks);
+    let mut tapes: Vec<BlockTapeEc> = Vec::with_capacity(blocks);
 
     // ---- Forward ----
-    for b in 0..cfg.blocks {
-        let routing = state.gates[b].route(&x);
-        let sent = group_slots(&cfg, &routing);
-
-        // Dispatch A2A.
-        let chunks: Vec<Vec<u8>> = sent
-            .iter()
-            .map(|slots| {
-                let idx: Vec<usize> = slots.iter().map(|s| s.0 as usize).collect();
-                tokens_to_bytes(slots, &x.gather_rows(&idx)).to_vec()
-            })
-            .collect();
-        let received = all_to_all(comm, a2a_seq(iter, b, 0), chunks)?;
-
-        // Build per-owned-expert batches in (src asc, slot order) order.
-        let decoded: Vec<(Vec<Slot>, Matrix)> = received
-            .into_iter()
-            .map(|c| tokens_from_bytes(c.into()))
-            .collect::<Result<_, _>>()?;
-        let owned = cfg.owned_experts(state.rank);
-        let e0 = owned.start;
-        // Per-owned-expert batch assembly + forward as parallel tasks;
-        // each expert's activation tape is recorded in its scratch slot.
-        let origins_per: Vec<Vec<(usize, Slot)>> = {
-            let decoded = &decoded;
-            let experts = &state.experts;
-            pool::run_tasks(owned.len(), |local| {
-                let e = e0 + local;
-                let mut origins = Vec::new();
-                for (src, (slots, _)) in decoded.iter().enumerate() {
-                    for (i, slot) in slots.iter().enumerate() {
-                        if slot.1 as usize == e {
-                            origins.push((src, (i, *slot)));
-                        }
-                    }
-                }
-                let mut s = state.scratch_slot(b, e).lock();
-                s.x.resize(origins.len(), cfg.hidden_dim);
-                for (row, (src, (i, _))) in origins.iter().enumerate() {
-                    s.x.row_mut(row).copy_from_slice(decoded[*src].1.row(*i));
-                }
-                experts[b][local].forward_scratch(&mut s);
-                origins
-                    .into_iter()
-                    .map(|(src, (_, slot))| (src, slot))
-                    .collect()
-            })
-        };
-        // Collect outputs in expert-ascending order (deterministic
-        // regardless of task scheduling).
-        let mut expert_tapes = Vec::new();
-        let mut returns: Vec<(Vec<Slot>, Vec<Vec<f32>>)> =
-            (0..world).map(|_| (Vec::new(), Vec::new())).collect();
-        for (local, origins) in origins_per.into_iter().enumerate() {
-            let e = e0 + local;
-            let s = state.scratch_slot(b, e).lock();
-            for (i, (src, slot)) in origins.iter().enumerate() {
-                returns[*src].0.push(*slot);
-                returns[*src].1.push(s.y.row(i).to_vec());
-            }
-            expert_tapes.push(ExpertTape { expert: e, origins });
-        }
-
-        // Combine A2A: send results home.
-        let chunks: Vec<Vec<u8>> = returns
-            .iter()
-            .map(|(slots, rows)| {
-                tokens_to_bytes(slots, &rows_to_matrix(rows, cfg.hidden_dim)).to_vec()
-            })
-            .collect();
-        let received = all_to_all(comm, a2a_seq(iter, b, 1), chunks)?;
-
-        // y = x + Σ wₖ·expertₖ(x): iterate sources in rank order, which is
-        // expert-ascending order because expert ownership is contiguous.
-        let mut y = x.clone();
-        for chunk in received {
-            let (slots, rows) = tokens_from_bytes(chunk.into())?;
-            for (i, (tok, _e, w)) in slots.iter().enumerate() {
-                y.scatter_add_rows(&[*tok as usize], &[*w], &rows_to_matrix_one(rows.row(i)));
-            }
-        }
-        tapes.push(BlockTapeEc {
-            sent,
-            experts: expert_tapes,
-        });
+    for b in 0..blocks {
+        let (y, tape) = forward_block(comm, state, b, iter, &x, &mut service)?;
+        tapes.push(tape);
         x = y;
     }
 
@@ -162,104 +339,17 @@ pub fn run_iteration<T: Transport>(
     let output = x;
 
     // ---- Backward ----
-    let mut grads: Vec<Vec<ExpertGrads>> = (0..cfg.blocks)
-        .map(|b| {
-            cfg.owned_experts(state.rank)
-                .map(|e| {
-                    let local = e - cfg.owned_experts(state.rank).start;
-                    let _ = e;
-                    ExpertGrads::zeros_like(&state.experts[b][local])
-                })
-                .collect()
-        })
-        .collect();
-
-    for b in (0..cfg.blocks).rev() {
-        let tape = &tapes[b];
-        // Send ∂L/∂(expert output) for every dispatched slot: w·dy[token].
-        let chunks: Vec<Vec<u8>> = tape
-            .sent
-            .iter()
-            .map(|slots| {
-                let mut rows = Vec::with_capacity(slots.len());
-                for (tok, _e, w) in slots {
-                    let mut row = dy.row(*tok as usize).to_vec();
-                    for v in &mut row {
-                        *v *= *w;
-                    }
-                    rows.push(row);
-                }
-                tokens_to_bytes(slots, &rows_to_matrix(&rows, cfg.hidden_dim)).to_vec()
-            })
-            .collect();
-        let received = all_to_all(comm, a2a_seq(iter, b, 2), chunks)?;
-        let decoded: Vec<(Vec<Slot>, Matrix)> = received
-            .into_iter()
-            .map(|c| tokens_from_bytes(c.into()))
-            .collect::<Result<_, _>>()?;
-
-        // Expert backward over the full received batch, as parallel
-        // tasks against each slot's recorded activation tape.
-        {
-            let decoded = &decoded;
-            let experts = &state.experts;
-            let tape_experts = &tape.experts;
-            let e0 = cfg.owned_experts(state.rank).start;
-            pool::run_tasks(tape_experts.len(), |ti| {
-                let tape_e = &tape_experts[ti];
-                let local = tape_e.expert - e0;
-                let mut s = state.scratch_slot(b, tape_e.expert).lock();
-                // Rebuild dY in the same order as the forward batch,
-                // staged through the slot's `dy` buffer.
-                let mut dy_e = std::mem::take(&mut s.dy);
-                dy_e.resize(tape_e.origins.len(), cfg.hidden_dim);
-                for (row, (src, slot)) in tape_e.origins.iter().enumerate() {
-                    let (slots, mat) = &decoded[*src];
-                    let pos = slots
-                        .iter()
-                        .position(|s| s == slot)
-                        .expect("backward slot must mirror forward slot");
-                    dy_e.row_mut(row).copy_from_slice(mat.row(pos));
-                }
-                experts[b][local].backward_scratch(&dy_e, &mut s);
-                s.dy = dy_e;
-            });
-        }
-        // Accumulate gradients and route dx home, experts ascending.
-        let mut returns: Vec<(Vec<Slot>, Vec<Vec<f32>>)> =
-            (0..world).map(|_| (Vec::new(), Vec::new())).collect();
-        for tape_e in tape.experts.iter() {
-            let local = tape_e.expert - cfg.owned_experts(state.rank).start;
-            let s = state.scratch_slot(b, tape_e.expert).lock();
-            grads[b][local].accumulate(&s.grad);
-            for (i, (src, slot)) in tape_e.origins.iter().enumerate() {
-                returns[*src].0.push(*slot);
-                returns[*src].1.push(s.dx.row(i).to_vec());
-            }
-        }
-        let chunks: Vec<Vec<u8>> = returns
-            .iter()
-            .map(|(slots, rows)| {
-                tokens_to_bytes(slots, &rows_to_matrix(rows, cfg.hidden_dim)).to_vec()
-            })
-            .collect();
-        let received = all_to_all(comm, a2a_seq(iter, b, 3), chunks)?;
-
-        // dx = dy (residual) + returned expert input-gradients.
-        let mut dx = dy.clone();
-        for chunk in received {
-            let (slots, rows) = tokens_from_bytes(chunk.into())?;
-            for (i, (tok, _e, _w)) in slots.iter().enumerate() {
-                dx.scatter_add_rows(&[*tok as usize], &[1.0], &rows_to_matrix_one(rows.row(i)));
-            }
-        }
+    let mut grads: Vec<Vec<ExpertGrads>> = (0..blocks).map(|_| Vec::new()).collect();
+    for b in (0..blocks).rev() {
+        let (dx, g) = backward_block(comm, state, b, iter, &tapes[b], &dy, &mut service)?;
+        grads[b] = g;
         dy = dx;
     }
 
     // ---- Update ----
     for (b, block_grads) in grads.iter().enumerate() {
         for (local, g) in block_grads.iter().enumerate() {
-            state.experts[b][local].apply(g, cfg.lr);
+            state.experts[b][local].apply(g, lr);
         }
     }
     barrier(comm, iter)?;
@@ -335,6 +425,20 @@ mod tests {
                     assert_eq!(ea, eb);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn per_block_layout_runs_with_nonuniform_experts() {
+        // The mixed config has a different expert count per block; the
+        // expert-centric engine must handle it end to end.
+        let cfg = ExecConfig::mixed_paradigms();
+        let out = run_workers(cfg.world(), |comm| {
+            let mut state = WorkerState::init(&cfg, comm.rank());
+            run_iteration(&comm, &mut state, 0).unwrap()
+        });
+        for o in &out {
+            assert!(o.loss.is_finite() && o.loss > 0.0);
         }
     }
 }

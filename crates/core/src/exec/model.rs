@@ -6,25 +6,70 @@
 //! add identical local compute to both paradigms and are omitted; the
 //! simulation engines model their cost instead.
 
+use crate::plan::{IterationPlan, PlanOpts};
+use janus_moe::config::{BlockKind, ModelConfig};
 use janus_moe::expert::{ExpertFfn, ExpertGrads, ExpertScratch};
 use janus_moe::gate::TopKGate;
 use janus_tensor::Matrix;
-use parking_lot::Mutex;
+use janus_topology::{Cluster, ClusterSpec};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The buffered contributions for one owned expert: `(sender, grad,
+/// contribution count)` tuples.
+pub type GradParts = Vec<(usize, ExpertGrads, u32)>;
 
 /// Gradient contributions addressed to this worker's owned experts,
-/// keyed by `(block, expert)`: `(sender, grad, contribution count)`
-/// tuples buffered until all of the world's contributions arrived.
+/// keyed by `(block, expert)`, buffered until all of the world's
+/// contributions arrived.
 ///
 /// Lives on [`WorkerState`] (not inside one iteration's runtime) because
 /// a fast peer may pass the end-of-iteration barriers and push its
 /// next-iteration gradient while this worker is still draining the
 /// current iteration's barrier — the contribution must survive into the
 /// next iteration instead of being dropped with the old runtime.
-pub type GradInbox = Mutex<HashMap<(usize, usize), Vec<(usize, ExpertGrads, u32)>>>;
+#[derive(Default)]
+pub struct GradInbox {
+    inner: Mutex<HashMap<(usize, usize), GradParts>>,
+    changed: Condvar,
+}
+
+impl GradInbox {
+    /// Empty inbox.
+    pub fn new() -> Self {
+        GradInbox::default()
+    }
+
+    /// Buffer one contribution and wake any waiter.
+    pub fn push(&self, key: (usize, usize), sender: usize, grad: ExpertGrads, contributions: u32) {
+        self.inner
+            .lock()
+            .entry(key)
+            .or_default()
+            .push((sender, grad, contributions));
+        self.changed.notify_all();
+    }
+
+    /// Lock the underlying map (used by the update fold).
+    pub fn lock(&self) -> MutexGuard<'_, HashMap<(usize, usize), GradParts>> {
+        self.inner.lock()
+    }
+
+    /// Block until a contribution lands or `timeout` elapses — the
+    /// event-driven half of the engines' update wait; remote arrivals
+    /// still need the caller's bounded-backoff service loop.
+    pub fn wait_changed(&self, timeout: Duration) {
+        let mut guard = self.inner.lock();
+        let _ = self
+            .changed
+            .wait_until(&mut guard, Instant::now() + timeout);
+    }
+}
 
 /// Configuration of a numerical training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +84,10 @@ pub struct ExecConfig {
     pub blocks: usize,
     /// Experts per block (divisible by the world size).
     pub experts: usize,
+    /// Optional per-block expert counts (length `blocks`); empty means
+    /// every block has `experts` experts. Uneven counts give blocks
+    /// different `R` values, so a unified plan can mix paradigms.
+    pub experts_per_block: Vec<usize>,
     /// Gate fan-out.
     pub top_k: usize,
     /// Tokens per worker per iteration.
@@ -58,10 +107,33 @@ impl ExecConfig {
             hidden_dim: 8,
             blocks: 2,
             experts: 8,
+            experts_per_block: Vec::new(),
             top_k: 2,
             tokens: 16,
             seed: 7,
             lr: 0.05,
+        }
+    }
+
+    /// A configuration whose compiled plan mixes paradigms: the first
+    /// block's `R` exceeds 1 (data-centric) while the second's does not
+    /// (expert-centric). Used by the unified-engine equivalence tests.
+    pub fn mixed_paradigms() -> Self {
+        ExecConfig {
+            machines: 2,
+            gpus_per_machine: 2,
+            hidden_dim: 8,
+            blocks: 2,
+            experts: 8,
+            // R(b) = tokens·k / (4·n·H·E_per_worker): 64·2/(4·2·8·1) = 2
+            // for the 4-expert block, 1 for the 8-expert block.
+            experts_per_block: vec![4, 8],
+            top_k: 2,
+            tokens: 64,
+            seed: 7,
+            // 0.05 diverges on this shape within ~5 iterations; 0.01
+            // trains stably for the longer equivalence runs.
+            lr: 0.01,
         }
     }
 
@@ -102,6 +174,80 @@ impl ExecConfig {
         let per = self.experts_per_worker();
         rank * per..(rank + 1) * per
     }
+
+    /// Experts in block `b`.
+    pub fn experts_in(&self, b: usize) -> usize {
+        if self.experts_per_block.is_empty() {
+            self.experts
+        } else {
+            self.experts_per_block[b]
+        }
+    }
+
+    /// Experts per worker in block `b`.
+    pub fn experts_per_worker_in(&self, b: usize) -> usize {
+        let experts = self.experts_in(b);
+        assert_eq!(
+            experts % self.world(),
+            0,
+            "block {b}: experts must divide the world size"
+        );
+        experts / self.world()
+    }
+
+    /// Owner rank of global expert `e` of block `b`.
+    pub fn owner_of_in(&self, b: usize, e: usize) -> usize {
+        e / self.experts_per_worker_in(b)
+    }
+
+    /// Global expert ids of block `b` owned by `rank`.
+    pub fn owned_experts_in(&self, b: usize, rank: usize) -> std::ops::Range<usize> {
+        let per = self.experts_per_worker_in(b);
+        rank * per..(rank + 1) * per
+    }
+
+    /// Scratch-slot index of `(block, global expert)`: blocks may differ
+    /// in expert count, so slots are laid out by prefix sum.
+    pub fn scratch_index(&self, b: usize, e: usize) -> usize {
+        debug_assert!(e < self.experts_in(b));
+        (0..b).map(|p| self.experts_in(p)).sum::<usize>() + e
+    }
+
+    /// Total scratch slots across all blocks.
+    pub fn scratch_slots(&self) -> usize {
+        (0..self.blocks).map(|b| self.experts_in(b)).sum()
+    }
+
+    /// The equivalent [`ModelConfig`]: a stack of pure MoE blocks with
+    /// `B·S = tokens` per worker, in f32 — the analytic-model view of
+    /// this numerical run, used to compile its [`IterationPlan`].
+    pub fn model_config(&self) -> ModelConfig {
+        ModelConfig {
+            name: "exec".to_string(),
+            blocks: (0..self.blocks)
+                .map(|b| BlockKind::Moe {
+                    experts: self.experts_in(b),
+                })
+                .collect(),
+            hidden_dim: self.hidden_dim,
+            batch: self.tokens,
+            seq_len: 1,
+            top_k: self.top_k,
+            dtype_bytes: 4,
+            vocab: 0,
+        }
+    }
+
+    /// The cluster this run models.
+    pub fn cluster(&self) -> Cluster {
+        ClusterSpec::a100(self.machines, self.gpus_per_machine).build()
+    }
+
+    /// Compile the iteration plan for this run — the same single
+    /// compilation site the simulator uses.
+    pub fn compile_plan(&self, opts: &PlanOpts) -> IterationPlan {
+        IterationPlan::compile(&self.model_config(), &self.cluster(), opts)
+    }
 }
 
 /// One worker's model replica + expert shard.
@@ -116,8 +262,9 @@ pub struct WorkerState {
     pub experts: Vec<Vec<ExpertFfn>>,
     /// This worker's token batch.
     pub inputs: Matrix,
-    /// Cross-iteration inbox of gradient contributions for owned experts.
-    pub grads_inbox: GradInbox,
+    /// Cross-iteration inbox of gradient contributions for owned experts
+    /// (shared with the iteration runtimes, hence the `Arc`).
+    pub grads_inbox: Arc<GradInbox>,
     /// Reusable compute buffers, one slot per `(block, global expert)`
     /// (index `block · experts + expert`). A slot doubles as the
     /// activation tape of its expert between forward and backward, and
@@ -136,19 +283,19 @@ impl WorkerState {
         let gates = (0..cfg.blocks)
             .map(|b| {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xA11CE << 8) ^ b as u64);
-                TopKGate::new(cfg.hidden_dim, cfg.experts, cfg.top_k, &mut rng)
+                TopKGate::new(cfg.hidden_dim, cfg.experts_in(b), cfg.top_k, &mut rng)
             })
             .collect();
         let experts = (0..cfg.blocks)
             .map(|b| {
-                cfg.owned_experts(rank)
+                cfg.owned_experts_in(b, rank)
                     .map(|e| expert_weights(cfg, b, e))
                     .collect::<Vec<_>>()
             })
             .collect();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xDA7A << 16) ^ rank as u64);
         let inputs = Matrix::uniform(cfg.tokens, cfg.hidden_dim, 1.0, &mut rng);
-        let scratch = (0..cfg.blocks * cfg.experts)
+        let scratch = (0..cfg.scratch_slots())
             .map(|_| Mutex::new(ExpertScratch::new()))
             .collect();
         WorkerState {
@@ -157,14 +304,14 @@ impl WorkerState {
             gates,
             experts,
             inputs,
-            grads_inbox: Mutex::new(HashMap::new()),
+            grads_inbox: Arc::new(GradInbox::new()),
             scratch,
         }
     }
 
     /// The scratch slot of `(block, global expert)`.
     pub fn scratch_slot(&self, block: usize, e: usize) -> &Mutex<ExpertScratch> {
-        &self.scratch[block * self.cfg.experts + e]
+        &self.scratch[self.cfg.scratch_index(block, e)]
     }
 
     /// The canonical initial weights of global expert `e` in block `b`.
@@ -174,9 +321,9 @@ impl WorkerState {
 
     /// Mutable access to an owned expert by global id.
     pub fn owned_mut(&mut self, block: usize, e: usize) -> &mut ExpertFfn {
-        let per = self.cfg.experts_per_worker();
+        let per = self.cfg.experts_per_worker_in(block);
         assert_eq!(
-            self.cfg.owner_of(e),
+            self.cfg.owner_of_in(block, e),
             self.rank,
             "expert {e} not owned by rank {}",
             self.rank
@@ -186,9 +333,9 @@ impl WorkerState {
 
     /// Shared access to an owned expert by global id.
     pub fn owned(&self, block: usize, e: usize) -> &ExpertFfn {
-        let per = self.cfg.experts_per_worker();
+        let per = self.cfg.experts_per_worker_in(block);
         assert_eq!(
-            self.cfg.owner_of(e),
+            self.cfg.owner_of_in(block, e),
             self.rank,
             "expert {e} not owned by rank {}",
             self.rank
@@ -229,6 +376,37 @@ mod tests {
         assert_eq!(cfg.machine_of(3), 1);
         assert_eq!(cfg.owned_experts(2), 4..6);
         assert_eq!(cfg.designated_local(1, 5), 3);
+    }
+
+    #[test]
+    fn per_block_layout_helpers() {
+        let cfg = ExecConfig::mixed_paradigms();
+        assert_eq!(cfg.experts_in(0), 4);
+        assert_eq!(cfg.experts_in(1), 8);
+        assert_eq!(cfg.experts_per_worker_in(0), 1);
+        assert_eq!(cfg.experts_per_worker_in(1), 2);
+        assert_eq!(cfg.owner_of_in(0, 3), 3);
+        assert_eq!(cfg.owner_of_in(1, 3), 1);
+        assert_eq!(cfg.owned_experts_in(1, 2), 4..6);
+        assert_eq!(cfg.scratch_index(0, 3), 3);
+        assert_eq!(cfg.scratch_index(1, 0), 4);
+        assert_eq!(cfg.scratch_slots(), 12);
+        // Uniform configs keep the legacy layout.
+        let small = ExecConfig::small();
+        assert_eq!(small.experts_in(1), small.experts);
+        assert_eq!(small.scratch_index(1, 0), small.experts);
+    }
+
+    #[test]
+    fn exec_bridge_compiles_a_mixed_plan() {
+        use crate::paradigm::Paradigm;
+        let cfg = ExecConfig::mixed_paradigms();
+        let plan = cfg.compile_plan(&PlanOpts::default());
+        assert_eq!(plan.blocks.len(), 2);
+        assert_eq!(plan.blocks[0].paradigm, Paradigm::DataCentric);
+        assert_eq!(plan.blocks[1].paradigm, Paradigm::ExpertCentric);
+        assert_eq!(plan.blocks[0].r, Some(2.0));
+        assert_eq!(plan.blocks[1].r, Some(1.0));
     }
 
     #[test]

@@ -5,12 +5,18 @@
 //! data-centric paradigm … data-centric paradigm does not affect the
 //! convergence of training and model accuracy." [`compare_paradigms`]
 //! runs the same model, same tokens, same seeds through both numerical
-//! engines and reports the differences (which tests assert to be at
-//! floating-point noise level).
+//! engines and reports the differences — which tests assert to be
+//! exactly zero: both engines compute per-source-worker gradients and
+//! fold them in the same order, so the equivalence is bitwise, not
+//! merely statistical. [`train_unified`] drives the per-block
+//! mixed-paradigm engine off a compiled [`IterationPlan`] and is held to
+//! the same bitwise standard against both pure engines.
 
 use crate::exec::data_centric::{self, MachineShared};
 use crate::exec::expert_centric;
 use crate::exec::model::{ExecConfig, WorkerState};
+use crate::exec::unified;
+use crate::plan::{IterationPlan, PlanOpts};
 use janus_comm::runtime::run_workers;
 use janus_moe::expert::ExpertFfn;
 use janus_tensor::Matrix;
@@ -71,6 +77,42 @@ pub fn train_data_centric(cfg: &ExecConfig, iters: u64) -> TrainRun {
     collect(results)
 }
 
+/// Train `iters` iterations with the unified engine over an in-process
+/// mesh, following the default-compiled [`IterationPlan`] (the R-rule
+/// picks each block's paradigm).
+pub fn train_unified(cfg: &ExecConfig, iters: u64) -> TrainRun {
+    train_unified_with(cfg, &PlanOpts::default(), iters).1
+}
+
+/// [`train_unified`] with explicit plan options; also returns the
+/// compiled plan so callers can inspect paradigms or the digest.
+pub fn train_unified_with(
+    cfg: &ExecConfig,
+    opts: &PlanOpts,
+    iters: u64,
+) -> (IterationPlan, TrainRun) {
+    let plan = cfg.compile_plan(opts);
+    let shared = MachineShared::for_cluster(cfg);
+    let results = run_workers(cfg.world(), |comm| {
+        let mut state = WorkerState::init(cfg, comm.rank());
+        let sh = &shared[cfg.machine_of(comm.rank())];
+        let mut losses = Vec::new();
+        let mut output = None;
+        for i in 0..iters {
+            let out =
+                unified::run_iteration(&comm, &mut state, sh, &plan, i).expect("unified iteration");
+            losses.push(out.loss);
+            output = Some(out.output);
+        }
+        (
+            losses,
+            output.expect("at least one iteration"),
+            state.experts,
+        )
+    });
+    (plan, collect(results))
+}
+
 fn collect(results: Vec<(Vec<f32>, Matrix, Vec<Vec<ExpertFfn>>)>) -> TrainRun {
     let mut run = TrainRun {
         losses: Vec::new(),
@@ -96,18 +138,25 @@ pub struct ParadigmDiff {
     pub max_loss_diff: f32,
 }
 
-/// Run both engines on identical inputs and measure their divergence.
+/// Run both pure engines on identical inputs and measure their
+/// divergence.
 pub fn compare_paradigms(cfg: &ExecConfig, iters: u64) -> ParadigmDiff {
     let ec = train_expert_centric(cfg, iters);
     let dc = train_data_centric(cfg, iters);
+    diff_runs(&ec, &dc)
+}
+
+/// Largest divergence between two training runs across outputs, weights,
+/// and loss histories.
+pub fn diff_runs(a: &TrainRun, b: &TrainRun) -> ParadigmDiff {
     let mut max_output_diff = 0.0f32;
     let mut max_weight_diff = 0.0f32;
     let mut max_loss_diff = 0.0f32;
-    for (a, b) in ec.outputs.iter().zip(&dc.outputs) {
-        max_output_diff = max_output_diff.max(a.max_abs_diff(b));
+    for (oa, ob) in a.outputs.iter().zip(&b.outputs) {
+        max_output_diff = max_output_diff.max(oa.max_abs_diff(ob));
     }
-    for (a, b) in ec.experts.iter().zip(&dc.experts) {
-        for (ba, bb) in a.iter().zip(b) {
+    for (wa, wb) in a.experts.iter().zip(&b.experts) {
+        for (ba, bb) in wa.iter().zip(wb) {
             for (ea, eb) in ba.iter().zip(bb) {
                 max_weight_diff = max_weight_diff
                     .max(ea.w1.max_abs_diff(&eb.w1))
@@ -115,9 +164,9 @@ pub fn compare_paradigms(cfg: &ExecConfig, iters: u64) -> ParadigmDiff {
             }
         }
     }
-    for (a, b) in ec.losses.iter().zip(&dc.losses) {
-        for (la, lb) in a.iter().zip(b) {
-            max_loss_diff = max_loss_diff.max((la - lb).abs());
+    for (la, lb) in a.losses.iter().zip(&b.losses) {
+        for (x, y) in la.iter().zip(lb) {
+            max_loss_diff = max_loss_diff.max((x - y).abs());
         }
     }
     ParadigmDiff {
@@ -142,17 +191,17 @@ mod tests {
         assert_eq!(diff.max_loss_diff, 0.0, "{diff:?}");
     }
 
-    /// The headline equivalence result over multiple updates: gradients
-    /// are pre-reduced in a different summation order (per-worker sums
-    /// vs one full-batch backward), so trained weights agree to
-    /// floating-point noise, and so do subsequent outputs and losses.
+    /// The headline equivalence result over multiple updates: both
+    /// engines compute per-source-worker gradients and fold them in the
+    /// same pre-reduction order, so trained weights — and therefore all
+    /// subsequent outputs and losses — are bitwise identical.
     #[test]
-    fn paradigms_are_numerically_equivalent() {
+    fn paradigms_are_bitwise_equivalent_over_updates() {
         let cfg = ExecConfig::small();
         let diff = compare_paradigms(&cfg, 3);
-        assert!(diff.max_output_diff < 1e-5, "{diff:?}");
-        assert!(diff.max_weight_diff < 1e-4, "{diff:?}");
-        assert!(diff.max_loss_diff < 1e-2, "{diff:?}");
+        assert_eq!(diff.max_output_diff, 0.0, "{diff:?}");
+        assert_eq!(diff.max_weight_diff, 0.0, "{diff:?}");
+        assert_eq!(diff.max_loss_diff, 0.0, "{diff:?}");
     }
 
     #[test]
@@ -162,8 +211,8 @@ mod tests {
             ..ExecConfig::small()
         };
         let diff = compare_paradigms(&cfg, 2);
-        assert!(diff.max_output_diff < 1e-5, "{diff:?}");
-        assert!(diff.max_weight_diff < 1e-4, "{diff:?}");
+        assert_eq!(diff.max_output_diff, 0.0, "{diff:?}");
+        assert_eq!(diff.max_weight_diff, 0.0, "{diff:?}");
     }
 
     #[test]
@@ -174,16 +223,41 @@ mod tests {
             ..ExecConfig::small()
         };
         let diff = compare_paradigms(&cfg, 2);
-        assert!(diff.max_output_diff < 1e-5, "{diff:?}");
-        assert!(diff.max_weight_diff < 1e-4, "{diff:?}");
+        assert_eq!(diff.max_output_diff, 0.0, "{diff:?}");
+        assert_eq!(diff.max_weight_diff, 0.0, "{diff:?}");
+    }
+
+    /// The acceptance bar for the unified engine: on a config whose
+    /// compiled plan mixes paradigms across blocks, `train_unified`
+    /// produces bitwise the outputs, losses, and final weights of both
+    /// pure engines on identical inputs.
+    #[test]
+    fn unified_matches_both_pure_engines_bitwise_on_mixed_plan() {
+        let cfg = ExecConfig::mixed_paradigms();
+        let (plan, un) = train_unified_with(&cfg, &PlanOpts::default(), 2);
+        let paradigms = plan.paradigms();
+        assert!(
+            paradigms.contains(&crate::paradigm::Paradigm::ExpertCentric)
+                && paradigms.contains(&crate::paradigm::Paradigm::DataCentric),
+            "plan must mix paradigms, got {paradigms:?}"
+        );
+        let ec = train_expert_centric(&cfg, 2);
+        let dc = train_data_centric(&cfg, 2);
+        for (name, pure) in [("expert-centric", &ec), ("data-centric", &dc)] {
+            let diff = diff_runs(&un, pure);
+            assert_eq!(diff.max_output_diff, 0.0, "vs {name}: {diff:?}");
+            assert_eq!(diff.max_weight_diff, 0.0, "vs {name}: {diff:?}");
+            assert_eq!(diff.max_loss_diff, 0.0, "vs {name}: {diff:?}");
+        }
     }
 
     #[test]
-    fn both_engines_converge() {
+    fn all_engines_converge() {
         let cfg = ExecConfig::small();
         let ec = train_expert_centric(&cfg, 5);
         let dc = train_data_centric(&cfg, 5);
-        for run in [&ec, &dc] {
+        let un = train_unified(&cfg, 5);
+        for run in [&ec, &dc, &un] {
             for losses in &run.losses {
                 assert!(
                     losses.last().unwrap() < losses.first().unwrap(),

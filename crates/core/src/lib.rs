@@ -48,7 +48,9 @@ pub mod exec {
     pub mod expert_centric;
     pub mod model;
     pub mod trainer;
+    pub mod unified;
     pub mod weights;
 }
 
-pub use paradigm::{choose_paradigm, Paradigm};
+pub use paradigm::{choose_paradigm, Paradigm, ParadigmPolicy};
+pub use plan::{IterationPlan, PlanOpts};

@@ -20,6 +20,43 @@ pub enum Paradigm {
     DataCentric,
 }
 
+/// How MoE blocks choose their communication paradigm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParadigmPolicy {
+    /// All-to-All everywhere (Janus's expert-centric mode; with
+    /// `hierarchical_a2a` it approximates Tutel).
+    ExpertCentric,
+    /// Pull experts everywhere.
+    DataCentric,
+    /// Per block by the paper's `R > 1` rule (§5.1.3) — the real Janus.
+    Unified,
+}
+
+/// The single paradigm-decision site: every consumer (simulator graph
+/// building, numerical engines, plan compilation, tooling) routes through
+/// this function, so the R-threshold rule has exactly one implementation.
+pub fn paradigm_for_block(
+    model: &ModelConfig,
+    block: usize,
+    n_machines: usize,
+    m_gpus: usize,
+    policy: ParadigmPolicy,
+    r_threshold: f64,
+) -> Paradigm {
+    if !model.blocks[block].is_moe() {
+        // Dense blocks have no expert communication; tag them
+        // expert-centric (a no-op either way).
+        return Paradigm::ExpertCentric;
+    }
+    match policy {
+        ParadigmPolicy::ExpertCentric => Paradigm::ExpertCentric,
+        ParadigmPolicy::DataCentric => Paradigm::DataCentric,
+        ParadigmPolicy::Unified => {
+            choose_with_threshold(model, block, n_machines, m_gpus, r_threshold)
+        }
+    }
+}
+
 /// Paradigm for one block given the cluster shape, using the paper's
 /// `R > 1` rule.
 pub fn choose_paradigm(
@@ -54,19 +91,8 @@ pub fn choose_with_threshold(
 
 /// The per-block plan for a whole model.
 pub fn paradigm_plan(model: &ModelConfig, n_machines: usize, m_gpus: usize) -> Vec<Paradigm> {
-    model
-        .blocks
-        .iter()
-        .enumerate()
-        .map(|(b, kind)| {
-            if kind.is_moe() {
-                choose_paradigm(model, b, n_machines, m_gpus)
-            } else {
-                // Dense blocks have no expert communication; tag them
-                // expert-centric (a no-op either way).
-                Paradigm::ExpertCentric
-            }
-        })
+    (0..model.blocks.len())
+        .map(|b| paradigm_for_block(model, b, n_machines, m_gpus, ParadigmPolicy::Unified, 1.0))
         .collect()
 }
 
@@ -151,6 +177,29 @@ mod tests {
         }
         // Dense blocks tagged expert-centric.
         assert_eq!(plan[0], Paradigm::ExpertCentric);
+    }
+
+    #[test]
+    fn policy_dispatch_routes_through_the_threshold_rule() {
+        let model = ModelPreset::MoeBert.config(32);
+        let b = model.moe_blocks()[0];
+        assert_eq!(
+            paradigm_for_block(&model, b, 4, 8, ParadigmPolicy::ExpertCentric, 1.0),
+            Paradigm::ExpertCentric
+        );
+        assert_eq!(
+            paradigm_for_block(&model, b, 4, 8, ParadigmPolicy::DataCentric, 1.0),
+            Paradigm::DataCentric
+        );
+        assert_eq!(
+            paradigm_for_block(&model, b, 4, 8, ParadigmPolicy::Unified, 1.0),
+            choose_with_threshold(&model, b, 4, 8, 1.0)
+        );
+        // Dense blocks are expert-centric under every policy.
+        assert_eq!(
+            paradigm_for_block(&model, 0, 4, 8, ParadigmPolicy::DataCentric, 1.0),
+            Paradigm::ExpertCentric
+        );
     }
 
     #[test]

@@ -1,10 +1,19 @@
-//! Fetch-plan compilation: who pulls which expert from where, in what
-//! order.
+//! Plan compilation: the [`IterationPlan`] IR and the per-block fetch
+//! plans it is built from.
+//!
+//! [`IterationPlan::compile`] is the **single compilation site** for one
+//! training iteration's schedule: per block it fixes the communication
+//! [`Paradigm`] (via [`crate::paradigm::paradigm_for_block`], the one
+//! implementation of the `R > threshold` rule) and, for data-centric
+//! blocks, the [`BlockFetchPlan`]. Both the discrete-event simulator
+//! (`sim::engine::build_graph`) and the numerical engines
+//! (`exec::unified`) execute the same compiled plan, and its content
+//! [`digest`](IterationPlan::digest) lets tests assert they agree.
 //!
 //! For one MoE block under the data-centric paradigm, every worker needs
 //! every expert of the block (§5.1: "each worker usually needs to pull
-//! all experts in the expert layer"). The plan splits each worker's needs
-//! into:
+//! all experts in the expert layer"). The fetch plan splits each worker's
+//! needs into:
 //!
 //! * **own** experts — resident, no communication;
 //! * **internal** experts — owned by other GPUs of the same machine,
@@ -15,7 +24,10 @@
 //!   over PCIe, optionally with the PCIe-switch-aware half/half split
 //!   (Figures 8-9).
 
+use crate::paradigm::{paradigm_for_block, Paradigm, ParadigmPolicy};
 use crate::priority::{internal_pull_order, naive_pull_order, pcie_split};
+use janus_moe::config::ModelConfig;
+use janus_moe::traffic::r_per_block;
 use janus_topology::{Cluster, WorkerId};
 use serde::Serialize;
 
@@ -161,6 +173,214 @@ impl BlockFetchPlan {
     }
 }
 
+/// Options of plan compilation — the schedule-shaping subset of the
+/// engine options, shared verbatim by the simulator and the numerical
+/// engines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PlanOpts {
+    /// Paradigm policy.
+    pub policy: ParadigmPolicy,
+    /// `R` threshold of the unified policy (the paper's rule is `R > 1`).
+    pub r_threshold: f64,
+    /// Staggered internal order + PCIe-switch-aware cache drain (§5.2).
+    pub topo_aware: bool,
+    /// Root pulls at iteration start instead of the gate (§5.3).
+    pub prefetch: bool,
+    /// Credit-based buffer capacity per worker (§5.1.1).
+    pub credits: u32,
+}
+
+impl Default for PlanOpts {
+    fn default() -> Self {
+        PlanOpts {
+            policy: ParadigmPolicy::Unified,
+            r_threshold: 1.0,
+            topo_aware: true,
+            prefetch: true,
+            credits: 16,
+        }
+    }
+}
+
+/// The compiled schedule of one block.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BlockPlan {
+    /// Block index.
+    pub block: usize,
+    /// Experts in the block (0 for dense blocks).
+    pub experts: usize,
+    /// The gain metric `R = BSk/(4nHE)` (`None` for dense blocks).
+    pub r: Option<f64>,
+    /// Chosen communication paradigm.
+    pub paradigm: Paradigm,
+    /// Fetch plan — `Some` exactly for data-centric MoE blocks.
+    pub fetch: Option<BlockFetchPlan>,
+}
+
+/// One iteration's complete compiled schedule: per block, the paradigm
+/// and (for data-centric blocks) the worker fetch plans, plus the
+/// prefetch window and credit budget. Compiled in exactly one place
+/// ([`IterationPlan::compile`]) and identified by a stable content
+/// [`digest`](IterationPlan::digest).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IterationPlan {
+    /// Machines in the cluster.
+    pub machines: usize,
+    /// Workers per machine.
+    pub gpus_per_machine: usize,
+    /// Policy the plan was compiled under.
+    pub policy: ParadigmPolicy,
+    /// Threshold the unified policy applied.
+    pub r_threshold: f64,
+    /// Whether §5.2 topology-aware orders are compiled in.
+    pub topo_aware: bool,
+    /// How many blocks ahead fetches may be rooted (0 = fetch at the
+    /// gate, `blocks.len()` = provident prefetch from iteration start).
+    pub prefetch_window: usize,
+    /// Credit-based buffer capacity per worker.
+    pub credits: u32,
+    /// Per-block schedule, one entry per model block.
+    pub blocks: Vec<BlockPlan>,
+}
+
+impl IterationPlan {
+    /// Compile the iteration schedule for `model` on `cluster`. This is
+    /// the only place paradigms and pull orders are decided.
+    pub fn compile(model: &ModelConfig, cluster: &Cluster, opts: &PlanOpts) -> Self {
+        let n = cluster.num_machines();
+        let m = cluster.gpus_per_machine();
+        let rs = r_per_block(model, n, m);
+        let blocks = (0..model.blocks.len())
+            .map(|b| {
+                let paradigm = paradigm_for_block(model, b, n, m, opts.policy, opts.r_threshold);
+                let experts = model.blocks[b].experts();
+                let fetch = (model.blocks[b].is_moe() && paradigm == Paradigm::DataCentric)
+                    .then(|| fetch_plan(cluster, experts, opts.topo_aware));
+                BlockPlan {
+                    block: b,
+                    experts,
+                    r: rs[b],
+                    paradigm,
+                    fetch,
+                }
+            })
+            .collect::<Vec<_>>();
+        IterationPlan {
+            machines: n,
+            gpus_per_machine: m,
+            policy: opts.policy,
+            r_threshold: opts.r_threshold,
+            topo_aware: opts.topo_aware,
+            prefetch_window: if opts.prefetch { blocks.len() } else { 0 },
+            credits: opts.credits,
+            blocks,
+        }
+    }
+
+    /// Per-block paradigms, in block order.
+    pub fn paradigms(&self) -> Vec<Paradigm> {
+        self.blocks.iter().map(|b| b.paradigm).collect()
+    }
+
+    /// Stable 64-bit content digest (FNV-1a over a canonical field walk).
+    /// Two plans digest equal iff they schedule the iteration
+    /// identically; tests use this to assert the simulator and the
+    /// numerical engines consumed the same plan.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(self.machines as u64);
+        h.word(self.gpus_per_machine as u64);
+        h.byte(policy_tag(self.policy));
+        h.word(self.r_threshold.to_bits());
+        h.byte(self.topo_aware as u8);
+        h.word(self.prefetch_window as u64);
+        h.word(self.credits as u64);
+        for b in &self.blocks {
+            h.word(b.block as u64);
+            h.word(b.experts as u64);
+            match b.r {
+                // Tag + payload so None can never collide with a value.
+                Some(r) => {
+                    h.byte(1);
+                    h.word(r.to_bits());
+                }
+                None => h.byte(0),
+            }
+            h.byte(paradigm_tag(b.paradigm));
+            match &b.fetch {
+                None => h.byte(0),
+                Some(f) => {
+                    h.byte(1);
+                    h.word(f.experts_per_worker as u64);
+                    for w in &f.workers {
+                        h.word(w.worker.0 as u64);
+                        for &e in &w.own {
+                            h.word(e as u64);
+                        }
+                        for p in &w.internal {
+                            h.word(p.expert as u64);
+                            h.word(p.owner.0 as u64);
+                        }
+                        for &e in &w.external_pcie {
+                            h.word(e as u64);
+                        }
+                        for &e in &w.external_peer {
+                            h.word(e as u64);
+                        }
+                    }
+                    for list in &f.machine_external {
+                        h.word(list.len() as u64);
+                        for p in list {
+                            h.word(p.expert as u64);
+                            h.word(p.owner.0 as u64);
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+fn policy_tag(p: ParadigmPolicy) -> u8 {
+    match p {
+        ParadigmPolicy::ExpertCentric => 0,
+        ParadigmPolicy::DataCentric => 1,
+        ParadigmPolicy::Unified => 2,
+    }
+}
+
+fn paradigm_tag(p: Paradigm) -> u8 {
+    match p {
+        Paradigm::ExpertCentric => 0,
+        Paradigm::DataCentric => 1,
+    }
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +507,80 @@ mod tests {
         let plan = fetch_plan(&c, 8, true); // E = 2
         assert_eq!(plan.workers[2].own, vec![4, 5]);
         assert_eq!(plan.experts_per_worker, 2);
+    }
+
+    #[test]
+    fn compiled_plan_mixes_paradigms_for_pr_moe() {
+        use janus_moe::config::pr_moe_transformer_xl;
+        let model = pr_moe_transformer_xl(16);
+        let c = cluster(2, 8);
+        let opts = PlanOpts {
+            r_threshold: 2.0,
+            ..PlanOpts::default()
+        };
+        let plan = IterationPlan::compile(&model, &c, &opts);
+        assert_eq!(plan.blocks.len(), model.blocks.len());
+        let moe = model.moe_blocks();
+        assert_eq!(plan.blocks[moe[0]].paradigm, Paradigm::DataCentric);
+        assert_eq!(plan.blocks[moe[3]].paradigm, Paradigm::ExpertCentric);
+        // Fetch plans exist exactly for the data-centric MoE blocks.
+        for bp in &plan.blocks {
+            let is_dc_moe = bp.experts > 0 && bp.paradigm == Paradigm::DataCentric;
+            assert_eq!(bp.fetch.is_some(), is_dc_moe, "block {}", bp.block);
+            assert_eq!(bp.r.is_some(), model.blocks[bp.block].is_moe());
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        use janus_moe::config::ModelPreset;
+        let model = ModelPreset::MoeBert.config(16);
+        let c = cluster(2, 8);
+        let opts = PlanOpts::default();
+        let a = IterationPlan::compile(&model, &c, &opts);
+        let b = IterationPlan::compile(&model, &c, &opts);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        // Any schedule-shaping knob moves the digest.
+        for changed in [
+            PlanOpts {
+                r_threshold: 2.0,
+                ..opts
+            },
+            PlanOpts {
+                topo_aware: false,
+                ..opts
+            },
+            PlanOpts {
+                prefetch: false,
+                ..opts
+            },
+            PlanOpts { credits: 8, ..opts },
+            PlanOpts {
+                policy: ParadigmPolicy::ExpertCentric,
+                ..opts
+            },
+        ] {
+            let other = IterationPlan::compile(&model, &c, &changed);
+            assert_ne!(a.digest(), other.digest(), "{changed:?}");
+        }
+    }
+
+    #[test]
+    fn prefetch_window_covers_all_blocks_or_none() {
+        use janus_moe::config::ModelPreset;
+        let model = ModelPreset::MoeGpt.config(16);
+        let c = cluster(2, 8);
+        let with = IterationPlan::compile(&model, &c, &PlanOpts::default());
+        assert_eq!(with.prefetch_window, model.blocks.len());
+        let without = IterationPlan::compile(
+            &model,
+            &c,
+            &PlanOpts {
+                prefetch: false,
+                ..PlanOpts::default()
+            },
+        );
+        assert_eq!(without.prefetch_window, 0);
     }
 }

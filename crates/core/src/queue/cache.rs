@@ -11,6 +11,7 @@
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Key of a cached expert: (MoE block index, global expert index).
 pub type ExpertKey = (usize, usize);
@@ -127,6 +128,26 @@ impl<V> CacheManager<V> {
         }
     }
 
+    /// Block until `key` is ready or `timeout` elapses, whichever comes
+    /// first; `Some` counts as a hit. The readiness check and the wait
+    /// share one lock acquisition, so an insert from a sibling worker
+    /// cannot slip between them unnoticed — this is the event-driven
+    /// wait the engines use instead of fixed-interval polling.
+    pub fn wait_for(&self, key: ExpertKey, timeout: Duration) -> Option<Arc<V>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(Slot::Ready(v)) = inner.slots.get(&key) {
+                let v = v.clone();
+                inner.hits += 1;
+                return Some(v);
+            }
+            if self.ready.wait_until(&mut inner, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
     /// End-of-iteration invalidation: drop every cached expert and bump
     /// the epoch. Stale experts can never leak into the next iteration.
     pub fn clear_for_next_iteration(&self) {
@@ -232,6 +253,24 @@ mod tests {
         let ok = results.iter().filter(|r| r.is_ok()).count();
         assert!(ok >= 3, "{results:?}");
         assert_eq!(*cache.get((0, 0)).unwrap(), 7);
+    }
+
+    #[test]
+    fn wait_for_wakes_on_insert_and_times_out_when_absent() {
+        let cache: Arc<CacheManager<u32>> = Arc::new(CacheManager::new());
+        assert!(cache
+            .wait_for((0, 0), std::time::Duration::from_millis(1))
+            .is_none());
+        let inserter = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                cache.insert((0, 0), 42);
+            })
+        };
+        let v = cache.wait_for((0, 0), std::time::Duration::from_secs(5));
+        assert_eq!(*v.unwrap(), 42);
+        inserter.join().unwrap();
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! (see `janus-bench`).
 
 use crate::paradigm::Paradigm;
+pub use crate::paradigm::ParadigmPolicy;
+use crate::plan::{IterationPlan, PlanOpts};
 use crate::sim::common::{a2a_window_time, Ctx};
 pub use crate::sim::data_centric::DcOpts;
 use crate::sim::report::IterationReport;
@@ -18,18 +20,6 @@ use janus_moe::flops::{self, BACKWARD_FACTOR};
 use janus_moe::workload::Imbalance;
 use janus_netsim::{simulate, Graph, SimError, SimResult, TaskId};
 use janus_topology::Cluster;
-
-/// How MoE blocks choose their communication paradigm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ParadigmPolicy {
-    /// All-to-All everywhere (Janus's expert-centric mode; with
-    /// `hierarchical_a2a` it approximates Tutel).
-    ExpertCentric,
-    /// Pull experts everywhere.
-    DataCentric,
-    /// Per block by the paper's `R > 1` rule (§5.1.3) — the real Janus.
-    Unified,
-}
 
 /// Options of one simulated iteration.
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +98,19 @@ impl EngineOpts {
         }
     }
 
+    /// The schedule-shaping subset of these options, as plan-compilation
+    /// input. Remaining `EngineOpts` fields (latency, workload, backward
+    /// toggle) are execution knobs that do not alter the schedule.
+    pub fn plan_opts(&self) -> PlanOpts {
+        PlanOpts {
+            policy: self.policy,
+            r_threshold: self.r_threshold,
+            topo_aware: self.dc.topo_aware,
+            prefetch: self.dc.prefetch,
+            credits: self.dc.credits,
+        }
+    }
+
     /// Short description used in reports.
     pub fn describe(&self) -> String {
         let base = match self.policy {
@@ -127,66 +130,52 @@ impl EngineOpts {
     }
 }
 
-/// Per-block paradigm choice under a policy.
+/// Compile the iteration plan these options describe for a setup.
+pub fn compile_plan(setup: &SimSetup, opts: &EngineOpts) -> IterationPlan {
+    IterationPlan::compile(&setup.model, &setup.cluster, &opts.plan_opts())
+}
+
+/// Per-block paradigm choice under a policy (a view over the compiled
+/// plan — the decision itself lives in `paradigm::paradigm_for_block`).
 pub fn block_paradigms(setup: &SimSetup, opts: &EngineOpts) -> Vec<Paradigm> {
-    let n = setup.cluster.num_machines();
-    let m = setup.cluster.gpus_per_machine();
-    match opts.policy {
-        ParadigmPolicy::ExpertCentric => {
-            vec![Paradigm::ExpertCentric; setup.model.blocks.len()]
-        }
-        ParadigmPolicy::DataCentric => setup
-            .model
-            .blocks
-            .iter()
-            .map(|k| {
-                if k.is_moe() {
-                    Paradigm::DataCentric
-                } else {
-                    Paradigm::ExpertCentric
-                }
-            })
-            .collect(),
-        ParadigmPolicy::Unified => setup
-            .model
-            .blocks
-            .iter()
-            .enumerate()
-            .map(|(b, kind)| {
-                if kind.is_moe() {
-                    crate::paradigm::choose_with_threshold(&setup.model, b, n, m, opts.r_threshold)
-                } else {
-                    Paradigm::ExpertCentric
-                }
-            })
-            .collect(),
-    }
+    compile_plan(setup, opts).paradigms()
 }
 
 /// Compile one iteration into a task graph.
 pub fn build_graph(setup: &SimSetup, opts: &EngineOpts) -> (Graph, Vec<Paradigm>) {
-    let paradigms = block_paradigms(setup, opts);
+    let plan = compile_plan(setup, opts);
+    build_graph_from_plan(setup, opts, &plan)
+}
+
+/// Emit the task DAG of one iteration from a pre-compiled plan. The plan
+/// is the source of truth for paradigms, fetch orders, prefetch, and
+/// credits; `opts` only contributes execution knobs (message latency,
+/// hierarchical A2A, backward toggle).
+pub fn build_graph_from_plan(
+    setup: &SimSetup,
+    opts: &EngineOpts,
+    plan: &IterationPlan,
+) -> (Graph, Vec<Paradigm>) {
+    assert_eq!(
+        plan.blocks.len(),
+        setup.model.blocks.len(),
+        "plan compiled for a different model"
+    );
+    let paradigms = plan.paradigms();
+    let dc = DcOpts {
+        topo_aware: plan.topo_aware,
+        prefetch: plan.prefetch_window > 0,
+        credits: plan.credits,
+    };
     let mut ctx = Ctx::new(setup);
     ctx.msg_latency = opts.msg_latency;
     let w_count = setup.cluster.num_workers();
     let blocks = setup.model.blocks.len();
-    let pools = ctx.credit_pools(opts.dc.credits.max(1));
-
-    let plans: Vec<Option<crate::plan::BlockFetchPlan>> = (0..blocks)
-        .map(|b| {
-            (setup.model.blocks[b].is_moe() && paradigms[b] == Paradigm::DataCentric).then(|| {
-                crate::plan::fetch_plan(
-                    &setup.cluster,
-                    setup.model.blocks[b].experts(),
-                    opts.dc.topo_aware,
-                )
-            })
-        })
-        .collect();
+    let pools = ctx.credit_pools(dc.credits.max(1));
 
     // ---- Forward ----
     let mut prev: Vec<TaskId> = vec![ctx.start; w_count];
-    for b in 0..blocks {
+    for (b, &paradigm) in paradigms.iter().enumerate() {
         let shared: Vec<TaskId> = (0..w_count)
             .map(|w| {
                 ctx.compute(
@@ -202,7 +191,7 @@ pub fn build_graph(setup: &SimSetup, opts: &EngineOpts) -> (Graph, Vec<Paradigm>
             prev = shared;
             continue;
         }
-        prev = match paradigms[b] {
+        prev = match paradigm {
             Paradigm::ExpertCentric => {
                 expert_centric::emit_fwd_block(&mut ctx, b, &shared, opts.hierarchical_a2a)
             }
@@ -211,8 +200,11 @@ pub fn build_graph(setup: &SimSetup, opts: &EngineOpts) -> (Graph, Vec<Paradigm>
                 &pools,
                 b,
                 &shared,
-                plans[b].as_ref().expect("plan built for DC block"),
-                opts.dc,
+                plan.blocks[b]
+                    .fetch
+                    .as_ref()
+                    .expect("plan built for DC block"),
+                dc,
             ),
         };
     }
@@ -236,8 +228,11 @@ pub fn build_graph(setup: &SimSetup, opts: &EngineOpts) -> (Graph, Vec<Paradigm>
                             &pools,
                             b,
                             &prev,
-                            plans[b].as_ref().expect("plan built for DC block"),
-                            opts.dc,
+                            plan.blocks[b]
+                                .fetch
+                                .as_ref()
+                                .expect("plan built for DC block"),
+                            dc,
                         );
                         late_grad_flows.extend(grads);
                         gates

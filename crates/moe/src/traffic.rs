@@ -40,6 +40,19 @@ pub fn r_for_block(model: &ModelConfig, block: usize, n_machines: usize, m_gpus:
     )
 }
 
+/// `R` for every block of a model: `Some(R)` for MoE blocks, `None` for
+/// dense blocks (which have no expert communication). This is the
+/// per-block surface plan compilation consumes.
+pub fn r_per_block(model: &ModelConfig, n_machines: usize, m_gpus: usize) -> Vec<Option<f64>> {
+    (0..model.blocks.len())
+        .map(|b| {
+            model.blocks[b]
+                .is_moe()
+                .then(|| r_for_block(model, b, n_machines, m_gpus))
+        })
+        .collect()
+}
+
 /// Per-machine cross-node traffic for a whole iteration (forward +
 /// backward) under the data-centric paradigm, in bytes.
 ///
@@ -172,6 +185,19 @@ mod tests {
         // Abstract: "Janus can reduce the traffic up to 16×".
         let xl = table1_row(&ModelPreset::MoeTransformerXl.config(32), 4, 8);
         assert!((xl.reduction - 16.0).abs() < 0.2, "{}", xl.reduction);
+    }
+
+    #[test]
+    fn r_per_block_marks_dense_blocks_none() {
+        let model = ModelPreset::MoeBert.config(32);
+        let rs = r_per_block(&model, 4, 8);
+        assert_eq!(rs.len(), model.blocks.len());
+        for (b, r) in rs.iter().enumerate() {
+            assert_eq!(r.is_some(), model.blocks[b].is_moe());
+            if let Some(r) = r {
+                assert_eq!(*r, r_for_block(&model, b, 4, 8));
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub struct Bytes {
 impl Bytes {
     /// Empty bytes.
     pub fn new() -> Self {
-        Bytes { data: Arc::new(Vec::new()), start: 0, end: 0 }
+        Bytes {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Length of the remaining view.
@@ -43,15 +47,31 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        assert!(lo <= hi && hi <= self.len(), "slice out of bounds: {lo}..{hi} of {}", self.len());
-        Bytes { data: self.data.clone(), start: self.start + lo, end: self.start + hi }
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice out of bounds: {lo}..{hi} of {}",
+            self.len()
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
     }
 
     /// Split off the first `at` bytes as a new `Bytes`, advancing this
     /// view past them (shares storage, like upstream).
     pub fn split_to(&mut self, at: usize) -> Bytes {
-        assert!(at <= self.len(), "split_to out of bounds: {at} of {}", self.len());
-        let head = Bytes { data: self.data.clone(), start: self.start, end: self.start + at };
+        assert!(
+            at <= self.len(),
+            "split_to out of bounds: {at} of {}",
+            self.len()
+        );
+        let head = Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
         self.start += at;
         head
     }
@@ -75,7 +95,11 @@ impl Default for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: Arc::new(v), start: 0, end }
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -162,7 +186,9 @@ impl BytesMut {
 
     /// Empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Current length.

@@ -36,7 +36,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut b);
         b.report(name);
         self
@@ -44,7 +47,10 @@ impl Criterion {
 
     /// Start a named group; the shim just prefixes benchmark names.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, prefix: name.to_string() }
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.to_string(),
+        }
     }
 }
 

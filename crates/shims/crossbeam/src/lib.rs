@@ -51,7 +51,12 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (Sender { inner: inner.clone() }, Receiver { inner })
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
     }
 
     impl<T> Sender<T> {
@@ -60,7 +65,11 @@ pub mod channel {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
-            let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             q.push_back(value);
             drop(q);
             self.inner.ready.notify_one();
@@ -71,7 +80,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.inner.senders.fetch_add(1, Ordering::AcqRel);
-            Sender { inner: self.inner.clone() }
+            Sender {
+                inner: self.inner.clone(),
+            }
         }
     }
 
@@ -88,7 +99,11 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Block until a message arrives or all senders drop.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(v) = q.pop_front() {
                     return Ok(v);
@@ -96,13 +111,21 @@ pub mod channel {
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self.inner.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+                q = self
+                    .inner
+                    .ready
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(v) = q.pop_front() {
                 return Ok(v);
             }
@@ -117,7 +140,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.inner.receivers.fetch_add(1, Ordering::AcqRel);
-            Receiver { inner: self.inner.clone() }
+            Receiver {
+                inner: self.inner.clone(),
+            }
         }
     }
 

@@ -81,9 +81,8 @@ impl Value {
 
     /// Object field lookup.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_object().and_then(|fields| {
-            fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-        })
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 }
 
@@ -248,20 +247,30 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Arr(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
 impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Obj(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
 impl<K: ToString, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
     fn to_value(&self) -> Value {
-        let mut fields: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
         fields.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Obj(fields)
     }
@@ -277,7 +286,8 @@ impl Serialize for Value {
 
 impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_bool().ok_or_else(|| DeError::new(format!("expected bool, got {v:?}")))
+        v.as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, got {v:?}")))
     }
 }
 
@@ -305,7 +315,8 @@ de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_f64().ok_or_else(|| DeError::new(format!("expected number, got {v:?}")))
+        v.as_f64()
+            .ok_or_else(|| DeError::new(format!("expected number, got {v:?}")))
     }
 }
 
@@ -344,9 +355,14 @@ impl<T: Deserialize> Deserialize for Option<T> {
 
 impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        let arr = v.as_array().ok_or_else(|| DeError::new("expected 2-tuple array"))?;
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::new("expected 2-tuple array"))?;
         if arr.len() != 2 {
-            return Err(DeError::new(format!("expected 2 elements, got {}", arr.len())));
+            return Err(DeError::new(format!(
+                "expected 2 elements, got {}",
+                arr.len()
+            )));
         }
         Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
     }
@@ -354,11 +370,20 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        let arr = v.as_array().ok_or_else(|| DeError::new("expected 3-tuple array"))?;
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::new("expected 3-tuple array"))?;
         if arr.len() != 3 {
-            return Err(DeError::new(format!("expected 3 elements, got {}", arr.len())));
+            return Err(DeError::new(format!(
+                "expected 3 elements, got {}",
+                arr.len()
+            )));
         }
-        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?, C::from_value(&arr[2])?))
+        Ok((
+            A::from_value(&arr[0])?,
+            B::from_value(&arr[1])?,
+            C::from_value(&arr[2])?,
+        ))
     }
 }
 
@@ -376,7 +401,8 @@ pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, D
         Some((_, v)) => {
             T::from_value(v).map_err(|e| DeError::new(format!("field `{name}`: {}", e.0)))
         }
-        None => T::from_value(&Value::Null)
-            .map_err(|_| DeError::new(format!("missing field `{name}`"))),
+        None => {
+            T::from_value(&Value::Null).map_err(|_| DeError::new(format!("missing field `{name}`")))
+        }
     }
 }

@@ -132,17 +132,19 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
 /// Whether the attribute group at `tokens[i]` (after its `#`) is
 /// `[serde(skip)]`.
 fn attr_is_serde_skip(tokens: &[TokenTree], i: usize) -> bool {
-    let Some(TokenTree::Group(g)) = tokens.get(i) else { return false };
+    let Some(TokenTree::Group(g)) = tokens.get(i) else {
+        return false;
+    };
     if g.delimiter() != Delimiter::Bracket {
         return false;
     }
     let inner: Vec<TokenTree> = g.stream().into_iter().collect();
     match (inner.first(), inner.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
-            if id.to_string() == "serde" =>
-        {
-            args.stream().into_iter().any(|t| matches!(t, TokenTree::Ident(ref a)
-                if a.to_string() == "skip"))
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream().into_iter().any(|t| {
+                matches!(t, TokenTree::Ident(ref a)
+                if a.to_string() == "skip")
+            })
         }
         _ => false,
     }
@@ -294,8 +296,9 @@ fn gen_serialize(name: &str, item: &Item) -> String {
         }
         Item::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Item::TupleStruct(n) => {
-            let entries: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
             format!("::serde::Value::Arr(::std::vec![{}])", entries.join(", "))
         }
         Item::UnitStruct => "::serde::Value::Null".to_string(),
@@ -315,8 +318,7 @@ fn gen_serialize(name: &str, item: &Item) -> String {
                              ::serde::Serialize::to_value(__f0))])"
                         ),
                         VariantKind::Tuple(n) => {
-                            let binds: Vec<String> =
-                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
                             let vals: Vec<String> = (0..*n)
                                 .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
                                 .collect();
@@ -384,9 +386,9 @@ fn gen_deserialize(name: &str, item: &Item) -> String {
                 inits.join(", ")
             )
         }
-        Item::TupleStruct(1) => format!(
-            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        Item::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         Item::TupleStruct(n) => {
             let inits: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
@@ -405,7 +407,12 @@ fn gen_deserialize(name: &str, item: &Item) -> String {
             let unit_arms: Vec<String> = variants
                 .iter()
                 .filter(|v| matches!(v.kind, VariantKind::Unit))
-                .map(|v| format!("{vn:?} => ::core::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
                 .collect();
             let data_arms: Vec<String> = variants
                 .iter()
@@ -419,9 +426,7 @@ fn gen_deserialize(name: &str, item: &Item) -> String {
                         )),
                         VariantKind::Tuple(n) => {
                             let inits: Vec<String> = (0..*n)
-                                .map(|i| {
-                                    format!("::serde::Deserialize::from_value(&__arr[{i}])?")
-                                })
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
                                 .collect();
                             Some(format!(
                                 "{vn:?} => {{\n\
@@ -440,15 +445,9 @@ fn gen_deserialize(name: &str, item: &Item) -> String {
                                 .iter()
                                 .map(|f| {
                                     if f.skip {
-                                        format!(
-                                            "{}: ::core::default::Default::default()",
-                                            f.name
-                                        )
+                                        format!("{}: ::core::default::Default::default()", f.name)
                                     } else {
-                                        format!(
-                                            "{n}: ::serde::field(__vobj, {n:?})?",
-                                            n = f.name
-                                        )
+                                        format!("{n}: ::serde::field(__vobj, {n:?})?", n = f.name)
                                     }
                                 })
                                 .collect();

@@ -153,7 +153,10 @@ struct Parser<'a> {
 }
 
 fn parse_value(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -175,7 +178,10 @@ impl<'a> Parser<'a> {
 
     fn peek(&mut self) -> Result<u8, Error> {
         self.skip_ws();
-        self.bytes.get(self.pos).copied().ok_or_else(|| Error("unexpected end of JSON".into()))
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of JSON".into()))
     }
 
     fn expect(&mut self, b: u8) -> Result<(), Error> {
@@ -302,9 +308,7 @@ impl<'a> Parser<'a> {
                             // our renderer); map lone surrogates to U+FFFD.
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
-                        other => {
-                            return Err(Error(format!("bad escape `\\{}`", other as char)))
-                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 _ => {

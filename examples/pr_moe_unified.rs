@@ -6,34 +6,67 @@
 //! large and falls back to All-to-All where it is not — and beats both
 //! pure paradigms.
 //!
+//! The per-block schedule is compiled exactly once into an
+//! [`IterationPlan`]; the simulator consumes the same plan (the digests
+//! below prove it), and `exec::unified` executes the same IR numerically.
+//!
 //! ```text
 //! cargo run --release --example pr_moe_unified
 //! ```
 
-use janus::core::paradigm::{choose_with_threshold, Paradigm};
-use janus::core::sim::engine::{simulate_iteration, EngineOpts, ParadigmPolicy};
+use janus::core::paradigm::Paradigm;
+use janus::core::plan::IterationPlan;
+use janus::core::sim::engine::{compile_plan, simulate_iteration, EngineOpts, ParadigmPolicy};
+use janus::core::sim::setup::SimSetup;
 use janus::moe::config::pr_moe_transformer_xl;
-use janus::moe::traffic::r_for_block;
+use janus::moe::workload::Imbalance;
 use janus::topology::ClusterSpec;
 
 fn main() {
     for (gpus, machines) in [(16usize, 2usize), (32, 4)] {
         let model = pr_moe_transformer_xl(gpus);
         let cluster = ClusterSpec::a100(machines, 8).build();
+        let unified_opts = EngineOpts {
+            policy: ParadigmPolicy::Unified,
+            r_threshold: 2.0,
+            ..EngineOpts::default()
+        };
+
+        // The single compilation site: (model, cluster, opts) → plan.
+        let plan = IterationPlan::compile(&model, &cluster, &unified_opts.plan_opts());
         println!("=== PR-MoE-Transformer-xl on {gpus} GPUs ===");
-        println!("per-block paradigm choice (conservative threshold R > 2, §7.5):");
-        for &b in &model.moe_blocks() {
-            let r = r_for_block(&model, b, machines, 8);
-            let choice = choose_with_threshold(&model, b, machines, 8, 2.0);
-            let experts = model.blocks[b].experts();
-            println!(
-                "  block {b:>2} ({experts:>3} experts): R = {r:>5.2} → {}",
-                match choice {
-                    Paradigm::DataCentric => "data-centric",
-                    Paradigm::ExpertCentric => "expert-centric",
-                }
-            );
+        println!(
+            "compiled IterationPlan, digest {:#018x} (conservative threshold R > 2, §7.5):",
+            plan.digest()
+        );
+        for bp in &plan.blocks {
+            if let Some(r) = bp.r {
+                println!(
+                    "  block {:>2} ({:>3} experts): R = {r:>5.2} → {}",
+                    bp.block,
+                    bp.experts,
+                    match bp.paradigm {
+                        Paradigm::DataCentric => "data-centric",
+                        Paradigm::ExpertCentric => "expert-centric",
+                    }
+                );
+            }
         }
+
+        // The simulator compiles the identical plan from the same inputs —
+        // no inline paradigm or pull-order recomputation anywhere.
+        let setup = SimSetup::new(
+            cluster.clone(),
+            model.clone(),
+            Imbalance::Balanced,
+            unified_opts.seed,
+        );
+        let sim_plan = compile_plan(&setup, &unified_opts);
+        assert_eq!(
+            sim_plan.digest(),
+            plan.digest(),
+            "simulator and direct compilation must agree"
+        );
 
         let ec = simulate_iteration(
             cluster.clone(),
@@ -47,11 +80,6 @@ fn main() {
             &EngineOpts::data_centric(true, true),
         )
         .expect("data-centric run");
-        let unified_opts = EngineOpts {
-            policy: ParadigmPolicy::Unified,
-            r_threshold: 2.0,
-            ..EngineOpts::default()
-        };
         let unified = simulate_iteration(cluster, model, &unified_opts).expect("unified run");
 
         println!("  pure expert-centric : {:>7.1} ms", ec.iter_time * 1e3);

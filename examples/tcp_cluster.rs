@@ -19,6 +19,7 @@ fn main() {
         hidden_dim: 8,
         blocks: 2,
         experts: 8,
+        experts_per_block: vec![],
         top_k: 2,
         tokens: 16,
         seed: 11,

@@ -1,7 +1,9 @@
 //! Training-level determinism: run-to-run and across thread counts.
 
 use janus::core::exec::model::ExecConfig;
-use janus::core::exec::trainer::{train_data_centric, train_expert_centric, TrainRun};
+use janus::core::exec::trainer::{
+    train_data_centric, train_expert_centric, train_unified, TrainRun,
+};
 use janus::tensor::pool;
 
 fn cfg() -> ExecConfig {
@@ -11,6 +13,7 @@ fn cfg() -> ExecConfig {
         hidden_dim: 8,
         blocks: 2,
         experts: 8,
+        experts_per_block: vec![],
         top_k: 2,
         tokens: 12,
         seed: 99,
@@ -42,15 +45,19 @@ fn assert_runs_identical(a: &TrainRun, b: &TrainRun, what: &str) {
 #[test]
 fn training_is_bitwise_identical_across_thread_counts() {
     let cfg = cfg();
+    let mixed = ExecConfig::mixed_paradigms();
     pool::set_threads(1);
     let dc_1 = train_data_centric(&cfg, 3);
     let ec_1 = train_expert_centric(&cfg, 3);
+    let un_1 = train_unified(&mixed, 3);
     for threads in [2usize, 8] {
         pool::set_threads(threads);
         let dc_n = train_data_centric(&cfg, 3);
         let ec_n = train_expert_centric(&cfg, 3);
+        let un_n = train_unified(&mixed, 3);
         assert_runs_identical(&dc_1, &dc_n, &format!("data-centric @ {threads} threads"));
         assert_runs_identical(&ec_1, &ec_n, &format!("expert-centric @ {threads} threads"));
+        assert_runs_identical(&un_1, &un_n, &format!("unified @ {threads} threads"));
     }
     pool::set_threads(0);
 }

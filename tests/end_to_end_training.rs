@@ -6,7 +6,11 @@ use janus::comm::tcp::tcp_mesh_localhost;
 use janus::core::exec::data_centric::{self, MachineShared};
 use janus::core::exec::expert_centric;
 use janus::core::exec::model::{ExecConfig, WorkerState};
-use janus::core::exec::trainer::{compare_paradigms, train_data_centric, train_expert_centric};
+use janus::core::exec::trainer::{
+    compare_paradigms, diff_runs, train_data_centric, train_expert_centric, train_unified,
+};
+use janus::core::exec::unified;
+use janus::core::plan::PlanOpts;
 
 fn cfg() -> ExecConfig {
     ExecConfig {
@@ -15,6 +19,7 @@ fn cfg() -> ExecConfig {
         hidden_dim: 8,
         blocks: 2,
         experts: 8,
+        experts_per_block: vec![],
         top_k: 2,
         tokens: 12,
         seed: 99,
@@ -22,8 +27,9 @@ fn cfg() -> ExecConfig {
     }
 }
 
-/// The §3.2 equivalence claim end to end: identical forward results,
-/// weight trajectories within floating-point noise.
+/// The §3.2 equivalence claim end to end: identical forward results and
+/// identical weight trajectories — bitwise, since both engines fold
+/// per-source gradients in the same pre-reduction order.
 #[test]
 fn paradigms_match_across_transports_and_scales() {
     for machines in [1usize, 2] {
@@ -37,9 +43,49 @@ fn paradigms_match_across_transports_and_scales() {
                 ..cfg()
             };
             let diff = compare_paradigms(&cfg, 2);
-            assert!(diff.max_output_diff < 1e-5, "{machines}x{gpus}: {diff:?}");
-            assert!(diff.max_weight_diff < 1e-4, "{machines}x{gpus}: {diff:?}");
+            assert_eq!(diff.max_output_diff, 0.0, "{machines}x{gpus}: {diff:?}");
+            assert_eq!(diff.max_weight_diff, 0.0, "{machines}x{gpus}: {diff:?}");
         }
+    }
+}
+
+/// The unified engine over a real TCP transport: a mixed-paradigm plan
+/// converges, and its losses match the in-process mesh bitwise.
+#[test]
+fn unified_training_runs_over_tcp() {
+    let cfg = ExecConfig::mixed_paradigms();
+    let plan = cfg.compile_plan(&PlanOpts::default());
+    let shared = MachineShared::for_cluster(&cfg);
+    let endpoints = tcp_mesh_localhost(cfg.world()).expect("tcp mesh");
+    let tcp_losses = run_on(endpoints, |comm| {
+        let mut state = WorkerState::init(&cfg, comm.rank());
+        let sh = &shared[cfg.machine_of(comm.rank())];
+        (0..3)
+            .map(|i| {
+                unified::run_iteration(&comm, &mut state, sh, &plan, i)
+                    .unwrap()
+                    .loss
+            })
+            .collect::<Vec<_>>()
+    });
+    let local = train_unified(&cfg, 3);
+    for (curve, local_curve) in tcp_losses.iter().zip(&local.losses) {
+        assert!(curve.last().unwrap() < curve.first().unwrap(), "{curve:?}");
+        assert_eq!(curve, local_curve, "transport must not change numerics");
+    }
+}
+
+/// On a plan that mixes paradigms across blocks, the unified engine's
+/// whole run equals both pure engines bit for bit.
+#[test]
+fn unified_equals_pure_engines_end_to_end() {
+    let cfg = ExecConfig::mixed_paradigms();
+    let un = train_unified(&cfg, 2);
+    for pure in [train_expert_centric(&cfg, 2), train_data_centric(&cfg, 2)] {
+        let diff = diff_runs(&un, &pure);
+        assert_eq!(diff.max_output_diff, 0.0, "{diff:?}");
+        assert_eq!(diff.max_weight_diff, 0.0, "{diff:?}");
+        assert_eq!(diff.max_loss_diff, 0.0, "{diff:?}");
     }
 }
 
@@ -175,9 +221,10 @@ fn owners_apply_the_full_gradient_sum() {
     for (rank, (d, e)) in dc.experts.iter().zip(&ec.experts).enumerate() {
         for (bd, be) in d.iter().zip(e) {
             for (xd, xe) in bd.iter().zip(be) {
-                assert!(
-                    xd.w1.max_abs_diff(&xe.w1) < 1e-4,
-                    "rank {rank}: weight drift beyond fp noise"
+                assert_eq!(
+                    xd.w1.max_abs_diff(&xe.w1),
+                    0.0,
+                    "rank {rank}: weights must match bitwise"
                 );
             }
         }

@@ -1,6 +1,10 @@
 //! Cross-crate property tests on scheduler and engine invariants.
 
-use janus::core::plan::{expert_owner, fetch_plan};
+use janus::core::exec::model::ExecConfig;
+use janus::core::exec::trainer::{
+    diff_runs, train_data_centric, train_expert_centric, train_unified,
+};
+use janus::core::plan::{expert_owner, fetch_plan, IterationPlan, PlanOpts};
 use janus::core::priority::{internal_priority, internal_pull_order, pcie_split};
 use janus::core::sim::engine::{build_graph, EngineOpts, ParadigmPolicy};
 use janus::core::sim::setup::SimSetup;
@@ -127,6 +131,82 @@ proptest! {
         prop_assert!(result.unwrap().makespan > 0.0);
     }
 
+    /// Plan compilation is a pure function of `(model, cluster, opts)`:
+    /// the digest is identical across repeated runs and across threads.
+    #[test]
+    fn plan_digests_are_stable_across_runs_and_threads(
+        n in 1usize..4,
+        m in 1usize..5,
+        e_per in 1usize..4,
+        policy_ix in 0usize..3,
+        topo in any::<bool>(),
+        prefetch in any::<bool>(),
+        credits in 1u32..8,
+        thr_mil in 1u64..4000,
+    ) {
+        let cluster = ClusterSpec::a100(n, m).build();
+        let model = ModelPreset::MoeGpt.config(n * m * e_per);
+        let opts = PlanOpts {
+            policy: [
+                ParadigmPolicy::ExpertCentric,
+                ParadigmPolicy::DataCentric,
+                ParadigmPolicy::Unified,
+            ][policy_ix],
+            r_threshold: thr_mil as f64 / 1000.0,
+            topo_aware: topo,
+            prefetch,
+            credits,
+        };
+        let digest = IterationPlan::compile(&model, &cluster, &opts).digest();
+        let rerun = IterationPlan::compile(&model, &cluster, &opts).digest();
+        prop_assert_eq!(rerun, digest);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (c, mo) = (cluster.clone(), model.clone());
+                std::thread::spawn(move || IterationPlan::compile(&mo, &c, &opts).digest())
+            })
+            .collect();
+        for h in handles {
+            prop_assert_eq!(h.join().expect("compile thread"), digest);
+        }
+    }
+
+    /// In every compiled plan, each data-centric block's own + internal +
+    /// external pulls cover the block's expert set exactly once per
+    /// worker — and only data-centric MoE blocks carry a fetch plan.
+    #[test]
+    fn compiled_fetch_plans_partition_every_block(
+        n in 1usize..4,
+        m in 1usize..5,
+        e_per in 1usize..4,
+        topo in any::<bool>(),
+        thr_mil in 1u64..4000,
+    ) {
+        let cluster = ClusterSpec::a100(n, m).build();
+        let model = ModelPreset::MoeGpt.config(n * m * e_per);
+        let opts = PlanOpts {
+            policy: ParadigmPolicy::Unified,
+            r_threshold: thr_mil as f64 / 1000.0,
+            topo_aware: topo,
+            ..PlanOpts::default()
+        };
+        let plan = IterationPlan::compile(&model, &cluster, &opts);
+        prop_assert_eq!(plan.blocks.len(), model.blocks.len());
+        for bp in &plan.blocks {
+            use janus::core::Paradigm;
+            let dc_moe = bp.experts > 0 && bp.paradigm == Paradigm::DataCentric;
+            prop_assert_eq!(bp.fetch.is_some(), dc_moe);
+            if let Some(fetch) = &bp.fetch {
+                for w in cluster.workers() {
+                    prop_assert_eq!(
+                        fetch.all_experts_for(w),
+                        (0..bp.experts).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+    }
+
     /// Cluster routing is always loop-free, uses each link at most once,
     /// and cross-node routes cross exactly two NICs.
     #[test]
@@ -152,6 +232,25 @@ proptest! {
                 let cross = machine_of_loc(&cluster, from) != machine_of_loc(&cluster, to);
                 prop_assert_eq!(nic_crossings, if cross { 2 } else { 0 });
             }
+        }
+    }
+}
+
+proptest! {
+    // Each case trains three 4-worker clusters; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The unified engine executing a compiled mixed-paradigm plan is
+    /// bitwise identical to both pure numerical engines, for any seed.
+    #[test]
+    fn unified_is_bitwise_equal_to_pure_engines(seed in any::<u64>()) {
+        let cfg = ExecConfig { seed, ..ExecConfig::mixed_paradigms() };
+        let unified = train_unified(&cfg, 2);
+        for pure in [train_expert_centric(&cfg, 2), train_data_centric(&cfg, 2)] {
+            let d = diff_runs(&unified, &pure);
+            prop_assert_eq!(d.max_output_diff, 0.0);
+            prop_assert_eq!(d.max_weight_diff, 0.0);
+            prop_assert_eq!(d.max_loss_diff, 0.0);
         }
     }
 }
