@@ -119,6 +119,7 @@ fn bench_codec(c: &mut Criterion) {
     let msg = Message::ExpertPayload {
         block: 1,
         expert: 2,
+        nonce: 0,
         data: blob,
     };
     c.bench_function("message_encode_decode", |b| {

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [plan|table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|trace|all]...
+//! repro [plan|table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|faults|trace|all]...
 //! ```
 //!
 //! With no arguments, runs everything. Add `--json` to also dump the raw
@@ -28,6 +28,7 @@ fn main() {
             "fig17",
             "ablations",
             "compute",
+            "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -100,6 +101,11 @@ fn main() {
                     .expect("write BENCH_compute.json");
                 println!("wrote {path}");
                 dump(json, "compute", &report);
+            }
+            "faults" => {
+                let report = faults::run();
+                faults::print(&report);
+                dump(json, "faults", &report);
             }
             "trace" => {
                 let path = trace_export::write("fig13_timeline.json").expect("write chrome trace");

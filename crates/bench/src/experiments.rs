@@ -1330,3 +1330,148 @@ pub mod trace_export {
         Ok(path.to_string())
     }
 }
+
+/// Fault injection: the unified engine over a lossy mesh, with the
+/// reliability layer recovering every drop, delay, duplicate, and
+/// partition — numerics bitwise equal to the fault-free run.
+pub mod faults {
+    use super::*;
+    use janus_comm::faulty::{FaultPlan, FaultyTransport, Partition};
+    use janus_comm::local::local_mesh;
+    use janus_comm::reliable::{ReliableTransport, RetransmitPolicy};
+    use janus_core::exec::model::{CommSnapshot, ExecConfig};
+    use janus_core::exec::trainer::{diff_runs, train_unified, train_unified_on};
+    use std::time::Duration;
+
+    /// One rank's reliability counters after the chaos run.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Row {
+        /// Worker rank.
+        pub rank: usize,
+        /// Fault-injection and recovery counters for this rank.
+        pub counters: CommSnapshot,
+    }
+
+    /// The whole chaos run: divergence vs clean plus per-rank counters.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Report {
+        /// Chaos seed (`JANUS_CHAOS_SEED` or the default).
+        pub seed: u64,
+        /// Training iterations run.
+        pub iters: u64,
+        /// Largest |Δ| across loss histories vs the fault-free run.
+        pub max_loss_diff: f32,
+        /// Largest |Δ| across final expert weights vs the fault-free run.
+        pub max_weight_diff: f32,
+        /// Per-rank counters.
+        pub rows: Vec<Row>,
+    }
+
+    /// Train clean and under a combined fault plan, then diff the runs.
+    pub fn run() -> Report {
+        let seed = std::env::var("JANUS_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC0FFEE);
+        let cfg = ExecConfig {
+            machines: 2,
+            gpus_per_machine: 2,
+            hidden_dim: 8,
+            blocks: 2,
+            experts: 8,
+            experts_per_block: vec![],
+            top_k: 2,
+            tokens: 12,
+            seed: 99,
+            lr: 0.03,
+        };
+        let iters = 3u64;
+        let clean = train_unified(&cfg, iters);
+        let plan = FaultPlan {
+            seed,
+            drop: 0.04,
+            duplicate: 0.15,
+            delay: 0.2,
+            max_delay_ops: 3,
+            reorder: 0.25,
+            partitions: vec![Partition {
+                a: 0,
+                b: cfg.world() - 1,
+                from_op: 2,
+                to_op: 10,
+            }],
+            ..FaultPlan::default()
+        };
+        let policy = RetransmitPolicy {
+            initial_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(8),
+            max_attempts: 400,
+            flush_quiet: Duration::from_millis(40),
+        };
+        let endpoints: Vec<_> = local_mesh(cfg.world())
+            .into_iter()
+            .map(|t| ReliableTransport::with_policy(FaultyTransport::new(t, plan.clone()), policy))
+            .collect();
+        let chaotic = train_unified_on(endpoints, &cfg, iters);
+        let d = diff_runs(&clean, &chaotic);
+        Report {
+            seed,
+            iters,
+            max_loss_diff: d.max_loss_diff,
+            max_weight_diff: d.max_weight_diff,
+            rows: chaotic
+                .comm
+                .iter()
+                .enumerate()
+                .map(|(rank, c)| Row { rank, counters: *c })
+                .collect(),
+        }
+    }
+
+    /// Print the per-rank counter table.
+    pub fn print(report: &Report) {
+        println!(
+            "Fault injection — unified training over a lossy mesh \
+             (seed {:#x}, {} iters): max loss |Δ| = {:e}, max weight |Δ| = {:e} \
+             vs the fault-free run\n",
+            report.seed, report.iters, report.max_loss_diff, report.max_weight_diff
+        );
+        let body: Vec<Vec<String>> = report
+            .rows
+            .iter()
+            .map(|r| {
+                let c = &r.counters;
+                vec![
+                    r.rank.to_string(),
+                    c.faults_dropped.to_string(),
+                    c.faults_delayed.to_string(),
+                    c.faults_duplicated.to_string(),
+                    c.retransmits.to_string(),
+                    c.duplicates_dropped.to_string(),
+                    c.out_of_order_held.to_string(),
+                    c.acks_sent.to_string(),
+                    c.pull_retries.to_string(),
+                    c.pull_timeouts.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &[
+                    "rank",
+                    "dropped",
+                    "delayed",
+                    "duplicated",
+                    "retransmits",
+                    "dup-dropped",
+                    "ooo-held",
+                    "acks",
+                    "pull-retries",
+                    "pull-timeouts"
+                ],
+                &body
+            )
+        );
+    }
+}

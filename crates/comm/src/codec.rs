@@ -124,6 +124,7 @@ mod tests {
         let msg = Message::ExpertPayload {
             block: 2,
             expert: 9,
+            nonce: 4,
             data: Bytes::from(vec![1, 2, 3]),
         };
         let mut buf = Vec::new();

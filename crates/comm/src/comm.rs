@@ -120,6 +120,48 @@ impl<T: Transport> Comm<T> {
         }
     }
 
+    /// Deadline-bounded variant of [`Comm::recv_match_or_consume`]:
+    /// returns `Ok(None)` when `deadline` passes without a matching
+    /// message, leaving all buffered traffic intact for later callers.
+    /// Protocol loops use this to re-request or fail loudly instead of
+    /// hanging when a peer goes quiet.
+    pub fn recv_match_or_consume_deadline(
+        &self,
+        mut pred: impl FnMut(usize, &Message) -> bool,
+        mut consume: impl FnMut(usize, &Message) -> bool,
+        deadline: std::time::Instant,
+    ) -> Result<Option<(usize, Message)>, CommError> {
+        let taken: Vec<(usize, Message)> = self.pending.borrow_mut().drain(..).collect();
+        let mut matched = None;
+        for (from, msg) in taken {
+            if matched.is_none() && pred(from, &msg) {
+                matched = Some((from, msg));
+            } else if matched.is_some() || !consume(from, &msg) {
+                self.pending.borrow_mut().push_back((from, msg));
+            }
+        }
+        if let Some(m) = matched {
+            return Ok(Some(m));
+        }
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            match self.transport.recv_timeout(deadline - now)? {
+                None => return Ok(None),
+                Some((from, msg)) => {
+                    if pred(from, &msg) {
+                        return Ok(Some((from, msg)));
+                    }
+                    if !consume(from, &msg) {
+                        self.pending.borrow_mut().push_back((from, msg));
+                    }
+                }
+            }
+        }
+    }
+
     /// One bounded, non-blocking service pass: offer every buffered
     /// message and every immediately available transport message to
     /// `consume` once; declined messages stay buffered. Returns how many
@@ -176,6 +218,7 @@ mod tests {
             Message::PullRequest {
                 block: 0,
                 expert: 3,
+                nonce: 12,
             },
         )
         .unwrap();
@@ -189,7 +232,8 @@ mod tests {
             msg,
             Message::PullRequest {
                 block: 0,
-                expert: 3
+                expert: 3,
+                nonce: 12,
             }
         );
         assert_eq!(b.buffered(), 1);
@@ -235,6 +279,33 @@ mod tests {
         b.stash(from, msg);
         assert_eq!(b.buffered(), 1);
         assert_eq!(b.recv_any().unwrap(), (0, Message::Barrier { epoch: 3 }));
+    }
+
+    #[test]
+    fn deadline_match_expires_and_preserves_buffer() {
+        let mut mesh = local_mesh(2);
+        let b = Comm::new(mesh.pop().unwrap());
+        let a = Comm::new(mesh.pop().unwrap());
+        a.send(1, Message::Barrier { epoch: 1 }).unwrap();
+        let got = b
+            .recv_match_or_consume_deadline(
+                |_, m| matches!(m, Message::Shutdown),
+                |_, _| false,
+                std::time::Instant::now() + std::time::Duration::from_millis(5),
+            )
+            .unwrap();
+        assert!(got.is_none(), "deadline must expire, not hang");
+        assert_eq!(b.buffered(), 1, "non-matching traffic stays buffered");
+        a.send(1, Message::Shutdown).unwrap();
+        let got = b
+            .recv_match_or_consume_deadline(
+                |_, m| matches!(m, Message::Shutdown),
+                |_, _| false,
+                std::time::Instant::now() + std::time::Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(got.unwrap().1, Message::Shutdown);
+        assert_eq!(b.buffered(), 1, "barrier still waiting for its claimant");
     }
 
     #[test]

@@ -1,21 +1,35 @@
-//! Fault-injection transport wrapper: seeded cross-peer reordering and
-//! duplicate delivery.
+//! Fault-injection transport wrapper: seeded drops, delays, duplicates,
+//! partition windows, and cross-peer reordering.
 //!
 //! Janus's protocols assume *per-pair FIFO* delivery (TCP semantics) but
 //! make no assumption about ordering **across** peers, and the matching
 //! receiver ([`crate::comm::Comm`]) must tolerate duplicates of
-//! idempotent control traffic. [`ChaosTransport`] stresses exactly those
-//! properties: it buffers incoming messages and releases them in a
-//! seeded, jittered order that preserves each sender's FIFO but
-//! interleaves senders adversarially, and can duplicate barrier
-//! messages. Collectives and the training engines must produce identical
-//! results under it (see tests here and in `janus-core`).
+//! idempotent control traffic. [`FaultyTransport`] stresses exactly those
+//! properties — and, stacked under
+//! [`crate::reliable::ReliableTransport`], it turns the link into an
+//! adversarial lossy channel the reliability layer must repair:
+//!
+//! * **send-side** faults (seeded per endpoint): silently drop a message,
+//!   deliver an extra copy, or hold it back and release it a few send
+//!   operations later (bounded delay, which reorders the link);
+//! * **partition windows**: for a configured pair of ranks, every send
+//!   within a window of that link's send-operation count is dropped.
+//!   Windows are counted in *operations*, not wall-clock, so retransmits
+//!   from a reliability layer deterministically burn through them;
+//! * **receive-side** faults: buffered delivery in a seeded, jittered
+//!   order that preserves each sender's FIFO but interleaves senders
+//!   adversarially, plus occasional duplicate `Barrier` delivery.
+//!
+//! `Shutdown` and self-sends are exempt from send-side faults: dropping
+//! the teardown signal would turn every test into a hang rather than a
+//! diagnostic.
 
 use crate::message::Message;
-use crate::transport::{CommError, Transport};
+use crate::transport::{CommError, Transport, TransportStats};
 use rand_chacha_lite::Lcg;
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::time::Duration;
 
 /// A tiny deterministic LCG so this module needs no extra dependencies.
 mod rand_chacha_lite {
@@ -45,59 +59,126 @@ mod rand_chacha_lite {
     }
 }
 
-/// Fault configuration.
-#[derive(Debug, Clone, Copy)]
-pub struct ChaosConfig {
-    /// RNG seed (per endpoint; mix the rank in for diversity).
+/// A window during which every send on the link between ranks `a` and
+/// `b` (either direction) is dropped. The window is measured in that
+/// link's *send-operation count* at each endpoint, so it deterministically
+/// opens and closes regardless of timing, and retransmissions advance
+/// through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// One endpoint of the partitioned link.
+    pub a: usize,
+    /// The other endpoint.
+    pub b: usize,
+    /// First send-op index (per endpoint, per link) that is dropped.
+    pub from_op: u64,
+    /// First send-op index past the window (exclusive).
+    pub to_op: u64,
+}
+
+impl Partition {
+    fn covers(&self, x: usize, y: usize, op: u64) -> bool {
+        let pair_matches = (self.a == x && self.b == y) || (self.a == y && self.b == x);
+        pair_matches && op >= self.from_op && op < self.to_op
+    }
+}
+
+/// Seeded fault profile. The zero-probability, no-partition default
+/// injects nothing; dial individual faults up per test.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// RNG seed (per endpoint; the rank is mixed in for diversity).
     pub seed: u64,
+    /// Probability that a send is silently dropped.
+    pub drop: f64,
+    /// Probability that a send is delivered twice. Only safe when a
+    /// dedup layer (reliability, or idempotent protocol traffic) sits
+    /// above this transport.
+    pub duplicate: f64,
+    /// Probability that a send is held back and released later.
+    pub delay: f64,
+    /// Upper bound on how many subsequent send operations a delayed
+    /// message waits before release (drawn uniformly in `1..=max`).
+    pub max_delay_ops: u32,
     /// Probability that a receive is deferred in favour of a later
     /// message from a *different* peer (cross-peer reordering).
     pub reorder: f64,
     /// Probability of delivering an extra copy of a `Barrier` message
     /// (duplicate delivery of idempotent control traffic).
     pub duplicate_barrier: f64,
+    /// Links that drop everything during a send-op window.
+    pub partitions: Vec<Partition>,
 }
 
-impl Default for ChaosConfig {
+impl Default for FaultPlan {
     fn default() -> Self {
-        ChaosConfig {
+        FaultPlan {
             seed: 0xC0FFEE,
-            reorder: 0.3,
-            duplicate_barrier: 0.1,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay_ops: 4,
+            reorder: 0.0,
+            duplicate_barrier: 0.0,
+            partitions: Vec::new(),
         }
     }
 }
 
-/// Transport wrapper injecting cross-peer reordering and duplicates.
-pub struct ChaosTransport<T: Transport> {
+impl FaultPlan {
+    /// The profile the pre-reliability chaos tests used: cross-peer
+    /// receive reordering plus duplicated barriers, no loss.
+    pub fn reorder_only(seed: u64, reorder: f64, duplicate_barrier: f64) -> Self {
+        FaultPlan {
+            seed,
+            reorder,
+            duplicate_barrier,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Transport wrapper injecting the faults described by a [`FaultPlan`].
+pub struct FaultyTransport<T: Transport> {
     inner: T,
-    cfg: ChaosConfig,
-    state: RefCell<ChaosState>,
+    plan: FaultPlan,
+    state: RefCell<FaultState>,
 }
 
-struct ChaosState {
+struct FaultState {
     rng: Lcg,
-    /// Messages pulled from the inner transport but not yet delivered.
+    /// Incoming messages pulled from the inner transport but not yet
+    /// delivered (receive-side reordering pool).
     held: VecDeque<(usize, Message)>,
+    /// Outgoing messages held back by the delay fault, with the number
+    /// of further send ops to wait before release.
+    delayed: VecDeque<(u32, usize, Message)>,
+    /// Per-destination send-operation counters (for partition windows).
+    link_ops: Vec<u64>,
+    stats: TransportStats,
 }
 
-impl<T: Transport> ChaosTransport<T> {
-    /// Wrap `inner` with the given fault profile.
-    pub fn new(inner: T, cfg: ChaosConfig) -> Self {
-        let seed = cfg.seed ^ (inner.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15);
-        ChaosTransport {
+impl<T: Transport> FaultyTransport<T> {
+    /// Wrap `inner` with the given fault plan.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        let seed = plan.seed ^ (inner.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let world = inner.world_size();
+        FaultyTransport {
             inner,
-            cfg,
-            state: RefCell::new(ChaosState {
+            plan,
+            state: RefCell::new(FaultState {
                 rng: Lcg(seed),
                 held: VecDeque::new(),
+                delayed: VecDeque::new(),
+                link_ops: vec![0; world],
+                stats: TransportStats::default(),
             }),
         }
     }
 
     /// Pick a held message to deliver, preserving per-sender FIFO: always
     /// the *earliest* held message of the chosen sender.
-    fn pop_held(&self, state: &mut ChaosState) -> Option<(usize, Message)> {
+    fn pop_held(&self, state: &mut FaultState) -> Option<(usize, Message)> {
         if state.held.is_empty() {
             return None;
         }
@@ -113,9 +194,29 @@ impl<T: Transport> ChaosTransport<T> {
             .expect("sender has a held message");
         state.held.remove(pos)
     }
+
+    /// Count down delayed sends and release the ones that matured.
+    fn tick_delayed(&self, state: &mut FaultState) -> Result<(), CommError> {
+        for entry in state.delayed.iter_mut() {
+            entry.0 = entry.0.saturating_sub(1);
+        }
+        while let Some(pos) = state.delayed.iter().position(|(ops, _, _)| *ops == 0) {
+            let (_, to, msg) = state.delayed.remove(pos).expect("position is valid");
+            self.inner.send(to, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Release every delayed send immediately (used by `flush`).
+    fn release_all_delayed(&self, state: &mut FaultState) -> Result<(), CommError> {
+        while let Some((_, to, msg)) = state.delayed.pop_front() {
+            self.inner.send(to, msg)?;
+        }
+        Ok(())
+    }
 }
 
-impl<T: Transport> Transport for ChaosTransport<T> {
+impl<T: Transport> Transport for FaultyTransport<T> {
     fn rank(&self) -> usize {
         self.inner.rank()
     }
@@ -125,22 +226,59 @@ impl<T: Transport> Transport for ChaosTransport<T> {
     }
 
     fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
+        let mut state = self.state.borrow_mut();
+        self.tick_delayed(&mut state)?;
+
+        // Shutdown and self-sends bypass fault injection entirely:
+        // dropping teardown turns failures into hangs, and a self-send
+        // never crosses a link.
+        if to == self.inner.rank() || matches!(msg, Message::Shutdown) {
+            return self.inner.send(to, msg);
+        }
+
+        let op = state.link_ops[to];
+        state.link_ops[to] += 1;
+
+        let me = self.inner.rank();
+        if self.plan.partitions.iter().any(|p| p.covers(me, to, op)) {
+            state.stats.faults_dropped += 1;
+            return Ok(());
+        }
+        if state.rng.chance(self.plan.drop) {
+            state.stats.faults_dropped += 1;
+            return Ok(());
+        }
+        if state.rng.chance(self.plan.duplicate) {
+            state.stats.faults_duplicated += 1;
+            self.inner.send(to, msg.clone())?;
+            return self.inner.send(to, msg);
+        }
+        if state.rng.chance(self.plan.delay) {
+            let wait = 1 + state.rng.below(self.plan.max_delay_ops.max(1) as usize) as u32;
+            state.stats.faults_delayed += 1;
+            state.delayed.push_back((wait, to, msg));
+            return Ok(());
+        }
         self.inner.send(to, msg)
     }
 
     fn recv(&self) -> Result<(usize, Message), CommError> {
         let mut state = self.state.borrow_mut();
+        self.tick_delayed(&mut state)?;
         // Pull everything immediately available so reordering has choices.
         while let Some(m) = self.inner.try_recv()? {
             state.held.push_back(m);
         }
         // Maybe hold out for one more message before delivering.
-        if state.held.is_empty() || state.rng.chance(self.cfg.reorder) {
+        if state.held.is_empty() || state.rng.chance(self.plan.reorder) {
             match self.inner.try_recv()? {
                 Some(m) => state.held.push_back(m),
                 None if state.held.is_empty() => {
                     // Nothing buffered at all: block on the inner
-                    // transport.
+                    // transport — but if sends are pending delayed
+                    // release, they may be what the peer is waiting on,
+                    // so release them rather than deadlocking.
+                    self.release_all_delayed(&mut state)?;
                     let m = self.inner.recv()?;
                     state.held.push_back(m);
                 }
@@ -149,7 +287,7 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         }
         let (from, msg) = self.pop_held(&mut state).expect("held is non-empty here");
         // Duplicate idempotent barrier traffic occasionally.
-        if matches!(msg, Message::Barrier { .. }) && state.rng.chance(self.cfg.duplicate_barrier) {
+        if matches!(msg, Message::Barrier { .. }) && state.rng.chance(self.plan.duplicate_barrier) {
             state.held.push_back((from, msg.clone()));
         }
         Ok((from, msg))
@@ -157,10 +295,44 @@ impl<T: Transport> Transport for ChaosTransport<T> {
 
     fn try_recv(&self) -> Result<Option<(usize, Message)>, CommError> {
         let mut state = self.state.borrow_mut();
+        self.tick_delayed(&mut state)?;
         while let Some(m) = self.inner.try_recv()? {
             state.held.push_back(m);
         }
         Ok(self.pop_held(&mut state))
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, CommError> {
+        {
+            let mut state = self.state.borrow_mut();
+            self.tick_delayed(&mut state)?;
+            while let Some(m) = self.inner.try_recv()? {
+                state.held.push_back(m);
+            }
+            if let Some(m) = self.pop_held(&mut state) {
+                return Ok(Some(m));
+            }
+            // Nothing to deliver: anything we are still delaying may be
+            // what the peer needs to make progress within the timeout.
+            self.release_all_delayed(&mut state)?;
+        }
+        match self.inner.recv_timeout(timeout)? {
+            Some(m) => Ok(Some(m)),
+            None => Ok(None),
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut s = self.state.borrow().stats;
+        s.add(&self.inner.stats());
+        s
+    }
+
+    fn flush(&self) -> Result<(), CommError> {
+        let mut state = self.state.borrow_mut();
+        self.release_all_delayed(&mut state)?;
+        drop(state);
+        self.inner.flush()
     }
 }
 
@@ -171,25 +343,16 @@ mod tests {
     use crate::local::local_mesh;
     use crate::runtime::run_on;
 
-    fn chaos_mesh(world: usize, seed: u64) -> Vec<ChaosTransport<crate::local::LocalTransport>> {
+    fn reorder_mesh(world: usize, seed: u64) -> Vec<FaultyTransport<crate::local::LocalTransport>> {
         local_mesh(world)
             .into_iter()
-            .map(|t| {
-                ChaosTransport::new(
-                    t,
-                    ChaosConfig {
-                        seed,
-                        reorder: 0.5,
-                        duplicate_barrier: 0.0,
-                    },
-                )
-            })
+            .map(|t| FaultyTransport::new(t, FaultPlan::reorder_only(seed, 0.5, 0.0)))
             .collect()
     }
 
     #[test]
     fn per_sender_fifo_is_preserved() {
-        let mut mesh = chaos_mesh(2, 7);
+        let mut mesh = reorder_mesh(2, 7);
         let b = mesh.pop().unwrap();
         let a = mesh.pop().unwrap();
         for i in 0..50u64 {
@@ -212,7 +375,7 @@ mod tests {
     #[test]
     fn collectives_survive_reordering() {
         for seed in [1u64, 2, 3] {
-            let out = run_on(chaos_mesh(4, seed), |comm| {
+            let out = run_on(reorder_mesh(4, seed), |comm| {
                 barrier(&comm, 0).unwrap();
                 let me = comm.rank() as u8;
                 let r = all_to_all(&comm, 1, vec![vec![me; 3]; 4]).unwrap();
@@ -232,16 +395,7 @@ mod tests {
     fn duplicate_barriers_are_tolerated() {
         let mesh: Vec<_> = local_mesh(3)
             .into_iter()
-            .map(|t| {
-                ChaosTransport::new(
-                    t,
-                    ChaosConfig {
-                        seed: 11,
-                        reorder: 0.4,
-                        duplicate_barrier: 0.8,
-                    },
-                )
-            })
+            .map(|t| FaultyTransport::new(t, FaultPlan::reorder_only(11, 0.4, 0.8)))
             .collect();
         // Distinct epochs keep duplicated markers claimable; the `seen`
         // filter in `barrier` ignores repeats from the same peer.
@@ -255,11 +409,127 @@ mod tests {
     #[test]
     fn chaos_is_deterministic_per_seed() {
         let run_once = || {
-            run_on(chaos_mesh(3, 42), |comm| {
+            run_on(reorder_mesh(3, 42), |comm| {
                 let me = comm.rank() as u8;
                 all_to_all(&comm, 0, vec![vec![me]; 3]).unwrap()
             })
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn drops_are_counted_and_messages_vanish() {
+        let mut mesh = local_mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(
+            mesh.pop().unwrap(),
+            FaultPlan {
+                seed: 3,
+                drop: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        for i in 0..10u64 {
+            a.send(1, Message::Barrier { epoch: i }).unwrap();
+        }
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(a.stats().faults_dropped, 10);
+    }
+
+    #[test]
+    fn duplicates_deliver_two_copies() {
+        let mut mesh = local_mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(
+            mesh.pop().unwrap(),
+            FaultPlan {
+                seed: 3,
+                duplicate: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        a.send(1, Message::Barrier { epoch: 9 }).unwrap();
+        assert_eq!(b.recv().unwrap().1, Message::Barrier { epoch: 9 });
+        assert_eq!(b.recv().unwrap().1, Message::Barrier { epoch: 9 });
+        assert_eq!(a.stats().faults_duplicated, 1);
+    }
+
+    #[test]
+    fn delayed_sends_release_after_ops_and_on_flush() {
+        let mut mesh = local_mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(
+            mesh.pop().unwrap(),
+            FaultPlan {
+                seed: 3,
+                delay: 1.0,
+                max_delay_ops: 1,
+                ..FaultPlan::default()
+            },
+        );
+        a.send(1, Message::Barrier { epoch: 0 }).unwrap();
+        assert_eq!(b.try_recv().unwrap(), None, "first send is held");
+        // The next send op matures the held message (wait = 1).
+        a.send(1, Message::Barrier { epoch: 1 }).unwrap();
+        assert_eq!(b.recv().unwrap().1, Message::Barrier { epoch: 0 });
+        // The second message is itself delayed; flush forces it out.
+        a.flush().unwrap();
+        assert_eq!(b.recv().unwrap().1, Message::Barrier { epoch: 1 });
+        assert_eq!(a.stats().faults_delayed, 2);
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let mut mesh = local_mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(
+            mesh.pop().unwrap(),
+            FaultPlan {
+                seed: 3,
+                partitions: vec![Partition {
+                    a: 0,
+                    b: 1,
+                    from_op: 1,
+                    to_op: 3,
+                }],
+                ..FaultPlan::default()
+            },
+        );
+        for i in 0..5u64 {
+            a.send(1, Message::Barrier { epoch: i }).unwrap();
+        }
+        // Ops 1 and 2 fell inside the window.
+        let got: Vec<_> = std::iter::from_fn(|| b.try_recv().unwrap())
+            .map(|(_, m)| m)
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                Message::Barrier { epoch: 0 },
+                Message::Barrier { epoch: 3 },
+                Message::Barrier { epoch: 4 },
+            ]
+        );
+        assert_eq!(a.stats().faults_dropped, 2);
+    }
+
+    #[test]
+    fn shutdown_and_self_sends_are_exempt() {
+        let mesh = local_mesh(2);
+        let mut it = mesh.into_iter();
+        let a = FaultyTransport::new(
+            it.next().unwrap(),
+            FaultPlan {
+                seed: 3,
+                drop: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        let b = it.next().unwrap();
+        a.send(1, Message::Shutdown).unwrap();
+        assert_eq!(b.recv().unwrap().1, Message::Shutdown);
+        a.send(0, Message::Barrier { epoch: 5 }).unwrap();
+        assert_eq!(a.recv().unwrap(), (0, Message::Barrier { epoch: 5 }));
+        assert_eq!(a.stats().faults_dropped, 0);
     }
 }

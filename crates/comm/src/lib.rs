@@ -18,8 +18,11 @@
 //!   (out-of-order messages are buffered until someone asks for them).
 //! * [`collectives`] — All-to-All, barrier, and gather-to-owner built on
 //!   `Comm`, used by the expert-centric baseline engine.
-//! * [`faulty`] — a fault-injection wrapper (seeded cross-peer
-//!   reordering, duplicate barriers) for stressing protocol assumptions.
+//! * [`faulty`] — a fault-injection wrapper (seeded drops, delays,
+//!   duplicates, partition windows, cross-peer reordering) for stressing
+//!   protocol assumptions.
+//! * [`reliable`] — seq/ack/retransmit reliability restoring exactly-once
+//!   per-pair FIFO delivery over any lossy transport.
 //! * [`runtime`] — scoped worker threads, one per simulated GPU.
 //!
 //! ```
@@ -41,10 +44,13 @@ pub mod comm;
 pub mod faulty;
 pub mod local;
 pub mod message;
+pub mod reliable;
 pub mod runtime;
 pub mod tcp;
 pub mod transport;
 
 pub use comm::Comm;
+pub use faulty::{FaultPlan, FaultyTransport, Partition};
 pub use message::Message;
-pub use transport::{CommError, Transport};
+pub use reliable::{ReliableTransport, RetransmitPolicy};
+pub use transport::{CommError, Transport, TransportStats};

@@ -62,6 +62,18 @@ impl Transport for LocalTransport {
             Err(TryRecvError::Disconnected) => Err(CommError::Disconnected),
         }
     }
+
+    fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<(usize, Message)>, CommError> {
+        use crossbeam::channel::RecvTimeoutError;
+        match self.inbox.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +126,7 @@ mod tests {
             Message::ExpertPayload {
                 block: 0,
                 expert: 1,
+                nonce: 0,
                 data: data.clone(),
             },
         )
@@ -129,5 +142,22 @@ mod tests {
     fn send_to_unknown_rank_panics() {
         let mesh = local_mesh(1);
         let _ = mesh[0].send(3, Message::Shutdown);
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_delivers() {
+        let mut mesh = local_mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        assert!(b
+            .recv_timeout(std::time::Duration::from_millis(2))
+            .unwrap()
+            .is_none());
+        a.send(1, Message::Barrier { epoch: 4 }).unwrap();
+        assert_eq!(
+            b.recv_timeout(std::time::Duration::from_millis(100))
+                .unwrap(),
+            Some((0, Message::Barrier { epoch: 4 }))
+        );
     }
 }

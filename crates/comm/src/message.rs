@@ -9,12 +9,17 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Data-centric control plane: "send me expert `expert` of MoE block
-    /// `block`" (the paper's pull request).
+    /// `block`" (the paper's pull request). `nonce` is unique per request
+    /// attempt at the requester, echoed back in the payload, so a
+    /// deadline-driven re-request can never be satisfied by a stale
+    /// response from an earlier attempt (or an earlier iteration).
     PullRequest {
         /// MoE block index.
         block: u32,
         /// Global expert index.
         expert: u32,
+        /// Requester-unique request id, echoed in the response.
+        nonce: u32,
     },
     /// Data-centric data plane: the requested expert's weights.
     ExpertPayload {
@@ -22,6 +27,8 @@ pub enum Message {
         block: u32,
         /// Global expert index.
         expert: u32,
+        /// Echo of the pull request's nonce.
+        nonce: u32,
         /// Serialized weights.
         data: Bytes,
     },
@@ -70,6 +77,25 @@ pub enum Message {
     },
     /// Orderly teardown of a peer connection.
     Shutdown,
+    /// Reliability envelope ([`crate::reliable::ReliableTransport`]):
+    /// `data` is an encoded inner message, `seq` its per-(sender,
+    /// receiver)-pair sequence number (starting at 1). The receiver
+    /// delivers per-pair in `seq` order exactly once.
+    Reliable {
+        /// Per-pair sequence number, 1-based.
+        seq: u64,
+        /// The encoded inner [`Message`].
+        data: Bytes,
+    },
+    /// Cumulative acknowledgement: every [`Message::Reliable`] frame the
+    /// sender of this ack received from the addressee with `seq <= ack`
+    /// has been delivered. Acks are idempotent and never retransmitted
+    /// on their own — a lost ack is recovered by the data retransmit it
+    /// would have suppressed.
+    Ack {
+        /// Highest contiguous delivered sequence number.
+        ack: u64,
+    },
 }
 
 const TAG_PULL: u8 = 1;
@@ -80,6 +106,8 @@ const TAG_RETURN: u8 = 5;
 const TAG_BARRIER: u8 = 6;
 const TAG_COLLECTIVE: u8 = 7;
 const TAG_SHUTDOWN: u8 = 8;
+const TAG_RELIABLE: u8 = 9;
+const TAG_ACK: u8 = 10;
 
 impl Message {
     /// Encode into a byte buffer (framing is added separately by
@@ -87,19 +115,26 @@ impl Message {
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(16 + self.payload_len());
         match self {
-            Message::PullRequest { block, expert } => {
+            Message::PullRequest {
+                block,
+                expert,
+                nonce,
+            } => {
                 b.put_u8(TAG_PULL);
                 b.put_u32(*block);
                 b.put_u32(*expert);
+                b.put_u32(*nonce);
             }
             Message::ExpertPayload {
                 block,
                 expert,
+                nonce,
                 data,
             } => {
                 b.put_u8(TAG_EXPERT);
                 b.put_u32(*block);
                 b.put_u32(*expert);
+                b.put_u32(*nonce);
                 put_bytes(&mut b, data);
             }
             Message::GradPush {
@@ -136,6 +171,15 @@ impl Message {
                 put_bytes(&mut b, data);
             }
             Message::Shutdown => b.put_u8(TAG_SHUTDOWN),
+            Message::Reliable { seq, data } => {
+                b.put_u8(TAG_RELIABLE);
+                b.put_u64(*seq);
+                put_bytes(&mut b, data);
+            }
+            Message::Ack { ack } => {
+                b.put_u8(TAG_ACK);
+                b.put_u64(*ack);
+            }
         }
         b.freeze()
     }
@@ -148,19 +192,22 @@ impl Message {
         let tag = buf.get_u8();
         let msg = match tag {
             TAG_PULL => {
-                need(&buf, 8)?;
+                need(&buf, 12)?;
                 Message::PullRequest {
                     block: buf.get_u32(),
                     expert: buf.get_u32(),
+                    nonce: buf.get_u32(),
                 }
             }
             TAG_EXPERT => {
-                need(&buf, 8)?;
+                need(&buf, 12)?;
                 let block = buf.get_u32();
                 let expert = buf.get_u32();
+                let nonce = buf.get_u32();
                 Message::ExpertPayload {
                     block,
                     expert,
+                    nonce,
                     data: take_bytes(&mut buf)?,
                 }
             }
@@ -211,6 +258,18 @@ impl Message {
                 }
             }
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_RELIABLE => {
+                need(&buf, 8)?;
+                let seq = buf.get_u64();
+                Message::Reliable {
+                    seq,
+                    data: take_bytes(&mut buf)?,
+                }
+            }
+            TAG_ACK => {
+                need(&buf, 8)?;
+                Message::Ack { ack: buf.get_u64() }
+            }
             other => return Err(CommError::Decode(format!("unknown message tag {other}"))),
         };
         if buf.has_remaining() {
@@ -229,7 +288,8 @@ impl Message {
             | Message::GradPush { data, .. }
             | Message::TokenDispatch { data, .. }
             | Message::TokenReturn { data, .. }
-            | Message::Collective { data, .. } => data.len(),
+            | Message::Collective { data, .. }
+            | Message::Reliable { data, .. } => data.len(),
             _ => 0,
         }
     }
@@ -273,10 +333,12 @@ mod tests {
         roundtrip(Message::PullRequest {
             block: 3,
             expert: 17,
+            nonce: 41,
         });
         roundtrip(Message::ExpertPayload {
             block: 1,
             expert: 2,
+            nonce: u32::MAX,
             data: Bytes::from(vec![1, 2, 3, 4, 5]),
         });
         roundtrip(Message::GradPush {
@@ -301,6 +363,32 @@ mod tests {
             data: Bytes::from(vec![9; 3]),
         });
         roundtrip(Message::Shutdown);
+        roundtrip(Message::Reliable {
+            seq: 1 << 40,
+            data: Bytes::from(vec![8; 9]),
+        });
+        roundtrip(Message::Ack { ack: 0 });
+    }
+
+    #[test]
+    fn reliable_envelope_nests_any_message() {
+        let inner = Message::GradPush {
+            block: 2,
+            expert: 5,
+            contributions: 3,
+            data: Bytes::from(vec![1, 2, 3]),
+        };
+        let wrapped = Message::Reliable {
+            seq: 7,
+            data: inner.encode(),
+        };
+        match Message::decode(wrapped.encode()).unwrap() {
+            Message::Reliable { seq, data } => {
+                assert_eq!(seq, 7);
+                assert_eq!(Message::decode(data).unwrap(), inner);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -308,6 +396,7 @@ mod tests {
         let m = Message::ExpertPayload {
             block: 0,
             expert: 0,
+            nonce: 0,
             data: Bytes::from(vec![0; 77]),
         };
         assert_eq!(m.payload_len(), 77);
@@ -333,6 +422,7 @@ mod tests {
         let mut full = Message::ExpertPayload {
             block: 1,
             expert: 2,
+            nonce: 0,
             data: Bytes::from(vec![1, 2, 3]),
         }
         .encode()

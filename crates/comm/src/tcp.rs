@@ -33,11 +33,25 @@ pub struct TcpTransport {
 
 impl TcpTransport {
     /// Build one endpoint given a pre-bound listener and every rank's
-    /// address. Blocks until the full mesh is connected.
+    /// address. Blocks until the full mesh is connected. Uses the default
+    /// [`ConnectRetry`] budget; see [`TcpTransport::from_listener_with`]
+    /// to bound it explicitly.
     pub fn from_listener(
         rank: usize,
         listener: TcpListener,
         addrs: &[SocketAddr],
+    ) -> Result<Self, CommError> {
+        TcpTransport::from_listener_with(rank, listener, addrs, &ConnectRetry::default())
+    }
+
+    /// [`TcpTransport::from_listener`] with an explicit connection retry
+    /// budget, so callers control how long mesh assembly may block before
+    /// failing with a [`CommError::Timeout`].
+    pub fn from_listener_with(
+        rank: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        retry: &ConnectRetry,
     ) -> Result<Self, CommError> {
         let world = addrs.len();
         assert!(rank < world, "rank out of range");
@@ -45,7 +59,7 @@ impl TcpTransport {
 
         // Connect to every lower rank (they bound their listeners first).
         for (j, addr) in addrs.iter().enumerate().take(rank) {
-            let mut stream = connect_with_retry(*addr)?;
+            let mut stream = connect_with_retry(*addr, retry)?;
             stream.set_nodelay(true)?;
             stream.write_all(&(rank as u32).to_be_bytes())?;
             stream.flush()?;
@@ -118,21 +132,62 @@ fn spawn_reader(peer: usize, mut stream: TcpStream, tx: Sender<(usize, Message)>
         .expect("spawn tcp reader thread");
 }
 
-fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, CommError> {
-    let mut delay = Duration::from_millis(5);
-    for _ in 0..60 {
+/// Retry budget for mesh-assembly connections: how many attempts, with
+/// what (exponentially growing, bounded) backoff between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectRetry {
+    /// Maximum connection attempts before giving up.
+    pub max_attempts: u32,
+    /// Sleep after the first failed attempt.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling (each failure doubles the sleep up to this).
+    pub max_backoff: Duration,
+}
+
+impl Default for ConnectRetry {
+    fn default() -> Self {
+        // Worst case ~11 s: enough for every peer of a slow mesh to bind
+        // its listener, bounded enough that a dead address fails loudly.
+        ConnectRetry {
+            max_attempts: 60,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Connect to `addr`, retrying with bounded exponential backoff up to
+/// `retry.max_attempts` times. On exhaustion, returns
+/// [`CommError::Timeout`] reporting the attempt count and total elapsed
+/// time (the last OS error is folded into the context).
+pub fn connect_with_retry(addr: SocketAddr, retry: &ConnectRetry) -> Result<TcpStream, CommError> {
+    assert!(
+        retry.max_attempts > 0,
+        "retry budget must allow one attempt"
+    );
+    let start = std::time::Instant::now();
+    let mut delay = retry.initial_backoff;
+    let mut last_err: Option<std::io::Error> = None;
+    for attempt in 1..=retry.max_attempts {
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
-            Err(_) => {
-                thread::sleep(delay);
-                delay = (delay * 2).min(Duration::from_millis(200));
+            Err(e) => {
+                last_err = Some(e);
+                if attempt < retry.max_attempts {
+                    thread::sleep(delay);
+                    delay = (delay * 2).min(retry.max_backoff);
+                }
             }
         }
     }
-    Err(CommError::Io(std::io::Error::new(
-        std::io::ErrorKind::ConnectionRefused,
-        format!("could not connect to {addr}"),
-    )))
+    Err(CommError::Timeout {
+        context: format!(
+            "connect to {addr} (last error: {})",
+            last_err.expect("at least one failed attempt")
+        ),
+        attempts: retry.max_attempts,
+        elapsed: start.elapsed(),
+    })
 }
 
 impl Transport for TcpTransport {
@@ -169,6 +224,15 @@ impl Transport for TcpTransport {
             Ok(m) => Ok(Some(m)),
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, CommError> {
+        use crossbeam::channel::RecvTimeoutError;
+        match self.inbox.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected),
         }
     }
 }
@@ -219,6 +283,7 @@ mod tests {
             Message::PullRequest {
                 block: 1,
                 expert: 5,
+                nonce: 77,
             },
         )
         .unwrap();
@@ -228,7 +293,8 @@ mod tests {
                 0,
                 Message::PullRequest {
                     block: 1,
-                    expert: 5
+                    expert: 5,
+                    nonce: 77
                 }
             )
         );
@@ -237,6 +303,7 @@ mod tests {
             Message::ExpertPayload {
                 block: 1,
                 expert: 5,
+                nonce: 77,
                 data: Bytes::from(vec![9; 64]),
             },
         )
@@ -279,6 +346,58 @@ mod tests {
         let mesh = tcp_mesh_localhost(1).unwrap();
         mesh[0].send(0, Message::Shutdown).unwrap();
         assert_eq!(mesh[0].recv().unwrap(), (0, Message::Shutdown));
+    }
+
+    #[test]
+    fn connect_retry_budget_is_bounded_and_reported() {
+        // Bind a listener to reserve a port, then drop it so nothing is
+        // listening there: every connection attempt is refused.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let retry = ConnectRetry {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        let start = std::time::Instant::now();
+        let err = connect_with_retry(dead_addr, &retry).unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "bounded budget must fail fast"
+        );
+        match &err {
+            CommError::Timeout {
+                context,
+                attempts,
+                elapsed,
+            } => {
+                assert_eq!(*attempts, 3);
+                assert!(context.contains(&dead_addr.to_string()), "{context}");
+                assert!(*elapsed < Duration::from_secs(5));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // The rendered error names the attempts and the address.
+        let s = err.to_string();
+        assert!(s.contains("3 attempts"), "{s}");
+        assert!(s.contains("connect to"), "{s}");
+    }
+
+    #[test]
+    fn mesh_assembly_honours_custom_retry_budget() {
+        // A one-rank world connects to nobody, so assembly succeeds even
+        // with a minimal budget; this pins the `from_listener_with` API.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![listener.local_addr().unwrap()];
+        let retry = ConnectRetry {
+            max_attempts: 1,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        };
+        let t = TcpTransport::from_listener_with(0, listener, &addrs, &retry).unwrap();
+        assert_eq!(t.world_size(), 1);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::message::Message;
 use std::fmt;
 use std::io;
+use std::time::Duration;
 
 /// Errors raised by transports and the layers above them.
 #[derive(Debug)]
@@ -21,6 +22,19 @@ pub enum CommError {
         /// Configured ceiling.
         max: usize,
     },
+    /// A retry budget was exhausted: a reliable delivery, a connection
+    /// attempt, or a protocol pull gave up after `attempts` tries over
+    /// `elapsed`. `context` names what timed out (peer, sequence number,
+    /// block/expert — whatever the layer knows), so the failure is a
+    /// diagnostic rather than a hang.
+    Timeout {
+        /// What was being waited for (names the peer/block/expert/addr).
+        context: String,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// Wall-clock time spent across all attempts.
+        elapsed: Duration,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -31,6 +45,16 @@ impl fmt::Display for CommError {
             CommError::Decode(msg) => write!(f, "decode error: {msg}"),
             CommError::FrameTooLarge { len, max } => {
                 write!(f, "frame of {len} bytes exceeds maximum {max}")
+            }
+            CommError::Timeout {
+                context,
+                attempts,
+                elapsed,
+            } => {
+                write!(
+                    f,
+                    "timeout after {attempts} attempts over {elapsed:?}: {context}"
+                )
             }
         }
     }
@@ -51,10 +75,51 @@ impl From<io::Error> for CommError {
     }
 }
 
+/// Delivery/fault counters accumulated by the transport stack. Every
+/// wrapper merges its own counters with its inner transport's, so
+/// `stats()` on the outermost layer reports the whole stack.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames retransmitted by a reliability layer.
+    pub retransmits: u64,
+    /// Duplicate frames discarded by sequence-number dedup.
+    pub duplicates_dropped: u64,
+    /// Cumulative acks sent.
+    pub acks_sent: u64,
+    /// Frames that arrived ahead of sequence and were held for reorder.
+    pub out_of_order_held: u64,
+    /// Messages a fault injector silently dropped (including partition
+    /// windows).
+    pub faults_dropped: u64,
+    /// Messages a fault injector delayed.
+    pub faults_delayed: u64,
+    /// Messages a fault injector duplicated.
+    pub faults_duplicated: u64,
+}
+
+impl TransportStats {
+    /// Field-wise accumulate.
+    pub fn add(&mut self, o: &TransportStats) {
+        self.retransmits += o.retransmits;
+        self.duplicates_dropped += o.duplicates_dropped;
+        self.acks_sent += o.acks_sent;
+        self.out_of_order_held += o.out_of_order_held;
+        self.faults_dropped += o.faults_dropped;
+        self.faults_delayed += o.faults_delayed;
+        self.faults_duplicated += o.faults_duplicated;
+    }
+}
+
+/// How long the default polling [`Transport::recv_timeout`] sleeps
+/// between `try_recv` probes.
+const POLL_INTERVAL: Duration = Duration::from_micros(100);
+
 /// Rank-addressed, reliable, ordered message delivery between the members
 /// of a fixed-size world. Implementations: [`crate::local::LocalTransport`]
-/// (crossbeam channels) and [`crate::tcp::TcpTransport`] (length-prefixed
-/// frames over `std::net`).
+/// (crossbeam channels), [`crate::tcp::TcpTransport`] (length-prefixed
+/// frames over `std::net`), [`crate::faulty::FaultyTransport`] (seeded
+/// fault injection), and [`crate::reliable::ReliableTransport`]
+/// (seq/ack/retransmit over a lossy inner transport).
 pub trait Transport: Send {
     /// This endpoint's rank, in `0..world_size`.
     fn rank(&self) -> usize;
@@ -70,6 +135,40 @@ pub trait Transport: Send {
 
     /// Non-blocking receive: `Ok(None)` when no message is waiting.
     fn try_recv(&self) -> Result<Option<(usize, Message)>, CommError>;
+
+    /// Block up to `timeout` for the next message; `Ok(None)` when the
+    /// timeout elapses first. The default implementation polls
+    /// [`Transport::try_recv`]; channel-backed transports override it
+    /// with a real timed wait.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, CommError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(m) = self.try_recv()? {
+                return Ok(Some(m));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(POLL_INTERVAL.min(timeout));
+        }
+    }
+
+    /// Delivery/fault counters of this transport stack. Plain transports
+    /// report zeros; reliability and fault-injection wrappers override
+    /// this and fold in their inner transport's counters.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+
+    /// Block until every message this endpoint sent has been delivered
+    /// (acknowledged), as far as this transport can tell. Plain
+    /// transports deliver synchronously and return immediately; a
+    /// reliability layer drains its retransmit queue and lingers to
+    /// re-ack peers still retransmitting. Call before dropping the
+    /// endpoint so in-flight traffic is not lost with it.
+    fn flush(&self) -> Result<(), CommError> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +184,43 @@ mod tests {
         assert!(io_err.to_string().contains("boom"));
         assert!(std::error::Error::source(&io_err).is_some());
         assert!(std::error::Error::source(&CommError::Disconnected).is_none());
+    }
+
+    #[test]
+    fn timeout_display_names_context_attempts_and_elapsed() {
+        let e = CommError::Timeout {
+            context: "pull of expert 3 (block 1) from peer rank 2".into(),
+            attempts: 4,
+            elapsed: Duration::from_millis(120),
+        };
+        let s = e.to_string();
+        assert!(s.contains("timeout"), "{s}");
+        assert!(s.contains("4 attempts"), "{s}");
+        assert!(s.contains("expert 3"), "{s}");
+        assert!(s.contains("block 1"), "{s}");
+        assert!(s.contains("rank 2"), "{s}");
+        assert!(s.contains("120ms"), "{s}");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn stats_accumulate_fieldwise() {
+        let mut a = TransportStats {
+            retransmits: 1,
+            duplicates_dropped: 2,
+            acks_sent: 3,
+            out_of_order_held: 4,
+            faults_dropped: 5,
+            faults_delayed: 6,
+            faults_duplicated: 7,
+        };
+        a.add(&a.clone());
+        assert_eq!(a.retransmits, 2);
+        assert_eq!(a.duplicates_dropped, 4);
+        assert_eq!(a.acks_sent, 6);
+        assert_eq!(a.out_of_order_held, 8);
+        assert_eq!(a.faults_dropped, 10);
+        assert_eq!(a.faults_delayed, 12);
+        assert_eq!(a.faults_duplicated, 14);
     }
 }

@@ -27,7 +27,9 @@
 //! run.
 
 use crate::exec::expert_centric::IterOutput;
-use crate::exec::model::{loss_and_grad, ExecConfig, GradInbox, WorkerState};
+use crate::exec::model::{
+    loss_and_grad, CommCounters, ExecConfig, GradInbox, PullRetryPolicy, WorkerState,
+};
 use crate::exec::weights::{expert_from_bytes, expert_to_bytes, grads_from_bytes, grads_to_bytes};
 use crate::queue::{CacheManager, GradAccumulator};
 use janus_comm::{Comm, CommError, Message, Transport};
@@ -35,7 +37,7 @@ use janus_moe::expert::{ExpertFfn, ExpertGrads};
 use janus_tensor::{pool, Matrix};
 use std::cell::RefCell;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Bounded backoff for waits that must keep servicing the protocol: start
 /// small to catch imminent events, double up to a cap so an idle worker
@@ -92,6 +94,10 @@ pub(crate) struct DcRuntime<'a, T: Transport> {
     /// Persistent inbox of gradient contributions for owned experts
     /// (outlives the iteration; see [`GradInbox`]).
     owner_grads: Arc<GradInbox>,
+    /// Deadline/retry policy for pulls (from [`WorkerState::pull_retry`]).
+    retry: PullRetryPolicy,
+    /// Reliability counters shared with the worker.
+    counters: Arc<CommCounters>,
 }
 
 impl<'a, T: Transport> DcRuntime<'a, T> {
@@ -105,6 +111,8 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
             shared,
             serving: RefCell::new(state.experts.clone()),
             owner_grads: state.grads_inbox.clone(),
+            retry: state.pull_retry,
+            counters: state.comm.clone(),
         }
     }
 
@@ -112,7 +120,11 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
     /// Returns false for messages some other wait loop should claim.
     pub(crate) fn service(&self, from: usize, msg: &Message) -> bool {
         match msg {
-            Message::PullRequest { block, expert } => {
+            Message::PullRequest {
+                block,
+                expert,
+                nonce,
+            } => {
                 let (b, e) = (*block as usize, *expert as usize);
                 assert_eq!(
                     self.cfg.owner_of_in(b, e),
@@ -127,10 +139,18 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
                         Message::ExpertPayload {
                             block: *block,
                             expert: *expert,
+                            nonce: *nonce,
                             data,
                         },
                     )
                     .expect("serving an expert payload");
+                true
+            }
+            Message::ExpertPayload { .. } => {
+                // A live pull claims its payload by nonce through its own
+                // predicate before the service path ever sees it, so any
+                // payload reaching here is the stale answer to an attempt
+                // that already missed its deadline: discard it.
                 true
             }
             Message::GradPush {
@@ -201,28 +221,50 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
     }
 
     /// Fetch one expert from its (remote) owner, serving the protocol
-    /// while waiting.
+    /// while waiting. Each attempt carries a fresh nonce and a deadline:
+    /// a pull that misses its deadline is re-requested (a stale payload
+    /// from the earlier attempt can never satisfy the new one), and when
+    /// the attempt budget runs out the iteration fails loudly with a
+    /// diagnostic naming the block, expert, and peer instead of hanging.
     fn pull_expert(&self, b: usize, e: usize) -> Result<ExpertFfn, CommError> {
         let owner = self.cfg.owner_of_in(b, e);
         debug_assert_ne!(owner, self.rank);
-        self.comm.send(
-            owner,
-            Message::PullRequest {
-                block: b as u32,
-                expert: e as u32,
-            },
-        )?;
-        let (_, msg) = self.comm.recv_match_or_consume(
-            |_, m| {
-                matches!(m, Message::ExpertPayload { block, expert, .. }
-                    if *block == b as u32 && *expert == e as u32)
-            },
-            |from, m| self.service(from, m),
-        )?;
-        match msg {
-            Message::ExpertPayload { data, .. } => expert_from_bytes(data),
-            _ => unreachable!("predicate admits only the payload"),
+        let start = Instant::now();
+        let attempts = self.retry.max_attempts.max(1);
+        for attempt in 1..=attempts {
+            let nonce = self.counters.next_nonce();
+            self.comm.send(
+                owner,
+                Message::PullRequest {
+                    block: b as u32,
+                    expert: e as u32,
+                    nonce,
+                },
+            )?;
+            let got = self.comm.recv_match_or_consume_deadline(
+                |_, m| {
+                    matches!(m, Message::ExpertPayload { block, expert, nonce: n, .. }
+                        if *block == b as u32 && *expert == e as u32 && *n == nonce)
+                },
+                |from, m| self.service(from, m),
+                Instant::now() + self.retry.deadline,
+            )?;
+            match got {
+                Some((_, Message::ExpertPayload { data, .. })) => return expert_from_bytes(data),
+                Some(_) => unreachable!("predicate admits only the payload"),
+                None if attempt < attempts => self.counters.record_pull_retry(),
+                None => {}
+            }
         }
+        self.counters.record_pull_timeout();
+        Err(CommError::Timeout {
+            context: format!(
+                "data-centric pull of expert {e} (block {b}) from peer rank {owner} by rank {}",
+                self.rank
+            ),
+            attempts,
+            elapsed: start.elapsed(),
+        })
     }
 
     /// Wait for a cache entry inserted by a sibling's fetch. Event-driven:
@@ -538,6 +580,7 @@ pub fn run_iteration<T: Transport>(
     wait_and_apply_updates(&rt, state, &all_blocks)?;
     rt.refresh_serving(state);
     finish_iteration(&rt, state, iter)?;
+    state.comm.record_transport(comm.transport().stats());
     Ok(IterOutput { output, loss })
 }
 

@@ -353,6 +353,7 @@ pub fn run_iteration<T: Transport>(
         }
     }
     barrier(comm, iter)?;
+    state.comm.record_transport(comm.transport().stats());
     Ok(IterOutput { output, loss })
 }
 

@@ -7,6 +7,7 @@
 //! simulation engines model their cost instead.
 
 use crate::plan::{IterationPlan, PlanOpts};
+use janus_comm::TransportStats;
 use janus_moe::config::{BlockKind, ModelConfig};
 use janus_moe::expert::{ExpertFfn, ExpertGrads, ExpertScratch};
 use janus_moe::gate::TopKGate;
@@ -17,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,6 +71,108 @@ impl GradInbox {
             .changed
             .wait_until(&mut guard, Instant::now() + timeout);
     }
+}
+
+/// Deadline/retry policy for data-centric expert pulls. Lives on
+/// [`WorkerState`] rather than [`ExecConfig`] so existing configs stay
+/// source-compatible; override the field after `init` to tighten it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PullRetryPolicy {
+    /// How long one pull attempt may wait for its payload before the
+    /// request is re-issued (with a fresh nonce).
+    pub deadline: Duration,
+    /// Total attempts before the iteration fails loudly with a
+    /// diagnostic naming the block, expert, and peer.
+    pub max_attempts: u32,
+}
+
+impl Default for PullRetryPolicy {
+    fn default() -> Self {
+        // Generous for an in-process mesh: a healthy peer answers in
+        // microseconds, so a missed deadline means real trouble (lossy
+        // link, wedged peer), and the re-request is cheap.
+        PullRetryPolicy {
+            deadline: Duration::from_secs(5),
+            max_attempts: 6,
+        }
+    }
+}
+
+/// Communication reliability counters accumulated by one worker across
+/// its training run: protocol-level pull retries/timeouts plus the
+/// transport stack's own delivery counters. Shared (`Arc`) between
+/// [`WorkerState`] and the per-iteration runtimes.
+#[derive(Default)]
+pub struct CommCounters {
+    pull_retries: AtomicU64,
+    pull_timeouts: AtomicU64,
+    /// Monotone source of pull nonces: every pull attempt gets a fresh
+    /// one, so a re-request can never be satisfied by a stale payload.
+    next_nonce: AtomicU32,
+    transport: Mutex<TransportStats>,
+}
+
+impl CommCounters {
+    /// A pull attempt missed its deadline and was re-issued.
+    pub fn record_pull_retry(&self) {
+        self.pull_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A pull exhausted its attempt budget.
+    pub fn record_pull_timeout(&self) {
+        self.pull_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A fresh, worker-unique nonce for the next pull attempt.
+    pub fn next_nonce(&self) -> u32 {
+        self.next_nonce.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Replace the transport-stack snapshot ([`janus_comm::Transport::stats`]
+    /// is cumulative, so the latest snapshot supersedes earlier ones).
+    pub fn record_transport(&self, stats: TransportStats) {
+        *self.transport.lock() = stats;
+    }
+
+    /// Copy out everything for reporting.
+    pub fn snapshot(&self) -> CommSnapshot {
+        let t = *self.transport.lock();
+        CommSnapshot {
+            pull_retries: self.pull_retries.load(Ordering::Relaxed),
+            pull_timeouts: self.pull_timeouts.load(Ordering::Relaxed),
+            retransmits: t.retransmits,
+            duplicates_dropped: t.duplicates_dropped,
+            acks_sent: t.acks_sent,
+            out_of_order_held: t.out_of_order_held,
+            faults_dropped: t.faults_dropped,
+            faults_delayed: t.faults_delayed,
+            faults_duplicated: t.faults_duplicated,
+        }
+    }
+}
+
+/// Plain-data view of [`CommCounters`] for reporting (the `repro` tool's
+/// fault table, test assertions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommSnapshot {
+    /// Pull attempts re-issued after a missed deadline.
+    pub pull_retries: u64,
+    /// Pulls that exhausted their attempt budget.
+    pub pull_timeouts: u64,
+    /// Frames retransmitted by the reliability layer.
+    pub retransmits: u64,
+    /// Duplicate frames discarded by sequence-number dedup.
+    pub duplicates_dropped: u64,
+    /// Cumulative acks sent.
+    pub acks_sent: u64,
+    /// Frames held for sequence reordering.
+    pub out_of_order_held: u64,
+    /// Messages dropped by fault injection (including partitions).
+    pub faults_dropped: u64,
+    /// Messages delayed by fault injection.
+    pub faults_delayed: u64,
+    /// Messages duplicated by fault injection.
+    pub faults_duplicated: u64,
 }
 
 /// Configuration of a numerical training run.
@@ -273,6 +377,11 @@ pub struct WorkerState {
     /// run per-expert compute as parallel tasks, each locking only its
     /// own slot.
     pub scratch: Vec<Mutex<ExpertScratch>>,
+    /// Deadline/retry policy for data-centric pulls.
+    pub pull_retry: PullRetryPolicy,
+    /// Reliability counters for this worker's run (shared with the
+    /// iteration runtimes; the `repro` tool prints the snapshot).
+    pub comm: Arc<CommCounters>,
 }
 
 impl WorkerState {
@@ -306,6 +415,8 @@ impl WorkerState {
             inputs,
             grads_inbox: Arc::new(GradInbox::new()),
             scratch,
+            pull_retry: PullRetryPolicy::default(),
+            comm: Arc::new(CommCounters::default()),
         }
     }
 
@@ -444,5 +555,35 @@ mod tests {
         let (l, g) = loss_and_grad(&y);
         assert!((l - 12.5).abs() < 1e-6);
         assert_eq!(g, y);
+    }
+
+    /// Counters accumulate, nonces never repeat, and the transport
+    /// snapshot is a replacement (transport stats are cumulative), not a
+    /// running sum.
+    #[test]
+    fn comm_counters_snapshot_roundtrip() {
+        let c = CommCounters::default();
+        assert_eq!(c.snapshot(), CommSnapshot::default());
+        assert_ne!(c.next_nonce(), c.next_nonce(), "nonces must be unique");
+        c.record_pull_retry();
+        c.record_pull_retry();
+        c.record_pull_timeout();
+        c.record_transport(TransportStats {
+            retransmits: 5,
+            faults_dropped: 2,
+            ..TransportStats::default()
+        });
+        c.record_transport(TransportStats {
+            retransmits: 7,
+            faults_dropped: 3,
+            acks_sent: 1,
+            ..TransportStats::default()
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.pull_retries, 2);
+        assert_eq!(snap.pull_timeouts, 1);
+        assert_eq!(snap.retransmits, 7, "latest snapshot supersedes");
+        assert_eq!(snap.faults_dropped, 3);
+        assert_eq!(snap.acks_sent, 1);
     }
 }

@@ -14,10 +14,11 @@
 
 use crate::exec::data_centric::{self, MachineShared};
 use crate::exec::expert_centric;
-use crate::exec::model::{ExecConfig, WorkerState};
+use crate::exec::model::{CommSnapshot, ExecConfig, WorkerState};
 use crate::exec::unified;
 use crate::plan::{IterationPlan, PlanOpts};
-use janus_comm::runtime::run_workers;
+use janus_comm::runtime::{run_on, run_workers};
+use janus_comm::Transport;
 use janus_moe::expert::ExpertFfn;
 use janus_tensor::Matrix;
 
@@ -29,6 +30,9 @@ pub struct TrainRun {
     pub outputs: Vec<Matrix>,
     /// Per-worker final expert weights (`[rank][block][local]`).
     pub experts: Vec<Vec<Vec<ExpertFfn>>>,
+    /// Per-worker communication reliability counters (all zero on a
+    /// fault-free plain-transport run).
+    pub comm: Vec<CommSnapshot>,
 }
 
 /// Train `iters` iterations with the expert-centric engine over an
@@ -48,6 +52,7 @@ pub fn train_expert_centric(cfg: &ExecConfig, iters: u64) -> TrainRun {
             losses,
             output.expect("at least one iteration"),
             state.experts,
+            state.comm.snapshot(),
         )
     });
     collect(results)
@@ -72,6 +77,7 @@ pub fn train_data_centric(cfg: &ExecConfig, iters: u64) -> TrainRun {
             losses,
             output.expect("at least one iteration"),
             state.experts,
+            state.comm.snapshot(),
         )
     });
     collect(results)
@@ -108,21 +114,62 @@ pub fn train_unified_with(
             losses,
             output.expect("at least one iteration"),
             state.experts,
+            state.comm.snapshot(),
         )
     });
     (plan, collect(results))
 }
 
-fn collect(results: Vec<(Vec<f32>, Matrix, Vec<Vec<ExpertFfn>>)>) -> TrainRun {
+/// [`train_unified`] over caller-supplied transport endpoints (one per
+/// rank), e.g. a `ReliableTransport<FaultyTransport<LocalTransport>>`
+/// stack from a chaos test. Endpoints are flushed before teardown so
+/// in-flight reliability traffic (retransmits awaiting their final acks)
+/// is not lost with the mesh; the plan is compiled with default options.
+pub fn train_unified_on<T: Transport + 'static>(
+    endpoints: Vec<T>,
+    cfg: &ExecConfig,
+    iters: u64,
+) -> TrainRun {
+    assert_eq!(endpoints.len(), cfg.world(), "one endpoint per rank");
+    let plan = cfg.compile_plan(&PlanOpts::default());
+    let shared = MachineShared::for_cluster(cfg);
+    let results = run_on(endpoints, |comm| {
+        let mut state = WorkerState::init(cfg, comm.rank());
+        let sh = &shared[cfg.machine_of(comm.rank())];
+        let mut losses = Vec::new();
+        let mut output = None;
+        for i in 0..iters {
+            let out =
+                unified::run_iteration(&comm, &mut state, sh, &plan, i).expect("unified iteration");
+            losses.push(out.loss);
+            output = Some(out.output);
+        }
+        comm.transport().flush().expect("flushing the transport");
+        state.comm.record_transport(comm.transport().stats());
+        (
+            losses,
+            output.expect("at least one iteration"),
+            state.experts,
+            state.comm.snapshot(),
+        )
+    });
+    collect(results)
+}
+
+type WorkerResult = (Vec<f32>, Matrix, Vec<Vec<ExpertFfn>>, CommSnapshot);
+
+fn collect(results: Vec<WorkerResult>) -> TrainRun {
     let mut run = TrainRun {
         losses: Vec::new(),
         outputs: Vec::new(),
         experts: Vec::new(),
+        comm: Vec::new(),
     };
-    for (losses, output, experts) in results {
+    for (losses, output, experts, comm) in results {
         run.losses.push(losses);
         run.outputs.push(output);
         run.experts.push(experts);
+        run.comm.push(comm);
     }
     run
 }

@@ -124,6 +124,7 @@ pub fn run_iteration<T: Transport>(
     }
     rt.refresh_serving(state);
     data_centric::finish_iteration(&rt, state, iter)?;
+    state.comm.record_transport(comm.transport().stats());
     Ok(IterOutput { output, loss })
 }
 

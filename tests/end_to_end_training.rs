@@ -165,7 +165,7 @@ fn cache_fetch_counts_match_the_hierarchical_design() {
 /// clean run (per-pair FIFO is its only ordering assumption).
 #[test]
 fn data_centric_training_survives_chaos_transport() {
-    use janus::comm::faulty::{ChaosConfig, ChaosTransport};
+    use janus::comm::faulty::{FaultPlan, FaultyTransport};
     use janus::comm::local::local_mesh;
 
     let cfg = cfg();
@@ -174,16 +174,7 @@ fn data_centric_training_survives_chaos_transport() {
     let shared = MachineShared::for_cluster(&cfg);
     let endpoints: Vec<_> = local_mesh(cfg.world())
         .into_iter()
-        .map(|t| {
-            ChaosTransport::new(
-                t,
-                ChaosConfig {
-                    seed: 1234,
-                    reorder: 0.5,
-                    duplicate_barrier: 0.3,
-                },
-            )
-        })
+        .map(|t| FaultyTransport::new(t, FaultPlan::reorder_only(1234, 0.5, 0.3)))
         .collect();
     let chaotic = run_on(endpoints, |comm| {
         let mut state = WorkerState::init(&cfg, comm.rank());
