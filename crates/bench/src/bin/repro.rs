@@ -110,6 +110,9 @@ fn main() {
             "trace" => {
                 let path = trace_export::write("fig13_timeline.json").expect("write chrome trace");
                 println!("wrote {path} (open in chrome://tracing or Perfetto)");
+                let report = trace_run::run().expect("instrumented training run");
+                trace_run::print(&report);
+                dump(json, "trace", &report);
             }
             "rmetric" => {
                 let rows = rmetric::run();

@@ -1331,6 +1331,106 @@ pub mod trace_export {
     }
 }
 
+/// `repro trace`: train the unified numerical engine with span recording
+/// enabled, write one Chrome trace per rank plus the simulator timeline,
+/// dump the metrics registry as Prometheus text, and print the
+/// compute/communication overlap report.
+pub mod trace_run {
+    use super::*;
+    use janus_core::exec::model::{CommSnapshot, ExecConfig};
+    use janus_core::exec::trainer::train_unified;
+    use janus_obs::{global, validate_chrome_trace, OverlapReport};
+    use std::path::Path;
+
+    /// Everything `repro trace` produced.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Report {
+        /// Trace files written, paired with their validated event counts.
+        pub traces: Vec<(String, usize)>,
+        /// Metrics dump path.
+        pub metrics_path: String,
+        /// Overlap/latency analysis over the numerical run's spans.
+        pub overlap: OverlapReport,
+        /// Cluster-wide communication counter totals. Cache columns are
+        /// machine totals reported by every local worker.
+        pub totals: CommSnapshot,
+    }
+
+    /// Run in the current directory.
+    pub fn run() -> std::io::Result<Report> {
+        run_in(".")
+    }
+
+    /// Train the mixed-paradigm preset for two iterations with recording
+    /// on, writing `trace_rank{N}.json`, `trace_sim.json`, and
+    /// `METRICS.txt` under `dir`. Every trace written is re-validated
+    /// against the Chrome trace-event schema before this returns.
+    pub fn run_in(dir: &str) -> std::io::Result<Report> {
+        let rec = global();
+        rec.enable();
+        let cfg = ExecConfig::mixed_paradigms();
+        let run = train_unified(&cfg, 2);
+        let metrics_text = rec.prometheus_text();
+        rec.disable();
+
+        let mut traces = Vec::new();
+        let mut write_trace = |name: String, json: String| -> std::io::Result<()> {
+            let events = validate_chrome_trace(&json)
+                .map_err(|e| std::io::Error::other(format!("{name}: {e}")))?;
+            let path = Path::new(dir).join(&name);
+            std::fs::write(&path, json)?;
+            traces.push((path.display().to_string(), events));
+            Ok(())
+        };
+        for rank in 0..cfg.world() {
+            write_trace(
+                format!("trace_rank{rank}.json"),
+                janus_obs::chrome_trace(&run.trace_for_rank(rank)),
+            )?;
+        }
+
+        // The simulator timeline goes through the same exporter: its
+        // transfer records become cat="comm" events, so the same overlap
+        // analysis applies to simulated runs.
+        let model = ModelPreset::MoeGpt.config(32);
+        let mut opts = EngineOpts::data_centric(false, true);
+        opts.include_backward = false;
+        let sim = super::run(2, model, &opts);
+        write_trace("trace_sim.json".to_string(), sim.sim.to_chrome_trace())?;
+
+        let metrics_path = Path::new(dir).join("METRICS.txt");
+        std::fs::write(&metrics_path, metrics_text)?;
+
+        Ok(Report {
+            traces,
+            metrics_path: metrics_path.display().to_string(),
+            overlap: run.overlap_report(),
+            totals: run.comm_totals(),
+        })
+    }
+
+    /// Print the files written and the overlap report.
+    pub fn print(report: &Report) {
+        for (path, events) in &report.traces {
+            println!("wrote {path} ({events} events, schema-validated)");
+        }
+        println!("wrote {} (Prometheus text format)\n", report.metrics_path);
+        println!("{}", report.overlap.render());
+        let t = &report.totals;
+        println!(
+            "comm totals: {} cache fetches, {} hits, {} misses, {} grad prefolds, \
+             {} pull retries, {} retransmits",
+            t.cache_fetches,
+            t.cache_hits,
+            t.cache_misses,
+            t.grad_prefolds,
+            t.pull_retries,
+            t.retransmits
+        );
+        println!("open traces in https://ui.perfetto.dev or chrome://tracing");
+    }
+}
+
 /// Fault injection: the unified engine over a lossy mesh, with the
 /// reliability layer recovering every drop, delay, duplicate, and
 /// partition — numerics bitwise equal to the fault-free run.
@@ -1365,6 +1465,9 @@ pub mod faults {
         pub max_weight_diff: f32,
         /// Per-rank counters.
         pub rows: Vec<Row>,
+        /// Sum over all ranks (cache columns are machine totals reported
+        /// by every local worker, so they sum once per local worker).
+        pub totals: CommSnapshot,
     }
 
     /// Train clean and under a combined fault plan, then diff the runs.
@@ -1373,17 +1476,21 @@ pub mod faults {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(0xC0FFEE);
+        // Uneven expert counts so the compiled plan mixes paradigms: the
+        // data-centric block exercises the cache / pre-reduction path
+        // (its hit/miss/prefold columns below stay non-zero), while the
+        // expert-centric block keeps collectives under fault injection.
         let cfg = ExecConfig {
             machines: 2,
             gpus_per_machine: 2,
             hidden_dim: 8,
             blocks: 2,
             experts: 8,
-            experts_per_block: vec![],
+            experts_per_block: vec![4, 8],
             top_k: 2,
-            tokens: 12,
+            tokens: 64,
             seed: 99,
-            lr: 0.03,
+            lr: 0.01,
         };
         let iters = 3u64;
         let clean = train_unified(&cfg, iters);
@@ -1419,6 +1526,7 @@ pub mod faults {
             iters,
             max_loss_diff: d.max_loss_diff,
             max_weight_diff: d.max_weight_diff,
+            totals: chaotic.comm_totals(),
             rows: chaotic
                 .comm
                 .iter()
@@ -1436,25 +1544,29 @@ pub mod faults {
              vs the fault-free run\n",
             report.seed, report.iters, report.max_loss_diff, report.max_weight_diff
         );
-        let body: Vec<Vec<String>> = report
+        let line = |label: String, c: &CommSnapshot| {
+            vec![
+                label,
+                c.faults_dropped.to_string(),
+                c.faults_delayed.to_string(),
+                c.faults_duplicated.to_string(),
+                c.retransmits.to_string(),
+                c.duplicates_dropped.to_string(),
+                c.out_of_order_held.to_string(),
+                c.acks_sent.to_string(),
+                c.pull_retries.to_string(),
+                c.pull_timeouts.to_string(),
+                c.cache_hits.to_string(),
+                c.cache_misses.to_string(),
+                c.grad_prefolds.to_string(),
+            ]
+        };
+        let mut body: Vec<Vec<String>> = report
             .rows
             .iter()
-            .map(|r| {
-                let c = &r.counters;
-                vec![
-                    r.rank.to_string(),
-                    c.faults_dropped.to_string(),
-                    c.faults_delayed.to_string(),
-                    c.faults_duplicated.to_string(),
-                    c.retransmits.to_string(),
-                    c.duplicates_dropped.to_string(),
-                    c.out_of_order_held.to_string(),
-                    c.acks_sent.to_string(),
-                    c.pull_retries.to_string(),
-                    c.pull_timeouts.to_string(),
-                ]
-            })
+            .map(|r| line(r.rank.to_string(), &r.counters))
             .collect();
+        body.push(line("total".to_string(), &report.totals));
         println!(
             "{}",
             table::render(
@@ -1468,7 +1580,10 @@ pub mod faults {
                     "ooo-held",
                     "acks",
                     "pull-retries",
-                    "pull-timeouts"
+                    "pull-timeouts",
+                    "cache-hits",
+                    "cache-misses",
+                    "prefolds"
                 ],
                 &body
             )

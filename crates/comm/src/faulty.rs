@@ -242,20 +242,32 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         let me = self.inner.rank();
         if self.plan.partitions.iter().any(|p| p.covers(me, to, op)) {
             state.stats.faults_dropped += 1;
+            crate::obs::proto_event(me, "janus_faults_dropped_total", || {
+                format!("fault_drop/partition/to{to}")
+            });
             return Ok(());
         }
         if state.rng.chance(self.plan.drop) {
             state.stats.faults_dropped += 1;
+            crate::obs::proto_event(me, "janus_faults_dropped_total", || {
+                format!("fault_drop/to{to}")
+            });
             return Ok(());
         }
         if state.rng.chance(self.plan.duplicate) {
             state.stats.faults_duplicated += 1;
+            crate::obs::proto_event(me, "janus_faults_duplicated_total", || {
+                format!("fault_dup/to{to}")
+            });
             self.inner.send(to, msg.clone())?;
             return self.inner.send(to, msg);
         }
         if state.rng.chance(self.plan.delay) {
             let wait = 1 + state.rng.below(self.plan.max_delay_ops.max(1) as usize) as u32;
             state.stats.faults_delayed += 1;
+            crate::obs::proto_event(me, "janus_faults_delayed_total", || {
+                format!("fault_delay/to{to}/ops{wait}")
+            });
             state.delayed.push_back((wait, to, msg));
             return Ok(());
         }

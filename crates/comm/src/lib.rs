@@ -25,6 +25,11 @@
 //!   per-pair FIFO delivery over any lossy transport.
 //! * [`runtime`] — scoped worker threads, one per simulated GPU.
 //!
+//! All transports record spans / counters / byte histograms into the
+//! global `janus-obs` recorder when it is enabled (see the private `obs`
+//! module); when disabled — the default — each hook is a single relaxed
+//! atomic load.
+//!
 //! ```
 //! use janus_comm::runtime::run_workers;
 //! use janus_comm::collectives::all_to_all;
@@ -44,6 +49,7 @@ pub mod comm;
 pub mod faulty;
 pub mod local;
 pub mod message;
+pub(crate) mod obs;
 pub mod reliable;
 pub mod runtime;
 pub mod tcp;

@@ -1,0 +1,62 @@
+//! Hooks into the global `janus-obs` recorder.
+//!
+//! Wire-level traffic (spans + byte histograms) is recorded by the *base*
+//! transports only ([`crate::local::LocalTransport`],
+//! [`crate::tcp::TcpTransport`]), so stacked wrappers do not double-count
+//! a message as it passes through. The wrappers record their own
+//! protocol events instead: retransmits/acks/dedup for
+//! [`crate::reliable::ReliableTransport`], injected faults for
+//! [`crate::faulty::FaultyTransport`]. Every hook is a no-op costing one
+//! relaxed atomic load while recording is disabled.
+
+use crate::message::Message;
+use janus_obs::{global, SpanGuard, SpanMeta};
+
+/// Span + byte accounting around a wire-level send.
+pub(crate) fn send_hook(rank: usize, to: usize, msg: &Message) -> Option<SpanGuard<'static>> {
+    let rec = global();
+    if !rec.enabled() {
+        return None;
+    }
+    rec.count("janus_comm_sends_total", 1);
+    rec.observe("janus_comm_send_bytes", msg.payload_len() as u64);
+    rec.span(|| SpanMeta::new(format!("send/to{to}"), "transport", rank as u32, "comm"))
+}
+
+/// Span around a blocking receive wait.
+pub(crate) fn recv_wait_hook(rank: usize) -> Option<SpanGuard<'static>> {
+    global().span(|| SpanMeta::new("recv_wait", "transport", rank as u32, "comm"))
+}
+
+/// Byte accounting for one delivered message. Also used (without a
+/// surrounding span) by the polling receive paths, which run far too
+/// often to trace individually.
+pub(crate) fn recv_hook(_rank: usize, msg: &Message) {
+    let rec = global();
+    if !rec.enabled() {
+        return;
+    }
+    rec.count("janus_comm_recvs_total", 1);
+    rec.observe("janus_comm_recv_bytes", msg.payload_len() as u64);
+}
+
+/// Counter + zero-duration marker for a protocol event (retransmit, ack,
+/// injected fault, ...).
+pub(crate) fn proto_event(rank: usize, counter: &'static str, name: impl FnOnce() -> String) {
+    let rec = global();
+    if !rec.enabled() {
+        return;
+    }
+    rec.count(counter, 1);
+    rec.instant(|| SpanMeta::new(name(), "transport", rank as u32, "comm"));
+}
+
+/// Counter-only protocol event (for per-message events like dedup that
+/// would bloat the trace as markers).
+pub(crate) fn proto_count(counter: &'static str) {
+    let rec = global();
+    if !rec.enabled() {
+        return;
+    }
+    rec.count(counter, 1);
+}

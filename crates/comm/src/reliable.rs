@@ -129,6 +129,7 @@ impl<T: Transport> ReliableTransport<T> {
                 let expected = state.expected[from];
                 if seq < expected {
                     state.stats.duplicates_dropped += 1;
+                    crate::obs::proto_count("janus_comm_duplicates_dropped_total");
                 } else if seq == expected {
                     let inner_msg = Message::decode(data)?;
                     state.ready.push_back((from, inner_msg));
@@ -143,8 +144,10 @@ impl<T: Transport> ReliableTransport<T> {
                     // are dropped.
                     if state.held[from].insert(seq, data).is_none() {
                         state.stats.out_of_order_held += 1;
+                        crate::obs::proto_count("janus_comm_out_of_order_held_total");
                     } else {
                         state.stats.duplicates_dropped += 1;
+                        crate::obs::proto_count("janus_comm_duplicates_dropped_total");
                     }
                 }
                 // Cumulative ack for everything contiguously delivered,
@@ -153,6 +156,9 @@ impl<T: Transport> ReliableTransport<T> {
                 let ack = state.expected[from] - 1;
                 self.inner.send(from, Message::Ack { ack })?;
                 state.stats.acks_sent += 1;
+                crate::obs::proto_event(self.inner.rank(), "janus_comm_acks_total", || {
+                    format!("ack/from{from}/s{ack}")
+                });
             }
             Message::Ack { ack } => {
                 let queue = &mut state.unacked[from];
@@ -190,6 +196,10 @@ impl<T: Transport> ReliableTransport<T> {
                 pending.backoff = (pending.backoff * 2).min(self.policy.max_backoff);
                 pending.next_retry = now + pending.backoff;
                 state.stats.retransmits += 1;
+                let seq = pending.seq;
+                crate::obs::proto_event(self.inner.rank(), "janus_comm_retransmits_total", || {
+                    format!("retransmit/to{peer}/s{seq}")
+                });
             }
         }
         Ok(())

@@ -201,6 +201,7 @@ impl Transport for TcpTransport {
 
     fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
         assert!(to < self.world, "rank {to} out of range");
+        let _span = crate::obs::send_hook(self.rank, to, &msg);
         if to == self.rank {
             return self
                 .self_tx
@@ -215,13 +216,19 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self) -> Result<(usize, Message), CommError> {
-        self.inbox.recv().map_err(|_| CommError::Disconnected)
+        let _span = crate::obs::recv_wait_hook(self.rank);
+        let m = self.inbox.recv().map_err(|_| CommError::Disconnected)?;
+        crate::obs::recv_hook(self.rank, &m.1);
+        Ok(m)
     }
 
     fn try_recv(&self) -> Result<Option<(usize, Message)>, CommError> {
         use crossbeam::channel::TryRecvError;
         match self.inbox.try_recv() {
-            Ok(m) => Ok(Some(m)),
+            Ok(m) => {
+                crate::obs::recv_hook(self.rank, &m.1);
+                Ok(Some(m))
+            }
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(CommError::Disconnected),
         }
@@ -230,7 +237,10 @@ impl Transport for TcpTransport {
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, CommError> {
         use crossbeam::channel::RecvTimeoutError;
         match self.inbox.recv_timeout(timeout) {
-            Ok(m) => Ok(Some(m)),
+            Ok(m) => {
+                crate::obs::recv_hook(self.rank, &m.1);
+                Ok(Some(m))
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(CommError::Disconnected),
         }

@@ -30,8 +30,9 @@ use crate::exec::expert_centric::IterOutput;
 use crate::exec::model::{
     loss_and_grad, CommCounters, ExecConfig, GradInbox, PullRetryPolicy, WorkerState,
 };
+use crate::exec::obs;
 use crate::exec::weights::{expert_from_bytes, expert_to_bytes, grads_from_bytes, grads_to_bytes};
-use crate::queue::{CacheManager, GradAccumulator};
+use crate::queue::{CacheManager, CreditBuffer, GradAccumulator};
 use janus_comm::{Comm, CommError, Message, Transport};
 use janus_moe::expert::{ExpertFfn, ExpertGrads};
 use janus_tensor::{pool, Matrix};
@@ -227,6 +228,17 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
     /// the attempt budget runs out the iteration fails loudly with a
     /// diagnostic naming the block, expert, and peer instead of hanging.
     fn pull_expert(&self, b: usize, e: usize) -> Result<ExpertFfn, CommError> {
+        let span = obs::span(self.rank, "comm", || {
+            (format!("pull/b{b}/e{e}"), format!("b{b}"))
+        });
+        let result = self.pull_expert_inner(b, e);
+        if result.is_ok() {
+            obs::end_into(span, "janus_pull_latency_us");
+        }
+        result
+    }
+
+    fn pull_expert_inner(&self, b: usize, e: usize) -> Result<ExpertFfn, CommError> {
         let owner = self.cfg.owner_of_in(b, e);
         debug_assert_ne!(owner, self.rank);
         let start = Instant::now();
@@ -272,6 +284,15 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
     /// insert lands — with a bounded backoff so the worker still surfaces
     /// periodically to serve protocol traffic addressed to it.
     fn wait_cached(&self, b: usize, e: usize) -> Result<Arc<ExpertFfn>, CommError> {
+        let span = obs::span(self.rank, "comm", || {
+            (format!("cache_wait/b{b}/e{e}"), format!("b{b}"))
+        });
+        let result = self.wait_cached_inner(b, e);
+        obs::end_into(span, "janus_cache_wait_us");
+        result
+    }
+
+    fn wait_cached_inner(&self, b: usize, e: usize) -> Result<Arc<ExpertFfn>, CommError> {
         let mut backoff = BACKOFF_MIN;
         loop {
             if let Some(v) = self.shared.cache.wait_for((b, e), backoff) {
@@ -288,6 +309,9 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
 
     /// Barrier that keeps serving while waiting.
     pub(crate) fn barrier(&self, epoch: u64) -> Result<(), CommError> {
+        let _span = obs::span(self.rank, "sync", || {
+            (format!("barrier/{epoch}"), "sync".to_string())
+        });
         let world = self.cfg.world();
         for peer in 0..world {
             if peer != self.rank {
@@ -346,10 +370,25 @@ pub(crate) fn forward_block<T: Transport>(
     for e in 0..experts {
         let owner = cfg.owner_of_in(b, e);
         if cfg.machine_of(owner) != machine && cfg.designated_local(machine, e) == rank {
+            let span = obs::span(rank, "comm", || {
+                (format!("prefetch/b{b}/e{e}"), format!("b{b}"))
+            });
             let weights = rt.pull_expert(b, e)?;
             rt.shared.cache.insert((b, e), weights);
+            obs::end_into(span, "janus_prefetch_us");
         }
     }
+
+    // Credit-based buffer (§5.1.1): every non-resident expert acquisition
+    // takes one credit, bounding the in-flight fetched experts the block
+    // holds at once. Credits are released only after the parallel compute
+    // consumed the weights; the time spent waiting on a credit is what
+    // the recorder surfaces as `janus_credit_wait_us`.
+    let non_own = (0..experts)
+        .filter(|&e| cfg.owner_of_in(b, e) != rank)
+        .count();
+    let credits = CreditBuffer::new(non_own.max(1) as u32);
+    let mut credit_guards = Vec::with_capacity(non_own);
 
     // Acquire every expert's weights sequentially — acquisition talks
     // the pull protocol, which must stay on this worker's thread.
@@ -358,11 +397,18 @@ pub(crate) fn forward_block<T: Transport>(
         let owner = cfg.owner_of_in(b, e);
         let weights: Arc<ExpertFfn> = if owner == rank {
             Arc::new(state.owned(b, e).clone())
-        } else if cfg.machine_of(owner) == machine {
-            // Internal expert: pull directly from the local owner.
-            Arc::new(rt.pull_expert(b, e)?)
         } else {
-            rt.wait_cached(b, e)?
+            let span = obs::span(rank, "comm", || {
+                (format!("credit_wait/b{b}/e{e}"), format!("b{b}"))
+            });
+            credit_guards.push(credits.acquire(1));
+            obs::end_into(span, "janus_credit_wait_us");
+            if cfg.machine_of(owner) == machine {
+                // Internal expert: pull directly from the local owner.
+                Arc::new(rt.pull_expert(b, e)?)
+            } else {
+                rt.wait_cached(b, e)?
+            }
         };
         per_expert.push((weights, routing.tokens_for(e)));
     }
@@ -373,6 +419,9 @@ pub(crate) fn forward_block<T: Transport>(
     {
         let per_expert = &per_expert;
         pool::run_tasks(experts, |e| {
+            let _span = obs::span(rank, "compute", || {
+                (format!("fwd/b{b}/e{e}"), format!("b{b}"))
+            });
             let (weights, slots) = &per_expert[e];
             let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
             let mut s = state.scratch_slot(b, e).lock();
@@ -380,6 +429,7 @@ pub(crate) fn forward_block<T: Transport>(
             weights.forward_scratch(&mut s);
         });
     }
+    drop(credit_guards);
 
     // Combine in expert-ascending order — the same accumulation order
     // as the expert-centric combine, and independent of how the
@@ -412,6 +462,9 @@ pub(crate) fn backward_block<T: Transport>(
     {
         let per_expert = &tape.per_expert;
         pool::run_tasks(per_expert.len(), |e| {
+            let _span = obs::span(rank, "compute", || {
+                (format!("bwd/b{b}/e{e}"), format!("b{b}"))
+            });
             let (weights, slots) = &per_expert[e];
             let idx: Vec<usize> = slots.iter().map(|(t, _)| *t).collect();
             let mut s = state.scratch_slot(b, e).lock();
@@ -488,6 +541,9 @@ pub(crate) fn wait_and_apply_updates<T: Transport>(
     let world = cfg.world() as u32;
     let arrived =
         |parts: &Vec<(usize, ExpertGrads, u32)>| parts.iter().map(|(_, _, n)| *n).sum::<u32>();
+    let wait_span = obs::span(rank, "reduce", || {
+        ("grad_wait".to_string(), "update".to_string())
+    });
     let mut backoff = BACKOFF_MIN;
     loop {
         let done = {
@@ -508,6 +564,10 @@ pub(crate) fn wait_and_apply_updates<T: Transport>(
             backoff = BACKOFF_MIN;
         }
     }
+    obs::end_into(wait_span, "janus_grad_wait_us");
+    let _apply_span = obs::span(rank, "reduce", || {
+        ("apply".to_string(), "update".to_string())
+    });
     // Fold each expert's contributions in ascending sender order: the
     // sum — and therefore the weight update — is bitwise independent
     // of the order gradient messages happened to arrive in.
@@ -556,6 +616,9 @@ pub fn run_iteration<T: Transport>(
 ) -> Result<IterOutput, CommError> {
     let blocks = state.cfg.blocks;
     let rt = DcRuntime::new(comm, state, shared);
+    let iter_span = obs::span(state.rank, "iter", || {
+        (format!("iter/{iter}"), "iter".to_string())
+    });
 
     let mut x = state.inputs.clone();
     let mut tapes: Vec<BlockTapeDc> = Vec::with_capacity(blocks);
@@ -581,6 +644,10 @@ pub fn run_iteration<T: Transport>(
     rt.refresh_serving(state);
     finish_iteration(&rt, state, iter)?;
     state.comm.record_transport(comm.transport().stats());
+    state
+        .comm
+        .record_cache(shared.cache.stats(), shared.grads.prefolds());
+    drop(iter_span);
     Ok(IterOutput { output, loss })
 }
 
@@ -630,9 +697,13 @@ mod tests {
         // Each machine has 4 external experts over 2 blocks = 8 fetches;
         // the sibling worker reads them from the cache (8 hits minimum).
         for sh in &shared {
-            let (fetches, hits) = sh.cache.stats();
-            assert_eq!(fetches, 8, "one fetch per external expert per block");
-            assert!(hits >= 8, "siblings must hit the cache, got {hits}");
+            let stats = sh.cache.stats();
+            assert_eq!(stats.fetches, 8, "one fetch per external expert per block");
+            assert!(
+                stats.hits >= 8,
+                "siblings must hit the cache, got {}",
+                stats.hits
+            );
         }
     }
 

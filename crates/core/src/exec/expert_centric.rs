@@ -16,6 +16,7 @@
 //! for mixed-paradigm runs.
 
 use crate::exec::model::{loss_and_grad, ExecConfig, WorkerState};
+use crate::exec::obs;
 use crate::exec::weights::{tokens_from_bytes, tokens_to_bytes, Slot};
 use janus_comm::collectives::{all_to_all_serviced, barrier};
 use janus_comm::{Comm, CommError, Message, Transport};
@@ -97,7 +98,11 @@ pub(crate) fn forward_block<T: Transport>(
             tokens_to_bytes(slots, &x.gather_rows(&idx)).to_vec()
         })
         .collect();
+    let a2a_span = obs::span(state.rank, "comm", || {
+        (format!("a2a_dispatch/b{b}"), format!("b{b}"))
+    });
     let received = all_to_all_serviced(comm, a2a_seq(iter, b, 0), chunks, &mut *service)?;
+    obs::end_into(a2a_span, "janus_a2a_us");
 
     // Build per-owned-expert batches in (src asc, slot order) order.
     let decoded: Vec<(Vec<Slot>, Matrix)> = received
@@ -111,8 +116,12 @@ pub(crate) fn forward_block<T: Transport>(
     let origins_per: Vec<Vec<(usize, usize, Slot)>> = {
         let decoded = &decoded;
         let experts = &state.experts;
+        let rank = state.rank;
         pool::run_tasks(owned.len(), |local| {
             let e = e0 + local;
+            let _span = obs::span(rank, "compute", || {
+                (format!("fwd/b{b}/e{e}"), format!("b{b}"))
+            });
             let mut origins = Vec::new();
             for (src, (slots, _)) in decoded.iter().enumerate() {
                 for (i, slot) in slots.iter().enumerate() {
@@ -150,7 +159,11 @@ pub(crate) fn forward_block<T: Transport>(
         .iter()
         .map(|(slots, rows)| tokens_to_bytes(slots, &rows_to_matrix(rows, cfg.hidden_dim)).to_vec())
         .collect();
+    let a2a_span = obs::span(state.rank, "comm", || {
+        (format!("a2a_combine/b{b}"), format!("b{b}"))
+    });
     let received = all_to_all_serviced(comm, a2a_seq(iter, b, 1), chunks, &mut *service)?;
+    obs::end_into(a2a_span, "janus_a2a_us");
 
     // y = x + Σ wₖ·expertₖ(x): iterate sources in rank order, which is
     // expert-ascending order because expert ownership is contiguous.
@@ -203,7 +216,11 @@ pub(crate) fn backward_block<T: Transport>(
             tokens_to_bytes(slots, &rows_to_matrix(&rows, h)).to_vec()
         })
         .collect();
+    let a2a_span = obs::span(state.rank, "comm", || {
+        (format!("a2a_grad_dispatch/b{b}"), format!("b{b}"))
+    });
     let received = all_to_all_serviced(comm, a2a_seq(iter, b, 2), chunks, &mut *service)?;
+    obs::end_into(a2a_span, "janus_a2a_us");
     let decoded: Vec<(Vec<Slot>, Matrix)> = received
         .into_iter()
         .map(|c| tokens_from_bytes(c.into()))
@@ -221,8 +238,13 @@ pub(crate) fn backward_block<T: Transport>(
         let experts = &state.experts;
         let tape_experts = &tape.experts;
         let e0 = cfg.owned_experts_in(b, state.rank).start;
+        let rank = state.rank;
         pool::run_tasks(tape_experts.len(), |ti| {
             let tape_e = &tape_experts[ti];
+            let _span = obs::span(rank, "compute", || {
+                let e = tape_e.expert;
+                (format!("bwd/b{b}/e{e}"), format!("b{b}"))
+            });
             let local = tape_e.expert - e0;
             let weights = &experts[b][local];
             let origins = &tape_e.origins;
@@ -272,7 +294,11 @@ pub(crate) fn backward_block<T: Transport>(
         .iter()
         .map(|(slots, rows)| tokens_to_bytes(slots, &rows_to_matrix(rows, h)).to_vec())
         .collect();
+    let a2a_span = obs::span(state.rank, "comm", || {
+        (format!("a2a_dx_return/b{b}"), format!("b{b}"))
+    });
     let received = all_to_all_serviced(comm, a2a_seq(iter, b, 3), chunks, &mut *service)?;
+    obs::end_into(a2a_span, "janus_a2a_us");
 
     // dx = dy (residual) + returned expert input-gradients.
     let mut dx = dy.clone();
@@ -324,6 +350,9 @@ pub fn run_iteration<T: Transport>(
 ) -> Result<IterOutput, CommError> {
     let blocks = state.cfg.blocks;
     let lr = state.cfg.lr;
+    let iter_span = obs::span(state.rank, "iter", || {
+        (format!("iter/{iter}"), "iter".to_string())
+    });
     let mut service = |_: usize, _: &Message| false;
     let mut x = state.inputs.clone();
     let mut tapes: Vec<BlockTapeEc> = Vec::with_capacity(blocks);
@@ -352,8 +381,13 @@ pub fn run_iteration<T: Transport>(
             state.experts[b][local].apply(g, lr);
         }
     }
+    let sync_span = obs::span(state.rank, "sync", || {
+        (format!("barrier/{iter}"), "sync".to_string())
+    });
     barrier(comm, iter)?;
+    drop(sync_span);
     state.comm.record_transport(comm.transport().stats());
+    drop(iter_span);
     Ok(IterOutput { output, loss })
 }
 

@@ -7,6 +7,7 @@
 //! simulation engines model their cost instead.
 
 use crate::plan::{IterationPlan, PlanOpts};
+use crate::queue::CacheStats;
 use janus_comm::TransportStats;
 use janus_moe::config::{BlockKind, ModelConfig};
 use janus_moe::expert::{ExpertFfn, ExpertGrads, ExpertScratch};
@@ -110,6 +111,9 @@ pub struct CommCounters {
     /// one, so a re-request can never be satisfied by a stale payload.
     next_nonce: AtomicU32,
     transport: Mutex<TransportStats>,
+    /// Latest cache-effectiveness snapshot (machine-level cache stats +
+    /// gradient prefolds), recorded by the data-centric paths.
+    cache: Mutex<(CacheStats, u64)>,
 }
 
 impl CommCounters {
@@ -134,9 +138,20 @@ impl CommCounters {
         *self.transport.lock() = stats;
     }
 
+    /// Replace the cache-effectiveness snapshot ([`CacheManager::stats`]
+    /// and [`crate::queue::GradAccumulator::prefolds`] are cumulative,
+    /// like transport stats). The cache is shared per machine, so every
+    /// local worker reports its machine's totals.
+    ///
+    /// [`CacheManager::stats`]: crate::queue::CacheManager::stats
+    pub fn record_cache(&self, stats: CacheStats, grad_prefolds: u64) {
+        *self.cache.lock() = (stats, grad_prefolds);
+    }
+
     /// Copy out everything for reporting.
     pub fn snapshot(&self) -> CommSnapshot {
         let t = *self.transport.lock();
+        let (c, prefolds) = *self.cache.lock();
         CommSnapshot {
             pull_retries: self.pull_retries.load(Ordering::Relaxed),
             pull_timeouts: self.pull_timeouts.load(Ordering::Relaxed),
@@ -147,6 +162,10 @@ impl CommCounters {
             faults_dropped: t.faults_dropped,
             faults_delayed: t.faults_delayed,
             faults_duplicated: t.faults_duplicated,
+            cache_fetches: c.fetches,
+            cache_hits: c.hits,
+            cache_misses: c.misses,
+            grad_prefolds: prefolds,
         }
     }
 }
@@ -173,6 +192,33 @@ pub struct CommSnapshot {
     pub faults_delayed: u64,
     /// Messages duplicated by fault injection.
     pub faults_duplicated: u64,
+    /// Expert fetches performed by this worker's machine cache (§5.1.2).
+    pub cache_fetches: u64,
+    /// Cache lookups served without a cross-machine pull.
+    pub cache_hits: u64,
+    /// Cache lookups that found nothing ready.
+    pub cache_misses: u64,
+    /// Gradient contributions folded away by pre-reduction.
+    pub grad_prefolds: u64,
+}
+
+impl CommSnapshot {
+    /// Field-wise accumulate (used by `TrainRun::comm_totals`).
+    pub fn accumulate(&mut self, other: &CommSnapshot) {
+        self.pull_retries += other.pull_retries;
+        self.pull_timeouts += other.pull_timeouts;
+        self.retransmits += other.retransmits;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.acks_sent += other.acks_sent;
+        self.out_of_order_held += other.out_of_order_held;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_delayed += other.faults_delayed;
+        self.faults_duplicated += other.faults_duplicated;
+        self.cache_fetches += other.cache_fetches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.grad_prefolds += other.grad_prefolds;
+    }
 }
 
 /// Configuration of a numerical training run.

@@ -1,0 +1,33 @@
+//! Span helpers for engine instrumentation.
+//!
+//! Thin sugar over the global `janus-obs` recorder: every helper defers
+//! all string building to a closure that only runs when recording is
+//! enabled, so instrumented hot paths cost one relaxed atomic load when
+//! it is not (the default — and the bitwise-equivalence guarantee relies
+//! on recording never touching numerics either way).
+
+use janus_obs::{global, SpanGuard, SpanMeta};
+
+/// Open a span on the global recorder. `meta` returns `(name, tid)` and
+/// runs only when recording is enabled. Returns `None` (for free) when
+/// disabled.
+#[inline]
+pub(crate) fn span(
+    rank: usize,
+    cat: &'static str,
+    meta: impl FnOnce() -> (String, String),
+) -> Option<SpanGuard<'static>> {
+    global().span(|| {
+        let (name, tid) = meta();
+        SpanMeta::new(name, cat, rank as u32, tid)
+    })
+}
+
+/// End `span` (if recording) and feed its duration into histogram `hist`.
+#[inline]
+pub(crate) fn end_into(span: Option<SpanGuard<'static>>, hist: &'static str) {
+    if let Some(g) = span {
+        let dur = g.end();
+        global().observe(hist, dur);
+    }
+}

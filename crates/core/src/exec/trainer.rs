@@ -20,6 +20,7 @@ use crate::plan::{IterationPlan, PlanOpts};
 use janus_comm::runtime::{run_on, run_workers};
 use janus_comm::Transport;
 use janus_moe::expert::ExpertFfn;
+use janus_obs::{OverlapReport, TraceEvent};
 use janus_tensor::Matrix;
 
 /// Result of one multi-iteration training run.
@@ -33,6 +34,44 @@ pub struct TrainRun {
     /// Per-worker communication reliability counters (all zero on a
     /// fault-free plain-transport run).
     pub comm: Vec<CommSnapshot>,
+    /// Span events drained from the global recorder, empty unless
+    /// recording was enabled (`janus_obs::global().enable*()`) before the
+    /// run. Events carry the worker rank as `pid`.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl TrainRun {
+    /// Sum of every worker's communication counters — the cluster-wide
+    /// totals the `repro` tables print.
+    pub fn comm_totals(&self) -> CommSnapshot {
+        let mut total = CommSnapshot::default();
+        for snap in &self.comm {
+            total.accumulate(snap);
+        }
+        total
+    }
+
+    /// Compute/communication overlap, per-link utilization, and pull
+    /// latency percentiles derived from the run's trace. Empty (all
+    /// zeros) unless recording was enabled for the run.
+    pub fn overlap_report(&self) -> OverlapReport {
+        OverlapReport::from_events(&self.trace)
+    }
+
+    /// The run's trace as Chrome trace-event JSON (load in Perfetto or
+    /// `chrome://tracing`).
+    pub fn chrome_trace(&self) -> String {
+        janus_obs::chrome_trace(&self.trace)
+    }
+
+    /// The slice of the run's trace belonging to worker `rank`.
+    pub fn trace_for_rank(&self, rank: usize) -> Vec<TraceEvent> {
+        self.trace
+            .iter()
+            .filter(|e| e.pid == rank as u32)
+            .cloned()
+            .collect()
+    }
 }
 
 /// Train `iters` iterations with the expert-centric engine over an
@@ -164,12 +203,19 @@ fn collect(results: Vec<WorkerResult>) -> TrainRun {
         outputs: Vec::new(),
         experts: Vec::new(),
         comm: Vec::new(),
+        trace: Vec::new(),
     };
     for (losses, output, experts, comm) in results {
         run.losses.push(losses);
         run.outputs.push(output);
         run.experts.push(experts);
         run.comm.push(comm);
+    }
+    // Claim whatever the run recorded (nothing unless the caller enabled
+    // recording). Drained here so back-to-back runs don't bleed spans
+    // into each other's traces.
+    if janus_obs::global().enabled() {
+        run.trace = janus_obs::global().drain_events();
     }
     run
 }

@@ -22,6 +22,7 @@
 use crate::exec::data_centric::{self, BlockTapeDc, DcRuntime, MachineShared};
 use crate::exec::expert_centric::{self, BlockTapeEc, IterOutput};
 use crate::exec::model::{loss_and_grad, WorkerState};
+use crate::exec::obs;
 use crate::paradigm::Paradigm;
 use crate::plan::IterationPlan;
 use janus_comm::{Comm, CommError, Transport};
@@ -57,6 +58,9 @@ pub fn run_iteration<T: Transport>(
         "plan compiled for a different cluster shape"
     );
     let rt = DcRuntime::new(comm, state, shared);
+    let iter_span = obs::span(state.rank, "iter", || {
+        (format!("iter/{iter}"), "iter".to_string())
+    });
 
     let mut x = state.inputs.clone();
     let mut tapes: Vec<BlockTape> = Vec::with_capacity(cfg.blocks);
@@ -125,6 +129,10 @@ pub fn run_iteration<T: Transport>(
     rt.refresh_serving(state);
     data_centric::finish_iteration(&rt, state, iter)?;
     state.comm.record_transport(comm.transport().stats());
+    state
+        .comm
+        .record_cache(shared.cache.stats(), shared.grads.prefolds());
+    drop(iter_span);
     Ok(IterOutput { output, loss })
 }
 

@@ -47,6 +47,7 @@ pub mod exec {
     pub mod data_centric;
     pub mod expert_centric;
     pub mod model;
+    pub(crate) mod obs;
     pub mod trainer;
     pub mod unified;
     pub mod weights;

@@ -16,6 +16,19 @@ use std::time::{Duration, Instant};
 /// Key of a cached expert: (MoE block index, global expert index).
 pub type ExpertKey = (usize, usize);
 
+/// Cache effectiveness counters. The hierarchical mechanism's whole
+/// point (§5.1.2) is `hits > 0` whenever multiple local workers need the
+/// same external expert: every hit is one cross-machine pull deduped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Values fetched or inserted (each one a real cross-machine pull).
+    pub fetches: u64,
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing ready (first requests and timeouts).
+    pub misses: u64,
+}
+
 enum Slot<V> {
     /// Some worker is fetching; others wait.
     Fetching,
@@ -26,8 +39,7 @@ enum Slot<V> {
 struct Inner<V> {
     epoch: u64,
     slots: HashMap<ExpertKey, Slot<V>>,
-    fetches: u64,
-    hits: u64,
+    stats: CacheStats,
 }
 
 /// A per-machine expert cache with single-flight fetching.
@@ -49,11 +61,25 @@ impl<V> CacheManager<V> {
             inner: Mutex::new(Inner {
                 epoch: 0,
                 slots: HashMap::new(),
-                fetches: 0,
-                hits: 0,
+                stats: CacheStats::default(),
             }),
             ready: Condvar::new(),
         }
+    }
+
+    fn record_hit(inner: &mut Inner<V>) {
+        inner.stats.hits += 1;
+        janus_obs::global().count("janus_cache_hits_total", 1);
+    }
+
+    fn record_miss(inner: &mut Inner<V>) {
+        inner.stats.misses += 1;
+        janus_obs::global().count("janus_cache_misses_total", 1);
+    }
+
+    fn record_fetch(inner: &mut Inner<V>) {
+        inner.stats.fetches += 1;
+        janus_obs::global().count("janus_cache_fetches_total", 1);
     }
 
     /// Get `key`, fetching it with `fetch` if absent. Exactly one caller
@@ -70,7 +96,7 @@ impl<V> CacheManager<V> {
                 match inner.slots.get(&key) {
                     Some(Slot::Ready(v)) => {
                         let v = v.clone();
-                        inner.hits += 1;
+                        Self::record_hit(&mut inner);
                         return Ok(v);
                     }
                     Some(Slot::Fetching) => {
@@ -80,7 +106,8 @@ impl<V> CacheManager<V> {
                     }
                     None => {
                         inner.slots.insert(key, Slot::Fetching);
-                        inner.fetches += 1;
+                        Self::record_miss(&mut inner);
+                        Self::record_fetch(&mut inner);
                         break;
                     }
                 }
@@ -109,22 +136,26 @@ impl<V> CacheManager<V> {
     pub fn insert(&self, key: ExpertKey, value: V) -> Arc<V> {
         let value = Arc::new(value);
         let mut inner = self.inner.lock();
-        inner.fetches += 1;
+        Self::record_fetch(&mut inner);
         inner.slots.insert(key, Slot::Ready(value.clone()));
         self.ready.notify_all();
         value
     }
 
-    /// Peek without fetching; counts as a hit when present.
+    /// Peek without fetching; counts as a hit when present, a miss
+    /// otherwise.
     pub fn get(&self, key: ExpertKey) -> Option<Arc<V>> {
         let mut inner = self.inner.lock();
         match inner.slots.get(&key) {
             Some(Slot::Ready(v)) => {
                 let v = v.clone();
-                inner.hits += 1;
+                Self::record_hit(&mut inner);
                 Some(v)
             }
-            _ => None,
+            _ => {
+                Self::record_miss(&mut inner);
+                None
+            }
         }
     }
 
@@ -139,10 +170,11 @@ impl<V> CacheManager<V> {
         loop {
             if let Some(Slot::Ready(v)) = inner.slots.get(&key) {
                 let v = v.clone();
-                inner.hits += 1;
+                Self::record_hit(&mut inner);
                 return Some(v);
             }
             if self.ready.wait_until(&mut inner, deadline).timed_out() {
+                Self::record_miss(&mut inner);
                 return None;
             }
         }
@@ -162,12 +194,9 @@ impl<V> CacheManager<V> {
         self.inner.lock().epoch
     }
 
-    /// `(fetches, hits)` counters — the hierarchical mechanism's whole
-    /// point is `hits > 0` whenever multiple local workers need the same
-    /// external expert.
-    pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.fetches, inner.hits)
+    /// Effectiveness counters accumulated since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
     }
 }
 
@@ -190,7 +219,14 @@ mod tests {
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(fetched.load(Ordering::SeqCst), 1);
-        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                fetches: 1,
+                hits: 1,
+                misses: 1,
+            }
+        );
     }
 
     #[test]
@@ -201,7 +237,14 @@ mod tests {
         assert_eq!(*cache.get((0, 1)).unwrap(), 10);
         assert_eq!(*cache.get((1, 1)).unwrap(), 20);
         // Two distinct fetches; the two successful peeks count as hits.
-        assert_eq!(cache.stats(), (2, 2));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                fetches: 2,
+                hits: 2,
+                misses: 2,
+            }
+        );
     }
 
     #[test]

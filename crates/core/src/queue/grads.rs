@@ -21,6 +21,9 @@ pub type GradKey = (usize, usize);
 pub struct GradAccumulator<G> {
     expected: usize,
     pending: Mutex<HashMap<GradKey, Vec<(usize, G)>>>,
+    /// Contributions folded into a pre-reduced payload beyond the first —
+    /// i.e. cross-machine gradient messages the pre-reduction saved.
+    prefolds: std::sync::atomic::AtomicU64,
 }
 
 impl<G> GradAccumulator<G> {
@@ -31,6 +34,7 @@ impl<G> GradAccumulator<G> {
         GradAccumulator {
             expected,
             pending: Mutex::new(HashMap::new()),
+            prefolds: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -65,7 +69,19 @@ impl<G> GradAccumulator<G> {
         for (_, g) in it {
             combine(&mut sum, g);
         }
+        let saved = (n as u64).saturating_sub(1);
+        if saved > 0 {
+            use std::sync::atomic::Ordering;
+            self.prefolds.fetch_add(saved, Ordering::Relaxed);
+            janus_obs::global().count("janus_grad_prefolds_total", saved);
+        }
         Some((sum, n))
+    }
+
+    /// Contributions folded away by pre-reduction so far (messages the
+    /// fabric never had to carry, paper §5.1.2).
+    pub fn prefolds(&self) -> u64 {
+        self.prefolds.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of experts still waiting for contributions.
@@ -96,10 +112,13 @@ mod tests {
         assert!(acc.add((0, 1), 0, vec![1.0, 0.0], sum).is_none());
         assert!(acc.add((0, 1), 1, vec![0.0, 2.0], sum).is_none());
         assert_eq!(acc.outstanding(), 1);
+        assert_eq!(acc.prefolds(), 0);
         let (g, n) = acc.add((0, 1), 2, vec![1.0, 1.0], sum).unwrap();
         assert_eq!(g, vec![2.0, 3.0]);
         assert_eq!(n, 3);
         assert_eq!(acc.outstanding(), 0);
+        // Three contributions collapsed into one payload: two saved.
+        assert_eq!(acc.prefolds(), 2);
     }
 
     #[test]

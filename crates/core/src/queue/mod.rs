@@ -17,6 +17,6 @@ pub mod cache;
 pub mod credit;
 pub mod grads;
 
-pub use cache::CacheManager;
+pub use cache::{CacheManager, CacheStats};
 pub use credit::CreditBuffer;
 pub use grads::GradAccumulator;

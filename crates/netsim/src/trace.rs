@@ -1,6 +1,8 @@
 //! Simulation results: task timings, link byte counters, memory peaks.
 
 use crate::graph::TaskId;
+use janus_obs::report::{LinkUtil, OverlapReport};
+use janus_obs::trace::{chrome_trace, TraceEvent};
 use serde::Serialize;
 
 /// Timing record of one executed task.
@@ -87,38 +89,62 @@ impl SimResult {
         }
     }
 
+    /// Convert the task timeline into `janus-obs` trace events, the same
+    /// representation the numerical engines record, so simulated and real
+    /// runs render identically. The track (`tid`) is derived from the
+    /// label's leading component (`w3/…` → track "w3", `a2a/…` → track
+    /// "a2a"); simulated transfers map to category `comm` so the overlap
+    /// report treats them like real communication. Timestamps are
+    /// microseconds; all records share `pid` 0 (one simulated process).
+    pub fn to_trace_events(&self) -> Vec<TraceEvent> {
+        self.records
+            .iter()
+            .filter(|r| !r.label.is_empty() && !r.finish.is_nan())
+            .map(|r| TraceEvent {
+                name: r.label.clone(),
+                cat: match r.kind {
+                    "transfer" => "comm".to_string(),
+                    k => k.to_string(),
+                },
+                pid: 0,
+                tid: r.label.split('/').next().unwrap_or("misc").to_string(),
+                ts_us: r.start * 1e6,
+                dur_us: (r.finish - r.start).max(0.0) * 1e6,
+            })
+            .collect()
+    }
+
     /// Export the task timeline as a Chrome trace (the JSON array format
-    /// of `chrome://tracing` / Perfetto). Each labelled task becomes a
-    /// complete event; the track (`tid`) is derived from the label's
-    /// leading component (`w3/…` → track "w3", `M0/…` → track "M0",
-    /// `a2a/…` → track "a2a"), so per-worker activity lines up visually.
-    /// Timestamps are microseconds.
+    /// of `chrome://tracing` / Perfetto), via the shared `janus-obs`
+    /// exporter.
     pub fn to_chrome_trace(&self) -> String {
-        let mut out = String::from("[");
-        let mut first = true;
-        for r in &self.records {
-            if r.label.is_empty() || r.finish.is_nan() {
-                continue;
-            }
-            let track = r.label.split('/').next().unwrap_or("misc");
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!(
-                concat!(
-                    r#"{{"name":{:?},"cat":{:?},"ph":"X","ts":{:.3},"#,
-                    r#""dur":{:.3},"pid":0,"tid":{:?}}}"#
-                ),
-                r.label,
-                r.kind,
-                r.start * 1e6,
-                (r.finish - r.start).max(0.0) * 1e6,
-                track,
-            ));
-        }
-        out.push(']');
-        out
+        chrome_trace(&self.to_trace_events())
+    }
+
+    /// Busy-fraction utilization of every link over the makespan.
+    pub fn link_utilization(&self) -> Vec<LinkUtil> {
+        self.link_busy
+            .iter()
+            .zip(self.link_bytes.iter())
+            .enumerate()
+            .map(|(i, (&busy, &bytes))| LinkUtil {
+                link: format!("link{i}"),
+                bytes,
+                utilization: if self.makespan > 0.0 {
+                    (busy / self.makespan).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+
+    /// Overlap / utilization / latency summary for this simulated run,
+    /// computed by the same analysis the numerical engines use.
+    pub fn overlap_report(&self) -> OverlapReport {
+        let mut report = OverlapReport::from_events(&self.to_trace_events());
+        report.links = self.link_utilization();
+        report
     }
 }
 
@@ -173,6 +199,39 @@ mod tests {
         assert_eq!(events[1]["tid"], "a2a");
         assert_eq!(events[0]["dur"], 1e6);
         assert_eq!(events[0]["ph"], "X");
+    }
+
+    #[test]
+    fn trace_events_map_transfers_to_comm() {
+        let result = SimResult {
+            makespan: 2.0,
+            records: vec![
+                record("w0/b1/fwd", 0.0, 0.0, 1.0),
+                TaskRecord {
+                    id: TaskId(1),
+                    label: "a2a/b1/w0-w1".into(),
+                    kind: "transfer",
+                    ready: 0.5,
+                    start: 0.5,
+                    finish: 1.5,
+                },
+            ],
+            link_bytes: vec![100.0],
+            link_busy: vec![1.0],
+            mem_peak: vec![],
+            mem_final: vec![],
+        };
+        let events = result.to_trace_events();
+        assert_eq!(events[0].cat, "compute");
+        assert_eq!(events[1].cat, "comm");
+        assert_eq!(events[1].tid, "a2a");
+        let util = result.link_utilization();
+        assert_eq!(util.len(), 1);
+        assert!((util[0].utilization - 0.5).abs() < 1e-12);
+        let report = result.overlap_report();
+        assert_eq!(report.links.len(), 1);
+        // compute [0,1e6), comm [0.5e6,1.5e6): half the comm is hidden.
+        assert!((report.ranks[0].overlap_fraction - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Injectable time sources.
+//!
+//! The recorder never calls `Instant::now()` directly: it reads whatever
+//! [`Clock`] it was enabled with. Production uses [`RealClock`]; tests
+//! that must stay bitwise-deterministic (chaos matrix, golden traces)
+//! inject a [`FakeClock`] and advance it by hand, so two runs of the same
+//! seed produce byte-identical trace files.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic microsecond time source.
+pub trait Clock: Send + Sync {
+    /// Microseconds since an arbitrary (per-clock) origin.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall clock anchored at construction time.
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    pub fn new() -> Self {
+        RealClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Manually advanced clock for deterministic tests.
+///
+/// Every read also auto-advances by `tick_us` (0 by default), which gives
+/// span-heavy code distinct, strictly ordered timestamps without any test
+/// choreography.
+pub struct FakeClock {
+    now: AtomicU64,
+    tick_us: u64,
+}
+
+impl FakeClock {
+    pub fn new() -> Self {
+        FakeClock {
+            now: AtomicU64::new(0),
+            tick_us: 0,
+        }
+    }
+
+    /// A clock that advances by `tick_us` on every read.
+    pub fn ticking(tick_us: u64) -> Self {
+        FakeClock {
+            now: AtomicU64::new(0),
+            tick_us,
+        }
+    }
+
+    /// Advance the clock by `us` microseconds.
+    pub fn advance(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute microsecond timestamp.
+    pub fn set(&self, us: u64) {
+        self.now.store(us, Ordering::SeqCst);
+    }
+}
+
+impl Default for FakeClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_us(&self) -> u64 {
+        self.now.fetch_add(self.tick_us, Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let c = RealClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_advances_only_on_request() {
+        let c = FakeClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance(7);
+        assert_eq!(c.now_us(), 7);
+        c.set(100);
+        assert_eq!(c.now_us(), 100);
+    }
+
+    #[test]
+    fn ticking_clock_orders_reads() {
+        let c = FakeClock::ticking(3);
+        assert_eq!(c.now_us(), 0);
+        assert_eq!(c.now_us(), 3);
+        assert_eq!(c.now_us(), 6);
+    }
+}

@@ -1,0 +1,30 @@
+//! `janus-obs`: the observability layer shared by the numerical engines,
+//! the transports, and the discrete-event simulator.
+//!
+//! The crate deliberately sits at the bottom of the dependency graph (it
+//! depends only on the vendored `parking_lot` and `serde` shims) so every
+//! other crate on the data path can record into it:
+//!
+//! - [`Recorder`] — a process-global (or locally owned) sink for timed
+//!   spans and monotonic counters / histograms. Disabled recording costs
+//!   one relaxed atomic load per call site.
+//! - [`Clock`] — injectable time source. Production uses [`RealClock`];
+//!   determinism tests use [`FakeClock`] so traces are bitwise stable.
+//! - [`trace`] — the Chrome trace-event JSON exporter (Perfetto /
+//!   `chrome://tracing` loadable) plus a pure-rust schema validator.
+//! - [`metrics`] — counter / histogram registry with Prometheus
+//!   text-format export.
+//! - [`report`] — derived analysis: compute/comm overlap fraction,
+//!   per-link utilization, pull-latency percentiles.
+
+pub mod clock;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod trace;
+
+pub use clock::{Clock, FakeClock, RealClock};
+pub use metrics::{Histogram, Metrics};
+pub use recorder::{global, Recorder, SpanGuard, SpanMeta};
+pub use report::{LinkUtil, OverlapReport, RankOverlap};
+pub use trace::{chrome_trace, validate_chrome_trace, TraceEvent};

@@ -1,0 +1,213 @@
+//! Counter / histogram registry with Prometheus text-format export.
+//!
+//! Metrics are keyed by name in a `BTreeMap` behind a mutex; handles are
+//! `Arc`s of atomics, so after registration increments are lock-free.
+//! Call sites that fire per-message simply go through the registry each
+//! time — the map is only consulted when recording is enabled, and the
+//! lock is held for a lookup only.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of power-of-two histogram buckets: `le` bounds 1, 2, 4, ...,
+/// 2^(BUCKETS-1), plus an implicit `+Inf`.
+const BUCKETS: usize = 32;
+
+/// Power-of-two bucketed histogram of `u64` samples (µs or bytes).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, value: u64) {
+        // Bucket i covers values <= 2^i; values above the last bound land
+        // in the implicit +Inf bucket (counted via `count`).
+        let idx = (64 - u64::leading_zeros(value.max(1)) as usize).saturating_sub(1)
+            + usize::from(!value.is_power_of_two() && value > 1);
+        if idx < BUCKETS {
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// Named counter / histogram registry.
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics {
+            inner: Mutex::new(MetricsInner::default()),
+        }
+    }
+
+    /// Handle to the counter `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut inner = self.inner.lock();
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
+    }
+
+    /// Handle to the histogram `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Current value of counter `name` (0 when unregistered).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .counters
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Drop every registered metric.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+
+    /// Render all metrics in the Prometheus text exposition format,
+    /// sorted by metric name so output is deterministic.
+    pub fn prometheus_text(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {}\n", c.load(Ordering::Relaxed)));
+        }
+        for (name, h) in &inner.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                let n = b.load(Ordering::Relaxed);
+                cumulative += n;
+                // Skip empty high buckets to keep the dump readable, but
+                // always emit at least the first bucket.
+                if n > 0 || i == 0 {
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        1u64 << i
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n",
+                h.count.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!("{name}_sum {}\n", h.sum.load(Ordering::Relaxed)));
+            out.push_str(&format!(
+                "{name}_count {}\n",
+                h.count.load(Ordering::Relaxed)
+            ));
+        }
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_export() {
+        let m = Metrics::new();
+        m.counter("janus_b_total").fetch_add(2, Ordering::Relaxed);
+        m.counter("janus_a_total").fetch_add(1, Ordering::Relaxed);
+        m.counter("janus_b_total").fetch_add(3, Ordering::Relaxed);
+        assert_eq!(m.counter_value("janus_b_total"), 5);
+        assert_eq!(m.counter_value("janus_missing"), 0);
+        let text = m.prometheus_text();
+        // Sorted by name: a before b.
+        let a = text.find("janus_a_total 1").unwrap();
+        let b = text.find("janus_b_total 5").unwrap();
+        assert!(a < b);
+        assert!(text.contains("# TYPE janus_a_total counter"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        let h = m.histogram("janus_lat_us");
+        h.observe(1); // le=1
+        h.observe(3); // le=4
+        h.observe(4); // le=4
+        h.observe(1000); // le=1024
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1008);
+        let text = m.prometheus_text();
+        assert!(text.contains("janus_lat_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("janus_lat_us_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("janus_lat_us_bucket{le=\"1024\"} 4\n"));
+        assert!(text.contains("janus_lat_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("janus_lat_us_sum 1008\n"));
+        assert!(text.contains("janus_lat_us_count 4\n"));
+    }
+
+    #[test]
+    fn zero_observation_lands_in_first_bucket() {
+        let m = Metrics::new();
+        let h = m.histogram("h");
+        h.observe(0);
+        let text = m.prometheus_text();
+        assert!(text.contains("h_bucket{le=\"1\"} 1\n"));
+    }
+
+    #[test]
+    fn reset_clears_registrations() {
+        let m = Metrics::new();
+        m.counter("c").fetch_add(1, Ordering::Relaxed);
+        m.reset();
+        assert_eq!(m.counter_value("c"), 0);
+        assert_eq!(m.prometheus_text(), "");
+    }
+}

@@ -1,0 +1,359 @@
+//! The span/metrics recorder.
+//!
+//! A [`Recorder`] owns a clock, a span buffer, and a metrics registry.
+//! Most code records into the process-global recorder ([`global`]), which
+//! starts *disabled*: every instrumentation site first checks a single
+//! relaxed atomic load and pays nothing else. Enabling is explicit
+//! (`enable` / `enable_with_clock`), so the numerical engines stay
+//! bitwise identical to un-instrumented builds unless a tool like
+//! `repro trace` opts in.
+
+use crate::clock::{Clock, RealClock};
+use crate::metrics::{Histogram, Metrics};
+use crate::trace::TraceEvent;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Identity of a span, built lazily only when recording is enabled.
+#[derive(Debug, Clone)]
+pub struct SpanMeta {
+    /// Span name, e.g. `pull/b1/e3`.
+    pub name: String,
+    /// Category lane for the overlap report: `compute`, `comm`,
+    /// `transport`, `reduce`, `iter`, ...
+    pub cat: &'static str,
+    /// Track (rank).
+    pub pid: u32,
+    /// Lane within the track, e.g. `b1` or `comm`.
+    pub tid: String,
+}
+
+impl SpanMeta {
+    pub fn new(
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: impl Into<String>,
+    ) -> Self {
+        SpanMeta {
+            name: name.into(),
+            cat,
+            pid,
+            tid: tid.into(),
+        }
+    }
+}
+
+struct RecorderInner {
+    clock: Arc<dyn Clock>,
+    events: Vec<TraceEvent>,
+}
+
+/// Span + metrics sink. See module docs.
+pub struct Recorder {
+    enabled: AtomicBool,
+    inner: Mutex<RecorderInner>,
+    metrics: Metrics,
+}
+
+impl Recorder {
+    /// A disabled recorder with a real (wall) clock.
+    pub fn new() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(RecorderInner {
+                clock: Arc::new(RealClock::new()),
+                events: Vec::new(),
+            }),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Whether recording is on. This is the *only* cost instrumentation
+    /// pays when disabled: one relaxed atomic load.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Start recording with a fresh real clock.
+    pub fn enable(&self) {
+        self.enable_with_clock(Arc::new(RealClock::new()));
+    }
+
+    /// Start recording, timing spans against `clock`. Clears any events
+    /// and metrics from a previous recording session.
+    pub fn enable_with_clock(&self, clock: Arc<dyn Clock>) {
+        {
+            let mut inner = self.inner.lock();
+            inner.clock = clock;
+            inner.events.clear();
+        }
+        self.metrics.reset();
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop recording. Buffered events stay available via
+    /// [`Recorder::drain_events`].
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Current clock reading (µs). 0 when disabled.
+    pub fn now_us(&self) -> u64 {
+        if !self.enabled() {
+            return 0;
+        }
+        self.inner.lock().clock.now_us()
+    }
+
+    /// Open a span. Returns `None` (for free) when disabled; the meta
+    /// closure only runs when enabled. The span ends when the guard
+    /// drops, or explicitly via [`SpanGuard::end`].
+    #[inline]
+    pub fn span(&self, meta: impl FnOnce() -> SpanMeta) -> Option<SpanGuard<'_>> {
+        if !self.enabled() {
+            return None;
+        }
+        let start_us = self.inner.lock().clock.now_us();
+        Some(SpanGuard {
+            recorder: self,
+            meta: Some(meta()),
+            start_us,
+        })
+    }
+
+    /// Record an already-timed complete event.
+    pub fn event(&self, meta: SpanMeta, ts_us: u64, dur_us: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.lock().events.push(TraceEvent {
+            name: meta.name,
+            cat: meta.cat.to_string(),
+            pid: meta.pid,
+            tid: meta.tid,
+            ts_us: ts_us as f64,
+            dur_us: dur_us as f64,
+        });
+    }
+
+    /// Record a zero-duration marker event at the current clock time.
+    pub fn instant(&self, meta: impl FnOnce() -> SpanMeta) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let ts = inner.clock.now_us();
+        let meta = meta();
+        inner.events.push(TraceEvent {
+            name: meta.name,
+            cat: meta.cat.to_string(),
+            pid: meta.pid,
+            tid: meta.tid,
+            ts_us: ts as f64,
+            dur_us: 0.0,
+        });
+    }
+
+    /// Add `v` to counter `name`. No-op when disabled.
+    #[inline]
+    pub fn count(&self, name: &str, v: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.counter(name).fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record `v` into histogram `name`. No-op when disabled.
+    #[inline]
+    pub fn observe(&self, name: &str, v: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.histogram(name).observe(v);
+    }
+
+    /// Handle to a histogram regardless of enabled state (callers gate on
+    /// [`Recorder::enabled`] themselves when caching handles).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.metrics.histogram(name)
+    }
+
+    /// Handle to a counter regardless of enabled state.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        self.metrics.counter(name)
+    }
+
+    /// The metrics registry (for export).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Prometheus text dump of all metrics.
+    pub fn prometheus_text(&self) -> String {
+        self.metrics.prometheus_text()
+    }
+
+    /// Take all buffered events, leaving the buffer empty.
+    pub fn drain_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.lock().events)
+    }
+
+    /// Number of buffered events.
+    pub fn event_count(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Disable and clear events + metrics.
+    pub fn reset(&self) {
+        self.disable();
+        self.inner.lock().events.clear();
+        self.metrics.reset();
+    }
+
+    fn close_span(&self, meta: SpanMeta, start_us: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        let end = inner.clock.now_us();
+        let dur = end.saturating_sub(start_us);
+        inner.events.push(TraceEvent {
+            name: meta.name,
+            cat: meta.cat.to_string(),
+            pid: meta.pid,
+            tid: meta.tid,
+            ts_us: start_us as f64,
+            dur_us: dur as f64,
+        });
+        dur
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII guard for an open span; records a complete event on drop.
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    meta: Option<SpanMeta>,
+    start_us: u64,
+}
+
+impl SpanGuard<'_> {
+    /// End the span now, returning its duration in microseconds (useful
+    /// for feeding a latency histogram without reading the clock twice).
+    pub fn end(mut self) -> u64 {
+        let meta = self.meta.take().expect("span ended once");
+        self.recorder.close_span(meta, self.start_us)
+    }
+
+    /// Start timestamp (µs).
+    pub fn start_us(&self) -> u64 {
+        self.start_us
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(meta) = self.meta.take() {
+            self.recorder.close_span(meta, self.start_us);
+        }
+    }
+}
+
+/// The process-global recorder. Starts disabled; tools (`repro trace`,
+/// tests) enable it explicitly. Instrumentation throughout the workspace
+/// records here.
+pub fn global() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::new();
+        assert!(r.span(|| SpanMeta::new("x", "compute", 0, "t")).is_none());
+        r.count("c", 5);
+        r.observe("h", 5);
+        assert_eq!(r.event_count(), 0);
+        assert_eq!(r.metrics().counter_value("c"), 0);
+        assert_eq!(r.prometheus_text(), "");
+    }
+
+    #[test]
+    fn span_guard_records_complete_event() {
+        let r = Recorder::new();
+        let clock = Arc::new(FakeClock::new());
+        r.enable_with_clock(clock.clone());
+        {
+            let g = r
+                .span(|| SpanMeta::new("pull/b0/e1", "comm", 2, "b0"))
+                .unwrap();
+            clock.advance(150);
+            drop(g);
+        }
+        let events = r.drain_events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.name, "pull/b0/e1");
+        assert_eq!(e.cat, "comm");
+        assert_eq!(e.pid, 2);
+        assert_eq!(e.tid, "b0");
+        assert_eq!(e.ts_us, 0.0);
+        assert_eq!(e.dur_us, 150.0);
+    }
+
+    #[test]
+    fn explicit_end_returns_duration() {
+        let r = Recorder::new();
+        let clock = Arc::new(FakeClock::new());
+        r.enable_with_clock(clock.clone());
+        let g = r.span(|| SpanMeta::new("x", "compute", 0, "t")).unwrap();
+        clock.advance(42);
+        assert_eq!(g.end(), 42);
+        assert_eq!(r.event_count(), 1);
+    }
+
+    #[test]
+    fn counters_and_histograms_record_when_enabled() {
+        let r = Recorder::new();
+        r.enable_with_clock(Arc::new(FakeClock::new()));
+        r.count("janus_x_total", 3);
+        r.count("janus_x_total", 4);
+        r.observe("janus_bytes", 128);
+        assert_eq!(r.metrics().counter_value("janus_x_total"), 7);
+        let text = r.prometheus_text();
+        assert!(text.contains("janus_x_total 7"));
+        assert!(text.contains("janus_bytes_count 1"));
+        r.reset();
+        assert!(!r.enabled());
+        assert_eq!(r.event_count(), 0);
+    }
+
+    #[test]
+    fn reenabling_clears_previous_session() {
+        let r = Recorder::new();
+        r.enable_with_clock(Arc::new(FakeClock::new()));
+        r.count("c", 1);
+        r.instant(|| SpanMeta::new("m", "iter", 0, "t"));
+        assert_eq!(r.event_count(), 1);
+        r.enable_with_clock(Arc::new(FakeClock::new()));
+        assert_eq!(r.event_count(), 0);
+        assert_eq!(r.metrics().counter_value("c"), 0);
+    }
+
+    #[test]
+    fn global_recorder_is_a_singleton() {
+        let a = global() as *const Recorder;
+        let b = global() as *const Recorder;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,254 @@
+//! Derived analysis over a recorded trace: compute/comm overlap,
+//! per-link utilization, pull-latency percentiles.
+//!
+//! Overlap is the paper's headline quantity (§5.1.1): Janus hides expert
+//! pulls behind expert compute, so for each rank we take the union of
+//! `compute` spans and the union of `comm`/`transport` spans and measure
+//! their intersection. `overlap_fraction` = overlapped-comm-time /
+//! total-comm-time, i.e. how much of the communication was hidden.
+
+use crate::trace::TraceEvent;
+use serde::Serialize;
+
+/// Overlap accounting for one rank.
+#[derive(Debug, Clone, Serialize)]
+pub struct RankOverlap {
+    pub rank: u32,
+    /// Union of compute spans, µs.
+    pub compute_us: f64,
+    /// Union of comm + transport spans, µs.
+    pub comm_us: f64,
+    /// Intersection of the two unions, µs.
+    pub overlap_us: f64,
+    /// `overlap_us / comm_us` (0 when no comm).
+    pub overlap_fraction: f64,
+}
+
+/// Utilization of one simulated link.
+#[derive(Debug, Clone, Serialize)]
+pub struct LinkUtil {
+    pub link: String,
+    pub bytes: f64,
+    /// Busy time / makespan in [0, 1].
+    pub utilization: f64,
+}
+
+/// Trace-derived summary surfaced on `TrainRun` and by `repro trace`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct OverlapReport {
+    pub ranks: Vec<RankOverlap>,
+    /// Filled by the simulator conversion; empty for numerical runs
+    /// (in-process transports have no modelled links).
+    pub links: Vec<LinkUtil>,
+    pub pull_p50_us: f64,
+    pub pull_p95_us: f64,
+    pub pull_p99_us: f64,
+    pub pull_samples: usize,
+}
+
+impl OverlapReport {
+    /// Compute the report from recorded spans.
+    ///
+    /// Spans with category `compute` count as compute; `comm` and
+    /// `transport` count as communication; pull latency percentiles come
+    /// from spans whose name starts with `pull/`.
+    pub fn from_events(events: &[TraceEvent]) -> OverlapReport {
+        let mut ranks: Vec<u32> = events.iter().map(|e| e.pid).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+
+        let per_rank = ranks
+            .iter()
+            .map(|&rank| {
+                let compute = union_intervals(events, rank, &["compute"]);
+                let comm = union_intervals(events, rank, &["comm", "transport"]);
+                let compute_us = total(&compute);
+                let comm_us = total(&comm);
+                let overlap_us = intersection_total(&compute, &comm);
+                RankOverlap {
+                    rank,
+                    compute_us,
+                    comm_us,
+                    overlap_us,
+                    overlap_fraction: if comm_us > 0.0 {
+                        overlap_us / comm_us
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+
+        let mut pulls: Vec<f64> = events
+            .iter()
+            .filter(|e| e.name.starts_with("pull/"))
+            .map(|e| e.dur_us)
+            .collect();
+        pulls.sort_by(f64::total_cmp);
+
+        OverlapReport {
+            ranks: per_rank,
+            links: Vec::new(),
+            pull_p50_us: percentile(&pulls, 0.50),
+            pull_p95_us: percentile(&pulls, 0.95),
+            pull_p99_us: percentile(&pulls, 0.99),
+            pull_samples: pulls.len(),
+        }
+    }
+
+    /// Render as a human-readable block (used by `repro trace`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("overlap report\n");
+        out.push_str("  rank  compute_us      comm_us   overlap_us  hidden\n");
+        for r in &self.ranks {
+            out.push_str(&format!(
+                "  {:>4}  {:>10.1}  {:>11.1}  {:>11.1}  {:>5.1}%\n",
+                r.rank,
+                r.compute_us,
+                r.comm_us,
+                r.overlap_us,
+                r.overlap_fraction * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "  pull latency (n={}): p50 {:.1}us  p95 {:.1}us  p99 {:.1}us\n",
+            self.pull_samples, self.pull_p50_us, self.pull_p95_us, self.pull_p99_us
+        ));
+        if !self.links.is_empty() {
+            out.push_str("  link utilization:\n");
+            for l in &self.links {
+                out.push_str(&format!(
+                    "    {:<12} {:>12.0} bytes  {:>5.1}%\n",
+                    l.link,
+                    l.bytes,
+                    l.utilization * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Merged, sorted half-open intervals `[start, end)` for one rank over a
+/// set of categories.
+fn union_intervals(events: &[TraceEvent], rank: u32, cats: &[&str]) -> Vec<(f64, f64)> {
+    let mut spans: Vec<(f64, f64)> = events
+        .iter()
+        .filter(|e| e.pid == rank && cats.contains(&e.cat.as_str()) && e.dur_us > 0.0)
+        .map(|e| (e.ts_us, e.end_us()))
+        .collect();
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+fn total(intervals: &[(f64, f64)]) -> f64 {
+    intervals.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Total length of the intersection of two merged interval lists.
+fn intersection_total(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            acc += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    acc
+}
+
+/// Nearest-rank percentile of a sorted sample list (0 when empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, cat: &str, pid: u32, ts: f64, dur: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            pid,
+            tid: "t".into(),
+            ts_us: ts,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn overlap_counts_intersection_only() {
+        // compute [0,10), comm [5,15): overlap 5, fraction 0.5.
+        let events = vec![
+            ev("fwd/b0/e0", "compute", 0, 0.0, 10.0),
+            ev("pull/b0/e1", "comm", 0, 5.0, 10.0),
+        ];
+        let r = OverlapReport::from_events(&events);
+        assert_eq!(r.ranks.len(), 1);
+        let rk = &r.ranks[0];
+        assert!((rk.compute_us - 10.0).abs() < 1e-9);
+        assert!((rk.comm_us - 10.0).abs() < 1e-9);
+        assert!((rk.overlap_us - 5.0).abs() < 1e-9);
+        assert!((rk.overlap_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(r.pull_samples, 1);
+        assert!((r.pull_p50_us - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unions_merge_overlapping_spans() {
+        // Two overlapping compute spans on rank 1 union to [0, 8).
+        let events = vec![
+            ev("a", "compute", 1, 0.0, 5.0),
+            ev("b", "compute", 1, 3.0, 5.0),
+            ev("c", "comm", 1, 100.0, 2.0),
+        ];
+        let r = OverlapReport::from_events(&events);
+        let rk = &r.ranks[0];
+        assert!((rk.compute_us - 8.0).abs() < 1e-9);
+        assert!((rk.comm_us - 2.0).abs() < 1e-9);
+        assert_eq!(rk.overlap_us, 0.0);
+        assert_eq!(rk.overlap_fraction, 0.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut events = Vec::new();
+        for i in 1..=100u32 {
+            events.push(ev(&format!("pull/b0/e{i}"), "comm", 0, 0.0, i as f64));
+        }
+        let r = OverlapReport::from_events(&events);
+        assert_eq!(r.pull_samples, 100);
+        assert!((r.pull_p50_us - 50.0).abs() < 1e-9);
+        assert!((r.pull_p95_us - 95.0).abs() < 1e-9);
+        assert!((r.pull_p99_us - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let r = OverlapReport::from_events(&[]);
+        assert!(r.ranks.is_empty());
+        assert_eq!(r.pull_samples, 0);
+        assert_eq!(r.pull_p50_us, 0.0);
+        let text = r.render();
+        assert!(text.contains("overlap report"));
+    }
+}

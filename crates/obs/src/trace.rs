@@ -1,0 +1,240 @@
+//! Chrome trace-event JSON exporter and a pure-rust schema validator.
+//!
+//! The output is the JSON-array flavour of the trace-event format that
+//! `chrome://tracing` and Perfetto accept: one complete event (`ph:"X"`)
+//! per span, timestamps and durations in microseconds, `pid` = rank,
+//! `tid` = lane (block, comm, update, ...). Both the numerical engines
+//! and the simulator (`SimResult`) render through [`chrome_trace`], so
+//! simulated and real runs look identical in the viewer.
+
+use serde::Serialize;
+
+/// One complete span, ready for export.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceEvent {
+    /// Event name, e.g. `pull/b1/e3`.
+    pub name: String,
+    /// Category: `compute`, `comm`, `transport`, `reduce`, `iter`, ...
+    pub cat: String,
+    /// Track id. The numerical engines use the rank; the simulator uses 0.
+    pub pid: u32,
+    /// Lane within the track, e.g. `b1` (block 1) or `comm`.
+    pub tid: String,
+    /// Start timestamp, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+}
+
+impl TraceEvent {
+    /// End timestamp, microseconds.
+    pub fn end_us(&self) -> f64 {
+        self.ts_us + self.dur_us
+    }
+}
+
+/// Serialize spans as a Chrome trace-event JSON array.
+///
+/// Events are sorted by `(ts, pid, tid, name)` before serialization so
+/// the output is deterministic regardless of cross-thread interleaving
+/// during recording. Field order inside each event is fixed
+/// (`name,cat,ph,ts,dur,pid,tid`) and covered by a golden-file test.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.ts_us
+            .total_cmp(&b.ts_us)
+            .then_with(|| a.pid.cmp(&b.pid))
+            .then_with(|| a.tid.cmp(&b.tid))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let mut out = String::from("[");
+    let mut first = true;
+    for e in sorted {
+        if e.name.is_empty() || e.ts_us.is_nan() || e.dur_us.is_nan() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            concat!(
+                r#"{{"name":{:?},"cat":{:?},"ph":"X","ts":{:.3},"#,
+                r#""dur":{:.3},"pid":{},"tid":{:?}}}"#
+            ),
+            e.name,
+            e.cat,
+            e.ts_us,
+            e.dur_us.max(0.0),
+            e.pid,
+            e.tid,
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Pure-rust structural check of a Chrome trace-event JSON array.
+///
+/// Not a general JSON parser: it verifies exactly the shape
+/// [`chrome_trace`] emits — a top-level array of objects whose fields
+/// appear in the fixed order `name,cat,ph,ts,dur,pid,tid`, with `ph`
+/// equal to `"X"`, finite non-negative `ts`/`dur`, and globally
+/// non-decreasing `ts`. Returns the number of events on success.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let body = json.trim();
+    let inner = body
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| "trace is not a JSON array".to_string())?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(0);
+    }
+    let mut count = 0usize;
+    let mut last_ts = f64::NEG_INFINITY;
+    // Split on object boundaries. Event strings (names/tids) may contain
+    // escaped quotes but never raw braces, so `},{` only occurs between
+    // events.
+    for obj in inner.split("},{") {
+        let obj = obj.trim_start_matches('{').trim_end_matches('}');
+        count += 1;
+        let ctx = |field: &str| format!("event {count}: {field}");
+        let rest = expect_field(obj, "\"name\":\"", &ctx("name"))?;
+        let rest = skip_string(rest, &ctx("name"))?;
+        let rest = expect_field(rest, ",\"cat\":\"", &ctx("cat"))?;
+        let rest = skip_string(rest, &ctx("cat"))?;
+        let rest = expect_field(rest, ",\"ph\":\"X\"", &ctx("ph"))?;
+        let rest = expect_field(rest, ",\"ts\":", &ctx("ts"))?;
+        let (ts, rest) = take_number(rest, &ctx("ts"))?;
+        let rest = expect_field(rest, ",\"dur\":", &ctx("dur"))?;
+        let (dur, rest) = take_number(rest, &ctx("dur"))?;
+        let rest = expect_field(rest, ",\"pid\":", &ctx("pid"))?;
+        let (_pid, rest) = take_number(rest, &ctx("pid"))?;
+        let rest = expect_field(rest, ",\"tid\":\"", &ctx("tid"))?;
+        let rest = skip_string(rest, &ctx("tid"))?;
+        if !rest.is_empty() {
+            return Err(format!("event {count}: trailing content {rest:?}"));
+        }
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {count}: bad ts {ts}"));
+        }
+        if !dur.is_finite() || dur < 0.0 {
+            return Err(format!("event {count}: bad dur {dur}"));
+        }
+        if ts < last_ts {
+            return Err(format!("event {count}: ts {ts} < previous {last_ts}"));
+        }
+        last_ts = ts;
+    }
+    Ok(count)
+}
+
+fn expect_field<'a>(s: &'a str, prefix: &str, what: &str) -> Result<&'a str, String> {
+    s.strip_prefix(prefix)
+        .ok_or_else(|| format!("{what}: expected {prefix:?} at {:?}", head(s)))
+}
+
+/// Consume an escaped JSON string body up to and including its closing quote.
+fn skip_string<'a>(s: &'a str, what: &str) -> Result<&'a str, String> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Ok(&s[i + 1..]),
+            _ => i += 1,
+        }
+    }
+    Err(format!("{what}: unterminated string"))
+}
+
+/// Consume a JSON number, returning its value and the remainder.
+fn take_number<'a>(s: &'a str, what: &str) -> Result<(f64, &'a str), String> {
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    let num = &s[..end];
+    num.parse::<f64>()
+        .map(|v| (v, &s[end..]))
+        .map_err(|_| format!("{what}: bad number {num:?}"))
+}
+
+fn head(s: &str) -> &str {
+    &s[..s.len().min(24)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, cat: &str, pid: u32, tid: &str, ts: f64, dur: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            pid,
+            tid: tid.into(),
+            ts_us: ts,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn export_sorts_and_fixes_field_order() {
+        let events = vec![
+            ev("late", "compute", 1, "b0", 10.0, 2.0),
+            ev("early", "comm", 0, "comm", 1.5, 0.5),
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.starts_with(r#"[{"name":"early","cat":"comm","ph":"X","ts":1.500"#));
+        assert!(json.contains(r#""name":"late""#));
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 2);
+    }
+
+    #[test]
+    fn export_is_parseable_json() {
+        let events = vec![ev("a/b\"c", "compute", 0, "w0", 0.0, 1.0)];
+        let json = chrome_trace(&events);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(parsed.as_array().unwrap().len(), 1);
+        assert_eq!(parsed[0]["name"], "a/b\"c");
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_and_nan_events_are_skipped() {
+        let events = vec![
+            ev("", "compute", 0, "w0", 0.0, 1.0),
+            ev("ok", "compute", 0, "w0", f64::NAN, 1.0),
+        ];
+        assert_eq!(chrome_trace(&events), "[]");
+        assert_eq!(validate_chrome_trace("[]").unwrap(), 0);
+    }
+
+    #[test]
+    fn negative_durations_clamp_to_zero() {
+        let json = chrome_trace(&[ev("x", "c", 0, "t", 5.0, -1.0)]);
+        assert!(json.contains(r#""dur":0.000"#));
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(
+            r#"[{"name":"a","cat":"c","ph":"B","ts":0.000,"dur":0.000,"pid":0,"tid":"t"}]"#
+        )
+        .is_err());
+        assert!(validate_chrome_trace(
+            r#"[{"cat":"c","name":"a","ph":"X","ts":0.000,"dur":0.000,"pid":0,"tid":"t"}]"#
+        )
+        .is_err());
+        // Decreasing ts.
+        let json = concat!(
+            r#"[{"name":"a","cat":"c","ph":"X","ts":5.000,"dur":0.000,"pid":0,"tid":"t"},"#,
+            r#"{"name":"b","cat":"c","ph":"X","ts":1.000,"dur":0.000,"pid":0,"tid":"t"}]"#
+        );
+        assert!(validate_chrome_trace(json).is_err());
+    }
+}

@@ -46,7 +46,8 @@ fn main() {
         println!("rank {rank}: loss {first:.4} → {last:.4}");
         assert!(last < first, "training must make progress");
     }
-    let (fetches, hits) = shared[0].cache.stats();
+    let stats = shared[0].cache.stats();
+    let (fetches, hits) = (stats.fetches, stats.hits);
     println!("\nmachine-0 cache: {fetches} cross-machine fetches, {hits} local hits");
     println!("every expert crossed the wire once per machine per block per iteration —");
     println!("the hierarchical fetch working over real sockets.");

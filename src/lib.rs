@@ -14,6 +14,8 @@
 //! * [`core`] — the paper's contribution: the Janus Task Queue, schedulers,
 //!   topology-aware priorities, prefetch, paradigm selection, and the
 //!   simulation/execution engines.
+//! * [`obs`] — span tracing, metrics, and Chrome-trace/Prometheus export
+//!   shared by the execution engines, transports, and simulator.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -21,5 +23,6 @@ pub use janus_comm as comm;
 pub use janus_core as core;
 pub use janus_moe as moe;
 pub use janus_netsim as netsim;
+pub use janus_obs as obs;
 pub use janus_tensor as tensor;
 pub use janus_topology as topology;

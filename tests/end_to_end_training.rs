@@ -149,7 +149,8 @@ fn cache_fetch_counts_match_the_hierarchical_design() {
     });
     // 4 external experts per machine × 2 blocks × 3 iterations.
     for sh in &shared {
-        let (fetches, hits) = sh.cache.stats();
+        let stats = sh.cache.stats();
+        let (fetches, hits) = (stats.fetches, stats.hits);
         assert_eq!(
             fetches,
             4 * 2 * iters,
