@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [plan|table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|faults|trace|all]...
+//! repro [plan|table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|faults|crash|trace|all]...
 //! ```
 //!
 //! With no arguments, runs everything. Add `--json` to also dump the raw
@@ -29,6 +29,7 @@ fn main() {
             "ablations",
             "compute",
             "faults",
+            "crash",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -106,6 +107,11 @@ fn main() {
                 let report = faults::run();
                 faults::print(&report);
                 dump(json, "faults", &report);
+            }
+            "crash" => {
+                let report = crash::run();
+                crash::print(&report);
+                dump(json, "crash", &report);
             }
             "trace" => {
                 let path = trace_export::write("fig13_timeline.json").expect("write chrome trace");

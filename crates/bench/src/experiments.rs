@@ -1431,6 +1431,340 @@ pub mod trace_run {
     }
 }
 
+/// `repro crash`: supervised training with rank kills and checkpoint
+/// recovery. Each scenario crashes one or more ranks (optionally over
+/// lossy links), the supervisor restores the mesh from the latest
+/// committed checkpoint cut, and the finished run must be bitwise
+/// identical to the fault-free one.
+pub mod crash {
+    use super::*;
+    use janus_comm::faulty::{CrashAt, CrashPoint, FaultPlan};
+    use janus_comm::reliable::RetransmitPolicy;
+    use janus_core::exec::model::ExecConfig;
+    use janus_core::exec::supervisor::{train_supervised, SupervisorOpts};
+    use janus_core::exec::trainer::{diff_runs, train_unified};
+    use janus_core::plan::PlanOpts;
+    use janus_obs::global;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    /// One crash scenario's recovery ledger and divergence vs clean.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct ScenarioRow {
+        /// Scenario label.
+        pub scenario: String,
+        /// Worker deaths observed (injected and collateral).
+        pub crashes: u64,
+        /// Rounds replayed after a failure.
+        pub recoveries: u64,
+        /// Checkpoints committed (ranks × cuts).
+        pub ckpts_written: u64,
+        /// Checkpoints restored from the store.
+        pub ckpts_restored: u64,
+        /// Iterations re-executed because a round failed.
+        pub replayed_iters: u64,
+        /// Bytes of committed checkpoints.
+        pub ckpt_bytes_written: u64,
+        /// Bytes read back while restoring.
+        pub ckpt_bytes_restored: u64,
+        /// Median recovery time (restore + replay), µs.
+        pub recover_p50_us: u64,
+        /// Tail recovery time, µs.
+        pub recover_p99_us: u64,
+        /// Largest |Δ| across loss histories vs the fault-free run.
+        pub max_loss_diff: f32,
+        /// Largest |Δ| across final expert weights vs the fault-free run.
+        pub max_weight_diff: f32,
+    }
+
+    /// One rank's recovery bookkeeping, summed over all scenarios.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct RankRow {
+        /// Worker rank.
+        pub rank: usize,
+        /// Times this rank died.
+        pub crashes: u64,
+        /// Checkpoints of this rank committed to the store.
+        pub ckpts_written: u64,
+        /// Times this rank was restored from a committed cut.
+        pub ckpts_restored: u64,
+    }
+
+    /// The whole crash-recovery run.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Report {
+        /// Chaos seed (`JANUS_CHAOS_SEED` or the default).
+        pub seed: u64,
+        /// Training iterations per scenario.
+        pub iters: u64,
+        /// Per-scenario ledgers.
+        pub scenarios: Vec<ScenarioRow>,
+        /// Per-rank breakdown (summed over scenarios).
+        pub ranks: Vec<RankRow>,
+        /// `ckpt_save` spans recorded by the observability layer.
+        pub ckpt_save_spans: u64,
+        /// `ckpt_load` spans recorded by the observability layer.
+        pub ckpt_load_spans: u64,
+        /// `janus_recoveries_total` as seen by the metrics registry.
+        pub recoveries_observed: u64,
+    }
+
+    /// Run every crash scenario and diff each against the clean run.
+    /// Panics (failing the repro) if any scenario diverges from the
+    /// fault-free numerics or a scenario turns out vacuous.
+    pub fn run() -> Report {
+        let seed = std::env::var("JANUS_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC0FFEE);
+        // Same mixed-paradigm shape as `repro faults`: one data-centric
+        // block (cache + pre-reduction under recovery) and one
+        // expert-centric block (collectives under recovery).
+        let cfg = ExecConfig {
+            machines: 2,
+            gpus_per_machine: 2,
+            hidden_dim: 8,
+            blocks: 2,
+            experts: 8,
+            experts_per_block: vec![4, 8],
+            top_k: 2,
+            tokens: 64,
+            seed: 99,
+            lr: 0.01,
+        };
+        let iters = 4u64;
+        let world = cfg.world();
+        let sup = SupervisorOpts {
+            retransmit: RetransmitPolicy {
+                initial_backoff: Duration::from_micros(500),
+                max_backoff: Duration::from_millis(8),
+                max_attempts: 400,
+                flush_quiet: Duration::from_millis(40),
+            },
+            ..SupervisorOpts::default()
+        };
+        let scenarios: Vec<(&str, FaultPlan, SupervisorOpts)> = vec![
+            (
+                "iteration-crash",
+                FaultPlan {
+                    seed,
+                    crashes: vec![CrashPoint {
+                        rank: world - 1,
+                        at: CrashAt::Iteration(1),
+                    }],
+                    ..FaultPlan::default()
+                },
+                sup,
+            ),
+            (
+                "send-op-crash",
+                FaultPlan {
+                    seed,
+                    crashes: vec![CrashPoint {
+                        rank: 1,
+                        at: CrashAt::SendOp(5 + seed % 6),
+                    }],
+                    ..FaultPlan::default()
+                },
+                sup,
+            ),
+            (
+                "crash-coarse-cut",
+                FaultPlan {
+                    seed,
+                    crashes: vec![CrashPoint {
+                        rank: 0,
+                        at: CrashAt::Iteration(2),
+                    }],
+                    ..FaultPlan::default()
+                },
+                SupervisorOpts {
+                    ckpt_every: 2,
+                    ..sup
+                },
+            ),
+            (
+                "crash-lossy-links",
+                FaultPlan {
+                    seed,
+                    drop: 0.03,
+                    delay: 0.2,
+                    max_delay_ops: 3,
+                    crashes: vec![CrashPoint {
+                        rank: 2,
+                        at: CrashAt::Iteration(2),
+                    }],
+                    ..FaultPlan::default()
+                },
+                sup,
+            ),
+            (
+                "double-crash",
+                FaultPlan {
+                    seed,
+                    crashes: vec![
+                        CrashPoint {
+                            rank: 0,
+                            at: CrashAt::Iteration(1),
+                        },
+                        CrashPoint {
+                            rank: world - 1,
+                            at: CrashAt::Iteration(3),
+                        },
+                    ],
+                    ..FaultPlan::default()
+                },
+                sup,
+            ),
+        ];
+
+        // Record ckpt spans and recovery metrics for the whole sweep.
+        let rec = global();
+        rec.enable();
+        let clean = train_unified(&cfg, iters);
+        let mut rows = Vec::new();
+        let mut ranks: Vec<RankRow> = (0..world)
+            .map(|rank| RankRow {
+                rank,
+                crashes: 0,
+                ckpts_written: 0,
+                ckpts_restored: 0,
+            })
+            .collect();
+        for (name, faults, sup) in scenarios {
+            let (_, run, report) =
+                train_supervised(&cfg, &PlanOpts::default(), &sup, iters, faults)
+                    .unwrap_or_else(|e| panic!("{name}: supervisor failed: {e}"));
+            let d = diff_runs(&clean, &run);
+            assert_eq!(
+                d.max_loss_diff, 0.0,
+                "{name}: diverged from clean run: {d:?}"
+            );
+            assert_eq!(
+                d.max_weight_diff, 0.0,
+                "{name}: diverged from clean run: {d:?}"
+            );
+            assert!(report.crashes > 0, "{name}: vacuous — no crash fired");
+            assert!(report.recoveries > 0, "{name}: vacuous — nothing recovered");
+            for (row, pr) in ranks.iter_mut().zip(&report.per_rank) {
+                row.crashes += pr.crashes;
+                row.ckpts_written += pr.ckpts_written;
+                row.ckpts_restored += pr.ckpts_restored;
+            }
+            rows.push(ScenarioRow {
+                scenario: name.to_string(),
+                crashes: report.crashes,
+                recoveries: report.recoveries,
+                ckpts_written: report.ckpts_written,
+                ckpts_restored: report.ckpts_restored,
+                replayed_iters: report.replayed_iterations,
+                ckpt_bytes_written: report.ckpt_bytes_written,
+                ckpt_bytes_restored: report.ckpt_bytes_restored,
+                recover_p50_us: report.recover_us_percentile(50.0),
+                recover_p99_us: report.recover_us_percentile(99.0),
+                max_loss_diff: d.max_loss_diff,
+                max_weight_diff: d.max_weight_diff,
+            });
+        }
+        let ckpt_save_spans = rec.histogram("janus_ckpt_save_us").count();
+        let ckpt_load_spans = rec.histogram("janus_ckpt_load_us").count();
+        let recoveries_observed = rec
+            .counter("janus_recoveries_total")
+            .load(Ordering::Relaxed);
+        rec.disable();
+        assert!(ckpt_save_spans > 0, "vacuous: no ckpt_save spans recorded");
+        assert!(ckpt_load_spans > 0, "vacuous: no ckpt_load spans recorded");
+        assert!(
+            ranks.iter().map(|r| r.ckpts_restored).sum::<u64>() > 0,
+            "vacuous: no rank was ever restored from a checkpoint"
+        );
+        Report {
+            seed,
+            iters,
+            scenarios: rows,
+            ranks,
+            ckpt_save_spans,
+            ckpt_load_spans,
+            recoveries_observed,
+        }
+    }
+
+    /// Print the per-scenario and per-rank recovery tables.
+    pub fn print(report: &Report) {
+        println!(
+            "Crash recovery — supervised training with rank kills \
+             (seed {:#x}, {} iters per scenario): every scenario is \
+             bitwise identical to the fault-free run\n",
+            report.seed, report.iters
+        );
+        let body: Vec<Vec<String>> = report
+            .scenarios
+            .iter()
+            .map(|s| {
+                vec![
+                    s.scenario.clone(),
+                    s.crashes.to_string(),
+                    s.recoveries.to_string(),
+                    s.ckpts_written.to_string(),
+                    s.ckpts_restored.to_string(),
+                    s.replayed_iters.to_string(),
+                    s.ckpt_bytes_written.to_string(),
+                    s.ckpt_bytes_restored.to_string(),
+                    s.recover_p50_us.to_string(),
+                    s.recover_p99_us.to_string(),
+                    format!("{:e}", s.max_loss_diff),
+                    format!("{:e}", s.max_weight_diff),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &[
+                    "scenario",
+                    "crashes",
+                    "recoveries",
+                    "ckpts-written",
+                    "ckpts-restored",
+                    "replayed-iters",
+                    "bytes-written",
+                    "bytes-restored",
+                    "recover-p50-us",
+                    "recover-p99-us",
+                    "loss |Δ|",
+                    "weight |Δ|",
+                ],
+                &body
+            )
+        );
+        println!("per-rank totals over all scenarios:");
+        let rank_body: Vec<Vec<String>> = report
+            .ranks
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rank.to_string(),
+                    r.crashes.to_string(),
+                    r.ckpts_written.to_string(),
+                    r.ckpts_restored.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &["rank", "crashes", "ckpts-written", "ckpts-restored"],
+                &rank_body
+            )
+        );
+        println!(
+            "observability: {} ckpt_save spans, {} ckpt_load spans, \
+             {} recoveries on the metrics registry",
+            report.ckpt_save_spans, report.ckpt_load_spans, report.recoveries_observed
+        );
+    }
+}
+
 /// Fault injection: the unified engine over a lossy mesh, with the
 /// reliability layer recovering every drop, delay, duplicate, and
 /// partition — numerics bitwise equal to the fault-free run.

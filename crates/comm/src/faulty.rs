@@ -83,6 +83,31 @@ impl Partition {
     }
 }
 
+/// When an injected crash fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashAt {
+    /// On the victim's n-th (0-based) application send across this
+    /// transport, counted over all links. Counters are per transport
+    /// instance, so a supervisor round that rebuilds the mesh restarts
+    /// the count.
+    SendOp(u64),
+    /// At the start of the given absolute training iteration. The
+    /// transport cannot see iterations; drivers that can (the
+    /// supervisor's worker loop) honour this trigger.
+    Iteration(u64),
+}
+
+/// An injected rank crash: the victim panics — exactly what a real
+/// worker death looks like to the rest of the mesh — at a seeded,
+/// deterministic point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The rank that dies.
+    pub rank: usize,
+    /// When it dies.
+    pub at: CrashAt,
+}
+
 /// Seeded fault profile. The zero-probability, no-partition default
 /// injects nothing; dial individual faults up per test.
 #[derive(Debug, Clone)]
@@ -108,6 +133,10 @@ pub struct FaultPlan {
     pub duplicate_barrier: f64,
     /// Links that drop everything during a send-op window.
     pub partitions: Vec<Partition>,
+    /// Ranks that die at chosen points ([`CrashAt::SendOp`] fires inside
+    /// this transport; [`CrashAt::Iteration`] is honoured by
+    /// iteration-aware drivers such as the supervisor).
+    pub crashes: Vec<CrashPoint>,
 }
 
 impl Default for FaultPlan {
@@ -121,6 +150,7 @@ impl Default for FaultPlan {
             reorder: 0.0,
             duplicate_barrier: 0.0,
             partitions: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 }
@@ -155,6 +185,8 @@ struct FaultState {
     delayed: VecDeque<(u32, usize, Message)>,
     /// Per-destination send-operation counters (for partition windows).
     link_ops: Vec<u64>,
+    /// Application sends across all links (for [`CrashAt::SendOp`]).
+    total_ops: u64,
     stats: TransportStats,
 }
 
@@ -171,6 +203,7 @@ impl<T: Transport> FaultyTransport<T> {
                 held: VecDeque::new(),
                 delayed: VecDeque::new(),
                 link_ops: vec![0; world],
+                total_ops: 0,
                 stats: TransportStats::default(),
             }),
         }
@@ -238,8 +271,24 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 
         let op = state.link_ops[to];
         state.link_ops[to] += 1;
+        let total_op = state.total_ops;
+        state.total_ops += 1;
 
         let me = self.inner.rank();
+        // Injected crash: die exactly like a real worker death — by
+        // panicking. The runtime catches it, marks the rank dead, and
+        // peers see `PeerDead`.
+        if self
+            .plan
+            .crashes
+            .iter()
+            .any(|c| c.rank == me && c.at == CrashAt::SendOp(total_op))
+        {
+            crate::obs::proto_event(me, "janus_crashes_injected_total", || {
+                format!("crash/send_op{total_op}")
+            });
+            panic!("injected crash: rank {me} at send op {total_op}");
+        }
         if self.plan.partitions.iter().any(|p| p.covers(me, to, op)) {
             state.stats.faults_dropped += 1;
             crate::obs::proto_event(me, "janus_faults_dropped_total", || {
@@ -345,6 +394,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.release_all_delayed(&mut state)?;
         drop(state);
         self.inner.flush()
+    }
+
+    fn death_handle(&self) -> crate::liveness::DeathHandle {
+        self.inner.death_handle()
     }
 }
 
@@ -523,6 +576,49 @@ mod tests {
             ]
         );
         assert_eq!(a.stats().faults_dropped, 2);
+    }
+
+    #[test]
+    fn crash_point_fires_on_the_exact_send_op() {
+        let mut mesh = local_mesh(2);
+        let _b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(
+            mesh.pop().unwrap(),
+            FaultPlan {
+                crashes: vec![CrashPoint {
+                    rank: 0,
+                    at: CrashAt::SendOp(2),
+                }],
+                ..FaultPlan::default()
+            },
+        );
+        a.send(1, Message::Barrier { epoch: 0 }).unwrap();
+        a.send(1, Message::Barrier { epoch: 1 }).unwrap();
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = a.send(1, Message::Barrier { epoch: 2 });
+        }));
+        let msg = *crashed.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("injected crash"), "{msg}");
+        assert!(msg.contains("rank 0"), "{msg}");
+        assert!(msg.contains("send op 2"), "{msg}");
+    }
+
+    #[test]
+    fn crash_points_for_other_ranks_are_inert() {
+        let mut mesh = local_mesh(2);
+        let b = mesh.pop().unwrap();
+        let a = FaultyTransport::new(
+            mesh.pop().unwrap(),
+            FaultPlan {
+                crashes: vec![CrashPoint {
+                    rank: 1,
+                    at: CrashAt::SendOp(0),
+                }],
+                ..FaultPlan::default()
+            },
+        );
+        a.send(1, Message::Barrier { epoch: 7 }).unwrap();
+        assert_eq!(b.recv().unwrap().1, Message::Barrier { epoch: 7 });
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //!   protocol assumptions.
 //! * [`reliable`] — seq/ack/retransmit reliability restoring exactly-once
 //!   per-pair FIFO delivery over any lossy transport.
-//! * [`runtime`] — scoped worker threads, one per simulated GPU.
+//! * [`liveness`] — heartbeats, a mesh-wide health board, and the
+//!   [`LivenessMonitor`] wrapper that turns dead peers into
+//!   [`CommError::PeerDead`] instead of hangs.
+//! * [`runtime`] — scoped worker threads, one per simulated GPU; a
+//!   panicking worker is reported to the health board so peers fail
+//!   fast.
 //!
 //! All transports record spans / counters / byte histograms into the
 //! global `janus-obs` recorder when it is enabled (see the private `obs`
@@ -47,6 +52,7 @@ pub mod codec;
 pub mod collectives;
 pub mod comm;
 pub mod faulty;
+pub mod liveness;
 pub mod local;
 pub mod message;
 pub(crate) mod obs;
@@ -56,7 +62,8 @@ pub mod tcp;
 pub mod transport;
 
 pub use comm::Comm;
-pub use faulty::{FaultPlan, FaultyTransport, Partition};
+pub use faulty::{CrashAt, CrashPoint, FaultPlan, FaultyTransport, Partition};
+pub use liveness::{DeathHandle, HealthBoard, LivenessConfig, LivenessMonitor};
 pub use message::Message;
 pub use reliable::{ReliableTransport, RetransmitPolicy};
 pub use transport::{CommError, Transport, TransportStats};

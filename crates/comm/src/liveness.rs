@@ -1,0 +1,539 @@
+//! Peer liveness: heartbeats, a mesh-wide health board, and a monitoring
+//! transport wrapper that turns dead peers into typed errors.
+//!
+//! A dead rank must never hang the cluster. [`LivenessMonitor`] wraps any
+//! [`Transport`] and guarantees that every blocking operation either
+//! makes progress or returns [`CommError::PeerDead`] naming the dead
+//! peer. Death is learned two ways:
+//!
+//! * **The health board.** Every monitor of a mesh shares one
+//!   [`HealthBoard`]. When a worker thread panics, the runtime
+//!   ([`crate::runtime::run_on`]) marks that rank dead on the board via
+//!   the [`DeathHandle`] obtained from [`Transport::death_handle`], and
+//!   every peer blocked in a monitored receive observes it within one
+//!   poll slice. This is the primary detection path and is exact: it
+//!   carries the panic message.
+//! * **Heartbeats.** With [`LivenessConfig::heartbeat_every_ops`] > 0,
+//!   each monitor emits [`Message::Heartbeat`] to every peer after that
+//!   many application sends — an interval counted in *virtual send-ops*,
+//!   not wall-clock, so the schedule is deterministic — plus a
+//!   wall-clock trickle while blocked in a receive so an idle-but-alive
+//!   rank keeps beaconing. A peer silent for
+//!   [`LivenessConfig::suspect_after`] is declared dead. This backstop
+//!   catches wedged-but-not-panicked peers (e.g. a worker stuck outside
+//!   the transport). Heartbeats are consumed by the receiving monitor
+//!   and never surface to the layers above.
+//!
+//! Heartbeats are **off by default** so a plain monitored mesh is
+//! message-for-message identical to a raw one; the supervisor and the
+//! liveness tests opt in. Stack the monitor *below* fault-injection and
+//! reliability wrappers (`Reliable<Faulty<LivenessMonitor<Local>>>`):
+//! heartbeats then bypass fault injection (they are link-local and
+//! fire-and-forget, and must not perturb the seeded fault schedule), and
+//! `PeerDead` propagates up through the wrappers' error paths — including
+//! retransmit loops, which call the inner transport on every pump.
+
+use crate::local::{local_mesh, LocalTransport};
+use crate::message::Message;
+use crate::transport::{CommError, Transport, TransportStats};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Liveness protocol knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LivenessConfig {
+    /// Emit a heartbeat to every peer after this many application sends.
+    /// `0` disables heartbeats (and silence-based suspicion) entirely.
+    pub heartbeat_every_ops: u64,
+    /// While blocked in a receive, also heartbeat at this wall-clock
+    /// interval so an idle rank keeps beaconing.
+    pub idle_heartbeat: Duration,
+    /// Declare a peer dead after hearing nothing from it for this long.
+    /// Only enforced when heartbeats are enabled: without them, silence
+    /// is not evidence of death.
+    pub suspect_after: Duration,
+    /// How long each blocking-receive slice waits on the inner transport
+    /// between health-board checks.
+    pub poll: Duration,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig {
+            heartbeat_every_ops: 0,
+            idle_heartbeat: Duration::from_millis(25),
+            suspect_after: Duration::from_secs(10),
+            poll: Duration::from_millis(1),
+        }
+    }
+}
+
+impl LivenessConfig {
+    /// Heartbeats every `every_ops` sends, suspicion after `suspect_after`
+    /// of silence.
+    pub fn heartbeats(every_ops: u64, suspect_after: Duration) -> Self {
+        LivenessConfig {
+            heartbeat_every_ops: every_ops,
+            suspect_after,
+            ..LivenessConfig::default()
+        }
+    }
+}
+
+/// Mesh-wide death registry, shared by every [`LivenessMonitor`] of one
+/// mesh. The first reason recorded for a rank wins.
+pub struct HealthBoard {
+    any_dead: AtomicBool,
+    dead: Mutex<Vec<Option<String>>>,
+}
+
+impl HealthBoard {
+    /// A board for a `world`-rank mesh with every rank alive.
+    pub fn new(world: usize) -> Arc<HealthBoard> {
+        Arc::new(HealthBoard {
+            any_dead: AtomicBool::new(false),
+            dead: Mutex::new(vec![None; world]),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Option<String>>> {
+        // A poisoned board must still report deaths — that is its job.
+        self.dead.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record that `rank` died with `reason`. Idempotent; the first
+    /// reason is kept.
+    pub fn mark_dead(&self, rank: usize, reason: &str) {
+        let mut dead = self.lock();
+        if dead[rank].is_none() {
+            dead[rank] = Some(reason.to_string());
+        }
+        self.any_dead.store(true, Ordering::Release);
+    }
+
+    /// Is `rank` marked dead?
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.any_dead.load(Ordering::Acquire) && self.lock()[rank].is_some()
+    }
+
+    /// The recorded death reason for `rank`, if any.
+    pub fn reason(&self, rank: usize) -> Option<String> {
+        if !self.any_dead.load(Ordering::Acquire) {
+            return None;
+        }
+        self.lock()[rank].clone()
+    }
+
+    /// Lowest-ranked dead peer other than `me`, with its reason.
+    /// The fast path is one relaxed atomic load.
+    pub fn first_dead_except(&self, me: usize) -> Option<(usize, String)> {
+        if !self.any_dead.load(Ordering::Acquire) {
+            return None;
+        }
+        self.lock()
+            .iter()
+            .enumerate()
+            .find(|(rank, slot)| *rank != me && slot.is_some())
+            .map(|(rank, slot)| (rank, slot.clone().expect("slot is Some")))
+    }
+}
+
+/// Handle through which the runtime reports an endpoint's own death
+/// (worker panic) to its mesh. Obtained via [`Transport::death_handle`]
+/// *before* the transport is consumed by the worker closure.
+#[derive(Clone)]
+pub struct DeathHandle {
+    rank: usize,
+    board: Option<Arc<HealthBoard>>,
+}
+
+impl DeathHandle {
+    /// A handle that discards reports (plain, unmonitored transports).
+    pub fn noop() -> Self {
+        DeathHandle {
+            rank: 0,
+            board: None,
+        }
+    }
+
+    /// A handle reporting `rank`'s death to `board`.
+    pub fn new(rank: usize, board: Arc<HealthBoard>) -> Self {
+        DeathHandle {
+            rank,
+            board: Some(board),
+        }
+    }
+
+    /// Record the owning rank as dead. No-op without a board.
+    pub fn mark_dead(&self, reason: &str) {
+        if let Some(board) = &self.board {
+            board.mark_dead(self.rank, reason);
+        }
+    }
+}
+
+struct MonState {
+    /// Virtual clock: application messages sent + received by this
+    /// endpoint (heartbeats excluded).
+    ops: u64,
+    /// Application sends since the last op-driven heartbeat.
+    sends_since_hb: u64,
+    /// Next heartbeat sequence number.
+    hb_seq: u64,
+    /// `ops` value when each peer was last heard from (0 = never).
+    last_seen: Vec<u64>,
+    /// Wall-clock when each peer was last heard from.
+    last_heard: Vec<Instant>,
+    /// Wall-clock of the last idle (blocked-in-recv) heartbeat.
+    last_idle_hb: Instant,
+}
+
+/// Transport wrapper enforcing the no-hang guarantee: every blocking
+/// call either progresses or returns [`CommError::PeerDead`].
+pub struct LivenessMonitor<T: Transport> {
+    inner: T,
+    cfg: LivenessConfig,
+    board: Arc<HealthBoard>,
+    state: RefCell<MonState>,
+}
+
+impl<T: Transport> LivenessMonitor<T> {
+    /// Wrap `inner`, sharing `board` with the rest of the mesh.
+    pub fn new(inner: T, cfg: LivenessConfig, board: Arc<HealthBoard>) -> Self {
+        let world = inner.world_size();
+        let now = Instant::now();
+        LivenessMonitor {
+            inner,
+            cfg,
+            board,
+            state: RefCell::new(MonState {
+                ops: 0,
+                sends_since_hb: 0,
+                hb_seq: 0,
+                last_seen: vec![0; world],
+                last_heard: vec![now; world],
+                last_idle_hb: now,
+            }),
+        }
+    }
+
+    /// The shared health board.
+    pub fn board(&self) -> &Arc<HealthBoard> {
+        &self.board
+    }
+
+    fn heartbeats_enabled(&self) -> bool {
+        self.cfg.heartbeat_every_ops > 0
+    }
+
+    fn peer_dead(&self, state: &MonState, rank: usize, reason: String) -> CommError {
+        CommError::PeerDead {
+            rank,
+            last_seen: state.last_seen[rank],
+            reason,
+        }
+    }
+
+    /// Fail if any peer is marked dead on the board.
+    fn check_board(&self, state: &MonState) -> Result<(), CommError> {
+        match self.board.first_dead_except(self.inner.rank()) {
+            Some((rank, reason)) => Err(self.peer_dead(state, rank, reason)),
+            None => Ok(()),
+        }
+    }
+
+    /// Declare silent peers dead (heartbeats enabled only).
+    fn check_silence(&self, state: &MonState) -> Result<(), CommError> {
+        if !self.heartbeats_enabled() {
+            return Ok(());
+        }
+        let me = self.inner.rank();
+        for rank in 0..self.inner.world_size() {
+            if rank != me && state.last_heard[rank].elapsed() > self.cfg.suspect_after {
+                let reason = format!(
+                    "no message or heartbeat for {:?} (suspect_after)",
+                    self.cfg.suspect_after
+                );
+                self.board.mark_dead(rank, &reason);
+                return Err(self.peer_dead(state, rank, reason));
+            }
+        }
+        Ok(())
+    }
+
+    /// Send one heartbeat to every live peer. Best-effort: a peer that
+    /// already tore down must not fail the sender.
+    fn emit_heartbeats(&self, state: &mut MonState) {
+        let me = self.inner.rank();
+        let seq = state.hb_seq;
+        state.hb_seq += 1;
+        state.sends_since_hb = 0;
+        state.last_idle_hb = Instant::now();
+        for peer in 0..self.inner.world_size() {
+            if peer != me && !self.board.is_dead(peer) {
+                let _ = self.inner.send(peer, Message::Heartbeat { seq });
+            }
+        }
+    }
+
+    /// Record that `from` was heard from just now.
+    fn note_heard(&self, state: &mut MonState, from: usize) {
+        state.last_seen[from] = state.ops;
+        state.last_heard[from] = Instant::now();
+    }
+
+    /// Filter one inner delivery: heartbeats refresh liveness and are
+    /// swallowed; application messages advance the virtual clock.
+    fn admit(&self, state: &mut MonState, from: usize, msg: Message) -> Option<(usize, Message)> {
+        if matches!(msg, Message::Heartbeat { .. }) {
+            self.note_heard(state, from);
+            return None;
+        }
+        state.ops += 1;
+        self.note_heard(state, from);
+        Some((from, msg))
+    }
+}
+
+impl<T: Transport> Transport for LivenessMonitor<T> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
+        let mut state = self.state.borrow_mut();
+        if to != self.inner.rank() {
+            if let Some(reason) = self.board.reason(to) {
+                return Err(self.peer_dead(&state, to, reason));
+            }
+        }
+        self.inner.send(to, msg)?;
+        state.ops += 1;
+        if self.heartbeats_enabled() {
+            state.sends_since_hb += 1;
+            if state.sends_since_hb >= self.cfg.heartbeat_every_ops {
+                self.emit_heartbeats(&mut state);
+            }
+        }
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<(usize, Message), CommError> {
+        let _span = crate::obs::recv_wait_hook(self.inner.rank());
+        loop {
+            let mut state = self.state.borrow_mut();
+            self.check_board(&state)?;
+            self.check_silence(&state)?;
+            if self.heartbeats_enabled() && state.last_idle_hb.elapsed() >= self.cfg.idle_heartbeat
+            {
+                self.emit_heartbeats(&mut state);
+            }
+            if let Some((from, msg)) = self.inner.recv_timeout(self.cfg.poll)? {
+                if let Some(delivery) = self.admit(&mut state, from, msg) {
+                    return Ok(delivery);
+                }
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<(usize, Message)>, CommError> {
+        let mut state = self.state.borrow_mut();
+        self.check_board(&state)?;
+        self.check_silence(&state)?;
+        while let Some((from, msg)) = self.inner.try_recv()? {
+            if let Some(delivery) = self.admit(&mut state, from, msg) {
+                return Ok(Some(delivery));
+            }
+        }
+        Ok(None)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, CommError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut state = self.state.borrow_mut();
+            self.check_board(&state)?;
+            self.check_silence(&state)?;
+            if self.heartbeats_enabled() && state.last_idle_hb.elapsed() >= self.cfg.idle_heartbeat
+            {
+                self.emit_heartbeats(&mut state);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let slice = self.cfg.poll.min(deadline - now);
+            if let Some((from, msg)) = self.inner.recv_timeout(slice)? {
+                if let Some(delivery) = self.admit(&mut state, from, msg) {
+                    return Ok(Some(delivery));
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+
+    fn flush(&self) -> Result<(), CommError> {
+        let state = self.state.borrow();
+        self.check_board(&state)?;
+        drop(state);
+        self.inner.flush()
+    }
+
+    fn death_handle(&self) -> DeathHandle {
+        DeathHandle::new(self.inner.rank(), self.board.clone())
+    }
+}
+
+/// Wrap a whole mesh in monitors sharing one fresh [`HealthBoard`].
+pub fn monitor_mesh<T: Transport>(
+    endpoints: Vec<T>,
+    cfg: LivenessConfig,
+) -> Vec<LivenessMonitor<T>> {
+    let board = HealthBoard::new(endpoints.len());
+    endpoints
+        .into_iter()
+        .map(|t| LivenessMonitor::new(t, cfg, board.clone()))
+        .collect()
+}
+
+/// An in-process channel mesh with every endpoint monitored.
+pub fn monitored_mesh(world: usize, cfg: LivenessConfig) -> Vec<LivenessMonitor<LocalTransport>> {
+    monitor_mesh(local_mesh(world), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(cfg: LivenessConfig) -> Vec<LivenessMonitor<LocalTransport>> {
+        monitored_mesh(2, cfg)
+    }
+
+    #[test]
+    fn passes_traffic_through_with_heartbeats_off() {
+        let mut mesh = pair(LivenessConfig::default());
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        a.send(1, Message::Barrier { epoch: 3 }).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Message::Barrier { epoch: 3 }));
+        // No heartbeats leaked into the channel.
+        assert!(b.try_recv().unwrap().is_none());
+        assert!(a.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn blocking_recv_on_marked_dead_peer_errors_instead_of_hanging() {
+        let mut mesh = pair(LivenessConfig::default());
+        let _b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        a.board().mark_dead(1, "worker panicked: boom");
+        let start = Instant::now();
+        let err = a.recv().unwrap_err();
+        assert!(start.elapsed() < Duration::from_secs(5), "must not hang");
+        match err {
+            CommError::PeerDead { rank, reason, .. } => {
+                assert_eq!(rank, 1);
+                assert!(reason.contains("boom"), "{reason}");
+            }
+            other => panic!("expected PeerDead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_to_dead_peer_errors() {
+        let mut mesh = pair(LivenessConfig::default());
+        let _b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        a.board().mark_dead(1, "gone");
+        assert!(matches!(
+            a.send(1, Message::Barrier { epoch: 0 }),
+            Err(CommError::PeerDead { rank: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn heartbeats_are_emitted_every_n_sends_and_consumed() {
+        let mut mesh = pair(LivenessConfig::heartbeats(2, Duration::from_secs(60)));
+        let b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        for epoch in 0..4u64 {
+            a.send(1, Message::Barrier { epoch }).unwrap();
+        }
+        // b sees only the four application messages, in order; the two
+        // heartbeats (after sends 2 and 4) were consumed silently.
+        for epoch in 0..4u64 {
+            assert_eq!(b.recv().unwrap().1, Message::Barrier { epoch });
+        }
+        assert!(b.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn silent_peer_is_suspected_dead_when_heartbeats_enabled() {
+        let cfg = LivenessConfig {
+            heartbeat_every_ops: 1,
+            suspect_after: Duration::from_millis(30),
+            ..LivenessConfig::default()
+        };
+        let mut mesh = pair(cfg);
+        let _b = mesh.pop().unwrap(); // never sends, never beats
+        let a = mesh.pop().unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        let err = a.recv().unwrap_err();
+        match err {
+            CommError::PeerDead {
+                rank: 1, reason, ..
+            } => {
+                assert!(reason.contains("suspect_after"), "{reason}");
+            }
+            other => panic!("expected PeerDead, got {other:?}"),
+        }
+        // Suspicion is recorded on the shared board.
+        assert!(a.board().is_dead(1));
+    }
+
+    #[test]
+    fn live_peer_is_never_suspected_while_beating() {
+        let cfg = LivenessConfig {
+            heartbeat_every_ops: 1,
+            suspect_after: Duration::from_millis(80),
+            idle_heartbeat: Duration::from_millis(5),
+            ..LivenessConfig::default()
+        };
+        let mesh = monitored_mesh(2, cfg);
+        let out = crate::runtime::run_on(mesh, |comm| {
+            if comm.rank() == 0 {
+                // Blocked waiting the whole time; rank 1's idle
+                // heartbeats must keep it un-suspected.
+                let (from, msg) = comm.transport().recv().unwrap();
+                (from, msg)
+            } else {
+                // Blocked in a monitored receive (nothing will arrive):
+                // the monitor's idle heartbeats keep rank 1 beaconing.
+                let _ = comm
+                    .transport()
+                    .recv_timeout(Duration::from_millis(160))
+                    .unwrap();
+                comm.send(0, Message::Barrier { epoch: 9 }).unwrap();
+                (0, Message::Shutdown)
+            }
+        });
+        assert_eq!(out[0], (1, Message::Barrier { epoch: 9 }));
+    }
+
+    #[test]
+    fn recv_timeout_still_expires_normally() {
+        let mut mesh = pair(LivenessConfig::default());
+        let _b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+        assert!(a.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
+    }
+}

@@ -96,6 +96,14 @@ pub enum Message {
         /// Highest contiguous delivered sequence number.
         ack: u64,
     },
+    /// Liveness beacon ([`crate::liveness::LivenessMonitor`]): "I am
+    /// alive". Emitted every N virtual send-ops, consumed by the
+    /// monitor on the receiving side, never delivered to the protocol
+    /// layers above it.
+    Heartbeat {
+        /// Monotone per-sender heartbeat sequence number.
+        seq: u64,
+    },
 }
 
 const TAG_PULL: u8 = 1;
@@ -108,6 +116,7 @@ const TAG_COLLECTIVE: u8 = 7;
 const TAG_SHUTDOWN: u8 = 8;
 const TAG_RELIABLE: u8 = 9;
 const TAG_ACK: u8 = 10;
+const TAG_HEARTBEAT: u8 = 11;
 
 impl Message {
     /// Encode into a byte buffer (framing is added separately by
@@ -179,6 +188,10 @@ impl Message {
             Message::Ack { ack } => {
                 b.put_u8(TAG_ACK);
                 b.put_u64(*ack);
+            }
+            Message::Heartbeat { seq } => {
+                b.put_u8(TAG_HEARTBEAT);
+                b.put_u64(*seq);
             }
         }
         b.freeze()
@@ -269,6 +282,10 @@ impl Message {
             TAG_ACK => {
                 need(&buf, 8)?;
                 Message::Ack { ack: buf.get_u64() }
+            }
+            TAG_HEARTBEAT => {
+                need(&buf, 8)?;
+                Message::Heartbeat { seq: buf.get_u64() }
             }
             other => return Err(CommError::Decode(format!("unknown message tag {other}"))),
         };
@@ -368,6 +385,7 @@ mod tests {
             data: Bytes::from(vec![8; 9]),
         });
         roundtrip(Message::Ack { ack: 0 });
+        roundtrip(Message::Heartbeat { seq: 1 << 33 });
     }
 
     #[test]

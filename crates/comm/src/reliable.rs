@@ -369,6 +369,10 @@ impl<T: Transport> Transport for ReliableTransport<T> {
         drop(state);
         self.inner.flush()
     }
+
+    fn death_handle(&self) -> crate::liveness::DeathHandle {
+        self.inner.death_handle()
+    }
 }
 
 #[cfg(test)]

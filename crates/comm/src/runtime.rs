@@ -1,12 +1,36 @@
 //! Scoped worker threads, one per simulated GPU.
+//!
+//! A panicking worker must fail the run loudly, never hang it: before a
+//! worker closure runs, the runtime takes the transport's
+//! [`crate::liveness::DeathHandle`]; if the closure panics, the rank is
+//! marked dead on the mesh's health board (with the panic message) so
+//! every peer blocked in a monitored receive gets
+//! [`crate::transport::CommError::PeerDead`] instead of waiting forever.
 
 use crate::comm::Comm;
-use crate::local::{local_mesh, LocalTransport};
+use crate::liveness::{monitored_mesh, LivenessConfig, LivenessMonitor};
+use crate::local::LocalTransport;
 use crate::transport::Transport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Run one closure per endpoint on its own thread and collect results in
-/// rank order. Panics in any worker propagate to the caller.
-pub fn run_on<T, R, F>(endpoints: Vec<T>, f: F) -> Vec<R>
+/// Best-effort rendering of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Run one closure per endpoint on its own thread; each rank's outcome
+/// comes back in rank order, a panicking rank as `Err(panic message)`.
+/// Before the results return, every panicking rank has been marked dead
+/// on its transport's health board (a no-op for unmonitored transports),
+/// so monitored peers fail fast rather than hang. This is the
+/// supervisor-facing entry point: callers decide what a dead rank means.
+pub fn run_on_result<T, R, F>(endpoints: Vec<T>, f: F) -> Vec<Result<R, String>>
 where
     T: Transport + 'static,
     R: Send,
@@ -20,30 +44,65 @@ where
             .map(|(rank, t)| {
                 std::thread::Builder::new()
                     .name(format!("worker-{rank}"))
-                    .spawn_scoped(scope, move || f(Comm::new(t)))
+                    .spawn_scoped(scope, move || {
+                        let death = t.death_handle();
+                        let result = catch_unwind(AssertUnwindSafe(|| f(Comm::new(t))));
+                        if let Err(payload) = &result {
+                            death.mark_dead(&panic_message(payload.as_ref()));
+                        }
+                        result
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| match h.join() {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(payload)) => Err(panic_message(payload.as_ref())),
+                // The thread died outside catch_unwind (can't happen for
+                // the closure itself); still surface it as a message.
+                Err(payload) => Err(panic_message(payload.as_ref())),
+            })
             .collect()
     })
 }
 
-/// Run `world` workers over an in-process channel mesh.
+/// Run one closure per endpoint on its own thread and collect results in
+/// rank order. Panics in any worker propagate to the caller.
+pub fn run_on<T, R, F>(endpoints: Vec<T>, f: F) -> Vec<R>
+where
+    T: Transport + 'static,
+    R: Send,
+    F: Fn(Comm<T>) -> R + Sync,
+{
+    run_on_result(endpoints, f)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| match r {
+            Ok(value) => value,
+            Err(msg) => panic!("worker thread panicked: rank {rank}: {msg}"),
+        })
+        .collect()
+}
+
+/// Run `world` workers over an in-process channel mesh. The mesh is
+/// liveness-monitored with heartbeats off: traffic is identical to a raw
+/// mesh, but a panicking rank surfaces to its peers as
+/// [`crate::transport::CommError::PeerDead`] rather than a hang.
 pub fn run_workers<R, F>(world: usize, f: F) -> Vec<R>
 where
     R: Send,
-    F: Fn(Comm<LocalTransport>) -> R + Sync,
+    F: Fn(Comm<LivenessMonitor<LocalTransport>>) -> R + Sync,
 {
-    run_on(local_mesh(world), f)
+    run_on(monitored_mesh(world, LivenessConfig::default()), f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::message::Message;
+    use crate::transport::CommError;
 
     #[test]
     fn results_come_back_in_rank_order() {
@@ -78,6 +137,40 @@ mod tests {
                 panic!("deliberate");
             }
         });
+    }
+
+    /// Regression: a panicking rank used to leave peers blocked in recv
+    /// forever. Now the blocked peer gets `PeerDead` carrying the panic
+    /// message within its next poll slice.
+    #[test]
+    fn peer_blocked_on_panicked_worker_gets_peer_dead_not_a_hang() {
+        let start = std::time::Instant::now();
+        let out = run_on_result(
+            monitored_mesh(2, LivenessConfig::default()),
+            |comm| -> Result<(), CommError> {
+                if comm.rank() == 1 {
+                    panic!("boom at iteration 5");
+                }
+                // Rank 0 waits for a message rank 1 will never send.
+                match comm.recv_any() {
+                    Ok(_) => panic!("no message was ever sent"),
+                    Err(e) => Err(e),
+                }
+            },
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "peer hung on a dead rank"
+        );
+        match &out[0] {
+            Ok(Err(CommError::PeerDead { rank, reason, .. })) => {
+                assert_eq!(*rank, 1);
+                assert!(reason.contains("boom at iteration 5"), "{reason}");
+            }
+            other => panic!("expected PeerDead at rank 0, got {other:?}"),
+        }
+        let err = out[1].as_ref().unwrap_err();
+        assert!(err.contains("boom at iteration 5"), "{err}");
     }
 
     #[test]

@@ -35,6 +35,19 @@ pub enum CommError {
         /// Wall-clock time spent across all attempts.
         elapsed: Duration,
     },
+    /// A peer was declared dead — its worker thread panicked, or it
+    /// stopped heartbeating — so blocking on it would hang forever.
+    /// Raised by [`crate::liveness::LivenessMonitor`] instead of waiting.
+    PeerDead {
+        /// The dead peer's rank.
+        rank: usize,
+        /// This endpoint's virtual op count (messages sent + received)
+        /// when the peer was last heard from; 0 if never.
+        last_seen: u64,
+        /// Why the peer is considered dead (panic message, missed
+        /// heartbeats, ...).
+        reason: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -54,6 +67,16 @@ impl fmt::Display for CommError {
                 write!(
                     f,
                     "timeout after {attempts} attempts over {elapsed:?}: {context}"
+                )
+            }
+            CommError::PeerDead {
+                rank,
+                last_seen,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "peer rank {rank} is dead (last heard at op {last_seen}): {reason}"
                 )
             }
         }
@@ -169,6 +192,16 @@ pub trait Transport: Send {
     fn flush(&self) -> Result<(), CommError> {
         Ok(())
     }
+
+    /// A handle through which the runtime reports this endpoint's own
+    /// death (worker panic) to the rest of the mesh. Plain transports
+    /// have no shared liveness state and return a no-op handle;
+    /// [`crate::liveness::LivenessMonitor`] returns one wired to its
+    /// mesh-wide health board, and wrapper transports forward to their
+    /// inner transport.
+    fn death_handle(&self) -> crate::liveness::DeathHandle {
+        crate::liveness::DeathHandle::noop()
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +233,20 @@ mod tests {
         assert!(s.contains("block 1"), "{s}");
         assert!(s.contains("rank 2"), "{s}");
         assert!(s.contains("120ms"), "{s}");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn peer_dead_display_names_rank_and_reason() {
+        let e = CommError::PeerDead {
+            rank: 3,
+            last_seen: 17,
+            reason: "worker panicked: boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3"), "{s}");
+        assert!(s.contains("op 17"), "{s}");
+        assert!(s.contains("boom"), "{s}");
         assert!(std::error::Error::source(&e).is_none());
     }
 

@@ -97,6 +97,8 @@ pub(crate) struct DcRuntime<'a, T: Transport> {
     owner_grads: Arc<GradInbox>,
     /// Deadline/retry policy for pulls (from [`WorkerState::pull_retry`]).
     retry: PullRetryPolicy,
+    /// Ceiling on any blocking wait (from [`WorkerState::wait_budget`]).
+    wait_budget: Duration,
     /// Reliability counters shared with the worker.
     counters: Arc<CommCounters>,
 }
@@ -113,6 +115,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
             serving: RefCell::new(state.experts.clone()),
             owner_grads: state.grads_inbox.clone(),
             retry: state.pull_retry,
+            wait_budget: state.wait_budget,
             counters: state.comm.clone(),
         }
     }
@@ -293,10 +296,23 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
     }
 
     fn wait_cached_inner(&self, b: usize, e: usize) -> Result<Arc<ExpertFfn>, CommError> {
+        let start = Instant::now();
         let mut backoff = BACKOFF_MIN;
         loop {
             if let Some(v) = self.shared.cache.wait_for((b, e), backoff) {
                 return Ok(v);
+            }
+            if start.elapsed() > self.wait_budget {
+                let fetcher = self.cfg.designated_local(self.machine, e);
+                return Err(CommError::Timeout {
+                    context: format!(
+                        "cache wait for expert {e} (block {b}) by rank {}: designated \
+                         fetcher rank {fetcher} never inserted it",
+                        self.rank
+                    ),
+                    attempts: 1,
+                    elapsed: start.elapsed(),
+                });
             }
             let handled = self.comm.service_pass(|from, m| self.service(from, m))?;
             backoff = if handled == 0 {
@@ -530,7 +546,10 @@ pub(crate) fn backward_block<T: Transport>(
 /// contributions in the inbox, then fold each in ascending sender order
 /// (bitwise independent of message arrival order) and apply the SGD step.
 /// The wait services aggregation and pull traffic between inbox checks,
-/// sleeping on the inbox's condition variable with bounded backoff.
+/// sleeping on the inbox's condition variable with bounded backoff. The
+/// whole wait is capped by [`WorkerState::wait_budget`]: when it blows,
+/// the error names every `(block, expert)` still short of contributions
+/// and how many arrived, so a dead pusher is identified, not guessed at.
 pub(crate) fn wait_and_apply_updates<T: Transport>(
     rt: &DcRuntime<'_, T>,
     state: &mut WorkerState,
@@ -544,6 +563,7 @@ pub(crate) fn wait_and_apply_updates<T: Transport>(
     let wait_span = obs::span(rank, "reduce", || {
         ("grad_wait".to_string(), "update".to_string())
     });
+    let start = Instant::now();
     let mut backoff = BACKOFF_MIN;
     loop {
         let done = {
@@ -555,6 +575,26 @@ pub(crate) fn wait_and_apply_updates<T: Transport>(
         };
         if done {
             break;
+        }
+        if start.elapsed() > rt.wait_budget {
+            let map = rt.owner_grads.lock();
+            let mut missing = Vec::new();
+            for &b in blocks {
+                for e in cfg.owned_experts_in(b, rank) {
+                    let got = map.get(&(b, e)).map_or(0, &arrived);
+                    if got != world {
+                        missing.push(format!("block {b} expert {e} has {got}/{world}"));
+                    }
+                }
+            }
+            return Err(CommError::Timeout {
+                context: format!(
+                    "gradient wait by owner rank {rank}: contributions never arrived ({})",
+                    missing.join(", ")
+                ),
+                attempts: 1,
+                elapsed: start.elapsed(),
+            });
         }
         let handled = rt.comm.service_pass(|from, m| rt.service(from, m))?;
         if handled == 0 {

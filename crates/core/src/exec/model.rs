@@ -65,12 +65,16 @@ impl GradInbox {
 
     /// Block until a contribution lands or `timeout` elapses — the
     /// event-driven half of the engines' update wait; remote arrivals
-    /// still need the caller's bounded-backoff service loop.
-    pub fn wait_changed(&self, timeout: Duration) {
+    /// still need the caller's bounded-backoff service loop. Returns
+    /// `true` when woken by a push, `false` on timeout, so callers can
+    /// track how long nothing has arrived and fail loudly instead of
+    /// waiting forever.
+    pub fn wait_changed(&self, timeout: Duration) -> bool {
         let mut guard = self.inner.lock();
-        let _ = self
+        !self
             .changed
-            .wait_until(&mut guard, Instant::now() + timeout);
+            .wait_until(&mut guard, Instant::now() + timeout)
+            .timed_out()
     }
 }
 
@@ -425,6 +429,10 @@ pub struct WorkerState {
     pub scratch: Vec<Mutex<ExpertScratch>>,
     /// Deadline/retry policy for data-centric pulls.
     pub pull_retry: PullRetryPolicy,
+    /// Ceiling on any single blocking wait in the engines (cache waits,
+    /// gradient-inbox waits): when it elapses the iteration fails with a
+    /// diagnostic naming what never arrived instead of hanging forever.
+    pub wait_budget: Duration,
     /// Reliability counters for this worker's run (shared with the
     /// iteration runtimes; the `repro` tool prints the snapshot).
     pub comm: Arc<CommCounters>,
@@ -462,6 +470,9 @@ impl WorkerState {
             grads_inbox: Arc::new(GradInbox::new()),
             scratch,
             pull_retry: PullRetryPolicy::default(),
+            // Generous: a healthy mesh resolves any wait in microseconds,
+            // so a blown budget means a peer is gone, not slow.
+            wait_budget: Duration::from_secs(60),
             comm: Arc::new(CommCounters::default()),
         }
     }

@@ -12,6 +12,7 @@
 //! mixed-paradigm engine off a compiled [`IterationPlan`] and is held to
 //! the same bitwise standard against both pure engines.
 
+use crate::ckpt::{Checkpoint, CheckpointPolicy, CkptStore};
 use crate::exec::data_centric::{self, MachineShared};
 use crate::exec::expert_centric;
 use crate::exec::model::{CommSnapshot, ExecConfig, WorkerState};
@@ -136,7 +137,25 @@ pub fn train_unified_with(
     opts: &PlanOpts,
     iters: u64,
 ) -> (IterationPlan, TrainRun) {
+    train_unified_checkpointed(cfg, opts, iters, CheckpointPolicy::Never, &CkptStore::new())
+}
+
+/// [`train_unified_with`] plus periodic checkpointing: after every
+/// iteration the `policy` selects, each rank encodes a [`Checkpoint`]
+/// (iteration counter, plan digest, RNG cursor, expert shard) and
+/// commits it to `store` keyed by `(rank, completed iterations)`.
+/// Checkpointing never perturbs the trajectory — it only reads state at
+/// iteration boundaries — so a checkpointed run stays bitwise identical
+/// to an unpoliced one.
+pub fn train_unified_checkpointed(
+    cfg: &ExecConfig,
+    opts: &PlanOpts,
+    iters: u64,
+    policy: CheckpointPolicy,
+    store: &CkptStore,
+) -> (IterationPlan, TrainRun) {
     let plan = cfg.compile_plan(opts);
+    let digest = plan.digest();
     let shared = MachineShared::for_cluster(cfg);
     let results = run_workers(cfg.world(), |comm| {
         let mut state = WorkerState::init(cfg, comm.rank());
@@ -148,6 +167,10 @@ pub fn train_unified_with(
                 unified::run_iteration(&comm, &mut state, sh, &plan, i).expect("unified iteration");
             losses.push(out.loss);
             output = Some(out.output);
+            if policy.should_save(i + 1) {
+                let bytes = Checkpoint::capture(&state, i + 1, digest).to_bytes();
+                store.put(state.rank, i + 1, bytes);
+            }
         }
         (
             losses,
@@ -195,9 +218,9 @@ pub fn train_unified_on<T: Transport + 'static>(
     collect(results)
 }
 
-type WorkerResult = (Vec<f32>, Matrix, Vec<Vec<ExpertFfn>>, CommSnapshot);
+pub(crate) type WorkerResult = (Vec<f32>, Matrix, Vec<Vec<ExpertFfn>>, CommSnapshot);
 
-fn collect(results: Vec<WorkerResult>) -> TrainRun {
+pub(crate) fn collect(results: Vec<WorkerResult>) -> TrainRun {
     let mut run = TrainRun {
         losses: Vec::new(),
         outputs: Vec::new(),

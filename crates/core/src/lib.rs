@@ -20,7 +20,15 @@
 //! * [`exec`] — numerical engines that run real MoE training over
 //!   [`janus_comm`] transports in both paradigms, demonstrating the
 //!   paper's equivalence claim (§3.2) end to end.
+//! * [`ckpt`] — versioned, checksummed per-rank checkpoints with a
+//!   bitwise `save(load(x)) == x` guarantee, plus the policy and store
+//!   the trainer commits cuts to.
+//! * [`exec::supervisor`] — restartable-worker training: crashed ranks
+//!   are detected (liveness board), the world is restored from the
+//!   latest committed cut, and the recovered run stays bitwise
+//!   identical to the fault-free one.
 
+pub mod ckpt;
 pub mod paradigm;
 pub mod plan;
 pub mod priority;
@@ -48,6 +56,7 @@ pub mod exec {
     pub mod expert_centric;
     pub mod model;
     pub(crate) mod obs;
+    pub mod supervisor;
     pub mod trainer;
     pub mod unified;
     pub mod weights;

@@ -16,6 +16,12 @@ use std::time::{Duration, Instant};
 /// Key of a cached expert: (MoE block index, global expert index).
 pub type ExpertKey = (usize, usize);
 
+/// How long a [`CacheManager::get_or_fetch`] waiter trusts an in-flight
+/// fetcher before concluding it died mid-fetch and promoting itself.
+/// Healthy fetches complete in microseconds; this only fires when the
+/// fetcher's worker is gone.
+pub const FETCH_STALL: Duration = Duration::from_secs(5);
+
 /// Cache effectiveness counters. The hierarchical mechanism's whole
 /// point (§5.1.2) is `hits > 0` whenever multiple local workers need the
 /// same external expert: every hit is one cross-machine pull deduped.
@@ -85,9 +91,24 @@ impl<V> CacheManager<V> {
     /// Get `key`, fetching it with `fetch` if absent. Exactly one caller
     /// runs `fetch` per key per epoch; everyone else blocks and shares
     /// the result. If the fetcher fails, one waiter is promoted to retry.
+    /// Waiters never block unboundedly: a waiter whose in-flight fetcher
+    /// goes silent for [`FETCH_STALL`] (it crashed mid-fetch and will
+    /// never insert or remove the slot) promotes itself to fetcher
+    /// instead of waiting on the condvar forever.
     pub fn get_or_fetch<E>(
         &self,
         key: ExpertKey,
+        fetch: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        self.get_or_fetch_with_stall(key, FETCH_STALL, fetch)
+    }
+
+    /// [`CacheManager::get_or_fetch`] with an explicit stall budget
+    /// (how long a waiter trusts the current fetcher before taking over).
+    pub fn get_or_fetch_with_stall<E>(
+        &self,
+        key: ExpertKey,
+        stall: Duration,
         fetch: impl FnOnce() -> Result<V, E>,
     ) -> Result<Arc<V>, E> {
         {
@@ -100,9 +121,20 @@ impl<V> CacheManager<V> {
                         return Ok(v);
                     }
                     Some(Slot::Fetching) => {
-                        self.ready.wait(&mut inner);
+                        let timed_out = self
+                            .ready
+                            .wait_until(&mut inner, Instant::now() + stall)
+                            .timed_out();
                         // Re-check: the fetch may have succeeded, failed
                         // (slot removed), or the epoch may have moved.
+                        if timed_out && matches!(inner.slots.get(&key), Some(Slot::Fetching)) {
+                            // The fetcher stalled (likely dead). Take the
+                            // fetch over; if the original ever completes,
+                            // its insert simply overwrites ours.
+                            Self::record_miss(&mut inner);
+                            Self::record_fetch(&mut inner);
+                            break;
+                        }
                     }
                     None => {
                         inner.slots.insert(key, Slot::Fetching);
@@ -296,6 +328,31 @@ mod tests {
         let ok = results.iter().filter(|r| r.is_ok()).count();
         assert!(ok >= 3, "{results:?}");
         assert_eq!(*cache.get((0, 0)).unwrap(), 7);
+    }
+
+    /// Regression for the crash-tolerance work: a fetcher that dies
+    /// mid-fetch used to leave every waiter blocked on the condvar
+    /// forever. Now a waiter promotes itself after the stall budget.
+    #[test]
+    fn waiter_promotes_itself_when_the_fetcher_stalls() {
+        let cache: Arc<CacheManager<u32>> = Arc::new(CacheManager::new());
+        // Simulate a crashed fetcher: the slot is Fetching but nobody
+        // will ever complete it.
+        {
+            let mut inner = cache.inner.lock();
+            inner.slots.insert((0, 0), Slot::Fetching);
+        }
+        let start = std::time::Instant::now();
+        let v = cache
+            .get_or_fetch_with_stall((0, 0), std::time::Duration::from_millis(20), || {
+                Ok::<_, ()>(11)
+            })
+            .unwrap();
+        assert_eq!(*v, 11);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "promotion must not wait out the default budget"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Seeded chaos matrix: unified training must survive lossy links.
+//! Seeded chaos matrix: unified training must survive lossy links — and
+//! crashed ranks.
 //!
 //! Each case stacks `ReliableTransport` over `FaultyTransport` over the
 //! in-process mesh and trains with the unified engine while the fault
@@ -8,25 +9,36 @@
 //! result must be **bitwise identical** to the fault-free run — across
 //! fault profiles, chaos seeds, and compute thread counts.
 //!
+//! The crash dimension goes further: `CrashPoint`s kill whole ranks
+//! mid-iteration or mid-send, the supervisor restores the survivors'
+//! world from the latest committed checkpoint cut, and the finished run
+//! must *still* be bitwise identical to the fault-free one.
+//!
 //! Every test runs under a watchdog: a hung collective is reported as a
 //! failure, never as a stuck CI job.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use janus::comm::faulty::{FaultPlan, FaultyTransport, Partition};
+use janus::comm::faulty::{CrashAt, CrashPoint, FaultPlan, FaultyTransport, Partition};
 use janus::comm::local::local_mesh;
 use janus::comm::reliable::{ReliableTransport, RetransmitPolicy};
 use janus::comm::runtime::run_on;
 use janus::comm::transport::CommError;
 use janus::core::exec::data_centric::{self, MachineShared};
 use janus::core::exec::model::{CommSnapshot, ExecConfig, PullRetryPolicy, WorkerState};
+use janus::core::exec::supervisor::{train_supervised, SupervisorOpts};
 use janus::core::exec::trainer::{diff_runs, train_unified, train_unified_on, TrainRun};
+use janus::core::plan::PlanOpts;
 use janus::tensor::pool;
 
 const ITERS: u64 = 3;
+
+/// `pool::set_threads` is process-global, so tests that sweep thread
+/// counts serialize on this lock instead of racing each other.
+static THREAD_SWEEP: Mutex<()> = Mutex::new(());
 
 fn cfg() -> ExecConfig {
     ExecConfig {
@@ -190,6 +202,7 @@ fn total_counters(run: &TrainRun) -> CommSnapshot {
 #[test]
 fn chaos_matrix_is_bitwise_identical_to_fault_free_run() {
     with_watchdog("matrix", Duration::from_secs(240), || {
+        let _sweep = THREAD_SWEEP.lock().unwrap_or_else(|p| p.into_inner());
         let cfg = cfg();
         let mut baseline_across_threads: Option<TrainRun> = None;
         for threads in [1usize, 4] {
@@ -245,6 +258,171 @@ fn chaos_matrix_is_bitwise_identical_to_fault_free_run() {
                 }
             }
             baseline_across_threads = Some(baseline);
+        }
+        pool::set_threads(0); // restore the JANUS_THREADS/env default
+    })
+}
+
+/// The crash matrix: each scenario kills one or more ranks somewhere in
+/// the run, optionally layered with link faults. The tuple's last field
+/// is the minimum number of checkpoint restores the scenario must cause
+/// (0 when the crash lands in the first round, which replays from
+/// initialization rather than a committed cut).
+fn crash_matrix(seed: u64, world: usize) -> Vec<(&'static str, FaultPlan, SupervisorOpts, u64)> {
+    let sup = SupervisorOpts {
+        retransmit: chaos_policy(),
+        ..SupervisorOpts::default()
+    };
+    vec![
+        (
+            // Rank dies entering iteration 1; cut 1 is already committed,
+            // so every rank restores from it and replays one iteration.
+            "crash-iteration",
+            FaultPlan {
+                seed,
+                crashes: vec![CrashPoint {
+                    rank: world - 1,
+                    at: CrashAt::Iteration(1),
+                }],
+                ..FaultPlan::default()
+            },
+            sup,
+            world as u64,
+        ),
+        (
+            // Rank dies mid-collective on a seed-chosen send; peers
+            // blocked on it must surface `PeerDead`, not hang. Send
+            // counters restart with each round's fresh mesh, so a low
+            // index fires in round 0 and replays from initialization.
+            "crash-send-op",
+            FaultPlan {
+                seed,
+                crashes: vec![CrashPoint {
+                    rank: 1,
+                    at: CrashAt::SendOp(5 + seed % 6),
+                }],
+                ..FaultPlan::default()
+            },
+            sup,
+            0,
+        ),
+        (
+            // Coarser cuts: with `ckpt_every = 2` the crash at iteration
+            // 2 lands one full round past the committed cut, forcing a
+            // restore plus a multi-iteration replay.
+            "crash-coarse-cut",
+            FaultPlan {
+                seed,
+                crashes: vec![CrashPoint {
+                    rank: 0,
+                    at: CrashAt::Iteration(2),
+                }],
+                ..FaultPlan::default()
+            },
+            SupervisorOpts {
+                ckpt_every: 2,
+                ..sup
+            },
+            world as u64,
+        ),
+        (
+            // Crash × drop × delay: the lossy link layer and the crash
+            // layer recover independently and the result is still clean.
+            "crash-drop-delay",
+            FaultPlan {
+                seed,
+                drop: 0.03,
+                delay: 0.2,
+                max_delay_ops: 3,
+                crashes: vec![CrashPoint {
+                    rank: 2,
+                    at: CrashAt::Iteration(1),
+                }],
+                ..FaultPlan::default()
+            },
+            sup,
+            world as u64,
+        ),
+        (
+            // Two distinct victims in two distinct rounds: two full
+            // recovery cycles in one run.
+            "double-crash",
+            FaultPlan {
+                seed,
+                crashes: vec![
+                    CrashPoint {
+                        rank: 0,
+                        at: CrashAt::Iteration(1),
+                    },
+                    CrashPoint {
+                        rank: world - 1,
+                        at: CrashAt::Iteration(2),
+                    },
+                ],
+                ..FaultPlan::default()
+            },
+            sup,
+            2 * world as u64,
+        ),
+    ]
+}
+
+/// The headline crash property: a run in which ranks are killed and
+/// recovered from checkpoints is **bitwise identical** to the fault-free
+/// run — across crash scenarios, chaos seeds, and thread counts.
+#[test]
+fn crash_recovery_is_bitwise_identical_to_fault_free_run() {
+    with_watchdog("crash", Duration::from_secs(240), || {
+        let _sweep = THREAD_SWEEP.lock().unwrap_or_else(|p| p.into_inner());
+        let cfg = cfg();
+        let opts = PlanOpts::default();
+        for threads in [1usize, 4] {
+            pool::set_threads(threads);
+            let baseline = train_unified(&cfg, ITERS);
+            for seed in chaos_seeds() {
+                for (name, faults, sup, min_restores) in crash_matrix(seed, cfg.world()) {
+                    let n_crashes = faults.crashes.len() as u64;
+                    let label = format!("{name} seed={seed:#x} threads={threads}");
+                    let (_, run, report) = train_supervised(&cfg, &opts, &sup, ITERS, faults)
+                        .unwrap_or_else(|e| panic!("{label}: supervisor failed: {e}"));
+                    let d = diff_runs(&baseline, &run);
+                    assert_eq!(d.max_output_diff, 0.0, "{label}: {d:?}");
+                    assert_eq!(d.max_weight_diff, 0.0, "{label}: {d:?}");
+                    assert_eq!(d.max_loss_diff, 0.0, "{label}: {d:?}");
+
+                    // Non-vacuity: every scheduled crash fired, every
+                    // failed round was recovered, and the scenarios that
+                    // promise a checkpoint restore delivered one.
+                    assert!(
+                        report.crashes >= n_crashes,
+                        "{label}: {n_crashes} crashes scheduled, {} observed",
+                        report.crashes
+                    );
+                    assert!(
+                        report.recoveries >= n_crashes,
+                        "{label}: {} recoveries for {n_crashes} crashes",
+                        report.recoveries
+                    );
+                    assert!(
+                        report.ckpts_restored >= min_restores,
+                        "{label}: wanted >= {min_restores} restores, got {}: {report:?}",
+                        report.ckpts_restored
+                    );
+                    assert!(
+                        report.ckpts_written >= cfg.world() as u64,
+                        "{label}: no full checkpoint cut was committed: {report:?}"
+                    );
+                    assert!(
+                        report.replayed_iterations >= 1,
+                        "{label}: a recovery must replay work: {report:?}"
+                    );
+                    assert_eq!(
+                        report.recover_us.len() as u64,
+                        report.recoveries,
+                        "{label}: every recovery must be timed: {report:?}"
+                    );
+                }
+            }
         }
         pool::set_threads(0); // restore the JANUS_THREADS/env default
     })

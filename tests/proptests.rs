@@ -1,6 +1,7 @@
 //! Cross-crate property tests on scheduler and engine invariants.
 
-use janus::core::exec::model::ExecConfig;
+use janus::core::ckpt::{Checkpoint, CkptError};
+use janus::core::exec::model::{ExecConfig, WorkerState};
 use janus::core::exec::trainer::{
     diff_runs, train_data_centric, train_expert_centric, train_unified,
 };
@@ -205,6 +206,79 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Checkpoints round-trip bitwise: serialize → parse → serialize is
+    /// the identity on bytes, and restore → capture is the identity on
+    /// state, for arbitrary cluster shapes, seeds, and iteration counts.
+    #[test]
+    fn checkpoint_roundtrip_is_bitwise(
+        machines in 1usize..3,
+        gpus in 1usize..3,
+        e_per in 1usize..3,
+        seed in any::<u64>(),
+        iter in 0u64..1_000_000,
+        digest in any::<u64>(),
+    ) {
+        let world = machines * gpus;
+        let cfg = ExecConfig {
+            machines,
+            gpus_per_machine: gpus,
+            hidden_dim: 4,
+            blocks: 2,
+            experts: world * e_per,
+            experts_per_block: vec![],
+            top_k: 1,
+            tokens: 4,
+            seed,
+            lr: 0.01,
+        };
+        for rank in 0..world {
+            let state = WorkerState::init(&cfg, rank);
+            let ckpt = Checkpoint::capture(&state, iter, digest);
+            let bytes = ckpt.to_bytes();
+            let back = Checkpoint::from_bytes(bytes.as_ref()).expect("parse own bytes");
+            prop_assert_eq!(
+                bytes.as_ref(),
+                back.to_bytes().as_ref(),
+                "serialize-parse-serialize changed bytes for rank {}",
+                rank
+            );
+            let mut target = WorkerState::init(&cfg, rank);
+            back.restore(&mut target).expect("restore onto same shape");
+            let again = Checkpoint::capture(&target, iter, digest);
+            prop_assert_eq!(
+                bytes.as_ref(),
+                again.to_bytes().as_ref(),
+                "restore-capture changed bytes for rank {}",
+                rank
+            );
+        }
+    }
+
+    /// Flipping any single bit anywhere in a checkpoint blob — header,
+    /// payload, or trailer — is caught by the whole-blob checksum before
+    /// a single field is interpreted.
+    #[test]
+    fn corrupted_checkpoints_are_rejected(
+        seed in any::<u64>(),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let cfg = ExecConfig { seed, ..ExecConfig::small() };
+        let state = WorkerState::init(&cfg, 0);
+        let bytes = Checkpoint::capture(&state, 3, 0xD16E57).to_bytes();
+        let mut corrupt = bytes.as_ref().to_vec();
+        let pos = (pos_seed % corrupt.len() as u64) as usize;
+        corrupt[pos] ^= 1 << bit;
+        let err = Checkpoint::from_bytes(&corrupt)
+            .expect_err("a flipped bit must never load");
+        prop_assert!(
+            matches!(err, CkptError::Checksum { .. }),
+            "flip at byte {} bit {}: want checksum rejection, got {}",
+            pos, bit, err
+        );
+        prop_assert!(err.to_string().contains("checksum"), "{}", err);
     }
 
     /// Cluster routing is always loop-free, uses each link at most once,
