@@ -1,0 +1,75 @@
+//! Transport round-trip micro-benchmarks: one message sent and received
+//! per iteration on each transport substrate, at control-plane (1 KiB)
+//! and data-plane (64 KiB, 1 MiB) payload sizes.
+//!
+//! These complement `repro bench`'s pipelined throughput lanes: criterion
+//! measures the unpipelined per-message cost, which is what a pull
+//! request/response pair on the critical path actually pays.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use janus_comm::local::local_mesh;
+use janus_comm::tcp::tcp_mesh_localhost;
+use janus_comm::{Message, ReliableTransport, Transport};
+use std::hint::black_box;
+
+const SIZES: [(usize, &str); 3] = [(1024, "1KiB"), (64 * 1024, "64KiB"), (1024 * 1024, "1MiB")];
+
+fn roundtrip<T: Transport>(a: &T, b: &T, msg: &Message) {
+    a.send(b.rank(), msg.clone()).expect("bench send");
+    black_box(b.recv().expect("bench recv"));
+    // Drain any reliability ack so in-flight state retires.
+    let _ = a.try_recv();
+}
+
+fn bench_local(c: &mut Criterion) {
+    let mut mesh = local_mesh(2);
+    let b2 = mesh.pop().unwrap();
+    let a = mesh.pop().unwrap();
+    for (bytes, label) in SIZES {
+        let msg = Message::Collective {
+            seq: 1,
+            data: Bytes::from(vec![7u8; bytes]),
+        };
+        c.bench_function(&format!("local_roundtrip_{label}"), |bch| {
+            bch.iter(|| roundtrip(&a, &b2, &msg))
+        });
+    }
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let mut mesh = tcp_mesh_localhost(2).expect("tcp mesh");
+    let b2 = mesh.pop().unwrap();
+    let a = mesh.pop().unwrap();
+    for (bytes, label) in SIZES {
+        let msg = Message::Collective {
+            seq: 1,
+            data: Bytes::from(vec![7u8; bytes]),
+        };
+        c.bench_function(&format!("tcp_roundtrip_{label}"), |bch| {
+            bch.iter(|| roundtrip(&a, &b2, &msg))
+        });
+    }
+}
+
+fn bench_reliable(c: &mut Criterion) {
+    let mut mesh = tcp_mesh_localhost(2).expect("tcp mesh");
+    let b2 = ReliableTransport::new(mesh.pop().unwrap());
+    let a = ReliableTransport::new(mesh.pop().unwrap());
+    for (bytes, label) in SIZES {
+        let msg = Message::Collective {
+            seq: 1,
+            data: Bytes::from(vec![7u8; bytes]),
+        };
+        c.bench_function(&format!("reliable_tcp_roundtrip_{label}"), |bch| {
+            bch.iter(|| roundtrip(&a, &b2, &msg))
+        });
+    }
+}
+
+criterion_group! {
+    name = transport;
+    config = Criterion::default().sample_size(10);
+    targets = bench_local, bench_tcp, bench_reliable
+}
+criterion_main!(transport);

@@ -1,18 +1,27 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [plan|table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|faults|crash|trace|all]...
+//! repro [plan|table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|transport|bench|faults|crash|trace|all]...
 //! ```
 //!
 //! With no arguments, runs everything. Add `--json` to also dump the raw
 //! rows as JSON (for EXPERIMENTS.md bookkeeping).
+//!
+//! `repro bench` runs the perf suite (compute + transport) and rewrites
+//! the `BENCH_compute.json` / `BENCH_transport.json` baselines. With
+//! `--check` it instead compares the fresh run against the committed
+//! baselines and exits non-zero on a >10% regression in any gated
+//! ratio; set `UPDATE_BENCH=1` to force a baseline refresh even with
+//! `--check` (the CI perf shard runs `--check`, so refreshing baselines
+//! is always an explicit, reviewed act).
 
 use janus_bench::experiments::*;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
+    let check = args.iter().any(|a| a == "--check");
+    args.retain(|a| a != "--json" && a != "--check");
     if args.is_empty() || args.iter().any(|a| a == "all") {
         args = [
             "plan",
@@ -102,6 +111,63 @@ fn main() {
                     .expect("write BENCH_compute.json");
                 println!("wrote {path}");
                 dump(json, "compute", &report);
+            }
+            "transport" => {
+                let report = transport::run();
+                transport::print(&report);
+                let path = transport::write_json(&report, "BENCH_transport.json")
+                    .expect("write BENCH_transport.json");
+                println!("wrote {path}");
+                dump(json, "transport", &report);
+            }
+            "bench" => {
+                let creport = compute::run();
+                compute::print(&creport);
+                let treport = transport::run();
+                transport::print(&treport);
+                dump(json, "compute", &creport);
+                dump(json, "transport", &treport);
+                let update = std::env::var("UPDATE_BENCH").is_ok_and(|v| v == "1");
+                if check && !update {
+                    let run_gates = |c: &compute::Report, t: &transport::Report| {
+                        let mut gates = Vec::new();
+                        match std::fs::read_to_string("BENCH_compute.json") {
+                            Ok(base) => gates.extend(benchgate::check_compute(&base, c)),
+                            Err(e) => eprintln!("no compute baseline ({e}); skipping its gates"),
+                        }
+                        match std::fs::read_to_string("BENCH_transport.json") {
+                            Ok(base) => gates.extend(benchgate::check_transport(&base, t)),
+                            Err(e) => eprintln!("no transport baseline ({e}); skipping its gates"),
+                        }
+                        gates
+                    };
+                    let mut gates = run_gates(&creport, &treport);
+                    if !gates.iter().all(|g| g.ok) {
+                        // One retry before failing: re-measure and keep
+                        // each metric's best attempt, so a single noisy
+                        // timing window on a shared box cannot fail CI.
+                        eprintln!("a gate regressed; re-measuring once to rule out machine noise");
+                        let creport2 = compute::run();
+                        let treport2 = transport::run();
+                        gates = benchgate::merge_best(gates, run_gates(&creport2, &treport2));
+                    }
+                    if !benchgate::print(&gates) {
+                        eprintln!(
+                            "perf gate failed: a gated ratio regressed more than {:.0}% \
+                             below its committed baseline (UPDATE_BENCH=1 refreshes baselines \
+                             after an intentional change)",
+                            benchgate::TOLERANCE * 100.0
+                        );
+                        std::process::exit(1);
+                    }
+                } else {
+                    let path = compute::write_json(&creport, "BENCH_compute.json")
+                        .expect("write BENCH_compute.json");
+                    println!("wrote {path}");
+                    let path = transport::write_json(&treport, "BENCH_transport.json")
+                        .expect("write BENCH_transport.json");
+                    println!("wrote {path}");
+                }
             }
             "faults" => {
                 let report = faults::run();

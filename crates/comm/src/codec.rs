@@ -4,14 +4,22 @@
 //! of [`crate::message::Message`] encoding. A configurable ceiling guards
 //! against corrupt headers allocating unbounded memory.
 
-use crate::message::Message;
+use crate::message::{EncodedHeader, Message};
 use crate::transport::CommError;
 use bytes::Bytes;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 
 /// Default maximum frame size: large enough for any expert in the paper's
 /// models (a 768-dim fp16 expert is ~9.4 MB) with generous headroom.
 pub const DEFAULT_MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Frames at or below this size are decoded out of the caller's reusable
+/// scratch buffer in [`read_message_buffered`] (one payload copy, zero
+/// steady-state allocations — the control-plane regime); larger frames
+/// get a fresh exact-size allocation handed to [`Bytes`] without a copy
+/// (the bulk-payload regime, where the copy would cost more than the
+/// allocation it saves).
+pub const REUSE_DECODE_MAX: usize = 64 * 1024;
 
 /// Write one frame.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), CommError> {
@@ -41,19 +49,81 @@ pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Vec<u8>
         });
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(|e| {
-        if e.kind() == ErrorKind::UnexpectedEof {
-            CommError::Disconnected
-        } else {
-            CommError::Io(e)
-        }
-    })?;
+    fill(r, &mut payload)?;
     Ok(Some(payload))
 }
 
-/// Write a [`Message`] as one frame.
+/// Read one frame into a caller-owned buffer (resized to the frame
+/// length, capacity retained across calls — the steady state of a recv
+/// loop allocates nothing). Returns `Ok(false)` on clean EOF at a frame
+/// boundary; EOF mid-frame is an error.
+pub fn read_frame_into<R: Read>(
+    r: &mut R,
+    max_frame: usize,
+    buf: &mut Vec<u8>,
+) -> Result<bool, CommError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Ok(false),
+        ReadOutcome::Filled => {}
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_frame {
+        return Err(CommError::FrameTooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    buf.resize(len, 0);
+    fill(r, buf)?;
+    Ok(true)
+}
+
+/// Write a [`Message`] as one frame: the 4-byte length prefix and the
+/// message header are assembled on the stack and handed to the stream
+/// together with the borrowed payload as **one vectored write** — no
+/// intermediate encode buffer, and (on an unbuffered socket) one
+/// syscall per frame instead of one per part.
 pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<(), CommError> {
-    write_frame(w, &msg.encode())
+    let (header, payload) = msg.encode_parts();
+    let header = header.as_slice();
+    let payload = payload.map_or(&[][..], |d| &d[..]);
+    let total = header.len() + payload.len();
+    let frame_len = u32::try_from(total).map_err(|_| CommError::FrameTooLarge {
+        len: total,
+        max: u32::MAX as usize,
+    })?;
+    let mut head = [0u8; 4 + EncodedHeader::MAX];
+    head[..4].copy_from_slice(&frame_len.to_be_bytes());
+    head[4..4 + header.len()].copy_from_slice(header);
+    let head = &head[..4 + header.len()];
+    if payload.is_empty() {
+        w.write_all(head)?;
+    } else {
+        write_all_vectored(w, head, payload)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write `head ‖ body` via `write_vectored`, retrying on short writes.
+fn write_all_vectored<W: Write>(w: &mut W, head: &[u8], body: &[u8]) -> Result<(), CommError> {
+    let mut slices = [IoSlice::new(head), IoSlice::new(body)];
+    let mut bufs = &mut slices[..];
+    while !bufs.is_empty() {
+        match w.write_vectored(bufs) {
+            Ok(0) => {
+                return Err(CommError::Io(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                )))
+            }
+            Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(CommError::Io(e)),
+        }
+    }
+    Ok(())
 }
 
 /// Read one [`Message`]; `Ok(None)` on clean EOF.
@@ -62,6 +132,49 @@ pub fn read_message<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Messa
         None => Ok(None),
         Some(payload) => Message::decode(Bytes::from(payload)).map(Some),
     }
+}
+
+/// Read one [`Message`] using `scratch` as the receive buffer for small
+/// frames (≤ [`REUSE_DECODE_MAX`]: zero allocations steady-state, one
+/// payload copy) and a fresh zero-copy allocation for large ones.
+/// `Ok(None)` on clean EOF.
+pub fn read_message_buffered<R: Read>(
+    r: &mut R,
+    max_frame: usize,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<Message>, CommError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_frame {
+        return Err(CommError::FrameTooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    if len <= REUSE_DECODE_MAX {
+        scratch.resize(len, 0);
+        fill(r, scratch)?;
+        Message::decode(Bytes::copy_from_slice(scratch)).map(Some)
+    } else {
+        let mut payload = vec![0u8; len];
+        fill(r, &mut payload)?;
+        Message::decode(Bytes::from(payload)).map(Some)
+    }
+}
+
+/// `read_exact` with EOF normalized to [`CommError::Disconnected`].
+fn fill<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), CommError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            CommError::Disconnected
+        } else {
+            CommError::Io(e)
+        }
+    })
 }
 
 enum ReadOutcome {
@@ -136,6 +249,107 @@ mod tests {
                 .unwrap(),
             msg
         );
+    }
+
+    #[test]
+    fn frame_into_reuses_one_buffer_across_frames() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"first-frame").unwrap();
+        write_frame(&mut stream, b"two").unwrap();
+        write_frame(&mut stream, &[5u8; 4096]).unwrap();
+        let mut cursor = Cursor::new(stream);
+        let mut buf = Vec::new();
+        assert!(read_frame_into(&mut cursor, DEFAULT_MAX_FRAME, &mut buf).unwrap());
+        assert_eq!(buf, b"first-frame");
+        let cap = buf.capacity();
+        assert!(read_frame_into(&mut cursor, DEFAULT_MAX_FRAME, &mut buf).unwrap());
+        assert_eq!(buf, b"two");
+        assert_eq!(buf.capacity(), cap, "shrinking must not release capacity");
+        assert!(read_frame_into(&mut cursor, DEFAULT_MAX_FRAME, &mut buf).unwrap());
+        assert_eq!(buf, vec![5u8; 4096]);
+        assert!(!read_frame_into(&mut cursor, DEFAULT_MAX_FRAME, &mut buf).unwrap());
+    }
+
+    #[test]
+    fn frame_into_rejects_oversize_and_truncation() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[0u8; 100]).unwrap();
+        let mut buf = Vec::new();
+        let err = read_frame_into(&mut Cursor::new(stream.clone()), 10, &mut buf).unwrap_err();
+        assert!(matches!(
+            err,
+            CommError::FrameTooLarge { len: 100, max: 10 }
+        ));
+        stream.truncate(40);
+        let err =
+            read_frame_into(&mut Cursor::new(stream), DEFAULT_MAX_FRAME, &mut buf).unwrap_err();
+        assert!(matches!(err, CommError::Disconnected));
+    }
+
+    #[test]
+    fn buffered_read_crosses_the_reuse_threshold() {
+        // One frame under the reuse threshold, one over it: both decode
+        // identically through the hybrid path.
+        let small = Message::ExpertPayload {
+            block: 1,
+            expert: 2,
+            nonce: 3,
+            data: Bytes::from(vec![7u8; 100]),
+        };
+        let large = Message::Collective {
+            seq: 9,
+            data: Bytes::from(vec![8u8; REUSE_DECODE_MAX + 1]),
+        };
+        let mut stream = Vec::new();
+        write_message(&mut stream, &small).unwrap();
+        write_message(&mut stream, &large).unwrap();
+        let mut cursor = Cursor::new(stream);
+        let mut scratch = Vec::new();
+        assert_eq!(
+            read_message_buffered(&mut cursor, DEFAULT_MAX_FRAME, &mut scratch)
+                .unwrap()
+                .unwrap(),
+            small
+        );
+        assert_eq!(
+            read_message_buffered(&mut cursor, DEFAULT_MAX_FRAME, &mut scratch)
+                .unwrap()
+                .unwrap(),
+            large
+        );
+        assert!(
+            read_message_buffered(&mut cursor, DEFAULT_MAX_FRAME, &mut scratch)
+                .unwrap()
+                .is_none()
+        );
+        // The scratch buffer never grew past the small frame: the large
+        // one bypassed it.
+        assert!(scratch.capacity() <= REUSE_DECODE_MAX);
+    }
+
+    #[test]
+    fn vectored_write_is_byte_identical_to_buffered_encode() {
+        let msgs = [
+            Message::Shutdown,
+            Message::Ack { ack: 3 },
+            Message::TokenDispatch {
+                block: 2,
+                seq: 5,
+                data: Bytes::from(vec![1, 2, 3, 4]),
+            },
+            Message::TokenReturn {
+                block: 2,
+                seq: 5,
+                data: Bytes::new(),
+            },
+        ];
+        for m in &msgs {
+            let mut fast = Vec::new();
+            write_message(&mut fast, m).unwrap();
+            let mut reference = Vec::new();
+            write_frame(&mut reference, &m.encode()).unwrap();
+            assert_eq!(fast, reference, "variant {m:?}");
+        }
     }
 
     #[test]

@@ -118,21 +118,70 @@ const TAG_RELIABLE: u8 = 9;
 const TAG_ACK: u8 = 10;
 const TAG_HEARTBEAT: u8 = 11;
 
+/// The fixed-size prefix of an encoded [`Message`], built on the stack:
+/// tag, scalar fields, and — when the variant carries a bulk payload —
+/// the payload length. Concatenating it with the payload bytes yields
+/// exactly [`Message::encode`]'s output, so the send path can hand the
+/// header and the payload to a vectored write without ever copying the
+/// payload into an intermediate buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodedHeader {
+    buf: [u8; Self::MAX],
+    len: usize,
+}
+
+impl EncodedHeader {
+    /// Largest possible header: tag + three `u32` fields + payload length.
+    pub const MAX: usize = 17;
+
+    fn new() -> Self {
+        EncodedHeader {
+            buf: [0; Self::MAX],
+            len: 0,
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        self.buf[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+    }
+
+    /// The encoded header bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
 impl Message {
     /// Encode into a byte buffer (framing is added separately by
-    /// [`crate::codec`]).
+    /// [`crate::codec`]). Built from [`Message::encode_parts`], so the
+    /// two encodings cannot diverge.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(16 + self.payload_len());
+        let (header, payload) = self.encode_parts();
+        let mut b = BytesMut::with_capacity(header.as_slice().len() + self.payload_len());
+        b.put_slice(header.as_slice());
+        if let Some(data) = payload {
+            b.put_slice(data);
+        }
+        b.freeze()
+    }
+
+    /// Zero-copy encoding: the fixed-size header on the stack plus a
+    /// borrow of the bulk payload, if the variant has one. The payload
+    /// is never copied; the wire bytes are `header ‖ payload`.
+    pub fn encode_parts(&self) -> (EncodedHeader, Option<&Bytes>) {
+        let mut h = EncodedHeader::new();
+        let mut payload = None;
         match self {
             Message::PullRequest {
                 block,
                 expert,
                 nonce,
             } => {
-                b.put_u8(TAG_PULL);
-                b.put_u32(*block);
-                b.put_u32(*expert);
-                b.put_u32(*nonce);
+                h.put(&[TAG_PULL]);
+                h.put(&block.to_be_bytes());
+                h.put(&expert.to_be_bytes());
+                h.put(&nonce.to_be_bytes());
             }
             Message::ExpertPayload {
                 block,
@@ -140,11 +189,12 @@ impl Message {
                 nonce,
                 data,
             } => {
-                b.put_u8(TAG_EXPERT);
-                b.put_u32(*block);
-                b.put_u32(*expert);
-                b.put_u32(*nonce);
-                put_bytes(&mut b, data);
+                h.put(&[TAG_EXPERT]);
+                h.put(&block.to_be_bytes());
+                h.put(&expert.to_be_bytes());
+                h.put(&nonce.to_be_bytes());
+                h.put(&(data.len() as u32).to_be_bytes());
+                payload = Some(data);
             }
             Message::GradPush {
                 block,
@@ -152,49 +202,54 @@ impl Message {
                 contributions,
                 data,
             } => {
-                b.put_u8(TAG_GRAD);
-                b.put_u32(*block);
-                b.put_u32(*expert);
-                b.put_u32(*contributions);
-                put_bytes(&mut b, data);
+                h.put(&[TAG_GRAD]);
+                h.put(&block.to_be_bytes());
+                h.put(&expert.to_be_bytes());
+                h.put(&contributions.to_be_bytes());
+                h.put(&(data.len() as u32).to_be_bytes());
+                payload = Some(data);
             }
             Message::TokenDispatch { block, seq, data } => {
-                b.put_u8(TAG_DISPATCH);
-                b.put_u32(*block);
-                b.put_u32(*seq);
-                put_bytes(&mut b, data);
+                h.put(&[TAG_DISPATCH]);
+                h.put(&block.to_be_bytes());
+                h.put(&seq.to_be_bytes());
+                h.put(&(data.len() as u32).to_be_bytes());
+                payload = Some(data);
             }
             Message::TokenReturn { block, seq, data } => {
-                b.put_u8(TAG_RETURN);
-                b.put_u32(*block);
-                b.put_u32(*seq);
-                put_bytes(&mut b, data);
+                h.put(&[TAG_RETURN]);
+                h.put(&block.to_be_bytes());
+                h.put(&seq.to_be_bytes());
+                h.put(&(data.len() as u32).to_be_bytes());
+                payload = Some(data);
             }
             Message::Barrier { epoch } => {
-                b.put_u8(TAG_BARRIER);
-                b.put_u64(*epoch);
+                h.put(&[TAG_BARRIER]);
+                h.put(&epoch.to_be_bytes());
             }
             Message::Collective { seq, data } => {
-                b.put_u8(TAG_COLLECTIVE);
-                b.put_u64(*seq);
-                put_bytes(&mut b, data);
+                h.put(&[TAG_COLLECTIVE]);
+                h.put(&seq.to_be_bytes());
+                h.put(&(data.len() as u32).to_be_bytes());
+                payload = Some(data);
             }
-            Message::Shutdown => b.put_u8(TAG_SHUTDOWN),
+            Message::Shutdown => h.put(&[TAG_SHUTDOWN]),
             Message::Reliable { seq, data } => {
-                b.put_u8(TAG_RELIABLE);
-                b.put_u64(*seq);
-                put_bytes(&mut b, data);
+                h.put(&[TAG_RELIABLE]);
+                h.put(&seq.to_be_bytes());
+                h.put(&(data.len() as u32).to_be_bytes());
+                payload = Some(data);
             }
             Message::Ack { ack } => {
-                b.put_u8(TAG_ACK);
-                b.put_u64(*ack);
+                h.put(&[TAG_ACK]);
+                h.put(&ack.to_be_bytes());
             }
             Message::Heartbeat { seq } => {
-                b.put_u8(TAG_HEARTBEAT);
-                b.put_u64(*seq);
+                h.put(&[TAG_HEARTBEAT]);
+                h.put(&seq.to_be_bytes());
             }
         }
-        b.freeze()
+        (h, payload)
     }
 
     /// Decode a buffer produced by [`Message::encode`].
@@ -312,11 +367,6 @@ impl Message {
     }
 }
 
-fn put_bytes(b: &mut BytesMut, data: &Bytes) {
-    b.put_u32(data.len() as u32);
-    b.put_slice(data);
-}
-
 fn need(buf: &Bytes, n: usize) -> Result<(), CommError> {
     if buf.remaining() < n {
         Err(CommError::Decode(format!(
@@ -406,6 +456,83 @@ mod tests {
                 assert_eq!(Message::decode(data).unwrap(), inner);
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Pin the wire layout: `encode` is now derived from
+    /// `encode_parts`, so this golden test is what keeps the format
+    /// compatible with frames written by older builds.
+    #[test]
+    fn wire_layout_is_stable() {
+        let m = Message::ExpertPayload {
+            block: 1,
+            expert: 2,
+            nonce: 3,
+            data: Bytes::from(vec![0xAA, 0xBB]),
+        };
+        assert_eq!(
+            m.encode().to_vec(),
+            vec![2, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 2, 0xAA, 0xBB]
+        );
+        let b = Message::Barrier { epoch: 0x0102 };
+        assert_eq!(b.encode().to_vec(), vec![6, 0, 0, 0, 0, 0, 0, 1, 2]);
+        assert_eq!(Message::Shutdown.encode().to_vec(), vec![8]);
+    }
+
+    /// `encode_parts` concatenated must equal `encode` for every
+    /// variant, with the header under the documented size cap.
+    #[test]
+    fn encode_parts_matches_encode() {
+        let variants = [
+            Message::PullRequest {
+                block: 9,
+                expert: 8,
+                nonce: 7,
+            },
+            Message::ExpertPayload {
+                block: 1,
+                expert: 2,
+                nonce: 3,
+                data: Bytes::from(vec![5; 33]),
+            },
+            Message::GradPush {
+                block: 4,
+                expert: 5,
+                contributions: 6,
+                data: Bytes::from(vec![1, 2]),
+            },
+            Message::TokenDispatch {
+                block: 0,
+                seq: 1,
+                data: Bytes::new(),
+            },
+            Message::TokenReturn {
+                block: 0,
+                seq: 2,
+                data: Bytes::from(vec![9]),
+            },
+            Message::Barrier { epoch: u64::MAX },
+            Message::Collective {
+                seq: 3,
+                data: Bytes::from(vec![0; 100]),
+            },
+            Message::Shutdown,
+            Message::Reliable {
+                seq: 1 << 50,
+                data: Bytes::from(vec![3; 8]),
+            },
+            Message::Ack { ack: 12 },
+            Message::Heartbeat { seq: 1 },
+        ];
+        for m in &variants {
+            let (header, payload) = m.encode_parts();
+            assert!(header.as_slice().len() <= EncodedHeader::MAX);
+            let mut joined = header.as_slice().to_vec();
+            if let Some(d) = payload {
+                joined.extend_from_slice(d);
+            }
+            assert_eq!(joined, m.encode().to_vec(), "variant {m:?}");
+            assert_eq!(Message::decode(Bytes::from(joined)).unwrap(), *m);
         }
     }
 

@@ -10,7 +10,7 @@
 //! BytePS (§6), collapsed onto one socket per pair: requests and payloads
 //! are distinct message types rather than distinct fabrics.
 
-use crate::codec::{read_message, write_message, DEFAULT_MAX_FRAME};
+use crate::codec::{read_message_buffered, write_message, DEFAULT_MAX_FRAME};
 use crate::message::Message;
 use crate::transport::{CommError, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -113,20 +113,30 @@ impl TcpTransport {
     }
 }
 
-fn spawn_reader(peer: usize, mut stream: TcpStream, tx: Sender<(usize, Message)>) {
+fn spawn_reader(peer: usize, stream: TcpStream, tx: Sender<(usize, Message)>) {
     thread::Builder::new()
         .name(format!("tcp-reader-{peer}"))
-        .spawn(move || loop {
-            match read_message(&mut stream, DEFAULT_MAX_FRAME) {
-                Ok(Some(msg)) => {
-                    if tx.send((peer, msg)).is_err() {
-                        return; // endpoint dropped
+        .spawn(move || {
+            // Buffered reads amortize kernel round-trips across small
+            // frames (a bulk payload larger than the buffer bypasses it
+            // and reads straight into its own allocation), and one scratch
+            // buffer per peer is reused for every frame under the codec's
+            // size threshold: the control-plane fast path does one read
+            // syscall per buffer-full and allocates nothing per message.
+            let mut stream = std::io::BufReader::with_capacity(64 * 1024, stream);
+            let mut scratch = Vec::new();
+            loop {
+                match read_message_buffered(&mut stream, DEFAULT_MAX_FRAME, &mut scratch) {
+                    Ok(Some(msg)) => {
+                        if tx.send((peer, msg)).is_err() {
+                            return; // endpoint dropped
+                        }
                     }
+                    // Clean EOF or any error: stop reading. Dropping this
+                    // tx clone eventually disconnects the inbox when all
+                    // readers are gone and the endpoint itself is dropped.
+                    Ok(None) | Err(_) => return,
                 }
-                // Clean EOF or any error: stop reading. Dropping this tx
-                // clone eventually disconnects the inbox when all readers
-                // are gone and the endpoint itself is dropped.
-                Ok(None) | Err(_) => return,
             }
         })
         .expect("spawn tcp reader thread");

@@ -5,9 +5,10 @@
 //! experts with the (renormalized) softmax mass as combine weights. This
 //! is the Switch/GShard-style gate the paper's models use.
 
-use janus_tensor::{softmax_rows, Matrix};
+use janus_tensor::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// Routing decision for a batch of tokens.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,8 +78,7 @@ impl TopKGate {
     /// signal real MoE training uses to keep the expert load (and hence
     /// the paper's All-to-All imbalance) in check.
     pub fn route_with_aux(&self, x: &Matrix) -> (Routing, f32) {
-        let probs = softmax_rows(&x.matmul(&self.weight));
-        let routing = self.route_from_probs(&probs);
+        let (routing, p_sums) = self.route_fused(x);
         let num_experts = self.weight.cols();
         let tokens = x.rows().max(1);
         let hist = routing.histogram();
@@ -86,7 +86,7 @@ impl TopKGate {
         let mut aux = 0.0f32;
         for e in 0..num_experts {
             let f_e = hist[e] as f32 / total_slots.max(1) as f32;
-            let p_e: f32 = (0..probs.rows()).map(|t| probs[(t, e)]).sum::<f32>() / tokens as f32;
+            let p_e = p_sums[e] / tokens as f32;
             aux += f_e * p_e;
         }
         (routing, aux * num_experts as f32)
@@ -94,37 +94,81 @@ impl TopKGate {
 
     /// Route a batch of token embeddings (`tokens × H`).
     pub fn route(&self, x: &Matrix) -> Routing {
-        let probs = softmax_rows(&x.matmul(&self.weight));
-        self.route_from_probs(&probs)
+        self.route_fused(x).0
     }
 
-    fn route_from_probs(&self, probs: &Matrix) -> Routing {
-        assert_eq!(
-            probs.cols(),
-            self.weight.cols(),
-            "probability width mismatch"
-        );
+    /// The fused gate core: softmax each logit row **in place** (no
+    /// second `tokens × E` allocation) and partial-select the top `k`
+    /// without materializing and sorting all `E` indices per token.
+    /// Also returns the per-expert probability column sums (accumulated
+    /// in ascending token order, exactly as the unfused aux loop did)
+    /// so [`route_with_aux`](Self::route_with_aux) gets its `P_e` for
+    /// free from the same sweep.
+    ///
+    /// Bitwise contract: the in-place softmax replicates
+    /// `janus_tensor::softmax_rows` op for op (max scan, `exp` and
+    /// accumulate, divide), and the selection compares those exact
+    /// probability values under the same total order as the full sort —
+    /// `exp`/divide rounding can collapse logits that were distinct, so
+    /// selecting on logits would *not* be equivalent.
+    fn route_fused(&self, x: &Matrix) -> (Routing, Vec<f32>) {
         let num_experts = self.weight.cols();
+        let mut probs = x.matmul(&self.weight);
+        let mut p_sums = vec![0.0f32; num_experts];
         let mut experts = Vec::with_capacity(probs.rows());
         let mut weights = Vec::with_capacity(probs.rows());
+        let mut sel: Vec<usize> = Vec::with_capacity(self.top_k);
         for t in 0..probs.rows() {
-            let row = probs.row(t);
-            let mut idx: Vec<usize> = (0..num_experts).collect();
-            // Sort by probability descending; ties broken by index so the
-            // routing is deterministic across paradigms and machines.
-            idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
-            idx.truncate(self.top_k);
-            let mass: f32 = idx.iter().map(|&e| row[e]).sum();
-            let w: Vec<f32> = idx.iter().map(|&e| row[e] / mass).collect();
-            experts.push(idx);
+            let row = probs.row_mut(t);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+            // `sel` stays sorted under `rank` (probability descending,
+            // ties broken by index so the routing is deterministic
+            // across paradigms and machines), so the result is exactly
+            // `sort_by(rank)` + truncate at O(E·k) instead of
+            // O(E log E).
+            sel.clear();
+            for e in 0..num_experts {
+                let pos = sel.partition_point(|&s| rank(row, s, e) == Ordering::Less);
+                if sel.len() == self.top_k {
+                    if pos == self.top_k {
+                        continue;
+                    }
+                    sel.pop();
+                }
+                sel.insert(pos, e);
+            }
+            let mass: f32 = sel.iter().map(|&e| row[e]).sum();
+            let w: Vec<f32> = sel.iter().map(|&e| row[e] / mass).collect();
+            for (s, p) in p_sums.iter_mut().zip(row.iter()) {
+                *s += *p;
+            }
+            experts.push(sel.clone());
             weights.push(w);
         }
-        Routing {
-            num_experts,
-            experts,
-            weights,
-        }
+        (
+            Routing {
+                num_experts,
+                experts,
+                weights,
+            },
+            p_sums,
+        )
     }
+}
+
+/// Selection order of expert `a` vs `b` given a probability row: higher
+/// probability ranks first, ties go to the smaller index. A total order
+/// (`total_cmp`), so partial selection and a full sort agree exactly.
+fn rank(row: &[f32], a: usize, b: usize) -> Ordering {
+    row[b].total_cmp(&row[a]).then(a.cmp(&b))
 }
 
 #[cfg(test)]
@@ -251,5 +295,66 @@ mod tests {
     fn top_k_validated() {
         let mut rng = StdRng::seed_from_u64(1);
         TopKGate::new(8, 4, 5, &mut rng);
+    }
+
+    /// The fused softmax + partial-select path must reproduce the
+    /// unfused reference (softmax_rows, full sort, truncate) bit for
+    /// bit — experts, weights, and the aux loss.
+    #[test]
+    fn fused_route_matches_unfused_reference_bitwise() {
+        use janus_tensor::softmax_rows;
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(num_experts, k) in &[(64usize, 2usize), (64, 8), (5, 5), (7, 1), (3, 2)] {
+            let g = TopKGate::new(16, num_experts, k, &mut rng);
+            let x = Matrix::uniform(33, 16, 1.0, &mut rng);
+            let probs = softmax_rows(&x.matmul(&g.weight));
+            let mut experts_ref = Vec::new();
+            let mut weights_ref = Vec::new();
+            for t in 0..probs.rows() {
+                let row = probs.row(t);
+                let mut idx: Vec<usize> = (0..num_experts).collect();
+                idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
+                idx.truncate(k);
+                let mass: f32 = idx.iter().map(|&e| row[e]).sum();
+                weights_ref.push(idx.iter().map(|&e| row[e] / mass).collect::<Vec<f32>>());
+                experts_ref.push(idx);
+            }
+            let (r, aux) = g.route_with_aux(&x);
+            assert_eq!(r.experts, experts_ref, "E={num_experts} k={k}");
+            for (got, want) in r.weights.iter().zip(&weights_ref) {
+                for (gw, ww) in got.iter().zip(want) {
+                    assert_eq!(gw.to_bits(), ww.to_bits(), "E={num_experts} k={k}");
+                }
+            }
+            // Aux reference: the pre-fusion formula over the full
+            // probability matrix.
+            let hist = r.histogram();
+            let total_slots: usize = hist.iter().sum();
+            let tokens = x.rows().max(1);
+            let mut aux_ref = 0.0f32;
+            for e in 0..num_experts {
+                let f_e = hist[e] as f32 / total_slots.max(1) as f32;
+                let p_e: f32 =
+                    (0..probs.rows()).map(|t| probs[(t, e)]).sum::<f32>() / tokens as f32;
+                aux_ref += f_e * p_e;
+            }
+            aux_ref *= num_experts as f32;
+            assert_eq!(aux.to_bits(), aux_ref.to_bits(), "E={num_experts} k={k}");
+        }
+    }
+
+    #[test]
+    fn fused_partial_select_breaks_ties_by_index() {
+        // Zero gate weights make every probability exactly equal, so the
+        // tie-break must hand every token the first k expert indices.
+        let g = TopKGate {
+            weight: Matrix::zeros(8, 16),
+            top_k: 3,
+        };
+        let x = Matrix::from_vec(4, 8, vec![1.0; 32]);
+        let r = g.route(&x);
+        for es in &r.experts {
+            assert_eq!(es, &vec![0, 1, 2]);
+        }
     }
 }

@@ -81,6 +81,12 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// New `Bytes` holding a copy of `data` (upstream API; the copy is
+    /// the point — the caller keeps its buffer).
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }

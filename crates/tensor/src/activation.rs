@@ -21,6 +21,20 @@ pub fn add_bias_gelu(pre: &mut Matrix, bias: &[f32], act: &mut Matrix) {
     assert_eq!(bias.len(), pre.cols(), "bias length mismatch");
     act.resize(pre.rows(), pre.cols());
     let cols = pre.cols();
+    // The bias broadcast is the vectorizable half: one `add` per element
+    // either way, so the SIMD sweep is bitwise identical. The GeLU itself
+    // stays scalar on both paths — its erf/exp are libm calls whose exact
+    // bit patterns a vector polynomial would not reproduce.
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::active() {
+        let rows = pre.rows();
+        // SAFETY: `active()` implies AVX2 was detected at runtime.
+        unsafe { crate::simd::avx2::add_bias_rows(pre.data_mut(), rows, cols, bias) };
+        for (p, a) in pre.data().iter().zip(act.data_mut().iter_mut()) {
+            *a = gelu_scalar(*p);
+        }
+        return;
+    }
     for (prow, arow) in pre
         .data_mut()
         .chunks_mut(cols)

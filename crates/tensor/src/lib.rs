@@ -25,6 +25,7 @@ pub mod check;
 pub mod linalg;
 pub mod matrix;
 pub mod pool;
+pub mod simd;
 
 pub use activation::{
     add_bias_gelu, gelu, gelu_backward, gelu_backward_into, relu, relu_backward, softmax_rows,

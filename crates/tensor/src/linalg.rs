@@ -17,6 +17,7 @@
 
 use crate::matrix::Matrix;
 use crate::pool;
+use crate::simd;
 
 /// Output-tile height (rows of the destination per micro-kernel step).
 const MR: usize = 4;
@@ -24,8 +25,56 @@ const MR: usize = 4;
 const NR: usize = 8;
 
 /// Below this many multiply-adds a product stays on the calling thread:
-/// scope spawn/join overhead would dominate the kernel.
-const PAR_MIN_MULADDS: usize = 1 << 20;
+/// scope spawn/join overhead would dominate the kernel. Measured on the
+/// SIMD kernels (see `repro bench`): a 64×512×2048 product (~6.7e7
+/// muladds) runs ~0.9 ms single-threaded, so anything under ~2e6
+/// muladds (<50 µs) is pure spawn overhead.
+const PAR_MIN_MULADDS: usize = 1 << 21;
+
+/// Dispatch one row-range of the NN product to the AVX2 or scalar
+/// kernel. Both produce bitwise-identical output (see [`crate::simd`]),
+/// so the choice is invisible to everything above.
+fn run_nn(a: &[f32], b: &[f32], k: usize, n: usize, r0: usize, r1: usize, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::active() {
+        // SAFETY: `active()` implies AVX2 was detected at runtime.
+        unsafe { simd::avx2::kernel_nn(a, b, k, n, r0, r1, out) };
+        return;
+    }
+    kernel_nn(a, b, k, n, r0, r1, out);
+}
+
+/// Dispatch one row-range of the TN product (see [`run_nn`]).
+#[allow(clippy::too_many_arguments)]
+fn run_tn(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::active() {
+        // SAFETY: `active()` implies AVX2 was detected at runtime.
+        unsafe { simd::avx2::kernel_tn(a, b, k, m, n, r0, r1, out) };
+        return;
+    }
+    kernel_tn(a, b, k, m, n, r0, r1, out);
+}
+
+/// Dispatch one row-range of the NT product (see [`run_nn`]).
+fn run_nt(a: &[f32], b: &[f32], k: usize, n: usize, r0: usize, r1: usize, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::active() {
+        // SAFETY: `active()` implies AVX2 was detected at runtime.
+        unsafe { simd::avx2::kernel_nt(a, b, k, n, r0, r1, out) };
+        return;
+    }
+    kernel_nt(a, b, k, n, r0, r1, out);
+}
 
 impl Matrix {
     /// `self · other`.
@@ -51,10 +100,10 @@ impl Matrix {
         let (a, b) = (self.data(), other.data());
         if m * k * n >= PAR_MIN_MULADDS {
             pool::par_row_chunks(out.data_mut(), n, |r0, r1, chunk| {
-                kernel_nn(a, b, k, n, r0, r1, chunk);
+                run_nn(a, b, k, n, r0, r1, chunk);
             });
         } else {
-            kernel_nn(a, b, k, n, 0, m, out.data_mut());
+            run_nn(a, b, k, n, 0, m, out.data_mut());
         }
     }
 
@@ -80,10 +129,10 @@ impl Matrix {
         let (a, b) = (self.data(), other.data());
         if m * k * n >= PAR_MIN_MULADDS {
             pool::par_row_chunks(out.data_mut(), n, |r0, r1, chunk| {
-                kernel_tn(a, b, k, m, n, r0, r1, chunk);
+                run_tn(a, b, k, m, n, r0, r1, chunk);
             });
         } else {
-            kernel_tn(a, b, k, m, n, 0, m, out.data_mut());
+            run_tn(a, b, k, m, n, 0, m, out.data_mut());
         }
     }
 
@@ -109,10 +158,10 @@ impl Matrix {
         let (a, b) = (self.data(), other.data());
         if m * k * n >= PAR_MIN_MULADDS {
             pool::par_row_chunks(out.data_mut(), n, |r0, r1, chunk| {
-                kernel_nt(a, b, k, n, r0, r1, chunk);
+                run_nt(a, b, k, n, r0, r1, chunk);
             });
         } else {
-            kernel_nt(a, b, k, n, 0, m, out.data_mut());
+            run_nt(a, b, k, n, 0, m, out.data_mut());
         }
     }
 
@@ -126,6 +175,12 @@ impl Matrix {
     /// Column sums written into `sums` (overwritten, length must match).
     pub fn col_sums_into(&self, sums: &mut [f32]) {
         assert_eq!(sums.len(), self.cols(), "col_sums_into length mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if simd::active() {
+            // SAFETY: `active()` implies AVX2 was detected at runtime.
+            unsafe { simd::avx2::col_sums(self.data(), self.rows(), self.cols(), sums) };
+            return;
+        }
         sums.fill(0.0);
         for r in 0..self.rows() {
             for (s, v) in sums.iter_mut().zip(self.row(r)) {

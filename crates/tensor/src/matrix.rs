@@ -146,10 +146,20 @@ impl Matrix {
 
     /// Transpose, walked in square tiles so both the source rows and the
     /// destination rows stay cache-resident (the naive row-major walk
-    /// strides the destination by `rows` floats per element).
+    /// strides the destination by `rows` floats per element). With AVX2
+    /// the tiles move through 8×8 in-register blocks — pure data
+    /// movement, so both paths are trivially bitwise identical.
     pub fn transpose(&self) -> Matrix {
         const TILE: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::active() {
+            // SAFETY: `active()` implies AVX2 was detected at runtime.
+            unsafe {
+                crate::simd::avx2::transpose(&self.data, self.rows, self.cols, &mut out.data)
+            };
+            return out;
+        }
         for rb in (0..self.rows).step_by(TILE) {
             let r_end = (rb + TILE).min(self.rows);
             for cb in (0..self.cols).step_by(TILE) {

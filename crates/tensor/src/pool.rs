@@ -102,13 +102,41 @@ where
         .collect()
 }
 
+/// Kernel row-tile height (must match the micro-kernels in `linalg` /
+/// `simd`): blocks are sized in multiples of this so every block except
+/// the last runs full-height tiles.
+const MR: usize = 4;
+
+/// Output bytes a worker's row block should stay within so the block's
+/// A rows and output slab remain L2-resident while the kernel sweeps
+/// its column tiles. Half a conservative 1 MB L2, leaving room for the
+/// packed B panel and the other thread sharing the cache.
+const L2_BLOCK_BYTES: usize = 512 * 1024;
+
+/// Pick the row-block granularity for [`par_row_chunks`].
+///
+/// Two forces, both perf-only (granularity never changes any output
+/// bit): blocks must be *small enough* that a block's working set fits
+/// L2 and uneven per-row costs balance across workers (several blocks
+/// per worker, claimed from an atomic counter), yet *big enough* that
+/// per-block fixed costs — the kernels re-pack their B panels once per
+/// block — stay amortized. We aim for ~4 blocks per worker, capped by
+/// the L2 budget, floored at one `MR`-high tile, and rounded up to a
+/// multiple of `MR`.
+fn block_rows_for(rows: usize, row_len: usize, workers: usize) -> usize {
+    let balance = rows.div_ceil(4 * workers);
+    let l2 = (L2_BLOCK_BYTES / std::mem::size_of::<f32>() / row_len.max(1)).max(MR);
+    balance.min(l2).next_multiple_of(MR)
+}
+
 /// Split the rows of `out` (a row-major buffer of `row_len`-wide rows)
-/// into one contiguous chunk per worker and run
-/// `f(row_start, row_end, chunk)` on each.
+/// into cache-sized row blocks (see [`block_rows_for`]) and run
+/// `f(row_start, row_end, chunk)` on each; workers claim blocks from an
+/// atomic counter so uneven block costs load-balance.
 ///
 /// Row ranges are disjoint, so every output element is written by the
 /// same code path the serial call uses — bitwise identical results at
-/// any thread count.
+/// any thread count and any block granularity.
 pub fn par_row_chunks(
     out: &mut [f32],
     row_len: usize,
@@ -123,14 +151,30 @@ pub fn par_row_chunks(
         f(0, rows, out);
         return;
     }
-    let chunk_rows = rows.div_ceil(workers);
+    let block_rows = block_rows_for(rows, row_len, workers);
+    let blocks: Vec<Mutex<Option<&mut [f32]>>> = out
+        .chunks_mut(block_rows * row_len)
+        .map(|c| Mutex::new(Some(c)))
+        .collect();
+    let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for (t, chunk) in out.chunks_mut(chunk_rows * row_len).enumerate() {
-            let f = &f;
+        for _ in 0..workers {
+            let (f, blocks, next) = (&f, &blocks, &next);
             s.spawn(move || {
                 IN_POOL.with(|flag| flag.set(true));
-                let r0 = t * chunk_rows;
-                f(r0, r0 + chunk.len() / row_len, chunk);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= blocks.len() {
+                        break;
+                    }
+                    let chunk = blocks[i]
+                        .lock()
+                        .expect("block slot poisoned")
+                        .take()
+                        .expect("each block is claimed exactly once");
+                    let r0 = i * block_rows;
+                    f(r0, r0 + chunk.len() / row_len, chunk);
+                }
             });
         }
     });
@@ -162,6 +206,43 @@ mod tests {
         for (r, row) in buf.chunks(row_len).enumerate() {
             assert!(
                 row.iter().all(|&v| v == r as f32),
+                "row {r} written wrongly: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_blocks_are_mr_aligned_and_l2_capped() {
+        // Wide rows: the L2 budget dominates and the block still holds
+        // at least one full MR tile.
+        let b = block_rows_for(10_000, 64 * 1024, 4);
+        assert_eq!(b, MR);
+        // Narrow rows: ~4 blocks per worker, rounded up to MR.
+        let b = block_rows_for(1024, 128, 4);
+        assert_eq!(b % MR, 0);
+        assert!((1024 / (4 * 4)..=1024 / (4 * 4) + MR).contains(&b));
+    }
+
+    #[test]
+    fn many_blocks_cover_every_row_exactly_once() {
+        // More rows than workers × block size, so the atomic claim loop
+        // hands out several blocks per worker.
+        set_threads(4);
+        let rows = 103;
+        let row_len = 3;
+        let mut buf = vec![0.0f32; rows * row_len];
+        par_row_chunks(&mut buf, row_len, |r0, r1, chunk| {
+            assert_eq!(chunk.len(), (r1 - r0) * row_len);
+            for (i, row) in chunk.chunks_mut(row_len).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (r0 + i) as f32 + 1.0;
+                }
+            }
+        });
+        set_threads(0);
+        for (r, row) in buf.chunks(row_len).enumerate() {
+            assert!(
+                row.iter().all(|&v| v == (r + 1) as f32),
                 "row {r} written wrongly: {row:?}"
             );
         }

@@ -1,0 +1,603 @@
+//! Explicit AVX2 micro-kernels with runtime dispatch.
+//!
+//! Every kernel here is **bitwise identical** to its scalar counterpart
+//! in [`crate::linalg`] / [`crate::matrix`]: SIMD lanes always map to
+//! *distinct output elements* (columns of the destination), never to
+//! terms of one reduction, so each output element still accumulates its
+//! `k` terms in ascending `p` order with exactly one `mul` rounding and
+//! one `add` rounding per term. FMA is deliberately **not** used — a
+//! fused multiply-add rounds once where the scalar reference rounds
+//! twice, which would break the repo's bitwise-determinism invariant.
+//!
+//! Dispatch is resolved at runtime: [`active`] is true when the CPU
+//! reports AVX2 and nothing forces the scalar path. Tests and benches
+//! pin the path with [`set_forced`]; users can set `JANUS_SIMD=off`
+//! (or `scalar`/`0`) to force the portable kernels, `JANUS_SIMD=avx2`
+//! (or `on`/`1`) to insist on SIMD where available. The environment
+//! variable is read once.
+
+// The kernel loops index parallel register/row arrays by tile position;
+// rewriting them as iterator chains would hide the tile geometry the
+// bitwise argument above reasons about.
+#![allow(clippy::needless_range_loop)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Tri-state runtime override: 0 = auto, 1 = force scalar, 2 = force SIMD.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static ENV_CHOICE: OnceLock<Option<bool>> = OnceLock::new();
+static DETECTED: OnceLock<bool> = OnceLock::new();
+
+/// Whether this CPU can run the AVX2 kernels at all.
+pub fn detected() -> bool {
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+fn env_choice() -> Option<bool> {
+    *ENV_CHOICE.get_or_init(|| {
+        let v = std::env::var("JANUS_SIMD").ok()?;
+        match v.to_ascii_lowercase().as_str() {
+            "0" | "off" | "scalar" | "false" | "none" => Some(false),
+            "1" | "on" | "avx2" | "true" | "auto" => Some(true),
+            _ => None,
+        }
+    })
+}
+
+/// True when the AVX2 kernels will be used for the next kernel call.
+///
+/// Resolution order: a process-wide [`set_forced`] override, then the
+/// `JANUS_SIMD` environment variable, then CPU detection. Requesting
+/// SIMD on a CPU without AVX2 degrades to the scalar path (which is
+/// bitwise identical anyway).
+pub fn active() -> bool {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => detected(),
+        _ => match env_choice() {
+            Some(false) => false,
+            _ => detected(),
+        },
+    }
+}
+
+/// Process-wide dispatch override, taking precedence over `JANUS_SIMD`:
+/// `Some(false)` forces the portable scalar kernels, `Some(true)` forces
+/// SIMD where the CPU supports it, `None` restores auto-detection.
+/// Exists so tests and benches can sweep both paths without re-execing.
+pub fn set_forced(mode: Option<bool>) {
+    let v = match mode {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    FORCED.store(v, Ordering::Relaxed);
+}
+
+/// Human-readable name of the path [`active`] resolves to ("avx2" or
+/// "scalar"), for bench reports.
+pub fn level_name() -> &'static str {
+    if active() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+/// The AVX2 kernel family. All functions are `unsafe` because they are
+/// compiled with `#[target_feature(enable = "avx2")]`: callers must
+/// check [`active`] first. Pointer arithmetic is bounds-correct by the
+/// same shape contracts the scalar kernels assert.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Output-tile height, matching the scalar kernels.
+    const MR: usize = 4;
+
+    /// Rows `r0..r1` of `C = A·B` (`A: m×k`, `B: k×n` row-major); `out`
+    /// holds just those rows. Lanes run across output columns; each
+    /// element reduces ascending `p`, one mul + one add per term.
+    ///
+    /// The 16-column tile is the **outer** loop: one tile's B panel
+    /// (`k × 16` floats, 64 KB at k = 1024) stays L2-resident while
+    /// every row group streams over it, instead of re-reading all of B
+    /// once per row group. Loop order is invisible to the bitwise
+    /// contract — it never changes any element's reduction order.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn kernel_nn(
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        n: usize,
+        r0: usize,
+        r1: usize,
+        out: &mut [f32],
+    ) {
+        let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        // Per-column-tile B panel, packed contiguously: the strided rows
+        // of B (n floats apart — a fresh page each reduction step once n
+        // is a few thousand) become a dense `k × 16` block that stays
+        // cache- and TLB-resident across every row group. Packing is
+        // pure data movement, so it cannot affect any element's bits.
+        let mut panel = vec![0.0f32; if n >= 8 { k * 16 } else { 0 }];
+        let pp = panel.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 16 <= n {
+            pack_panel(bp.add(j), k, n, 16, pp);
+            for_row_groups(r0, r1, |i, h| {
+                let tile_out = op.add((i - r0) * n + j);
+                match h {
+                    4 => nn_tile16::<4>(ap, pp, k, n, i, tile_out),
+                    3 => nn_tile16::<3>(ap, pp, k, n, i, tile_out),
+                    2 => nn_tile16::<2>(ap, pp, k, n, i, tile_out),
+                    _ => nn_tile16::<1>(ap, pp, k, n, i, tile_out),
+                }
+            });
+            j += 16;
+        }
+        if j + 8 <= n {
+            pack_panel(bp.add(j), k, n, 8, pp);
+            for_row_groups(r0, r1, |i, h| {
+                let tile_out = op.add((i - r0) * n + j);
+                match h {
+                    4 => nn_tile8::<4>(ap, pp, k, n, i, tile_out),
+                    3 => nn_tile8::<3>(ap, pp, k, n, i, tile_out),
+                    2 => nn_tile8::<2>(ap, pp, k, n, i, tile_out),
+                    _ => nn_tile8::<1>(ap, pp, k, n, i, tile_out),
+                }
+            });
+            j += 8;
+        }
+        // Scalar tail columns: same ascending-p reduction per element.
+        for c in j..n {
+            for i in r0..r1 {
+                let ar = ap.add(i * k);
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += *ar.add(p) * *bp.add(p * n + c);
+                }
+                *op.add((i - r0) * n + c) = acc;
+            }
+        }
+    }
+
+    /// Copy a `k × w` column panel of a `k × n` row-major matrix into a
+    /// dense buffer (`w` ≤ 16, row stride `w`). Values are untouched.
+    #[target_feature(enable = "avx2")]
+    unsafe fn pack_panel(src: *const f32, k: usize, n: usize, w: usize, dst: *mut f32) {
+        for p in 0..k {
+            std::ptr::copy_nonoverlapping(src.add(p * n), dst.add(p * w), w);
+        }
+    }
+
+    /// Walk `r0..r1` in `MR`-row groups, calling `f(i, h)` per group.
+    #[inline(always)]
+    unsafe fn for_row_groups(r0: usize, r1: usize, mut f: impl FnMut(usize, usize)) {
+        let mut i = r0;
+        while i < r1 {
+            let h = MR.min(r1 - i);
+            f(i, h);
+            i += h;
+        }
+    }
+
+    /// One `H × 16` output tile: `b` is the packed panel (row stride 16);
+    /// `out` points at the tile's first element.
+    #[inline(always)]
+    unsafe fn nn_tile16<const H: usize>(
+        a: *const f32,
+        b: *const f32,
+        k: usize,
+        n: usize,
+        i: usize,
+        out: *mut f32,
+    ) {
+        let mut arows = [a; H];
+        for (r, ar) in arows.iter_mut().enumerate() {
+            *ar = a.add((i + r) * k);
+        }
+        let mut acc0 = [_mm256_setzero_ps(); H];
+        let mut acc1 = [_mm256_setzero_ps(); H];
+        let mut bp = b;
+        for p in 0..k {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for r in 0..H {
+                let av = _mm256_set1_ps(*arows[r].add(p));
+                acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(av, b0));
+                acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(av, b1));
+            }
+            bp = bp.add(16);
+        }
+        for r in 0..H {
+            _mm256_storeu_ps(out.add(r * n), acc0[r]);
+            _mm256_storeu_ps(out.add(r * n + 8), acc1[r]);
+        }
+    }
+
+    /// One `H × 8` output tile (column remainder ≥ 8, packed panel).
+    #[inline(always)]
+    unsafe fn nn_tile8<const H: usize>(
+        a: *const f32,
+        b: *const f32,
+        k: usize,
+        n: usize,
+        i: usize,
+        out: *mut f32,
+    ) {
+        let mut arows = [a; H];
+        for (r, ar) in arows.iter_mut().enumerate() {
+            *ar = a.add((i + r) * k);
+        }
+        let mut acc = [_mm256_setzero_ps(); H];
+        let mut bp = b;
+        for p in 0..k {
+            let bv = _mm256_loadu_ps(bp);
+            for r in 0..H {
+                let av = _mm256_set1_ps(*arows[r].add(p));
+                acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(av, bv));
+            }
+            bp = bp.add(8);
+        }
+        for r in 0..H {
+            _mm256_storeu_ps(out.add(r * n), acc[r]);
+        }
+    }
+
+    /// Rows `r0..r1` of `C = Aᵀ·B` (`A: k×m`, `B: k×n` row-major). Same
+    /// lane layout and j-outer blocking as [`kernel_nn`]; only the `A`
+    /// addressing differs (`A[p][i+r]`, stride `m` per reduction step).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn kernel_tn(
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        m: usize,
+        n: usize,
+        r0: usize,
+        r1: usize,
+        out: &mut [f32],
+    ) {
+        let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut panel = vec![0.0f32; if n >= 8 { k * 16 } else { 0 }];
+        let pp = panel.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 16 <= n {
+            pack_panel(bp.add(j), k, n, 16, pp);
+            for_row_groups(r0, r1, |i, h| {
+                let tile_out = op.add((i - r0) * n + j);
+                match h {
+                    4 => tn_tile16::<4>(ap, pp, k, m, n, i, tile_out),
+                    3 => tn_tile16::<3>(ap, pp, k, m, n, i, tile_out),
+                    2 => tn_tile16::<2>(ap, pp, k, m, n, i, tile_out),
+                    _ => tn_tile16::<1>(ap, pp, k, m, n, i, tile_out),
+                }
+            });
+            j += 16;
+        }
+        if j + 8 <= n {
+            pack_panel(bp.add(j), k, n, 8, pp);
+            for_row_groups(r0, r1, |i, h| {
+                let tile_out = op.add((i - r0) * n + j);
+                match h {
+                    4 => tn_tile8::<4>(ap, pp, k, m, n, i, tile_out),
+                    3 => tn_tile8::<3>(ap, pp, k, m, n, i, tile_out),
+                    2 => tn_tile8::<2>(ap, pp, k, m, n, i, tile_out),
+                    _ => tn_tile8::<1>(ap, pp, k, m, n, i, tile_out),
+                }
+            });
+            j += 8;
+        }
+        for c in j..n {
+            for i in r0..r1 {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += *ap.add(p * m + i) * *bp.add(p * n + c);
+                }
+                *op.add((i - r0) * n + c) = acc;
+            }
+        }
+    }
+
+    /// One `H × 16` tile of the TN product (packed panel, stride 16).
+    #[inline(always)]
+    unsafe fn tn_tile16<const H: usize>(
+        a: *const f32,
+        b: *const f32,
+        k: usize,
+        m: usize,
+        n: usize,
+        i: usize,
+        out: *mut f32,
+    ) {
+        let mut acc0 = [_mm256_setzero_ps(); H];
+        let mut acc1 = [_mm256_setzero_ps(); H];
+        let mut bp = b;
+        let mut apt = a.add(i);
+        for _ in 0..k {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for r in 0..H {
+                let av = _mm256_set1_ps(*apt.add(r));
+                acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(av, b0));
+                acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(av, b1));
+            }
+            bp = bp.add(16);
+            apt = apt.add(m);
+        }
+        for r in 0..H {
+            _mm256_storeu_ps(out.add(r * n), acc0[r]);
+            _mm256_storeu_ps(out.add(r * n + 8), acc1[r]);
+        }
+    }
+
+    /// One `H × 8` tile of the TN product (column remainder ≥ 8, packed).
+    #[inline(always)]
+    unsafe fn tn_tile8<const H: usize>(
+        a: *const f32,
+        b: *const f32,
+        k: usize,
+        m: usize,
+        n: usize,
+        i: usize,
+        out: *mut f32,
+    ) {
+        let mut acc = [_mm256_setzero_ps(); H];
+        let mut bp = b;
+        let mut apt = a.add(i);
+        for _ in 0..k {
+            let bv = _mm256_loadu_ps(bp);
+            for r in 0..H {
+                let av = _mm256_set1_ps(*apt.add(r));
+                acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(av, bv));
+            }
+            bp = bp.add(8);
+            apt = apt.add(m);
+        }
+        for r in 0..H {
+            _mm256_storeu_ps(out.add(r * n), acc[r]);
+        }
+    }
+
+    /// Rows `r0..r1` of `C = A·Bᵀ` (`A: m×k`, `B: n×k` row-major). Eight
+    /// B rows are transposed 8×8 in registers so lanes still map to
+    /// output columns and `p` still ascends — no gathers, no reduction
+    /// reordering.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn kernel_nt(
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        n: usize,
+        r0: usize,
+        r1: usize,
+        out: &mut [f32],
+    ) {
+        let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut i = r0;
+        while i < r1 {
+            let h = MR.min(r1 - i);
+            let tile_out = op.add((i - r0) * n);
+            match h {
+                4 => nt_rows::<4>(ap, bp, k, n, i, tile_out),
+                3 => nt_rows::<3>(ap, bp, k, n, i, tile_out),
+                2 => nt_rows::<2>(ap, bp, k, n, i, tile_out),
+                _ => nt_rows::<1>(ap, bp, k, n, i, tile_out),
+            }
+            i += h;
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn nt_rows<const H: usize>(
+        a: *const f32,
+        b: *const f32,
+        k: usize,
+        n: usize,
+        i: usize,
+        out: *mut f32,
+    ) {
+        let mut arows = [a; H];
+        for (r, ar) in arows.iter_mut().enumerate() {
+            *ar = a.add((i + r) * k);
+        }
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let mut acc = [_mm256_setzero_ps(); H];
+            let mut p = 0usize;
+            while p + 8 <= k {
+                // Transpose an 8×8 block of B so lane c holds B[j+c][p+pp].
+                let blk = transpose8([
+                    _mm256_loadu_ps(b.add(j * k + p)),
+                    _mm256_loadu_ps(b.add((j + 1) * k + p)),
+                    _mm256_loadu_ps(b.add((j + 2) * k + p)),
+                    _mm256_loadu_ps(b.add((j + 3) * k + p)),
+                    _mm256_loadu_ps(b.add((j + 4) * k + p)),
+                    _mm256_loadu_ps(b.add((j + 5) * k + p)),
+                    _mm256_loadu_ps(b.add((j + 6) * k + p)),
+                    _mm256_loadu_ps(b.add((j + 7) * k + p)),
+                ]);
+                for (pp, bv) in blk.iter().enumerate() {
+                    for r in 0..H {
+                        let av = _mm256_set1_ps(*arows[r].add(p + pp));
+                        acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(av, *bv));
+                    }
+                }
+                p += 8;
+            }
+            while p < k {
+                // k-tail: assemble the 8 B values for this p on the stack.
+                let mut lane = [0.0f32; 8];
+                for (c, l) in lane.iter_mut().enumerate() {
+                    *l = *b.add((j + c) * k + p);
+                }
+                let bv = _mm256_loadu_ps(lane.as_ptr());
+                for r in 0..H {
+                    let av = _mm256_set1_ps(*arows[r].add(p));
+                    acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(av, bv));
+                }
+                p += 1;
+            }
+            for r in 0..H {
+                _mm256_storeu_ps(out.add(r * n + j), acc[r]);
+            }
+            j += 8;
+        }
+        // Column tail: plain dot products, ascending p.
+        for c in j..n {
+            let bc = b.add(c * k);
+            for r in 0..H {
+                let ar = arows[r];
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += *ar.add(p) * *bc.add(p);
+                }
+                *out.add(r * n + c) = acc;
+            }
+        }
+    }
+
+    /// Column sums of a `rows × cols` row-major buffer: lanes are
+    /// columns, rows accumulate in ascending order — the scalar order.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn col_sums(data: &[f32], rows: usize, cols: usize, sums: &mut [f32]) {
+        sums.fill(0.0);
+        let (dp, sp) = (data.as_ptr(), sums.as_mut_ptr());
+        for r in 0..rows {
+            let row = dp.add(r * cols);
+            let mut c = 0usize;
+            while c + 8 <= cols {
+                let s = _mm256_loadu_ps(sp.add(c));
+                let v = _mm256_loadu_ps(row.add(c));
+                _mm256_storeu_ps(sp.add(c), _mm256_add_ps(s, v));
+                c += 8;
+            }
+            while c < cols {
+                *sp.add(c) += *row.add(c);
+                c += 1;
+            }
+        }
+    }
+
+    /// `dst (cols × rows) = srcᵀ` via 8×8 in-register blocks (pure data
+    /// movement — trivially bitwise).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn transpose(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let rblocks = rows / 8 * 8;
+        let cblocks = cols / 8 * 8;
+        let mut r = 0usize;
+        while r < rblocks {
+            let mut c = 0usize;
+            while c < cblocks {
+                let blk = transpose8([
+                    _mm256_loadu_ps(sp.add(r * cols + c)),
+                    _mm256_loadu_ps(sp.add((r + 1) * cols + c)),
+                    _mm256_loadu_ps(sp.add((r + 2) * cols + c)),
+                    _mm256_loadu_ps(sp.add((r + 3) * cols + c)),
+                    _mm256_loadu_ps(sp.add((r + 4) * cols + c)),
+                    _mm256_loadu_ps(sp.add((r + 5) * cols + c)),
+                    _mm256_loadu_ps(sp.add((r + 6) * cols + c)),
+                    _mm256_loadu_ps(sp.add((r + 7) * cols + c)),
+                ]);
+                for (cc, row) in blk.iter().enumerate() {
+                    _mm256_storeu_ps(dp.add((c + cc) * rows + r), *row);
+                }
+                c += 8;
+            }
+            for c in cblocks..cols {
+                for rr in 0..8 {
+                    *dp.add(c * rows + r + rr) = *sp.add((r + rr) * cols + c);
+                }
+            }
+            r += 8;
+        }
+        for r in rblocks..rows {
+            for c in 0..cols {
+                *dp.add(c * rows + r) = *sp.add(r * cols + c);
+            }
+        }
+    }
+
+    /// Broadcast-add `bias` to every row of a `rows × cols` buffer (the
+    /// vectorizable half of the fused bias+GeLU sweep; one add per
+    /// element, same as scalar).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_bias_rows(data: &mut [f32], rows: usize, cols: usize, bias: &[f32]) {
+        let (dp, bp) = (data.as_mut_ptr(), bias.as_ptr());
+        for r in 0..rows {
+            let row = dp.add(r * cols);
+            let mut c = 0usize;
+            while c + 8 <= cols {
+                let v = _mm256_loadu_ps(row.add(c));
+                let b = _mm256_loadu_ps(bp.add(c));
+                _mm256_storeu_ps(row.add(c), _mm256_add_ps(v, b));
+                c += 8;
+            }
+            while c < cols {
+                *row.add(c) += *bp.add(c);
+                c += 1;
+            }
+        }
+    }
+
+    /// 8×8 f32 transpose in registers (unpack / shuffle / permute).
+    #[inline(always)]
+    unsafe fn transpose8(r: [__m256; 8]) -> [__m256; 8] {
+        let t0 = _mm256_unpacklo_ps(r[0], r[1]);
+        let t1 = _mm256_unpackhi_ps(r[0], r[1]);
+        let t2 = _mm256_unpacklo_ps(r[2], r[3]);
+        let t3 = _mm256_unpackhi_ps(r[2], r[3]);
+        let t4 = _mm256_unpacklo_ps(r[4], r[5]);
+        let t5 = _mm256_unpackhi_ps(r[4], r[5]);
+        let t6 = _mm256_unpacklo_ps(r[6], r[7]);
+        let t7 = _mm256_unpackhi_ps(r[6], r[7]);
+        let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+        let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+        let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+        let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+        let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+        let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+        let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+        let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+        [
+            _mm256_permute2f128_ps::<0x20>(s0, s4),
+            _mm256_permute2f128_ps::<0x20>(s1, s5),
+            _mm256_permute2f128_ps::<0x20>(s2, s6),
+            _mm256_permute2f128_ps::<0x20>(s3, s7),
+            _mm256_permute2f128_ps::<0x31>(s0, s4),
+            _mm256_permute2f128_ps::<0x31>(s1, s5),
+            _mm256_permute2f128_ps::<0x31>(s2, s6),
+            _mm256_permute2f128_ps::<0x31>(s3, s7),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_override_wins_over_detection() {
+        set_forced(Some(false));
+        assert!(!active());
+        set_forced(Some(true));
+        assert_eq!(active(), detected());
+        set_forced(None);
+        // Auto: whatever the CPU/env says; just must not panic.
+        let _ = active();
+        let _ = level_name();
+    }
+}

@@ -1,0 +1,146 @@
+//! Bitwise equivalence of the AVX2 kernels against the portable paths.
+//!
+//! Every SIMD kernel keeps the scalar reference's reduction order — lanes
+//! map to distinct output elements, never to partial sums of one element —
+//! so its output must equal the reference *bitwise* on every shape,
+//! including the sub-lane remainders, under every dispatch mode
+//! (forced-scalar, forced-SIMD, auto) and every thread count. On a CPU
+//! without AVX2, forcing SIMD degrades to the scalar path and these tests
+//! pass trivially.
+
+use janus_tensor::{add_bias_gelu, matmul_reference, pool, simd, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes every test that flips the process-wide dispatch override,
+/// so the harness's parallel test threads cannot corrupt each other's
+/// forced mode.
+static DISPATCH: Mutex<()> = Mutex::new(());
+
+fn with_dispatch_lock<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = DISPATCH.lock().unwrap_or_else(|e| e.into_inner());
+    let out = f();
+    simd::set_forced(None);
+    out
+}
+
+/// The three dispatch modes a kernel call can resolve through.
+const MODES: [Option<bool>; 3] = [Some(false), Some(true), None];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// NN/TN/NT products equal the scalar reference bitwise on shapes
+    /// straddling the 16- and 8-column SIMD tiles (and the narrow `n < 8`
+    /// remainder path), whichever dispatch mode selects the kernel.
+    #[test]
+    fn matmul_matches_reference_in_every_dispatch_mode(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::uniform(m, k, 2.0, &mut rng);
+        let b = Matrix::uniform(k, n, 2.0, &mut rng);
+        let reference = matmul_reference(&a, &b);
+        with_dispatch_lock(|| {
+            for mode in MODES {
+                simd::set_forced(mode);
+                prop_assert_eq!(
+                    a.matmul(&b).max_abs_diff(&reference), 0.0,
+                    "NN diverged under {:?}", mode
+                );
+                prop_assert_eq!(
+                    a.transpose().matmul_tn(&b).max_abs_diff(&reference), 0.0,
+                    "TN diverged under {:?}", mode
+                );
+                prop_assert_eq!(
+                    a.matmul_nt(&b.transpose()).max_abs_diff(&reference), 0.0,
+                    "NT diverged under {:?}", mode
+                );
+            }
+        });
+    }
+
+    /// The fused bias+GeLU sweep, column sums, and transpose have SIMD
+    /// fast paths that are pure data movement or order-preserving adds:
+    /// forced-SIMD output must equal forced-scalar output bitwise,
+    /// including the tail columns past the last full lane.
+    #[test]
+    fn elementwise_kernels_match_scalar_bitwise(
+        rows in 1usize..20,
+        cols in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::uniform(rows, cols, 3.0, &mut rng);
+        let bias_m = Matrix::uniform(1, cols, 1.0, &mut rng);
+        let bias = bias_m.row(0);
+        with_dispatch_lock(|| {
+            simd::set_forced(Some(false));
+            let mut pre_scalar = x.clone();
+            let mut act_scalar = Matrix::zeros(0, 0);
+            add_bias_gelu(&mut pre_scalar, bias, &mut act_scalar);
+            let sums_scalar = x.col_sums();
+            let t_scalar = x.transpose();
+
+            simd::set_forced(Some(true));
+            let mut pre_simd = x.clone();
+            let mut act_simd = Matrix::zeros(0, 0);
+            add_bias_gelu(&mut pre_simd, bias, &mut act_simd);
+            let sums_simd = x.col_sums();
+            let t_simd = x.transpose();
+
+            prop_assert_eq!(pre_simd.max_abs_diff(&pre_scalar), 0.0, "pre-activation diverged");
+            prop_assert_eq!(act_simd.max_abs_diff(&act_scalar), 0.0, "activation diverged");
+            for (c, (s, r)) in sums_simd.iter().zip(&sums_scalar).enumerate() {
+                prop_assert_eq!(s.to_bits(), r.to_bits(), "col_sums diverged at column {}", c);
+            }
+            prop_assert_eq!(t_simd.max_abs_diff(&t_scalar), 0.0, "transpose diverged");
+        });
+    }
+}
+
+/// The tentpole invariant end to end: a product big enough to engage the
+/// row-split pool gives the same bits at every thread count with SIMD
+/// forced on, forced off, and auto — so `JANUS_THREADS` and `JANUS_SIMD`
+/// can be set freely without perturbing a single weight.
+#[test]
+fn simd_and_thread_count_never_change_output_bits() {
+    let mut rng = StdRng::seed_from_u64(23);
+    // 96·160·104 ≈ 1.6M multiply-adds — past the parallel threshold,
+    // with m, k, n all off the tile grid so every remainder path runs.
+    let a = Matrix::uniform(96, 160, 1.0, &mut rng);
+    let b = Matrix::uniform(160, 104, 1.0, &mut rng);
+    let at = a.transpose();
+    let bt = b.transpose();
+    let reference = matmul_reference(&a, &b);
+
+    with_dispatch_lock(|| {
+        for threads in [1usize, 2, 8] {
+            pool::set_threads(threads);
+            for mode in MODES {
+                simd::set_forced(mode);
+                assert_eq!(
+                    a.matmul(&b).max_abs_diff(&reference),
+                    0.0,
+                    "NN diverged at {threads} threads under {mode:?}"
+                );
+                assert_eq!(
+                    at.matmul_tn(&b).max_abs_diff(&reference),
+                    0.0,
+                    "TN diverged at {threads} threads under {mode:?}"
+                );
+                assert_eq!(
+                    a.matmul_nt(&bt).max_abs_diff(&reference),
+                    0.0,
+                    "NT diverged at {threads} threads under {mode:?}"
+                );
+            }
+        }
+        pool::set_threads(0);
+    });
+}

@@ -4,7 +4,7 @@ use janus::core::exec::model::ExecConfig;
 use janus::core::exec::trainer::{
     train_data_centric, train_expert_centric, train_unified, TrainRun,
 };
-use janus::tensor::pool;
+use janus::tensor::{pool, simd};
 
 fn cfg() -> ExecConfig {
     ExecConfig {
@@ -59,6 +59,32 @@ fn training_is_bitwise_identical_across_thread_counts() {
         assert_runs_identical(&ec_1, &ec_n, &format!("expert-centric @ {threads} threads"));
         assert_runs_identical(&un_1, &un_n, &format!("unified @ {threads} threads"));
     }
+    pool::set_threads(0);
+}
+
+/// The AVX2 kernels keep the scalar kernels' reduction order, so forcing
+/// dispatch scalar or SIMD (the in-process `JANUS_SIMD`) must not move a
+/// single bit of any paradigm's training run — at any thread count.
+#[test]
+fn training_is_bitwise_identical_with_simd_on_and_off() {
+    let cfg = cfg();
+    let mixed = ExecConfig::mixed_paradigms();
+    simd::set_forced(Some(false));
+    let dc_scalar = train_data_centric(&cfg, 3);
+    let ec_scalar = train_expert_centric(&cfg, 3);
+    let un_scalar = train_unified(&mixed, 3);
+    simd::set_forced(Some(true));
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+        let dc_simd = train_data_centric(&cfg, 3);
+        let ec_simd = train_expert_centric(&cfg, 3);
+        let un_simd = train_unified(&mixed, 3);
+        let tag = format!("simd on vs off @ {threads} threads");
+        assert_runs_identical(&dc_scalar, &dc_simd, &format!("data-centric, {tag}"));
+        assert_runs_identical(&ec_scalar, &ec_simd, &format!("expert-centric, {tag}"));
+        assert_runs_identical(&un_scalar, &un_simd, &format!("unified, {tag}"));
+    }
+    simd::set_forced(None);
     pool::set_threads(0);
 }
 
