@@ -1,11 +1,25 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [plan|table1|goodput|fig3|fig12|fig13|fig14|fig15|fig16|fig17|rmetric|ablations|compute|transport|bench|faults|crash|trace|all]...
+//! repro lab [--only <glob>]... [--jobs N] [--seed N] [--verify]
+//! repro list
+//! repro [plan|table1|...|faults|crash|trace|all]... [--json]
+//! repro bench [--check]
 //! ```
 //!
-//! With no arguments, runs everything. Add `--json` to also dump the raw
-//! rows as JSON (for EXPERIMENTS.md bookkeeping).
+//! `repro lab` runs the experiment DAG: independent tasks in parallel
+//! (bounded by `--jobs`), each emitting its artifacts plus a
+//! reproducibility `manifest.json` and a `diagnostics.json` under
+//! `artifacts/<task>/`. `--only` selects tasks by name or `tag/name`
+//! glob (e.g. `--only 'ci/*'`, `--only 'fig*'`), closed over
+//! dependencies. `--verify` re-runs each selected task from its
+//! recorded manifest and fails on any bitwise difference in the
+//! canonical (timing-masked) artifact digests.
+//!
+//! The experiment names (`fig12`, `faults`, ...) remain as thin aliases
+//! that run the matching task serially; `all` runs the default graph.
+//! Add `--json` to also dump each artifact's raw rows as JSON (for
+//! EXPERIMENTS.md bookkeeping).
 //!
 //! `repro bench` runs the perf suite (compute + transport) and rewrites
 //! the `BENCH_compute.json` / `BENCH_transport.json` baselines. With
@@ -15,200 +29,256 @@
 //! `--check` (the CI perf shard runs `--check`, so refreshing baselines
 //! is always an explicit, reviewed act).
 
-use janus_bench::experiments::*;
+use janus_bench::experiments::benchgate;
+use janus_bench::lab::registry;
+use janus_lab::{Dag, Executor, LabEnv, RunSummary, TaskStatus};
+use std::collections::BTreeSet;
+
+/// Where the lab writes artifacts, relative to the invocation directory.
+const ARTIFACT_ROOT: &str = "artifacts";
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let check = args.iter().any(|a| a == "--check");
-    args.retain(|a| a != "--json" && a != "--check");
-    if args.is_empty() || args.iter().any(|a| a == "all") {
-        args = [
-            "plan",
-            "rmetric",
-            "table1",
-            "goodput",
-            "fig3",
-            "fig12",
-            "fig13",
-            "fig14",
-            "fig15",
-            "fig16",
-            "fig17",
-            "ablations",
-            "compute",
-            "faults",
-            "crash",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dag = registry();
+    let code = match args.first().map(String::as_str) {
+        Some("lab") => run_lab(&dag, &args[1..]),
+        Some("list") => {
+            print_task_list(&dag);
+            0
+        }
+        _ => run_legacy(&dag, &args),
+    };
+    std::process::exit(code);
+}
 
-    for arg in &args {
+/// `repro lab`: execute (or verify) the selected subgraph.
+fn run_lab(dag: &Dag, args: &[String]) -> i32 {
+    let mut only: Vec<String> = Vec::new();
+    let mut jobs = janus_tensor::pool::threads().min(4);
+    let mut seed = 0u64;
+    let mut verify = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
-            "table1" => {
-                let rows = table1::run();
-                table1::print(&rows);
-                dump(json, "table1", &rows);
+            "--only" => match it.next() {
+                Some(glob) => only.push(glob.clone()),
+                None => return usage("--only needs a glob argument"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage("--jobs needs a positive integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage("--seed needs an integer"),
+            },
+            "--verify" => verify = true,
+            other => return usage(&format!("unknown `repro lab` flag `{other}`")),
+        }
+    }
+    let selected = if only.is_empty() {
+        dag.default_set()
+    } else {
+        match dag.select(&only) {
+            Ok(sel) => sel,
+            Err(e) => {
+                eprintln!("{e}");
+                print_task_list(dag);
+                return 2;
             }
-            "goodput" => {
-                let rows = goodput::run();
-                goodput::print(&rows);
-                dump(json, "goodput", &rows);
-            }
-            "fig3" => {
-                let rows = fig3::run();
-                fig3::print(&rows);
-                dump(json, "fig3", &rows);
-            }
-            "fig12" => {
-                let rows = fig12::run();
-                fig12::print(&rows);
-                dump(json, "fig12", &rows);
-            }
-            "fig13" => {
-                let summary = fig13::run();
-                fig13::print(&summary);
-                dump(json, "fig13", &summary);
-            }
-            "fig14" => {
-                let rows = fig14::run();
-                fig14::print(&rows);
-                dump(json, "fig14", &rows);
-            }
-            "fig15" => {
-                let rows = sensitivity::run_fig15();
-                sensitivity::print("Figure 15 — batch-size sensitivity (Janus vs Tutel)", &rows);
-                dump(json, "fig15", &rows);
-            }
-            "fig16" => {
-                let rows = sensitivity::run_fig16();
-                sensitivity::print(
-                    "Figure 16 — sequence-length sensitivity (OOM = exceeds 80 GB)",
-                    &rows,
-                );
-                dump(json, "fig16", &rows);
-            }
-            "fig17" => {
-                let rows = fig17::run();
-                fig17::print(&rows);
-                dump(json, "fig17", &rows);
-            }
-            "ablations" => {
-                let credits = ablations::credit_sweep();
-                let latency = ablations::latency_sweep();
-                let a2a = ablations::a2a_style();
-                ablations::print(&credits, &latency, &a2a);
-                dump(json, "ablation_credits", &credits);
-                dump(json, "ablation_latency", &latency);
-                dump(json, "ablation_a2a", &a2a);
-            }
-            "compute" => {
-                let report = compute::run();
-                compute::print(&report);
-                let path = compute::write_json(&report, "BENCH_compute.json")
-                    .expect("write BENCH_compute.json");
-                println!("wrote {path}");
-                dump(json, "compute", &report);
-            }
-            "transport" => {
-                let report = transport::run();
-                transport::print(&report);
-                let path = transport::write_json(&report, "BENCH_transport.json")
-                    .expect("write BENCH_transport.json");
-                println!("wrote {path}");
-                dump(json, "transport", &report);
-            }
-            "bench" => {
-                let creport = compute::run();
-                compute::print(&creport);
-                let treport = transport::run();
-                transport::print(&treport);
-                dump(json, "compute", &creport);
-                dump(json, "transport", &treport);
-                let update = std::env::var("UPDATE_BENCH").is_ok_and(|v| v == "1");
-                if check && !update {
-                    let run_gates = |c: &compute::Report, t: &transport::Report| {
-                        let mut gates = Vec::new();
-                        match std::fs::read_to_string("BENCH_compute.json") {
-                            Ok(base) => gates.extend(benchgate::check_compute(&base, c)),
-                            Err(e) => eprintln!("no compute baseline ({e}); skipping its gates"),
-                        }
-                        match std::fs::read_to_string("BENCH_transport.json") {
-                            Ok(base) => gates.extend(benchgate::check_transport(&base, t)),
-                            Err(e) => eprintln!("no transport baseline ({e}); skipping its gates"),
-                        }
-                        gates
-                    };
-                    let mut gates = run_gates(&creport, &treport);
-                    if !gates.iter().all(|g| g.ok) {
-                        // One retry before failing: re-measure and keep
-                        // each metric's best attempt, so a single noisy
-                        // timing window on a shared box cannot fail CI.
-                        eprintln!("a gate regressed; re-measuring once to rule out machine noise");
-                        let creport2 = compute::run();
-                        let treport2 = transport::run();
-                        gates = benchgate::merge_best(gates, run_gates(&creport2, &treport2));
-                    }
-                    if !benchgate::print(&gates) {
-                        eprintln!(
-                            "perf gate failed: a gated ratio regressed more than {:.0}% \
-                             below its committed baseline (UPDATE_BENCH=1 refreshes baselines \
-                             after an intentional change)",
-                            benchgate::TOLERANCE * 100.0
-                        );
-                        std::process::exit(1);
-                    }
-                } else {
-                    let path = compute::write_json(&creport, "BENCH_compute.json")
-                        .expect("write BENCH_compute.json");
-                    println!("wrote {path}");
-                    let path = transport::write_json(&treport, "BENCH_transport.json")
-                        .expect("write BENCH_transport.json");
-                    println!("wrote {path}");
-                }
-            }
-            "faults" => {
-                let report = faults::run();
-                faults::print(&report);
-                dump(json, "faults", &report);
-            }
-            "crash" => {
-                let report = crash::run();
-                crash::print(&report);
-                dump(json, "crash", &report);
-            }
-            "trace" => {
-                let path = trace_export::write("fig13_timeline.json").expect("write chrome trace");
-                println!("wrote {path} (open in chrome://tracing or Perfetto)");
-                let report = trace_run::run().expect("instrumented training run");
-                trace_run::print(&report);
-                dump(json, "trace", &report);
-            }
-            "rmetric" => {
-                let rows = rmetric::run();
-                rmetric::print(&rows);
-                dump(json, "rmetric", &rows);
-            }
-            "plan" => {
-                let rows = plan::run();
-                plan::print(&rows);
-                dump(json, "plan", &rows);
-            }
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+        }
+    };
+    let exec = Executor::new(ARTIFACT_ROOT, jobs, seed, LabEnv::detect());
+    let summary = if verify {
+        exec.verify(dag, &selected)
+    } else {
+        exec.run(dag, &selected)
+    };
+    print_summary(if verify { "verify" } else { "run" }, &summary);
+    i32::from(!summary.ok())
+}
+
+fn print_summary(mode: &str, summary: &RunSummary) {
+    println!(
+        "lab {mode}: {} ok, {} failed, {} skipped in {} ms",
+        summary.count(TaskStatus::Ok),
+        summary.count(TaskStatus::Failed),
+        summary.count(TaskStatus::Skipped),
+        summary.elapsed_ms
+    );
+    for o in &summary.outcomes {
+        if o.status == TaskStatus::Failed {
+            println!("  FAILED {}: {}", o.name, o.detail);
         }
     }
 }
 
-fn dump<T: serde::Serialize>(enabled: bool, name: &str, rows: &T) {
-    if enabled {
-        println!(
-            "JSON[{name}]: {}",
-            serde_json::to_string(rows).expect("experiment rows serialize")
-        );
+/// The registry-derived task listing (also the unknown-subcommand help).
+fn print_task_list(dag: &Dag) {
+    eprintln!("tasks (repro <name>, or repro lab --only <glob>):");
+    for t in dag.tasks() {
+        let mut notes = Vec::new();
+        if !t.tags.is_empty() {
+            notes.push(
+                t.tags
+                    .iter()
+                    .map(|tag| format!("{tag}/{}", t.name))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+        }
+        if t.exclusive {
+            notes.push("exclusive".to_string());
+        }
+        if !t.default_set {
+            notes.push("not in default set".to_string());
+        }
+        if !t.deps.is_empty() {
+            notes.push(format!("needs {}", t.deps.join(", ")));
+        }
+        if notes.is_empty() {
+            eprintln!("  {}", t.name);
+        } else {
+            eprintln!("  {:<12} ({})", t.name, notes.join("; "));
+        }
+    }
+    eprintln!("  all          (every default-set task, serially)");
+    eprintln!("  bench        (compute + transport; --check gates vs committed baselines)");
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("{msg}");
+    eprintln!("usage: repro lab [--only <glob>]... [--jobs N] [--seed N] [--verify]");
+    2
+}
+
+/// The pre-lab CLI: experiment names as serial aliases over the task
+/// registry, plus the `bench` baseline/gate verb.
+fn run_legacy(dag: &Dag, args: &[String]) -> i32 {
+    let mut names: Vec<String> = args.to_vec();
+    let json = names.iter().any(|a| a == "--json");
+    let check = names.iter().any(|a| a == "--check");
+    names.retain(|a| a != "--json" && a != "--check");
+    if names.is_empty() || names.iter().any(|a| a == "all") {
+        names = dag
+            .topo_order(0)
+            .into_iter()
+            .filter(|i| dag.default_set().contains(i))
+            .map(|i| dag.tasks()[i].name.clone())
+            .collect();
+    }
+
+    let exec = Executor::new(ARTIFACT_ROOT, 1, 0, LabEnv::detect());
+    for name in &names {
+        let code = match name.as_str() {
+            "bench" => run_bench(dag, &exec, check, json),
+            "compute" | "transport" => {
+                let code = run_alias(dag, &exec, name, json);
+                if code == 0 {
+                    promote_baseline(name);
+                }
+                code
+            }
+            _ => run_alias(dag, &exec, name, json),
+        };
+        if code != 0 {
+            return code;
+        }
+    }
+    0
+}
+
+/// Run one named task serially through the executor; with `--json`,
+/// echo each JSON artifact as a compact `JSON[stem]: ...` line.
+fn run_alias(dag: &Dag, exec: &Executor, name: &str, json: bool) -> i32 {
+    let Some(idx) = dag.find(name) else {
+        eprintln!("unknown experiment: {name}");
+        print_task_list(dag);
+        return 2;
+    };
+    let selected: BTreeSet<usize> = dag
+        .select(&[name.to_string()])
+        .expect("registered name selects");
+    let summary = exec.run(dag, &selected);
+    if !summary.ok() {
+        print_summary("run", &summary);
+        return 1;
+    }
+    if json {
+        dump_artifacts(&dag.tasks()[idx].name);
+    }
+    0
+}
+
+/// `repro bench`: measure both perf suites; rewrite the root baselines,
+/// or with `--check` gate against them (one noise retry) and fail on
+/// regression.
+fn run_bench(dag: &Dag, exec: &Executor, check: bool, json: bool) -> i32 {
+    let update = std::env::var("UPDATE_BENCH").is_ok_and(|v| v == "1");
+    if check && !update {
+        let (_, _, gates) = benchgate::run_check();
+        if !benchgate::print(&gates) {
+            eprintln!(
+                "perf gate failed: a gated ratio regressed more than {:.0}% \
+                 below its committed baseline (UPDATE_BENCH=1 refreshes baselines \
+                 after an intentional change)",
+                benchgate::TOLERANCE * 100.0
+            );
+            return 1;
+        }
+        return 0;
+    }
+    for name in ["compute", "transport"] {
+        let code = run_alias(dag, exec, name, json);
+        if code != 0 {
+            return code;
+        }
+        promote_baseline(name);
+    }
+    0
+}
+
+/// Copy a perf task's artifact to the repo-root `BENCH_*.json` baseline
+/// location — the tracked files the CI gate compares against.
+fn promote_baseline(task: &str) {
+    let file = format!("BENCH_{task}.json");
+    let src = std::path::Path::new(ARTIFACT_ROOT).join(task).join(&file);
+    match std::fs::copy(&src, &file) {
+        Ok(_) => println!("wrote {file}"),
+        Err(e) => eprintln!("could not refresh {file} from {}: {e}", src.display()),
+    }
+}
+
+/// Echo every JSON artifact of `task` as a compact `JSON[stem]: ...`
+/// line (the format EXPERIMENTS.md bookkeeping consumes).
+fn dump_artifacts(task: &str) {
+    let dir = std::path::Path::new(ARTIFACT_ROOT).join(task);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "json")
+                && p.file_name()
+                    .is_some_and(|n| n != "manifest.json" && n != "diagnostics.json")
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        // Artifacts are written pretty; the dump line is compact.
+        match serde_json::from_str::<serde_json::Value>(&text) {
+            Ok(v) => println!(
+                "JSON[{stem}]: {}",
+                serde_json::to_string(&v).expect("re-render parsed JSON")
+            ),
+            Err(_) => println!("JSON[{stem}]: {}", text.trim()),
+        }
     }
 }

@@ -1698,32 +1698,34 @@ pub mod benchgate {
 
     /// Compare a fresh compute report against baseline JSON text.
     pub fn check_compute(baseline_json: &str, report: &compute::Report) -> Vec<Gate> {
-        let base: serde_json::Value = match serde_json::from_str(baseline_json) {
-            Ok(v) => v,
-            Err(_) => return Vec::new(),
+        let fresh = serde_json::to_string(report).expect("report serializes");
+        check_compute_json(baseline_json, &fresh)
+    }
+
+    /// Compare two compute reports, both as JSON text — the form the lab
+    /// uses, gating the `compute` task's artifact without re-measuring.
+    pub fn check_compute_json(baseline_json: &str, fresh_json: &str) -> Vec<Gate> {
+        let (Ok(base), Ok(fresh)) = (
+            serde_json::from_str::<serde_json::Value>(baseline_json),
+            serde_json::from_str::<serde_json::Value>(fresh_json),
+        ) else {
+            return Vec::new();
         };
         let mut gates = Vec::new();
-        for row in &report.kernels {
-            let Some(brow) = base["kernels"].as_array().and_then(|rows| {
-                rows.iter()
-                    .find(|r| r["hidden"].as_u64() == Some(row.hidden as u64))
-            }) else {
+        let empty = Vec::new();
+        for row in fresh["kernels"].as_array().unwrap_or(&empty) {
+            let Some(hidden) = row["hidden"].as_u64() else {
                 continue;
             };
-            for (name, baseline, current) in [
-                (
-                    "blocked_speedup",
-                    brow["blocked_speedup"].as_f64(),
-                    row.blocked_speedup,
-                ),
-                (
-                    "simd_vs_blocked",
-                    brow["simd_vs_blocked"].as_f64(),
-                    row.simd_vs_blocked,
-                ),
-            ] {
-                if let Some(b) = baseline {
-                    gates.push(gate(format!("compute.h{}.{name}", row.hidden), b, current));
+            let Some(brow) = base["kernels"]
+                .as_array()
+                .and_then(|rows| rows.iter().find(|r| r["hidden"].as_u64() == Some(hidden)))
+            else {
+                continue;
+            };
+            for name in ["blocked_speedup", "simd_vs_blocked"] {
+                if let (Some(b), Some(c)) = (brow[name].as_f64(), row[name].as_f64()) {
+                    gates.push(gate(format!("compute.h{hidden}.{name}"), b, c));
                 }
             }
         }
@@ -1732,19 +1734,73 @@ pub mod benchgate {
 
     /// Compare a fresh transport report against baseline JSON text.
     pub fn check_transport(baseline_json: &str, report: &transport::Report) -> Vec<Gate> {
-        let base: serde_json::Value = match serde_json::from_str(baseline_json) {
-            Ok(v) => v,
-            Err(_) => return Vec::new(),
+        let fresh = serde_json::to_string(report).expect("report serializes");
+        check_transport_json(baseline_json, &fresh)
+    }
+
+    /// Compare two transport reports, both as JSON text.
+    pub fn check_transport_json(baseline_json: &str, fresh_json: &str) -> Vec<Gate> {
+        let (Ok(base), Ok(fresh)) = (
+            serde_json::from_str::<serde_json::Value>(baseline_json),
+            serde_json::from_str::<serde_json::Value>(fresh_json),
+        ) else {
+            return Vec::new();
         };
         let mut gates = Vec::new();
-        if let Some(b) = field(&base, &["fastpath", "speedup"]) {
-            gates.push(gate(
-                "transport.fastpath.speedup".to_string(),
-                b,
-                report.fastpath.speedup,
-            ));
+        if let (Some(b), Some(c)) = (
+            field(&base, &["fastpath", "speedup"]),
+            field(&fresh, &["fastpath", "speedup"]),
+        ) {
+            gates.push(gate("transport.fastpath.speedup".to_string(), b, c));
         }
         gates
+    }
+
+    /// Gate fresh compute/transport report JSON against the committed
+    /// root baselines (`BENCH_compute.json` / `BENCH_transport.json`).
+    /// A missing baseline skips its gates with a note — first runs on a
+    /// new tree must not fail.
+    pub fn gates_against_baselines(fresh_compute: &str, fresh_transport: &str) -> Vec<Gate> {
+        let mut gates = Vec::new();
+        match std::fs::read_to_string("BENCH_compute.json") {
+            Ok(base) => gates.extend(check_compute_json(&base, fresh_compute)),
+            Err(e) => eprintln!("no compute baseline ({e}); skipping its gates"),
+        }
+        match std::fs::read_to_string("BENCH_transport.json") {
+            Ok(base) => gates.extend(check_transport_json(&base, fresh_transport)),
+            Err(e) => eprintln!("no transport baseline ({e}); skipping its gates"),
+        }
+        gates
+    }
+
+    /// Retry half of the `--check` flow: if any gate in `gates` failed,
+    /// re-measure both suites once and keep each metric's best attempt,
+    /// so a single noisy timing window on a shared box cannot fail CI.
+    pub fn retry_if_failed(gates: Vec<Gate>) -> Vec<Gate> {
+        if gates.iter().all(|g| g.ok) {
+            return gates;
+        }
+        eprintln!("a gate regressed; re-measuring once to rule out machine noise");
+        let creport = compute::run();
+        let treport = transport::run();
+        let fresh_c = serde_json::to_string(&creport).expect("report serializes");
+        let fresh_t = serde_json::to_string(&treport).expect("report serializes");
+        merge_best(gates, gates_against_baselines(&fresh_c, &fresh_t))
+    }
+
+    /// The whole `repro bench --check` measurement flow: run both perf
+    /// suites, print their tables, gate the within-run ratios against
+    /// the committed baselines, and retry once on failure. The caller
+    /// renders the gates ([`print`]) and decides the exit code.
+    pub fn run_check() -> (compute::Report, transport::Report, Vec<Gate>) {
+        let creport = compute::run();
+        compute::print(&creport);
+        let treport = transport::run();
+        transport::print(&treport);
+        let fresh_c = serde_json::to_string(&creport).expect("report serializes");
+        let fresh_t = serde_json::to_string(&treport).expect("report serializes");
+        let gates = retry_if_failed(gates_against_baselines(&fresh_c, &fresh_t));
+        (creport, treport, gates)
     }
 
     /// Merge two gate runs of the same metrics, keeping each metric's
@@ -1971,6 +2027,8 @@ pub mod crash {
         pub seed: u64,
         /// Training iterations per scenario.
         pub iters: u64,
+        /// Hex digest of the `IterationPlan` every scenario executed.
+        pub plan_digest: String,
         /// Per-scenario ledgers.
         pub scenarios: Vec<ScenarioRow>,
         /// Per-rank breakdown (summed over scenarios).
@@ -2155,6 +2213,7 @@ pub mod crash {
         Report {
             seed,
             iters,
+            plan_digest: format!("{:016x}", cfg.compile_plan(&PlanOpts::default()).digest()),
             scenarios: rows,
             ranks,
             ckpt_save_spans,
@@ -2267,6 +2326,8 @@ pub mod faults {
         pub seed: u64,
         /// Training iterations run.
         pub iters: u64,
+        /// Hex digest of the `IterationPlan` both runs executed.
+        pub plan_digest: String,
         /// Largest |Δ| across loss histories vs the fault-free run.
         pub max_loss_diff: f32,
         /// Largest |Δ| across final expert weights vs the fault-free run.
@@ -2332,6 +2393,11 @@ pub mod faults {
         Report {
             seed,
             iters,
+            plan_digest: format!(
+                "{:016x}",
+                cfg.compile_plan(&janus_core::plan::PlanOpts::default())
+                    .digest()
+            ),
             max_loss_diff: d.max_loss_diff,
             max_weight_diff: d.max_weight_diff,
             totals: chaotic.comm_totals(),

@@ -15,6 +15,7 @@
 //! at reduced scale, timing the harness itself.
 
 pub mod experiments;
+pub mod lab;
 pub mod table;
 
 use janus_topology::{Cluster, ClusterSpec};

@@ -63,4 +63,4 @@ pub mod exec {
 }
 
 pub use paradigm::{choose_paradigm, Paradigm, ParadigmPolicy};
-pub use plan::{IterationPlan, PlanOpts};
+pub use plan::{Fnv64, IterationPlan, PlanOpts};

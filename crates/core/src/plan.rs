@@ -287,7 +287,7 @@ impl IterationPlan {
     /// identically; tests use this to assert the simulator and the
     /// numerical engines consumed the same plan.
     pub fn digest(&self) -> u64 {
-        let mut h = Fnv::new();
+        let mut h = Fnv64::new();
         h.word(self.machines as u64);
         h.word(self.gpus_per_machine as u64);
         h.byte(policy_tag(self.policy));
@@ -357,27 +357,54 @@ fn paradigm_tag(p: Paradigm) -> u8 {
     }
 }
 
-/// FNV-1a, 64-bit.
-struct Fnv(u64);
+/// FNV-1a, 64-bit — the one content hash every digest in the workspace
+/// uses: [`IterationPlan::digest`], the lab's artifact manifests, and
+/// the config digests recorded alongside them. Public so tools hashing
+/// artifacts produce values comparable with plan digests.
+pub struct Fnv64(u64);
 
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
     }
 
-    fn byte(&mut self, b: u8) {
+    /// Fold one byte.
+    pub fn byte(&mut self, b: u8) {
         self.0 ^= b as u64;
         self.0 = self.0.wrapping_mul(0x100_0000_01b3);
     }
 
-    fn word(&mut self, w: u64) {
+    /// Fold a `u64` as its little-endian bytes.
+    pub fn word(&mut self, w: u64) {
         for b in w.to_le_bytes() {
             self.byte(b);
         }
     }
 
-    fn finish(&self) -> u64 {
+    /// Fold a byte slice.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
         self.0
+    }
+
+    /// One-shot digest of a byte slice.
+    pub fn digest_of(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.bytes(bytes);
+        h.finish()
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

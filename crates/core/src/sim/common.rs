@@ -134,9 +134,14 @@ impl<'a> Ctx<'a> {
 /// Measure communication-phase windows from a simulation result: groups
 /// records whose label starts with `a2a/` by phase (`a2a/b{b}/{tag}`) and
 /// sums `max(finish) − min(start)` per phase.
+///
+/// The per-phase windows are summed in key order (`BTreeMap`): float
+/// addition is not associative, so a hash map here would let the
+/// process-random hasher seed wiggle the last ULP of the total between
+/// runs — enough to fail a bitwise artifact verification.
 pub fn a2a_window_time(sim: &janus_netsim::SimResult) -> f64 {
-    use std::collections::HashMap;
-    let mut phases: HashMap<&str, (f64, f64)> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut phases: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
     for r in &sim.records {
         if !r.label.starts_with("a2a/") {
             continue;

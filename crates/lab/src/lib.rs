@@ -1,0 +1,58 @@
+//! `janus-lab`: the experiment DAG runner behind `repro lab`.
+//!
+//! The paper's evaluation is a matrix of interdependent artifacts
+//! (tables, figures, fault/crash/trace ledgers, perf baselines). This
+//! crate models that matrix as a dependency graph of [`TaskSpec`] nodes
+//! — name, dependency edges, resource hints, and a run closure that
+//! produces artifact files — validated up front ([`Dag`]) and executed
+//! by an [`Executor`] that schedules independent nodes in parallel on
+//! the `janus-tensor` thread pool.
+//!
+//! Every node run emits, next to its artifact files:
+//!
+//! - `manifest.json` — everything needed to reproduce the artifact:
+//!   config digest, seed, `IterationPlan` digests, git-describe, tool
+//!   versions, input-artifact hashes, and a canonical content digest per
+//!   output file.
+//! - `diagnostics.json` — how the run went: elapsed wall time, the
+//!   `janus-obs` counter snapshot, thread configuration.
+//!
+//! Digests are the workspace-wide FNV-1a (`janus_core::Fnv64`), so an
+//! artifact hash and a plan digest live in the same value space. Files
+//! whose bytes embed wall-clock measurements are either marked
+//! *volatile* (recorded but never verified) or hashed through a masked
+//! canonical form that nulls the timing-only JSON fields — which is what
+//! lets [`Executor::verify`] re-run a node from its manifest and diff
+//! the output bitwise, timing fields excluded.
+//!
+//! Scheduling is wave-based and deterministic per seed: ready nodes are
+//! ordered by a seeded hash, non-exclusive nodes of a wave run in
+//! parallel (bounded by `--jobs`), and nodes flagged
+//! [`exclusive`](TaskSpec::exclusive) run alone so their timings (bench
+//! nodes) and process-global state (forced SIMD, the global recorder)
+//! stay clean. Tasks running inside pool workers inherit the pool's
+//! nested-region guard, so their internal kernels serialize instead of
+//! oversubscribing — bitwise-identically, by the pool's disjoint-work
+//! invariant, which is why `--jobs 1` and `--jobs 4` produce identical
+//! manifests.
+
+pub mod dag;
+pub mod exec;
+pub mod manifest;
+
+pub use dag::{Dag, DagError, OutFile, TaskCtx, TaskReport, TaskSpec};
+pub use exec::{Executor, LabEnv, RunSummary, TaskOutcome, TaskStatus};
+pub use manifest::{canonical_digest, Diagnostics, FileEntry, Manifest};
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serialize multi-line console output across concurrently running
+/// tasks: a task that prints a rendered table takes this lock for the
+/// duration of the print, so `--jobs 4` interleaves whole tables, never
+/// lines. (Rust's `println!` only locks per line.)
+pub fn stdout_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}

@@ -93,6 +93,19 @@ impl Metrics {
             .clone()
     }
 
+    /// Snapshot of every registered counter, sorted by name. This is the
+    /// export the lab's `diagnostics.json` embeds per artifact: a stable,
+    /// machine-readable record of what the observability layer saw while
+    /// the artifact was produced.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .counters
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
     /// Current value of counter `name` (0 when unregistered).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.inner
@@ -166,6 +179,13 @@ mod tests {
         m.counter("janus_b_total").fetch_add(3, Ordering::Relaxed);
         assert_eq!(m.counter_value("janus_b_total"), 5);
         assert_eq!(m.counter_value("janus_missing"), 0);
+        assert_eq!(
+            m.counter_values(),
+            vec![
+                ("janus_a_total".to_string(), 1),
+                ("janus_b_total".to_string(), 5)
+            ]
+        );
         let text = m.prometheus_text();
         // Sorted by name: a before b.
         let a = text.find("janus_a_total 1").unwrap();

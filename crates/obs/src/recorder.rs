@@ -191,6 +191,12 @@ impl Recorder {
         &self.metrics
     }
 
+    /// Snapshot of every registered counter, sorted by name (see
+    /// [`Metrics::counter_values`]).
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.metrics.counter_values()
+    }
+
     /// Prometheus text dump of all metrics.
     pub fn prometheus_text(&self) -> String {
         self.metrics.prometheus_text()

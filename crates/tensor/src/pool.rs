@@ -71,7 +71,35 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = threads().min(n);
+    run_tasks_bounded(usize::MAX, n, f)
+}
+
+/// [`run_tasks`] with an explicit worker ceiling: at most
+/// `min(limit, threads(), n)` workers run concurrently. Callers that
+/// schedule coarse-grained jobs (the lab's experiment DAG) use the limit
+/// to honour a `--jobs N` budget without touching the process-wide
+/// thread configuration.
+///
+/// An explicit finite `limit` is a *task-concurrency* budget, not a CPU
+/// hint: it may exceed the configured pool width, because coarse jobs
+/// can block on I/O or sleeps where extra in-flight tasks still help.
+/// Only the unbounded form ([`run_tasks`]) clamps to [`threads`].
+///
+/// Workers run with the pool's nested-region guard set, so tasks that
+/// themselves call into parallel kernels degrade to their serial path
+/// instead of oversubscribing — and, by the pool's disjoint-work
+/// invariant, produce bitwise-identical results doing so.
+pub fn run_tasks_bounded<T, F>(limit: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let budget = if limit == usize::MAX {
+        threads()
+    } else {
+        limit.max(1)
+    };
+    let workers = budget.min(n);
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -246,6 +274,16 @@ mod tests {
                 "row {r} written wrongly: {row:?}"
             );
         }
+    }
+
+    #[test]
+    fn bounded_tasks_return_in_index_order() {
+        set_threads(4);
+        let out = run_tasks_bounded(2, 16, |i| i + 1);
+        set_threads(0);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+        // A zero limit is clamped to one worker, not zero.
+        assert_eq!(run_tasks_bounded(0, 3, |i| i), vec![0, 1, 2]);
     }
 
     #[test]
