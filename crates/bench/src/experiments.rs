@@ -2464,3 +2464,93 @@ pub mod faults {
         );
     }
 }
+
+/// The serving-plane SLO sweep: p50/p99 versus replica budget, simulated
+/// and real (localhost TCP), under a Zipf-skewed gate.
+pub mod serve {
+    use super::*;
+    pub use janus_serve::report::SloReport as Report;
+
+    /// Build the full SLO report (simulated sweep + real TCP sweep).
+    pub fn run() -> Report {
+        janus_serve::report::build()
+    }
+
+    pub fn print(report: &Report) {
+        println!(
+            "Serving SLO — continuous batching over disaggregated expert \
+             workers (zipf {}, {} requests × {} tokens, top-{} of {} \
+             experts, gate histogram {:?}):\n",
+            report.zipf,
+            report.requests,
+            report.tokens_per_request,
+            report.top_k,
+            report.experts,
+            report.hist
+        );
+        let sim_body: Vec<Vec<String>> = report
+            .sim
+            .iter()
+            .map(|r| {
+                vec![
+                    r.budget.to_string(),
+                    format!("{:?}", r.counts),
+                    r.hot_replicas.to_string(),
+                    format!("{:.3}", r.p50_ms),
+                    format!("{:.3}", r.p99_ms),
+                    format!("{:.3}", r.mean_ms),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table::render(
+                &[
+                    "budget",
+                    "replicas",
+                    "hot",
+                    "sim p50 ms",
+                    "sim p99 ms",
+                    "sim mean ms"
+                ],
+                &sim_body
+            )
+        );
+        if !report.real.is_empty() {
+            let real_body: Vec<Vec<String>> = report
+                .real
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.budget.to_string(),
+                        format!("{:?}", r.counts),
+                        r.completed.to_string(),
+                        r.redispatches.to_string(),
+                        r.p50_us.to_string(),
+                        r.p99_us.to_string(),
+                        r.mean_us.to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                table::render(
+                    &[
+                        "budget",
+                        "replicas",
+                        "completed",
+                        "redispatch",
+                        "tcp p50 µs",
+                        "tcp p99 µs",
+                        "tcp mean µs"
+                    ],
+                    &real_body
+                )
+            );
+        }
+        println!(
+            "sim p99 improves with replica budget: {}\n",
+            report.sim_p99_improves
+        );
+    }
+}

@@ -153,6 +153,33 @@ pub fn registry() -> Dag {
         .mask(&["counters", "totals"]),
     );
 
+    // The serving-plane SLO sweep. The simulated half (latency vs
+    // replica budget) is deterministic and verifies bitwise; the real
+    // TCP half's measured latencies are wall-clock → masked, while its
+    // structural fields (completions, failovers, replica plans) still
+    // verify.
+    tasks.push(
+        TaskSpec::new("serve", |_ctx| {
+            let report = serve::run();
+            {
+                let _g = janus_lab::stdout_lock();
+                serve::print(&report);
+            }
+            Ok(TaskReport {
+                files: vec![OutFile::new("serve_slo.json", json_bytes(&report))],
+                config: obj(&[
+                    ("experiment", sval("serve")),
+                    ("seed", nval(report.seed as f64)),
+                    ("requests", nval(report.requests as f64)),
+                    ("zipf", nval(report.zipf)),
+                ]),
+                plan_digests: Vec::new(),
+            })
+        })
+        .tag("ci")
+        .mask(janus_serve::report::MASKED_KEYS),
+    );
+
     // Crash recovery enables the global span recorder → exclusive.
     // Recovery latency percentiles are wall-clock → masked.
     tasks.push(
@@ -331,6 +358,7 @@ mod tests {
             "fig17",
             "ablations",
             "faults",
+            "serve",
             "crash",
             "trace",
             "compute",
@@ -348,6 +376,7 @@ mod tests {
         let names: Vec<&str> = sel.iter().map(|&i| dag.tasks()[i].name.as_str()).collect();
         for expected in [
             "faults",
+            "serve",
             "crash",
             "trace",
             "benchgate",

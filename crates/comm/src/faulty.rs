@@ -399,6 +399,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn death_handle(&self) -> crate::liveness::DeathHandle {
         self.inner.death_handle()
     }
+
+    fn acknowledge_dead(&self, rank: usize) {
+        self.inner.acknowledge_dead(rank)
+    }
 }
 
 #[cfg(test)]

@@ -188,6 +188,9 @@ struct MonState {
     last_heard: Vec<Instant>,
     /// Wall-clock of the last idle (blocked-in-recv) heartbeat.
     last_idle_hb: Instant,
+    /// Dead peers this endpoint has acknowledged (failed over from):
+    /// liveness checks skip them so the survivors keep making progress.
+    acked: Vec<bool>,
 }
 
 /// Transport wrapper enforcing the no-hang guarantee: every blocking
@@ -215,6 +218,7 @@ impl<T: Transport> LivenessMonitor<T> {
                 last_seen: vec![0; world],
                 last_heard: vec![now; world],
                 last_idle_hb: now,
+                acked: vec![false; world],
             }),
         }
     }
@@ -236,12 +240,23 @@ impl<T: Transport> LivenessMonitor<T> {
         }
     }
 
-    /// Fail if any peer is marked dead on the board.
+    /// Fail if any unacknowledged peer is marked dead on the board.
     fn check_board(&self, state: &MonState) -> Result<(), CommError> {
-        match self.board.first_dead_except(self.inner.rank()) {
-            Some((rank, reason)) => Err(self.peer_dead(state, rank, reason)),
-            None => Ok(()),
+        if !state.acked.iter().any(|&a| a) {
+            return match self.board.first_dead_except(self.inner.rank()) {
+                Some((rank, reason)) => Err(self.peer_dead(state, rank, reason)),
+                None => Ok(()),
+            };
         }
+        let me = self.inner.rank();
+        for rank in 0..self.inner.world_size() {
+            if rank != me && !state.acked[rank] {
+                if let Some(reason) = self.board.reason(rank) {
+                    return Err(self.peer_dead(state, rank, reason));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Declare silent peers dead (heartbeats enabled only).
@@ -251,7 +266,10 @@ impl<T: Transport> LivenessMonitor<T> {
         }
         let me = self.inner.rank();
         for rank in 0..self.inner.world_size() {
-            if rank != me && state.last_heard[rank].elapsed() > self.cfg.suspect_after {
+            if rank != me
+                && !state.acked[rank]
+                && state.last_heard[rank].elapsed() > self.cfg.suspect_after
+            {
                 let reason = format!(
                     "no message or heartbeat for {:?} (suspect_after)",
                     self.cfg.suspect_after
@@ -390,6 +408,10 @@ impl<T: Transport> Transport for LivenessMonitor<T> {
 
     fn death_handle(&self) -> DeathHandle {
         DeathHandle::new(self.inner.rank(), self.board.clone())
+    }
+
+    fn acknowledge_dead(&self, rank: usize) {
+        self.state.borrow_mut().acked[rank] = true;
     }
 }
 

@@ -152,13 +152,21 @@ impl<T: Transport> ReliableTransport<T> {
                 }
                 // Cumulative ack for everything contiguously delivered,
                 // including re-acks of duplicates (the peer evidently
-                // missed the previous one).
+                // missed the previous one). A peer that already tore its
+                // endpoint down no longer needs acks — erroring here
+                // would abort the caller's recv even though the message
+                // just delivered is sitting in `ready`.
                 let ack = state.expected[from] - 1;
-                self.inner.send(from, Message::Ack { ack })?;
-                state.stats.acks_sent += 1;
-                crate::obs::proto_event(self.inner.rank(), "janus_comm_acks_total", || {
-                    format!("ack/from{from}/s{ack}")
-                });
+                match self.inner.send(from, Message::Ack { ack }) {
+                    Ok(()) => {
+                        state.stats.acks_sent += 1;
+                        crate::obs::proto_event(self.inner.rank(), "janus_comm_acks_total", || {
+                            format!("ack/from{from}/s{ack}")
+                        });
+                    }
+                    Err(CommError::Disconnected) => {}
+                    Err(e) => return Err(e),
+                }
             }
             Message::Ack { ack } => {
                 let queue = &mut state.unacked[from];
@@ -173,9 +181,18 @@ impl<T: Transport> ReliableTransport<T> {
 
     /// Retransmit every overdue unacked envelope; error out when one
     /// exhausts its attempt budget.
+    ///
+    /// A `Disconnected` retransmit means *that* peer already tore its
+    /// endpoint down, so nothing it still needed from us is outstanding:
+    /// its queue is dropped and the pump moves on. Propagating the error
+    /// instead would abort the caller's send/recv — and, worse, a flush
+    /// draining a *different* peer's still-deliverable messages (a
+    /// dropped `Shutdown` abandoned that way leaves an open-loop serving
+    /// worker blocked in `recv` forever).
     fn pump_retransmits(&self, state: &mut RelState) -> Result<(), CommError> {
         let now = Instant::now();
         for peer in 0..state.unacked.len() {
+            let mut peer_gone = false;
             for pending in state.unacked[peer].iter_mut() {
                 if pending.next_retry > now {
                     continue;
@@ -191,7 +208,14 @@ impl<T: Transport> ReliableTransport<T> {
                         elapsed: now.duration_since(pending.first_sent),
                     });
                 }
-                self.inner.send(peer, pending.envelope.clone())?;
+                match self.inner.send(peer, pending.envelope.clone()) {
+                    Ok(()) => {}
+                    Err(CommError::Disconnected) => {
+                        peer_gone = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
                 pending.attempts += 1;
                 pending.backoff = (pending.backoff * 2).min(self.policy.max_backoff);
                 pending.next_retry = now + pending.backoff;
@@ -200,6 +224,9 @@ impl<T: Transport> ReliableTransport<T> {
                 crate::obs::proto_event(self.inner.rank(), "janus_comm_retransmits_total", || {
                     format!("retransmit/to{peer}/s{seq}")
                 });
+            }
+            if peer_gone {
+                state.unacked[peer].clear();
             }
         }
         Ok(())
@@ -273,13 +300,20 @@ impl<T: Transport> Transport for ReliableTransport<T> {
         self.inner.send(to, envelope)
     }
 
+    // In every recv path below, already-delivered messages in `ready`
+    // are served before a drain error propagates: a peer tearing down
+    // concurrently must not swallow traffic that was delivered in order
+    // before it left (its final message is typically the very thing the
+    // caller is waiting for, e.g. a `Shutdown`).
+
     fn recv(&self) -> Result<(usize, Message), CommError> {
         loop {
             let mut state = self.state.borrow_mut();
-            self.drain_and_pump(&mut state)?;
+            let pumped = self.drain_and_pump(&mut state);
             if let Some(m) = state.ready.pop_front() {
                 return Ok(m);
             }
+            pumped?;
             let slice = self.wait_slice(&state);
             drop(state);
             if let Some((from, msg)) = self.inner.recv_timeout(slice)? {
@@ -291,18 +325,23 @@ impl<T: Transport> Transport for ReliableTransport<T> {
 
     fn try_recv(&self) -> Result<Option<(usize, Message)>, CommError> {
         let mut state = self.state.borrow_mut();
-        self.drain_and_pump(&mut state)?;
-        Ok(state.ready.pop_front())
+        let pumped = self.drain_and_pump(&mut state);
+        if let Some(m) = state.ready.pop_front() {
+            return Ok(Some(m));
+        }
+        pumped?;
+        Ok(None)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, Message)>, CommError> {
         let deadline = Instant::now() + timeout;
         loop {
             let mut state = self.state.borrow_mut();
-            self.drain_and_pump(&mut state)?;
+            let pumped = self.drain_and_pump(&mut state);
             if let Some(m) = state.ready.pop_front() {
                 return Ok(Some(m));
             }
+            pumped?;
             let now = Instant::now();
             if now >= deadline {
                 return Ok(None);
@@ -372,6 +411,10 @@ impl<T: Transport> Transport for ReliableTransport<T> {
 
     fn death_handle(&self) -> crate::liveness::DeathHandle {
         self.inner.death_handle()
+    }
+
+    fn acknowledge_dead(&self, rank: usize) {
+        self.inner.acknowledge_dead(rank)
     }
 }
 
@@ -443,6 +486,65 @@ mod tests {
             stats.faults_dropped > 0 && stats.retransmits > 0,
             "test is vacuous without injected loss: {stats:?}"
         );
+    }
+
+    /// A peer that tore down with traffic still unacked to it must not
+    /// poison delivery to the peers that are still alive: rank 2 exits
+    /// while rank 0 owes it an envelope, and rank 0's flush must still
+    /// retransmit rank 1's (initially dropped) message until acked
+    /// instead of abandoning every queue on the first `Disconnected`.
+    #[test]
+    fn flush_survives_one_dead_peer_and_still_delivers_to_the_living() {
+        let plan = FaultPlan {
+            seed: 9,
+            partitions: vec![Partition {
+                a: 0,
+                b: 2,
+                from_op: 0,
+                to_op: 1,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut mesh = local_mesh(3);
+        let b = ReliableTransport::with_policy(mesh.pop().unwrap(), quick_policy());
+        let t1 = mesh.pop().unwrap();
+        let a = ReliableTransport::with_policy(
+            FaultyTransport::new(mesh.pop().unwrap(), plan),
+            quick_policy(),
+        );
+        drop(t1); // rank 1 is gone before rank 0 ever reaches it
+                  // The dead peer has the lower rank, so the retransmit pump
+                  // reaches its queue first — before the fix, the resulting
+                  // `Disconnected` aborted the flush and abandoned rank 2's
+                  // still-deliverable message.
+        assert!(matches!(
+            a.send(1, Message::Barrier { epoch: 0 }),
+            Err(CommError::Disconnected)
+        ));
+        a.send(2, Message::Barrier { epoch: 7 }).unwrap(); // dropped by the partition
+        std::thread::scope(|s| {
+            let receiver = s.spawn(move || {
+                assert_eq!(b.recv().unwrap(), (0, Message::Barrier { epoch: 7 }));
+                b.flush().unwrap();
+            });
+            a.flush().unwrap();
+            receiver.join().unwrap();
+        });
+    }
+
+    /// An in-order message delivered just before the sender tears down
+    /// must still come out of `recv`: the ack for it cannot be sent
+    /// (the peer is gone) and draining the inner transport reports
+    /// `Disconnected`, but neither may outrank the `ready` queue.
+    #[test]
+    fn recv_serves_delivered_messages_before_reporting_disconnect() {
+        let mut mesh = local_mesh(2);
+        let b = ReliableTransport::with_policy(mesh.pop().unwrap(), quick_policy());
+        let a = ReliableTransport::with_policy(mesh.pop().unwrap(), quick_policy());
+        a.send(1, Message::Shutdown).unwrap();
+        drop(a); // sender exits without waiting for the ack
+        assert_eq!(b.recv().unwrap(), (0, Message::Shutdown));
+        assert!(b.try_recv().unwrap().is_none());
     }
 
     #[test]

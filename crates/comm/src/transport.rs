@@ -202,6 +202,16 @@ pub trait Transport: Send {
     fn death_handle(&self) -> crate::liveness::DeathHandle {
         crate::liveness::DeathHandle::noop()
     }
+
+    /// Tolerate a peer this endpoint knows to be dead: after the call,
+    /// blocking operations no longer fail with [`CommError::PeerDead`]
+    /// for `rank`, so the survivors can keep talking to each other
+    /// (failover) instead of tearing the whole world down. Sending to
+    /// the dead rank still fails. Plain transports never raise
+    /// `PeerDead`, so the default is a no-op;
+    /// [`crate::liveness::LivenessMonitor`] implements it and wrapper
+    /// transports forward to their inner transport.
+    fn acknowledge_dead(&self, _rank: usize) {}
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub mod manifest;
 
 pub use dag::{Dag, DagError, OutFile, TaskCtx, TaskReport, TaskSpec};
 pub use exec::{Executor, LabEnv, RunSummary, TaskOutcome, TaskStatus};
-pub use manifest::{canonical_digest, Diagnostics, FileEntry, Manifest};
+pub use manifest::{canonical_digest, canonical_masked_json, Diagnostics, FileEntry, Manifest};
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
 

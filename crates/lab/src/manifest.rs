@@ -124,21 +124,29 @@ impl Diagnostics {
 /// every other byte of content. Non-JSON files (and JSON that fails to
 /// parse) hash over raw bytes.
 pub fn canonical_digest(name: &str, bytes: &[u8], masked: &[String]) -> String {
-    let canonical: Option<Vec<u8>> = if name.ends_with(".json") {
-        std::str::from_utf8(bytes)
-            .ok()
-            .and_then(|text| serde_json::from_str::<Value>(text).ok())
-            .map(|mut v| {
-                mask_value(&mut v, masked);
-                serde_json::to_string(&v)
-                    .expect("value renders")
-                    .into_bytes()
-            })
+    let canonical: Option<String> = if name.ends_with(".json") {
+        canonical_masked_json(bytes, masked)
     } else {
         None
     };
-    let hashed = canonical.as_deref().unwrap_or(bytes);
+    let hashed = canonical.as_deref().map(str::as_bytes).unwrap_or(bytes);
     format!("{:016x}", Fnv64::digest_of(hashed))
+}
+
+/// The masked canonical form of a JSON artifact — parsed, every `masked`
+/// key recursively nulled, re-rendered compact. This is exactly the byte
+/// stream [`canonical_digest`] hashes for `*.json` files, exposed so
+/// golden tests can pin the verified (timing-masked) content of an
+/// artifact instead of an opaque digest. `None` when `bytes` is not
+/// valid JSON.
+pub fn canonical_masked_json(bytes: &[u8], masked: &[String]) -> Option<String> {
+    std::str::from_utf8(bytes)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(text).ok())
+        .map(|mut v| {
+            mask_value(&mut v, masked);
+            serde_json::to_string(&v).expect("value renders")
+        })
 }
 
 /// Recursively replace every object field whose key is in `masked` with

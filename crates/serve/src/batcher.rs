@@ -1,0 +1,152 @@
+//! Iteration-level continuous batching.
+//!
+//! The batcher is the serving analogue of vLLM/Orca-style continuous
+//! batching collapsed to one MoE layer: requests are admitted the moment
+//! they arrive and the engine asks for "the next batch" at every step.
+//! Admission is strictly FCFS and a batch closes when adding the next
+//! request would exceed the token budget — so no request can be
+//! overtaken (per-client FIFO falls out of global FIFO) and every
+//! non-empty queue yields a non-empty batch (no starvation). Both
+//! properties are property-tested in `tests/proptests.rs` of this crate.
+
+use std::collections::VecDeque;
+
+/// Identity of a request within one serving run: which client sent it
+/// and its per-client sequence number. Responses must come back in
+/// `seq` order per client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId {
+    /// Originating client.
+    pub client: usize,
+    /// Position in that client's stream.
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    /// Caller-side handle (index into the workload's request list).
+    request: usize,
+    id: RequestId,
+    tokens: usize,
+}
+
+/// FCFS continuous batcher with a per-batch token budget.
+#[derive(Debug)]
+pub struct Batcher {
+    queue: VecDeque<Queued>,
+    max_batch_tokens: usize,
+    admitted: u64,
+    emitted: u64,
+}
+
+impl Batcher {
+    /// New batcher closing batches at `max_batch_tokens` tokens.
+    pub fn new(max_batch_tokens: usize) -> Self {
+        assert!(max_batch_tokens > 0, "token budget must be positive");
+        Batcher {
+            queue: VecDeque::new(),
+            max_batch_tokens,
+            admitted: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Admit a request of `tokens` tokens. `request` is an opaque handle
+    /// returned verbatim by [`Batcher::next_batch`].
+    pub fn admit(&mut self, request: usize, id: RequestId, tokens: usize) {
+        assert!(tokens > 0, "a request carries at least one token");
+        self.queue.push_back(Queued {
+            request,
+            id,
+            tokens,
+        });
+        self.admitted += 1;
+    }
+
+    /// Requests currently waiting.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Total requests handed out in batches so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Pop the next batch: the longest FCFS prefix of the queue within
+    /// the token budget, but always at least one request when the queue
+    /// is non-empty (an oversized request forms a batch of its own, it
+    /// is never starved). Returns `(request handle, id)` pairs in
+    /// admission order; empty iff the queue is empty.
+    pub fn next_batch(&mut self) -> Vec<(usize, RequestId)> {
+        let mut batch = Vec::new();
+        let mut tokens = 0usize;
+        while let Some(&head) = self.queue.front() {
+            if !batch.is_empty() && tokens + head.tokens > self.max_batch_tokens {
+                break;
+            }
+            tokens += head.tokens;
+            batch.push((head.request, head.id));
+            self.queue.pop_front();
+            self.emitted += 1;
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(client: usize, seq: u64) -> RequestId {
+        RequestId { client, seq }
+    }
+
+    #[test]
+    fn batches_respect_budget_and_order() {
+        let mut b = Batcher::new(8);
+        for i in 0..5 {
+            b.admit(i, id(i % 2, (i / 2) as u64), 3);
+        }
+        let b1 = b.next_batch();
+        assert_eq!(b1.iter().map(|&(r, _)| r).collect::<Vec<_>>(), vec![0, 1]);
+        let b2 = b.next_batch();
+        assert_eq!(b2.iter().map(|&(r, _)| r).collect::<Vec<_>>(), vec![2, 3]);
+        let b3 = b.next_batch();
+        assert_eq!(b3.iter().map(|&(r, _)| r).collect::<Vec<_>>(), vec![4]);
+        assert!(b.next_batch().is_empty());
+        assert_eq!(b.admitted(), 5);
+        assert_eq!(b.emitted(), 5);
+    }
+
+    #[test]
+    fn oversized_request_is_not_starved() {
+        let mut b = Batcher::new(4);
+        b.admit(0, id(0, 0), 10);
+        b.admit(1, id(0, 1), 1);
+        let b1 = b.next_batch();
+        assert_eq!(b1.len(), 1, "oversized head forms its own batch");
+        assert_eq!(b1[0].0, 0);
+        assert_eq!(b.next_batch()[0].0, 1);
+    }
+
+    #[test]
+    fn continuous_admission_joins_next_batch() {
+        let mut b = Batcher::new(100);
+        b.admit(0, id(0, 0), 2);
+        assert_eq!(b.next_batch().len(), 1);
+        // Arrivals between steps join the very next batch.
+        b.admit(1, id(1, 0), 2);
+        b.admit(2, id(0, 1), 2);
+        let batch = b.next_batch();
+        assert_eq!(
+            batch.iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+}

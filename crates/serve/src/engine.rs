@@ -1,0 +1,720 @@
+//! The disaggregated serving runtime.
+//!
+//! Rank 0 is the *frontend* (the attention worker of a disaggregated
+//! deployment): it owns the model, admits requests through the
+//! continuous [`Batcher`], gates each batch, splits every expert's
+//! token list into plan-fixed chunks, and dispatches each chunk to one
+//! replica over the wire (`TokenDispatch`). Expert workers (ranks
+//! `1..`) own no weights at startup — their first dispatch for an
+//! expert triggers a `PullRequest` answered by the frontend, cached in
+//! the training [`CacheManager`] — run the FFN, and stream the rows
+//! back (`TokenReturn`).
+//!
+//! Failover: the mesh is liveness-monitored, so a dead expert worker
+//! surfaces as [`CommError::PeerDead`] instead of a hang. The frontend
+//! then *acknowledges* the death ([`Transport::acknowledge_dead`]) so
+//! the survivors keep talking, and re-dispatches the dead worker's
+//! unresolved chunks to the expert's next live replica. Chunk
+//! boundaries depend only on the [`ReplicaPlan`] — never on who is
+//! alive — and a re-dispatched chunk reuses its sequence number, so a
+//! late return from the original target is bitwise identical and
+//! accepting either copy is safe.
+//!
+//! Bitwise contract (asserted by `tests/chaos_serving.rs`): the
+//! response of a request equals [`ServeModel::forward_reference`] of
+//! its tokens exactly, regardless of batch composition, faults, or
+//! failover — expert kernels are row-independent and the combine loop
+//! folds expert outputs in fixed (token, choice-rank) order.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use janus_comm::comm::Comm;
+use janus_comm::liveness::{monitored_mesh, LivenessConfig};
+use janus_comm::message::Message;
+use janus_comm::runtime::run_on_result;
+use janus_comm::transport::{CommError, Transport, TransportStats};
+use janus_core::exec::weights::{
+    expert_from_bytes, expert_to_bytes, tokens_from_bytes, tokens_to_bytes, Slot,
+};
+use janus_core::queue::{CacheManager, CacheStats};
+use janus_moe::expert::{ExpertFfn, ExpertScratch};
+use janus_obs::SpanMeta;
+use janus_tensor::Matrix;
+
+use crate::batcher::Batcher;
+use crate::model::ServeModel;
+use crate::replica::ReplicaPlan;
+use crate::workload::ServeWorkload;
+
+/// How often the frontend's collect loop wakes to notice liveness
+/// transitions when no return is arriving.
+const RETURN_POLL: Duration = Duration::from_millis(50);
+
+/// Engine knobs independent of the workload.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOpts {
+    /// Emulated accelerator occupancy: minimum service time per token on
+    /// an expert worker, microseconds. Zero for functional tests; the
+    /// SLO report sets it so queueing at hot experts is visible.
+    pub service_floor_us: u64,
+    /// Open-loop pacing: when set, arrival step `s` of the workload
+    /// becomes wall-clock time `s × step` and latency is measured
+    /// arrival-to-combine. When `None`, admission is step-counted and
+    /// deterministic (functional / chaos runs).
+    pub pacing_step: Option<Duration>,
+}
+
+/// Kill switch for crash tests: worker `rank` panics upon receiving its
+/// `after_dispatches`-th dispatch (before returning any rows for it).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashHook {
+    /// Worker rank that dies.
+    pub rank: usize,
+    /// Which received dispatch triggers the panic (1-based).
+    pub after_dispatches: u64,
+}
+
+/// Everything a serving run needs.
+pub struct ServeSpec<'a> {
+    /// The served model (held by the frontend; workers pull from it).
+    pub model: &'a ServeModel,
+    /// The request stream.
+    pub workload: &'a ServeWorkload,
+    /// Replica counts and placement.
+    pub plan: &'a ReplicaPlan,
+    /// Continuous-batching token budget per step.
+    pub max_batch_tokens: usize,
+    /// Engine knobs.
+    pub opts: ServeOpts,
+    /// Optional injected crash.
+    pub crash: Option<CrashHook>,
+}
+
+/// What the frontend measured.
+#[derive(Debug, Clone)]
+pub struct FrontendOutcome {
+    /// Response matrix per request, workload order.
+    pub responses: Vec<Matrix>,
+    /// Arrival-to-combine latency per request, microseconds.
+    pub latencies_us: Vec<u64>,
+    /// Observed gate histogram over the whole run.
+    pub hist: Vec<usize>,
+    /// Engine steps that dispatched at least one chunk.
+    pub batches: u64,
+    /// Chunks dispatched (first attempts).
+    pub dispatches: u64,
+    /// Chunks re-dispatched after a replica death.
+    pub redispatches: u64,
+    /// Worker deaths the frontend failed over from.
+    pub failovers: u64,
+    /// Weight pull requests answered.
+    pub pulls_served: u64,
+    /// Transport-stack counters of the frontend endpoint (fault
+    /// injection / reliability activity — the chaos matrix's
+    /// non-vacuity evidence).
+    pub comm_stats: TransportStats,
+}
+
+/// What one expert worker measured.
+#[derive(Debug, Clone)]
+pub struct WorkerOutcome {
+    /// The worker's rank.
+    pub rank: usize,
+    /// Dispatches served (token chunks returned).
+    pub served: u64,
+    /// Weight-cache statistics (pulls deduplicated per expert).
+    pub cache: CacheStats,
+    /// Transport-stack counters of this worker's endpoint.
+    pub comm_stats: TransportStats,
+}
+
+/// Outcome of a whole serving run.
+#[derive(Debug)]
+pub struct ServeRun {
+    /// The frontend's measurements.
+    pub frontend: FrontendOutcome,
+    /// Per expert worker (index 0 = rank 1): its outcome, or the panic
+    /// message if it died.
+    pub workers: Vec<Result<WorkerOutcome, String>>,
+}
+
+impl ServeRun {
+    /// Transport counters summed over every surviving rank.
+    pub fn total_comm_stats(&self) -> TransportStats {
+        let mut sum = self.frontend.comm_stats;
+        for w in self.workers.iter().flatten() {
+            sum.add(&w.comm_stats);
+        }
+        sum
+    }
+}
+
+enum Role {
+    Frontend(FrontendOutcome),
+    Worker(WorkerOutcome),
+}
+
+/// Run the serving plane over the given transport mesh (one endpoint
+/// per rank; `endpoints[0]` is the frontend). The mesh should be
+/// liveness-monitored if failover is expected to work.
+pub fn serve_on<T: Transport + 'static>(endpoints: Vec<T>, spec: &ServeSpec) -> ServeRun {
+    assert_eq!(
+        endpoints.len(),
+        spec.plan.world(),
+        "mesh size must match the replica plan"
+    );
+    let mut results = run_on_result(endpoints, |comm| {
+        if comm.rank() == 0 {
+            Role::Frontend(run_frontend(&comm, spec))
+        } else {
+            Role::Worker(run_worker(&comm, spec))
+        }
+    });
+    let frontend = match results.remove(0) {
+        Ok(Role::Frontend(f)) => f,
+        Ok(Role::Worker(_)) => unreachable!("rank 0 is the frontend"),
+        Err(e) => panic!("frontend failed: {e}"),
+    };
+    let workers = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(Role::Worker(w)) => Ok(w),
+            Ok(Role::Frontend(_)) => unreachable!("only rank 0 is the frontend"),
+            Err(e) => Err(e),
+        })
+        .collect();
+    ServeRun { frontend, workers }
+}
+
+/// [`serve_on`] over an in-process liveness-monitored channel mesh —
+/// the entry point of unit, chaos, and crash tests.
+pub fn serve_local(spec: &ServeSpec) -> ServeRun {
+    serve_on(
+        monitored_mesh(spec.plan.world(), LivenessConfig::default()),
+        spec,
+    )
+}
+
+/// Route the whole workload through the gate once (the profiling pass a
+/// deployment would run on a traffic sample) and derive the replica
+/// plan for `budget` replicas from the observed histogram.
+pub fn plan_from_workload(
+    model: &ServeModel,
+    workload: &ServeWorkload,
+    budget: usize,
+) -> (Vec<usize>, ReplicaPlan) {
+    let mut hist = vec![0usize; model.experts.len()];
+    for req in &workload.requests {
+        for (e, c) in model.gate.route(&req.tokens).histogram().iter().enumerate() {
+            hist[e] += c;
+        }
+    }
+    let plan = ReplicaPlan::from_histogram(&hist, budget);
+    (hist, plan)
+}
+
+/// One in-flight chunk of an expert's token batch.
+struct Dispatch {
+    seq: u32,
+    expert: usize,
+    /// Replica index the chunk is *planned* for (failover may move it).
+    replica: usize,
+    /// Rank currently serving it.
+    target: usize,
+    slots: Vec<Slot>,
+    rows: Matrix,
+    out: Option<Matrix>,
+}
+
+fn run_frontend<T: Transport>(comm: &Comm<T>, spec: &ServeSpec) -> FrontendOutcome {
+    let rec = janus_obs::global();
+    let model = spec.model;
+    let wl = spec.workload;
+    let plan = spec.plan;
+    let h = model.hidden_dim();
+    let n = wl.requests.len();
+    let start = Instant::now();
+
+    let mut batcher = Batcher::new(spec.max_batch_tokens);
+    let mut admit_at: Vec<Instant> = vec![start; n];
+    let mut responses: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
+    let mut latencies = vec![0u64; n];
+    let mut hist = vec![0usize; model.experts.len()];
+    let mut alive = vec![true; plan.world()];
+    let mut next_arrival = 0usize;
+    let mut next_seq: u32 = 0;
+    let mut step: u64 = 0;
+    let mut completed = 0usize;
+    let (mut batches, mut dispatches, mut redispatches) = (0u64, 0u64, 0u64);
+    let (mut failovers, mut pulls_served) = (0u64, 0u64);
+
+    while completed < n {
+        // --- admit: continuous batching pulls in everything that has
+        // arrived since the last step.
+        match spec.opts.pacing_step {
+            None => {
+                while next_arrival < n && wl.requests[next_arrival].arrival_step <= step {
+                    let req = &wl.requests[next_arrival];
+                    admit_at[next_arrival] = Instant::now();
+                    batcher.admit(next_arrival, req.id, req.tokens.rows());
+                    next_arrival += 1;
+                }
+            }
+            Some(pace) => loop {
+                let due = |i: usize| start + pace * (wl.requests[i].arrival_step as u32 + 1);
+                while next_arrival < n && Instant::now() >= due(next_arrival) {
+                    let req = &wl.requests[next_arrival];
+                    admit_at[next_arrival] = Instant::now();
+                    batcher.admit(next_arrival, req.id, req.tokens.rows());
+                    next_arrival += 1;
+                }
+                if batcher.depth() > 0 || next_arrival >= n {
+                    break;
+                }
+                // Open loop: idle until the next arrival is due, staying
+                // responsive to weight pulls in the meantime.
+                let _ = comm
+                    .service_pass(|from, msg| serve_pull(comm, model, from, msg, &mut pulls_served))
+                    .map_err(|e| frontend_comm_fault(e, &mut alive, comm, &mut failovers));
+                std::thread::sleep(Duration::from_micros(200));
+            },
+        }
+        let batch = batcher.next_batch();
+        if batch.is_empty() {
+            step += 1;
+            continue;
+        }
+        batches += 1;
+        let _span = rec.span(|| SpanMeta::new(format!("serve/batch/{batches}"), "serve", 0, "fe"));
+
+        // --- concatenate the batch and gate it.
+        let mut offsets = Vec::with_capacity(batch.len());
+        let mut total_rows = 0usize;
+        for &(ri, _) in &batch {
+            offsets.push(total_rows);
+            total_rows += wl.requests[ri].tokens.rows();
+        }
+        let mut x = Matrix::zeros(total_rows, h);
+        for (&(ri, _), &off) in batch.iter().zip(&offsets) {
+            let t = &wl.requests[ri].tokens;
+            for r in 0..t.rows() {
+                x.row_mut(off + r).copy_from_slice(t.row(r));
+            }
+        }
+        let routing = model.gate.route(&x);
+        for (e, c) in routing.histogram().iter().enumerate() {
+            hist[e] += c;
+        }
+
+        // --- split each expert's token list into plan-fixed chunks.
+        // Boundaries depend only on the plan, never on liveness, so a
+        // crash run partitions rows identically to a clean one.
+        let mut ds: Vec<Dispatch> = Vec::new();
+        // locator[expert]: token row in `x` -> (dispatch, row in chunk).
+        let mut locator: Vec<HashMap<usize, (usize, usize)>> =
+            vec![HashMap::new(); model.experts.len()];
+        for (e, loc) in locator.iter_mut().enumerate() {
+            let toks = routing.tokens_for(e);
+            if toks.is_empty() {
+                continue;
+            }
+            let per = toks.len().div_ceil(plan.counts[e]);
+            for (replica, chunk) in toks.chunks(per).enumerate() {
+                let row_idx: Vec<usize> = chunk.iter().map(|&(t, _)| t).collect();
+                let slots: Vec<Slot> = chunk
+                    .iter()
+                    .map(|&(t, w)| (t as u32, e as u32, w))
+                    .collect();
+                let di = ds.len();
+                for (j, &(t, _)) in chunk.iter().enumerate() {
+                    loc.insert(t, (di, j));
+                }
+                ds.push(Dispatch {
+                    seq: {
+                        let s = next_seq;
+                        next_seq += 1;
+                        s
+                    },
+                    expert: e,
+                    replica,
+                    target: 0,
+                    slots,
+                    rows: x.gather_rows(&row_idx),
+                    out: None,
+                });
+            }
+        }
+
+        // --- dispatch every chunk to its replica (or a live stand-in).
+        for d in ds.iter_mut() {
+            send_dispatch(comm, d, plan, &mut alive, &mut failovers);
+            dispatches += 1;
+        }
+
+        // --- collect returns, answering weight pulls while waiting and
+        // failing over when a replica dies.
+        let by_seq: HashMap<u32, usize> = ds.iter().enumerate().map(|(i, d)| (d.seq, i)).collect();
+        let mut outstanding = ds.len();
+        while outstanding > 0 {
+            let got = comm.recv_match_or_consume_deadline(
+                |_, m| matches!(m, Message::TokenReturn { .. }),
+                |from, m| serve_pull(comm, model, from, m, &mut pulls_served),
+                Instant::now() + RETURN_POLL,
+            );
+            match got {
+                Ok(Some((_, Message::TokenReturn { seq, data, .. }))) => {
+                    if let Some(&di) = by_seq.get(&seq) {
+                        if ds[di].out.is_none() {
+                            let (slots, y) =
+                                tokens_from_bytes(data).expect("well-formed token return");
+                            debug_assert_eq!(slots, ds[di].slots);
+                            ds[di].out = Some(y);
+                            outstanding -= 1;
+                        }
+                    }
+                }
+                Ok(Some(_)) => unreachable!("pred admits only TokenReturn"),
+                Ok(None) => {} // poll tick; loop re-blocks
+                Err(e) => {
+                    let dead = frontend_comm_fault(e, &mut alive, comm, &mut failovers);
+                    for d in &mut ds {
+                        if d.out.is_none() && d.target == dead {
+                            redispatches += 1;
+                            send_dispatch(comm, d, plan, &mut alive, &mut failovers);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- combine, fixed (token, choice-rank) order, and complete
+        // the batch's requests.
+        for (bi, &(ri, _)) in batch.iter().enumerate() {
+            let req = &wl.requests[ri];
+            let off = offsets[bi];
+            let mut out = Matrix::zeros(req.tokens.rows(), h);
+            for r in 0..req.tokens.rows() {
+                let t = off + r;
+                let dst = out.row_mut(r);
+                for (k, &e) in routing.experts[t].iter().enumerate() {
+                    let w = routing.weights[t][k];
+                    let (di, row) = locator[e][&t];
+                    let src = ds[di].out.as_ref().expect("chunk resolved").row(row);
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d += w * s;
+                    }
+                }
+            }
+            responses[ri] = Some(out);
+            latencies[ri] = admit_at[ri].elapsed().as_micros() as u64;
+            rec.observe("serve/latency_us", latencies[ri]);
+            completed += 1;
+        }
+        step += 1;
+    }
+
+    for (rank, &ok) in alive.iter().enumerate().skip(1) {
+        if ok {
+            let _ = comm.send(rank, Message::Shutdown);
+        }
+    }
+    let _ = comm.transport().flush();
+
+    rec.count("serve/requests", n as u64);
+    rec.count("serve/failovers", failovers);
+    let comm_stats = comm.transport().stats();
+    FrontendOutcome {
+        responses: responses
+            .into_iter()
+            .map(|r| r.expect("completed"))
+            .collect(),
+        latencies_us: latencies,
+        hist,
+        batches,
+        dispatches,
+        redispatches,
+        failovers,
+        pulls_served,
+        comm_stats,
+    }
+}
+
+/// Answer a weight pull on the frontend; consumes (drops) anything else
+/// that is not claimable — stale `TokenReturn`s of already re-served
+/// chunks are bitwise duplicates, so dropping them is safe.
+fn serve_pull<T: Transport>(
+    comm: &Comm<T>,
+    model: &ServeModel,
+    from: usize,
+    msg: &Message,
+    pulls_served: &mut u64,
+) -> bool {
+    if let Message::PullRequest {
+        block,
+        expert,
+        nonce,
+    } = msg
+    {
+        let data = expert_to_bytes(&model.experts[*expert as usize]);
+        // A send to a peer that died mid-pull is fine to drop: the
+        // replica taking over re-pulls under its own nonce.
+        let _ = comm.send(
+            from,
+            Message::ExpertPayload {
+                block: *block,
+                expert: *expert,
+                nonce: *nonce,
+                data,
+            },
+        );
+        *pulls_served += 1;
+    }
+    true
+}
+
+/// Classify a frontend-side comm error: a peer death becomes a
+/// failover (acknowledged so the survivors keep going); anything else
+/// is fatal.
+fn frontend_comm_fault<T: Transport>(
+    err: CommError,
+    alive: &mut [bool],
+    comm: &Comm<T>,
+    failovers: &mut u64,
+) -> usize {
+    match err {
+        CommError::PeerDead { rank, .. } => {
+            if alive[rank] {
+                alive[rank] = false;
+                *failovers += 1;
+                comm.transport().acknowledge_dead(rank);
+            }
+            rank
+        }
+        e => panic!("frontend comm failed: {e}"),
+    }
+}
+
+/// (Re)send one chunk to the first live replica of its expert, starting
+/// from its planned replica and wrapping around.
+fn send_dispatch<T: Transport>(
+    comm: &Comm<T>,
+    d: &mut Dispatch,
+    plan: &ReplicaPlan,
+    alive: &mut [bool],
+    failovers: &mut u64,
+) {
+    loop {
+        let homes = &plan.homes[d.expert];
+        let target = homes
+            .iter()
+            .cycle()
+            .skip(d.replica)
+            .take(homes.len())
+            .copied()
+            .find(|&r| alive[r])
+            .unwrap_or_else(|| panic!("no live replica left for expert {}", d.expert));
+        let data = tokens_to_bytes(&d.slots, &d.rows);
+        match comm.send(
+            target,
+            Message::TokenDispatch {
+                block: 0,
+                seq: d.seq,
+                data,
+            },
+        ) {
+            Ok(()) => {
+                d.target = target;
+                return;
+            }
+            Err(e) => {
+                frontend_comm_fault(e, alive, comm, failovers);
+            }
+        }
+    }
+}
+
+fn run_worker<T: Transport>(comm: &Comm<T>, spec: &ServeSpec) -> WorkerOutcome {
+    let rec = janus_obs::global();
+    let cache: CacheManager<ExpertFfn> = CacheManager::new();
+    let mut scratch = ExpertScratch::new();
+    let mut served = 0u64;
+    let mut next_nonce: u32 = (comm.rank() as u32) << 16;
+
+    loop {
+        match comm.recv_any() {
+            Ok((_, Message::Shutdown)) => break,
+            Ok((_, Message::TokenDispatch { seq, data, .. })) => {
+                let t0 = Instant::now();
+                let (slots, rows) = tokens_from_bytes(data).expect("well-formed dispatch");
+                let expert = slots.first().expect("non-empty dispatch").1 as usize;
+                let weights = pull_weights(comm, &cache, expert, &mut next_nonce);
+                served += 1;
+                if let Some(crash) = spec.crash {
+                    if comm.rank() == crash.rank && served >= crash.after_dispatches {
+                        panic!(
+                            "injected crash: expert worker rank {} on dispatch {served}",
+                            comm.rank()
+                        );
+                    }
+                }
+                scratch.set_input(&rows);
+                {
+                    let _s = rec.span(|| {
+                        SpanMeta::new(
+                            format!("serve/expert/e{expert}"),
+                            "serve",
+                            comm.rank() as u32,
+                            "worker",
+                        )
+                    });
+                    weights.forward_scratch(&mut scratch);
+                }
+                if spec.opts.service_floor_us > 0 {
+                    let floor =
+                        Duration::from_micros(spec.opts.service_floor_us * rows.rows() as u64);
+                    let elapsed = t0.elapsed();
+                    if elapsed < floor {
+                        std::thread::sleep(floor - elapsed);
+                    }
+                }
+                let data = tokens_to_bytes(&slots, &scratch.y);
+                match comm.send(
+                    0,
+                    Message::TokenReturn {
+                        block: 0,
+                        seq,
+                        data,
+                    },
+                ) {
+                    Ok(()) => {}
+                    Err(CommError::PeerDead { .. }) => break, // frontend gone
+                    Err(e) => panic!("worker send failed: {e}"),
+                }
+            }
+            Ok(_) => {} // stray (e.g. duplicate payload): ignore
+            Err(CommError::PeerDead { rank, .. }) if rank != 0 => {
+                // A sibling replica died; not our problem — keep serving.
+                comm.transport().acknowledge_dead(rank);
+            }
+            Err(CommError::PeerDead { .. }) => break, // frontend gone
+            Err(e) => panic!("worker recv failed: {e}"),
+        }
+    }
+    WorkerOutcome {
+        rank: comm.rank(),
+        served,
+        cache: cache.stats(),
+        comm_stats: comm.transport().stats(),
+    }
+}
+
+/// Fetch an expert's weights through the cache, pulling from the
+/// frontend on a miss. Sibling deaths observed mid-pull are
+/// acknowledged and the wait resumes.
+fn pull_weights<T: Transport>(
+    comm: &Comm<T>,
+    cache: &CacheManager<ExpertFfn>,
+    expert: usize,
+    next_nonce: &mut u32,
+) -> std::sync::Arc<ExpertFfn> {
+    cache
+        .get_or_fetch::<CommError>((0, expert), || {
+            *next_nonce += 1;
+            let nonce = *next_nonce;
+            let _span = janus_obs::global().span(|| {
+                SpanMeta::new(
+                    format!("pull/serve/e{expert}"),
+                    "comm",
+                    comm.rank() as u32,
+                    "worker",
+                )
+            });
+            comm.send(
+                0,
+                Message::PullRequest {
+                    block: 0,
+                    expert: expert as u32,
+                    nonce,
+                },
+            )?;
+            loop {
+                match comm.recv_match(|from, m| {
+                    from == 0 && matches!(m, Message::ExpertPayload { nonce: n, .. } if *n == nonce)
+                }) {
+                    Ok((_, Message::ExpertPayload { data, .. })) => return expert_from_bytes(data),
+                    Ok(_) => unreachable!("pred admits only the payload"),
+                    Err(CommError::PeerDead { rank, .. }) if rank != 0 => {
+                        comm.transport().acknowledge_dead(rank);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+        .expect("weight pull from frontend failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ServeConfig, ServeWorkload};
+
+    fn run_small(budget: usize) -> (ServeConfig, ServeModel, ServeWorkload, ServeRun) {
+        let cfg = ServeConfig::small();
+        let model = ServeModel::new(&cfg);
+        let wl = ServeWorkload::generate(&cfg);
+        let (_, plan) = plan_from_workload(&model, &wl, budget);
+        let spec = ServeSpec {
+            model: &model,
+            workload: &wl,
+            plan: &plan,
+            max_batch_tokens: cfg.max_batch_tokens,
+            opts: ServeOpts::default(),
+            crash: None,
+        };
+        let run = serve_local(&spec);
+        (cfg, model, wl, run)
+    }
+
+    #[test]
+    fn engine_matches_reference_bitwise() {
+        let (_, model, wl, run) = run_small(6);
+        assert_eq!(run.frontend.responses.len(), wl.requests.len());
+        for (req, got) in wl.requests.iter().zip(&run.frontend.responses) {
+            let want = model.forward_reference(&req.tokens);
+            assert_eq!(
+                want.data(),
+                got.data(),
+                "serving must be bitwise identical to the reference forward"
+            );
+        }
+        assert_eq!(run.frontend.failovers, 0);
+        assert_eq!(run.frontend.redispatches, 0);
+    }
+
+    #[test]
+    fn workers_cache_weight_pulls() {
+        let budget = 6;
+        let (_, _, _, run) = run_small(budget);
+        let mut total_fetches = 0;
+        for w in &run.workers {
+            let w = w.as_ref().expect("no crash injected");
+            assert!(w.served > 0 || w.cache.fetches == 0);
+            // One replica per worker: at most one distinct expert pulled.
+            assert!(w.cache.fetches <= 1);
+            total_fetches += w.cache.fetches;
+        }
+        assert!(total_fetches as usize <= budget);
+        assert_eq!(run.frontend.pulls_served, total_fetches);
+    }
+
+    #[test]
+    fn batching_is_continuous() {
+        let (_, _, wl, run) = run_small(5);
+        // Open-loop arrivals over multiple steps must not collapse into
+        // one batch, and batches must cover all requests.
+        assert!(run.frontend.batches > 1);
+        assert!(run.frontend.batches <= wl.requests.len() as u64);
+        assert!(run.frontend.dispatches >= run.frontend.batches);
+    }
+}

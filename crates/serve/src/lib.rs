@@ -1,0 +1,60 @@
+//! `janus-serve`: the MoE inference serving plane.
+//!
+//! Training (the paper's subject) moves expert weights or tokens to
+//! wherever the *batch* already is; serving inverts the question — an
+//! open-loop stream of small requests arrives and the system must keep
+//! tail latency bounded while the gate sends a Zipf-skewed share of all
+//! tokens to a handful of hot experts. This crate builds that plane out
+//! of the training stack's own parts:
+//!
+//! * [`batcher`] — iteration-level **continuous batching**: requests
+//!   join the next engine step the moment they arrive (FCFS, bounded by
+//!   a token budget) instead of waiting for a fixed-size batch to fill.
+//! * [`replica`] — gate-driven **replica scaling**: the observed routing
+//!   histogram is turned into per-expert replica counts by a
+//!   highest-averages apportionment, so hot experts get more workers.
+//! * [`workload`] — seeded open-loop request streams with Zipf-skewed
+//!   expert intent, plus the [`ServeConfig`](workload::ServeConfig)
+//!   knobs shared by the simulator and the real engine.
+//! * [`model`] — the served model: a steering [`TopKGate`] over real
+//!   [`ExpertFfn`] weights, with a bitwise reference forward pass.
+//! * [`engine`] — the **disaggregated** runtime: rank 0 (the attention /
+//!   frontend worker) batches, gates, and dispatches token chunks over
+//!   `janus-comm`; expert workers pull weights on demand through the
+//!   training [`CacheManager`] and stream results back. A dead expert
+//!   worker degrades to its replica (failover + redispatch) instead of
+//!   failing requests, via the liveness board.
+//! * [`sim`] — the same serving pipeline as a `janus-netsim` task graph:
+//!   p50/p99 latency versus replica budget, before touching a socket.
+//! * [`report`] — the `repro serve` SLO artifact: simulated and real
+//!   (TCP) latency sweeps over replica budgets.
+//!
+//! Determinism contract: expert kernels are row-independent and the
+//! frontend combines expert outputs in a fixed (token, rank-of-choice)
+//! order, so a request's response bytes depend only on the model and the
+//! request tokens — not on batch composition, replica placement, fault
+//! injection, or mid-run failover. The chaos and crash test matrices
+//! assert exactly that.
+//!
+//! [`TopKGate`]: janus_moe::gate::TopKGate
+//! [`ExpertFfn`]: janus_moe::expert::ExpertFfn
+//! [`CacheManager`]: janus_core::queue::CacheManager
+
+pub mod batcher;
+pub mod engine;
+pub mod model;
+pub mod replica;
+pub mod report;
+pub mod sim;
+pub mod workload;
+
+pub use batcher::{Batcher, RequestId};
+pub use engine::{
+    plan_from_workload, serve_local, serve_on, CrashHook, FrontendOutcome, ServeOpts, ServeRun,
+    ServeSpec, WorkerOutcome,
+};
+pub use model::ServeModel;
+pub use replica::{replica_counts, ReplicaPlan};
+pub use report::{RealRow, SimRow, SloReport, MASKED_KEYS};
+pub use sim::{simulate_serving, SimOpts, SimPoint};
+pub use workload::{Request, ServeConfig, ServeWorkload};

@@ -1,0 +1,124 @@
+//! The served model: a steering gate over real expert FFNs.
+//!
+//! Serving tests need a gate whose routing *provably* follows the
+//! workload's Zipf intent, so the gate projection is diagonal: logit of
+//! expert `e` is `GAIN · x[e]`, and [`crate::workload`] embeds each
+//! token's intended expert as a large component at dimension `e`. The
+//! top-1 choice is therefore the intent; further choices (for
+//! `top_k > 1`) fall to the token's noise dimensions, which spreads
+//! secondary load without disturbing the skew. Experts are ordinary
+//! seeded [`ExpertFfn`]s — the same kernels training uses.
+
+use janus_moe::expert::ExpertFfn;
+use janus_moe::gate::TopKGate;
+use janus_tensor::Matrix;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::workload::ServeConfig;
+
+/// Gate steering gain: large enough that the intended expert always
+/// wins the top-1 slot over the ±0.1 embedding noise.
+const GAIN: f32 = 4.0;
+
+/// One MoE layer being served: gate plus expert weights.
+#[derive(Debug, Clone)]
+pub struct ServeModel {
+    /// The router.
+    pub gate: TopKGate,
+    /// Expert weights, indexed by global expert id.
+    pub experts: Vec<ExpertFfn>,
+}
+
+impl ServeModel {
+    /// Build the model for `cfg` (deterministic per seed).
+    pub fn new(cfg: &ServeConfig) -> Self {
+        assert!(
+            cfg.hidden_dim >= cfg.experts,
+            "steering gate needs hidden_dim >= experts"
+        );
+        let mut weight = Matrix::zeros(cfg.hidden_dim, cfg.experts);
+        for e in 0..cfg.experts {
+            weight[(e, e)] = GAIN;
+        }
+        let gate = TopKGate {
+            weight,
+            top_k: cfg.top_k,
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let experts = (0..cfg.experts)
+            .map(|_| ExpertFfn::new(cfg.hidden_dim, &mut rng))
+            .collect();
+        ServeModel { gate, experts }
+    }
+
+    /// Token width `H`.
+    pub fn hidden_dim(&self) -> usize {
+        self.gate.weight.rows()
+    }
+
+    /// Single-request reference forward pass: gate, run each expert over
+    /// its tokens, combine in (token, choice-rank) order. The serving
+    /// engine must reproduce this **bitwise** for every request, whatever
+    /// the batch composition, chunking, or failover history — expert
+    /// kernels are row-independent and the engine combines in this exact
+    /// order.
+    pub fn forward_reference(&self, tokens: &Matrix) -> Matrix {
+        let routing = self.gate.route(tokens);
+        let mut per_expert: Vec<Option<(Vec<usize>, Matrix)>> = vec![None; self.experts.len()];
+        for (e, expert) in self.experts.iter().enumerate() {
+            let toks = routing.tokens_for(e);
+            if toks.is_empty() {
+                continue;
+            }
+            let rows: Vec<usize> = toks.iter().map(|&(t, _)| t).collect();
+            let (y, _) = expert.forward(&tokens.gather_rows(&rows));
+            per_expert[e] = Some((rows, y));
+        }
+        let mut out = Matrix::zeros(tokens.rows(), tokens.cols());
+        for t in 0..tokens.rows() {
+            let dst = out.row_mut(t);
+            for (k, &e) in routing.experts[t].iter().enumerate() {
+                let w = routing.weights[t][k];
+                let (rows, y) = per_expert[e].as_ref().expect("expert has tokens");
+                let r = rows.iter().position(|&x| x == t).expect("token routed");
+                for (d, s) in dst.iter_mut().zip(y.row(r)) {
+                    *d += w * s;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ServeWorkload;
+
+    #[test]
+    fn gate_follows_workload_intent() {
+        let cfg = ServeConfig::small();
+        let model = ServeModel::new(&cfg);
+        let wl = ServeWorkload::generate(&cfg);
+        for req in &wl.requests {
+            let routing = model.gate.route(&req.tokens);
+            for (t, &target) in req.targets.iter().enumerate() {
+                assert_eq!(
+                    routing.experts[t][0], target,
+                    "top-1 choice must be the embedded intent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_forward_is_deterministic() {
+        let cfg = ServeConfig::small();
+        let model = ServeModel::new(&cfg);
+        let wl = ServeWorkload::generate(&cfg);
+        let a = model.forward_reference(&wl.requests[0].tokens);
+        let b = model.forward_reference(&wl.requests[0].tokens);
+        assert_eq!(a.data(), b.data());
+        assert!(a.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,119 @@
+//! Gate-driven expert replica scaling.
+//!
+//! Serving flips the paper's load-balance problem around: the gate's
+//! token histogram is heavily Zipf-skewed and *cannot* be retrained
+//! away, so the system must give hot experts more replicas. The
+//! apportionment here is the D'Hondt highest-averages method over the
+//! observed histogram: every expert keeps at least one replica (cold
+//! experts must stay servable), and each remaining replica slot goes to
+//! the expert with the largest `load / (replicas + 1)` quotient. The
+//! comparison is done in integer cross-multiplication, so the result is
+//! a pure function of `(histogram, budget)` — deterministic across
+//! platforms and, per highest-averages theory, monotone: raising an
+//! expert's observed load never loses it a replica (property-tested).
+
+/// Per-expert replica counts for `budget` total replicas, derived from
+/// the observed gate histogram. `budget >= hist.len()` so every expert
+/// keeps one replica; ties go to the lower expert index.
+pub fn replica_counts(hist: &[usize], budget: usize) -> Vec<usize> {
+    let experts = hist.len();
+    assert!(experts > 0, "at least one expert");
+    assert!(
+        budget >= experts,
+        "budget {budget} cannot give each of {experts} experts a replica"
+    );
+    let mut counts = vec![1usize; experts];
+    for _ in experts..budget {
+        let mut best = 0usize;
+        for e in 1..experts {
+            // hist[e] / (counts[e] + 1) > hist[best] / (counts[best] + 1),
+            // compared exactly by cross-multiplication.
+            let lhs = hist[e] as u128 * (counts[best] as u128 + 1);
+            let rhs = hist[best] as u128 * (counts[e] as u128 + 1);
+            if lhs > rhs {
+                best = e;
+            }
+        }
+        counts[best] += 1;
+    }
+    counts
+}
+
+/// Replica counts plus the worker-rank placement of each replica.
+///
+/// Worker ranks are `1..=total` (rank 0 is the frontend); replicas are
+/// laid out expert-major, so `homes[e]` lists the ranks serving expert
+/// `e` and every worker serves exactly one replica. The placement is a
+/// pure function of `counts`, which is what lets a frontend and a
+/// crash-restarted test run agree on chunk targets without negotiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaPlan {
+    /// Replicas per expert.
+    pub counts: Vec<usize>,
+    /// Worker rank of each replica, `homes[expert][replica]`.
+    pub homes: Vec<Vec<usize>>,
+}
+
+impl ReplicaPlan {
+    /// Lay out `counts` replicas onto worker ranks `1..`.
+    pub fn new(counts: Vec<usize>) -> Self {
+        let mut rank = 1usize;
+        let homes = counts
+            .iter()
+            .map(|&c| {
+                let h: Vec<usize> = (0..c).map(|i| rank + i).collect();
+                rank += c;
+                h
+            })
+            .collect();
+        ReplicaPlan { counts, homes }
+    }
+
+    /// Histogram-driven plan: [`replica_counts`] then placement.
+    pub fn from_histogram(hist: &[usize], budget: usize) -> Self {
+        ReplicaPlan::new(replica_counts(hist, budget))
+    }
+
+    /// Total replicas (== worker count).
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// World size of the serving mesh: frontend + one rank per replica.
+    pub fn world(&self) -> usize {
+        self.total() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_expert_keeps_one_replica() {
+        let c = replica_counts(&[1000, 0, 0, 0], 6);
+        assert_eq!(c.iter().sum::<usize>(), 6);
+        assert!(c.iter().all(|&r| r >= 1));
+        assert_eq!(c[0], 3, "all extras go to the only loaded expert");
+    }
+
+    #[test]
+    fn extras_follow_load_with_index_tiebreak() {
+        // Equal loads: extras land on lower indices first.
+        assert_eq!(replica_counts(&[5, 5, 5], 5), vec![2, 2, 1]);
+        // Skewed: quotients 8/2, 8/3, 8/4 all beat 2/2, so every extra
+        // lands on the hot expert.
+        assert_eq!(replica_counts(&[8, 2, 1], 6), vec![4, 1, 1]);
+        // Tie case: third extra compares 6/4 = 3/2 = 1.5 and goes to the
+        // lower index.
+        assert_eq!(replica_counts(&[6, 3], 5), vec![4, 1]);
+    }
+
+    #[test]
+    fn plan_places_replicas_expert_major() {
+        let p = ReplicaPlan::new(vec![2, 1, 3]);
+        assert_eq!(p.homes, vec![vec![1, 2], vec![3], vec![4, 5, 6]]);
+        assert_eq!(p.total(), 6);
+        assert_eq!(p.world(), 7);
+    }
+}

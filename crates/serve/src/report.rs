@@ -1,0 +1,229 @@
+//! The `repro serve` SLO report: does p99 improve as replicas scale?
+//!
+//! Two sweeps over replica budgets, same workload and same
+//! histogram-derived plans:
+//!
+//! * **sim** — the `janus-netsim` model of [`crate::sim`]. Fully
+//!   deterministic; its latencies are pinned by the golden test and
+//!   verified bitwise by `repro lab --verify`.
+//! * **real** — the actual engine over localhost TCP with
+//!   heartbeat-monitored endpoints, open-loop paced arrivals, and an
+//!   emulated per-token service floor. Structural fields (completions,
+//!   failures, redispatches) are deterministic; the measured latency
+//!   fields are wall-clock and therefore listed in [`MASKED_KEYS`], the
+//!   keys the lab manifest masks before digesting.
+
+use std::time::Duration;
+
+use janus_comm::liveness::{monitor_mesh, LivenessConfig};
+use janus_comm::tcp::tcp_mesh_localhost;
+use serde::Serialize;
+
+use crate::engine::{plan_from_workload, serve_on, ServeOpts, ServeSpec};
+use crate::model::ServeModel;
+use crate::sim::{pct, simulate_serving, SimOpts};
+use crate::workload::{ServeConfig, ServeWorkload};
+
+/// JSON keys of the report that hold wall-clock measurements — masked
+/// by the lab manifest (and the golden test) before hashing.
+pub const MASKED_KEYS: &[&str] = &["p50_us", "p99_us", "mean_us"];
+
+/// One simulated sweep point (deterministic, verified bitwise).
+#[derive(Debug, Clone, Serialize)]
+pub struct SimRow {
+    /// Total replica budget.
+    pub budget: usize,
+    /// Apportioned replicas per expert.
+    pub counts: Vec<usize>,
+    /// Replicas the hottest expert (expert 0) received.
+    pub hot_replicas: usize,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// Tail latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// One real-engine sweep point over localhost TCP.
+#[derive(Debug, Clone, Serialize)]
+pub struct RealRow {
+    /// Total replica budget.
+    pub budget: usize,
+    /// Apportioned replicas per expert.
+    pub counts: Vec<usize>,
+    /// Requests completed (must equal the stream length).
+    pub completed: usize,
+    /// Expert workers that died (must be 0 without fault injection).
+    pub failed_workers: usize,
+    /// Chunks re-dispatched after failover (0 without fault injection).
+    pub redispatches: u64,
+    /// Median latency, microseconds (wall clock — masked).
+    pub p50_us: u64,
+    /// Tail latency, microseconds (wall clock — masked).
+    pub p99_us: u64,
+    /// Mean latency, microseconds (wall clock — masked).
+    pub mean_us: u64,
+}
+
+/// The full SLO artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct SloReport {
+    /// Experts in the layer.
+    pub experts: usize,
+    /// Gate fan-out.
+    pub top_k: usize,
+    /// Zipf exponent of the workload.
+    pub zipf: f64,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Requests in the stream.
+    pub requests: usize,
+    /// Tokens per request.
+    pub tokens_per_request: usize,
+    /// Observed gate histogram (token slots per expert).
+    pub hist: Vec<usize>,
+    /// Simulated latency sweep over replica budgets.
+    pub sim: Vec<SimRow>,
+    /// Real-engine sweep over replica budgets (localhost TCP).
+    pub real: Vec<RealRow>,
+    /// Whether simulated p99 at the largest budget beat the smallest —
+    /// the headline claim of the serving plane.
+    pub sim_p99_improves: bool,
+}
+
+/// The scenario `repro serve` reports on.
+pub fn report_config() -> ServeConfig {
+    ServeConfig {
+        requests: 48,
+        ..ServeConfig::small()
+    }
+}
+
+/// Replica budgets of the simulated sweep.
+pub const SIM_BUDGETS: &[usize] = &[4, 8, 12];
+/// Replica budgets of the real TCP sweep (kept small: each budget is a
+/// live mesh of `budget + 1` OS threads).
+pub const REAL_BUDGETS: &[usize] = &[4, 6, 8];
+
+/// Build the full report: simulated sweep plus real TCP sweep.
+pub fn build() -> SloReport {
+    build_with(&report_config(), SIM_BUDGETS, REAL_BUDGETS)
+}
+
+/// [`build`] with explicit scenario and budgets. `real_budgets` may be
+/// empty to skip the TCP runs (used by tests that only pin the
+/// deterministic half).
+pub fn build_with(cfg: &ServeConfig, sim_budgets: &[usize], real_budgets: &[usize]) -> SloReport {
+    let model = ServeModel::new(cfg);
+    let wl = ServeWorkload::generate(cfg);
+    let (hist, _) = plan_from_workload(&model, &wl, cfg.experts);
+    let sim: Vec<SimRow> = sim_budgets
+        .iter()
+        .map(|&budget| {
+            let (_, plan) = plan_from_workload(&model, &wl, budget);
+            let p = simulate_serving(&model, &wl, &plan.counts, &SimOpts::default());
+            SimRow {
+                budget,
+                hot_replicas: p.counts[0],
+                counts: p.counts,
+                p50_ms: p.p50_ms,
+                p99_ms: p.p99_ms,
+                mean_ms: p.mean_ms,
+            }
+        })
+        .collect();
+    let real = real_budgets
+        .iter()
+        .map(|&budget| real_point(cfg, &model, &wl, budget))
+        .collect();
+    let sim_p99_improves = sim
+        .first()
+        .zip(sim.last())
+        .map(|(a, b)| b.p99_ms < a.p99_ms)
+        .unwrap_or(false);
+    SloReport {
+        experts: cfg.experts,
+        top_k: cfg.top_k,
+        zipf: cfg.zipf,
+        seed: cfg.seed,
+        requests: cfg.requests,
+        tokens_per_request: cfg.tokens_per_request,
+        hist,
+        sim,
+        real,
+        sim_p99_improves,
+    }
+}
+
+/// One real run: the engine over heartbeat-monitored localhost TCP,
+/// open-loop paced arrivals, emulated service floor.
+fn real_point(cfg: &ServeConfig, model: &ServeModel, wl: &ServeWorkload, budget: usize) -> RealRow {
+    let (_, plan) = plan_from_workload(model, wl, budget);
+    let endpoints = tcp_mesh_localhost(plan.world()).expect("localhost TCP mesh");
+    let mesh = monitor_mesh(
+        endpoints,
+        LivenessConfig::heartbeats(8, Duration::from_secs(5)),
+    );
+    let spec = ServeSpec {
+        model,
+        workload: wl,
+        plan: &plan,
+        max_batch_tokens: cfg.max_batch_tokens,
+        opts: ServeOpts {
+            service_floor_us: 200,
+            pacing_step: Some(Duration::from_millis(2)),
+        },
+        crash: None,
+    };
+    let run = serve_on(mesh, &spec);
+    let mut lat: Vec<f64> = run
+        .frontend
+        .latencies_us
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+    lat.sort_by(f64::total_cmp);
+    let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+    RealRow {
+        budget,
+        counts: plan.counts.clone(),
+        completed: run.frontend.responses.len(),
+        failed_workers: run.workers.iter().filter(|w| w.is_err()).count(),
+        redispatches: run.frontend.redispatches,
+        p50_us: pct(&lat, 0.50) as u64,
+        p99_us: pct(&lat, 0.99) as u64,
+        mean_us: mean as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_half_is_bitwise_stable() {
+        let a = build_with(&report_config(), &[4, 8], &[]);
+        let b = build_with(&report_config(), &[4, 8], &[]);
+        assert_eq!(a.hist, b.hist);
+        for (ra, rb) in a.sim.iter().zip(&b.sim) {
+            assert_eq!(ra.counts, rb.counts);
+            assert_eq!(ra.p99_ms.to_bits(), rb.p99_ms.to_bits());
+        }
+        assert!(a.sim_p99_improves);
+    }
+
+    #[test]
+    fn real_tcp_point_completes_all_requests() {
+        let cfg = ServeConfig {
+            requests: 12,
+            ..report_config()
+        };
+        let report = build_with(&cfg, &[4], &[4]);
+        let real = &report.real[0];
+        assert_eq!(real.completed, cfg.requests);
+        assert_eq!(real.failed_workers, 0);
+        assert_eq!(real.redispatches, 0);
+        assert!(real.p99_us >= real.p50_us);
+    }
+}

@@ -1,0 +1,236 @@
+//! The serving pipeline as a `janus-netsim` task graph.
+//!
+//! Before touching a socket, the replica-scaling question — *how does
+//! p99 latency move as the replica budget grows under a Zipf-skewed
+//! gate?* — is answered in the deterministic fluid simulator. Each
+//! request becomes a small task chain: an arrival timer (a zero-byte
+//! transfer whose latency is the open-loop arrival time), a gate
+//! compute on the frontend lane, one transfer→compute→transfer chain
+//! per expert chunk (each replica is a serial lane, so queueing at hot
+//! experts emerges naturally), and a combine compute joining the
+//! returns. Request latency is `finish(combine) − arrival`, and the
+//! chunking mirrors [`crate::engine`]: per-expert token lists split
+//! into `counts[e]` plan-fixed chunks.
+
+use janus_netsim::{simulate, GraphBuilder, TaskId, TaskSpec, Work};
+use janus_topology::ids::LinkId;
+
+use crate::model::ServeModel;
+use crate::workload::ServeWorkload;
+
+/// Physical constants of the simulated serving cluster.
+#[derive(Debug, Clone)]
+pub struct SimOpts {
+    /// Open-loop interarrival time between requests, seconds.
+    pub arrival_period_s: f64,
+    /// Expert service time per routed token slot, seconds.
+    pub per_token_s: f64,
+    /// Frontend gate / combine cost per request, seconds.
+    pub gate_s: f64,
+    /// Fixed per-dispatch issue latency, seconds.
+    pub net_latency_s: f64,
+    /// Frontend↔worker link bandwidth, bytes per second.
+    pub link_bytes_per_s: f64,
+}
+
+impl Default for SimOpts {
+    fn default() -> Self {
+        SimOpts {
+            arrival_period_s: 4e-3,
+            per_token_s: 2e-3,
+            gate_s: 1e-4,
+            net_latency_s: 2e-4,
+            link_bytes_per_s: 10e9,
+        }
+    }
+}
+
+/// Latency distribution of one simulated sweep point.
+#[derive(Debug, Clone)]
+pub struct SimPoint {
+    /// Replica budget the point ran with.
+    pub budget: usize,
+    /// Replica counts the budget apportioned to.
+    pub counts: Vec<usize>,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean request latency, milliseconds.
+    pub mean_ms: f64,
+    /// Completion time of the whole stream, milliseconds.
+    pub makespan_ms: f64,
+}
+
+/// Simulate serving `wl` with `counts` replicas per expert. The gate is
+/// evaluated for real (per request), so the simulated load is exactly
+/// the load the engine would dispatch. Deterministic.
+pub fn simulate_serving(
+    model: &ServeModel,
+    wl: &ServeWorkload,
+    counts: &[usize],
+    opts: &SimOpts,
+) -> SimPoint {
+    let hidden = model.hidden_dim();
+    // Link 0: frontend -> workers; link 1: workers -> frontend.
+    let mut g = GraphBuilder::new(2, 0);
+    let fe_lane = g.lane();
+    let replica_lanes: Vec<Vec<_>> = counts
+        .iter()
+        .map(|&c| (0..c).map(|_| g.lane()).collect())
+        .collect();
+    let mut arrivals = Vec::with_capacity(wl.requests.len());
+    let mut combines: Vec<TaskId> = Vec::with_capacity(wl.requests.len());
+    for (i, req) in wl.requests.iter().enumerate() {
+        let at = i as f64 * opts.arrival_period_s;
+        arrivals.push(at);
+        let timer = g.task(
+            Work::Transfer {
+                route: vec![],
+                bytes: 0.0,
+                lane: None,
+                latency: at,
+            },
+            &[],
+        );
+        let gate = g.add(
+            TaskSpec::new(Work::Compute {
+                lane: fe_lane,
+                duration: opts.gate_s,
+            })
+            .priority(i as i64)
+            .label(format!("gate/{i}")),
+            &[timer],
+        );
+        let routing = model.gate.route(&req.tokens);
+        let mut returns = Vec::new();
+        for (e, lanes) in replica_lanes.iter().enumerate() {
+            let slots = routing.tokens_for(e).len();
+            if slots == 0 {
+                continue;
+            }
+            // Same plan-fixed chunking as the engine.
+            let per = slots.div_ceil(counts[e]);
+            let mut remaining = slots;
+            let mut replica = 0usize;
+            while remaining > 0 {
+                let chunk = remaining.min(per);
+                remaining -= chunk;
+                let bytes = (chunk * hidden * 4) as f64;
+                let dispatch = g.task(
+                    Work::Transfer {
+                        route: vec![LinkId(0)],
+                        bytes,
+                        lane: None,
+                        latency: opts.net_latency_s,
+                    },
+                    &[gate],
+                );
+                let ffn = g.add(
+                    TaskSpec::new(Work::Compute {
+                        lane: lanes[replica],
+                        duration: chunk as f64 * opts.per_token_s,
+                    })
+                    .priority(i as i64)
+                    .label(format!("ffn/{i}/e{e}/r{replica}")),
+                    &[dispatch],
+                );
+                let ret = g.task(
+                    Work::Transfer {
+                        route: vec![LinkId(1)],
+                        bytes,
+                        lane: None,
+                        latency: opts.net_latency_s,
+                    },
+                    &[ffn],
+                );
+                returns.push(ret);
+                replica += 1;
+            }
+        }
+        let combine = g.add(
+            TaskSpec::new(Work::Compute {
+                lane: fe_lane,
+                duration: opts.gate_s,
+            })
+            .priority(i as i64)
+            .label(format!("req/{i}")),
+            &returns,
+        );
+        combines.push(combine);
+    }
+    let caps = vec![opts.link_bytes_per_s, opts.link_bytes_per_s];
+    let res = simulate(&g.build(), &caps).expect("serving graph simulates");
+    let mut latencies: Vec<f64> = combines
+        .iter()
+        .zip(&arrivals)
+        .map(|(&c, &at)| res.records[c.0].finish - at)
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    SimPoint {
+        budget: counts.iter().sum(),
+        counts: counts.to_vec(),
+        p50_ms: 1e3 * pct(&latencies, 0.50),
+        p99_ms: 1e3 * pct(&latencies, 0.99),
+        mean_ms: 1e3 * mean,
+        makespan_ms: 1e3 * res.makespan,
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+pub(crate) fn pct(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::plan_from_workload;
+    use crate::workload::ServeConfig;
+
+    fn sweep(budgets: &[usize]) -> Vec<SimPoint> {
+        let cfg = ServeConfig {
+            requests: 48,
+            ..ServeConfig::small()
+        };
+        let model = ServeModel::new(&cfg);
+        let wl = ServeWorkload::generate(&cfg);
+        budgets
+            .iter()
+            .map(|&b| {
+                let (_, plan) = plan_from_workload(&model, &wl, b);
+                simulate_serving(&model, &wl, &plan.counts, &SimOpts::default())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn p99_improves_with_replica_budget() {
+        let points = sweep(&[4, 8, 12]);
+        assert!(
+            points[0].p99_ms > points[1].p99_ms && points[1].p99_ms >= points[2].p99_ms,
+            "p99 must fall as replicas scale: {:?}",
+            points.iter().map(|p| p.p99_ms).collect::<Vec<_>>()
+        );
+        assert!(points[0].p50_ms >= points[2].p50_ms);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = sweep(&[6]);
+        let b = sweep(&[6]);
+        assert_eq!(a[0].p99_ms.to_bits(), b[0].p99_ms.to_bits());
+        assert_eq!(a[0].makespan_ms.to_bits(), b[0].makespan_ms.to_bits());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(pct(&v, 0.50), 2.0);
+        assert_eq!(pct(&v, 0.99), 4.0);
+        assert_eq!(pct(&v, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Seeded open-loop serving workloads.
+//!
+//! A workload is a stream of small requests from a fixed set of clients.
+//! Each token carries an *intended* expert drawn from a Zipf popularity
+//! distribution (the same sampler shape as
+//! `janus_moe::workload::AssignmentMatrix`, without the random rank
+//! permutation so expert 0 is always the hottest — which keeps reports
+//! readable), embedded so the steering gate of [`crate::model`] actually
+//! routes the token there. Generation is a pure function of the config,
+//! so the simulator, the chaos matrix, and the real TCP run all see the
+//! same stream.
+
+use janus_tensor::Matrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::batcher::RequestId;
+
+/// All knobs of one serving scenario, shared by the netsim model, the
+/// in-process engine, and the TCP run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of experts in the MoE layer.
+    pub experts: usize,
+    /// Token embedding width `H` (must be `>= experts` for the steering
+    /// gate).
+    pub hidden_dim: usize,
+    /// Gate fan-out `k`.
+    pub top_k: usize,
+    /// Number of request-issuing clients.
+    pub clients: usize,
+    /// Total requests in the stream.
+    pub requests: usize,
+    /// Tokens per request.
+    pub tokens_per_request: usize,
+    /// Zipf exponent of expert popularity (0 = uniform).
+    pub zipf: f64,
+    /// Requests arriving per admission step (open-loop rate).
+    pub arrivals_per_step: usize,
+    /// Continuous-batching token budget per engine step.
+    pub max_batch_tokens: usize,
+    /// RNG seed for model weights and the request stream.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// The scale used by unit tests and the chaos matrix: small enough
+    /// for a per-profile run, skewed enough that replica placement
+    /// matters.
+    pub fn small() -> Self {
+        ServeConfig {
+            experts: 4,
+            hidden_dim: 16,
+            top_k: 2,
+            clients: 3,
+            requests: 12,
+            tokens_per_request: 4,
+            zipf: 1.1,
+            arrivals_per_step: 2,
+            max_batch_tokens: 16,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One request of the stream.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Who sent it and where it sits in their stream.
+    pub id: RequestId,
+    /// Admission step at which it arrives (open-loop schedule).
+    pub arrival_step: u64,
+    /// Intended expert of each token (Zipf-sampled).
+    pub targets: Vec<usize>,
+    /// Token embeddings, `tokens_per_request × H`.
+    pub tokens: Matrix,
+}
+
+/// The full request stream of one scenario.
+#[derive(Debug, Clone)]
+pub struct ServeWorkload {
+    /// Requests in arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl ServeWorkload {
+    /// Generate the stream for `cfg`. Deterministic per config.
+    pub fn generate(cfg: &ServeConfig) -> Self {
+        assert!(cfg.experts > 0 && cfg.clients > 0 && cfg.arrivals_per_step > 0);
+        assert!(
+            cfg.hidden_dim >= cfg.experts,
+            "steering gate needs hidden_dim >= experts"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_CAFE);
+        // Zipf popularity over experts, hottest first (no permutation).
+        let weights: Vec<f64> = (1..=cfg.experts)
+            .map(|rank| 1.0 / (rank as f64).powf(cfg.zipf))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let cdf: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w / total;
+                Some(*acc)
+            })
+            .collect();
+        let mut next_seq = vec![0u64; cfg.clients];
+        let requests = (0..cfg.requests)
+            .map(|i| {
+                let client = i % cfg.clients;
+                let seq = next_seq[client];
+                next_seq[client] += 1;
+                let targets: Vec<usize> = (0..cfg.tokens_per_request)
+                    .map(|_| {
+                        let u: f64 = rng.random();
+                        cdf.partition_point(|&c| c < u).min(cfg.experts - 1)
+                    })
+                    .collect();
+                let mut tokens = Matrix::zeros(cfg.tokens_per_request, cfg.hidden_dim);
+                for (t, &target) in targets.iter().enumerate() {
+                    let row = tokens.row_mut(t);
+                    for v in row.iter_mut() {
+                        *v = 0.2 * (rng.random::<f32>() - 0.5);
+                    }
+                    row[target] += 2.0;
+                }
+                Request {
+                    id: RequestId { client, seq },
+                    arrival_step: (i / cfg.arrivals_per_step) as u64,
+                    targets,
+                    tokens,
+                }
+            })
+            .collect();
+        ServeWorkload { requests }
+    }
+
+    /// Histogram of *intended* experts over the whole stream (top-1
+    /// popularity; the gate's observed histogram additionally counts the
+    /// noise-chosen secondary choices).
+    pub fn intent_histogram(&self, experts: usize) -> Vec<usize> {
+        let mut h = vec![0usize; experts];
+        for r in &self.requests {
+            for &t in &r.targets {
+                h[t] += 1;
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_zipf_skewed() {
+        let cfg = ServeConfig {
+            requests: 200,
+            ..ServeConfig::small()
+        };
+        let a = ServeWorkload::generate(&cfg);
+        let b = ServeWorkload::generate(&cfg);
+        for (ra, rb) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(ra.id, rb.id);
+            assert_eq!(ra.targets, rb.targets);
+            assert_eq!(ra.tokens.data(), rb.tokens.data());
+        }
+        let h = a.intent_histogram(cfg.experts);
+        assert_eq!(h.iter().sum::<usize>(), 200 * cfg.tokens_per_request);
+        let max = *h.iter().max().unwrap();
+        assert_eq!(h[0], max, "expert 0 is the hottest");
+        assert!(
+            max * 2 > h.iter().sum::<usize>() / cfg.experts * 3,
+            "Zipf 1.1 should be visibly skewed: {h:?}"
+        );
+    }
+
+    #[test]
+    fn client_streams_are_fifo_numbered() {
+        let cfg = ServeConfig::small();
+        let wl = ServeWorkload::generate(&cfg);
+        let mut next = vec![0u64; cfg.clients];
+        for r in &wl.requests {
+            assert_eq!(r.id.seq, next[r.id.client]);
+            next[r.id.client] += 1;
+        }
+    }
+}

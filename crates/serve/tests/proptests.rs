@@ -1,0 +1,122 @@
+//! Property tests on the serving plane's two pure algorithms: the
+//! continuous batcher (no starvation, per-client FIFO, token budget)
+//! and the replica apportionment (deterministic, complete, monotone in
+//! load).
+
+use janus_serve::batcher::{Batcher, RequestId};
+use janus_serve::replica::{replica_counts, ReplicaPlan};
+use proptest::prelude::*;
+
+type Emission = (Vec<(usize, RequestId)>, Vec<Vec<(usize, RequestId)>>);
+
+/// Drive a batcher over an arbitrary arrival interleaving: `arrivals`
+/// gives, per engine step, how many queued requests are admitted before
+/// the step's batch is drawn. Returns the concatenated emission order.
+fn drive(budget: usize, sizes: &[usize], arrivals: &[usize]) -> Emission {
+    let mut b = Batcher::new(budget);
+    let mut next = 0usize;
+    let mut emitted = Vec::new();
+    let mut batches = Vec::new();
+    let mut steps = arrivals.iter().copied().chain(std::iter::repeat(0));
+    while next < sizes.len() || b.depth() > 0 {
+        let n = steps.next().unwrap();
+        for _ in 0..n.min(sizes.len() - next) {
+            let id = RequestId {
+                client: next % 3,
+                seq: (next / 3) as u64,
+            };
+            b.admit(next, id, sizes[next]);
+            next += 1;
+        }
+        let batch = b.next_batch();
+        if !batch.is_empty() {
+            emitted.extend(batch.iter().copied());
+            batches.push(batch);
+        }
+        // Liveness backstop: if nothing arrived and nothing was emitted
+        // the queue was empty; force remaining arrivals forward.
+        if n == 0 && next < sizes.len() && b.depth() == 0 {
+            let id = RequestId {
+                client: next % 3,
+                seq: (next / 3) as u64,
+            };
+            b.admit(next, id, sizes[next]);
+            next += 1;
+        }
+    }
+    (emitted, batches)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary arrival interleavings the batcher emits every
+    /// request exactly once, in admission order — which implies both
+    /// no-starvation and per-client FIFO.
+    #[test]
+    fn batcher_never_starves_and_preserves_fifo(
+        budget in 1usize..20,
+        sizes in prop::collection::vec(1usize..8, 1..40),
+        arrivals in prop::collection::vec(0usize..5, 0..40),
+    ) {
+        let (emitted, batches) = drive(budget, &sizes, &arrivals);
+        // Exactly-once, in admission order.
+        prop_assert_eq!(
+            emitted.iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+            (0..sizes.len()).collect::<Vec<_>>()
+        );
+        // Per-client FIFO: each client's seq numbers emit in order.
+        let mut next_seq = [0u64; 3];
+        for &(_, id) in &emitted {
+            prop_assert_eq!(id.seq, next_seq[id.client]);
+            next_seq[id.client] += 1;
+        }
+        // Token budget: a batch only exceeds it when a single oversized
+        // request forms the whole batch (anti-starvation clause).
+        for batch in &batches {
+            let tokens: usize = batch.iter().map(|&(r, _)| sizes[r]).sum();
+            prop_assert!(tokens <= budget || batch.len() == 1);
+        }
+    }
+
+    /// The apportionment is a pure function: complete (sums to budget),
+    /// covering (every expert >= 1), and deterministic.
+    #[test]
+    fn replica_counts_complete_and_deterministic(
+        hist in prop::collection::vec(0usize..10_000, 1..12),
+        extra in 0usize..20,
+    ) {
+        let budget = hist.len() + extra;
+        let a = replica_counts(&hist, budget);
+        prop_assert_eq!(a.iter().sum::<usize>(), budget);
+        prop_assert!(a.iter().all(|&c| c >= 1));
+        prop_assert_eq!(&a, &replica_counts(&hist, budget));
+        // Placement covers worker ranks 1..=budget exactly once.
+        let plan = ReplicaPlan::new(a);
+        let mut ranks: Vec<usize> = plan.homes.iter().flatten().copied().collect();
+        ranks.sort_unstable();
+        prop_assert_eq!(ranks, (1..=budget).collect::<Vec<_>>());
+    }
+
+    /// Monotone in gate load: raising one expert's observed load never
+    /// loses it a replica (highest-averages house monotonicity).
+    #[test]
+    fn replica_counts_monotone_in_load(
+        hist in prop::collection::vec(0usize..5_000, 2..10),
+        extra in 0usize..16,
+        bump_idx in 0usize..10,
+        bump in 1usize..5_000,
+    ) {
+        let budget = hist.len() + extra;
+        let e = bump_idx % hist.len();
+        let base = replica_counts(&hist, budget);
+        let mut bumped = hist.clone();
+        bumped[e] += bump;
+        let after = replica_counts(&bumped, budget);
+        prop_assert!(
+            after[e] >= base[e],
+            "expert {} lost replicas ({} -> {}) after load rose: {:?} -> {:?}",
+            e, base[e], after[e], hist, bumped
+        );
+    }
+}

@@ -16,13 +16,20 @@
 //!   simulation/execution engines.
 //! * [`obs`] — span tracing, metrics, and Chrome-trace/Prometheus export
 //!   shared by the execution engines, transports, and simulator.
+//! * [`lab`] — the experiment DAG runner: manifests, canonical digests,
+//!   and bitwise verification of artifacts.
+//! * [`serve`] — the inference serving plane: continuous batching,
+//!   disaggregated attention/expert workers, gate-driven replica
+//!   scaling, and SLO measurement.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
 pub use janus_comm as comm;
 pub use janus_core as core;
+pub use janus_lab as lab;
 pub use janus_moe as moe;
 pub use janus_netsim as netsim;
 pub use janus_obs as obs;
+pub use janus_serve as serve;
 pub use janus_tensor as tensor;
 pub use janus_topology as topology;

@@ -1,0 +1,323 @@
+//! Serving chaos matrix: the inference plane must survive lossy links —
+//! and crashed expert workers — without corrupting a single response.
+//!
+//! Mirrors `tests/chaos_training.rs` for the serving plane: each case
+//! stacks `ReliableTransport` over `FaultyTransport` over the in-process
+//! mesh and serves the full Zipf request stream while the fault plan
+//! drops, delays, duplicates, reorders, and partitions traffic. Because
+//! expert kernels are row-independent and the frontend combines in fixed
+//! (token, choice-rank) order, every response must be **bitwise
+//! identical** to the single-request reference forward — across fault
+//! profiles, chaos seeds, and compute thread counts — and no request may
+//! hang or be dropped.
+//!
+//! The crash dimension kills a hot-expert replica mid-run on a
+//! liveness-monitored mesh: the frontend must fail over to the expert's
+//! surviving replica, re-dispatch the dead worker's chunks, and still
+//! produce bitwise-identical responses.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use janus::comm::faulty::{FaultPlan, FaultyTransport, Partition};
+use janus::comm::local::local_mesh;
+use janus::comm::reliable::{ReliableTransport, RetransmitPolicy};
+use janus::serve::{
+    plan_from_workload, serve_local, serve_on, CrashHook, ServeConfig, ServeModel, ServeOpts,
+    ServeRun, ServeSpec, ServeWorkload,
+};
+use janus::tensor::{pool, Matrix};
+
+/// `pool::set_threads` is process-global, so tests that sweep thread
+/// counts serialize on this lock instead of racing each other.
+static THREAD_SWEEP: Mutex<()> = Mutex::new(());
+
+fn cfg() -> ServeConfig {
+    ServeConfig::small()
+}
+
+const BUDGET: usize = 6;
+
+/// Base chaos seed: `JANUS_CHAOS_SEED` (as set by the CI chaos shard) or
+/// a fixed default. A second seed is derived so every local run still
+/// covers two distinct fault schedules.
+fn chaos_seeds() -> [u64; 2] {
+    let base = std::env::var("JANUS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    [base, base ^ 0x9E37_79B9]
+}
+
+/// Retransmit policy tuned for tests: aggressive timeouts so dropped
+/// messages recover in microseconds, with a budget far above anything a
+/// fault plan here can exhaust.
+fn chaos_policy() -> RetransmitPolicy {
+    RetransmitPolicy {
+        initial_backoff: Duration::from_micros(500),
+        max_backoff: Duration::from_millis(8),
+        max_attempts: 400,
+        flush_quiet: Duration::from_millis(40),
+    }
+}
+
+/// One reliable-over-faulty endpoint per rank.
+fn chaos_mesh(
+    world: usize,
+    plan: &FaultPlan,
+) -> Vec<ReliableTransport<FaultyTransport<janus::comm::local::LocalTransport>>> {
+    local_mesh(world)
+        .into_iter()
+        .map(|t| {
+            ReliableTransport::with_policy(FaultyTransport::new(t, plan.clone()), chaos_policy())
+        })
+        .collect()
+}
+
+/// The fault matrix: each profile exercises one failure mode, plus one
+/// combined profile that layers them all.
+fn fault_matrix(seed: u64, world: usize) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "drops",
+            FaultPlan {
+                seed,
+                drop: 0.05,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "delays",
+            FaultPlan {
+                seed,
+                delay: 0.4,
+                max_delay_ops: 5,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "duplicates",
+            FaultPlan {
+                seed,
+                duplicate: 0.3,
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "partition",
+            FaultPlan {
+                seed,
+                partitions: vec![Partition {
+                    a: 0,
+                    b: world - 1,
+                    from_op: 2,
+                    to_op: 10,
+                }],
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "combined",
+            FaultPlan {
+                seed,
+                drop: 0.03,
+                delay: 0.2,
+                max_delay_ops: 3,
+                duplicate: 0.15,
+                reorder: 0.25,
+                partitions: vec![Partition {
+                    a: 1,
+                    b: 2,
+                    from_op: 4,
+                    to_op: 9,
+                }],
+                ..FaultPlan::default()
+            },
+        ),
+    ]
+}
+
+/// Run `f` on a helper thread and panic if it does not finish within
+/// `timeout` — turning any protocol hang into a loud, named failure.
+fn with_watchdog<R: Send + 'static>(
+    label: &str,
+    timeout: Duration,
+    f: impl FnOnce() -> R + Send + 'static,
+) -> R {
+    let (tx, rx) = mpsc::channel();
+    let name = format!("chaos-serve:{label}");
+    std::thread::Builder::new()
+        .name(name.clone())
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("spawning watchdog worker");
+    match rx.recv_timeout(timeout) {
+        Ok(r) => r,
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("{name} panicked; the original panic is above in stderr")
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("watchdog: {name} did not finish within {timeout:?} (hang, not a diagnostic)")
+        }
+    }
+}
+
+/// The bitwise oracle: every response equals the single-request
+/// reference forward of its tokens, and every request completed.
+fn assert_bitwise(label: &str, model: &ServeModel, wl: &ServeWorkload, run: &ServeRun) {
+    assert_eq!(
+        run.frontend.responses.len(),
+        wl.requests.len(),
+        "{label}: requests lost"
+    );
+    for (i, (req, got)) in wl.requests.iter().zip(&run.frontend.responses).enumerate() {
+        let want: Matrix = model.forward_reference(&req.tokens);
+        assert_eq!(
+            want.data(),
+            got.data(),
+            "{label}: request {i} (client {} seq {}) not bitwise identical",
+            req.id.client,
+            req.id.seq
+        );
+    }
+}
+
+/// The headline serving chaos matrix: every fault profile × two chaos
+/// seeds × two compute thread counts, every response bitwise identical
+/// to the reference forward, no hangs.
+///
+/// One `#[test]` on purpose: `pool::set_threads` is process-global, so
+/// the thread sweep must not race a concurrently running test.
+#[test]
+fn serving_chaos_matrix_is_bitwise_identical_to_reference() {
+    with_watchdog("matrix", Duration::from_secs(240), || {
+        let _sweep = THREAD_SWEEP.lock().unwrap_or_else(|p| p.into_inner());
+        let cfg = cfg();
+        let model = ServeModel::new(&cfg);
+        let wl = ServeWorkload::generate(&cfg);
+        let (_, plan) = plan_from_workload(&model, &wl, BUDGET);
+        let mut clean_across_threads: Option<Vec<Matrix>> = None;
+        for threads in [1usize, 4] {
+            pool::set_threads(threads);
+            let spec = ServeSpec {
+                model: &model,
+                workload: &wl,
+                plan: &plan,
+                max_batch_tokens: cfg.max_batch_tokens,
+                opts: ServeOpts::default(),
+                crash: None,
+            };
+            // Fault-free run: bitwise to reference, zero fault activity.
+            let clean = serve_local(&spec);
+            assert_bitwise(&format!("clean threads={threads}"), &model, &wl, &clean);
+            let cstats = clean.total_comm_stats();
+            assert_eq!(cstats.faults_dropped, 0, "clean run saw faults: {cstats:?}");
+            assert_eq!(cstats.retransmits, 0, "clean run retransmitted: {cstats:?}");
+            if let Some(prev) = &clean_across_threads {
+                for (a, b) in prev.iter().zip(&clean.frontend.responses) {
+                    assert_eq!(a.data(), b.data(), "threads changed serving numerics");
+                }
+            }
+            for seed in chaos_seeds() {
+                for (name, fplan) in fault_matrix(seed, plan.world()) {
+                    let label = format!("{name} seed={seed:#x} threads={threads}");
+                    eprintln!("chaos-serve: {label}");
+                    let run = serve_on(chaos_mesh(plan.world(), &fplan), &spec);
+                    assert_bitwise(&label, &model, &wl, &run);
+                    for w in &run.workers {
+                        assert!(w.is_ok(), "{label}: worker died: {w:?}");
+                    }
+
+                    // Non-vacuity: the plan must actually have fired, and
+                    // the reliability layer must actually have recovered.
+                    let c = run.total_comm_stats();
+                    match name {
+                        "drops" | "partition" => {
+                            assert!(c.faults_dropped > 0, "{label}: no drops injected: {c:?}");
+                            assert!(c.retransmits > 0, "{label}: nothing retransmitted: {c:?}");
+                        }
+                        "delays" => {
+                            assert!(c.faults_delayed > 0, "{label}: no delays injected: {c:?}");
+                        }
+                        "duplicates" => {
+                            assert!(c.faults_duplicated > 0, "{label}: no dupes injected: {c:?}");
+                            assert!(
+                                c.duplicates_dropped > 0,
+                                "{label}: receiver dropped no duplicates: {c:?}"
+                            );
+                        }
+                        _ => {
+                            assert!(
+                                c.faults_dropped + c.faults_delayed + c.faults_duplicated > 0,
+                                "{label}: combined plan injected nothing: {c:?}"
+                            );
+                        }
+                    }
+                }
+            }
+            clean_across_threads = Some(clean.frontend.responses);
+        }
+        pool::set_threads(0); // restore the JANUS_THREADS/env default
+    })
+}
+
+/// The crash property: killing a hot-expert replica mid-run on a
+/// liveness-monitored mesh degrades it to the surviving replica — the
+/// dead worker's outstanding chunks are re-dispatched, every request
+/// still completes, and every response is still bitwise identical.
+#[test]
+fn killed_expert_worker_fails_over_to_its_replica_bitwise() {
+    with_watchdog("crash", Duration::from_secs(120), || {
+        let cfg = cfg();
+        let model = ServeModel::new(&cfg);
+        let wl = ServeWorkload::generate(&cfg);
+        let (hist, plan) = plan_from_workload(&model, &wl, BUDGET);
+        // Expert 0 is the Zipf-hottest, so the apportionment must give it
+        // at least two replicas — the victim and its stand-in.
+        assert!(
+            plan.counts[0] >= 2,
+            "hot expert needs a replica to fail over to: hist={hist:?} counts={:?}",
+            plan.counts
+        );
+        let victim = plan.homes[0][0];
+        for seed_extra_dispatch in [1u64, 2] {
+            let spec = ServeSpec {
+                model: &model,
+                workload: &wl,
+                plan: &plan,
+                max_batch_tokens: cfg.max_batch_tokens,
+                opts: ServeOpts::default(),
+                crash: Some(CrashHook {
+                    rank: victim,
+                    after_dispatches: seed_extra_dispatch,
+                }),
+            };
+            let run = serve_local(&spec);
+            let label = format!("crash rank {victim} on dispatch {seed_extra_dispatch}");
+            assert_bitwise(&label, &model, &wl, &run);
+            assert!(
+                run.frontend.failovers >= 1,
+                "{label}: frontend never failed over"
+            );
+            assert!(
+                run.frontend.redispatches >= 1,
+                "{label}: dead worker's chunks were never re-served"
+            );
+            let victim_outcome = &run.workers[victim - 1];
+            let err = victim_outcome
+                .as_ref()
+                .expect_err("the crashed worker must report its panic");
+            assert!(
+                err.contains("injected crash"),
+                "{label}: unexpected worker error: {err}"
+            );
+            for (i, w) in run.workers.iter().enumerate() {
+                if i + 1 != victim {
+                    assert!(w.is_ok(), "{label}: bystander worker {} died: {w:?}", i + 1);
+                }
+            }
+        }
+    })
+}

@@ -171,7 +171,10 @@ fn with_watchdog<R: Send + 'static>(
         .expect("spawning watchdog worker");
     match rx.recv_timeout(timeout) {
         Ok(r) => r,
-        Err(_) => {
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("{name} panicked; the original panic is above in stderr")
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
             panic!("watchdog: {name} did not finish within {timeout:?} (hang, not a diagnostic)")
         }
     }

@@ -1,0 +1,58 @@
+//! Golden pin of the `repro serve` SLO artifact.
+//!
+//! The lab manifest hashes `serve_slo.json` through its masked canonical
+//! form: parsed, the wall-clock latency keys of the real TCP sweep
+//! nulled, re-rendered compact. This test pins that exact byte stream —
+//! the very content `repro lab --verify` re-digests — so any
+//! unintentional change to the report's deterministic content (the
+//! simulated latency sweep, replica apportionments, gate histogram,
+//! structural counters of the real runs) fails loudly here with a
+//! readable diff instead of as an opaque digest mismatch.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test serve_slo`.
+
+use janus::lab::canonical_masked_json;
+use janus::serve::report::{build, MASKED_KEYS};
+
+fn assert_golden(got: &str, name: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(got, want, "golden mismatch for {name}");
+}
+
+#[test]
+fn slo_report_masked_canonical_form_is_golden() {
+    let report = build();
+    assert!(
+        report.sim_p99_improves,
+        "headline claim must hold: sim p99 at the largest replica budget \
+         beats the smallest"
+    );
+    for row in &report.real {
+        assert_eq!(row.completed, report.requests, "TCP run lost requests");
+        assert_eq!(row.failed_workers, 0, "TCP run lost workers");
+    }
+    let masked: Vec<String> = MASKED_KEYS.iter().map(|k| k.to_string()).collect();
+    let mut pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    pretty.push('\n');
+    let mut canonical =
+        canonical_masked_json(pretty.as_bytes(), &masked).expect("report is valid JSON");
+    canonical.push('\n');
+    // The pretty form and the compact form canonicalize identically —
+    // the digest is insensitive to whitespace, exactly as the manifest
+    // layer promises.
+    let compact = serde_json::to_string(&report).expect("report serializes");
+    assert_eq!(
+        canonical_masked_json(compact.as_bytes(), &masked).map(|mut s| {
+            s.push('\n');
+            s
+        }),
+        Some(canonical.clone())
+    );
+    assert_golden(&canonical, "serve_slo.json");
+}
