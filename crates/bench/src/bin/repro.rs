@@ -235,7 +235,39 @@ fn run_bench(dag: &Dag, exec: &Executor, check: bool, json: bool) -> i32 {
         }
         promote_baseline(name);
     }
+    append_bench_history();
     0
+}
+
+/// Append this run's headline numbers to the tracked
+/// `BENCH_history.json` log so perf trends survive baseline rewrites.
+fn append_bench_history() {
+    let read = |task: &str| {
+        std::fs::read_to_string(
+            std::path::Path::new(ARTIFACT_ROOT)
+                .join(task)
+                .join(format!("BENCH_{task}.json")),
+        )
+    };
+    let (compute, transport) = match (read("compute"), read("transport")) {
+        (Ok(c), Ok(t)) => (c, t),
+        (c, t) => {
+            eprintln!(
+                "skipping BENCH_history.json: could not read fresh artifacts ({:?} / {:?})",
+                c.err(),
+                t.err()
+            );
+            return;
+        }
+    };
+    match janus_bench::experiments::bench_history::append(
+        "BENCH_history.json",
+        &compute,
+        &transport,
+    ) {
+        Ok(entries) => println!("appended to BENCH_history.json ({entries} entries)"),
+        Err(e) => eprintln!("could not append BENCH_history.json: {e}"),
+    }
 }
 
 /// Copy a perf task's artifact to the repo-root `BENCH_*.json` baseline

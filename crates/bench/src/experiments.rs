@@ -2469,26 +2469,58 @@ pub mod faults {
 /// and real (localhost TCP), under a Zipf-skewed gate.
 pub mod serve {
     use super::*;
-    pub use janus_serve::report::SloReport as Report;
+    use janus_obs::global;
+    pub use janus_serve::report::SloReport;
 
-    /// Build the full SLO report (simulated sweep + real TCP sweep).
+    /// Request-latency percentile bounds read back from the `janus-obs`
+    /// recorder histogram (`serve/latency_us`) the serving engine feeds,
+    /// aggregated over the whole real TCP sweep. Power-of-two bucket
+    /// upper bounds — wall clock, so printed but never digested.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct LatencyHistogram {
+        /// Requests observed by the recorder.
+        pub samples: u64,
+        /// Median latency upper bound, µs.
+        pub p50_le_us: u64,
+        /// p90 latency upper bound, µs.
+        pub p90_le_us: u64,
+        /// Tail latency upper bound, µs.
+        pub p99_le_us: u64,
+    }
+
+    /// The SLO artifact plus the recorder-side latency histogram.
+    pub struct Report {
+        pub slo: SloReport,
+        pub latency: LatencyHistogram,
+    }
+
+    /// Build the full SLO report (simulated sweep + real TCP sweep) with
+    /// the global recorder enabled, so the engine's per-request latency
+    /// histogram is captured and surfaced alongside the sweep tables.
     pub fn run() -> Report {
-        janus_serve::report::build()
+        let rec = global();
+        rec.enable();
+        let slo = janus_serve::report::build();
+        rec.disable();
+        let h = rec.histogram("serve/latency_us");
+        let latency = LatencyHistogram {
+            samples: h.count(),
+            p50_le_us: h.quantile_le(0.50),
+            p90_le_us: h.quantile_le(0.90),
+            p99_le_us: h.quantile_le(0.99),
+        };
+        Report { slo, latency }
     }
 
     pub fn print(report: &Report) {
+        let slo = &report.slo;
         println!(
             "Serving SLO — continuous batching over disaggregated expert \
              workers (zipf {}, {} requests × {} tokens, top-{} of {} \
              experts, gate histogram {:?}):\n",
-            report.zipf,
-            report.requests,
-            report.tokens_per_request,
-            report.top_k,
-            report.experts,
-            report.hist
+            slo.zipf, slo.requests, slo.tokens_per_request, slo.top_k, slo.experts, slo.hist
         );
-        let sim_body: Vec<Vec<String>> = report
+        let sim_body: Vec<Vec<String>> = slo
             .sim
             .iter()
             .map(|r| {
@@ -2516,8 +2548,8 @@ pub mod serve {
                 &sim_body
             )
         );
-        if !report.real.is_empty() {
-            let real_body: Vec<Vec<String>> = report
+        if !slo.real.is_empty() {
+            let real_body: Vec<Vec<String>> = slo
                 .real
                 .iter()
                 .map(|r| {
@@ -2548,9 +2580,374 @@ pub mod serve {
                 )
             );
         }
+        let lat = &report.latency;
+        println!(
+            "recorder latency histogram (serve/latency_us, {} samples): \
+             p50 ≤ {}µs, p90 ≤ {}µs, p99 ≤ {}µs",
+            lat.samples, lat.p50_le_us, lat.p90_le_us, lat.p99_le_us
+        );
         println!(
             "sim p99 improves with replica budget: {}\n",
-            report.sim_p99_improves
+            slo.sim_p99_improves
         );
+    }
+}
+
+/// `repro analyze`: trace analytics over an instrumented FakeClock run —
+/// critical-path blame, straggler / expert-skew detection, and
+/// sim-vs-real drift calibration of the `janus-netsim` cost model
+/// against the numerical engines, all driven by the *same* compiled
+/// [`IterationPlan`](janus_core::plan::IterationPlan).
+pub mod analyze {
+    use super::*;
+    use janus_core::exec::model::ExecConfig;
+    use janus_core::exec::trainer::train_unified_with;
+    use janus_core::plan::PlanOpts;
+    use janus_core::sim::drift::sim_segments;
+    use janus_core::sim::engine::build_graph_from_plan;
+    use janus_core::sim::setup::SimSetup;
+    use janus_moe::workload::{AssignmentMatrix, Imbalance};
+    use janus_netsim::simulate;
+    use janus_obs::analysis::{
+        critical_path, detect_skew, expert_compute_loads, measure_skew, rank_compute_loads,
+        CriticalPathReport, MeasuredSkewReport, SkewConfig, SkewReport,
+    };
+    use janus_obs::drift::{drift_report, real_segments, DriftReport};
+    use janus_obs::{global, FakeClock};
+    use std::sync::Arc;
+
+    /// JSON keys of `analysis.json` holding wall-clock (FakeClock
+    /// tick-count) measurements — masked by the lab manifest and the
+    /// golden test before digesting. Everything else — blame structure,
+    /// drift segment keys, sim predictions, skew flags on deterministic
+    /// gate histograms — verifies bitwise across `--jobs` and thread
+    /// counts.
+    pub const MASKED_KEYS: &[&str] = &[
+        // critical-path blame (tick-dependent)
+        "wall_us",
+        "us",
+        "segments",
+        // drift: the measured side and everything derived from it
+        "actual_us",
+        "rel_err",
+        "accuracy",
+        "share_act",
+        "share_err",
+        "scale",
+        "calibration",
+        // measured (wall-clock) skew
+        "load_us",
+        "ratio_q",
+        "hot",
+        "imbalance_q",
+    ];
+
+    /// Iterations of the instrumented run.
+    pub const ITERS: u64 = 2;
+
+    /// Skew verdict over one deterministic gate histogram.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct GateSkew {
+        /// Workload descriptor (`zipf-1.2`, `uniform`).
+        pub workload: String,
+        pub report: SkewReport,
+    }
+
+    /// Did the sim-vs-real alignment cover every comm segment the plan
+    /// schedules? `expected` lists the sim-side pull/prefetch/a2a keys;
+    /// `missing` the subset the real trace failed to match.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct CommCoverage {
+        pub expected: Vec<String>,
+        pub missing: Vec<String>,
+        pub complete: bool,
+    }
+
+    /// Everything `repro analyze` measures, in one artifact.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Report {
+        /// Scenario preset.
+        pub preset: String,
+        /// Digest of the plan both the engine and the simulator ran.
+        pub plan_digest: String,
+        pub iters: u64,
+        /// Critical-path blame of the instrumented run.
+        pub blame: CriticalPathReport,
+        /// Skew verdicts over deterministic gate histograms: the Zipf
+        /// workload must flag its hot expert, the uniform one must not.
+        pub gate_skew: Vec<GateSkew>,
+        /// Measured per-rank compute loads (wall-clock values, masked).
+        pub rank_skew: MeasuredSkewReport,
+        /// Measured per-(block, expert) compute loads (masked).
+        pub expert_skew: MeasuredSkewReport,
+        /// Sim-vs-real drift calibration over aligned segments.
+        pub drift: DriftReport,
+        /// Comm coverage of the drift alignment.
+        pub coverage: CommCoverage,
+    }
+
+    /// Train the mixed-paradigm preset under a ticking FakeClock with
+    /// recording on, then run the *same* compiled plan through the
+    /// simulator and align the two. Fails loudly if blame does not sum
+    /// to wall time within 1% or the drift alignment leaves a plan comm
+    /// segment uncovered — those are the subsystem's two contracts.
+    pub fn run() -> Result<Report, String> {
+        let cfg = ExecConfig::mixed_paradigms();
+        let plan_opts = PlanOpts::default();
+        let rec = global();
+        rec.enable_with_clock(Arc::new(FakeClock::ticking(1)));
+        let (plan, run) = train_unified_with(&cfg, &plan_opts, ITERS);
+        rec.disable();
+        let events = run.trace;
+
+        let blame = critical_path(&events);
+        for it in &blame.iterations {
+            let on_path: f64 = it.by_category.iter().map(|b| b.us).sum();
+            if (on_path - it.wall_us).abs() > 0.01 * it.wall_us.max(1.0) {
+                return Err(format!(
+                    "iter {}: blame {on_path}µs does not sum to wall {}µs within 1%",
+                    it.iter, it.wall_us
+                ));
+            }
+        }
+
+        // Deterministic gate-histogram skew: same generator the
+        // simulator samples workloads from.
+        let skew_cfg = SkewConfig::default();
+        let gate_skew = [
+            ("zipf-1.2", Imbalance::Zipf(1.2)),
+            ("uniform", Imbalance::Balanced),
+        ]
+        .into_iter()
+        .map(|(name, imbalance)| {
+            let asg = AssignmentMatrix::generate(
+                cfg.world(),
+                cfg.experts,
+                cfg.tokens,
+                imbalance,
+                cfg.seed,
+            );
+            let loads: Vec<(String, f64)> = (0..cfg.experts)
+                .map(|e| (format!("e{e}"), asg.expert_load(e) as f64))
+                .collect();
+            GateSkew {
+                workload: name.to_string(),
+                report: detect_skew(&loads, &skew_cfg),
+            }
+        })
+        .collect();
+
+        let rank_skew = measure_skew(&rank_compute_loads(&events), &skew_cfg);
+        let expert_skew = measure_skew(&expert_compute_loads(&events), &skew_cfg);
+
+        // Drift: the identical plan through the cost model.
+        let setup = SimSetup::new(
+            cfg.cluster(),
+            cfg.model_config(),
+            Imbalance::Balanced,
+            cfg.seed,
+        );
+        let (graph, _) = build_graph_from_plan(&setup, &EngineOpts::default(), &plan);
+        let sim = simulate(&graph, &setup.cluster.capacities())
+            .map_err(|e| format!("plan does not simulate: {e:?}"))?;
+        let sim_segs = sim_segments(&sim);
+        let real_segs = real_segments(&events, |pid| cfg.machine_of(pid as usize));
+        let drift = drift_report(&sim_segs, &real_segs);
+
+        let expected: Vec<String> = sim_segs
+            .iter()
+            .filter(|(k, _)| matches!(k.category.as_str(), "pull" | "prefetch" | "a2a"))
+            .map(|(k, _)| k.label())
+            .collect();
+        let missing: Vec<String> = expected
+            .iter()
+            .filter(|l| drift.unmatched_sim.contains(l))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "drift alignment left plan comm segments uncovered: {}",
+                missing.join(", ")
+            ));
+        }
+        let coverage = CommCoverage {
+            complete: missing.is_empty(),
+            expected,
+            missing,
+        };
+
+        Ok(Report {
+            preset: "mixed_paradigms".to_string(),
+            plan_digest: format!("{:016x}", plan.digest()),
+            iters: ITERS,
+            blame,
+            gate_skew,
+            rank_skew,
+            expert_skew,
+            drift,
+            coverage,
+        })
+    }
+
+    /// Print the blame table, skew verdicts, and drift summary.
+    pub fn print(report: &Report) {
+        println!(
+            "Trace analytics — preset {}, plan {}, {} iterations:\n",
+            report.preset, report.plan_digest, report.iters
+        );
+        println!("{}", report.blame.render());
+        for g in &report.gate_skew {
+            println!(
+                "gate skew [{}]: max/mean {:.2}, cv {:.2}, flagged {:?}",
+                g.workload, g.report.max_over_mean, g.report.cv, g.report.flagged
+            );
+        }
+        let hot: Vec<&str> = report
+            .rank_skew
+            .entries
+            .iter()
+            .filter(|e| e.hot)
+            .map(|e| e.key.as_str())
+            .collect();
+        println!(
+            "measured rank skew: imbalance {:.2}, hot ranks {hot:?}",
+            report.rank_skew.imbalance_q
+        );
+        println!();
+        println!("{}", report.drift.render());
+        println!(
+            "plan comm coverage: {}/{} sim segments matched by the real trace{}",
+            report.coverage.expected.len() - report.coverage.missing.len(),
+            report.coverage.expected.len(),
+            if report.coverage.complete {
+                " (complete)"
+            } else {
+                ""
+            }
+        );
+    }
+}
+
+/// `repro bench` trajectory bookkeeping: every measuring run appends its
+/// headline gate metrics to the tracked `BENCH_history.json`, so perf
+/// history is a committed artifact rather than a sequence of overwrites.
+pub mod bench_history {
+    use super::*;
+
+    /// Flatten the two fresh suite reports to `metric → value` using the
+    /// same extraction paths the perf gate checks, then append one entry
+    /// to the JSON array at `path` (created if absent). Returns the new
+    /// entry count.
+    pub fn append(path: &str, compute_json: &str, transport_json: &str) -> Result<usize, String> {
+        // Self-comparison yields (metric, current) pairs with zero drift.
+        let metrics: Vec<(String, f64)> = benchgate::check_compute_json(compute_json, compute_json)
+            .into_iter()
+            .chain(benchgate::check_transport_json(
+                transport_json,
+                transport_json,
+            ))
+            .map(|g| (g.metric, g.current))
+            .collect();
+        if metrics.is_empty() {
+            return Err("no headline metrics found in fresh bench reports".to_string());
+        }
+        use serde_json::Value;
+        let mut history: Vec<Value> = match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let parsed: Value = serde_json::from_str(&text)
+                    .map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+                match parsed {
+                    Value::Arr(items) => items,
+                    _ => return Err(format!("{path} is not a JSON array")),
+                }
+            }
+            Err(_) => Vec::new(),
+        };
+        let unix_ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let entry = Value::Obj(vec![
+            ("seq".to_string(), Value::Num(history.len() as f64)),
+            ("unix_ts".to_string(), Value::Num(unix_ts as f64)),
+            (
+                "metrics".to_string(),
+                Value::Obj(
+                    metrics
+                        .into_iter()
+                        .map(|(k, v)| (k, Value::Num(v)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        history.push(entry);
+        let mut text = serde_json::to_string_pretty(&Value::Arr(history.clone()))
+            .map_err(|e| e.to_string())?;
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        Ok(history.len())
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn append_grows_the_history_with_gate_metrics() {
+            let compute = std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_compute.json"
+            ))
+            .expect("committed compute baseline");
+            let transport = std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_transport.json"
+            ))
+            .expect("committed transport baseline");
+            let path = std::env::temp_dir()
+                .join(format!("janus_bench_history_{}.json", std::process::id()));
+            let path = path.to_str().unwrap().to_string();
+            let _ = std::fs::remove_file(&path);
+            assert_eq!(append(&path, &compute, &transport), Ok(1));
+            assert_eq!(append(&path, &compute, &transport), Ok(2));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+            let entries = v.as_array().expect("history is an array");
+            assert_eq!(entries.len(), 2);
+            assert_eq!(entries[0]["seq"], 0u64);
+            assert_eq!(entries[1]["seq"], 1u64);
+            let metrics = entries[1]["metrics"]
+                .as_object()
+                .expect("entry has metrics");
+            assert!(!metrics.is_empty(), "gate metrics extracted");
+            assert!(metrics.iter().all(|(_, v)| v.as_f64().is_some()));
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn append_rejects_a_non_array_history() {
+            let compute = std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_compute.json"
+            ))
+            .expect("committed compute baseline");
+            let transport = std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_transport.json"
+            ))
+            .expect("committed transport baseline");
+            let path = std::env::temp_dir().join(format!(
+                "janus_bench_history_bad_{}.json",
+                std::process::id()
+            ));
+            let path = path.to_str().unwrap().to_string();
+            std::fs::write(&path, "{}\n").unwrap();
+            let err = append(&path, &compute, &transport).unwrap_err();
+            assert!(err.contains("array"), "{err}");
+            // Reports with no extractable headline metrics also refuse.
+            let err = append(&path, "{}", "{}").unwrap_err();
+            assert!(err.contains("metrics"), "{err}");
+            let _ = std::fs::remove_file(&path);
+        }
     }
 }

@@ -157,7 +157,8 @@ pub fn registry() -> Dag {
     // replica budget) is deterministic and verifies bitwise; the real
     // TCP half's measured latencies are wall-clock → masked, while its
     // structural fields (completions, failovers, replica plans) still
-    // verify.
+    // verify. Enables the global recorder for the request-latency
+    // histogram it prints → exclusive.
     tasks.push(
         TaskSpec::new("serve", |_ctx| {
             let report = serve::run();
@@ -166,18 +167,47 @@ pub fn registry() -> Dag {
                 serve::print(&report);
             }
             Ok(TaskReport {
-                files: vec![OutFile::new("serve_slo.json", json_bytes(&report))],
+                files: vec![OutFile::new("serve_slo.json", json_bytes(&report.slo))],
                 config: obj(&[
                     ("experiment", sval("serve")),
-                    ("seed", nval(report.seed as f64)),
-                    ("requests", nval(report.requests as f64)),
-                    ("zipf", nval(report.zipf)),
+                    ("seed", nval(report.slo.seed as f64)),
+                    ("requests", nval(report.slo.requests as f64)),
+                    ("zipf", nval(report.slo.zipf)),
                 ]),
                 plan_digests: Vec::new(),
             })
         })
         .tag("ci")
+        .exclusive()
         .mask(janus_serve::report::MASKED_KEYS),
+    );
+
+    // Trace analytics: critical-path blame, skew detection, and
+    // sim-vs-real drift calibration over one instrumented FakeClock run
+    // and the same plan simulated. Mutates the global recorder →
+    // exclusive. The blame/drift/skew *structure* (segment keys,
+    // deterministic gate-skew flags, sim predictions, the plan digest)
+    // verifies bitwise; every tick-derived value is masked.
+    tasks.push(
+        TaskSpec::new("analyze", |_ctx| {
+            let report = analyze::run()?;
+            {
+                let _g = janus_lab::stdout_lock();
+                analyze::print(&report);
+            }
+            Ok(TaskReport {
+                files: vec![OutFile::new("analysis.json", json_bytes(&report))],
+                config: obj(&[
+                    ("experiment", sval("analyze")),
+                    ("preset", sval(report.preset.clone())),
+                    ("iters", nval(report.iters as f64)),
+                ]),
+                plan_digests: vec![report.plan_digest.clone()],
+            })
+        })
+        .tag("ci")
+        .exclusive()
+        .mask(analyze::MASKED_KEYS),
     );
 
     // Crash recovery enables the global span recorder → exclusive.
@@ -359,6 +389,7 @@ mod tests {
             "ablations",
             "faults",
             "serve",
+            "analyze",
             "crash",
             "trace",
             "compute",
@@ -377,6 +408,7 @@ mod tests {
         for expected in [
             "faults",
             "serve",
+            "analyze",
             "crash",
             "trace",
             "benchgate",

@@ -209,6 +209,12 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
             .grads
             .add((b, e), sender, grad, |acc, g| acc.accumulate(&g))
         {
+            // The per-machine NIC flow of the pre-reduced gradient — the
+            // real counterpart of the simulator's `grad-ext` transfer,
+            // machine-scoped in the drift report.
+            let _span = obs::span(self.rank, "comm", || {
+                (format!("grad_ext/b{b}/e{e}"), format!("b{b}"))
+            });
             let owner = self.cfg.owner_of_in(b, e);
             self.comm
                 .send(
@@ -513,6 +519,10 @@ pub(crate) fn backward_block<T: Transport>(
         if owner == rank {
             rt.add_owner_grad(b, e, rank, s.grad.clone(), 1);
         } else if cfg.machine_of(owner) == machine {
+            // NVLink push straight to the owner (sim: `grad-int`).
+            let _span = obs::span(rank, "comm", || {
+                (format!("grad_push/b{b}/e{e}"), format!("b{b}"))
+            });
             rt.comm.send(
                 owner,
                 Message::GradPush {
@@ -527,6 +537,11 @@ pub(crate) fn backward_block<T: Transport>(
             if agg == rank {
                 rt.aggregate_external(b, e, rank, s.grad.clone(), 1);
             } else {
+                // Contribution to the machine's pre-reduction (sim:
+                // `grad-acc`).
+                let _span = obs::span(rank, "comm", || {
+                    (format!("grad_push/b{b}/e{e}"), format!("b{b}"))
+                });
                 rt.comm.send(
                     agg,
                     Message::GradPush {

@@ -39,6 +39,7 @@ pub mod sim {
     pub mod collectives;
     pub mod common;
     pub mod data_centric;
+    pub mod drift;
     pub mod engine;
     pub mod expert_centric;
     pub mod memory;

@@ -1,0 +1,150 @@
+//! Map simulated task labels onto sim-vs-real drift alignment keys.
+//!
+//! The graph emitters ([`crate::sim::data_centric`],
+//! [`crate::sim::expert_centric`]) label every task with its scope baked
+//! in (`w{w}/…` worker, `M{m}/…` machine, `a2a/…` collective leg), so a
+//! [`SimResult`] can be folded onto the same `(scope, block, category)`
+//! keys `janus_obs::drift::real_segments` extracts from a recorded
+//! engine trace. Categories the real engine cannot expose (`copy` for
+//! staging hand-offs, dense-block compute) still map — they surface in
+//! the drift report's `unmatched_sim` list instead of silently
+//! disappearing.
+
+use janus_netsim::SimResult;
+use janus_obs::drift::SegKey;
+
+/// Reduce a simulated iteration to drift segments `(key, µs)`, sorted by
+/// key. Only `compute` and `transfer` tasks contribute; joins, credit
+/// acquires, and zero-duration tasks are skipped.
+pub fn sim_segments(res: &SimResult) -> Vec<(SegKey, f64)> {
+    res.drift_segments_with(|r| {
+        if r.kind != "compute" && r.kind != "transfer" {
+            return None;
+        }
+        map_label(&r.label)
+    })
+}
+
+/// The alignment key of one simulated task label, `None` for tasks the
+/// drift report does not score (joins, gates, unknown shapes).
+pub fn map_label(label: &str) -> Option<SegKey> {
+    let parts: Vec<&str> = label.split('/').collect();
+    let head = *parts.first()?;
+    let block = parts
+        .iter()
+        .find_map(|p| p.strip_prefix('b').and_then(|s| s.parse::<i64>().ok()))?;
+    if head == "a2a" {
+        // a2a/b{b}/{tag}/{leg}: blame the leg's source worker (flat and
+        // aggregation stages), destination worker (distribution stage),
+        // or source machine (the inter-machine NIC flow).
+        let leg = *parts.last()?;
+        let scope = if let Some(rest) = leg.strip_prefix("agg-w") {
+            format!("r{}", rest.split('-').next()?)
+        } else if let Some(rest) = leg.strip_prefix("dist-") {
+            format!("r{}", rest.split('-').nth(1)?.strip_prefix('w')?)
+        } else if leg.starts_with('w') {
+            format!("r{}", leg.split('-').next()?.strip_prefix('w')?)
+        } else if leg.starts_with('M') {
+            leg.split('-').next()?.to_string()
+        } else {
+            return None;
+        };
+        return Some(SegKey::new(scope, block, "a2a"));
+    }
+    let leaf = *parts.last()?;
+    if let Some(w) = head.strip_prefix('w') {
+        w.parse::<usize>().ok()?;
+        let category = match leaf {
+            "fwd" | "bwd" | "fwd-shared" | "bwd-shared" => "compute",
+            "pull-int" => "pull",
+            // Staging hand-offs the real engine services from its CPU
+            // cache without a dedicated span.
+            "pull-peer" | "copy-s2" | "copy-bwd" | "offload" => "copy",
+            "grad-int" | "grad-acc" => "grad",
+            _ => return None,
+        };
+        return Some(SegKey::new(format!("r{w}"), block, category));
+    }
+    if head.starts_with('M') {
+        let category = match leaf {
+            "fetch-ext" => "prefetch",
+            "grad-ext" => "grad",
+            _ => return None,
+        };
+        return Some(SegKey::new(head, block, category));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::model::ExecConfig;
+    use crate::plan::PlanOpts;
+    use crate::sim::engine::{build_graph_from_plan, EngineOpts};
+    use crate::sim::setup::SimSetup;
+    use janus_moe::workload::Imbalance;
+    use janus_netsim::simulate;
+
+    #[test]
+    fn label_mapping_covers_every_emitter_family() {
+        let cases = [
+            ("w0/b0/ep3/fwd", Some(("r0", 0, "compute"))),
+            ("w2/b1/ep5/bwd", Some(("r2", 1, "compute"))),
+            ("w1/b0/fwd-shared", Some(("r1", 0, "compute"))),
+            ("w1/b0/ep2/pull-int", Some(("r1", 0, "pull"))),
+            ("w1/b0/ep2/pull-peer", Some(("r1", 0, "copy"))),
+            ("w1/b0/ep2/copy-s2", Some(("r1", 0, "copy"))),
+            ("w1/b0/ep2/offload", Some(("r1", 0, "copy"))),
+            ("w1/b0/ep2/grad-int", Some(("r1", 0, "grad"))),
+            ("w1/b0/ep2/grad-acc", Some(("r1", 0, "grad"))),
+            ("M0/b0/ep2/fetch-ext", Some(("M0", 0, "prefetch"))),
+            ("M1/b0/ep2/grad-ext", Some(("M1", 0, "grad"))),
+            ("a2a/b1/fd/w2-w3", Some(("r2", 1, "a2a"))),
+            ("a2a/b1/fd/agg-w1-M0", Some(("r1", 1, "a2a"))),
+            ("a2a/b1/fd/M0-M1", Some(("M0", 1, "a2a"))),
+            ("a2a/b1/fd/dist-M1-w3", Some(("r3", 1, "a2a"))),
+            ("a2a/b1/fd/join", None),
+            ("w0/b0/fwd-done", None),
+            ("M0/b0/gates", None),
+            ("start", None),
+        ];
+        for (label, want) in cases {
+            let got = map_label(label);
+            let want = want.map(|(s, b, c)| SegKey::new(s, b, c));
+            assert_eq!(got, want, "label {label:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_paradigm_sim_yields_segments_on_every_rank() {
+        let cfg = ExecConfig::mixed_paradigms();
+        let plan = cfg.compile_plan(&PlanOpts::default());
+        let setup = SimSetup::new(cfg.cluster(), cfg.model_config(), Imbalance::Balanced, 7);
+        let (graph, _) = build_graph_from_plan(&setup, &EngineOpts::default(), &plan);
+        let sim = simulate(&graph, &setup.cluster.capacities()).expect("simulate");
+        let segs = sim_segments(&sim);
+        assert!(!segs.is_empty());
+        let has = |scope: &str, block: i64, cat: &str| {
+            segs.iter().any(|(k, us)| {
+                k.scope == scope && k.block == block && k.category == cat && *us > 0.0
+            })
+        };
+        for r in 0..cfg.world() {
+            let scope = format!("r{r}");
+            // Data-centric block 0: compute, internal pulls, gradient
+            // routing on every rank.
+            assert!(has(&scope, 0, "compute"), "{scope} b0 compute");
+            assert!(has(&scope, 0, "pull"), "{scope} b0 pull");
+            assert!(has(&scope, 0, "grad"), "{scope} b0 grad");
+            // Expert-centric block 1: compute and a2a on every rank.
+            assert!(has(&scope, 1, "compute"), "{scope} b1 compute");
+            assert!(has(&scope, 1, "a2a"), "{scope} b1 a2a");
+        }
+        for m in 0..cfg.machines {
+            let scope = format!("M{m}");
+            assert!(has(&scope, 0, "prefetch"), "{scope} b0 prefetch");
+            assert!(has(&scope, 0, "grad"), "{scope} b0 grad-ext");
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Simulation results: task timings, link byte counters, memory peaks.
 
 use crate::graph::TaskId;
+use janus_obs::drift::SegKey;
 use janus_obs::report::{LinkUtil, OverlapReport};
 use janus_obs::trace::{chrome_trace, TraceEvent};
 use serde::Serialize;
@@ -146,6 +147,32 @@ impl SimResult {
         report.links = self.link_utilization();
         report
     }
+
+    /// Fold the task timeline into sim-vs-real drift segments: each
+    /// record the mapper claims contributes its active duration (µs, the
+    /// unit `to_trace_events` exports) to its [`SegKey`]. Label
+    /// conventions live with the graph emitters, so the mapper is the
+    /// caller's; records the mapper declines (and zero-duration joins)
+    /// are skipped. Returns `(key, µs)` sorted by key.
+    pub fn drift_segments_with<F>(&self, map: F) -> Vec<(SegKey, f64)>
+    where
+        F: Fn(&TaskRecord) -> Option<SegKey>,
+    {
+        let mut acc: std::collections::BTreeMap<SegKey, f64> = std::collections::BTreeMap::new();
+        for r in &self.records {
+            if r.finish.is_nan() {
+                continue;
+            }
+            let dur_us = r.duration().max(0.0) * 1e6;
+            if dur_us <= 0.0 {
+                continue;
+            }
+            if let Some(key) = map(r) {
+                *acc.entry(key).or_default() += dur_us;
+            }
+        }
+        acc.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -256,5 +283,32 @@ mod tests {
         assert_eq!(result.bytes_on([0, 1]), 10.0);
         assert!((result.utilization(0, 2.0) - 1.0).abs() < 1e-12);
         assert_eq!(result.utilization(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn drift_segments_aggregate_by_key_and_skip_declined() {
+        let result = SimResult {
+            makespan: 3.0,
+            records: vec![
+                record("w0/b0/ep1/fwd", 0.0, 0.0, 1.0),
+                record("w0/b0/ep2/fwd", 1.0, 1.0, 3.0),
+                record("join", 3.0, 3.0, 3.0), // zero duration: skipped
+                record("skipme", 0.0, 0.0, 2.0),
+            ],
+            link_bytes: vec![],
+            link_busy: vec![],
+            mem_peak: vec![],
+            mem_final: vec![],
+        };
+        let segs = result.drift_segments_with(|r| {
+            if r.label.starts_with("w0/b0/") {
+                Some(SegKey::new("r0", 0, "compute"))
+            } else {
+                None
+            }
+        });
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, SegKey::new("r0", 0, "compute"));
+        assert!((segs[0].1 - 3e6).abs() < 1e-3);
     }
 }

@@ -1,0 +1,635 @@
+//! Critical-path extraction and straggler / expert-skew detection over a
+//! recorded trace.
+//!
+//! The real engine records one `iter/{i}` span per rank per iteration
+//! plus compute (`fwd`, `bwd`), comm (`pull`, `prefetch`, `cache_wait`,
+//! `credit_wait`, `a2a_*`), reduce (`grad_wait`, `apply`), and sync
+//! (`barrier/{epoch}`) spans. [`critical_path`] reconstructs the
+//! cross-rank critical path of each iteration by walking **backwards**
+//! from the iteration's end: at every instant the path sits on exactly
+//! one rank, blames the innermost active span there, and — when that
+//! span is a collective (same name recorded on every rank) — jumps to
+//! the rank that entered the collective last, i.e. the rank actually
+//! responsible for the wait. Instants covered by no span are blamed
+//! `idle`. The resulting segments tile the iteration window exactly, so
+//! per-category blame sums to the measured wall time by construction.
+//!
+//! [`detect_skew`] / [`measure_skew`] turn per-rank and per-(block,
+//! expert) load distributions into a skew score with configurable
+//! threshold flags — the trigger signal live expert migration needs.
+
+use crate::trace::TraceEvent;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Fixed category vocabulary of the blame breakdown, in report order.
+/// Every span name maps into exactly one of these via
+/// [`blame_category`]; the list is closed so the artifact's structure is
+/// independent of which categories a particular run happened to hit.
+pub const BLAME_CATEGORIES: &[&str] = &[
+    "compute",
+    "a2a",
+    "pull",
+    "prefetch",
+    "cache_wait",
+    "credit_wait",
+    "grad_wait",
+    "apply",
+    "barrier",
+    "idle",
+    "other",
+];
+
+/// Span-name prefixes that are collectives: the same name is recorded on
+/// every participating rank, and a rank's span covers the time it spent
+/// *waiting* for the others, so blame belongs to the last rank to enter.
+const COLLECTIVE_PREFIXES: &[&str] = &["barrier", "a2a_", "grad_wait"];
+
+/// Map a span (name, category) to its blame category.
+pub fn blame_category(name: &str, cat: &str) -> &'static str {
+    let prefixed = |p: &str| {
+        name.strip_prefix(p)
+            .is_some_and(|r| r.is_empty() || r.starts_with('/'))
+    };
+    if name.starts_with("a2a_") {
+        return "a2a";
+    }
+    for c in &[
+        "pull",
+        "prefetch",
+        "cache_wait",
+        "credit_wait",
+        "grad_wait",
+        "apply",
+        "barrier",
+    ] {
+        if prefixed(c) {
+            return BLAME_CATEGORIES.iter().find(|k| *k == c).unwrap();
+        }
+    }
+    if cat == "compute" {
+        return "compute";
+    }
+    "other"
+}
+
+/// One maximal run of the critical path: `dur_us` on `rank` blamed on
+/// `category` (span `name`, or `"idle"` for uncovered gaps).
+#[derive(Debug, Clone, Serialize)]
+pub struct PathSegment {
+    pub rank: u32,
+    pub name: String,
+    pub category: String,
+    pub start_us: f64,
+    pub dur_us: f64,
+}
+
+/// Blame attributed to one category (µs on the critical path).
+#[derive(Debug, Clone, Serialize)]
+pub struct CategoryBlame {
+    pub category: String,
+    pub us: f64,
+}
+
+/// Blame attributed to one rank (µs the critical path spent there).
+#[derive(Debug, Clone, Serialize)]
+pub struct RankBlame {
+    pub rank: u32,
+    pub us: f64,
+}
+
+/// Critical-path blame for one iteration. `by_category` always lists
+/// every entry of [`BLAME_CATEGORIES`] and `by_rank` every rank that
+/// recorded an `iter` span, so the structure is run-independent.
+#[derive(Debug, Clone, Serialize)]
+pub struct IterationBlame {
+    pub iter: u64,
+    /// Iteration wall time: last `iter` span end − first start, µs.
+    pub wall_us: f64,
+    pub by_category: Vec<CategoryBlame>,
+    pub by_rank: Vec<RankBlame>,
+    /// Number of path segments (collapses under masking; kept for the
+    /// human-readable table).
+    pub segments: usize,
+    /// The path itself, end-to-start. Excluded from serialization: its
+    /// length is timing-dependent and the artifact must be structurally
+    /// deterministic.
+    #[serde(skip)]
+    pub path: Vec<PathSegment>,
+}
+
+/// Critical-path blame across all recorded iterations.
+#[derive(Debug, Clone, Serialize)]
+pub struct CriticalPathReport {
+    pub iterations: Vec<IterationBlame>,
+    /// Sum of per-iteration wall times, µs.
+    pub wall_us: f64,
+    /// Aggregate per-category blame over all iterations.
+    pub by_category: Vec<CategoryBlame>,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Extract the critical path of every iteration in `events` and blame
+/// its wall time by category and rank. See the module docs for the
+/// walk-back rules.
+pub fn critical_path(events: &[TraceEvent]) -> CriticalPathReport {
+    // Iteration windows from the per-rank `iter/{i}` spans.
+    let mut windows: BTreeMap<u64, (f64, f64, u32, Vec<u32>)> = BTreeMap::new();
+    for e in events {
+        let Some(idx) = e
+            .name
+            .strip_prefix("iter/")
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let w = windows
+            .entry(idx)
+            .or_insert((f64::MAX, f64::MIN, e.pid, Vec::new()));
+        w.0 = w.0.min(e.ts_us);
+        if e.end_us() > w.1 || (e.end_us() == w.1 && e.pid < w.2) {
+            w.2 = e.pid;
+        }
+        w.1 = w.1.max(e.end_us());
+        w.3.push(e.pid);
+    }
+
+    let mut iterations = Vec::new();
+    for (iter, (start, end, end_rank, mut ranks)) in windows {
+        ranks.sort_unstable();
+        ranks.dedup();
+        let path = walk_back(events, start, end, end_rank);
+        iterations.push(blame_path(iter, start, end, &ranks, path));
+    }
+
+    let wall_us: f64 = iterations.iter().map(|i| i.wall_us).sum();
+    let by_category = BLAME_CATEGORIES
+        .iter()
+        .map(|&c| CategoryBlame {
+            category: c.to_string(),
+            us: iterations
+                .iter()
+                .flat_map(|i| &i.by_category)
+                .filter(|b| b.category == c)
+                .map(|b| b.us)
+                .sum(),
+        })
+        .collect();
+    CriticalPathReport {
+        iterations,
+        wall_us,
+        by_category,
+    }
+}
+
+/// Walk the critical path backwards from (`end`, `end_rank`) to `start`.
+fn walk_back(events: &[TraceEvent], start: f64, end: f64, end_rank: u32) -> Vec<PathSegment> {
+    // Blameable spans, clipped to the window, grouped by rank. `iter`
+    // and `transport` spans are excluded: the former covers the whole
+    // window, the latter nests inside comm spans.
+    let mut by_rank: BTreeMap<u32, Vec<(f64, f64, &TraceEvent)>> = BTreeMap::new();
+    for e in events {
+        if !matches!(e.cat.as_str(), "compute" | "comm" | "reduce" | "sync") {
+            continue;
+        }
+        let (s, f) = (e.ts_us.max(start), e.end_us().min(end));
+        if f - s > EPS {
+            by_rank.entry(e.pid).or_default().push((s, f, e));
+        }
+    }
+    for spans in by_rank.values_mut() {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+    let empty = Vec::new();
+
+    let mut path = Vec::new();
+    let mut rank = end_rank;
+    let mut t = end;
+    // Each step strictly decreases `t`; the cap is a defensive backstop.
+    let mut fuel = 16 + 8 * events.len();
+    while t > start + EPS && fuel > 0 {
+        fuel -= 1;
+        let spans = by_rank.get(&rank).unwrap_or(&empty);
+        // Innermost span active just before `t`: latest start wins, then
+        // shortest, then name, for a deterministic choice.
+        let active = spans
+            .iter()
+            .filter(|(s, f, _)| *s < t - EPS && *f >= t - EPS)
+            .max_by(|a, b| {
+                a.0.total_cmp(&b.0)
+                    .then((b.1 - b.0).total_cmp(&(a.1 - a.0)))
+                    .then(b.2.name.cmp(&a.2.name))
+            });
+        let Some(&(s, _, ev)) = active else {
+            // Gap: idle back to the latest span end (or window start).
+            let prev = spans
+                .iter()
+                .map(|(_, f, _)| *f)
+                .filter(|f| *f <= t - EPS)
+                .fold(start, f64::max);
+            path.push(PathSegment {
+                rank,
+                name: "idle".into(),
+                category: "idle".into(),
+                start_us: prev,
+                dur_us: t - prev,
+            });
+            t = prev;
+            continue;
+        };
+        let category = blame_category(&ev.name, &ev.cat);
+        // Collective: jump to the last rank to enter it, if that entry
+        // happened after ours and inside the remaining window.
+        let is_collective = COLLECTIVE_PREFIXES.iter().any(|p| ev.name.starts_with(p));
+        if is_collective {
+            let blocker = by_rank
+                .iter()
+                .flat_map(|(r, sp)| sp.iter().map(move |x| (*r, x)))
+                .filter(|(r, (bs, _, be))| {
+                    *r != rank && be.name == ev.name && *bs > s + EPS && *bs < t - EPS
+                })
+                .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(b.0.cmp(&a.0)));
+            if let Some((br, &(bs, _, _))) = blocker {
+                path.push(PathSegment {
+                    rank,
+                    name: ev.name.clone(),
+                    category: category.into(),
+                    start_us: bs,
+                    dur_us: t - bs,
+                });
+                t = bs;
+                rank = br;
+                continue;
+            }
+        }
+        path.push(PathSegment {
+            rank,
+            name: ev.name.clone(),
+            category: category.into(),
+            start_us: s,
+            dur_us: t - s,
+        });
+        t = s;
+    }
+    if t > start + EPS {
+        // Fuel exhausted (malformed trace): close the window as idle so
+        // the additivity invariant still holds.
+        path.push(PathSegment {
+            rank,
+            name: "idle".into(),
+            category: "idle".into(),
+            start_us: start,
+            dur_us: t - start,
+        });
+    }
+    path
+}
+
+fn blame_path(
+    iter: u64,
+    start: f64,
+    end: f64,
+    ranks: &[u32],
+    path: Vec<PathSegment>,
+) -> IterationBlame {
+    let mut by_cat: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut by_rank: BTreeMap<u32, f64> = ranks.iter().map(|&r| (r, 0.0)).collect();
+    for seg in &path {
+        *by_cat.entry(cat_key(&seg.category)).or_default() += seg.dur_us;
+        *by_rank.entry(seg.rank).or_default() += seg.dur_us;
+    }
+    IterationBlame {
+        iter,
+        wall_us: end - start,
+        by_category: BLAME_CATEGORIES
+            .iter()
+            .map(|&c| CategoryBlame {
+                category: c.to_string(),
+                us: by_cat.get(c).copied().unwrap_or(0.0),
+            })
+            .collect(),
+        by_rank: by_rank
+            .into_iter()
+            .map(|(rank, us)| RankBlame { rank, us })
+            .collect(),
+        segments: path.len(),
+        path,
+    }
+}
+
+/// Canonicalize a segment category onto the fixed vocabulary.
+fn cat_key(c: &str) -> &'static str {
+    BLAME_CATEGORIES
+        .iter()
+        .find(|k| **k == c)
+        .copied()
+        .unwrap_or("other")
+}
+
+impl CriticalPathReport {
+    /// Human-readable blame table (used by `repro analyze`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("critical-path blame\n");
+        out.push_str(&format!(
+            "  {:<12} {:>12}  {:>6}\n",
+            "category", "us", "share"
+        ));
+        for b in &self.by_category {
+            if b.us <= 0.0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<12} {:>12.1}  {:>5.1}%\n",
+                b.category,
+                b.us,
+                100.0 * b.us / self.wall_us.max(1e-12)
+            ));
+        }
+        for it in &self.iterations {
+            let on_path: f64 = it.by_category.iter().map(|b| b.us).sum();
+            out.push_str(&format!(
+                "  iter {:<3} wall {:>10.1}us  path {:>10.1}us  segments {}\n",
+                it.iter, it.wall_us, on_path, it.segments
+            ));
+        }
+        out
+    }
+}
+
+// ---- skew detection ----
+
+/// Thresholds for flagging a hot entry in a load distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct SkewConfig {
+    /// Flag entries whose load exceeds `hot_ratio × mean`.
+    pub hot_ratio: f64,
+    /// Additionally require at least this share of the total load, so
+    /// noise over a near-zero mean does not flag.
+    pub min_share: f64,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        SkewConfig {
+            hot_ratio: 2.0,
+            min_share: 0.01,
+        }
+    }
+}
+
+/// One entry of a deterministic load distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct SkewItem {
+    pub key: String,
+    pub load: f64,
+    /// `load / total`.
+    pub share: f64,
+    /// `load / mean`.
+    pub ratio_to_mean: f64,
+    pub flagged: bool,
+}
+
+/// Skew verdict over a load distribution (deterministic inputs — e.g. a
+/// gate histogram — serialize unmasked).
+#[derive(Debug, Clone, Serialize)]
+pub struct SkewReport {
+    pub items: Vec<SkewItem>,
+    pub mean: f64,
+    /// Max load over mean load — the skew score.
+    pub max_over_mean: f64,
+    /// Coefficient of variation (σ/µ).
+    pub cv: f64,
+    /// Keys of flagged entries, in input order.
+    pub flagged: Vec<String>,
+}
+
+/// Score a load distribution and flag hot entries per `cfg`.
+pub fn detect_skew(loads: &[(String, f64)], cfg: &SkewConfig) -> SkewReport {
+    let n = loads.len().max(1) as f64;
+    let total: f64 = loads.iter().map(|(_, v)| v).sum();
+    let mean = total / n;
+    let var = loads
+        .iter()
+        .map(|(_, v)| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
+    let items: Vec<SkewItem> = loads
+        .iter()
+        .map(|(k, v)| {
+            let share = if total > 0.0 { v / total } else { 0.0 };
+            let ratio = if mean > 0.0 { v / mean } else { 0.0 };
+            SkewItem {
+                key: k.clone(),
+                load: *v,
+                share,
+                ratio_to_mean: ratio,
+                flagged: ratio > cfg.hot_ratio && share >= cfg.min_share,
+            }
+        })
+        .collect();
+    SkewReport {
+        mean,
+        max_over_mean: items.iter().map(|i| i.ratio_to_mean).fold(0.0, f64::max),
+        cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        flagged: items
+            .iter()
+            .filter(|i| i.flagged)
+            .map(|i| i.key.clone())
+            .collect(),
+        items,
+    }
+}
+
+/// One entry of a *measured* (wall-clock) load distribution. Field
+/// names are distinct from [`SkewItem`]'s because the lab masks JSON
+/// keys document-wide: these values are timing-dependent and masked,
+/// while deterministic [`SkewReport`]s in the same artifact are not.
+#[derive(Debug, Clone, Serialize)]
+pub struct MeasuredLoad {
+    pub key: String,
+    pub load_us: f64,
+    pub ratio_q: f64,
+    pub hot: bool,
+}
+
+/// Skew verdict over measured loads (masked fields only).
+#[derive(Debug, Clone, Serialize)]
+pub struct MeasuredSkewReport {
+    pub entries: Vec<MeasuredLoad>,
+    /// Max over mean — masked skew score.
+    pub imbalance_q: f64,
+}
+
+/// [`detect_skew`] for wall-clock loads, reported with masked keys.
+pub fn measure_skew(loads: &[(String, f64)], cfg: &SkewConfig) -> MeasuredSkewReport {
+    let r = detect_skew(loads, cfg);
+    MeasuredSkewReport {
+        entries: r
+            .items
+            .into_iter()
+            .map(|i| MeasuredLoad {
+                key: i.key,
+                load_us: i.load,
+                ratio_q: i.ratio_to_mean,
+                hot: i.flagged,
+            })
+            .collect(),
+        imbalance_q: r.max_over_mean,
+    }
+}
+
+/// Per-rank compute load (µs of `compute` spans), keyed `r{rank}`.
+pub fn rank_compute_loads(events: &[TraceEvent]) -> Vec<(String, f64)> {
+    let mut acc: BTreeMap<u32, f64> = BTreeMap::new();
+    for e in events {
+        if e.cat == "compute" {
+            *acc.entry(e.pid).or_default() += e.dur_us;
+        }
+    }
+    acc.into_iter().map(|(r, v)| (format!("r{r}"), v)).collect()
+}
+
+/// Per-(block, expert) compute load (µs of `fwd`/`bwd` spans summed
+/// across ranks), keyed `b{block}/e{expert}`.
+pub fn expert_compute_loads(events: &[TraceEvent]) -> Vec<(String, f64)> {
+    let mut acc: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    for e in events {
+        let mut parts = e.name.split('/');
+        if !matches!(parts.next(), Some("fwd" | "bwd")) {
+            continue;
+        }
+        let (Some(b), Some(ex)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let (Some(b), Some(ex)) = (
+            b.strip_prefix('b').and_then(|s| s.parse::<u32>().ok()),
+            ex.strip_prefix('e').and_then(|s| s.parse::<u32>().ok()),
+        ) else {
+            continue;
+        };
+        *acc.entry((b, ex)).or_default() += e.dur_us;
+    }
+    acc.into_iter()
+        .map(|((b, e), v)| (format!("b{b}/e{e}"), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, cat: &str, pid: u32, ts: f64, dur: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            pid,
+            tid: "t".into(),
+            ts_us: ts,
+            dur_us: dur,
+        }
+    }
+
+    fn sum_cats(it: &IterationBlame) -> f64 {
+        it.by_category.iter().map(|b| b.us).sum()
+    }
+
+    fn cat(it: &IterationBlame, c: &str) -> f64 {
+        it.by_category.iter().find(|b| b.category == c).unwrap().us
+    }
+
+    #[test]
+    fn blame_tiles_the_window_exactly() {
+        // Single rank: compute [0,10), pull [10,30), gap [30,40),
+        // compute [40,100).
+        let events = vec![
+            ev("iter/0", "iter", 0, 0.0, 100.0),
+            ev("fwd/b0/e0", "compute", 0, 0.0, 10.0),
+            ev("pull/b0/e1", "comm", 0, 10.0, 20.0),
+            ev("bwd/b0/e0", "compute", 0, 40.0, 60.0),
+        ];
+        let r = critical_path(&events);
+        assert_eq!(r.iterations.len(), 1);
+        let it = &r.iterations[0];
+        assert!((it.wall_us - 100.0).abs() < 1e-6);
+        assert!((sum_cats(it) - it.wall_us).abs() < 1e-6);
+        assert!((cat(it, "compute") - 70.0).abs() < 1e-6);
+        assert!((cat(it, "pull") - 20.0).abs() < 1e-6);
+        assert!((cat(it, "idle") - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn barrier_jumps_to_the_blocking_rank() {
+        // Rank 0 computes 10us then waits at the barrier until rank 1,
+        // which computes 49us, arrives. The path must charge the wait to
+        // rank 1's compute, leaving only the 1us rendezvous as barrier.
+        let events = vec![
+            ev("iter/0", "iter", 0, 0.0, 100.0),
+            ev("iter/0", "iter", 1, 0.0, 100.0),
+            ev("fwd/b0/e0", "compute", 0, 0.0, 10.0),
+            ev("barrier/0", "sync", 0, 10.0, 40.0),
+            ev("fwd/b0/e2", "compute", 0, 50.0, 50.0),
+            ev("fwd/b0/e1", "compute", 1, 0.0, 49.0),
+            ev("barrier/0", "sync", 1, 49.0, 1.0),
+            ev("fwd/b0/e3", "compute", 1, 50.0, 50.0),
+        ];
+        let r = critical_path(&events);
+        let it = &r.iterations[0];
+        assert!((sum_cats(it) - 100.0).abs() < 1e-6);
+        assert!((cat(it, "compute") - 99.0).abs() < 1e-6);
+        assert!((cat(it, "barrier") - 1.0).abs() < 1e-6);
+        let r0 = it.by_rank.iter().find(|b| b.rank == 0).unwrap().us;
+        let r1 = it.by_rank.iter().find(|b| b.rank == 1).unwrap().us;
+        assert!((r0 - 51.0).abs() < 1e-6);
+        assert!((r1 - 49.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn path_bounds_hold() {
+        let events = vec![
+            ev("iter/0", "iter", 0, 0.0, 60.0),
+            ev("iter/0", "iter", 1, 0.0, 60.0),
+            ev("fwd/b0/e0", "compute", 0, 0.0, 30.0),
+            ev("a2a_dispatch/b0", "comm", 0, 30.0, 30.0),
+            ev("fwd/b0/e1", "compute", 1, 0.0, 55.0),
+            ev("a2a_dispatch/b0", "comm", 1, 55.0, 5.0),
+        ];
+        let r = critical_path(&events);
+        let it = &r.iterations[0];
+        let longest = 55.0;
+        assert!(sum_cats(it) >= longest - 1e-6);
+        let total_durs: f64 = events.iter().skip(2).map(|e| e.dur_us).sum();
+        assert!(sum_cats(it) <= total_durs + 1e-6);
+    }
+
+    #[test]
+    fn zipf_flags_hot_expert_uniform_stays_silent() {
+        let zipf: Vec<(String, f64)> = (0..8)
+            .map(|e| (format!("e{e}"), 1000.0 / ((e + 1) as f64).powf(1.2)))
+            .collect();
+        let uniform: Vec<(String, f64)> = (0..8).map(|e| (format!("e{e}"), 125.0)).collect();
+        let cfg = SkewConfig::default();
+        let hot = detect_skew(&zipf, &cfg);
+        assert!(hot.flagged.contains(&"e0".to_string()), "{:?}", hot.flagged);
+        assert!(hot.max_over_mean > cfg.hot_ratio);
+        let flat = detect_skew(&uniform, &cfg);
+        assert!(flat.flagged.is_empty());
+        assert!((flat.max_over_mean - 1.0).abs() < 1e-9);
+        assert!(flat.cv < 1e-9);
+    }
+
+    #[test]
+    fn load_extractors_key_by_rank_and_expert() {
+        let events = vec![
+            ev("fwd/b0/e0", "compute", 0, 0.0, 10.0),
+            ev("bwd/b0/e0", "compute", 1, 0.0, 5.0),
+            ev("fwd/b1/e3", "compute", 1, 20.0, 7.0),
+            ev("pull/b0/e0", "comm", 0, 0.0, 99.0),
+        ];
+        let ranks = rank_compute_loads(&events);
+        assert_eq!(ranks, vec![("r0".into(), 10.0), ("r1".into(), 12.0)]);
+        let experts = expert_compute_loads(&events);
+        assert_eq!(experts, vec![("b0/e0".into(), 15.0), ("b1/e3".into(), 7.0)]);
+    }
+}

@@ -16,14 +16,22 @@
 //!   text-format export.
 //! - [`report`] — derived analysis: compute/comm overlap fraction,
 //!   per-link utilization, pull-latency percentiles.
+//! - [`analysis`] — critical-path blame and straggler / expert-skew
+//!   detection over a recorded trace.
+//! - [`drift`] — sim-vs-real drift calibration: align simulator
+//!   segments against real spans and score the cost model.
 
+pub mod analysis;
 pub mod clock;
+pub mod drift;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod trace;
 
+pub use analysis::{critical_path, detect_skew, CriticalPathReport, SkewConfig, SkewReport};
 pub use clock::{Clock, FakeClock, RealClock};
+pub use drift::{drift_report, DriftReport, SegKey};
 pub use metrics::{Histogram, Metrics};
 pub use recorder::{global, Recorder, SpanGuard, SpanMeta};
 pub use report::{LinkUtil, OverlapReport, RankOverlap};

@@ -53,6 +53,27 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
     }
+
+    /// Nearest-rank quantile over the bucketed samples: the `le` bound
+    /// (`2^i`) of the bucket holding the rank-`⌈q·n⌉` sample, so the
+    /// true quantile is `≤` the returned value. Returns 0 when empty
+    /// and `u64::MAX` when the rank falls in the implicit `+Inf`
+    /// bucket.
+    pub fn quantile_le(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return 1u64 << i;
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// Named counter / histogram registry.
@@ -211,6 +232,25 @@ mod tests {
         assert!(text.contains("janus_lat_us_bucket{le=\"+Inf\"} 4\n"));
         assert!(text.contains("janus_lat_us_sum 1008\n"));
         assert!(text.contains("janus_lat_us_count 4\n"));
+    }
+
+    #[test]
+    fn quantile_le_walks_cumulative_buckets() {
+        let m = Metrics::new();
+        let h = m.histogram("h");
+        assert_eq!(h.quantile_le(0.5), 0); // empty
+        h.observe(1); // le=1
+        h.observe(3); // le=4
+        h.observe(4); // le=4
+        h.observe(1000); // le=1024
+        assert_eq!(h.quantile_le(0.25), 1);
+        assert_eq!(h.quantile_le(0.50), 4);
+        assert_eq!(h.quantile_le(0.75), 4);
+        assert_eq!(h.quantile_le(0.99), 1024);
+        assert_eq!(h.quantile_le(1.0), 1024);
+        // A sample beyond the last bound lands in +Inf.
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile_le(1.0), u64::MAX);
     }
 
     #[test]

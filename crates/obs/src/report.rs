@@ -96,6 +96,14 @@ impl OverlapReport {
         }
     }
 
+    /// Nearest-rank percentile of a **sorted** sample list: the value at
+    /// rank `⌈q·n⌉` (1-based, clamped to `[1, n]`), 0 when empty. This
+    /// is the estimator behind every latency percentile the crate
+    /// reports.
+    pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+        percentile(sorted, q)
+    }
+
     /// Render as a human-readable block (used by `repro trace`).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -240,6 +248,31 @@ mod tests {
         assert!((r.pull_p50_us - 50.0).abs() < 1e-9);
         assert!((r.pull_p95_us - 95.0).abs() < 1e-9);
         assert!((r.pull_p99_us - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty: defined as 0 regardless of q.
+        assert_eq!(OverlapReport::percentile(&[], 0.0), 0.0);
+        assert_eq!(OverlapReport::percentile(&[], 0.5), 0.0);
+        assert_eq!(OverlapReport::percentile(&[], 1.0), 0.0);
+        // Single sample: every quantile is that sample.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(OverlapReport::percentile(&[7.0], q), 7.0);
+        }
+        // Exact-rank boundaries on n=4: q·n landing exactly on an
+        // integer rank selects that rank (nearest-rank, not
+        // interpolated), and the rank clamps to [1, n].
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(OverlapReport::percentile(&s, 0.25), 1.0);
+        assert_eq!(OverlapReport::percentile(&s, 0.2500001), 2.0);
+        assert_eq!(OverlapReport::percentile(&s, 0.5), 2.0);
+        assert_eq!(OverlapReport::percentile(&s, 0.75), 3.0);
+        assert_eq!(OverlapReport::percentile(&s, 1.0), 4.0);
+        // q ≤ 0 clamps to the first sample, q > 1 to the last.
+        assert_eq!(OverlapReport::percentile(&s, 0.0), 1.0);
+        assert_eq!(OverlapReport::percentile(&s, -1.0), 1.0);
+        assert_eq!(OverlapReport::percentile(&s, 2.0), 4.0);
     }
 
     #[test]

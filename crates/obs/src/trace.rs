@@ -81,7 +81,13 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
 /// [`chrome_trace`] emits — a top-level array of objects whose fields
 /// appear in the fixed order `name,cat,ph,ts,dur,pid,tid`, with `ph`
 /// equal to `"X"`, finite non-negative `ts`/`dur`, and globally
-/// non-decreasing `ts`. Returns the number of events on success.
+/// non-decreasing `ts`. Two complete events with the same
+/// `(pid, tid, name)` must not overlap in time (half-open intervals;
+/// touching is fine) — a duplicate that overlaps itself is a recording
+/// bug that would corrupt downstream analysis. Distinct names on one
+/// lane *may* overlap: the engines legitimately nest spans (prefetch
+/// wraps pull) and run expert tasks concurrently on a block lane.
+/// Returns the number of events on success.
 pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
     let body = json.trim();
     let inner = body
@@ -94,6 +100,10 @@ pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
     }
     let mut count = 0usize;
     let mut last_ts = f64::NEG_INFINITY;
+    // Max end time seen per (pid, tid, name); events arrive ts-sorted,
+    // so an overlap shows as a start before the tracked end.
+    let mut open_until: std::collections::HashMap<(u64, String, String), f64> =
+        std::collections::HashMap::new();
     // Split on object boundaries. Event strings (names/tids) may contain
     // escaped quotes but never raw braces, so `},{` only occurs between
     // events.
@@ -102,7 +112,7 @@ pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
         count += 1;
         let ctx = |field: &str| format!("event {count}: {field}");
         let rest = expect_field(obj, "\"name\":\"", &ctx("name"))?;
-        let rest = skip_string(rest, &ctx("name"))?;
+        let (name, rest) = take_string(rest, &ctx("name"))?;
         let rest = expect_field(rest, ",\"cat\":\"", &ctx("cat"))?;
         let rest = skip_string(rest, &ctx("cat"))?;
         let rest = expect_field(rest, ",\"ph\":\"X\"", &ctx("ph"))?;
@@ -111,9 +121,9 @@ pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
         let rest = expect_field(rest, ",\"dur\":", &ctx("dur"))?;
         let (dur, rest) = take_number(rest, &ctx("dur"))?;
         let rest = expect_field(rest, ",\"pid\":", &ctx("pid"))?;
-        let (_pid, rest) = take_number(rest, &ctx("pid"))?;
+        let (pid, rest) = take_number(rest, &ctx("pid"))?;
         let rest = expect_field(rest, ",\"tid\":\"", &ctx("tid"))?;
-        let rest = skip_string(rest, &ctx("tid"))?;
+        let (tid, rest) = take_string(rest, &ctx("tid"))?;
         if !rest.is_empty() {
             return Err(format!("event {count}: trailing content {rest:?}"));
         }
@@ -127,6 +137,18 @@ pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
             return Err(format!("event {count}: ts {ts} < previous {last_ts}"));
         }
         last_ts = ts;
+        let key = (pid.to_bits(), tid.to_string(), name.to_string());
+        if let Some(&end) = open_until.get(&key) {
+            if ts < end {
+                return Err(format!(
+                    "event {count}: duplicate {name:?} on (pid {pid}, tid {tid:?}) \
+                     overlaps: starts at {ts} before previous end {end}"
+                ));
+            }
+        }
+        let end = ts + dur;
+        let slot = open_until.entry(key).or_insert(end);
+        *slot = slot.max(end);
     }
     Ok(count)
 }
@@ -144,6 +166,21 @@ fn skip_string<'a>(s: &'a str, what: &str) -> Result<&'a str, String> {
         match bytes[i] {
             b'\\' => i += 2,
             b'"' => return Ok(&s[i + 1..]),
+            _ => i += 1,
+        }
+    }
+    Err(format!("{what}: unterminated string"))
+}
+
+/// Consume an escaped JSON string body, returning it (still escaped —
+/// callers only compare/format it) and the remainder past the quote.
+fn take_string<'a>(s: &'a str, what: &str) -> Result<(&'a str, &'a str), String> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Ok((&s[..i], &s[i + 1..])),
             _ => i += 1,
         }
     }
@@ -217,6 +254,49 @@ mod tests {
         let json = chrome_trace(&[ev("x", "c", 0, "t", 5.0, -1.0)]);
         assert!(json.contains(r#""dur":0.000"#));
         assert_eq!(validate_chrome_trace(&json).unwrap(), 1);
+    }
+
+    #[test]
+    fn validator_rejects_negative_ts_and_dur() {
+        // `chrome_trace` clamps negative durations on export, so a trace
+        // carrying one was produced by something else — reject it.
+        let neg_ts =
+            r#"[{"name":"a","cat":"c","ph":"X","ts":-1.000,"dur":2.000,"pid":0,"tid":"t"}]"#;
+        let err = validate_chrome_trace(neg_ts).unwrap_err();
+        assert!(err.contains("bad ts"), "{err}");
+        let neg_dur =
+            r#"[{"name":"a","cat":"c","ph":"X","ts":1.000,"dur":-2.000,"pid":0,"tid":"t"}]"#;
+        let err = validate_chrome_trace(neg_dur).unwrap_err();
+        assert!(err.contains("bad dur"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_overlapping_duplicates_on_one_lane() {
+        // Same (pid, tid, name) twice, second starts inside the first.
+        let overlap = concat!(
+            r#"[{"name":"a","cat":"c","ph":"X","ts":0.000,"dur":10.000,"pid":0,"tid":"t"},"#,
+            r#"{"name":"a","cat":"c","ph":"X","ts":5.000,"dur":1.000,"pid":0,"tid":"t"}]"#
+        );
+        let err = validate_chrome_trace(overlap).unwrap_err();
+        assert!(err.contains("overlaps"), "{err}");
+        // Touching intervals are fine (half-open semantics).
+        let touching = concat!(
+            r#"[{"name":"a","cat":"c","ph":"X","ts":0.000,"dur":5.000,"pid":0,"tid":"t"},"#,
+            r#"{"name":"a","cat":"c","ph":"X","ts":5.000,"dur":1.000,"pid":0,"tid":"t"}]"#
+        );
+        assert_eq!(validate_chrome_trace(touching).unwrap(), 2);
+        // Same name overlapping on a *different* pid is fine.
+        let other_pid = concat!(
+            r#"[{"name":"a","cat":"c","ph":"X","ts":0.000,"dur":10.000,"pid":0,"tid":"t"},"#,
+            r#"{"name":"a","cat":"c","ph":"X","ts":5.000,"dur":1.000,"pid":1,"tid":"t"}]"#
+        );
+        assert_eq!(validate_chrome_trace(other_pid).unwrap(), 2);
+        // Distinct names may nest on one lane (prefetch wraps pull).
+        let nested = concat!(
+            r#"[{"name":"prefetch/b0/e1","cat":"comm","ph":"X","ts":0.000,"dur":10.000,"pid":0,"tid":"b0"},"#,
+            r#"{"name":"pull/b0/e1","cat":"comm","ph":"X","ts":1.000,"dur":8.000,"pid":0,"tid":"b0"}]"#
+        );
+        assert_eq!(validate_chrome_trace(nested).unwrap(), 2);
     }
 
     #[test]

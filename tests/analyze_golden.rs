@@ -1,0 +1,85 @@
+//! Golden pin of the `repro analyze` trace-analytics artifact.
+//!
+//! The lab manifest hashes `analysis.json` through its masked canonical
+//! form: parsed, every tick-derived key (blame microseconds, measured
+//! drift, wall-clock skew) nulled, re-rendered compact. This test pins
+//! that exact byte stream — the very content `repro lab --verify`
+//! re-digests — so any unintentional change to the report's
+//! deterministic structure (segment keys, the plan digest, the gate-skew
+//! flags, the simulator's predictions) fails loudly here with a readable
+//! diff instead of as an opaque digest mismatch. The semantic acceptance
+//! criteria ride along: blame additivity is enforced inside
+//! `analyze::run()` (it returns `Err` past 1%), comm coverage must be
+//! complete, and the Zipf/uniform gate-skew verdicts must split.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test analyze_golden`.
+
+use janus::lab::canonical_masked_json;
+use janus_bench::experiments::analyze;
+
+fn assert_golden(got: &str, name: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(got, want, "golden mismatch for {name}");
+}
+
+#[test]
+fn analysis_masked_canonical_form_is_golden() {
+    let report = analyze::run().expect("analyze runs (blame within 1%, coverage complete)");
+
+    // Per-iteration blame tiles the window: categories sum to the wall.
+    for it in &report.blame.iterations {
+        let blamed: f64 = it.by_category.iter().map(|b| b.us).sum();
+        assert!(
+            (blamed - it.wall_us).abs() <= 0.01 * it.wall_us.max(1.0),
+            "iter {}: blame {blamed} vs wall {}",
+            it.iter,
+            it.wall_us
+        );
+    }
+
+    // Every comm segment of the plan appears in the real trace.
+    assert!(
+        report.coverage.complete && report.coverage.missing.is_empty(),
+        "missing comm segments: {:?}",
+        report.coverage.missing
+    );
+
+    // Skew detector: Zipf routing flags a hot expert, uniform is silent.
+    let (mut zipf_flags, mut uniform_silent) = (false, false);
+    for gate in &report.gate_skew {
+        if gate.workload.starts_with("zipf") {
+            zipf_flags = !gate.report.flagged.is_empty();
+        }
+        if gate.workload == "uniform" {
+            uniform_silent = gate.report.flagged.is_empty();
+        }
+    }
+    assert!(zipf_flags, "zipf gate histogram must flag a hot expert");
+    assert!(uniform_silent, "uniform gate histogram must not flag");
+
+    // The drift report scores every (rank, block) comm family.
+    assert!(!report.drift.segments.is_empty());
+
+    let masked: Vec<String> = analyze::MASKED_KEYS.iter().map(|k| k.to_string()).collect();
+    let mut pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    pretty.push('\n');
+    let mut canonical =
+        canonical_masked_json(pretty.as_bytes(), &masked).expect("report is valid JSON");
+    canonical.push('\n');
+    // Whitespace-insensitive, exactly as the manifest layer promises.
+    let compact = serde_json::to_string(&report).expect("report serializes");
+    assert_eq!(
+        canonical_masked_json(compact.as_bytes(), &masked).map(|mut s| {
+            s.push('\n');
+            s
+        }),
+        Some(canonical.clone())
+    );
+    assert_golden(&canonical, "analysis.json");
+}

@@ -308,6 +308,81 @@ proptest! {
             }
         }
     }
+
+    /// Critical-path blame over an arbitrary well-formed trace tiles the
+    /// iteration window: per-category blame sums to the wall time, the
+    /// wall is at least the longest single (clipped) span, and non-idle
+    /// blame never exceeds the total span time on the path's ranks.
+    #[test]
+    fn critical_path_blame_is_additive_and_bounded(
+        wall in 40.0f64..400.0,
+        spans in prop::collection::vec(
+            (0u32..4, 0usize..6, 0.0f64..1.0, 0.01f64..1.0),
+            1..40,
+        ),
+    ) {
+        use janus::obs::analysis::critical_path;
+        use janus::obs::TraceEvent;
+        const NAMES: [(&str, &str); 6] = [
+            ("fwd/b0/e0", "compute"),
+            ("pull/b0/e1", "comm"),
+            ("a2a_dispatch/b0", "comm"),
+            ("barrier/0", "sync"),
+            ("grad_wait", "reduce"),
+            ("prefetch/b0/e2", "comm"),
+        ];
+        let mut events = Vec::new();
+        let mut ranks = std::collections::BTreeSet::new();
+        for &(pid, name_idx, ts_q, dur_q) in &spans {
+            ranks.insert(pid);
+            let (name, cat) = NAMES[name_idx];
+            let ts = ts_q * wall;
+            events.push(TraceEvent {
+                name: name.to_string(),
+                cat: cat.to_string(),
+                pid,
+                tid: "t".to_string(),
+                ts_us: ts,
+                // Spans may extend past the window; the walk clips them.
+                dur_us: dur_q * wall,
+            });
+        }
+        for &pid in &ranks {
+            events.push(TraceEvent {
+                name: "iter/0".to_string(),
+                cat: "iter".to_string(),
+                pid,
+                tid: "t".to_string(),
+                ts_us: 0.0,
+                dur_us: wall,
+            });
+        }
+        let report = critical_path(&events);
+        prop_assert_eq!(report.iterations.len(), 1);
+        let it = &report.iterations[0];
+        let eps = 1e-6 * wall;
+        prop_assert!((it.wall_us - wall).abs() < eps);
+        // Additivity: blame tiles the window exactly.
+        let blamed: f64 = it.by_category.iter().map(|b| b.us).sum();
+        prop_assert!((blamed - it.wall_us).abs() < eps, "blame {blamed} != wall {}", it.wall_us);
+        let by_rank: f64 = it.by_rank.iter().map(|b| b.us).sum();
+        prop_assert!((by_rank - it.wall_us).abs() < eps);
+        // Lower bound: the window covers its longest clipped span.
+        let longest = events
+            .iter()
+            .filter(|e| e.cat != "iter")
+            .map(|e| e.end_us().min(wall) - e.ts_us.max(0.0))
+            .fold(0.0, f64::max);
+        prop_assert!(it.wall_us >= longest - eps);
+        // Upper bound: non-idle blame is covered by recorded spans.
+        let idle = it.by_category.iter().find(|b| b.category == "idle").unwrap().us;
+        let total_span: f64 = events
+            .iter()
+            .filter(|e| e.cat != "iter")
+            .map(|e| (e.end_us().min(wall) - e.ts_us.max(0.0)).max(0.0))
+            .sum();
+        prop_assert!(blamed - idle <= total_span + eps);
+    }
 }
 
 proptest! {
