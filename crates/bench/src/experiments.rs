@@ -2072,6 +2072,7 @@ pub mod crash {
                 max_backoff: Duration::from_millis(8),
                 max_attempts: 400,
                 flush_quiet: Duration::from_millis(40),
+                ..RetransmitPolicy::default()
             },
             ..SupervisorOpts::default()
         };
@@ -2383,6 +2384,7 @@ pub mod faults {
             max_backoff: Duration::from_millis(8),
             max_attempts: 400,
             flush_quiet: Duration::from_millis(40),
+            ..RetransmitPolicy::default()
         };
         let endpoints: Vec<_> = local_mesh(cfg.world())
             .into_iter()
@@ -2433,6 +2435,10 @@ pub mod faults {
                 c.cache_hits.to_string(),
                 c.cache_misses.to_string(),
                 c.grad_prefolds.to_string(),
+                c.migrations.to_string(),
+                c.migration_bytes.to_string(),
+                c.epoch_bumps.to_string(),
+                c.degraded.to_string(),
             ]
         };
         let mut body: Vec<Vec<String>> = report
@@ -2457,11 +2463,753 @@ pub mod faults {
                     "pull-timeouts",
                     "cache-hits",
                     "cache-misses",
-                    "prefolds"
+                    "prefolds",
+                    "migrations",
+                    "mig-bytes",
+                    "epochs",
+                    "degraded"
                 ],
                 &body
             )
         );
+        println!(
+            "\n(migration columns stay zero here: transient faults are retried \
+             in place — only the elastic driver's permanent-death and skew \
+             verdicts re-place experts; see `repro migrate`)"
+        );
+    }
+}
+
+/// Elastic expert migration: a skewed workload priced in the simulator
+/// and trained for real (threads and localhost TCP), before and after a
+/// skew-triggered re-placement, plus graceful degradation after a
+/// permanent rank death.
+pub mod migrate {
+    use super::*;
+    use janus_comm::tcp::tcp_mesh_localhost;
+    use janus_comm::{FaultPlan, Transport};
+    use janus_core::exec::data_centric::MachineShared;
+    use janus_core::exec::elastic::{
+        apply_gate_skew, expert_loads, placement_moves, resume_from_cut, skew_ratio, train_elastic,
+        ElasticOpts, ElasticOutcome, GateSkew, PermanentDeath,
+    };
+    use janus_core::exec::model::{ExecConfig, WorkerState};
+    use janus_core::exec::unified;
+    use janus_core::exec::weights::expert_to_bytes;
+    use janus_core::paradigm::Paradigm;
+    use janus_core::placement::Placement;
+    use janus_core::plan::PlanOpts;
+    use janus_netsim::{price_migration, MigrationFlow, MigrationNet};
+    use std::time::Instant;
+
+    /// JSON keys holding wall-clock measurements: masked in the lab
+    /// manifest so the rest of the report verifies bitwise.
+    pub const MASKED_KEYS: &[&str] = &["timing"];
+
+    /// Iterations trained by every run in this experiment.
+    pub const ITERS: u64 = 6;
+
+    /// Fluid-model price of one iteration's cross-machine expert
+    /// traffic, at per-worker NIC granularity (one uplink/downlink per
+    /// GPU; intra-machine copies ride NVLink/PCIe and are free).
+    #[derive(Debug, Clone, Serialize)]
+    pub struct SimIterCost {
+        /// Total bytes crossing a machine boundary per iteration. In a
+        /// symmetric cluster this barely moves with placement — the
+        /// tokens just cross in the other direction.
+        pub cross_machine_bytes: u64,
+        /// Bytes landing on the busiest worker's NIC — the straggler
+        /// metric that bounds iteration time, and what a swap unloads.
+        pub peak_downlink_bytes: u64,
+        /// Straggler-bound iteration time: the slowest worker's expert
+        /// compute plus its NIC transfers.
+        pub makespan_s: f64,
+    }
+
+    /// The simulator half: skew detection, the priced swap, and the
+    /// before/after iteration traffic.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct SimSection {
+        /// Max/mean live-rank probe load under the balanced placement.
+        pub skew_ratio_before: f64,
+        /// Same ratio under the rebalanced placement.
+        pub skew_ratio_after: f64,
+        /// Experts the rebalance moved.
+        pub moves: usize,
+        /// One-time migration traffic that crosses the network.
+        pub migration_cross_bytes: u64,
+        /// Fluid-model time to ship the migrating experts.
+        pub migration_makespan_s: f64,
+        /// Per-iteration traffic before the swap.
+        pub iter_before: SimIterCost,
+        /// Per-iteration traffic after the swap.
+        pub iter_after: SimIterCost,
+        /// Iterations until the per-iteration makespan saving has paid
+        /// for the migration (`inf` when the saving is zero).
+        pub payback_iterations: f64,
+        /// One-time traffic to re-apportion a dead rank's experts.
+        pub drain_cross_bytes: u64,
+        /// Fluid-model time of the drain.
+        pub drain_makespan_s: f64,
+    }
+
+    /// One committed placement epoch, digests in hex.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct EpochRow {
+        /// Epoch number installed.
+        pub epoch: u64,
+        /// Iteration boundary it was installed at.
+        pub at_iter: u64,
+        /// Why the placement changed.
+        pub reason: String,
+        /// Experts that changed owner.
+        pub moves: usize,
+        /// Placement table digest.
+        pub placement_digest: String,
+        /// Digest of the plan carrying this placement.
+        pub plan_digest: String,
+    }
+
+    /// One elastic (threaded) training run's ledger.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct ElasticSection {
+        /// Placement epochs committed, in order.
+        pub epochs: Vec<EpochRow>,
+        /// Ranks declared permanently dead.
+        pub dead_ranks: Vec<usize>,
+        /// Whether the run finished without its full world.
+        pub degraded: bool,
+        /// Expert blobs that changed owner.
+        pub migrations: u64,
+        /// Bytes of expert state shipped live.
+        pub migration_bytes: u64,
+        /// Migration exchanges torn down and retried.
+        pub aborted_migrations: u64,
+        /// True when a fresh run restarted from the post-migration cut
+        /// continues bitwise identically to the elastic run.
+        pub resume_bitwise: bool,
+        /// Placement the run finished under.
+        pub final_placement_digest: String,
+    }
+
+    /// The real-TCP half: the same skewed workload trained under the
+    /// balanced and the migrated placement on a localhost mesh.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct TcpSection {
+        /// Largest |Δ| between the two placements' loss histories.
+        /// Ownership regroups gradient folds, so the runs agree to
+        /// floating-point reassociation (~1e-6), not bitwise — the
+        /// bitwise guarantee belongs to same-placement resumes
+        /// (`resume_bitwise` above).
+        pub max_loss_diff: f32,
+        /// Whether `max_loss_diff` is within the reassociation bound.
+        pub losses_equivalent: bool,
+        /// Cluster-wide cross-machine bytes, balanced placement.
+        pub remote_bytes_balanced: u64,
+        /// Cluster-wide cross-machine bytes, migrated placement.
+        pub remote_bytes_migrated: u64,
+        /// Busiest sender's cross-machine bytes, balanced placement.
+        pub max_rank_remote_bytes_balanced: u64,
+        /// Busiest sender's cross-machine bytes, migrated placement.
+        pub max_rank_remote_bytes_migrated: u64,
+        /// Per-rank cross-machine bytes, balanced placement.
+        pub per_rank_remote_bytes_balanced: Vec<u64>,
+        /// Per-rank cross-machine bytes, migrated placement.
+        pub per_rank_remote_bytes_migrated: Vec<u64>,
+    }
+
+    /// Wall-clock measurements — printed, never digested (masked).
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Timing {
+        /// Mean wall microseconds per iteration, balanced placement.
+        pub tcp_wall_us_per_iter_balanced: f64,
+        /// Mean wall microseconds per iteration, migrated placement.
+        pub tcp_wall_us_per_iter_migrated: f64,
+        /// Whether the migrated placement's run was faster.
+        pub tcp_wall_improved: bool,
+    }
+
+    /// Everything `repro migrate` measures.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct Report {
+        /// Model/cluster seed.
+        pub seed: u64,
+        /// Iterations per run.
+        pub iters: u64,
+        /// Digest of the placement-free base plan.
+        pub plan_digest: String,
+        /// Block whose gate is biased hot.
+        pub skewed_block: usize,
+        /// Expert the bias overloads.
+        pub skewed_expert: usize,
+        /// Simulator pricing.
+        pub sim: SimSection,
+        /// Live skew migration under the elastic driver.
+        pub elastic: ElasticSection,
+        /// Graceful degradation after a permanent death.
+        pub degraded: ElasticSection,
+        /// Balanced-vs-migrated runs on a real TCP mesh.
+        pub tcp: TcpSection,
+        /// Wall-clock (masked).
+        pub timing: Timing,
+    }
+
+    /// The skewed workload: uneven expert counts mix paradigms (block 0
+    /// data-centric, block 1 expert-centric) and the biased expert sits
+    /// in the expert-centric block, initially on rank 0.
+    fn config() -> (ExecConfig, GateSkew) {
+        let cfg = ExecConfig {
+            machines: 2,
+            gpus_per_machine: 2,
+            hidden_dim: 8,
+            blocks: 2,
+            experts: 8,
+            experts_per_block: vec![4, 16],
+            top_k: 2,
+            tokens: 64,
+            seed: 2026,
+            lr: 0.01,
+        };
+        let skew = GateSkew {
+            block: 1,
+            expert: 0,
+            boost: 6.0,
+        };
+        (cfg, skew)
+    }
+
+    fn hex(d: u64) -> String {
+        format!("{d:016x}")
+    }
+
+    /// Per-rank routing histograms: `loads[rank][block][expert]` tokens,
+    /// from the same deterministic probe the elastic driver uses.
+    fn per_rank_loads(cfg: &ExecConfig, skew: &GateSkew) -> Vec<Vec<Vec<f64>>> {
+        (0..cfg.world())
+            .map(|rank| {
+                let mut state = WorkerState::init(cfg, rank);
+                apply_gate_skew(&mut state, skew);
+                (0..cfg.blocks)
+                    .map(|b| {
+                        state.gates[b]
+                            .route(&state.inputs)
+                            .histogram()
+                            .into_iter()
+                            .map(|h| h as f64)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Serialized size of one expert's state in block `b`.
+    fn expert_blob_bytes(cfg: &ExecConfig, b: usize) -> u64 {
+        expert_to_bytes(&WorkerState::reference_expert(cfg, b, 0)).len() as u64
+    }
+
+    /// One iteration's cross-machine flows under `p`, between worker
+    /// NICs (`MigrationFlow`'s machine indices carry *ranks* here — one
+    /// NIC per GPU): expert-centric blocks ship token batches to the
+    /// owner and activations back; data-centric blocks pull the expert
+    /// once per needing machine (through its designated local worker)
+    /// and push a same-sized gradient home. Same-machine traffic rides
+    /// NVLink/PCIe and is omitted — the fluid model prices it as free.
+    #[allow(clippy::needless_range_loop)]
+    fn iteration_flows(
+        cfg: &ExecConfig,
+        plan: &janus_core::plan::IterationPlan,
+        p: &Placement,
+        loads: &[Vec<Vec<f64>>],
+    ) -> Vec<MigrationFlow> {
+        let mut flows = Vec::new();
+        let token_bytes = (12 + 4 * cfg.hidden_dim) as f64;
+        for b in 0..cfg.blocks {
+            match plan.blocks[b].paradigm {
+                Paradigm::ExpertCentric => {
+                    for rank in 0..cfg.world() {
+                        for (e, &tokens) in loads[rank][b].iter().enumerate() {
+                            let owner = p.owner_of(b, e);
+                            let cross = cfg.machine_of(rank) != cfg.machine_of(owner);
+                            if cross && tokens > 0.0 {
+                                let bytes = (tokens * token_bytes) as u64;
+                                for (s, d) in [(rank, owner), (owner, rank)] {
+                                    flows.push(MigrationFlow {
+                                        src_machine: s,
+                                        dst_machine: d,
+                                        bytes,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Paradigm::DataCentric => {
+                    let blob = expert_blob_bytes(cfg, b);
+                    for m in 0..cfg.machines {
+                        for e in 0..cfg.experts_in(b) {
+                            let owner = p.owner_of(b, e);
+                            let needed = (0..cfg.world())
+                                .any(|r| cfg.machine_of(r) == m && loads[r][b][e] > 0.0);
+                            if cfg.machine_of(owner) != m && needed {
+                                let local = p.designated_local(m, e, cfg.gpus_per_machine);
+                                for (s, d) in [(owner, local), (local, owner)] {
+                                    flows.push(MigrationFlow {
+                                        src_machine: s,
+                                        dst_machine: d,
+                                        bytes: blob,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        flows
+    }
+
+    /// Effective per-worker expert throughput (token-slots/second) and
+    /// NIC rate (bytes/second). Toy-scale rates picked so compute and
+    /// transfer are comparable at `hidden_dim = 8`, as they are at real
+    /// scale — the *ratios* are what the experiment pins.
+    const SLOTS_PER_S: f64 = 2e7;
+    const NIC_BPS: f64 = 1e9;
+
+    /// Price one iteration: the straggler bound `max over workers of
+    /// (owned-expert compute + NIC in + NIC out)`, plus the traffic
+    /// totals. `flows` is rank-indexed and cross-machine only.
+    fn price_iteration(
+        cfg: &ExecConfig,
+        p: &Placement,
+        loads: &[Vec<Vec<f64>>],
+        flows: &[MigrationFlow],
+    ) -> SimIterCost {
+        let world = cfg.world();
+        let mut bytes_in = vec![0u64; world];
+        let mut bytes_out = vec![0u64; world];
+        for f in flows {
+            bytes_out[f.src_machine] += f.bytes;
+            bytes_in[f.dst_machine] += f.bytes;
+        }
+        let makespan_s = (0..world)
+            .filter(|&r| p.is_live(r))
+            .map(|r| {
+                let slots: f64 = (0..cfg.blocks)
+                    .map(|b| {
+                        p.owned_in(b, r)
+                            .iter()
+                            .map(|&e| loads.iter().map(|rank| rank[b][e]).sum::<f64>())
+                            .sum::<f64>()
+                    })
+                    .sum();
+                slots / SLOTS_PER_S + (bytes_in[r] + bytes_out[r]) as f64 / NIC_BPS
+            })
+            .fold(0.0, f64::max);
+        SimIterCost {
+            cross_machine_bytes: flows.iter().map(|f| f.bytes).sum(),
+            peak_downlink_bytes: bytes_in.into_iter().max().unwrap_or(0),
+            makespan_s,
+        }
+    }
+
+    /// One NIC per worker for pricing the bulk migration itself.
+    fn nic_net(cfg: &ExecConfig) -> MigrationNet {
+        MigrationNet::symmetric(cfg.world(), NIC_BPS)
+    }
+
+    /// The one-time flows of a placement change: each moved expert's
+    /// blob travels from its old owner's NIC to its new owner's.
+    /// Same-machine moves are omitted (free under the fluid model).
+    fn move_flows(cfg: &ExecConfig, prev: &Placement, next: &Placement) -> Vec<MigrationFlow> {
+        placement_moves(prev, next)
+            .into_iter()
+            .filter(|mv| cfg.machine_of(mv.from) != cfg.machine_of(mv.to))
+            .map(|mv| MigrationFlow {
+                src_machine: mv.from,
+                dst_machine: mv.to,
+                bytes: expert_blob_bytes(cfg, mv.block),
+            })
+            .collect()
+    }
+
+    /// Check that a fresh run restarted from the last post-migration cut
+    /// continues bitwise identically to the elastic run past the cut.
+    fn resume_matches(
+        cfg: &ExecConfig,
+        opts: &PlanOpts,
+        skew: Option<&GateSkew>,
+        out: &ElasticOutcome,
+    ) -> bool {
+        let Some(cut) = out.cuts.last() else {
+            return false;
+        };
+        let reference = resume_from_cut(cfg, opts, skew, cut, ITERS);
+        (0..cfg.world()).all(|rank| {
+            if !cut.placement.is_live(rank) {
+                return true;
+            }
+            let tail = &out.run.losses[rank][cut.at_iter as usize..];
+            tail == reference.losses[rank].as_slice()
+                && out.run.outputs[rank].data() == reference.outputs[rank].data()
+        })
+    }
+
+    fn epoch_rows(out: &ElasticOutcome) -> Vec<EpochRow> {
+        out.report
+            .epochs
+            .iter()
+            .map(|e| EpochRow {
+                epoch: e.epoch,
+                at_iter: e.at_iter,
+                reason: e.reason.clone(),
+                moves: e.moves,
+                placement_digest: hex(e.placement_digest),
+                plan_digest: hex(e.plan_digest),
+            })
+            .collect()
+    }
+
+    fn elastic_section(cfg: &ExecConfig, opts: &PlanOpts, el: &ElasticOpts) -> ElasticSection {
+        let out = train_elastic(cfg, opts, el, ITERS, FaultPlan::default())
+            .expect("elastic run completes");
+        ElasticSection {
+            epochs: epoch_rows(&out),
+            dead_ranks: out.report.dead_ranks.clone(),
+            degraded: out.report.degraded,
+            migrations: out.report.migrations,
+            migration_bytes: out.report.migration_bytes,
+            aborted_migrations: out.report.aborted_migrations,
+            resume_bitwise: resume_matches(cfg, opts, el.skew.as_ref(), &out),
+            final_placement_digest: hex(out.report.final_placement_digest),
+        }
+    }
+
+    /// One pinned training run: fixed placement, skewed gates, no
+    /// elasticity — the controlled A/B measurement.
+    struct PinnedRun {
+        losses: Vec<Vec<f32>>,
+        remote_bytes: Vec<u64>,
+        wall_us_per_iter: f64,
+    }
+
+    fn pinned_run<T: Transport + 'static>(
+        endpoints: Vec<T>,
+        cfg: &ExecConfig,
+        opts: &PlanOpts,
+        placement: &Placement,
+        skew: &GateSkew,
+    ) -> PinnedRun {
+        let plan = cfg.compile_plan(opts);
+        let shared = MachineShared::for_cluster_placed(cfg, placement);
+        let t0 = Instant::now();
+        let results = janus_comm::runtime::run_on(endpoints, |comm| {
+            let rank = comm.rank();
+            let mut state = WorkerState::init_placed(cfg, rank, placement.clone());
+            apply_gate_skew(&mut state, skew);
+            let sh = &shared[cfg.machine_of(rank)];
+            let mut losses = Vec::new();
+            for i in 0..ITERS {
+                let out = unified::run_iteration(&comm, &mut state, sh, &plan, i)
+                    .unwrap_or_else(|e| panic!("rank {rank} at iteration {i}: {e}"));
+                losses.push(out.loss);
+            }
+            (losses, state.comm.snapshot().remote_bytes)
+        });
+        let wall_us_per_iter = t0.elapsed().as_micros() as f64 / ITERS as f64;
+        PinnedRun {
+            losses: results.iter().map(|(l, _)| l.clone()).collect(),
+            remote_bytes: results.iter().map(|(_, b)| *b).collect(),
+            wall_us_per_iter,
+        }
+    }
+
+    /// Run the whole experiment.
+    pub fn run() -> Report {
+        let (cfg, skew) = config();
+        let opts = PlanOpts::default();
+        let plan = cfg.compile_plan(&opts);
+        let world = cfg.world();
+
+        // --- Simulator half: detect the skew, price the swap. ---
+        let loads = expert_loads(&cfg, Some(&skew));
+        let per_rank = per_rank_loads(&cfg, &skew);
+        let balanced = WorkerState::balanced_placement(&cfg);
+        let ratio_before = skew_ratio(&balanced, &loads);
+        let (migrated, moves) = balanced.rebalance(&loads, 6);
+        let ratio_after = skew_ratio(&migrated, &loads);
+        assert!(
+            ratio_after < ratio_before,
+            "rebalance must reduce the skew ratio ({ratio_before} -> {ratio_after})"
+        );
+
+        let net = nic_net(&cfg);
+        let mig_est = price_migration(&net, &move_flows(&cfg, &balanced, &migrated));
+        let iter_before = price_iteration(
+            &cfg,
+            &balanced,
+            &per_rank,
+            &iteration_flows(&cfg, &plan, &balanced, &per_rank),
+        );
+        let iter_after = price_iteration(
+            &cfg,
+            &migrated,
+            &per_rank,
+            &iteration_flows(&cfg, &plan, &migrated, &per_rank),
+        );
+        assert!(
+            iter_after.makespan_s < iter_before.makespan_s,
+            "migration must shorten the simulated iteration \
+             ({} -> {})",
+            iter_before.makespan_s,
+            iter_after.makespan_s
+        );
+        assert!(
+            iter_after.peak_downlink_bytes < iter_before.peak_downlink_bytes,
+            "migration must unload the hottest downlink ({} -> {})",
+            iter_before.peak_downlink_bytes,
+            iter_after.peak_downlink_bytes
+        );
+        let saving = iter_before.makespan_s - iter_after.makespan_s;
+        let payback_iterations = if saving > 0.0 {
+            mig_est.makespan_s / saving
+        } else {
+            f64::INFINITY
+        };
+        let dead_rank = world - 1;
+        let drain_est = price_migration(
+            &net,
+            &move_flows(&cfg, &balanced, &balanced.drain(dead_rank)),
+        );
+
+        // --- Elastic half: the driver performs the swap live. ---
+        let elastic = elastic_section(
+            &cfg,
+            &opts,
+            &ElasticOpts {
+                ckpt_every: 2,
+                skew_ratio: 1.2,
+                max_moves: 6,
+                skew: Some(skew),
+                ..ElasticOpts::default()
+            },
+        );
+        assert!(
+            elastic.epochs.iter().any(|e| e.reason.contains("skew")),
+            "the elastic run must commit a skew rebalance"
+        );
+        assert!(
+            elastic.resume_bitwise,
+            "skew migration must be bitwise-resumable"
+        );
+
+        // --- Degradation half: permanent death mid-run. ---
+        let degraded = elastic_section(
+            &cfg,
+            &opts,
+            &ElasticOpts {
+                ckpt_every: 2,
+                deaths: vec![PermanentDeath {
+                    rank: dead_rank,
+                    at_iter: 3,
+                    during_migration: false,
+                }],
+                ..ElasticOpts::default()
+            },
+        );
+        assert!(degraded.degraded && degraded.dead_ranks == vec![dead_rank]);
+        assert!(degraded.resume_bitwise, "drain must be bitwise-resumable");
+
+        // --- Real TCP half: balanced vs migrated, same workload. ---
+        let tcp_balanced = pinned_run(
+            tcp_mesh_localhost(world).expect("localhost mesh"),
+            &cfg,
+            &opts,
+            &balanced,
+            &skew,
+        );
+        let tcp_migrated = pinned_run(
+            tcp_mesh_localhost(world).expect("localhost mesh"),
+            &cfg,
+            &opts,
+            &migrated,
+            &skew,
+        );
+        let max_loss_diff = tcp_balanced
+            .losses
+            .iter()
+            .zip(&tcp_migrated.losses)
+            .flat_map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs()))
+            .fold(0f32, f32::max);
+        let losses_equivalent = max_loss_diff < 1e-4;
+        assert!(
+            losses_equivalent,
+            "placement must change communication, not training \
+             (max loss |Δ| = {max_loss_diff:e})"
+        );
+        let max_rank = |bytes: &[u64]| bytes.iter().copied().max().unwrap_or(0);
+        assert!(
+            max_rank(&tcp_migrated.remote_bytes) < max_rank(&tcp_balanced.remote_bytes),
+            "migration must unload the busiest worker's measured cross-machine \
+             traffic ({} -> {})",
+            max_rank(&tcp_balanced.remote_bytes),
+            max_rank(&tcp_migrated.remote_bytes)
+        );
+
+        Report {
+            seed: cfg.seed,
+            iters: ITERS,
+            plan_digest: hex(plan.digest()),
+            skewed_block: skew.block,
+            skewed_expert: skew.expert,
+            sim: SimSection {
+                skew_ratio_before: ratio_before,
+                skew_ratio_after: ratio_after,
+                moves: moves.len(),
+                migration_cross_bytes: mig_est.cross_machine_bytes,
+                migration_makespan_s: mig_est.makespan_s,
+                iter_before,
+                iter_after,
+                payback_iterations,
+                drain_cross_bytes: drain_est.cross_machine_bytes,
+                drain_makespan_s: drain_est.makespan_s,
+            },
+            elastic,
+            degraded,
+            tcp: TcpSection {
+                max_loss_diff,
+                losses_equivalent,
+                remote_bytes_balanced: tcp_balanced.remote_bytes.iter().sum(),
+                remote_bytes_migrated: tcp_migrated.remote_bytes.iter().sum(),
+                max_rank_remote_bytes_balanced: tcp_balanced
+                    .remote_bytes
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0),
+                max_rank_remote_bytes_migrated: tcp_migrated
+                    .remote_bytes
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0),
+                per_rank_remote_bytes_balanced: tcp_balanced.remote_bytes,
+                per_rank_remote_bytes_migrated: tcp_migrated.remote_bytes,
+            },
+            timing: Timing {
+                tcp_wall_improved: tcp_migrated.wall_us_per_iter < tcp_balanced.wall_us_per_iter,
+                tcp_wall_us_per_iter_balanced: tcp_balanced.wall_us_per_iter,
+                tcp_wall_us_per_iter_migrated: tcp_migrated.wall_us_per_iter,
+            },
+        }
+    }
+
+    /// Print the before/after table and the migration ledgers.
+    pub fn print(report: &Report) {
+        println!(
+            "Elastic migration — expert {} of block {} biased hot \
+             (probe skew ratio {:.2}); rebalance moves {} experts, \
+             paying for itself in {:.1} simulated iterations\n",
+            report.skewed_expert,
+            report.skewed_block,
+            report.sim.skew_ratio_before,
+            report.sim.moves,
+            report.sim.payback_iterations
+        );
+        let body = vec![
+            vec![
+                "probe skew ratio (max/mean)".to_string(),
+                format!("{:.3}", report.sim.skew_ratio_before),
+                format!("{:.3}", report.sim.skew_ratio_after),
+            ],
+            vec![
+                "sim iter makespan (ms)".to_string(),
+                format!("{:.3}", report.sim.iter_before.makespan_s * 1e3),
+                format!("{:.3}", report.sim.iter_after.makespan_s * 1e3),
+            ],
+            vec![
+                "sim peak downlink (KB/iter)".to_string(),
+                format!(
+                    "{:.1}",
+                    report.sim.iter_before.peak_downlink_bytes as f64 / 1e3
+                ),
+                format!(
+                    "{:.1}",
+                    report.sim.iter_after.peak_downlink_bytes as f64 / 1e3
+                ),
+            ],
+            vec![
+                "sim cross-machine (KB/iter)".to_string(),
+                format!(
+                    "{:.1}",
+                    report.sim.iter_before.cross_machine_bytes as f64 / 1e3
+                ),
+                format!(
+                    "{:.1}",
+                    report.sim.iter_after.cross_machine_bytes as f64 / 1e3
+                ),
+            ],
+            vec![
+                "tcp cross-machine (KB, whole run)".to_string(),
+                format!("{:.1}", report.tcp.remote_bytes_balanced as f64 / 1e3),
+                format!("{:.1}", report.tcp.remote_bytes_migrated as f64 / 1e3),
+            ],
+            vec![
+                "tcp max-rank cross (KB)".to_string(),
+                format!(
+                    "{:.1}",
+                    report.tcp.max_rank_remote_bytes_balanced as f64 / 1e3
+                ),
+                format!(
+                    "{:.1}",
+                    report.tcp.max_rank_remote_bytes_migrated as f64 / 1e3
+                ),
+            ],
+            vec![
+                "tcp wall (µs/iter)".to_string(),
+                format!("{:.0}", report.timing.tcp_wall_us_per_iter_balanced),
+                format!("{:.0}", report.timing.tcp_wall_us_per_iter_migrated),
+            ],
+        ];
+        println!(
+            "{}",
+            table::render(&["metric", "balanced", "migrated"], &body)
+        );
+        println!(
+            "\nlive swap: {} expert blobs ({} B) shipped over the reliable \
+             transport; max loss |Δ| across placements = {:e} \
+             (reassociation only)",
+            report.elastic.migrations, report.elastic.migration_bytes, report.tcp.max_loss_diff
+        );
+        for e in &report.elastic.epochs {
+            println!(
+                "  epoch {} @ iter {}: {} ({} moves, placement {})",
+                e.epoch, e.at_iter, e.reason, e.moves, e.placement_digest
+            );
+        }
+        println!(
+            "degraded: rank {} lost permanently -> {} epochs, finished {} \
+             (resume bitwise: {})",
+            report
+                .degraded
+                .dead_ranks
+                .first()
+                .copied()
+                .unwrap_or(usize::MAX),
+            report.degraded.epochs.len(),
+            if report.degraded.degraded {
+                "without it"
+            } else {
+                "intact"
+            },
+            report.degraded.resume_bitwise
+        );
+        for e in &report.degraded.epochs {
+            println!(
+                "  epoch {} @ iter {}: {} ({} moves, placement {})",
+                e.epoch, e.at_iter, e.reason, e.moves, e.placement_digest
+            );
+        }
     }
 }
 

@@ -153,6 +153,33 @@ pub fn registry() -> Dag {
         .mask(&["counters", "totals"]),
     );
 
+    // Elastic migration: skew-triggered re-placement and permanent-death
+    // drains, priced in the simulator and trained for real (threads +
+    // localhost TCP). Everything is deterministic except the measured
+    // TCP wall times, which live under the masked `timing` key. Binds
+    // localhost sockets and times a real mesh → exclusive.
+    tasks.push(
+        TaskSpec::new("migrate", |_ctx| {
+            let report = migrate::run();
+            {
+                let _g = janus_lab::stdout_lock();
+                migrate::print(&report);
+            }
+            Ok(TaskReport {
+                files: vec![OutFile::new("migrate_report.json", json_bytes(&report))],
+                config: obj(&[
+                    ("experiment", sval("migrate")),
+                    ("seed", nval(report.seed as f64)),
+                    ("iters", nval(report.iters as f64)),
+                ]),
+                plan_digests: vec![report.plan_digest.clone()],
+            })
+        })
+        .tag("ci")
+        .exclusive()
+        .mask(migrate::MASKED_KEYS),
+    );
+
     // The serving-plane SLO sweep. The simulated half (latency vs
     // replica budget) is deterministic and verifies bitwise; the real
     // TCP half's measured latencies are wall-clock → masked, while its
@@ -388,6 +415,7 @@ mod tests {
             "fig17",
             "ablations",
             "faults",
+            "migrate",
             "serve",
             "analyze",
             "crash",
@@ -407,6 +435,7 @@ mod tests {
         let names: Vec<&str> = sel.iter().map(|&i| dag.tasks()[i].name.as_str()).collect();
         for expected in [
             "faults",
+            "migrate",
             "serve",
             "analyze",
             "crash",

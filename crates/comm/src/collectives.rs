@@ -32,6 +32,35 @@ pub fn barrier<T: Transport>(comm: &Comm<T>, epoch: u64) -> Result<(), CommError
     Ok(())
 }
 
+/// [`barrier`] restricted to the ranks marked live: dead peers are
+/// neither signalled nor waited for, so a degraded world synchronizes
+/// among the survivors only. With everyone live this is exactly
+/// [`barrier`].
+pub fn barrier_among<T: Transport>(
+    comm: &Comm<T>,
+    epoch: u64,
+    live: &[bool],
+) -> Result<(), CommError> {
+    let world = comm.world_size();
+    let me = comm.rank();
+    assert_eq!(live.len(), world, "one liveness flag per rank");
+    assert!(live[me], "dead rank entered a barrier");
+    for (peer, &alive) in live.iter().enumerate() {
+        if peer != me && alive {
+            comm.send(peer, Message::Barrier { epoch })?;
+        }
+    }
+    let expected = live.iter().filter(|&&l| l).count().saturating_sub(1);
+    let mut seen = vec![false; world];
+    for _ in 0..expected {
+        let (from, _) = comm.recv_match(|from, m| {
+            matches!(m, Message::Barrier { epoch: e } if *e == epoch) && !seen[from]
+        })?;
+        seen[from] = true;
+    }
+    Ok(())
+}
+
 /// Exchange one chunk with every rank: `chunks[j]` goes to rank `j`, the
 /// result's slot `j` holds rank `j`'s chunk for us. `seq` must be unique
 /// per collective invocation within an iteration (concurrent or back-to-
@@ -75,6 +104,60 @@ pub fn all_to_all_serviced<T: Transport>(
         }
     }
     for _ in 0..world.saturating_sub(1) {
+        let (from, msg) = comm.recv_match_or_consume(
+            |from, m| {
+                matches!(m, Message::Collective { seq: s, .. } if *s == seq)
+                    && result[from].is_none()
+            },
+            &mut consume,
+        )?;
+        match msg {
+            Message::Collective { data, .. } => result[from] = Some(data.to_vec()),
+            _ => unreachable!("predicate admits only Collective"),
+        }
+    }
+    Ok(result
+        .into_iter()
+        .map(|c| c.expect("all slots filled"))
+        .collect())
+}
+
+/// [`all_to_all_serviced`] restricted to the ranks marked live: nothing
+/// is sent to dead peers and nothing is expected from them — their
+/// result slots come back empty. The live slots are indistinguishable
+/// from a full-world exchange, so engines running degraded keep their
+/// rank-indexed bookkeeping. With everyone live this is exactly
+/// [`all_to_all_serviced`].
+pub fn all_to_all_among<T: Transport>(
+    comm: &Comm<T>,
+    seq: u64,
+    chunks: Vec<Vec<u8>>,
+    live: &[bool],
+    mut consume: impl FnMut(usize, &Message) -> bool,
+) -> Result<Vec<Vec<u8>>, CommError> {
+    let world = comm.world_size();
+    let me = comm.rank();
+    assert_eq!(chunks.len(), world, "need exactly one chunk per rank");
+    assert_eq!(live.len(), world, "one liveness flag per rank");
+    assert!(live[me], "dead rank entered a collective");
+    let mut result: Vec<Option<Vec<u8>>> = (0..world).map(|_| None).collect();
+    for (peer, chunk) in chunks.into_iter().enumerate() {
+        if peer == me {
+            result[peer] = Some(chunk);
+        } else if live[peer] {
+            comm.send(
+                peer,
+                Message::Collective {
+                    seq,
+                    data: Bytes::from(chunk),
+                },
+            )?;
+        } else {
+            result[peer] = Some(Vec::new());
+        }
+    }
+    let expected = live.iter().filter(|&&l| l).count().saturating_sub(1);
+    for _ in 0..expected {
         let (from, msg) = comm.recv_match_or_consume(
             |from, m| {
                 matches!(m, Message::Collective { seq: s, .. } if *s == seq)
@@ -201,6 +284,50 @@ mod tests {
             assert_eq!(ENTERED.load(Ordering::SeqCst), 4);
             barrier(&comm, 1).unwrap();
         });
+    }
+
+    #[test]
+    fn live_restricted_collectives_skip_dead_ranks() {
+        let out = run_workers(4, |comm| {
+            let live = vec![true, true, false, true];
+            if comm.rank() == 2 {
+                // Permanently dead: participates in nothing.
+                return Vec::new();
+            }
+            barrier_among(&comm, 5, &live).unwrap();
+            let chunks: Vec<Vec<u8>> = (0..4).map(|p| vec![comm.rank() as u8, p as u8]).collect();
+            let got = all_to_all_among(&comm, 6, chunks, &live, |_, _| false).unwrap();
+            barrier_among(&comm, 7, &live).unwrap();
+            got
+        });
+        for (rank, received) in out.iter().enumerate() {
+            if rank == 2 {
+                assert!(received.is_empty());
+                continue;
+            }
+            for (from, chunk) in received.iter().enumerate() {
+                if from == 2 {
+                    assert!(chunk.is_empty(), "dead rank slot must be empty");
+                } else {
+                    assert_eq!(chunk, &vec![from as u8, rank as u8]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_live_variants_match_the_plain_collectives() {
+        let out = run_workers(3, |comm| {
+            let live = vec![true; 3];
+            barrier_among(&comm, 0, &live).unwrap();
+            all_to_all_among(&comm, 1, vec![vec![comm.rank() as u8]; 3], &live, |_, _| {
+                false
+            })
+            .unwrap()
+        });
+        for received in out {
+            assert_eq!(received, vec![vec![0u8], vec![1u8], vec![2u8]]);
+        }
     }
 
     #[test]

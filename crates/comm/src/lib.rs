@@ -66,4 +66,4 @@ pub use faulty::{CrashAt, CrashPoint, FaultPlan, FaultyTransport, Partition};
 pub use liveness::{DeathHandle, HealthBoard, LivenessConfig, LivenessMonitor};
 pub use message::Message;
 pub use reliable::{ReliableTransport, RetransmitPolicy};
-pub use transport::{CommError, Transport, TransportStats};
+pub use transport::{seeded_jitter, CommError, Transport, TransportStats};

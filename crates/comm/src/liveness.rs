@@ -50,10 +50,13 @@ pub struct LivenessConfig {
     /// While blocked in a receive, also heartbeat at this wall-clock
     /// interval so an idle rank keeps beaconing.
     pub idle_heartbeat: Duration,
-    /// Declare a peer dead after hearing nothing from it for this long.
-    /// Only enforced when heartbeats are enabled: without them, silence
-    /// is not evidence of death.
-    pub suspect_after: Duration,
+    /// Declare a peer dead after `suspect_multiplier` idle-heartbeat
+    /// intervals of silence (the death deadline is
+    /// `idle_heartbeat × suspect_multiplier`, so retuning the heartbeat
+    /// cadence retunes the deadline with it instead of leaving a stale
+    /// absolute timeout). Only enforced when heartbeats are enabled:
+    /// without them, silence is not evidence of death.
+    pub suspect_multiplier: u32,
     /// How long each blocking-receive slice waits on the inner transport
     /// between health-board checks.
     pub poll: Duration,
@@ -64,21 +67,31 @@ impl Default for LivenessConfig {
         LivenessConfig {
             heartbeat_every_ops: 0,
             idle_heartbeat: Duration::from_millis(25),
-            suspect_after: Duration::from_secs(10),
+            suspect_multiplier: 400, // 25 ms × 400 = 10 s
             poll: Duration::from_millis(1),
         }
     }
 }
 
 impl LivenessConfig {
-    /// Heartbeats every `every_ops` sends, suspicion after `suspect_after`
-    /// of silence.
+    /// Heartbeats every `every_ops` sends, suspicion after roughly
+    /// `suspect_after` of silence (rounded up to a whole number of
+    /// idle-heartbeat intervals, minimum one).
     pub fn heartbeats(every_ops: u64, suspect_after: Duration) -> Self {
+        let base = LivenessConfig::default();
+        let interval = base.idle_heartbeat.as_nanos().max(1);
+        let multiplier = suspect_after.as_nanos().div_ceil(interval).max(1) as u32;
         LivenessConfig {
             heartbeat_every_ops: every_ops,
-            suspect_after,
-            ..LivenessConfig::default()
+            suspect_multiplier: multiplier,
+            ..base
         }
+    }
+
+    /// The silence deadline: a peer unheard-from for longer than this is
+    /// declared dead.
+    pub fn suspect_after(&self) -> Duration {
+        self.idle_heartbeat * self.suspect_multiplier
     }
 }
 
@@ -266,16 +279,19 @@ impl<T: Transport> LivenessMonitor<T> {
         }
         let me = self.inner.rank();
         for rank in 0..self.inner.world_size() {
-            if rank != me
-                && !state.acked[rank]
-                && state.last_heard[rank].elapsed() > self.cfg.suspect_after
-            {
-                let reason = format!(
-                    "no message or heartbeat for {:?} (suspect_after)",
-                    self.cfg.suspect_after
-                );
-                self.board.mark_dead(rank, &reason);
-                return Err(self.peer_dead(state, rank, reason));
+            if rank != me && !state.acked[rank] {
+                let age = state.last_heard[rank].elapsed();
+                if age > self.cfg.suspect_after() {
+                    let reason = format!(
+                        "last heartbeat from rank {rank} was {age:?} ago, past the {:?} \
+                         death deadline (idle_heartbeat {:?} × suspect_multiplier {})",
+                        self.cfg.suspect_after(),
+                        self.cfg.idle_heartbeat,
+                        self.cfg.suspect_multiplier
+                    );
+                    self.board.mark_dead(rank, &reason);
+                    return Err(self.peer_dead(state, rank, reason));
+                }
             }
         }
         Ok(())
@@ -502,9 +518,11 @@ mod tests {
     fn silent_peer_is_suspected_dead_when_heartbeats_enabled() {
         let cfg = LivenessConfig {
             heartbeat_every_ops: 1,
-            suspect_after: Duration::from_millis(30),
+            idle_heartbeat: Duration::from_millis(10),
+            suspect_multiplier: 3, // 30 ms deadline
             ..LivenessConfig::default()
         };
+        assert_eq!(cfg.suspect_after(), Duration::from_millis(30));
         let mut mesh = pair(cfg);
         let _b = mesh.pop().unwrap(); // never sends, never beats
         let a = mesh.pop().unwrap();
@@ -514,7 +532,10 @@ mod tests {
             CommError::PeerDead {
                 rank: 1, reason, ..
             } => {
-                assert!(reason.contains("suspect_after"), "{reason}");
+                // The diagnostic names the silence age and the deadline.
+                assert!(reason.contains("last heartbeat from rank 1"), "{reason}");
+                assert!(reason.contains("ago"), "{reason}");
+                assert!(reason.contains("suspect_multiplier 3"), "{reason}");
             }
             other => panic!("expected PeerDead, got {other:?}"),
         }
@@ -526,8 +547,8 @@ mod tests {
     fn live_peer_is_never_suspected_while_beating() {
         let cfg = LivenessConfig {
             heartbeat_every_ops: 1,
-            suspect_after: Duration::from_millis(80),
             idle_heartbeat: Duration::from_millis(5),
+            suspect_multiplier: 16, // 80 ms deadline
             ..LivenessConfig::default()
         };
         let mesh = monitored_mesh(2, cfg);

@@ -42,6 +42,13 @@ pub struct RetransmitPolicy {
     /// Must exceed `max_backoff` or a quiet peer's next retransmit can
     /// arrive after we stopped listening.
     pub flush_quiet: Duration,
+    /// Seed for deterministic backoff jitter (see
+    /// [`crate::transport::seeded_jitter`]): each retry sleeps up to a
+    /// quarter *less* than its exponential backoff, de-synchronizing
+    /// peers that failed in lockstep without ever missing a deadline.
+    /// Purely a wall-clock effect — delivery order guarantees and
+    /// training bits are untouched.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetransmitPolicy {
@@ -51,6 +58,7 @@ impl Default for RetransmitPolicy {
             max_backoff: Duration::from_millis(32),
             max_attempts: 40,
             flush_quiet: Duration::from_millis(80),
+            jitter_seed: 0x6a69_7474,
         }
     }
 }
@@ -218,7 +226,16 @@ impl<T: Transport> ReliableTransport<T> {
                 }
                 pending.attempts += 1;
                 pending.backoff = (pending.backoff * 2).min(self.policy.max_backoff);
-                pending.next_retry = now + pending.backoff;
+                let jitter = crate::transport::seeded_jitter(
+                    self.policy.jitter_seed,
+                    pending.attempts,
+                    pending.seq,
+                    pending.backoff,
+                );
+                if !jitter.is_zero() {
+                    state.stats.jittered_backoffs += 1;
+                }
+                pending.next_retry = now + pending.backoff - jitter;
                 state.stats.retransmits += 1;
                 let seq = pending.seq;
                 crate::obs::proto_event(self.inner.rank(), "janus_comm_retransmits_total", || {
@@ -289,12 +306,21 @@ impl<T: Transport> Transport for ReliableTransport<T> {
             data: msg.encode(),
         };
         let now = Instant::now();
+        let jitter = crate::transport::seeded_jitter(
+            self.policy.jitter_seed,
+            1,
+            seq,
+            self.policy.initial_backoff,
+        );
+        if !jitter.is_zero() {
+            state.stats.jittered_backoffs += 1;
+        }
         state.unacked[to].push_back(PendingSend {
             seq,
             envelope: envelope.clone(),
             attempts: 1,
             first_sent: now,
-            next_retry: now + self.policy.initial_backoff,
+            next_retry: now + self.policy.initial_backoff - jitter,
             backoff: self.policy.initial_backoff,
         });
         self.inner.send(to, envelope)
@@ -446,6 +472,7 @@ mod tests {
             max_backoff: Duration::from_millis(4),
             max_attempts: 60,
             flush_quiet: Duration::from_millis(10),
+            ..RetransmitPolicy::default()
         }
     }
 
@@ -631,6 +658,7 @@ mod tests {
                 max_backoff: Duration::from_millis(1),
                 max_attempts: 3,
                 flush_quiet: Duration::from_millis(2),
+                ..RetransmitPolicy::default()
             },
         );
         rel.send(1, Message::Barrier { epoch: 1 }).unwrap();

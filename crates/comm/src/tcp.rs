@@ -152,6 +152,11 @@ pub struct ConnectRetry {
     pub initial_backoff: Duration,
     /// Backoff ceiling (each failure doubles the sleep up to this).
     pub max_backoff: Duration,
+    /// Seed for deterministic backoff jitter (see
+    /// [`crate::transport::seeded_jitter`]): each sleep is shortened by
+    /// up to a quarter so a mesh's worth of ranks dialing the same slow
+    /// listener spread out instead of reconnecting in phase.
+    pub jitter_seed: u64,
 }
 
 impl Default for ConnectRetry {
@@ -162,6 +167,7 @@ impl Default for ConnectRetry {
             max_attempts: 60,
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(200),
+            jitter_seed: 0x6a69_7474,
         }
     }
 }
@@ -184,7 +190,16 @@ pub fn connect_with_retry(addr: SocketAddr, retry: &ConnectRetry) -> Result<TcpS
             Err(e) => {
                 last_err = Some(e);
                 if attempt < retry.max_attempts {
-                    thread::sleep(delay);
+                    let jitter = crate::transport::seeded_jitter(
+                        retry.jitter_seed,
+                        attempt,
+                        addr.port() as u64,
+                        delay,
+                    );
+                    if !jitter.is_zero() {
+                        crate::obs::proto_count("janus_comm_connect_jitter_total");
+                    }
+                    thread::sleep(delay - jitter);
                     delay = (delay * 2).min(retry.max_backoff);
                 }
             }
@@ -380,6 +395,7 @@ mod tests {
             max_attempts: 3,
             initial_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(2),
+            ..ConnectRetry::default()
         };
         let start = std::time::Instant::now();
         let err = connect_with_retry(dead_addr, &retry).unwrap_err();
@@ -415,6 +431,7 @@ mod tests {
             max_attempts: 1,
             initial_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(1),
+            ..ConnectRetry::default()
         };
         let t = TcpTransport::from_listener_with(0, listener, &addrs, &retry).unwrap();
         assert_eq!(t.world_size(), 1);

@@ -118,6 +118,10 @@ pub struct TransportStats {
     pub faults_delayed: u64,
     /// Messages a fault injector duplicated.
     pub faults_duplicated: u64,
+    /// Backoff sleeps shortened by deterministic seeded jitter (proof
+    /// the de-synchronization is active, since the sleep itself leaves
+    /// no other trace).
+    pub jittered_backoffs: u64,
 }
 
 impl TransportStats {
@@ -130,7 +134,32 @@ impl TransportStats {
         self.faults_dropped += o.faults_dropped;
         self.faults_delayed += o.faults_delayed;
         self.faults_duplicated += o.faults_duplicated;
+        self.jittered_backoffs += o.jittered_backoffs;
     }
+}
+
+/// Deterministic seeded backoff jitter: a value in `[0, backoff/4]`
+/// derived by FNV-mixing `(seed, attempt, seq)`, to be *subtracted*
+/// from an exponential backoff so peers that failed in lockstep (a
+/// partition healing, a mesh assembling) retry de-synchronized instead
+/// of hammering the link in phase. Subtracting keeps every retry within
+/// its original deadline, and the same `(seed, attempt, seq)` always
+/// yields the same jitter — wall-clock timing shifts, but message
+/// contents, ordering guarantees, and therefore training bits do not.
+pub fn seeded_jitter(seed: u64, attempt: u32, seq: u64, backoff: Duration) -> Duration {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in seed
+        .to_le_bytes()
+        .into_iter()
+        .chain((attempt as u64).to_le_bytes())
+        .chain(seq.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Scale the hash into [0, 1/4] of the backoff, in nanoseconds.
+    let quarter = (backoff.as_nanos() / 4) as u64;
+    Duration::from_nanos(if quarter == 0 { 0 } else { h % (quarter + 1) })
 }
 
 /// How long the default polling [`Transport::recv_timeout`] sleeps
@@ -270,6 +299,7 @@ mod tests {
             faults_dropped: 5,
             faults_delayed: 6,
             faults_duplicated: 7,
+            jittered_backoffs: 8,
         };
         a.add(&a.clone());
         assert_eq!(a.retransmits, 2);
@@ -279,5 +309,24 @@ mod tests {
         assert_eq!(a.faults_dropped, 10);
         assert_eq!(a.faults_delayed, 12);
         assert_eq!(a.faults_duplicated, 14);
+        assert_eq!(a.jittered_backoffs, 16);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_attempt_sensitive() {
+        let backoff = Duration::from_millis(8);
+        let j = seeded_jitter(7, 3, 42, backoff);
+        assert_eq!(
+            j,
+            seeded_jitter(7, 3, 42, backoff),
+            "same inputs, same jitter"
+        );
+        assert!(j <= backoff / 4, "jitter stays within a quarter backoff");
+        // Different attempts (and seeds) de-synchronize.
+        let other = seeded_jitter(7, 4, 42, backoff);
+        assert_ne!(j, other);
+        assert_ne!(j, seeded_jitter(8, 3, 42, backoff));
+        // Degenerate backoffs never underflow.
+        assert_eq!(seeded_jitter(7, 1, 1, Duration::ZERO), Duration::ZERO);
     }
 }

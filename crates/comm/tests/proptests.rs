@@ -129,6 +129,7 @@ proptest! {
             max_backoff: Duration::from_millis(4),
             max_attempts: 200,
             flush_quiet: Duration::from_millis(10),
+            ..RetransmitPolicy::default()
         };
         let mut mesh = local_mesh(2);
         let b = ReliableTransport::with_policy(

@@ -26,8 +26,17 @@
 //!   per block:  u32 n       (local experts)
 //!     per expert: u32 len + expert blob (weights.rs layout)
 //! opt     u8 kind + u32 len + bytes   (kind 0 = plain SGD, no state)
+//! placement (only when flags bit 0 is set):
+//!         epoch u64 + world u32 + live u8×world
+//!         blocks u32, per block: u32 n + owner u32×n
 //! checksum u64              (FNV-1a over every preceding byte)
 //! ```
+//!
+//! The placement section exists only for runs whose expert→rank table
+//! has diverged from the default balanced layout (elastic migration,
+//! §DESIGN 15). A default-placement checkpoint sets no flag and emits
+//! no section, so every pre-elastic checkpoint byte stream — and its
+//! checksum — is unchanged.
 //!
 //! The checksum is verified *before* any field is parsed, so a corrupted
 //! checkpoint is rejected with a clear [`CkptError::Checksum`] instead of
@@ -36,6 +45,7 @@
 use crate::exec::model::{ExecConfig, WorkerState};
 use crate::exec::obs;
 use crate::exec::weights::{expert_from_bytes, expert_to_bytes};
+use crate::placement::Placement;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use janus_moe::expert::ExpertFfn;
 use parking_lot::Mutex;
@@ -44,6 +54,8 @@ use std::fmt;
 
 const MAGIC: &[u8; 4] = b"JCK1";
 const VERSION: u16 = 1;
+/// Flags bit 0: a placement section follows the optimizer state.
+const FLAG_PLACEMENT: u16 = 0x1;
 /// Optimizer-state kind tag: plain SGD carries no state.
 const OPT_SGD: u8 = 0;
 
@@ -138,7 +150,12 @@ pub struct Checkpoint {
     pub rng_cursor: u64,
     /// The run configuration (for mismatch detection on restore).
     pub cfg: ExecConfig,
-    /// Owned expert shard: `experts[block][local_index]`.
+    /// Expert→rank table when it has diverged from the default balanced
+    /// layout (elastic migration); `None` for the default placement, so
+    /// pre-elastic checkpoints encode byte-identically.
+    pub placement: Option<Placement>,
+    /// Owned expert shard: `experts[block][local_index]`, local order =
+    /// ascending global expert id under the captured placement.
     pub experts: Vec<Vec<ExpertFfn>>,
 }
 
@@ -146,6 +163,11 @@ impl Checkpoint {
     /// Snapshot `state` after it completed `iter` iterations of the plan
     /// with digest `plan_digest`.
     pub fn capture(state: &WorkerState, iter: u64, plan_digest: u64) -> Checkpoint {
+        let placement = if state.placement.is_default() {
+            None
+        } else {
+            Some((*state.placement).clone())
+        };
         Checkpoint {
             rank: state.rank as u32,
             world: state.cfg.world() as u32,
@@ -153,8 +175,17 @@ impl Checkpoint {
             plan_digest,
             rng_cursor: state.cfg.seed,
             cfg: state.cfg.clone(),
+            placement,
             experts: state.experts.clone(),
         }
+    }
+
+    /// The expert→rank table this snapshot was captured under: the
+    /// stored one, or the config's default balanced layout.
+    pub fn effective_placement(&self) -> Placement {
+        self.placement
+            .clone()
+            .unwrap_or_else(|| WorkerState::balanced_placement(&self.cfg))
     }
 
     /// Apply this snapshot to `state`, which must have been initialized
@@ -180,11 +211,22 @@ impl Checkpoint {
                 state.cfg.world()
             )));
         }
+        let placement = self.effective_placement();
+        if *state.placement != placement {
+            return Err(CkptError::Mismatch(format!(
+                "placement differs (checkpoint epoch {} digest {:#018x}, worker epoch {} \
+                 digest {:#018x})",
+                placement.epoch,
+                placement.digest(),
+                state.placement.epoch,
+                state.placement.digest()
+            )));
+        }
         for (b, shard) in self.experts.iter().enumerate() {
-            let want = state.cfg.experts_per_worker_in(b);
+            let want = placement.owned_in(b, state.rank).len();
             if shard.len() != want {
                 return Err(CkptError::Mismatch(format!(
-                    "block {b}: checkpoint holds {} local experts, layout expects {want}",
+                    "block {b}: checkpoint holds {} local experts, placement expects {want}",
                     shard.len()
                 )));
             }
@@ -206,7 +248,12 @@ impl Checkpoint {
         });
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
-        buf.put_u32((VERSION as u32) << 16); // version high, flags low
+        let flags = if self.placement.is_some() {
+            FLAG_PLACEMENT
+        } else {
+            0
+        };
+        buf.put_u32(((VERSION as u32) << 16) | flags as u32); // version high, flags low
         buf.put_u32(self.rank);
         buf.put_u32(self.world);
         buf.put_u64(self.iter);
@@ -224,6 +271,9 @@ impl Checkpoint {
         }
         buf.put_u8(OPT_SGD);
         buf.put_u32(0); // plain SGD carries no optimizer state
+        if let Some(p) = &self.placement {
+            put_placement(&mut buf, p);
+        }
         let checksum = fnv1a(buf.as_ref());
         buf.put_u64(checksum);
         let out = buf.freeze();
@@ -277,7 +327,9 @@ impl Checkpoint {
             return Err(CkptError::BadMagic);
         }
         need(&buf, 4, "version")?;
-        let version = (buf.get_u32() >> 16) as u16;
+        let word = buf.get_u32();
+        let version = (word >> 16) as u16;
+        let flags = word as u16;
         if version != VERSION {
             return Err(CkptError::Version(version));
         }
@@ -315,9 +367,14 @@ impl Checkpoint {
         let opt_len = buf.get_u32() as usize;
         need(&buf, opt_len, "optimizer state")?;
         buf.advance(opt_len);
+        let placement = if flags & FLAG_PLACEMENT != 0 {
+            Some(get_placement(&mut buf)?)
+        } else {
+            None
+        };
         if buf.has_remaining() {
             return Err(CkptError::Decode(format!(
-                "{} trailing bytes after optimizer state",
+                "{} trailing bytes at end of checkpoint",
                 buf.remaining()
             )));
         }
@@ -328,6 +385,7 @@ impl Checkpoint {
             plan_digest,
             rng_cursor,
             cfg,
+            placement,
             experts,
         })
     }
@@ -387,6 +445,61 @@ fn get_cfg(buf: &mut Bytes) -> Result<ExecConfig, CkptError> {
         tokens,
         seed,
         lr,
+    })
+}
+
+/// Append the placement table to the wire buffer: epoch, world, live
+/// flags, then per-block owner vectors.
+fn put_placement(buf: &mut BytesMut, p: &Placement) {
+    buf.put_u64(p.epoch);
+    buf.put_u32(p.world() as u32);
+    for &alive in &p.live {
+        buf.put_u8(alive as u8);
+    }
+    buf.put_u32(p.owners.len() as u32);
+    for block in &p.owners {
+        buf.put_u32(block.len() as u32);
+        for &o in block {
+            buf.put_u32(o);
+        }
+    }
+}
+
+/// Inverse of [`put_placement`].
+fn get_placement(buf: &mut Bytes) -> Result<Placement, CkptError> {
+    let need = |buf: &Bytes, n: usize, what: &str| {
+        if buf.remaining() < n {
+            Err(CkptError::Truncated(format!(
+                "placement {what}: need {n} more bytes"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 12, "header")?;
+    let epoch = buf.get_u64();
+    let world = buf.get_u32() as usize;
+    need(buf, world, "live flags")?;
+    let live: Vec<bool> = (0..world).map(|_| buf.get_u8() != 0).collect();
+    need(buf, 4, "block count")?;
+    let blocks = buf.get_u32() as usize;
+    let mut owners = Vec::with_capacity(blocks);
+    for b in 0..blocks {
+        need(buf, 4, "owner count")?;
+        let n = buf.get_u32() as usize;
+        need(buf, n * 4, "owner vector")?;
+        let block: Vec<u32> = (0..n).map(|_| buf.get_u32()).collect();
+        if let Some(&bad) = block.iter().find(|&&o| o as usize >= world) {
+            return Err(CkptError::Decode(format!(
+                "placement block {b}: owner {bad} out of range for world {world}"
+            )));
+        }
+        owners.push(block);
+    }
+    Ok(Placement {
+        epoch,
+        owners,
+        live,
     })
 }
 
@@ -513,6 +626,45 @@ mod tests {
         let mut other = WorkerState::init(&cfg, 0);
         let err = ckpt.restore(&mut other).unwrap_err();
         assert!(matches!(err, CkptError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn default_placement_emits_no_section_and_no_flag() {
+        let (_, ckpt) = sample(0);
+        assert!(ckpt.placement.is_none());
+        let bytes = ckpt.to_bytes();
+        // Flags live in the low half of the version word at offset 4.
+        let flags = u16::from_be_bytes([bytes[6], bytes[7]]);
+        assert_eq!(flags & FLAG_PLACEMENT, 0);
+        assert_eq!(ckpt.effective_placement().epoch, 0);
+    }
+
+    #[test]
+    fn migrated_placement_roundtrips_through_the_wire() {
+        let cfg = ExecConfig::small();
+        let placement = WorkerState::balanced_placement(&cfg).drain(cfg.world() - 1);
+        let state = WorkerState::init_placed(&cfg, 0, placement.clone());
+        let ckpt = Checkpoint::capture(&state, 7, 0xBEEF);
+        assert_eq!(ckpt.placement.as_ref(), Some(&placement));
+        let bytes = ckpt.to_bytes();
+        let flags = u16::from_be_bytes([bytes[6], bytes[7]]);
+        assert_ne!(flags & FLAG_PLACEMENT, 0);
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.effective_placement(), placement);
+    }
+
+    #[test]
+    fn placement_mismatch_restore_is_rejected() {
+        let cfg = ExecConfig::small();
+        let placement = WorkerState::balanced_placement(&cfg).drain(cfg.world() - 1);
+        let state = WorkerState::init_placed(&cfg, 0, placement);
+        let ckpt = Checkpoint::capture(&state, 7, 0xBEEF);
+        // A default-placement worker must not accept a migrated shard.
+        let mut fresh = WorkerState::init(&cfg, 0);
+        let err = ckpt.restore(&mut fresh).unwrap_err();
+        assert!(err.to_string().contains("placement"), "{err}");
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::exec::model::{
 };
 use crate::exec::obs;
 use crate::exec::weights::{expert_from_bytes, expert_to_bytes, grads_from_bytes, grads_to_bytes};
+use crate::placement::Placement;
 use crate::queue::{CacheManager, CreditBuffer, GradAccumulator};
 use janus_comm::{Comm, CommError, Message, Transport};
 use janus_moe::expert::{ExpertFfn, ExpertGrads};
@@ -60,7 +61,7 @@ pub struct MachineShared {
 }
 
 impl MachineShared {
-    /// Shared state for a machine with `gpus` workers.
+    /// Shared state for a machine with `gpus` contributing workers.
     pub fn new(gpus: usize) -> Self {
         MachineShared {
             cache: CacheManager::new(),
@@ -74,6 +75,19 @@ impl MachineShared {
             .map(|_| Arc::new(MachineShared::new(cfg.gpus_per_machine)))
             .collect()
     }
+
+    /// Build one shared state per machine under an elastic placement:
+    /// the gradient pre-reduction expects one contribution per *live*
+    /// local worker (a machine with no live workers gets a placeholder
+    /// that nothing will ever touch).
+    pub fn for_cluster_placed(cfg: &ExecConfig, placement: &Placement) -> Vec<Arc<MachineShared>> {
+        (0..cfg.machines)
+            .map(|m| {
+                let live = placement.live_locals(m, cfg.gpus_per_machine).len();
+                Arc::new(MachineShared::new(live.max(1)))
+            })
+            .collect()
+    }
 }
 
 /// The data-centric protocol endpoint of one worker: serves pull requests
@@ -85,6 +99,8 @@ pub(crate) struct DcRuntime<'a, T: Transport> {
     cfg: ExecConfig,
     rank: usize,
     machine: usize,
+    /// Elastic expert placement the iteration executes under.
+    placement: Arc<Placement>,
     shared: &'a MachineShared,
     /// Snapshot of owned expert weights served to peers. Stable during
     /// the iteration (updates land only at the end) and refreshed right
@@ -111,6 +127,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
             cfg: state.cfg.clone(),
             rank: state.rank,
             machine: state.cfg.machine_of(state.rank),
+            placement: state.placement.clone(),
             shared,
             serving: RefCell::new(state.experts.clone()),
             owner_grads: state.grads_inbox.clone(),
@@ -131,12 +148,15 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
             } => {
                 let (b, e) = (*block as usize, *expert as usize);
                 assert_eq!(
-                    self.cfg.owner_of_in(b, e),
+                    self.placement.owner_of(b, e),
                     self.rank,
                     "pull request routed to non-owner"
                 );
-                let local = e - self.cfg.owned_experts_in(b, self.rank).start;
+                let local = self.placement.local_index(b, e);
                 let data = expert_to_bytes(&self.serving.borrow()[b][local]);
+                if self.cfg.machine_of(from) != self.machine {
+                    self.counters.add_remote_bytes(data.len() as u64);
+                }
                 self.comm
                     .send(
                         from,
@@ -165,11 +185,12 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
             } => {
                 let (b, e) = (*block as usize, *expert as usize);
                 let grad = grads_from_bytes(data.clone()).expect("decode gradient");
-                if self.cfg.owner_of_in(b, e) == self.rank {
+                if self.placement.owner_of(b, e) == self.rank {
                     self.add_owner_grad(b, e, from, grad, *contributions);
                 } else {
                     debug_assert_eq!(
-                        self.cfg.designated_local(self.machine, e),
+                        self.placement
+                            .designated_local(self.machine, e, self.cfg.gpus_per_machine),
                         self.rank,
                         "gradient push routed to non-aggregator"
                     );
@@ -215,7 +236,11 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
             let _span = obs::span(self.rank, "comm", || {
                 (format!("grad_ext/b{b}/e{e}"), format!("b{b}"))
             });
-            let owner = self.cfg.owner_of_in(b, e);
+            let owner = self.placement.owner_of(b, e);
+            let data = grads_to_bytes(&reduced);
+            if self.cfg.machine_of(owner) != self.machine {
+                self.counters.add_remote_bytes(data.len() as u64);
+            }
             self.comm
                 .send(
                     owner,
@@ -223,7 +248,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
                         block: b as u32,
                         expert: e as u32,
                         contributions: n as u32,
-                        data: grads_to_bytes(&reduced),
+                        data,
                     },
                 )
                 .expect("shipping pre-reduced gradient");
@@ -248,7 +273,7 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
     }
 
     fn pull_expert_inner(&self, b: usize, e: usize) -> Result<ExpertFfn, CommError> {
-        let owner = self.cfg.owner_of_in(b, e);
+        let owner = self.placement.owner_of(b, e);
         debug_assert_ne!(owner, self.rank);
         let start = Instant::now();
         let attempts = self.retry.max_attempts.max(1);
@@ -309,7 +334,9 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
                 return Ok(v);
             }
             if start.elapsed() > self.wait_budget {
-                let fetcher = self.cfg.designated_local(self.machine, e);
+                let fetcher =
+                    self.placement
+                        .designated_local(self.machine, e, self.cfg.gpus_per_machine);
                 return Err(CommError::Timeout {
                     context: format!(
                         "cache wait for expert {e} (block {b}) by rank {}: designated \
@@ -329,19 +356,20 @@ impl<'a, T: Transport> DcRuntime<'a, T> {
         }
     }
 
-    /// Barrier that keeps serving while waiting.
+    /// Barrier among the live ranks that keeps serving while waiting.
     pub(crate) fn barrier(&self, epoch: u64) -> Result<(), CommError> {
         let _span = obs::span(self.rank, "sync", || {
             (format!("barrier/{epoch}"), "sync".to_string())
         });
         let world = self.cfg.world();
         for peer in 0..world {
-            if peer != self.rank {
+            if peer != self.rank && self.placement.is_live(peer) {
                 self.comm.send(peer, Message::Barrier { epoch })?;
             }
         }
+        let expected = self.placement.live_count().saturating_sub(1);
         let mut seen = vec![false; world];
-        for _ in 0..world.saturating_sub(1) {
+        for _ in 0..expected {
             let (from, _) = self.comm.recv_match_or_consume(
                 |from, m| matches!(m, Message::Barrier { epoch: e } if *e == epoch) && !seen[from],
                 |from, m| self.service(from, m),
@@ -383,6 +411,7 @@ pub(crate) fn forward_block<T: Transport>(
     let cfg = &state.cfg;
     let rank = state.rank;
     let machine = cfg.machine_of(rank);
+    let placement = &state.placement;
     let experts = cfg.experts_in(b);
     let routing = state.gates[b].route(x);
 
@@ -390,8 +419,10 @@ pub(crate) fn forward_block<T: Transport>(
     // experts into the shared cache (the Inter-Node Scheduler's
     // hierarchical fetch).
     for e in 0..experts {
-        let owner = cfg.owner_of_in(b, e);
-        if cfg.machine_of(owner) != machine && cfg.designated_local(machine, e) == rank {
+        let owner = placement.owner_of(b, e);
+        if cfg.machine_of(owner) != machine
+            && placement.designated_local(machine, e, cfg.gpus_per_machine) == rank
+        {
             let span = obs::span(rank, "comm", || {
                 (format!("prefetch/b{b}/e{e}"), format!("b{b}"))
             });
@@ -407,7 +438,7 @@ pub(crate) fn forward_block<T: Transport>(
     // consumed the weights; the time spent waiting on a credit is what
     // the recorder surfaces as `janus_credit_wait_us`.
     let non_own = (0..experts)
-        .filter(|&e| cfg.owner_of_in(b, e) != rank)
+        .filter(|&e| placement.owner_of(b, e) != rank)
         .count();
     let credits = CreditBuffer::new(non_own.max(1) as u32);
     let mut credit_guards = Vec::with_capacity(non_own);
@@ -416,7 +447,7 @@ pub(crate) fn forward_block<T: Transport>(
     // the pull protocol, which must stay on this worker's thread.
     let mut per_expert = Vec::with_capacity(experts);
     for e in 0..experts {
-        let owner = cfg.owner_of_in(b, e);
+        let owner = placement.owner_of(b, e);
         let weights: Arc<ExpertFfn> = if owner == rank {
             Arc::new(state.owned(b, e).clone())
         } else {
@@ -515,7 +546,7 @@ pub(crate) fn backward_block<T: Transport>(
 
         // Route the gradient: own → local sum; internal → owner
         // directly; external → local aggregator for pre-reduction.
-        let owner = cfg.owner_of_in(b, e);
+        let owner = state.placement.owner_of(b, e);
         if owner == rank {
             rt.add_owner_grad(b, e, rank, s.grad.clone(), 1);
         } else if cfg.machine_of(owner) == machine {
@@ -533,7 +564,9 @@ pub(crate) fn backward_block<T: Transport>(
                 },
             )?;
         } else {
-            let agg = cfg.designated_local(machine, e);
+            let agg = state
+                .placement
+                .designated_local(machine, e, cfg.gpus_per_machine);
             if agg == rank {
                 rt.aggregate_external(b, e, rank, s.grad.clone(), 1);
             } else {
@@ -572,7 +605,11 @@ pub(crate) fn wait_and_apply_updates<T: Transport>(
 ) -> Result<(), CommError> {
     let cfg = state.cfg.clone();
     let rank = state.rank;
-    let world = cfg.world() as u32;
+    // Every live rank contributes a gradient for every expert (a rank
+    // with zero routed tokens still pushes a zero gradient); dead ranks
+    // contribute nothing, so the expected count shrinks with the
+    // placement's live set.
+    let world = state.placement.live_count() as u32;
     let arrived =
         |parts: &Vec<(usize, ExpertGrads, u32)>| parts.iter().map(|(_, _, n)| *n).sum::<u32>();
     let wait_span = obs::span(rank, "reduce", || {
@@ -584,8 +621,9 @@ pub(crate) fn wait_and_apply_updates<T: Transport>(
         let done = {
             let map = rt.owner_grads.lock();
             blocks.iter().all(|&b| {
-                cfg.owned_experts_in(b, rank)
-                    .all(|e| map.get(&(b, e)).is_some_and(|p| arrived(p) == world))
+                state.owned_ids[b]
+                    .iter()
+                    .all(|&e| map.get(&(b, e)).is_some_and(|p| arrived(p) == world))
             })
         };
         if done {
@@ -595,7 +633,7 @@ pub(crate) fn wait_and_apply_updates<T: Transport>(
             let map = rt.owner_grads.lock();
             let mut missing = Vec::new();
             for &b in blocks {
-                for e in cfg.owned_experts_in(b, rank) {
+                for &e in &state.owned_ids[b] {
                     let got = map.get(&(b, e)).map_or(0, &arrived);
                     if got != world {
                         missing.push(format!("block {b} expert {e} has {got}/{world}"));
@@ -628,8 +666,8 @@ pub(crate) fn wait_and_apply_updates<T: Transport>(
     // of the order gradient messages happened to arrive in.
     let mut map = rt.owner_grads.lock();
     for &b in blocks {
-        let owned = cfg.owned_experts_in(b, rank);
-        for e in owned.clone() {
+        let owned = state.owned_ids[b].clone();
+        for (local, e) in owned.into_iter().enumerate() {
             let mut parts = map.remove(&(b, e)).expect("waited for all contributions");
             debug_assert_eq!(arrived(&parts), world);
             parts.sort_by_key(|(sender, _, _)| *sender);
@@ -638,7 +676,7 @@ pub(crate) fn wait_and_apply_updates<T: Transport>(
             for (_, g, _) in it {
                 grad.accumulate(&g);
             }
-            state.experts[b][e - owned.start].apply(&grad, cfg.lr);
+            state.experts[b][local].apply(&grad, cfg.lr);
         }
     }
     Ok(())
@@ -653,10 +691,16 @@ pub(crate) fn finish_iteration<T: Transport>(
     iter: u64,
 ) -> Result<(), CommError> {
     rt.barrier(iter * 2)?;
-    // The machine's first worker clears the shared cache between the two
-    // barriers, so no sibling can still be reading it and no sibling can
-    // race ahead into the next iteration before it is empty.
-    if state.rank.is_multiple_of(state.cfg.gpus_per_machine) {
+    // The machine's first live worker clears the shared cache between the
+    // two barriers, so no sibling can still be reading it and no sibling
+    // can race ahead into the next iteration before it is empty.
+    let machine = state.cfg.machine_of(state.rank);
+    let first_live_local = state
+        .placement
+        .live_locals(machine, state.cfg.gpus_per_machine)
+        .first()
+        .copied();
+    if first_live_local == Some(state.rank) {
         rt.shared.cache.clear_for_next_iteration();
     }
     rt.barrier(iter * 2 + 1)

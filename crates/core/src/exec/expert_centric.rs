@@ -18,7 +18,8 @@
 use crate::exec::model::{loss_and_grad, ExecConfig, WorkerState};
 use crate::exec::obs;
 use crate::exec::weights::{tokens_from_bytes, tokens_to_bytes, Slot};
-use janus_comm::collectives::{all_to_all_serviced, barrier};
+use crate::placement::Placement;
+use janus_comm::collectives::{all_to_all_among, barrier_among};
 use janus_comm::{Comm, CommError, Message, Transport};
 use janus_moe::expert::{ExpertGrads, ExpertScratch};
 use janus_tensor::{pool, Matrix};
@@ -59,18 +60,90 @@ pub(crate) fn a2a_seq(iter: u64, block: usize, phase: u64) -> u64 {
     (iter << 16) | ((block as u64) << 4) | phase
 }
 
-/// Group this worker's routed slots for block `b` by destination rank, in
-/// (expert ascending, token ascending) order — the deterministic order
-/// both paradigms share.
-fn group_slots(cfg: &ExecConfig, b: usize, routing: &janus_moe::gate::Routing) -> Vec<Vec<Slot>> {
+/// Group this worker's routed slots for block `b` by destination rank
+/// (the placement's owner), in (expert ascending, token ascending) order
+/// — the deterministic order both paradigms share.
+fn group_slots(
+    cfg: &ExecConfig,
+    placement: &Placement,
+    b: usize,
+    routing: &janus_moe::gate::Routing,
+) -> Vec<Vec<Slot>> {
     let mut per_dst: Vec<Vec<Slot>> = vec![Vec::new(); cfg.world()];
     for e in 0..cfg.experts_in(b) {
-        let dst = cfg.owner_of_in(b, e);
+        let dst = placement.owner_of(b, e);
         for (tok, w) in routing.tokens_for(e) {
             per_dst[dst].push((tok as u32, e as u32, w));
         }
     }
     per_dst
+}
+
+/// Count the payload bytes of `chunks` addressed to live ranks on other
+/// machines — the deterministic cross-machine traffic metric the
+/// migration experiments compare before/after a swap.
+fn count_remote_bytes(state: &WorkerState, chunks: &[Vec<u8>]) {
+    let my_machine = state.cfg.machine_of(state.rank);
+    let total: u64 = chunks
+        .iter()
+        .enumerate()
+        .filter(|&(dst, _)| {
+            dst != state.rank
+                && state.placement.is_live(dst)
+                && state.cfg.machine_of(dst) != my_machine
+        })
+        .map(|(_, c)| c.len() as u64)
+        .sum();
+    state.comm.add_remote_bytes(total);
+}
+
+/// Decode received All-to-All chunks; a dead rank's slot comes back as an
+/// empty chunk and decodes to an empty batch.
+fn decode_chunks(
+    received: Vec<Vec<u8>>,
+    hidden_dim: usize,
+) -> Result<Vec<(Vec<Slot>, Matrix)>, CommError> {
+    received
+        .into_iter()
+        .map(|c| {
+            if c.is_empty() {
+                Ok((Vec::new(), Matrix::zeros(0, hidden_dim)))
+            } else {
+                tokens_from_bytes(c.into())
+            }
+        })
+        .collect()
+}
+
+/// Combine returned rows onto `y` in canonical (expert ascending, token
+/// ascending) order with the given weights. The canonical sort makes the
+/// accumulation order *placement-invariant*: with the static contiguous
+/// layout it reproduces the historical source-rank iteration bit for
+/// bit, and after a migration the same tokens still fold in the same
+/// order even though they now arrive from different ranks.
+fn combine_canonical(
+    y: &mut Matrix,
+    received: Vec<Vec<u8>>,
+    hidden_dim: usize,
+    unit_weight: bool,
+) -> Result<(), CommError> {
+    let mut combined: Vec<(Slot, Vec<f32>)> = Vec::new();
+    for chunk in received {
+        if chunk.is_empty() {
+            continue;
+        }
+        let (slots, rows) = tokens_from_bytes(chunk.into())?;
+        debug_assert_eq!(rows.cols(), hidden_dim);
+        for (i, slot) in slots.iter().enumerate() {
+            combined.push((*slot, rows.row(i).to_vec()));
+        }
+    }
+    combined.sort_by_key(|((tok, e, _), _)| (*e, *tok));
+    for ((tok, _e, w), row) in &combined {
+        let w = if unit_weight { 1.0 } else { *w };
+        y.scatter_add_rows(&[*tok as usize], &[w], &rows_to_matrix_one(row));
+    }
+    Ok(())
 }
 
 /// Expert-centric forward for one block: dispatch All-to-All, owned-expert
@@ -87,8 +160,9 @@ pub(crate) fn forward_block<T: Transport>(
 ) -> Result<(Matrix, BlockTapeEc), CommError> {
     let cfg = &state.cfg;
     let world = cfg.world();
+    let placement = &state.placement;
     let routing = state.gates[b].route(x);
-    let sent = group_slots(cfg, b, &routing);
+    let sent = group_slots(cfg, placement, b, &routing);
 
     // Dispatch A2A.
     let chunks: Vec<Vec<u8>> = sent
@@ -98,27 +172,27 @@ pub(crate) fn forward_block<T: Transport>(
             tokens_to_bytes(slots, &x.gather_rows(&idx)).to_vec()
         })
         .collect();
+    count_remote_bytes(state, &chunks);
     let a2a_span = obs::span(state.rank, "comm", || {
         (format!("a2a_dispatch/b{b}"), format!("b{b}"))
     });
-    let received = all_to_all_serviced(comm, a2a_seq(iter, b, 0), chunks, &mut *service)?;
+    let received = all_to_all_among(comm, a2a_seq(iter, b, 0), chunks, &placement.live, {
+        let service = &mut *service;
+        move |from, m| service(from, m)
+    })?;
     obs::end_into(a2a_span, "janus_a2a_us");
 
     // Build per-owned-expert batches in (src asc, slot order) order.
-    let decoded: Vec<(Vec<Slot>, Matrix)> = received
-        .into_iter()
-        .map(|c| tokens_from_bytes(c.into()))
-        .collect::<Result<_, _>>()?;
-    let owned = cfg.owned_experts_in(b, state.rank);
-    let e0 = owned.start;
+    let decoded = decode_chunks(received, cfg.hidden_dim)?;
+    let owned_ids = &state.owned_ids[b];
     // Per-owned-expert batch assembly + forward as parallel tasks;
     // each expert's activation tape is recorded in its scratch slot.
     let origins_per: Vec<Vec<(usize, usize, Slot)>> = {
         let decoded = &decoded;
         let experts = &state.experts;
         let rank = state.rank;
-        pool::run_tasks(owned.len(), |local| {
-            let e = e0 + local;
+        pool::run_tasks(owned_ids.len(), |local| {
+            let e = owned_ids[local];
             let _span = obs::span(rank, "compute", || {
                 (format!("fwd/b{b}/e{e}"), format!("b{b}"))
             });
@@ -145,7 +219,7 @@ pub(crate) fn forward_block<T: Transport>(
     let mut returns: Vec<(Vec<Slot>, Vec<Vec<f32>>)> =
         (0..world).map(|_| (Vec::new(), Vec::new())).collect();
     for (local, origins) in origins_per.into_iter().enumerate() {
-        let e = e0 + local;
+        let e = owned_ids[local];
         let s = state.scratch_slot(b, e).lock();
         for (i, (src, _, slot)) in origins.iter().enumerate() {
             returns[*src].0.push(*slot);
@@ -159,21 +233,21 @@ pub(crate) fn forward_block<T: Transport>(
         .iter()
         .map(|(slots, rows)| tokens_to_bytes(slots, &rows_to_matrix(rows, cfg.hidden_dim)).to_vec())
         .collect();
+    count_remote_bytes(state, &chunks);
     let a2a_span = obs::span(state.rank, "comm", || {
         (format!("a2a_combine/b{b}"), format!("b{b}"))
     });
-    let received = all_to_all_serviced(comm, a2a_seq(iter, b, 1), chunks, &mut *service)?;
+    let received = all_to_all_among(comm, a2a_seq(iter, b, 1), chunks, &placement.live, {
+        let service = &mut *service;
+        move |from, m| service(from, m)
+    })?;
     obs::end_into(a2a_span, "janus_a2a_us");
 
-    // y = x + Σ wₖ·expertₖ(x): iterate sources in rank order, which is
-    // expert-ascending order because expert ownership is contiguous.
+    // y = x + Σ wₖ·expertₖ(x), folded in canonical (expert, token)
+    // order — placement-invariant, and bitwise the historical
+    // source-rank order under the static contiguous layout.
     let mut y = x.clone();
-    for chunk in received {
-        let (slots, rows) = tokens_from_bytes(chunk.into())?;
-        for (i, (tok, _e, w)) in slots.iter().enumerate() {
-            y.scatter_add_rows(&[*tok as usize], &[*w], &rows_to_matrix_one(rows.row(i)));
-        }
-    }
+    combine_canonical(&mut y, received, cfg.hidden_dim, false)?;
     Ok((
         y,
         BlockTapeEc {
@@ -199,6 +273,7 @@ pub(crate) fn backward_block<T: Transport>(
 ) -> Result<(Matrix, Vec<ExpertGrads>), CommError> {
     let cfg = &state.cfg;
     let world = cfg.world();
+    let placement = &state.placement;
     let h = cfg.hidden_dim;
     // Send ∂L/∂(expert output) for every dispatched slot: w·dy[token].
     let chunks: Vec<Vec<u8>> = tape
@@ -216,15 +291,16 @@ pub(crate) fn backward_block<T: Transport>(
             tokens_to_bytes(slots, &rows_to_matrix(&rows, h)).to_vec()
         })
         .collect();
+    count_remote_bytes(state, &chunks);
     let a2a_span = obs::span(state.rank, "comm", || {
         (format!("a2a_grad_dispatch/b{b}"), format!("b{b}"))
     });
-    let received = all_to_all_serviced(comm, a2a_seq(iter, b, 2), chunks, &mut *service)?;
+    let received = all_to_all_among(comm, a2a_seq(iter, b, 2), chunks, &placement.live, {
+        let service = &mut *service;
+        move |from, m| service(from, m)
+    })?;
     obs::end_into(a2a_span, "janus_a2a_us");
-    let decoded: Vec<(Vec<Slot>, Matrix)> = received
-        .into_iter()
-        .map(|c| tokens_from_bytes(c.into()))
-        .collect::<Result<_, _>>()?;
+    let decoded = decode_chunks(received, h)?;
 
     // Expert backward, one sub-batch per source rank, as parallel tasks.
     // Each source's rows form a contiguous run of the forward batch (the
@@ -237,7 +313,6 @@ pub(crate) fn backward_block<T: Transport>(
         let decoded = &decoded;
         let experts = &state.experts;
         let tape_experts = &tape.experts;
-        let e0 = cfg.owned_experts_in(b, state.rank).start;
         let rank = state.rank;
         pool::run_tasks(tape_experts.len(), |ti| {
             let tape_e = &tape_experts[ti];
@@ -245,16 +320,24 @@ pub(crate) fn backward_block<T: Transport>(
                 let e = tape_e.expert;
                 (format!("bwd/b{b}/e{e}"), format!("b{b}"))
             });
-            let local = tape_e.expert - e0;
+            let local = ti;
+            debug_assert_eq!(state.owned_ids[b][local], tape_e.expert);
             let weights = &experts[b][local];
             let origins = &tape_e.origins;
             let mut s = state.scratch_slot(b, tape_e.expert).lock();
             s.dx.resize(origins.len(), h);
             let mut sub = ExpertScratch::new();
             let mut dy_src = Matrix::zeros(0, 0);
-            let mut per_src: Vec<ExpertGrads> = Vec::with_capacity(world);
+            let mut per_src: Vec<(usize, ExpertGrads)> = Vec::with_capacity(world);
             let mut r0 = 0;
             for (src, (_, mat)) in decoded.iter().enumerate() {
+                // A permanently dead source contributes nothing — its
+                // tokens are gone, not zero (matching the degraded
+                // data-centric accumulation, which only ever sees live
+                // contributions).
+                if !placement.is_live(src) {
+                    continue;
+                }
                 let mut r1 = r0;
                 while r1 < origins.len() && origins[r1].0 == src {
                     r1 += 1;
@@ -274,10 +357,10 @@ pub(crate) fn backward_block<T: Transport>(
                 for i in 0..n {
                     s.dx.row_mut(r0 + i).copy_from_slice(sub.dx.row(i));
                 }
-                per_src.push(sub.grad.clone());
+                per_src.push((src, sub.grad.clone()));
                 r0 = r1;
             }
-            fold_like_dc(cfg, b, tape_e.expert, per_src)
+            fold_like_dc(cfg, placement, b, tape_e.expert, per_src)
         })
     };
     // Route dx home, experts ascending.
@@ -294,48 +377,65 @@ pub(crate) fn backward_block<T: Transport>(
         .iter()
         .map(|(slots, rows)| tokens_to_bytes(slots, &rows_to_matrix(rows, h)).to_vec())
         .collect();
+    count_remote_bytes(state, &chunks);
     let a2a_span = obs::span(state.rank, "comm", || {
         (format!("a2a_dx_return/b{b}"), format!("b{b}"))
     });
-    let received = all_to_all_serviced(comm, a2a_seq(iter, b, 3), chunks, &mut *service)?;
+    let received = all_to_all_among(comm, a2a_seq(iter, b, 3), chunks, &placement.live, {
+        let service = &mut *service;
+        move |from, m| service(from, m)
+    })?;
     obs::end_into(a2a_span, "janus_a2a_us");
 
-    // dx = dy (residual) + returned expert input-gradients.
+    // dx = dy (residual) + returned expert input-gradients, folded in
+    // the same canonical (expert, token) order as the forward combine.
     let mut dx = dy.clone();
-    for chunk in received {
-        let (slots, rows) = tokens_from_bytes(chunk.into())?;
-        for (i, (tok, _e, _w)) in slots.iter().enumerate() {
-            dx.scatter_add_rows(&[*tok as usize], &[1.0], &rows_to_matrix_one(rows.row(i)));
-        }
-    }
+    combine_canonical(&mut dx, received, h, true)?;
     Ok((dx, grads))
 }
 
 /// Fold per-source gradients of one owned expert exactly the way the
-/// data-centric path does: workers on machines other than the owner's are
-/// pre-reduced ascending into one part attributed to that machine's
-/// designated aggregator, owner-machine workers contribute individually,
-/// and the parts fold ascending by sender rank.
-fn fold_like_dc(cfg: &ExecConfig, b: usize, e: usize, per_src: Vec<ExpertGrads>) -> ExpertGrads {
-    let owner_machine = cfg.machine_of(cfg.owner_of_in(b, e));
+/// data-centric path does: live workers on machines other than the
+/// owner's are pre-reduced ascending into one part attributed to that
+/// machine's (live) designated aggregator, owner-machine workers
+/// contribute individually, and the parts fold ascending by sender rank.
+/// `per_src` holds `(source rank, gradient)` pairs, rank-ascending, live
+/// sources only — a dead rank's tokens are gone, so it has no part.
+fn fold_like_dc(
+    cfg: &ExecConfig,
+    placement: &Placement,
+    b: usize,
+    e: usize,
+    per_src: Vec<(usize, ExpertGrads)>,
+) -> ExpertGrads {
+    let owner_machine = cfg.machine_of(placement.owner_of(b, e));
     let mut parts: Vec<(usize, ExpertGrads)> = Vec::new();
-    for (machine, machine_srcs) in per_src.chunks(cfg.gpus_per_machine).enumerate() {
-        let first_rank = machine * cfg.gpus_per_machine;
+    for machine in 0..cfg.machines {
+        let machine_srcs: Vec<&(usize, ExpertGrads)> = per_src
+            .iter()
+            .filter(|(src, _)| cfg.machine_of(*src) == machine)
+            .collect();
+        if machine_srcs.is_empty() {
+            continue;
+        }
         if machine == owner_machine {
-            for (i, g) in machine_srcs.iter().enumerate() {
-                parts.push((first_rank + i, g.clone()));
+            for (src, g) in machine_srcs {
+                parts.push((*src, g.clone()));
             }
         } else {
-            let mut sum = machine_srcs[0].clone();
-            for g in &machine_srcs[1..] {
+            let mut sum = machine_srcs[0].1.clone();
+            for (_, g) in &machine_srcs[1..] {
                 sum.accumulate(g);
             }
-            parts.push((cfg.designated_local(machine, e), sum));
+            parts.push((
+                placement.designated_local(machine, e, cfg.gpus_per_machine),
+                sum,
+            ));
         }
     }
     parts.sort_by_key(|(sender, _)| *sender);
     let mut it = parts.into_iter();
-    let (_, mut grad) = it.next().expect("at least one machine");
+    let (_, mut grad) = it.next().expect("at least one live machine");
     for (_, g) in it {
         grad.accumulate(&g);
     }
@@ -384,7 +484,7 @@ pub fn run_iteration<T: Transport>(
     let sync_span = obs::span(state.rank, "sync", || {
         (format!("barrier/{iter}"), "sync".to_string())
     });
-    barrier(comm, iter)?;
+    barrier_among(comm, iter, &state.placement.live)?;
     drop(sync_span);
     state.comm.record_transport(comm.transport().stats());
     drop(iter_span);

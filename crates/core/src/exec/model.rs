@@ -6,6 +6,7 @@
 //! add identical local compute to both paradigms and are omitted; the
 //! simulation engines model their cost instead.
 
+use crate::placement::Placement;
 use crate::plan::{IterationPlan, PlanOpts};
 use crate::queue::CacheStats;
 use janus_comm::TransportStats;
@@ -118,6 +119,20 @@ pub struct CommCounters {
     /// Latest cache-effectiveness snapshot (machine-level cache stats +
     /// gradient prefolds), recorded by the data-centric paths.
     cache: Mutex<(CacheStats, u64)>,
+    /// Payload bytes this worker addressed to ranks on *other* machines
+    /// (dispatch chunks, expert pulls, gradient pushes). Deterministic
+    /// for a given seed and placement, so migration experiments can
+    /// assert cross-machine traffic dropped, bit for bit.
+    remote_bytes: AtomicU64,
+    /// Committed expert migrations this worker took part in (as sender,
+    /// receiver, or orphan adopter).
+    migrations: AtomicU64,
+    /// Expert-state bytes moved by those migrations.
+    migration_bytes: AtomicU64,
+    /// Placement epochs committed past the one the run started from.
+    epoch_bumps: AtomicU64,
+    /// 1 once the worker runs under a placement with dead ranks.
+    degraded: AtomicU64,
 }
 
 impl CommCounters {
@@ -152,6 +167,29 @@ impl CommCounters {
         *self.cache.lock() = (stats, grad_prefolds);
     }
 
+    /// Count payload bytes addressed to a rank on another machine.
+    pub fn add_remote_bytes(&self, n: u64) {
+        self.remote_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A committed expert migration moved `bytes` of expert state
+    /// through (or into) this worker.
+    pub fn record_migration(&self, bytes: u64) {
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+        self.migration_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A new placement epoch was committed.
+    pub fn record_epoch_bump(&self) {
+        self.epoch_bumps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The worker is running degraded (at least one rank permanently
+    /// dead in its placement).
+    pub fn set_degraded(&self) {
+        self.degraded.store(1, Ordering::Relaxed);
+    }
+
     /// Copy out everything for reporting.
     pub fn snapshot(&self) -> CommSnapshot {
         let t = *self.transport.lock();
@@ -166,10 +204,16 @@ impl CommCounters {
             faults_dropped: t.faults_dropped,
             faults_delayed: t.faults_delayed,
             faults_duplicated: t.faults_duplicated,
+            jittered_backoffs: t.jittered_backoffs,
             cache_fetches: c.fetches,
             cache_hits: c.hits,
             cache_misses: c.misses,
             grad_prefolds: prefolds,
+            remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            migration_bytes: self.migration_bytes.load(Ordering::Relaxed),
+            epoch_bumps: self.epoch_bumps.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -196,6 +240,8 @@ pub struct CommSnapshot {
     pub faults_delayed: u64,
     /// Messages duplicated by fault injection.
     pub faults_duplicated: u64,
+    /// Backoff sleeps shortened by deterministic seeded jitter.
+    pub jittered_backoffs: u64,
     /// Expert fetches performed by this worker's machine cache (§5.1.2).
     pub cache_fetches: u64,
     /// Cache lookups served without a cross-machine pull.
@@ -204,6 +250,16 @@ pub struct CommSnapshot {
     pub cache_misses: u64,
     /// Gradient contributions folded away by pre-reduction.
     pub grad_prefolds: u64,
+    /// Payload bytes addressed to ranks on other machines.
+    pub remote_bytes: u64,
+    /// Committed expert migrations this worker took part in.
+    pub migrations: u64,
+    /// Expert-state bytes moved by migrations.
+    pub migration_bytes: u64,
+    /// Placement epochs committed past the starting one.
+    pub epoch_bumps: u64,
+    /// 1 when the worker ran degraded (a rank permanently dead).
+    pub degraded: u64,
 }
 
 impl CommSnapshot {
@@ -218,10 +274,16 @@ impl CommSnapshot {
         self.faults_dropped += other.faults_dropped;
         self.faults_delayed += other.faults_delayed;
         self.faults_duplicated += other.faults_duplicated;
+        self.jittered_backoffs += other.jittered_backoffs;
         self.cache_fetches += other.cache_fetches;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.grad_prefolds += other.grad_prefolds;
+        self.remote_bytes += other.remote_bytes;
+        self.migrations += other.migrations;
+        self.migration_bytes += other.migration_bytes;
+        self.epoch_bumps += other.epoch_bumps;
+        self.degraded = self.degraded.max(other.degraded);
     }
 }
 
@@ -410,6 +472,13 @@ pub struct WorkerState {
     pub cfg: ExecConfig,
     /// This worker's rank.
     pub rank: usize,
+    /// Elastic expert placement this worker is executing under. Epoch 0
+    /// balanced by default; the elastic driver installs migrated tables.
+    /// Shared so the per-iteration runtimes can consult it cheaply.
+    pub placement: Arc<Placement>,
+    /// Cached `placement.owned_in(b, rank)` per block: `owned[b][i]` is
+    /// the global id of `experts[b][i]`.
+    pub owned_ids: Vec<Vec<usize>>,
     /// Replicated gates, one per block (identical on every worker).
     pub gates: Vec<TopKGate>,
     /// Owned experts: `experts[block][local_index]`.
@@ -443,16 +512,39 @@ impl WorkerState {
     /// `(seed, block, expert)` — *not* on which worker materializes them —
     /// so every engine builds bit-identical weights.
     pub fn init(cfg: &ExecConfig, rank: usize) -> Self {
+        Self::init_placed(cfg, rank, Self::balanced_placement(cfg))
+    }
+
+    /// The epoch-0 balanced placement for `cfg` (the static layout).
+    pub fn balanced_placement(cfg: &ExecConfig) -> Placement {
+        let counts: Vec<usize> = (0..cfg.blocks).map(|b| cfg.experts_in(b)).collect();
+        Placement::balanced(&counts, cfg.world())
+    }
+
+    /// [`init`](Self::init) under an explicit placement: the worker
+    /// materializes exactly the experts the table assigns it, in
+    /// ascending global-id order. Because expert weights are seeded by
+    /// `(seed, block, expert)` alone, a fresh worker can be launched
+    /// from *any* placement with bit-identical initial weights — the
+    /// reference runs of the migration chaos tests rely on this.
+    pub fn init_placed(cfg: &ExecConfig, rank: usize, placement: Placement) -> Self {
+        placement.assert_valid();
+        assert_eq!(placement.world(), cfg.world(), "placement world mismatch");
         let gates = (0..cfg.blocks)
             .map(|b| {
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xA11CE << 8) ^ b as u64);
                 TopKGate::new(cfg.hidden_dim, cfg.experts_in(b), cfg.top_k, &mut rng)
             })
             .collect();
-        let experts = (0..cfg.blocks)
-            .map(|b| {
-                cfg.owned_experts_in(b, rank)
-                    .map(|e| expert_weights(cfg, b, e))
+        let owned_ids: Vec<Vec<usize>> = (0..cfg.blocks)
+            .map(|b| placement.owned_in(b, rank))
+            .collect();
+        let experts = owned_ids
+            .iter()
+            .enumerate()
+            .map(|(b, ids)| {
+                ids.iter()
+                    .map(|&e| expert_weights(cfg, b, e))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -464,6 +556,8 @@ impl WorkerState {
         WorkerState {
             cfg: cfg.clone(),
             rank,
+            placement: Arc::new(placement),
+            owned_ids,
             gates,
             experts,
             inputs,
@@ -487,28 +581,60 @@ impl WorkerState {
         expert_weights(cfg, b, e)
     }
 
+    /// Local shard index of an owned expert, panicking with the expert
+    /// named when the placement does not assign it here.
+    pub fn local_index(&self, block: usize, e: usize) -> usize {
+        match self.owned_ids[block].binary_search(&e) {
+            Ok(i) => i,
+            Err(_) => panic!(
+                "expert {e} (block {block}) not owned by rank {} under placement epoch {}",
+                self.rank, self.placement.epoch
+            ),
+        }
+    }
+
     /// Mutable access to an owned expert by global id.
     pub fn owned_mut(&mut self, block: usize, e: usize) -> &mut ExpertFfn {
-        let per = self.cfg.experts_per_worker_in(block);
-        assert_eq!(
-            self.cfg.owner_of_in(block, e),
-            self.rank,
-            "expert {e} not owned by rank {}",
-            self.rank
-        );
-        &mut self.experts[block][e % per]
+        let i = self.local_index(block, e);
+        &mut self.experts[block][i]
     }
 
     /// Shared access to an owned expert by global id.
     pub fn owned(&self, block: usize, e: usize) -> &ExpertFfn {
-        let per = self.cfg.experts_per_worker_in(block);
-        assert_eq!(
-            self.cfg.owner_of_in(block, e),
-            self.rank,
-            "expert {e} not owned by rank {}",
-            self.rank
-        );
-        &self.experts[block][e % per]
+        let i = self.local_index(block, e);
+        &self.experts[block][i]
+    }
+
+    /// Re-shard the worker onto `next`: experts owned under both tables
+    /// are carried over bitwise, experts gained are requested from
+    /// `provide` (the migration protocol hands over the sender's blob,
+    /// or a checkpointed orphan), experts lost are dropped. The swap is
+    /// atomic from the engines' point of view — it happens between
+    /// iterations, after the commit barrier.
+    pub fn remap_experts(
+        &mut self,
+        next: Placement,
+        mut provide: impl FnMut(usize, usize) -> ExpertFfn,
+    ) {
+        next.assert_valid();
+        assert_eq!(next.world(), self.cfg.world(), "placement world mismatch");
+        let mut new_experts = Vec::with_capacity(self.cfg.blocks);
+        let mut new_owned = Vec::with_capacity(self.cfg.blocks);
+        for b in 0..self.cfg.blocks {
+            let ids = next.owned_in(b, self.rank);
+            let shard = ids
+                .iter()
+                .map(|&e| match self.owned_ids[b].binary_search(&e) {
+                    Ok(i) => self.experts[b][i].clone(),
+                    Err(_) => provide(b, e),
+                })
+                .collect();
+            new_experts.push(shard);
+            new_owned.push(ids);
+        }
+        self.experts = new_experts;
+        self.owned_ids = new_owned;
+        self.placement = Arc::new(next);
     }
 }
 

@@ -356,7 +356,7 @@ fn run_round(
 /// replay does not immediately die again. Injected panics name their
 /// trigger (`… at iteration N` / `… at send op N`), which is parsed back
 /// here rather than threading shared mutable state through the mesh.
-fn disarm(plan: &mut FaultPlan, rank: usize, msg: &str) {
+pub(crate) fn disarm(plan: &mut FaultPlan, rank: usize, msg: &str) {
     let parse_after = |needle: &str| -> Option<u64> {
         let at = msg.find(needle)? + needle.len();
         let rest = &msg[at..];

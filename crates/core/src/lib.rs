@@ -30,6 +30,7 @@
 
 pub mod ckpt;
 pub mod paradigm;
+pub mod placement;
 pub mod plan;
 pub mod priority;
 pub mod queue;
@@ -54,6 +55,7 @@ pub mod sim {
 pub mod exec {
     //! Numerical training engines over real message transports.
     pub mod data_centric;
+    pub mod elastic;
     pub mod expert_centric;
     pub mod model;
     pub(crate) mod obs;
@@ -64,4 +66,5 @@ pub mod exec {
 }
 
 pub use paradigm::{choose_paradigm, Paradigm, ParadigmPolicy};
+pub use placement::{Move, Placement};
 pub use plan::{Fnv64, IterationPlan, PlanOpts};

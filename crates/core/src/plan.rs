@@ -25,6 +25,7 @@
 //!   (Figures 8-9).
 
 use crate::paradigm::{paradigm_for_block, Paradigm, ParadigmPolicy};
+use crate::placement::Placement;
 use crate::priority::{internal_pull_order, naive_pull_order, pcie_split};
 use janus_moe::config::ModelConfig;
 use janus_moe::traffic::r_per_block;
@@ -241,6 +242,10 @@ pub struct IterationPlan {
     pub credits: u32,
     /// Per-block schedule, one entry per model block.
     pub blocks: Vec<BlockPlan>,
+    /// Elastic expert placement epoch (`None` = the static epoch-0
+    /// layout, which keeps pre-elastic plan digests byte-identical).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub placement: Option<Placement>,
 }
 
 impl IterationPlan {
@@ -274,7 +279,17 @@ impl IterationPlan {
             prefetch_window: if opts.prefetch { blocks.len() } else { 0 },
             credits: opts.credits,
             blocks,
+            placement: None,
         }
+    }
+
+    /// The same plan pinned to an explicit placement epoch. The digest
+    /// then covers the expert→rank table, so two plans that differ only
+    /// in where experts live hash differently.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        placement.assert_valid();
+        self.placement = Some(placement);
+        self
     }
 
     /// Per-block paradigms, in block order.
@@ -337,6 +352,12 @@ impl IterationPlan {
                     }
                 }
             }
+        }
+        // Folded only when present, so plans without a placement keep
+        // their historical digests.
+        if let Some(p) = &self.placement {
+            h.byte(1);
+            p.fold(&mut h);
         }
         h.finish()
     }
@@ -591,6 +612,22 @@ mod tests {
             let other = IterationPlan::compile(&model, &c, &changed);
             assert_ne!(a.digest(), other.digest(), "{changed:?}");
         }
+    }
+
+    #[test]
+    fn placement_moves_the_digest_only_when_present() {
+        use janus_moe::config::ModelPreset;
+        let model = ModelPreset::MoeBert.config(16);
+        let c = cluster(2, 8);
+        let base = IterationPlan::compile(&model, &c, &PlanOpts::default());
+        let counts: Vec<usize> = base.blocks.iter().map(|b| b.experts.max(16)).collect();
+        let balanced = Placement::balanced(&counts, 16);
+        let pinned = base.clone().with_placement(balanced.clone());
+        // Pinning any placement (even the balanced one) is digest-visible;
+        // a migrated epoch moves it again.
+        assert_ne!(base.digest(), pinned.digest());
+        let drained = base.clone().with_placement(balanced.drain(3));
+        assert_ne!(pinned.digest(), drained.digest());
     }
 
     #[test]

@@ -40,9 +40,11 @@
 
 pub mod fair;
 pub mod graph;
+pub mod migrate;
 pub mod sim;
 pub mod trace;
 
 pub use graph::{Graph, GraphBuilder, LaneId, PoolId, TaskId, TaskSpec, Work};
+pub use migrate::{price_migration, MigrationEstimate, MigrationFlow, MigrationNet};
 pub use sim::{simulate, SimError};
 pub use trace::{SimResult, TaskRecord};

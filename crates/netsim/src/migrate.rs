@@ -1,0 +1,206 @@
+//! Deterministic pricing of expert-migration traffic.
+//!
+//! A placement change ships whole expert blobs between machines at an
+//! iteration boundary. This module answers, without running anything,
+//! "how long will that bulk move take and how many cross-machine bytes
+//! does it cost?" using the same fluid model as the simulator: each
+//! machine has one uplink and one downlink of fixed capacity, a
+//! cross-machine blob is a flow over `[uplink(src), downlink(dst)]`,
+//! all concurrent flows share links max-min fairly
+//! ([`crate::fair::max_min_rates`]), and the makespan is the slowest
+//! flow's finish time. Intra-machine moves (NVLink/PCIe copies, orders
+//! of magnitude faster than the network) are priced as free.
+//!
+//! The estimate is a pure function of its inputs, so the elastic driver
+//! can weigh "pay this migration now" against "keep eating the skew"
+//! deterministically — the same decision on every rank and every rerun.
+
+use crate::fair::max_min_rates;
+use janus_topology::LinkId;
+
+/// Per-machine network capacity for migration pricing: every machine
+/// gets one uplink and one downlink of the given byte-per-second rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationNet {
+    /// Number of machines.
+    pub machines: usize,
+    /// Uplink capacity per machine, bytes/second.
+    pub uplink_bps: f64,
+    /// Downlink capacity per machine, bytes/second.
+    pub downlink_bps: f64,
+}
+
+impl MigrationNet {
+    /// A symmetric network: every machine sends and receives at `bps`.
+    pub fn symmetric(machines: usize, bps: f64) -> Self {
+        MigrationNet {
+            machines,
+            uplink_bps: bps,
+            downlink_bps: bps,
+        }
+    }
+
+    fn uplink(&self, machine: usize) -> LinkId {
+        LinkId(2 * machine)
+    }
+
+    fn downlink(&self, machine: usize) -> LinkId {
+        LinkId(2 * machine + 1)
+    }
+
+    fn capacities(&self) -> Vec<f64> {
+        (0..self.machines)
+            .flat_map(|_| [self.uplink_bps, self.downlink_bps])
+            .collect()
+    }
+}
+
+/// One expert blob in flight: `bytes` moving from `src_machine` to
+/// `dst_machine`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationFlow {
+    /// Machine losing the expert.
+    pub src_machine: usize,
+    /// Machine gaining the expert.
+    pub dst_machine: usize,
+    /// Serialized expert-state size.
+    pub bytes: u64,
+}
+
+/// What a migration costs under the fluid model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationEstimate {
+    /// Seconds until the last cross-machine blob lands, with every
+    /// concurrent flow sharing uplinks/downlinks max-min fairly.
+    pub makespan_s: f64,
+    /// Bytes that actually cross the network.
+    pub cross_machine_bytes: u64,
+    /// Bytes that move within a machine (priced as free).
+    pub intra_machine_bytes: u64,
+    /// Number of cross-machine flows.
+    pub cross_flows: usize,
+}
+
+/// Price `flows` against `net`. Deterministic: the estimate depends only
+/// on the arguments, never on iteration order or wall-clock.
+pub fn price_migration(net: &MigrationNet, flows: &[MigrationFlow]) -> MigrationEstimate {
+    for f in flows {
+        assert!(
+            f.src_machine < net.machines && f.dst_machine < net.machines,
+            "flow {f:?} references a machine outside the {}-machine net",
+            net.machines
+        );
+    }
+    let cross: Vec<&MigrationFlow> = flows
+        .iter()
+        .filter(|f| f.src_machine != f.dst_machine && f.bytes > 0)
+        .collect();
+    let intra_machine_bytes = flows
+        .iter()
+        .filter(|f| f.src_machine == f.dst_machine)
+        .map(|f| f.bytes)
+        .sum();
+    let routes: Vec<Vec<LinkId>> = cross
+        .iter()
+        .map(|f| vec![net.uplink(f.src_machine), net.downlink(f.dst_machine)])
+        .collect();
+    let rates = max_min_rates(&routes, &net.capacities());
+    let makespan_s = cross
+        .iter()
+        .zip(&rates)
+        .map(|(f, &rate)| f.bytes as f64 / rate)
+        .fold(0.0, f64::max);
+    MigrationEstimate {
+        makespan_s,
+        cross_machine_bytes: cross.iter().map(|f| f.bytes).sum(),
+        intra_machine_bytes,
+        cross_flows: cross.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_takes_bytes_over_bandwidth() {
+        let net = MigrationNet::symmetric(2, 100.0);
+        let est = price_migration(
+            &net,
+            &[MigrationFlow {
+                src_machine: 0,
+                dst_machine: 1,
+                bytes: 500,
+            }],
+        );
+        assert!((est.makespan_s - 5.0).abs() < 1e-9, "{est:?}");
+        assert_eq!(est.cross_machine_bytes, 500);
+        assert_eq!(est.cross_flows, 1);
+    }
+
+    #[test]
+    fn flows_sharing_an_uplink_halve_their_rate() {
+        let net = MigrationNet::symmetric(3, 100.0);
+        // Both blobs leave machine 0: its uplink is the bottleneck.
+        let flows = [
+            MigrationFlow {
+                src_machine: 0,
+                dst_machine: 1,
+                bytes: 500,
+            },
+            MigrationFlow {
+                src_machine: 0,
+                dst_machine: 2,
+                bytes: 500,
+            },
+        ];
+        let est = price_migration(&net, &flows);
+        assert!((est.makespan_s - 10.0).abs() < 1e-9, "{est:?}");
+        // Disjoint destinations with separate sources would finish in 5 s.
+        let spread = [
+            flows[0],
+            MigrationFlow {
+                src_machine: 1,
+                dst_machine: 2,
+                bytes: 500,
+            },
+        ];
+        let est2 = price_migration(&net, &spread);
+        assert!((est2.makespan_s - 5.0).abs() < 1e-9, "{est2:?}");
+    }
+
+    #[test]
+    fn intra_machine_moves_are_free() {
+        let net = MigrationNet::symmetric(2, 100.0);
+        let est = price_migration(
+            &net,
+            &[MigrationFlow {
+                src_machine: 1,
+                dst_machine: 1,
+                bytes: 4096,
+            }],
+        );
+        assert_eq!(est.makespan_s, 0.0);
+        assert_eq!(est.cross_machine_bytes, 0);
+        assert_eq!(est.intra_machine_bytes, 4096);
+        assert_eq!(est.cross_flows, 0);
+    }
+
+    #[test]
+    fn asymmetric_links_bound_by_the_slow_side() {
+        let net = MigrationNet {
+            machines: 2,
+            uplink_bps: 100.0,
+            downlink_bps: 25.0,
+        };
+        let est = price_migration(
+            &net,
+            &[MigrationFlow {
+                src_machine: 0,
+                dst_machine: 1,
+                bytes: 100,
+            }],
+        );
+        assert!((est.makespan_s - 4.0).abs() < 1e-9, "{est:?}");
+    }
+}

@@ -75,6 +75,7 @@ fn chaos_policy() -> RetransmitPolicy {
         max_backoff: Duration::from_millis(8),
         max_attempts: 400,
         flush_quiet: Duration::from_millis(40),
+        ..RetransmitPolicy::default()
     }
 }
 

@@ -1,0 +1,53 @@
+//! Golden pin of the `repro migrate` elastic-migration artifact.
+//!
+//! The lab manifest hashes `migrate_report.json` through its masked
+//! canonical form: parsed, the wall-clock `timing` section nulled,
+//! re-rendered compact. This test pins that exact byte stream — the
+//! content `repro lab --verify` re-digests — so any unintentional change
+//! to the deterministic surface (the placement and plan digests, the
+//! committed epochs and their reasons, the simulator's before/after
+//! iteration pricing, the measured-on-TCP traffic counters, the
+//! bitwise-resume verdicts) fails loudly here with a readable diff. The
+//! acceptance criteria ride along as asserts inside `migrate::run()`:
+//! the rebalance must cut the probe skew ratio, shorten the simulated
+//! iteration, unload the hottest NIC (simulated *and* measured on the
+//! real mesh), keep both placements' losses within float reassociation,
+//! and every elastic run must be bitwise-resumable from its
+//! post-migration cut.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test --test migrate_golden`.
+
+use janus::lab::canonical_masked_json;
+use janus_bench::experiments::migrate;
+
+fn assert_golden(got: &str, name: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path} ({e}); run with UPDATE_GOLDEN=1"));
+    assert_eq!(got, want, "golden mismatch for {name}");
+}
+
+#[test]
+fn migrate_masked_canonical_form_is_golden() {
+    let report = migrate::run();
+
+    // The elastic run committed exactly the swap the probe priced, and
+    // both chaos halves restarted bitwise from their migrated cuts.
+    assert!(report.elastic.resume_bitwise);
+    assert!(report.degraded.resume_bitwise);
+    assert!(report.degraded.degraded);
+    assert_eq!(report.elastic.migrations as usize, report.sim.moves);
+    assert!(report.tcp.losses_equivalent);
+
+    let masked: Vec<String> = migrate::MASKED_KEYS.iter().map(|k| k.to_string()).collect();
+    let mut pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    pretty.push('\n');
+    let mut canonical =
+        canonical_masked_json(pretty.as_bytes(), &masked).expect("report is valid JSON");
+    canonical.push('\n');
+    assert_golden(&canonical, "migrate_report.json");
+}
